@@ -1,0 +1,107 @@
+//! Benches regenerating the *model-side* artifacts of the paper:
+//!
+//! * `fig01_hierarchy`        — build Fig 1's objective hierarchy + render
+//! * `fig02_performances`     — render the Fig 2 consequences table
+//! * `fig03_component_utility`— evaluate the Fig 3 linear ValueT utility
+//! * `fig04_discrete_utility` — evaluate Fig 4's imprecise discrete bands
+//! * `fig05_weights`          — flatten the Fig 5 weight triples
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn fig01_hierarchy(c: &mut Criterion) {
+    // Shape check once, outside the timing loop.
+    let model = bench::paper();
+    let text = gmaa::report::hierarchy(&model);
+    assert_eq!(text.lines().count(), 19); // root + 4 objectives + 14 criteria
+
+    c.bench_function("fig01_hierarchy_build_and_render", |b| {
+        b.iter(|| {
+            let data = neon_reuse::paper_model();
+            black_box(gmaa::report::hierarchy(&data.model))
+        })
+    });
+}
+
+fn fig02_performances(c: &mut Criterion) {
+    let model = bench::paper();
+    let text = gmaa::report::consequences(&model);
+    assert_eq!(text.lines().count(), 24);
+
+    c.bench_function("fig02_performances_render", |b| {
+        b.iter(|| black_box(gmaa::report::consequences(&model)))
+    });
+}
+
+fn fig03_component_utility(c: &mut Criterion) {
+    let model = bench::paper();
+    let funct = model.find_attribute("funct_requir").expect("exists");
+    // ValueT = 0.93 (COMM's Fig 2 cell) maps to utility 0.31 exactly.
+    let band = model.utility(funct).band(
+        &maut::Perf::Value(0.93),
+        maut::perf::MissingPolicy::UnitInterval,
+    );
+    assert!((band.mid() - 0.31).abs() < 1e-12);
+
+    c.bench_function("fig03_valuet_utility_eval", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for k in 0..100 {
+                let x = 3.0 * k as f64 / 99.0;
+                acc += model
+                    .utility(funct)
+                    .band(&maut::Perf::Value(x), maut::perf::MissingPolicy::UnitInterval)
+                    .mid();
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn fig04_discrete_utility(c: &mut Criterion) {
+    let model = bench::paper();
+    let purpose = model.find_attribute("purpose_rel").expect("exists");
+    // Level 3 ("project") has the highest band, level 0 ("unknown") lowest.
+    let top = model.utility(purpose).band(
+        &maut::Perf::Level(3),
+        maut::perf::MissingPolicy::UnitInterval,
+    );
+    assert!(top.lo() >= 0.8);
+
+    c.bench_function("fig04_discrete_utility_eval", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for level in 0..4 {
+                acc += model
+                    .utility(purpose)
+                    .band(&maut::Perf::Level(level), maut::perf::MissingPolicy::UnitInterval)
+                    .mid();
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn fig05_weights(c: &mut Criterion) {
+    let model = bench::paper();
+    let w = model.attribute_weights();
+    // Reproduces the Fig 5 table: 14 rows, averages summing to one, raw
+    // bounds matching the paper exactly (asserted in the dataset tests).
+    assert_eq!(w.len(), 14);
+    let total: f64 = w.avgs().iter().sum();
+    assert!((total - 1.0).abs() < 1e-9);
+
+    c.bench_function("fig05_weight_flattening", |b| {
+        b.iter(|| black_box(model.attribute_weights()))
+    });
+}
+
+criterion_group!(
+    figures_model,
+    fig01_hierarchy,
+    fig02_performances,
+    fig03_component_utility,
+    fig04_discrete_utility,
+    fig05_weights
+);
+criterion_main!(figures_model);

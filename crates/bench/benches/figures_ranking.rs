@@ -1,0 +1,56 @@
+//! Benches regenerating the paper's evaluation artifacts:
+//!
+//! * `fig06_ranking`           — min/avg/max overall utilities + ranking
+//! * `fig07_understandability` — re-ranking by one objective subtree
+//! * plus evaluation scaling over synthetic problem sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn fig06_ranking(c: &mut Criterion) {
+    let model = bench::paper();
+    let eval = model.evaluate();
+    let ranking = eval.ranking();
+    // The published top five, in order.
+    let top: Vec<&str> = ranking.iter().take(5).map(|r| r.name.as_str()).collect();
+    assert_eq!(top, ["Media Ontology", "Boemie VDO", "COMM", "SAPO", "DIG35"]);
+
+    c.bench_function("fig06_full_evaluation_and_ranking", |b| {
+        b.iter(|| {
+            let e = model.evaluate();
+            black_box(e.ranking())
+        })
+    });
+}
+
+fn fig07_understandability(c: &mut Criterion) {
+    let model = bench::paper();
+    let under = model.tree.find("understandability").expect("objective exists");
+    let eval = model.evaluate_under(under);
+    // Only 3 attributes count; utilities are bounded by the subtree max.
+    let best = &eval.ranking()[0];
+    assert!(best.bounds.avg > 0.8);
+
+    c.bench_function("fig07_subtree_evaluation", |b| {
+        b.iter(|| {
+            let e = model.evaluate_under(under);
+            black_box(e.ranking())
+        })
+    });
+}
+
+fn evaluation_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("evaluation_scaling");
+    for (n_alts, n_attrs) in [(10usize, 8usize), (50, 14), (200, 14), (1000, 20)] {
+        let model = bench::synthetic(n_alts, n_attrs, 42);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n_alts}x{n_attrs}")),
+            &model,
+            |b, m| b.iter(|| black_box(m.evaluate().ranking())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(figures_ranking, fig06_ranking, fig07_understandability, evaluation_scaling);
+criterion_main!(figures_ranking);

@@ -1,0 +1,30 @@
+fn main() {
+    // band-width ablation counts
+    for hw in [0.05, 0.15, 0.25, 0.35] {
+        let m = bench::paper_with_band(hw);
+        let n = maut_sense::potentially_optimal(&m).iter().filter(|o| o.potentially_optimal).count();
+        println!("half_width {hw}: potentially optimal {n}/23");
+    }
+    // missing policy spearman
+    let a = bench::paper().evaluate();
+    let b = bench::paper_with_missing_as_worst().evaluate();
+    let av: Vec<f64> = a.bounds.iter().map(|x| x.avg).collect();
+    let bv: Vec<f64> = b.bounds.iter().map(|x| x.avg).collect();
+    println!("missing-policy Spearman: {:.4}", statlab::spearman_rho(&av, &bv).unwrap());
+    // fig6 spearman vs paper mean ranks
+    let model = bench::paper();
+    let paper_ranks: Vec<f64> = vec![2.564,9.959,7.506,4.0,5.0,7.435,9.041,11.514,1.218,6.0,2.218,20.807,13.0,16.413,20.192,14.728,11.436,18.969,16.043,15.049,23.0,22.0,17.798];
+    let neg: Vec<f64> = paper_ranks.iter().map(|r| -r).collect();
+    println!("Fig6 avg-vs-paper Spearman: {:.4}", statlab::spearman_rho(&av, &neg).unwrap());
+    let mc = maut_sense::MonteCarlo::paper_default().run(&model);
+    println!("MC mean-rank Spearman vs Fig10: {:.4}", statlab::spearman_rho(&mc.mean_ranks(), &paper_ranks).unwrap());
+    // stability summary
+    let stab = maut_sense::stability::all_stability_intervals(&model, maut_sense::StabilityMode::BestAlternative, 200);
+    for r in &stab {
+        if !r.is_fully_stable(1e-4) {
+            println!("sensitive: {} [{:.3},{:.3}] current {:.3}", model.tree.get(r.objective).name, r.lo, r.hi, r.current);
+        }
+    }
+    let nd = maut_sense::non_dominated(&model);
+    println!("non-dominated: {}/23", nd.len());
+}

@@ -1,0 +1,23 @@
+//! # gmaa
+//!
+//! The user-facing facade of the reproduction — the counterpart of the
+//! **GMAA** (Generic Multi-Attribute Analysis) PC-based decision support
+//! system the paper applies to ontology selection.
+//!
+//! Where the original is a Windows GUI, this crate exposes the same
+//! capabilities as a library:
+//!
+//! * [`system::Gmaa`] — one handle bundling a decision model with every
+//!   evaluation and sensitivity analysis of the paper (Figs 6–10);
+//! * [`report`] — text renderers that regenerate each figure as an ASCII
+//!   artifact (hierarchy, consequences, utilities, weights, rankings,
+//!   stability intervals, Monte Carlo boxplots and statistics);
+//! * [`workspace`] — save/load of decision models as JSON ("Current
+//!   Workspace: Multimedia" in the paper's Fig 1 screenshot).
+
+pub mod report;
+pub mod system;
+pub mod workspace;
+
+pub use system::{Analysis, Gmaa};
+pub use workspace::{load_model, save_model, Workspace, WorkspaceError};

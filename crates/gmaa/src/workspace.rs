@@ -1,0 +1,171 @@
+//! Workspace persistence: decision models saved and restored as JSON.
+//!
+//! The GMAA GUI keeps named workspaces ("Current Workspace: Multimedia" in
+//! the paper's Fig 1). Here a workspace is a directory of `<name>.json`
+//! model files.
+
+use maut::DecisionModel;
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Errors from workspace operations.
+#[derive(Debug)]
+pub enum WorkspaceError {
+    Io(std::io::Error),
+    Serde(serde_json::Error),
+    /// The loaded model failed validation — file corrupt or hand-edited.
+    Invalid(maut::ModelError),
+}
+
+impl fmt::Display for WorkspaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkspaceError::Io(e) => write!(f, "workspace I/O error: {e}"),
+            WorkspaceError::Serde(e) => write!(f, "workspace (de)serialization error: {e}"),
+            WorkspaceError::Invalid(e) => write!(f, "loaded model is invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkspaceError {}
+
+impl From<std::io::Error> for WorkspaceError {
+    fn from(e: std::io::Error) -> Self {
+        WorkspaceError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for WorkspaceError {
+    fn from(e: serde_json::Error) -> Self {
+        WorkspaceError::Serde(e)
+    }
+}
+
+/// Serialize a model to pretty JSON at `path`.
+pub fn save_model(model: &DecisionModel, path: &Path) -> Result<(), WorkspaceError> {
+    let json = serde_json::to_string_pretty(model)?;
+    fs::write(path, json)?;
+    Ok(())
+}
+
+/// Load and re-validate a model from `path`.
+pub fn load_model(path: &Path) -> Result<DecisionModel, WorkspaceError> {
+    let json = fs::read_to_string(path)?;
+    let model: DecisionModel = serde_json::from_str(&json)?;
+    model.validate().map_err(WorkspaceError::Invalid)?;
+    Ok(model)
+}
+
+/// A directory of named models.
+#[derive(Debug, Clone)]
+pub struct Workspace {
+    dir: PathBuf,
+}
+
+impl Workspace {
+    /// Open (creating if needed) a workspace directory.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Workspace, WorkspaceError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(Workspace { dir })
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.dir
+    }
+
+    fn model_path(&self, name: &str) -> PathBuf {
+        self.dir.join(format!("{name}.json"))
+    }
+
+    /// Save a model under a name.
+    pub fn save(&self, name: &str, model: &DecisionModel) -> Result<(), WorkspaceError> {
+        save_model(model, &self.model_path(name))
+    }
+
+    /// Load a named model.
+    pub fn load(&self, name: &str) -> Result<DecisionModel, WorkspaceError> {
+        load_model(&self.model_path(name))
+    }
+
+    /// Names of all stored models.
+    pub fn list(&self) -> Result<Vec<String>, WorkspaceError> {
+        let mut names = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            if path.extension().map(|e| e == "json").unwrap_or(false) {
+                if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
+                    names.push(stem.to_string());
+                }
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    /// Delete a named model. Missing files are not an error.
+    pub fn delete(&self, name: &str) -> Result<(), WorkspaceError> {
+        match fs::remove_file(self.model_path(name)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neon_reuse::paper_model;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("gmaa-ws-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_model() {
+        let ws = Workspace::open(tmpdir("roundtrip")).unwrap();
+        let model = paper_model().model;
+        ws.save("multimedia", &model).unwrap();
+        let loaded = ws.load("multimedia").unwrap();
+        assert_eq!(model, loaded);
+        // The reloaded model evaluates identically.
+        let a = model.evaluate().ranking();
+        let b = loaded.evaluate().ranking();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn list_and_delete() {
+        let ws = Workspace::open(tmpdir("list")).unwrap();
+        let model = paper_model().model;
+        ws.save("one", &model).unwrap();
+        ws.save("two", &model).unwrap();
+        assert_eq!(ws.list().unwrap(), vec!["one".to_string(), "two".to_string()]);
+        ws.delete("one").unwrap();
+        assert_eq!(ws.list().unwrap(), vec!["two".to_string()]);
+        ws.delete("one").unwrap(); // idempotent
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        let ws = Workspace::open(tmpdir("missing")).unwrap();
+        assert!(matches!(ws.load("nope"), Err(WorkspaceError::Io(_))));
+    }
+
+    #[test]
+    fn corrupt_json_errors() {
+        let ws = Workspace::open(tmpdir("corrupt")).unwrap();
+        fs::write(ws.path().join("bad.json"), "{ not json").unwrap();
+        assert!(matches!(ws.load("bad"), Err(WorkspaceError::Serde(_))));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = WorkspaceError::Invalid(maut::ModelError::NoAlternatives);
+        assert!(e.to_string().contains("invalid"));
+    }
+}

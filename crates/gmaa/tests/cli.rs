@@ -1,0 +1,101 @@
+//! Integration tests for the `gmaa` command-line binary, driven through the
+//! compiled executable (`CARGO_BIN_EXE_gmaa`).
+
+use std::process::{Command, Output};
+
+fn gmaa(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_gmaa"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stdout).into_owned()
+}
+
+#[test]
+fn hierarchy_command_prints_fig1() {
+    let out = gmaa(&["hierarchy"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("Understandability"));
+    assert!(text.contains("[funct_requir]"));
+    assert_eq!(text.lines().count(), 19);
+}
+
+#[test]
+fn ranking_command_prints_fig6_top() {
+    let out = gmaa(&["ranking"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    let media = text.find("Media Ontology").expect("present");
+    let kanzaki = text.find("Kanzaki Music").expect("present");
+    assert!(media < kanzaki);
+}
+
+#[test]
+fn rank_by_objective_works_and_rejects_unknown() {
+    let out = gmaa(&["rank-by", "understandability"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("Ranking by: Understandability"));
+
+    let bad = gmaa(&["rank-by", "nope"]);
+    assert!(!bad.status.success());
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("unknown objective"));
+}
+
+#[test]
+fn utility_and_weights_commands() {
+    let u = gmaa(&["utility", "purpose_rel"]);
+    assert!(u.status.success());
+    assert!(stdout(&u).contains("project"));
+
+    let w = gmaa(&["weights"]);
+    assert!(w.status.success());
+    assert!(stdout(&w).contains("Financial cost of reuse"));
+}
+
+#[test]
+fn montecarlo_with_small_trials() {
+    let out = gmaa(&["--trials", "200", "--seed", "7", "montecarlo"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("200 trials"));
+    assert!(text.contains("b^1")); // acceptability table
+}
+
+#[test]
+fn intensity_command_ranks_all() {
+    let out = gmaa(&["intensity"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert_eq!(text.lines().count(), 23);
+    assert!(text.lines().next().expect("non-empty").contains("Media Ontology"));
+}
+
+#[test]
+fn no_command_fails_with_usage() {
+    let out = gmaa(&[]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn save_and_reload_workspace_via_cli() {
+    let dir = std::env::temp_dir().join(format!("gmaa-cli-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dirs = dir.to_string_lossy().into_owned();
+
+    let save = gmaa(&["save-paper", &dirs]);
+    assert!(save.status.success(), "{}", String::from_utf8_lossy(&save.stderr));
+    assert!(dir.join("multimedia.json").exists());
+
+    // Read it back through the workspace path.
+    let out = gmaa(&["--workspace", &dirs, "--model", "multimedia", "ranking"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("Media Ontology"));
+
+    let missing = gmaa(&["--workspace", &dirs, "--model", "nope", "ranking"]);
+    assert!(!missing.status.success());
+}

@@ -1,0 +1,190 @@
+//! Dominance under imprecision (paper refs \[23\]–\[25\]).
+//!
+//! Alternative `i` **dominates** `k` when its overall utility is at least
+//! `k`'s for *every* admissible combination of weights and component
+//! utilities, and strictly greater for some. With the additive model and
+//! independent imprecision this reduces to
+//!
+//! ```text
+//! min_{w ∈ W} Σⱼ wⱼ · (uᵢⱼᴸ − uₖⱼᵁ)  ≥  0
+//! ```
+//!
+//! — the utilities take their adversarial extremes and the weight vector is
+//! optimized over the polytope `W = {low ≤ w ≤ upp, Σw = 1}` (an exact
+//! greedy continuous-knapsack step via [`simplex_lp::WeightPolytope`]).
+
+use maut::DecisionModel;
+use simplex_lp::WeightPolytope;
+
+/// Pairwise dominance verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DominanceOutcome {
+    /// Row alternative dominates the column alternative.
+    Dominates,
+    /// No dominance in this direction.
+    None,
+}
+
+/// The weight polytope implied by a model's flattened weight intervals.
+pub fn weight_polytope(model: &DecisionModel) -> WeightPolytope {
+    let w = model.attribute_weights();
+    WeightPolytope::new(&w.lows(), &w.upps())
+        .expect("flattened weight intervals always intersect the simplex")
+}
+
+/// Does `i` dominate `k`? `u_lo`/`u_hi` are the bound utility matrices.
+/// `strict_margin` guards against counting identical alternatives as
+/// dominating each other.
+fn dominates(
+    polytope: &WeightPolytope,
+    u_lo: &[Vec<f64>],
+    u_hi: &[Vec<f64>],
+    i: usize,
+    k: usize,
+) -> bool {
+    let d: Vec<f64> =
+        u_lo[i].iter().zip(&u_hi[k]).map(|(a, b)| a - b).collect();
+    let (worst, _) = polytope.minimize(&d);
+    if worst < -1e-9 {
+        return false;
+    }
+    // Require some advantage in the most favorable direction, so two
+    // identical rows do not "dominate" each other.
+    let dbest: Vec<f64> = u_hi[i].iter().zip(&u_lo[k]).map(|(a, b)| a - b).collect();
+    let (best, _) = polytope.maximize(&dbest);
+    best > 1e-9
+}
+
+/// Full pairwise dominance matrix (`matrix[i][k]` = does `i` dominate `k`).
+pub fn dominance_matrix(model: &DecisionModel) -> Vec<Vec<DominanceOutcome>> {
+    let polytope = weight_polytope(model);
+    let (u_lo, u_hi) = model.bound_utility_matrices();
+    let n = model.num_alternatives();
+    (0..n)
+        .map(|i| {
+            (0..n)
+                .map(|k| {
+                    if i != k && dominates(&polytope, &u_lo, &u_hi, i, k) {
+                        DominanceOutcome::Dominates
+                    } else {
+                        DominanceOutcome::None
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Indices of non-dominated alternatives (paper: 20 of the 23 MM ontologies
+/// are non-dominated).
+pub fn non_dominated(model: &DecisionModel) -> Vec<usize> {
+    let m = dominance_matrix(model);
+    let n = model.num_alternatives();
+    (0..n)
+        .filter(|&k| (0..n).all(|i| m[i][k] != DominanceOutcome::Dominates))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maut::prelude::*;
+
+    fn two_attr_model(rows: &[(&str, usize, usize)]) -> DecisionModel {
+        let mut b = DecisionModelBuilder::new("m");
+        let x = b.discrete_attribute("x", "X", &["0", "1", "2", "3"]);
+        let y = b.discrete_attribute("y", "Y", &["0", "1", "2", "3"]);
+        b.attach_attributes_to_root(&[
+            (x, Interval::new(0.3, 0.7)),
+            (y, Interval::new(0.3, 0.7)),
+        ]);
+        for (name, px, py) in rows {
+            b.alternative(*name, vec![Perf::level(*px), Perf::level(*py)]);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn pareto_better_dominates() {
+        let m = two_attr_model(&[("strong", 3, 3), ("weak", 1, 1)]);
+        let dm = dominance_matrix(&m);
+        assert_eq!(dm[0][1], DominanceOutcome::Dominates);
+        assert_eq!(dm[1][0], DominanceOutcome::None);
+        assert_eq!(non_dominated(&m), vec![0]);
+    }
+
+    #[test]
+    fn trade_off_pair_is_mutually_non_dominated() {
+        let m = two_attr_model(&[("left", 3, 0), ("right", 0, 3)]);
+        let dm = dominance_matrix(&m);
+        assert_eq!(dm[0][1], DominanceOutcome::None);
+        assert_eq!(dm[1][0], DominanceOutcome::None);
+        assert_eq!(non_dominated(&m).len(), 2);
+    }
+
+    #[test]
+    fn identical_alternatives_do_not_dominate_each_other() {
+        let m = two_attr_model(&[("a", 2, 2), ("b", 2, 2)]);
+        let dm = dominance_matrix(&m);
+        assert_eq!(dm[0][1], DominanceOutcome::None);
+        assert_eq!(dm[1][0], DominanceOutcome::None);
+        assert_eq!(non_dominated(&m).len(), 2);
+    }
+
+    #[test]
+    fn weight_imprecision_blocks_dominance() {
+        // "balanced" beats "spiky" on average but not for every weight
+        // vector in the box.
+        let m = two_attr_model(&[("balanced", 2, 2), ("spiky", 3, 1)]);
+        let dm = dominance_matrix(&m);
+        assert_eq!(dm[0][1], DominanceOutcome::None);
+        assert_eq!(dm[1][0], DominanceOutcome::None);
+    }
+
+    #[test]
+    fn missing_performance_blocks_dominance() {
+        // An alternative with a missing entry has band [0,1] there, so it is
+        // not dominated even by a strong rival (its utility could be 1).
+        let mut b = DecisionModelBuilder::new("m");
+        let x = b.discrete_attribute("x", "X", &["0", "1", "2", "3"]);
+        let y = b.discrete_attribute("y", "Y", &["0", "1", "2", "3"]);
+        b.attach_attributes_to_root(&[
+            (x, Interval::new(0.3, 0.7)),
+            (y, Interval::new(0.3, 0.7)),
+        ]);
+        b.alternative("strong", vec![Perf::level(3), Perf::level(2)]);
+        b.alternative("unknown", vec![Perf::level(1), Perf::Missing]);
+        let m = b.build().unwrap();
+        let dm = dominance_matrix(&m);
+        assert_eq!(dm[0][1], DominanceOutcome::None);
+        assert_eq!(non_dominated(&m).len(), 2);
+    }
+
+    #[test]
+    fn worst_missing_policy_restores_dominance() {
+        // Under the [15]-style policy the unknown entry counts as worst, so
+        // "strong" dominates.
+        let mut b = DecisionModelBuilder::new("m");
+        let x = b.discrete_attribute("x", "X", &["0", "1", "2", "3"]);
+        let y = b.discrete_attribute("y", "Y", &["0", "1", "2", "3"]);
+        b.attach_attributes_to_root(&[
+            (x, Interval::new(0.3, 0.7)),
+            (y, Interval::new(0.3, 0.7)),
+        ]);
+        b.alternative("strong", vec![Perf::level(3), Perf::level(2)]);
+        b.alternative("unknown", vec![Perf::level(1), Perf::Missing]);
+        b.missing_policy(maut::perf::MissingPolicy::Worst);
+        let m = b.build().unwrap();
+        let dm = dominance_matrix(&m);
+        assert_eq!(dm[0][1], DominanceOutcome::Dominates);
+        assert_eq!(non_dominated(&m), vec![0]);
+    }
+
+    #[test]
+    fn polytope_matches_weight_table() {
+        let m = two_attr_model(&[("a", 1, 1)]);
+        let p = weight_polytope(&m);
+        assert_eq!(p.dim(), 2);
+        assert!(p.contains(&[0.5, 0.5], 1e-9));
+    }
+}

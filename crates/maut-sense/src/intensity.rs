@@ -1,0 +1,169 @@
+//! **Dominance intensity** ranking — the follow-up analysis of the paper's
+//! own reference line (Mateos, Ríos-Insua & Jiménez, *"Dominance, potential
+//! optimality and alternative ranking in imprecise decision making"*,
+//! ref \[25\]): when pairwise dominance discards too little (as in the case
+//! study, where 20 of 23 candidates survive), the *degree* to which each
+//! alternative outperforms the others still induces a complete ranking.
+//!
+//! For each ordered pair `(i, k)` the **dominance interval**
+//! `D_ik = [d_ik^min, d_ik^max]` brackets the utility difference
+//! `u(i) − u(k)` over every admissible weight vector and utility selection.
+//! Reading `D_ik` uniformly, the *expected advantage* of `i` over `k` is its
+//! midpoint, and the **dominance intensity** of `i` is the sum of expected
+//! advantages over all rivals. Ranking by intensity refines the
+//! average-utility ranking with the imprecision information that min/avg/max
+//! evaluation discards.
+
+use crate::dominance::weight_polytope;
+use maut::DecisionModel;
+
+/// The dominance interval of one ordered pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DominanceInterval {
+    /// `min u(i) − u(k)`: adversarial utilities, worst weights for `i`.
+    pub min: f64,
+    /// `max u(i) − u(k)`: favorable utilities, best weights for `i`.
+    pub max: f64,
+}
+
+impl DominanceInterval {
+    /// Expected advantage under a uniform reading of the interval.
+    pub fn expected(&self) -> f64 {
+        (self.min + self.max) / 2.0
+    }
+
+    /// Whether the interval certifies (weak) dominance.
+    pub fn dominates(&self) -> bool {
+        self.min >= -1e-9 && self.max > 1e-9
+    }
+}
+
+/// Intensity summary of one alternative.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntensityRank {
+    pub alternative: usize,
+    pub name: String,
+    /// Σ over rivals of the expected advantage.
+    pub intensity: f64,
+    /// 1-based rank by intensity (descending).
+    pub rank: usize,
+}
+
+/// All pairwise dominance intervals (`matrix[i][k]`, diagonal zero).
+pub fn dominance_intervals(model: &DecisionModel) -> Vec<Vec<DominanceInterval>> {
+    let polytope = weight_polytope(model);
+    let (u_lo, u_hi) = model.bound_utility_matrices();
+    let n = model.num_alternatives();
+    (0..n)
+        .map(|i| {
+            (0..n)
+                .map(|k| {
+                    if i == k {
+                        return DominanceInterval { min: 0.0, max: 0.0 };
+                    }
+                    let worst: Vec<f64> =
+                        u_lo[i].iter().zip(&u_hi[k]).map(|(a, b)| a - b).collect();
+                    let best: Vec<f64> =
+                        u_hi[i].iter().zip(&u_lo[k]).map(|(a, b)| a - b).collect();
+                    DominanceInterval {
+                        min: polytope.minimize(&worst).0,
+                        max: polytope.maximize(&best).0,
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Rank all alternatives by dominance intensity.
+pub fn intensity_ranking(model: &DecisionModel) -> Vec<IntensityRank> {
+    let intervals = dominance_intervals(model);
+    let n = model.num_alternatives();
+    let mut rows: Vec<IntensityRank> = (0..n)
+        .map(|i| {
+            let intensity: f64 =
+                (0..n).filter(|&k| k != i).map(|k| intervals[i][k].expected()).sum();
+            IntensityRank {
+                alternative: i,
+                name: model.alternatives[i].clone(),
+                intensity,
+                rank: 0,
+            }
+        })
+        .collect();
+    rows.sort_by(|a, b| {
+        b.intensity.partial_cmp(&a.intensity).expect("finite").then(a.name.cmp(&b.name))
+    });
+    for (pos, r) in rows.iter_mut().enumerate() {
+        r.rank = pos + 1;
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maut::prelude::*;
+
+    fn model(rows: &[(&str, usize, usize)]) -> DecisionModel {
+        let mut b = DecisionModelBuilder::new("m");
+        let x = b.discrete_attribute("x", "X", &["0", "1", "2", "3"]);
+        let y = b.discrete_attribute("y", "Y", &["0", "1", "2", "3"]);
+        b.attach_attributes_to_root(&[
+            (x, Interval::new(0.3, 0.7)),
+            (y, Interval::new(0.3, 0.7)),
+        ]);
+        for (name, px, py) in rows {
+            b.alternative(*name, vec![Perf::level(*px), Perf::level(*py)]);
+        }
+        b.build().expect("valid")
+    }
+
+    #[test]
+    fn intervals_are_antisymmetric() {
+        let m = model(&[("a", 3, 1), ("b", 1, 3)]);
+        let d = dominance_intervals(&m);
+        assert!((d[0][1].min + d[1][0].max).abs() < 1e-9);
+        assert!((d[0][1].max + d[1][0].min).abs() < 1e-9);
+        assert_eq!(d[0][0], DominanceInterval { min: 0.0, max: 0.0 });
+    }
+
+    #[test]
+    fn pareto_better_has_positive_interval() {
+        let m = model(&[("strong", 3, 3), ("weak", 1, 1)]);
+        let d = dominance_intervals(&m);
+        assert!(d[0][1].dominates(), "{:?}", d[0][1]);
+        assert!(d[0][1].expected() > 0.0);
+        assert!(!d[1][0].dominates());
+    }
+
+    #[test]
+    fn intensity_ranking_matches_clear_order() {
+        let m = model(&[("top", 3, 3), ("mid", 2, 2), ("low", 0, 0)]);
+        let r = intensity_ranking(&m);
+        let names: Vec<&str> = r.iter().map(|x| x.name.as_str()).collect();
+        assert_eq!(names, ["top", "mid", "low"]);
+        assert!(r[0].intensity > r[1].intensity);
+        assert!(r[2].intensity < 0.0);
+        assert_eq!(r[0].rank, 1);
+    }
+
+    #[test]
+    fn intensities_sum_to_zero() {
+        // Σ_i Σ_k expected(i,k) = 0 by antisymmetry of the midpoints.
+        let m = model(&[("a", 3, 0), ("b", 0, 3), ("c", 2, 2), ("d", 1, 1)]);
+        let total: f64 = intensity_ranking(&m).iter().map(|r| r.intensity).sum();
+        assert!(total.abs() < 1e-9, "total {total}");
+    }
+
+    #[test]
+    fn intensity_refines_the_paper_case_study() {
+        let m = neon_reuse::paper_model().model;
+        let r = intensity_ranking(&m);
+        // A complete ranking of all 23, topped by the same two candidates.
+        assert_eq!(r.len(), 23);
+        assert_eq!(r[0].name, "Media Ontology");
+        assert_eq!(r[1].name, "Boemie VDO");
+        assert_eq!(r.last().expect("non-empty").name, "MPEG7 Ontology");
+    }
+}

@@ -1,0 +1,32 @@
+//! # maut-sense
+//!
+//! Sensitivity analyses for imprecise additive MAUT models — the Section V
+//! toolbox of *"A MAUT Approach for Reusing Ontologies"*:
+//!
+//! * [`stability`] — **weight stability intervals**: how far an objective's
+//!   average normalized weight can move (siblings rescaled) without changing
+//!   the best alternative / the whole ranking (paper Fig 8);
+//! * [`dominance`] — pairwise **dominance** under imprecise weights and
+//!   utilities, via exact optimization over the weight polytope
+//!   (refs \[23\]–\[25\]);
+//! * [`potential`] — **potentially optimal** alternatives: those that are
+//!   best for at least one admissible combination of weights and component
+//!   utilities (the paper discards 3 of its 23 candidates this way);
+//! * [`montecarlo`] — **Monte Carlo simulation** over weights with the three
+//!   GMAA generation classes (random / rank-order / elicited intervals),
+//!   producing the rank statistics and multiple boxplot of Figs 9–10.
+//!
+//! All analyses operate on a [`maut::DecisionModel`] and are deterministic
+//! given a caller-provided seed.
+
+pub mod dominance;
+pub mod intensity;
+pub mod montecarlo;
+pub mod potential;
+pub mod stability;
+
+pub use dominance::{dominance_matrix, non_dominated, DominanceOutcome};
+pub use intensity::{dominance_intervals, intensity_ranking, DominanceInterval, IntensityRank};
+pub use montecarlo::{MonteCarlo, MonteCarloConfig, MonteCarloResult};
+pub use potential::{potentially_optimal, PotentialOutcome};
+pub use stability::{stability_interval, StabilityMode, StabilityReport};

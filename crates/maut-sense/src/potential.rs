@@ -1,0 +1,214 @@
+//! Potential optimality (paper refs \[23\]–\[25\]).
+//!
+//! An alternative is **potentially optimal** when it is best-ranked for *at
+//! least one* admissible combination of the imprecise parameters. With
+//! component utilities free inside their bands, the most favorable case for
+//! alternative `i` against every rival `k` is `uᵢ` at its upper bounds and
+//! `uₖ` at its lower bounds; what remains is a feasibility question over the
+//! weight polytope, solved as a max-slack linear program:
+//!
+//! ```text
+//! max t   s.t.  Σⱼ wⱼ (uᵢⱼᵁ − uₖⱼᴸ) ≥ t   ∀ k ≠ i
+//!               low ≤ w ≤ upp,  Σ w = 1
+//! ```
+//!
+//! `i` is potentially optimal iff the optimum `t* ≥ 0`. The paper finds 20
+//! of its 23 candidates potentially optimal, discarding three.
+
+use crate::dominance::weight_polytope;
+use maut::DecisionModel;
+use simplex_lp::{Bound, LinearProgram, Objective, Relation, Status};
+
+/// Verdict for one alternative.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PotentialOutcome {
+    pub alternative: usize,
+    pub name: String,
+    pub potentially_optimal: bool,
+    /// The optimal slack `t*`: ≥ 0 iff potentially optimal; more negative
+    /// means further from ever being best.
+    pub slack: f64,
+}
+
+/// Evaluate potential optimality for every alternative.
+pub fn potentially_optimal(model: &DecisionModel) -> Vec<PotentialOutcome> {
+    let polytope = weight_polytope(model);
+    let (u_lo, u_hi) = model.bound_utility_matrices();
+    let n = model.num_alternatives();
+    let n_attr = model.num_attributes();
+
+    (0..n)
+        .map(|i| {
+            // Variables: w_0..w_{m-1}, t (free).
+            let mut lp = LinearProgram::new(n_attr + 1, Objective::Maximize);
+            let mut obj = vec![0.0; n_attr + 1];
+            obj[n_attr] = 1.0;
+            lp.set_objective(&obj);
+            for j in 0..n_attr {
+                lp.set_bound(j, Bound::boxed(polytope.lower()[j], polytope.upper()[j]));
+            }
+            lp.set_bound(n_attr, Bound::boxed(-2.0, 2.0)); // |t| ≤ 2 suffices: utilities ∈ [0,1]
+            let mut norm = vec![1.0; n_attr + 1];
+            norm[n_attr] = 0.0;
+            lp.add_constraint(&norm, Relation::Eq, 1.0);
+            for (k, u_lo_k) in u_lo.iter().enumerate() {
+                if k == i {
+                    continue;
+                }
+                let mut row = vec![0.0; n_attr + 1];
+                for (r, (hi, lo)) in row.iter_mut().zip(u_hi[i].iter().zip(u_lo_k)) {
+                    *r = hi - lo;
+                }
+                row[n_attr] = -1.0;
+                lp.add_constraint(&row, Relation::Ge, 0.0);
+            }
+            let sol = lp.solve().expect("well-formed LP");
+            let (potentially, slack) = match sol.status {
+                Status::Optimal => (sol.objective >= -1e-9, sol.objective),
+                // The polytope is non-empty, so infeasibility cannot happen;
+                // treat defensively as not potentially optimal.
+                _ => (false, f64::NEG_INFINITY),
+            };
+            PotentialOutcome {
+                alternative: i,
+                name: model.alternatives[i].clone(),
+                potentially_optimal: potentially,
+                slack,
+            }
+        })
+        .collect()
+}
+
+/// Indices of alternatives that are *not* potentially optimal — the ones
+/// this analysis can discard (3 of 23 in the paper).
+pub fn discarded(model: &DecisionModel) -> Vec<usize> {
+    potentially_optimal(model)
+        .into_iter()
+        .filter(|o| !o.potentially_optimal)
+        .map(|o| o.alternative)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maut::prelude::*;
+
+    fn model(rows: &[(&str, usize, usize)], wx: Interval, wy: Interval) -> DecisionModel {
+        let mut b = DecisionModelBuilder::new("m");
+        let x = b.discrete_attribute("x", "X", &["0", "1", "2", "3"]);
+        let y = b.discrete_attribute("y", "Y", &["0", "1", "2", "3"]);
+        b.attach_attributes_to_root(&[(x, wx), (y, wy)]);
+        for (name, px, py) in rows {
+            b.alternative(*name, vec![Perf::level(*px), Perf::level(*py)]);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn clear_winner_is_potentially_optimal_loser_is_not() {
+        let m = model(
+            &[("top", 3, 3), ("bottom", 0, 0)],
+            Interval::new(0.3, 0.7),
+            Interval::new(0.3, 0.7),
+        );
+        let out = potentially_optimal(&m);
+        assert!(out[0].potentially_optimal);
+        assert!(!out[1].potentially_optimal);
+        assert_eq!(discarded(&m), vec![1]);
+        assert!(out[1].slack < 0.0);
+    }
+
+    #[test]
+    fn trade_off_pair_both_potentially_optimal() {
+        let m = model(
+            &[("left", 3, 0), ("right", 0, 3)],
+            Interval::new(0.2, 0.8),
+            Interval::new(0.2, 0.8),
+        );
+        let out = potentially_optimal(&m);
+        assert!(out.iter().all(|o| o.potentially_optimal));
+        assert!(discarded(&m).is_empty());
+    }
+
+    #[test]
+    fn tight_weights_can_exclude_a_specialist() {
+        // y's weight is capped at 0.3: an alternative strong only on y can
+        // never overtake one strong on x.
+        let m = model(
+            &[("x-strong", 3, 1), ("y-strong", 0, 3)],
+            Interval::new(0.7, 0.9),
+            Interval::new(0.1, 0.3),
+        );
+        let out = potentially_optimal(&m);
+        assert!(out[0].potentially_optimal);
+        assert!(!out[1].potentially_optimal, "{out:?}");
+    }
+
+    #[test]
+    fn middle_alternative_dominated_in_every_direction_is_discarded() {
+        // "middle" is below the convex frontier spanned by the others for
+        // every admissible weight vector.
+        let m = model(
+            &[("left", 3, 0), ("right", 0, 3), ("middle", 1, 1)],
+            Interval::new(0.2, 0.8),
+            Interval::new(0.2, 0.8),
+        );
+        let out = potentially_optimal(&m);
+        assert!(out[0].potentially_optimal);
+        assert!(out[1].potentially_optimal);
+        assert!(!out[2].potentially_optimal);
+    }
+
+    #[test]
+    fn missing_entry_keeps_alternative_in_play() {
+        // The [0,1] band of a missing performance lets the alternative be
+        // best in its most favorable scenario.
+        let mut b = DecisionModelBuilder::new("m");
+        let x = b.discrete_attribute("x", "X", &["0", "1", "2", "3"]);
+        let y = b.discrete_attribute("y", "Y", &["0", "1", "2", "3"]);
+        b.attach_attributes_to_root(&[
+            (x, Interval::new(0.3, 0.7)),
+            (y, Interval::new(0.3, 0.7)),
+        ]);
+        b.alternative("solid", vec![Perf::level(2), Perf::level(2)]);
+        b.alternative("mystery", vec![Perf::level(2), Perf::Missing]);
+        let m = b.build().unwrap();
+        let out = potentially_optimal(&m);
+        assert!(out[1].potentially_optimal, "{out:?}");
+    }
+
+    #[test]
+    fn ties_count_as_potentially_optimal() {
+        let m = model(
+            &[("a", 2, 2), ("b", 2, 2)],
+            Interval::new(0.4, 0.6),
+            Interval::new(0.4, 0.6),
+        );
+        let out = potentially_optimal(&m);
+        assert!(out.iter().all(|o| o.potentially_optimal));
+        assert!(out.iter().all(|o| o.slack.abs() < 1e-7));
+    }
+
+    #[test]
+    fn potentially_optimal_implies_non_dominated() {
+        use crate::dominance::non_dominated;
+        let m = model(
+            &[("a", 3, 0), ("b", 0, 3), ("c", 1, 1), ("d", 2, 2)],
+            Interval::new(0.2, 0.8),
+            Interval::new(0.2, 0.8),
+        );
+        let nd: std::collections::BTreeSet<usize> = non_dominated(&m).into_iter().collect();
+        for o in potentially_optimal(&m) {
+            // Strict potential optimality implies non-dominance; a slack of
+            // ~0 (can only tie for best) is compatible with weak dominance.
+            if o.potentially_optimal && o.slack > 1e-6 {
+                assert!(
+                    nd.contains(&o.alternative),
+                    "{} strictly potentially optimal but dominated",
+                    o.name
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! Weight stability intervals (paper Fig 8).
+//!
+//! For any objective at any level of the hierarchy, GMAA computes *"the
+//! interval where the average normalized weight for the considered objective
+//! can vary without affecting the overall ranking of alternatives or just
+//! the best-ranked alternative"*. When the target's average weight moves to
+//! `w`, its siblings' averages are rescaled proportionally so the group
+//! still sums to 1, and everything below each node keeps its internal
+//! distribution.
+//!
+//! The interval is found by scanning `w` over `[0, 1]` and refining the
+//! boundaries by bisection; the additive model makes rank changes monotone
+//! enough in practice that this is robust at the default resolution.
+
+use maut::{DecisionModel, ObjectiveId};
+
+/// What must stay unchanged inside the stability interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StabilityMode {
+    /// Only the best-ranked alternative must not change.
+    BestAlternative,
+    /// The entire ranking must not change.
+    FullRanking,
+}
+
+/// Stability interval of one objective.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StabilityReport {
+    pub objective: ObjectiveId,
+    pub mode: StabilityMode,
+    /// Current average normalized weight of the objective.
+    pub current: f64,
+    /// `[lo, hi] ⊆ [0, 1]` within which the criterion holds.
+    pub lo: f64,
+    pub hi: f64,
+}
+
+impl StabilityReport {
+    /// Whether the whole `[0,1]` range is stable — the paper's finding for
+    /// all criteria except *Funct Requir* and *Naming Conv*.
+    pub fn is_fully_stable(&self, tol: f64) -> bool {
+        self.lo <= tol && self.hi >= 1.0 - tol
+    }
+
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+}
+
+/// Average-utility scores when `target`'s normalized average weight is
+/// forced to `w` (its siblings rescaled proportionally).
+fn scores_with_weight(
+    model: &DecisionModel,
+    avg_matrix: &[Vec<f64>],
+    base_avgs: &[f64],
+    target: ObjectiveId,
+    w: f64,
+) -> Vec<f64> {
+    // Per-node average normalized local weight with the override applied.
+    let tree = &model.tree;
+    let mut node_avg = base_avgs.to_vec();
+    let sibs = tree.siblings(target);
+    let old = base_avgs[target.index()];
+    node_avg[target.index()] = w;
+    let rest: f64 = sibs
+        .iter()
+        .filter(|s| **s != target)
+        .map(|s| base_avgs[s.index()])
+        .sum();
+    for s in &sibs {
+        if *s == target {
+            continue;
+        }
+        node_avg[s.index()] = if rest > 1e-12 {
+            base_avgs[s.index()] * (1.0 - w) / rest
+        } else {
+            // target previously had all the mass; spread remainder evenly
+            (1.0 - w) / (sibs.len() - 1).max(1) as f64
+        };
+    }
+    let _ = old;
+
+    // Flat attribute weights = product of node averages along paths.
+    let mut flat = vec![0.0; model.num_attributes()];
+    for leaf in tree.leaves_under(tree.root()) {
+        let attr = tree.get(leaf).attribute.expect("leaf");
+        let mut p = 1.0;
+        for id in tree.path_to(leaf) {
+            if id == tree.root() {
+                continue;
+            }
+            p *= node_avg[id.index()];
+        }
+        flat[attr.index()] = p;
+    }
+
+    avg_matrix.iter().map(|row| row.iter().zip(&flat).map(|(u, w)| u * w).sum()).collect()
+}
+
+fn ranking_of(scores: &[f64]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("finite").then(a.cmp(&b)));
+    idx
+}
+
+/// Score-based criterion with a tie tolerance: an exact tie at a weight
+/// extreme (two alternatives identical on the active criteria) does not
+/// count as a rank change.
+fn criterion_holds(reference: &[usize], scores: &[f64], mode: StabilityMode) -> bool {
+    const TOL: f64 = 1e-9;
+    match mode {
+        StabilityMode::BestAlternative => {
+            let best = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            scores[reference[0]] >= best - TOL
+        }
+        StabilityMode::FullRanking => reference
+            .windows(2)
+            .all(|w| scores[w[0]] >= scores[w[1]] - TOL),
+    }
+}
+
+/// Compute the stability interval of `target` (must not be the root).
+///
+/// `resolution` is the number of scan steps (≥ 10; 200 is plenty for the
+/// 23-alternative case study), boundaries are bisected to `1e-4`.
+pub fn stability_interval(
+    model: &DecisionModel,
+    target: ObjectiveId,
+    mode: StabilityMode,
+    resolution: usize,
+) -> StabilityReport {
+    assert!(target != model.tree.root(), "stability of the root is undefined");
+    let resolution = resolution.max(10);
+    let avg_matrix = model.avg_utility_matrix();
+    let base_avgs = maut::weights::normalized_averages(
+        &model.tree,
+        &model.resolved_local_weights(),
+    );
+    let current = base_avgs[target.index()];
+    let reference = ranking_of(&scores_with_weight(model, &avg_matrix, &base_avgs, target, current));
+
+    let holds = |w: f64| -> bool {
+        let s = scores_with_weight(model, &avg_matrix, &base_avgs, target, w);
+        criterion_holds(&reference, &s, mode)
+    };
+
+    // Scan outward from `current` so the interval is the connected component
+    // containing the elicited weight.
+    let step = 1.0 / resolution as f64;
+    let mut lo = current;
+    while lo - step >= -1e-12 && holds((lo - step).max(0.0)) {
+        lo = (lo - step).max(0.0);
+    }
+    let mut hi = current;
+    while hi + step <= 1.0 + 1e-12 && holds((hi + step).min(1.0)) {
+        hi = (hi + step).min(1.0);
+    }
+    // Bisect the two boundaries.
+    if lo > 0.0 {
+        let mut bad = (lo - step).max(0.0);
+        for _ in 0..20 {
+            let mid = (bad + lo) / 2.0;
+            if holds(mid) {
+                lo = mid;
+            } else {
+                bad = mid;
+            }
+        }
+    }
+    if hi < 1.0 {
+        let mut bad = (hi + step).min(1.0);
+        for _ in 0..20 {
+            let mid = (bad + hi) / 2.0;
+            if holds(mid) {
+                hi = mid;
+            } else {
+                bad = mid;
+            }
+        }
+    }
+
+    StabilityReport { objective: target, mode, current, lo, hi }
+}
+
+/// Stability intervals for every non-root objective.
+pub fn all_stability_intervals(
+    model: &DecisionModel,
+    mode: StabilityMode,
+    resolution: usize,
+) -> Vec<StabilityReport> {
+    model
+        .tree
+        .iter()
+        .filter(|(id, _)| *id != model.tree.root())
+        .map(|(id, _)| stability_interval(model, id, mode, resolution))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maut::prelude::*;
+
+    /// Two attributes; alt "x-wins" is best on x, "y-wins" on y. With equal
+    /// weights x-wins is slightly ahead; pushing weight toward y flips it.
+    fn model() -> DecisionModel {
+        let mut b = DecisionModelBuilder::new("m");
+        let x = b.discrete_attribute("x", "X", &["l", "m", "h"]);
+        let y = b.discrete_attribute("y", "Y", &["l", "m", "h"]);
+        b.attach_attributes_to_root(&[
+            (x, Interval::new(0.4, 0.6)),
+            (y, Interval::new(0.4, 0.6)),
+        ]);
+        b.alternative("x-wins", vec![Perf::level(2), Perf::level(1)]);
+        b.alternative("y-wins", vec![Perf::level(1), Perf::level(2)]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn flip_point_is_found() {
+        let m = model();
+        let x = m.tree.find("x").unwrap();
+        let r = stability_interval(&m, x, StabilityMode::BestAlternative, 200);
+        // x-wins and y-wins tie at w_x = 0.5; below that y-wins leads.
+        assert!((r.current - 0.5).abs() < 1e-9);
+        assert!(r.hi >= 1.0 - 1e-6, "raising x's weight keeps x-wins best: {r:?}");
+        assert!(r.lo > 0.4 && r.lo <= 0.51, "flip near 0.5: {r:?}");
+        assert!(!r.is_fully_stable(1e-6));
+    }
+
+    #[test]
+    fn dominant_alternative_gives_full_stability() {
+        let mut b = DecisionModelBuilder::new("m");
+        let x = b.discrete_attribute("x", "X", &["l", "h"]);
+        let y = b.discrete_attribute("y", "Y", &["l", "h"]);
+        b.attach_attributes_to_root(&[(x, Interval::point(0.5)), (y, Interval::point(0.5))]);
+        b.alternative("best", vec![Perf::level(1), Perf::level(1)]);
+        b.alternative("worst", vec![Perf::level(0), Perf::level(0)]);
+        let m = b.build().unwrap();
+        let x = m.tree.find("x").unwrap();
+        let r = stability_interval(&m, x, StabilityMode::FullRanking, 100);
+        assert!(r.is_fully_stable(1e-6), "{r:?}");
+        assert_eq!(r.width(), r.hi - r.lo);
+    }
+
+    #[test]
+    fn full_ranking_mode_is_no_wider_than_best_mode() {
+        let m = model();
+        let x = m.tree.find("x").unwrap();
+        let best = stability_interval(&m, x, StabilityMode::BestAlternative, 100);
+        let full = stability_interval(&m, x, StabilityMode::FullRanking, 100);
+        assert!(full.lo >= best.lo - 1e-9);
+        assert!(full.hi <= best.hi + 1e-9);
+    }
+
+    #[test]
+    fn all_intervals_cover_every_objective() {
+        let m = model();
+        let rs = all_stability_intervals(&m, StabilityMode::BestAlternative, 50);
+        assert_eq!(rs.len(), m.tree.len() - 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "root is undefined")]
+    fn root_is_rejected() {
+        let m = model();
+        stability_interval(&m, m.tree.root(), StabilityMode::BestAlternative, 50);
+    }
+
+    #[test]
+    fn hierarchical_target_rescales_descendants() {
+        // root -> {G (x, y), z}: G at 0.6 avg; moving G's weight to 0 makes
+        // z the only criterion.
+        let mut b = DecisionModelBuilder::new("m");
+        let g = b.objective_under_root("g", "G", Interval::point(0.6));
+        let x = b.discrete_attribute("x", "X", &["l", "h"]);
+        let y = b.discrete_attribute("y", "Y", &["l", "h"]);
+        b.attach_attribute(g, x, Interval::point(0.5));
+        b.attach_attribute(g, y, Interval::point(0.5));
+        let z = b.discrete_attribute("z", "Z", &["l", "h"]);
+        b.attach_attributes_to_root(&[(z, Interval::point(0.4))]);
+        b.alternative("g-strong", vec![Perf::level(1), Perf::level(1), Perf::level(0)]);
+        b.alternative("z-strong", vec![Perf::level(0), Perf::level(0), Perf::level(1)]);
+        let m = b.build().unwrap();
+        let g_id = m.tree.find("g").unwrap();
+        let r = stability_interval(&m, g_id, StabilityMode::BestAlternative, 200);
+        // g-strong is best at 0.6; it stays best down to 0.5 and up to 1.
+        assert!(r.hi >= 1.0 - 1e-6);
+        assert!((r.lo - 0.5).abs() < 0.02, "{r:?}");
+    }
+}

@@ -1,0 +1,296 @@
+//! Fluent construction of [`DecisionModel`]s.
+//!
+//! The builder keeps the bookkeeping (id allocation, default utilities,
+//! arity checks) out of application code; [`DecisionModelBuilder::build`]
+//! runs the full validation pass and returns a typed error on any
+//! inconsistency.
+
+use crate::error::ModelError;
+use crate::hierarchy::{ObjectiveId, ObjectiveTree};
+use crate::interval::Interval;
+use crate::model::{AttributeId, DecisionModel};
+use crate::perf::{MissingPolicy, Perf, PerformanceTable};
+use crate::scale::{Attribute, Direction, Scale};
+use crate::utility::UtilityFunction;
+
+/// Builder for [`DecisionModel`].
+#[derive(Debug, Clone)]
+pub struct DecisionModelBuilder {
+    name: String,
+    tree: ObjectiveTree,
+    attributes: Vec<Attribute>,
+    utilities: Vec<Option<UtilityFunction>>,
+    local_weights: Vec<Option<Interval>>,
+    alternatives: Vec<(String, Vec<Perf>)>,
+    missing_policy: MissingPolicy,
+}
+
+impl DecisionModelBuilder {
+    /// Start a model named after the overall objective.
+    pub fn new(name: impl Into<String>) -> DecisionModelBuilder {
+        let name = name.into();
+        DecisionModelBuilder {
+            tree: ObjectiveTree::new(name.clone()),
+            name,
+            attributes: Vec::new(),
+            utilities: Vec::new(),
+            local_weights: vec![None],
+            alternatives: Vec::new(),
+            missing_policy: MissingPolicy::UnitInterval,
+        }
+    }
+
+    /// Root of the hierarchy being built.
+    pub fn root(&self) -> ObjectiveId {
+        self.tree.root()
+    }
+
+    /// Add an intermediate objective under `parent` with a local weight
+    /// interval relative to its siblings.
+    pub fn objective(
+        &mut self,
+        parent: ObjectiveId,
+        key: impl Into<String>,
+        name: impl Into<String>,
+        weight: Interval,
+    ) -> ObjectiveId {
+        let id = self.tree.add_child(parent, key, name);
+        self.local_weights.push(Some(weight));
+        debug_assert_eq!(self.local_weights.len(), self.tree.len());
+        id
+    }
+
+    /// Shorthand for [`DecisionModelBuilder::objective`] under the root.
+    pub fn objective_under_root(
+        &mut self,
+        key: impl Into<String>,
+        name: impl Into<String>,
+        weight: Interval,
+    ) -> ObjectiveId {
+        self.objective(self.tree.root(), key, name, weight)
+    }
+
+    /// Declare a discrete attribute (not yet attached to the hierarchy).
+    /// Its default utility is evenly spaced and precise; override with
+    /// [`DecisionModelBuilder::set_utility`].
+    pub fn discrete_attribute(
+        &mut self,
+        key: impl Into<String>,
+        name: impl Into<String>,
+        levels: &[&str],
+    ) -> AttributeId {
+        self.push_attribute(Attribute::discrete(key, name, levels))
+    }
+
+    /// Declare a continuous attribute.
+    pub fn continuous_attribute(
+        &mut self,
+        key: impl Into<String>,
+        name: impl Into<String>,
+        min: f64,
+        max: f64,
+        direction: Direction,
+    ) -> AttributeId {
+        self.push_attribute(Attribute::continuous(key, name, min, max, direction))
+    }
+
+    fn push_attribute(&mut self, a: Attribute) -> AttributeId {
+        let id = AttributeId(self.attributes.len());
+        self.attributes.push(a);
+        self.utilities.push(None);
+        id
+    }
+
+    /// Replace the default component utility of an attribute.
+    pub fn set_utility(&mut self, attr: AttributeId, utility: UtilityFunction) -> &mut Self {
+        self.utilities[attr.index()] = Some(utility);
+        self
+    }
+
+    /// Attach an attribute as a leaf objective under `parent` with a local
+    /// weight interval.
+    pub fn attach_attribute(
+        &mut self,
+        parent: ObjectiveId,
+        attr: AttributeId,
+        weight: Interval,
+    ) -> ObjectiveId {
+        let a = &self.attributes[attr.index()];
+        let id = self.tree.add_child(parent, a.key.clone(), a.name.clone());
+        self.tree.bind_attribute(id, attr);
+        self.local_weights.push(Some(weight));
+        debug_assert_eq!(self.local_weights.len(), self.tree.len());
+        id
+    }
+
+    /// Attach several attributes directly under the root (flat model).
+    pub fn attach_attributes_to_root(&mut self, attrs: &[(AttributeId, Interval)]) -> &mut Self {
+        for (attr, w) in attrs {
+            self.attach_attribute(self.tree.root(), *attr, *w);
+        }
+        self
+    }
+
+    /// Add an alternative with its performance vector (attribute-id order).
+    pub fn alternative(&mut self, name: impl Into<String>, perfs: Vec<Perf>) -> &mut Self {
+        self.alternatives.push((name.into(), perfs));
+        self
+    }
+
+    /// Select the missing-performance policy (default: `[0,1]` interval).
+    pub fn missing_policy(&mut self, policy: MissingPolicy) -> &mut Self {
+        self.missing_policy = policy;
+        self
+    }
+
+    /// Validate and produce the model.
+    pub fn build(self) -> Result<DecisionModel, ModelError> {
+        let num_attrs = self.attributes.len();
+        let mut perf = PerformanceTable::new(num_attrs);
+        let mut names = Vec::with_capacity(self.alternatives.len());
+        for (name, row) in self.alternatives {
+            if row.len() != num_attrs {
+                return Err(ModelError::PerformanceArity {
+                    alternative: name,
+                    expected: num_attrs,
+                    got: row.len(),
+                });
+            }
+            names.push(name);
+            perf.push_row(row);
+        }
+        let utilities: Vec<UtilityFunction> = self
+            .utilities
+            .into_iter()
+            .zip(self.attributes.iter())
+            .map(|(u, a)| u.unwrap_or_else(|| default_utility(&a.scale)))
+            .collect();
+
+        let model = DecisionModel {
+            name: self.name,
+            tree: self.tree,
+            attributes: self.attributes,
+            utilities,
+            local_weights: self.local_weights,
+            alternatives: names,
+            perf,
+            missing_policy: self.missing_policy,
+        };
+        model.validate()?;
+        Ok(model)
+    }
+}
+
+fn default_utility(scale: &Scale) -> UtilityFunction {
+    UtilityFunction::default_for(scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::utility::DiscreteUtility;
+
+    #[test]
+    fn builds_flat_model() {
+        let mut b = DecisionModelBuilder::new("flat");
+        let x = b.discrete_attribute("x", "X", &["a", "b"]);
+        b.attach_attributes_to_root(&[(x, Interval::point(1.0))]);
+        b.alternative("one", vec![Perf::level(0)]);
+        let m = b.build().unwrap();
+        assert_eq!(m.num_attributes(), 1);
+        assert_eq!(m.num_alternatives(), 1);
+        assert_eq!(m.tree.len(), 2);
+    }
+
+    #[test]
+    fn builds_nested_model() {
+        let mut b = DecisionModelBuilder::new("nested");
+        let g1 = b.objective_under_root("g1", "Group 1", Interval::new(0.4, 0.6));
+        let g2 = b.objective_under_root("g2", "Group 2", Interval::new(0.4, 0.6));
+        let x = b.discrete_attribute("x", "X", &["a", "b"]);
+        let y = b.discrete_attribute("y", "Y", &["a", "b"]);
+        let z = b.discrete_attribute("z", "Z", &["a", "b"]);
+        b.attach_attribute(g1, x, Interval::point(0.5));
+        b.attach_attribute(g1, y, Interval::point(0.5));
+        b.attach_attribute(g2, z, Interval::point(1.0));
+        b.alternative("one", vec![Perf::level(0), Perf::level(1), Perf::level(1)]);
+        let m = b.build().unwrap();
+        assert_eq!(m.tree.len(), 6);
+        let w = m.attribute_weights();
+        let total: f64 = w.avgs().iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arity_error_names_alternative() {
+        let mut b = DecisionModelBuilder::new("m");
+        let x = b.discrete_attribute("x", "X", &["a", "b"]);
+        b.attach_attributes_to_root(&[(x, Interval::point(1.0))]);
+        b.alternative("short", vec![]);
+        match b.build() {
+            Err(ModelError::PerformanceArity { alternative, expected, got }) => {
+                assert_eq!(alternative, "short");
+                assert_eq!(expected, 1);
+                assert_eq!(got, 0);
+            }
+            other => panic!("expected arity error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_alternatives_is_an_error() {
+        let mut b = DecisionModelBuilder::new("m");
+        let x = b.discrete_attribute("x", "X", &["a", "b"]);
+        b.attach_attributes_to_root(&[(x, Interval::point(1.0))]);
+        assert_eq!(b.build().unwrap_err(), ModelError::NoAlternatives);
+    }
+
+    #[test]
+    fn no_attributes_is_an_error() {
+        let mut b = DecisionModelBuilder::new("m");
+        b.alternative("a", vec![]);
+        assert_eq!(b.build().unwrap_err(), ModelError::NoAttributes);
+    }
+
+    #[test]
+    fn custom_utility_is_used() {
+        let mut b = DecisionModelBuilder::new("m");
+        let x = b.discrete_attribute("x", "X", &["a", "b", "c"]);
+        b.set_utility(
+            x,
+            UtilityFunction::Discrete(DiscreteUtility::new(vec![
+                Interval::point(0.0),
+                Interval::new(0.2, 0.6),
+                Interval::point(1.0),
+            ])),
+        );
+        b.attach_attributes_to_root(&[(x, Interval::point(1.0))]);
+        b.alternative("one", vec![Perf::level(1)]);
+        let m = b.build().unwrap();
+        assert_eq!(m.utility_band(0, x), Interval::new(0.2, 0.6));
+    }
+
+    #[test]
+    fn wrong_utility_levels_rejected() {
+        let mut b = DecisionModelBuilder::new("m");
+        let x = b.discrete_attribute("x", "X", &["a", "b", "c"]);
+        b.set_utility(x, UtilityFunction::Discrete(DiscreteUtility::linear(2)));
+        b.attach_attributes_to_root(&[(x, Interval::point(1.0))]);
+        b.alternative("one", vec![Perf::level(1)]);
+        assert!(matches!(b.build(), Err(ModelError::UtilityMismatch { .. })));
+    }
+
+    #[test]
+    fn infeasible_sibling_weights_rejected() {
+        let mut b = DecisionModelBuilder::new("m");
+        let x = b.discrete_attribute("x", "X", &["a", "b"]);
+        let y = b.discrete_attribute("y", "Y", &["a", "b"]);
+        // both lows 0.8: cannot sum to 1
+        b.attach_attributes_to_root(&[
+            (x, Interval::new(0.8, 0.9)),
+            (y, Interval::new(0.8, 0.9)),
+        ]);
+        b.alternative("one", vec![Perf::level(0), Perf::level(0)]);
+        assert!(matches!(b.build(), Err(ModelError::InfeasibleWeights { .. })));
+    }
+}

@@ -1,0 +1,373 @@
+//! Preference elicitation with imprecise answers.
+//!
+//! GMAA's purpose is to "allay the operational difficulties involved in the
+//! Decision Analysis methodology": instead of demanding exact numbers, every
+//! elicitation question accepts an *interval* answer, and the system
+//! propagates classes of utility functions and weight intervals (paper,
+//! Section III).
+//!
+//! Two protocols are implemented:
+//!
+//! * **Utility elicitation** — the *probability-equivalent* method for
+//!   continuous attributes: for a performance `x`, the DM states the
+//!   probability band `[p_lo, p_hi]` at which they are indifferent between
+//!   `x` for sure and a lottery between the best and worst performances.
+//!   Under expected utility, `u(x) ∈ [p_lo, p_hi]` — the vertices of a
+//!   [`PiecewiseLinearUtility`]. Discrete attributes use the same question
+//!   per level.
+//! * **Weight elicitation** — the trade-off method along hierarchy
+//!   branches: among the children of one objective, the DM (1) ranks them,
+//!   then (2) bounds each child's importance *relative to the most
+//!   important sibling* as an interval in `[0, 1]`. Normalizing those ratio
+//!   intervals yields local weight intervals compatible with
+//!   [`crate::weights`].
+
+use crate::interval::Interval;
+use crate::scale::{ContinuousScale, DiscreteScale};
+use crate::utility::{DiscreteUtility, PiecewiseLinearUtility};
+
+/// One probability-equivalent answer: indifference probability band for a
+/// given performance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbabilityAnswer {
+    /// The sure performance being priced.
+    pub x: f64,
+    /// Indifference probability band `[lo, hi] ⊆ [0, 1]`.
+    pub p: Interval,
+}
+
+/// Errors in elicitation sessions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ElicitError {
+    /// An answer lies outside `[0, 1]`.
+    ProbabilityOutOfRange(f64),
+    /// A priced performance lies outside the attribute scale.
+    PerformanceOutOfRange(f64),
+    /// Answers violate monotonicity in the stated preference direction.
+    NonMonotone { x_lower: f64, x_higher: f64 },
+    /// A level index outside the discrete scale.
+    LevelOutOfRange(usize),
+    /// Fewer than the required number of answers.
+    Incomplete { expected: usize, got: usize },
+    /// Ratio bounds outside `(0, 1]` or inverted.
+    BadRatio(String),
+}
+
+impl std::fmt::Display for ElicitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ElicitError::ProbabilityOutOfRange(p) => write!(f, "probability {p} outside [0,1]"),
+            ElicitError::PerformanceOutOfRange(x) => write!(f, "performance {x} outside scale"),
+            ElicitError::NonMonotone { x_lower, x_higher } => write!(
+                f,
+                "answers not monotone: u({x_lower}) band exceeds u({x_higher}) band"
+            ),
+            ElicitError::LevelOutOfRange(l) => write!(f, "level {l} outside scale"),
+            ElicitError::Incomplete { expected, got } => {
+                write!(f, "expected {expected} answers, got {got}")
+            }
+            ElicitError::BadRatio(msg) => write!(f, "bad ratio answer: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ElicitError {}
+
+/// Elicit a continuous utility class from probability-equivalent answers.
+///
+/// The best and worst scale endpoints are anchored at utility 1 and 0; the
+/// answers fill in interior vertices. Answers may come in any order; they
+/// are sorted by `x`. Monotonicity is enforced in the direction implied by
+/// the scale (bands must not *strictly* reverse).
+pub fn utility_from_probability_answers(
+    scale: &ContinuousScale,
+    answers: &[ProbabilityAnswer],
+) -> Result<PiecewiseLinearUtility, ElicitError> {
+    use crate::scale::Direction;
+    let mut pts: Vec<(f64, Interval)> = Vec::with_capacity(answers.len() + 2);
+    for a in answers {
+        if !(0.0..=1.0).contains(&a.p.lo()) || !(0.0..=1.0).contains(&a.p.hi()) {
+            return Err(ElicitError::ProbabilityOutOfRange(a.p.lo().min(a.p.hi())));
+        }
+        if !scale.contains(a.x) {
+            return Err(ElicitError::PerformanceOutOfRange(a.x));
+        }
+        pts.push((a.x, a.p));
+    }
+    // Anchor the endpoints.
+    let (u_min, u_max) = match scale.direction {
+        Direction::Increasing => (Interval::point(0.0), Interval::point(1.0)),
+        Direction::Decreasing => (Interval::point(1.0), Interval::point(0.0)),
+    };
+    pts.retain(|(x, _)| *x != scale.min && *x != scale.max);
+    pts.push((scale.min, u_min));
+    pts.push((scale.max, u_max));
+    pts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+    pts.dedup_by(|a, b| a.0 == b.0);
+
+    // Monotonicity in preference direction: band midpoints must be ordered.
+    for w in pts.windows(2) {
+        let (x0, u0) = w[0];
+        let (x1, u1) = w[1];
+        let violated = match scale.direction {
+            Direction::Increasing => u0.lo() > u1.hi() + 1e-9,
+            Direction::Decreasing => u1.lo() > u0.hi() + 1e-9,
+        };
+        if violated {
+            return Err(ElicitError::NonMonotone { x_lower: x0, x_higher: x1 });
+        }
+    }
+
+    let xs: Vec<f64> = pts.iter().map(|(x, _)| *x).collect();
+    let us: Vec<Interval> = pts.iter().map(|(_, u)| *u).collect();
+    Ok(PiecewiseLinearUtility::new(xs, us))
+}
+
+/// Elicit a discrete utility class: one probability band per level, worst
+/// and best levels anchored at 0 and 1.
+pub fn discrete_utility_from_answers(
+    scale: &DiscreteScale,
+    interior: &[(usize, Interval)],
+) -> Result<DiscreteUtility, ElicitError> {
+    let n = scale.len();
+    let mut per_level: Vec<Option<Interval>> = vec![None; n];
+    per_level[0] = Some(Interval::point(0.0));
+    per_level[n - 1] = Some(Interval::point(1.0));
+    for (level, p) in interior {
+        if *level >= n {
+            return Err(ElicitError::LevelOutOfRange(*level));
+        }
+        if !(0.0..=1.0).contains(&p.lo()) || !(0.0..=1.0).contains(&p.hi()) {
+            return Err(ElicitError::ProbabilityOutOfRange(p.lo().min(p.hi())));
+        }
+        per_level[*level] = Some(*p);
+    }
+    let missing = per_level.iter().filter(|u| u.is_none()).count();
+    if missing > 0 {
+        return Err(ElicitError::Incomplete { expected: n - 2, got: n - 2 - missing });
+    }
+    let bands: Vec<Interval> = per_level.into_iter().map(|u| u.expect("filled")).collect();
+    // Monotone non-reversing bands across levels.
+    for (k, w) in bands.windows(2).enumerate() {
+        if w[0].lo() > w[1].hi() + 1e-9 {
+            return Err(ElicitError::NonMonotone {
+                x_lower: k as f64,
+                x_higher: (k + 1) as f64,
+            });
+        }
+    }
+    Ok(DiscreteUtility::new(bands))
+}
+
+/// One sibling's trade-off answer: importance relative to the *most
+/// important* sibling, as a ratio interval in `(0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RatioAnswer {
+    pub ratio: Interval,
+}
+
+impl RatioAnswer {
+    pub fn new(lo: f64, hi: f64) -> RatioAnswer {
+        RatioAnswer { ratio: Interval::new(lo, hi) }
+    }
+
+    /// The reference sibling itself (ratio exactly 1).
+    pub fn reference() -> RatioAnswer {
+        RatioAnswer { ratio: Interval::point(1.0) }
+    }
+}
+
+/// Turn trade-off ratio answers for one sibling group into local weight
+/// intervals (normalized bounds), ready for
+/// [`crate::DecisionModelBuilder::attach_attribute`] /
+/// [`crate::DecisionModelBuilder::objective`].
+///
+/// Given ratio bands `r_i ⊆ (0, 1]` (relative to the most important
+/// sibling), the implied normalized weight of sibling `i` ranges over
+/// `[r_i^lo / (r_i^lo + Σ_{j≠i} r_j^hi), r_i^hi / (r_i^hi + Σ_{j≠i} r_j^lo)]`
+/// — the tightest bounds consistent with every admissible ratio profile.
+pub fn weights_from_tradeoffs(answers: &[RatioAnswer]) -> Result<Vec<Interval>, ElicitError> {
+    if answers.is_empty() {
+        return Err(ElicitError::Incomplete { expected: 1, got: 0 });
+    }
+    for a in answers {
+        if a.ratio.lo() <= 0.0 || a.ratio.hi() > 1.0 + 1e-12 {
+            return Err(ElicitError::BadRatio(format!(
+                "ratio {:?} outside (0, 1]",
+                (a.ratio.lo(), a.ratio.hi())
+            )));
+        }
+    }
+    if !answers.iter().any(|a| a.ratio.hi() >= 1.0 - 1e-12) {
+        return Err(ElicitError::BadRatio(
+            "some sibling must be able to reach ratio 1 (the reference)".to_string(),
+        ));
+    }
+    let lo_sum: f64 = answers.iter().map(|a| a.ratio.lo()).sum();
+    let hi_sum: f64 = answers.iter().map(|a| a.ratio.hi()).sum();
+    Ok(answers
+        .iter()
+        .map(|a| {
+            let lo = a.ratio.lo() / (a.ratio.lo() + (hi_sum - a.ratio.hi()));
+            let hi = a.ratio.hi() / (a.ratio.hi() + (lo_sum - a.ratio.lo()));
+            Interval::new(lo, hi.min(1.0))
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::Direction;
+
+    #[test]
+    fn probability_answers_build_utility() {
+        let scale = ContinuousScale::new(0.0, 100.0, Direction::Increasing);
+        let answers = [
+            ProbabilityAnswer { x: 50.0, p: Interval::new(0.55, 0.65) },
+            ProbabilityAnswer { x: 25.0, p: Interval::new(0.3, 0.4) },
+        ];
+        let u = utility_from_probability_answers(&scale, &answers).expect("valid");
+        assert_eq!(u.xs, vec![0.0, 25.0, 50.0, 100.0]);
+        assert_eq!(u.eval(0.0), Interval::point(0.0));
+        assert_eq!(u.eval(100.0), Interval::point(1.0));
+        let mid = u.eval(50.0);
+        assert!((mid.lo() - 0.55).abs() < 1e-12 && (mid.hi() - 0.65).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decreasing_scale_anchors_reversed() {
+        let scale = ContinuousScale::new(0.0, 10.0, Direction::Decreasing);
+        let u = utility_from_probability_answers(&scale, &[]).expect("valid");
+        assert_eq!(u.eval(0.0), Interval::point(1.0));
+        assert_eq!(u.eval(10.0), Interval::point(0.0));
+    }
+
+    #[test]
+    fn rejects_out_of_range_answers() {
+        let scale = ContinuousScale::new(0.0, 1.0, Direction::Increasing);
+        let bad_p = [ProbabilityAnswer { x: 0.5, p: Interval::new(0.5, 1.2) }];
+        assert!(matches!(
+            utility_from_probability_answers(&scale, &bad_p),
+            Err(ElicitError::ProbabilityOutOfRange(_))
+        ));
+        let bad_x = [ProbabilityAnswer { x: 7.0, p: Interval::new(0.2, 0.3) }];
+        assert!(matches!(
+            utility_from_probability_answers(&scale, &bad_x),
+            Err(ElicitError::PerformanceOutOfRange(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_non_monotone_answers() {
+        let scale = ContinuousScale::new(0.0, 1.0, Direction::Increasing);
+        let answers = [
+            ProbabilityAnswer { x: 0.3, p: Interval::new(0.8, 0.9) },
+            ProbabilityAnswer { x: 0.6, p: Interval::new(0.1, 0.2) },
+        ];
+        assert!(matches!(
+            utility_from_probability_answers(&scale, &answers),
+            Err(ElicitError::NonMonotone { .. })
+        ));
+    }
+
+    #[test]
+    fn overlapping_bands_are_allowed() {
+        // Imprecision means bands may overlap without strict reversal.
+        let scale = ContinuousScale::new(0.0, 1.0, Direction::Increasing);
+        let answers = [
+            ProbabilityAnswer { x: 0.4, p: Interval::new(0.3, 0.6) },
+            ProbabilityAnswer { x: 0.6, p: Interval::new(0.4, 0.5) },
+        ];
+        assert!(utility_from_probability_answers(&scale, &answers).is_ok());
+    }
+
+    #[test]
+    fn discrete_elicitation_fills_interior_levels() {
+        let scale = DiscreteScale::new(&["none", "low", "medium", "high"]);
+        let u = discrete_utility_from_answers(
+            &scale,
+            &[(1, Interval::new(0.2, 0.4)), (2, Interval::new(0.5, 0.8))],
+        )
+        .expect("valid");
+        assert_eq!(u.utility_of(0), Interval::point(0.0));
+        assert_eq!(u.utility_of(1), Interval::new(0.2, 0.4));
+        assert_eq!(u.utility_of(3), Interval::point(1.0));
+    }
+
+    #[test]
+    fn discrete_elicitation_detects_gaps_and_bad_levels() {
+        let scale = DiscreteScale::new(&["a", "b", "c", "d"]);
+        assert!(matches!(
+            discrete_utility_from_answers(&scale, &[(1, Interval::new(0.2, 0.3))]),
+            Err(ElicitError::Incomplete { .. })
+        ));
+        assert!(matches!(
+            discrete_utility_from_answers(&scale, &[(9, Interval::new(0.2, 0.3))]),
+            Err(ElicitError::LevelOutOfRange(9))
+        ));
+    }
+
+    #[test]
+    fn tradeoff_weights_normalize_correctly() {
+        // Two siblings: the reference and one judged 40-60% as important.
+        let answers = [RatioAnswer::reference(), RatioAnswer::new(0.4, 0.6)];
+        let w = weights_from_tradeoffs(&answers).expect("valid");
+        // Reference: lo = 1/(1+0.6) = 0.625, hi = 1/(1+0.4) ≈ 0.714.
+        assert!((w[0].lo() - 0.625).abs() < 1e-9);
+        assert!((w[0].hi() - 1.0 / 1.4).abs() < 1e-9);
+        // Other: lo = 0.4/(0.4+1) ≈ 0.2857, hi = 0.6/1.6 = 0.375.
+        assert!((w[1].lo() - 0.4 / 1.4).abs() < 1e-9);
+        assert!((w[1].hi() - 0.375).abs() < 1e-9);
+        // The intervals intersect the simplex.
+        let lo_sum: f64 = w.iter().map(|i| i.lo()).sum();
+        let hi_sum: f64 = w.iter().map(|i| i.hi()).sum();
+        assert!(lo_sum <= 1.0 && hi_sum >= 1.0);
+    }
+
+    #[test]
+    fn tradeoff_weights_feed_the_model_builder() {
+        use crate::prelude::*;
+        let answers = [
+            RatioAnswer::reference(),
+            RatioAnswer::new(0.5, 0.8),
+            RatioAnswer::new(0.2, 0.4),
+        ];
+        let w = weights_from_tradeoffs(&answers).expect("valid");
+        let mut b = DecisionModelBuilder::new("elicited");
+        let attrs: Vec<_> = (0..3)
+            .map(|i| b.discrete_attribute(format!("a{i}"), format!("A{i}"), &["l", "h"]))
+            .collect();
+        for (a, wi) in attrs.iter().zip(&w) {
+            b.attach_attribute(b.root(), *a, *wi);
+        }
+        b.alternative("x", vec![Perf::level(1), Perf::level(0), Perf::level(1)]);
+        let model = b.build().expect("elicited weights are feasible");
+        let flat = model.attribute_weights();
+        let total: f64 = flat.avgs().iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tradeoff_rejects_bad_input() {
+        assert!(matches!(
+            weights_from_tradeoffs(&[]),
+            Err(ElicitError::Incomplete { .. })
+        ));
+        assert!(matches!(
+            weights_from_tradeoffs(&[RatioAnswer::new(0.0, 0.5)]),
+            Err(ElicitError::BadRatio(_))
+        ));
+        // nobody can reach ratio 1
+        assert!(matches!(
+            weights_from_tradeoffs(&[RatioAnswer::new(0.2, 0.5), RatioAnswer::new(0.3, 0.6)]),
+            Err(ElicitError::BadRatio(_))
+        ));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(ElicitError::ProbabilityOutOfRange(1.5).to_string().contains("1.5"));
+        assert!(ElicitError::Incomplete { expected: 2, got: 1 }.to_string().contains("expected 2"));
+    }
+}

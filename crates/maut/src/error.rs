@@ -1,0 +1,84 @@
+use std::fmt;
+
+/// Errors raised while assembling or validating a [`crate::DecisionModel`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// The hierarchy has no attributes attached anywhere.
+    NoAttributes,
+    /// No alternatives were added.
+    NoAlternatives,
+    /// An alternative's performance vector has the wrong arity.
+    PerformanceArity { alternative: String, expected: usize, got: usize },
+    /// A discrete performance level is outside its scale.
+    LevelOutOfRange { alternative: String, attribute: String, level: usize, levels: usize },
+    /// A continuous performance value falls outside its scale range.
+    ValueOutOfRange { alternative: String, attribute: String, value: f64 },
+    /// A utility function does not match its attribute's scale.
+    UtilityMismatch { attribute: String, reason: String },
+    /// Sibling weight intervals cannot intersect the normalization simplex.
+    InfeasibleWeights { objective: String },
+    /// An attribute was attached to more than one objective.
+    DuplicateAttachment { attribute: String },
+    /// Identifier not found.
+    UnknownId(String),
+    /// An objective that should be a leaf (has an attribute) also has
+    /// children, or vice versa.
+    MalformedHierarchy(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::NoAttributes => write!(f, "model has no attributes"),
+            ModelError::NoAlternatives => write!(f, "model has no alternatives"),
+            ModelError::PerformanceArity { alternative, expected, got } => write!(
+                f,
+                "alternative '{alternative}' has {got} performances, expected {expected}"
+            ),
+            ModelError::LevelOutOfRange { alternative, attribute, level, levels } => write!(
+                f,
+                "alternative '{alternative}': level {level} out of range for '{attribute}' \
+                 ({levels} levels)"
+            ),
+            ModelError::ValueOutOfRange { alternative, attribute, value } => {
+                write!(f, "alternative '{alternative}': value {value} outside '{attribute}' scale")
+            }
+            ModelError::UtilityMismatch { attribute, reason } => {
+                write!(f, "utility for '{attribute}' mismatches its scale: {reason}")
+            }
+            ModelError::InfeasibleWeights { objective } => {
+                write!(f, "weight intervals under '{objective}' cannot sum to 1")
+            }
+            ModelError::DuplicateAttachment { attribute } => {
+                write!(f, "attribute '{attribute}' attached to multiple objectives")
+            }
+            ModelError::UnknownId(id) => write!(f, "unknown identifier '{id}'"),
+            ModelError::MalformedHierarchy(msg) => write!(f, "malformed hierarchy: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_offenders() {
+        let e = ModelError::LevelOutOfRange {
+            alternative: "COMM".into(),
+            attribute: "Doc Quality".into(),
+            level: 7,
+            levels: 4,
+        };
+        let s = e.to_string();
+        assert!(s.contains("COMM") && s.contains("Doc Quality") && s.contains('7'));
+
+        assert!(ModelError::NoAttributes.to_string().contains("no attributes"));
+        assert!(ModelError::UnknownId("x".into()).to_string().contains('x'));
+        assert!(ModelError::InfeasibleWeights { objective: "Reuse Cost".into() }
+            .to_string()
+            .contains("Reuse Cost"));
+    }
+}

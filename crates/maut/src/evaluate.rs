@@ -1,0 +1,251 @@
+//! Additive-model evaluation with imprecise inputs.
+//!
+//! For each alternative the GMAA system reports three overall utilities
+//! (paper Fig 6):
+//!
+//! * **average** — `Σⱼ w̄ⱼ · ūⱼ(xᵢⱼ)` with average normalized weights and
+//!   band midpoints; this is what the ranking sorts by;
+//! * **minimum** — `Σⱼ wⱼᴸ · uⱼᴸ(xᵢⱼ)` with the weight-interval lower
+//!   bounds and the utility-band lower bounds;
+//! * **maximum** — `Σⱼ wⱼᵁ · uⱼᵁ(xᵢⱼ)` likewise with the upper bounds.
+//!
+//! Because the raw interval bounds are *not* renormalized, the maximum can
+//! exceed 1 — visible in the paper's own Fig 6 — and the min/max pair should
+//! be read as a robustness band around the average, not as a reachable
+//! utility under a single normalized weight vector (the LP-based analyses in
+//! `maut-sense` provide those tighter statements).
+
+use crate::hierarchy::ObjectiveId;
+use crate::model::DecisionModel;
+use serde::{Deserialize, Serialize};
+
+/// Min / average / max overall utilities of one alternative.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UtilityBounds {
+    pub min: f64,
+    pub avg: f64,
+    pub max: f64,
+}
+
+impl UtilityBounds {
+    pub fn is_ordered(&self) -> bool {
+        self.min <= self.avg + 1e-9 && self.avg <= self.max + 1e-9
+    }
+
+    /// Do two bounds overlap as intervals `[min, max]`?
+    pub fn overlaps(&self, other: &UtilityBounds) -> bool {
+        self.min <= other.max && other.min <= self.max
+    }
+}
+
+/// One row of a ranking.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RankedAlternative {
+    /// Index into the model's alternative list.
+    pub alternative: usize,
+    pub name: String,
+    pub bounds: UtilityBounds,
+    /// 1-based rank by average utility.
+    pub rank: usize,
+}
+
+/// Result of evaluating a model (whole hierarchy or a subtree).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Evaluation {
+    /// Objective the evaluation was scoped to.
+    pub scope: ObjectiveId,
+    /// Bounds per alternative, in model order.
+    pub bounds: Vec<UtilityBounds>,
+    names: Vec<String>,
+}
+
+impl Evaluation {
+    /// Ranking by average utility, descending; ties broken by name for
+    /// determinism.
+    pub fn ranking(&self) -> Vec<RankedAlternative> {
+        let mut idx: Vec<usize> = (0..self.bounds.len()).collect();
+        idx.sort_by(|&a, &b| {
+            self.bounds[b]
+                .avg
+                .partial_cmp(&self.bounds[a].avg)
+                .expect("finite utilities")
+                .then_with(|| self.names[a].cmp(&self.names[b]))
+        });
+        idx.iter()
+            .enumerate()
+            .map(|(rank0, &i)| RankedAlternative {
+                alternative: i,
+                name: self.names[i].clone(),
+                bounds: self.bounds[i],
+                rank: rank0 + 1,
+            })
+            .collect()
+    }
+
+    /// The best alternative's index.
+    pub fn best(&self) -> usize {
+        self.ranking()[0].alternative
+    }
+
+    /// Difference between the k-th and first average utility (0 for k = 0).
+    pub fn avg_gap(&self, k: usize) -> f64 {
+        let r = self.ranking();
+        r[0].bounds.avg - r[k.min(r.len() - 1)].bounds.avg
+    }
+
+    /// How many alternatives' `[min, max]` bands overlap the best's band —
+    /// the paper's observation that "the output utility intervals are very
+    /// overlapped" motivating sensitivity analysis.
+    pub fn overlap_with_best(&self) -> usize {
+        let best = self.best();
+        self.bounds
+            .iter()
+            .enumerate()
+            .filter(|(i, b)| *i != best && b.overlaps(&self.bounds[best]))
+            .count()
+    }
+
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+}
+
+/// Evaluate the model restricted to the subtree of `scope`.
+pub(crate) fn evaluate_scope(model: &DecisionModel, scope: ObjectiveId) -> Evaluation {
+    let weights = model.attribute_weights_under(scope);
+    let n = model.num_alternatives();
+    let mut bounds = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut min = 0.0;
+        let mut avg = 0.0;
+        let mut max = 0.0;
+        for (attr, triple) in weights.attributes.iter().zip(&weights.triples) {
+            let band = model.utility_band(i, *attr);
+            min += triple.low * band.lo();
+            avg += triple.avg * band.mid();
+            max += triple.upp * band.hi();
+        }
+        bounds.push(UtilityBounds { min, avg, max });
+    }
+    Evaluation { scope, bounds, names: model.alternatives.clone() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DecisionModelBuilder;
+    use crate::interval::Interval;
+    use crate::perf::Perf;
+    use crate::scale::Direction;
+
+    /// Two-level model with a clear winner.
+    fn model() -> DecisionModel {
+        let mut b = DecisionModelBuilder::new("m");
+        let cost = b.continuous_attribute("cost", "Cost", 0.0, 100.0, Direction::Decreasing);
+        let qual = b.discrete_attribute("qual", "Quality", &["low", "medium", "high"]);
+        b.attach_attributes_to_root(&[
+            (cost, Interval::new(0.4, 0.6)),
+            (qual, Interval::new(0.4, 0.6)),
+        ]);
+        b.alternative("good", vec![Perf::value(20.0), Perf::level(2)]);
+        b.alternative("bad", vec![Perf::value(90.0), Perf::level(0)]);
+        b.alternative("mid", vec![Perf::value(30.0), Perf::level(2)]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn ranking_orders_by_average() {
+        let e = model().evaluate();
+        let r = e.ranking();
+        assert_eq!(r[0].name, "good");
+        assert_eq!(r[2].name, "bad");
+        assert_eq!(r[0].rank, 1);
+        assert_eq!(r[2].rank, 3);
+        assert_eq!(e.best(), 0);
+    }
+
+    #[test]
+    fn bounds_are_ordered() {
+        let e = model().evaluate();
+        for b in &e.bounds {
+            assert!(b.is_ordered(), "{b:?}");
+        }
+    }
+
+    #[test]
+    fn precise_weights_and_utilities_collapse_bounds() {
+        let mut b = DecisionModelBuilder::new("m");
+        let x = b.discrete_attribute("x", "X", &["a", "b"]);
+        b.attach_attributes_to_root(&[(x, Interval::point(1.0))]);
+        b.alternative("one", vec![Perf::level(1)]);
+        let m = b.build().unwrap();
+        let e = m.evaluate();
+        let bd = e.bounds[0];
+        assert!((bd.min - 1.0).abs() < 1e-12);
+        assert!((bd.avg - 1.0).abs() < 1e-12);
+        assert!((bd.max - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_performance_widens_bounds() {
+        let mut b = DecisionModelBuilder::new("m");
+        let x = b.discrete_attribute("x", "X", &["a", "b"]);
+        let y = b.discrete_attribute("y", "Y", &["a", "b"]);
+        b.attach_attributes_to_root(&[(x, Interval::point(0.5)), (y, Interval::point(0.5))]);
+        b.alternative("known", vec![Perf::level(1), Perf::level(1)]);
+        b.alternative("partial", vec![Perf::level(1), Perf::Missing]);
+        let m = b.build().unwrap();
+        let e = m.evaluate();
+        let known = e.bounds[0];
+        let partial = e.bounds[1];
+        assert!(partial.max - partial.min > known.max - known.min);
+        assert!((partial.avg - 0.75).abs() < 1e-12); // 0.5·1 + 0.5·0.5
+    }
+
+    #[test]
+    fn subtree_evaluation_renormalizes() {
+        // Hierarchy: root -> {A -> {x,y}, B -> {z}}; under A the weights of
+        // x and y alone must drive the ranking.
+        let mut b = DecisionModelBuilder::new("m");
+        let a = b.objective_under_root("a", "A", Interval::new(0.1, 0.3));
+        let x = b.discrete_attribute("x", "X", &["l", "h"]);
+        let y = b.discrete_attribute("y", "Y", &["l", "h"]);
+        b.attach_attribute(a, x, Interval::new(0.5, 0.5));
+        b.attach_attribute(a, y, Interval::new(0.5, 0.5));
+        let bnode = b.objective_under_root("b", "B", Interval::new(0.7, 0.9));
+        let z = b.discrete_attribute("z", "Z", &["l", "h"]);
+        b.attach_attribute(bnode, z, Interval::point(1.0));
+        b.alternative("alt1", vec![Perf::level(1), Perf::level(1), Perf::level(0)]);
+        b.alternative("alt2", vec![Perf::level(0), Perf::level(0), Perf::level(1)]);
+        let m = b.build().unwrap();
+
+        // Overall: alt2 wins (B dominates the weight).
+        assert_eq!(m.evaluate().ranking()[0].name, "alt2");
+        // Under A: alt1 wins with utility 1.
+        let a_id = m.tree.find("a").unwrap();
+        let e = m.evaluate_under(a_id);
+        assert_eq!(e.ranking()[0].name, "alt1");
+        assert!((e.bounds[0].avg - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_count_reflects_closeness() {
+        let e = model().evaluate();
+        // "good" vs others overlap heavily thanks to the wide weight bands
+        assert!(e.overlap_with_best() >= 1);
+        assert!(e.avg_gap(1) >= 0.0);
+    }
+
+    #[test]
+    fn ties_break_deterministically_by_name() {
+        let mut b = DecisionModelBuilder::new("m");
+        let x = b.discrete_attribute("x", "X", &["a", "b"]);
+        b.attach_attributes_to_root(&[(x, Interval::point(1.0))]);
+        b.alternative("zeta", vec![Perf::level(1)]);
+        b.alternative("alpha", vec![Perf::level(1)]);
+        let e = b.build().unwrap().evaluate();
+        let r = e.ranking();
+        assert_eq!(r[0].name, "alpha");
+        assert_eq!(r[1].name, "zeta");
+    }
+}

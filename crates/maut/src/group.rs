@@ -1,0 +1,211 @@
+//! Group decision support.
+//!
+//! The paper (Sections III & VI) argues that GMAA's imprecision handling
+//! "makes the system suitable for group decision support … where individual
+//! conflicting views in a group of DMs can be captured through imprecise
+//! answers" (see also Jiménez et al., *Group Decision & Negotiation* 2005,
+//! ref \[17\]). This module implements that capture:
+//!
+//! * combine each member's (possibly precise) local weight judgments into
+//!   group intervals — by **hull** (every member's view admissible) or by
+//!   **intersection** (only consensus admissible);
+//! * quantify disagreement per objective so the analyst knows where to
+//!   spend elicitation effort.
+
+use crate::hierarchy::ObjectiveTree;
+use crate::interval::Interval;
+use crate::model::DecisionModel;
+
+/// How individual answers combine into a group interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Aggregation {
+    /// Smallest interval containing every member's interval: the group
+    /// admits each member's preference as possible (the paper's reading).
+    Hull,
+    /// Intersection of the members' intervals; falls back to the hull of
+    /// the midpoints when members do not overlap at all.
+    Consensus,
+}
+
+/// One member's weight judgments: a local interval per objective node
+/// (aligned with the tree's node indexing; `None` = no statement).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemberWeights {
+    pub name: String,
+    pub local: Vec<Option<Interval>>,
+}
+
+impl MemberWeights {
+    /// A member answering with precise values.
+    pub fn precise(name: impl Into<String>, tree: &ObjectiveTree, values: &[(usize, f64)]) -> MemberWeights {
+        let mut local = vec![None; tree.len()];
+        for (idx, v) in values {
+            local[*idx] = Some(Interval::point(*v));
+        }
+        MemberWeights { name: name.into(), local }
+    }
+}
+
+/// Disagreement report for one objective.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Disagreement {
+    pub objective_index: usize,
+    /// Width of the aggregated interval.
+    pub group_width: f64,
+    /// Spread of the members' midpoints (max − min).
+    pub midpoint_spread: f64,
+}
+
+/// Aggregate member judgments into group local weights over `tree`.
+///
+/// Nodes nobody stated stay `None` (indifference defaults apply downstream).
+/// Returns the group weight table plus a per-objective disagreement report,
+/// sorted by descending midpoint spread.
+pub fn aggregate(
+    tree: &ObjectiveTree,
+    members: &[MemberWeights],
+    how: Aggregation,
+) -> (Vec<Option<Interval>>, Vec<Disagreement>) {
+    assert!(!members.is_empty(), "need at least one member");
+    for m in members {
+        assert_eq!(m.local.len(), tree.len(), "member '{}' arity mismatch", m.name);
+    }
+    let mut group: Vec<Option<Interval>> = vec![None; tree.len()];
+    let mut report = Vec::new();
+    for (idx, slot) in group.iter_mut().enumerate() {
+        let stated: Vec<Interval> =
+            members.iter().filter_map(|m| m.local[idx]).collect();
+        if stated.is_empty() {
+            continue;
+        }
+        let hull = stated.iter().skip(1).fold(stated[0], |acc, i| acc.hull(i));
+        let agg = match how {
+            Aggregation::Hull => hull,
+            Aggregation::Consensus => {
+                let mut inter = Some(stated[0]);
+                for i in &stated[1..] {
+                    inter = inter.and_then(|acc| acc.intersect(i));
+                }
+                inter.unwrap_or_else(|| {
+                    // No overlap: hull of midpoints as a principled fallback.
+                    let mids: Vec<f64> = stated.iter().map(|i| i.mid()).collect();
+                    let lo = mids.iter().copied().fold(f64::INFINITY, f64::min);
+                    let hi = mids.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                    Interval::new(lo, hi)
+                })
+            }
+        };
+        *slot = Some(agg);
+        let mids: Vec<f64> = stated.iter().map(|i| i.mid()).collect();
+        let spread = mids.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+            - mids.iter().copied().fold(f64::INFINITY, f64::min);
+        report.push(Disagreement {
+            objective_index: idx,
+            group_width: agg.width(),
+            midpoint_spread: spread,
+        });
+    }
+    report.sort_by(|a, b| b.midpoint_spread.partial_cmp(&a.midpoint_spread).expect("finite"));
+    (group, report)
+}
+
+/// Apply aggregated group weights onto a model (replacing its local weight
+/// table where the group stated something), re-validating the result.
+pub fn apply_group_weights(
+    model: &DecisionModel,
+    group: &[Option<Interval>],
+) -> Result<DecisionModel, crate::error::ModelError> {
+    assert_eq!(group.len(), model.tree.len(), "group table arity mismatch");
+    let mut out = model.clone();
+    for (slot, g) in out.local_weights.iter_mut().zip(group) {
+        if g.is_some() {
+            *slot = *g;
+        }
+    }
+    out.validate()?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DecisionModelBuilder;
+    use crate::perf::Perf;
+
+    fn base_model() -> DecisionModel {
+        let mut b = DecisionModelBuilder::new("g");
+        let x = b.discrete_attribute("x", "X", &["l", "h"]);
+        let y = b.discrete_attribute("y", "Y", &["l", "h"]);
+        b.attach_attributes_to_root(&[
+            (x, Interval::new(0.4, 0.6)),
+            (y, Interval::new(0.4, 0.6)),
+        ]);
+        b.alternative("a", vec![Perf::level(1), Perf::level(0)]);
+        b.alternative("b", vec![Perf::level(0), Perf::level(1)]);
+        b.build().expect("valid")
+    }
+
+    #[test]
+    fn hull_covers_all_members() {
+        let m = base_model();
+        let dm1 = MemberWeights::precise("dm1", &m.tree, &[(1, 0.7), (2, 0.3)]);
+        let dm2 = MemberWeights::precise("dm2", &m.tree, &[(1, 0.4), (2, 0.6)]);
+        let (group, report) = aggregate(&m.tree, &[dm1, dm2], Aggregation::Hull);
+        let gx = group[1].expect("stated");
+        assert_eq!((gx.lo(), gx.hi()), (0.4, 0.7));
+        // x and y have equal midpoint spread 0.3.
+        assert!((report[0].midpoint_spread - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn consensus_intersects_overlapping_views() {
+        let m = base_model();
+        let mut dm1 = MemberWeights::precise("dm1", &m.tree, &[]);
+        dm1.local[1] = Some(Interval::new(0.3, 0.6));
+        let mut dm2 = MemberWeights::precise("dm2", &m.tree, &[]);
+        dm2.local[1] = Some(Interval::new(0.5, 0.8));
+        let (group, _) = aggregate(&m.tree, &[dm1, dm2], Aggregation::Consensus);
+        assert_eq!(group[1], Some(Interval::new(0.5, 0.6)));
+    }
+
+    #[test]
+    fn consensus_falls_back_on_disjoint_views() {
+        let m = base_model();
+        let mut dm1 = MemberWeights::precise("dm1", &m.tree, &[]);
+        dm1.local[1] = Some(Interval::new(0.1, 0.2));
+        let mut dm2 = MemberWeights::precise("dm2", &m.tree, &[]);
+        dm2.local[1] = Some(Interval::new(0.7, 0.8));
+        let (group, _) = aggregate(&m.tree, &[dm1, dm2], Aggregation::Consensus);
+        // hull of midpoints 0.15 and 0.75
+        let g = group[1].expect("stated");
+        assert!((g.lo() - 0.15).abs() < 1e-12 && (g.hi() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unstated_nodes_stay_default() {
+        let m = base_model();
+        let dm = MemberWeights::precise("dm", &m.tree, &[(1, 0.5)]);
+        let (group, report) = aggregate(&m.tree, &[dm], Aggregation::Hull);
+        assert!(group[2].is_none());
+        assert_eq!(report.len(), 1);
+    }
+
+    #[test]
+    fn apply_and_evaluate_group_model() {
+        let m = base_model();
+        let dm1 = MemberWeights::precise("dm1", &m.tree, &[(1, 0.8), (2, 0.2)]);
+        let dm2 = MemberWeights::precise("dm2", &m.tree, &[(1, 0.3), (2, 0.7)]);
+        let (group, _) = aggregate(&m.tree, &[dm1, dm2], Aggregation::Hull);
+        let gm = apply_group_weights(&m, &group).expect("feasible");
+        let e = gm.evaluate();
+        // Wide group disagreement -> wide utility bands.
+        assert!(e.bounds[0].max - e.bounds[0].min > 0.4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn empty_group_panics() {
+        let m = base_model();
+        aggregate(&m.tree, &[], Aggregation::Hull);
+    }
+}

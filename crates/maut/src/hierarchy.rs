@@ -1,0 +1,278 @@
+//! The objective hierarchy (paper Fig 1): a tree whose lowest-level
+//! objectives carry attributes. Arena-based so identifiers are small `Copy`
+//! handles and serialization is trivial.
+
+use crate::model::AttributeId;
+use serde::{Deserialize, Serialize};
+
+/// Handle to an objective node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ObjectiveId(pub(crate) usize);
+
+impl ObjectiveId {
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// One node in the hierarchy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Objective {
+    /// Short stable key (`"understandability"`).
+    pub key: String,
+    /// Display name (`"Understandability"`).
+    pub name: String,
+    pub parent: Option<ObjectiveId>,
+    pub children: Vec<ObjectiveId>,
+    /// Attribute bound to this node — present iff this is a lowest-level
+    /// objective.
+    pub attribute: Option<AttributeId>,
+}
+
+/// The tree itself. Node 0 is always the root (the overall objective).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObjectiveTree {
+    nodes: Vec<Objective>,
+}
+
+impl ObjectiveTree {
+    /// Create a tree with only the overall objective.
+    pub fn new(root_name: impl Into<String>) -> ObjectiveTree {
+        let name = root_name.into();
+        ObjectiveTree {
+            nodes: vec![Objective {
+                key: "root".to_string(),
+                name,
+                parent: None,
+                children: Vec::new(),
+                attribute: None,
+            }],
+        }
+    }
+
+    pub fn root(&self) -> ObjectiveId {
+        ObjectiveId(0)
+    }
+
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    pub fn get(&self, id: ObjectiveId) -> &Objective {
+        &self.nodes[id.0]
+    }
+
+    /// Add a child objective under `parent`.
+    pub fn add_child(
+        &mut self,
+        parent: ObjectiveId,
+        key: impl Into<String>,
+        name: impl Into<String>,
+    ) -> ObjectiveId {
+        let id = ObjectiveId(self.nodes.len());
+        self.nodes.push(Objective {
+            key: key.into(),
+            name: name.into(),
+            parent: Some(parent),
+            children: Vec::new(),
+            attribute: None,
+        });
+        self.nodes[parent.0].children.push(id);
+        id
+    }
+
+    /// Bind an attribute to a (leaf) objective.
+    pub fn bind_attribute(&mut self, id: ObjectiveId, attr: AttributeId) {
+        self.nodes[id.0].attribute = Some(attr);
+    }
+
+    /// Find a node by key (depth-first).
+    pub fn find(&self, key: &str) -> Option<ObjectiveId> {
+        self.nodes.iter().position(|n| n.key == key).map(ObjectiveId)
+    }
+
+    /// All node ids in depth-first pre-order from `start`.
+    pub fn descendants(&self, start: ObjectiveId) -> Vec<ObjectiveId> {
+        let mut out = Vec::new();
+        let mut stack = vec![start];
+        while let Some(id) = stack.pop() {
+            out.push(id);
+            // push children reversed for natural left-to-right order
+            for &c in self.nodes[id.0].children.iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    /// Attribute ids attached in the subtree rooted at `start`, in
+    /// depth-first order. For the root this is "all attributes in display
+    /// order" (the order of the paper's Figs 2 and 5).
+    pub fn attributes_under(&self, start: ObjectiveId) -> Vec<AttributeId> {
+        self.descendants(start).into_iter().filter_map(|id| self.nodes[id.0].attribute).collect()
+    }
+
+    /// Leaf objectives (with attributes) in the subtree.
+    pub fn leaves_under(&self, start: ObjectiveId) -> Vec<ObjectiveId> {
+        self.descendants(start)
+            .into_iter()
+            .filter(|id| self.nodes[id.0].attribute.is_some())
+            .collect()
+    }
+
+    /// Path from the root to `id`, inclusive.
+    pub fn path_to(&self, id: ObjectiveId) -> Vec<ObjectiveId> {
+        let mut path = vec![id];
+        let mut cur = id;
+        while let Some(p) = self.nodes[cur.0].parent {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        path
+    }
+
+    /// Sibling group of `id` (children of its parent; just `[id]` for the
+    /// root).
+    pub fn siblings(&self, id: ObjectiveId) -> Vec<ObjectiveId> {
+        match self.nodes[id.0].parent {
+            Some(p) => self.nodes[p.0].children.clone(),
+            None => vec![id],
+        }
+    }
+
+    /// Depth of a node (root = 0).
+    pub fn depth(&self, id: ObjectiveId) -> usize {
+        self.path_to(id).len() - 1
+    }
+
+    /// Validate structural invariants: leaves have attributes XOR children,
+    /// each attribute bound at most once.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut seen = std::collections::BTreeSet::new();
+        for (i, n) in self.nodes.iter().enumerate() {
+            if n.attribute.is_some() && !n.children.is_empty() {
+                return Err(format!("objective '{}' has both an attribute and children", n.key));
+            }
+            if i != 0 && n.attribute.is_none() && n.children.is_empty() {
+                return Err(format!("objective '{}' is a leaf without an attribute", n.key));
+            }
+            if let Some(a) = n.attribute {
+                if !seen.insert(a) {
+                    return Err(format!("attribute bound twice (at '{}')", n.key));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Iterate `(id, node)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ObjectiveId, &Objective)> {
+        self.nodes.iter().enumerate().map(|(i, n)| (ObjectiveId(i), n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_like_tree() -> ObjectiveTree {
+        // root -> {cost -> {financ, time}, underst -> {doc, ext, clarity}}
+        let mut t = ObjectiveTree::new("Select MM ontology");
+        let cost = t.add_child(t.root(), "cost", "Reuse Cost");
+        let und = t.add_child(t.root(), "underst", "Understandability");
+        let financ = t.add_child(cost, "financ", "Financial cost");
+        let time = t.add_child(cost, "time", "Required time");
+        let doc = t.add_child(und, "doc", "Documentation quality");
+        let ext = t.add_child(und, "ext", "External knowledge");
+        let clar = t.add_child(und, "clarity", "Code clarity");
+        for (i, leaf) in [financ, time, doc, ext, clar].into_iter().enumerate() {
+            t.bind_attribute(leaf, AttributeId(i));
+        }
+        t
+    }
+
+    #[test]
+    fn build_and_navigate() {
+        let t = paper_like_tree();
+        assert_eq!(t.len(), 8);
+        let und = t.find("underst").unwrap();
+        assert_eq!(t.get(und).children.len(), 3);
+        assert_eq!(t.depth(und), 1);
+        assert_eq!(t.depth(t.find("doc").unwrap()), 2);
+    }
+
+    #[test]
+    fn attributes_under_subtree() {
+        let t = paper_like_tree();
+        let all = t.attributes_under(t.root());
+        assert_eq!(all.len(), 5);
+        let und = t.find("underst").unwrap();
+        let u_attrs = t.attributes_under(und);
+        assert_eq!(u_attrs, vec![AttributeId(2), AttributeId(3), AttributeId(4)]);
+    }
+
+    #[test]
+    fn depth_first_order_is_stable() {
+        let t = paper_like_tree();
+        let keys: Vec<&str> =
+            t.descendants(t.root()).iter().map(|&id| t.get(id).key.as_str()).collect();
+        assert_eq!(keys, vec!["root", "cost", "financ", "time", "underst", "doc", "ext", "clarity"]);
+    }
+
+    #[test]
+    fn path_and_siblings() {
+        let t = paper_like_tree();
+        let doc = t.find("doc").unwrap();
+        let path: Vec<&str> = t.path_to(doc).iter().map(|&id| t.get(id).key.as_str()).collect();
+        assert_eq!(path, vec!["root", "underst", "doc"]);
+        let sibs = t.siblings(doc);
+        assert_eq!(sibs.len(), 3);
+        assert_eq!(t.siblings(t.root()), vec![t.root()]);
+    }
+
+    #[test]
+    fn validate_accepts_wellformed() {
+        assert!(paper_like_tree().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_leaf_without_attribute() {
+        let mut t = ObjectiveTree::new("x");
+        t.add_child(t.root(), "dangling", "Dangling");
+        let err = t.validate().unwrap_err();
+        assert!(err.contains("dangling"));
+    }
+
+    #[test]
+    fn validate_rejects_attribute_on_internal_node() {
+        let mut t = ObjectiveTree::new("x");
+        let a = t.add_child(t.root(), "a", "A");
+        let b = t.add_child(a, "b", "B");
+        t.bind_attribute(b, AttributeId(0));
+        t.bind_attribute(a, AttributeId(1)); // 'a' has a child AND an attribute
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_double_binding() {
+        let mut t = ObjectiveTree::new("x");
+        let a = t.add_child(t.root(), "a", "A");
+        let b = t.add_child(t.root(), "b", "B");
+        t.bind_attribute(a, AttributeId(0));
+        t.bind_attribute(b, AttributeId(0));
+        assert!(t.validate().unwrap_err().contains("twice"));
+    }
+
+    #[test]
+    fn leaves_under_root() {
+        let t = paper_like_tree();
+        assert_eq!(t.leaves_under(t.root()).len(), 5);
+        let cost = t.find("cost").unwrap();
+        assert_eq!(t.leaves_under(cost).len(), 2);
+    }
+}

@@ -1,0 +1,163 @@
+//! Alternative performances: what each alternative scores on each attribute,
+//! including uncertain and **missing** entries.
+//!
+//! Missing performances are first-class: the paper stresses that \[15\]
+//! modelled them incorrectly (assigning the *worst* performance) whereas the
+//! GMAA treatment (ref \[18\]) assigns the whole utility interval `[0, 1]`.
+//! Both policies are implemented so the ablation experiment (E12) can
+//! compare them.
+
+use crate::interval::Interval;
+use serde::{Deserialize, Serialize};
+
+/// One performance entry.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Perf {
+    /// Discrete level index into the attribute's [`crate::DiscreteScale`].
+    Level(usize),
+    /// Precise continuous value.
+    Value(f64),
+    /// Uncertain continuous value.
+    Range(f64, f64),
+    /// Performance unknown.
+    Missing,
+}
+
+impl Perf {
+    pub fn level(l: usize) -> Perf {
+        Perf::Level(l)
+    }
+
+    pub fn value(v: f64) -> Perf {
+        Perf::Value(v)
+    }
+
+    pub fn range(lo: f64, hi: f64) -> Perf {
+        assert!(lo <= hi, "inverted performance range [{lo}, {hi}]");
+        Perf::Range(lo, hi)
+    }
+
+    pub fn is_missing(&self) -> bool {
+        matches!(self, Perf::Missing)
+    }
+}
+
+/// How missing performances are turned into component utilities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MissingPolicy {
+    /// GMAA / ref \[18\]: utility interval `[0, 1]` (average ½).
+    UnitInterval,
+    /// The \[15\] baseline the paper criticizes: treat as the *worst*
+    /// performance (utility 0).
+    Worst,
+}
+
+impl MissingPolicy {
+    /// The component-utility interval for a missing entry.
+    pub fn utility(&self) -> Interval {
+        match self {
+            MissingPolicy::UnitInterval => Interval::UNIT,
+            MissingPolicy::Worst => Interval::point(0.0),
+        }
+    }
+}
+
+/// Dense alternatives × attributes performance matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerformanceTable {
+    num_attributes: usize,
+    rows: Vec<Vec<Perf>>,
+}
+
+impl PerformanceTable {
+    pub fn new(num_attributes: usize) -> PerformanceTable {
+        PerformanceTable { num_attributes, rows: Vec::new() }
+    }
+
+    pub fn num_attributes(&self) -> usize {
+        self.num_attributes
+    }
+
+    pub fn num_alternatives(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Append a row; panics on arity mismatch (validated again, with a
+    /// proper error, in the model builder).
+    pub fn push_row(&mut self, row: Vec<Perf>) {
+        assert_eq!(row.len(), self.num_attributes, "performance row arity mismatch");
+        self.rows.push(row);
+    }
+
+    pub fn get(&self, alternative: usize, attribute: usize) -> Perf {
+        self.rows[alternative][attribute]
+    }
+
+    pub fn set(&mut self, alternative: usize, attribute: usize, p: Perf) {
+        self.rows[alternative][attribute] = p;
+    }
+
+    pub fn row(&self, alternative: usize) -> &[Perf] {
+        &self.rows[alternative]
+    }
+
+    /// Number of missing entries in the whole table.
+    pub fn num_missing(&self) -> usize {
+        self.rows.iter().flatten().filter(|p| p.is_missing()).count()
+    }
+
+    /// Attributes that have at least one missing entry — the paper notes
+    /// that *"if the performance of at least one MM ontology is unknown for
+    /// a criterion, then an additional attribute value is considered"*.
+    pub fn attributes_with_missing(&self) -> Vec<usize> {
+        (0..self.num_attributes)
+            .filter(|&j| self.rows.iter().any(|r| r[j].is_missing()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_roundtrip() {
+        let mut t = PerformanceTable::new(3);
+        t.push_row(vec![Perf::level(1), Perf::value(0.5), Perf::Missing]);
+        t.push_row(vec![Perf::level(2), Perf::range(0.2, 0.4), Perf::value(1.0)]);
+        assert_eq!(t.num_alternatives(), 2);
+        assert_eq!(t.num_attributes(), 3);
+        assert_eq!(t.get(0, 0), Perf::Level(1));
+        assert_eq!(t.get(1, 1), Perf::Range(0.2, 0.4));
+        assert_eq!(t.num_missing(), 1);
+        assert_eq!(t.attributes_with_missing(), vec![2]);
+    }
+
+    #[test]
+    fn set_overwrites() {
+        let mut t = PerformanceTable::new(1);
+        t.push_row(vec![Perf::Missing]);
+        t.set(0, 0, Perf::value(2.0));
+        assert_eq!(t.get(0, 0), Perf::Value(2.0));
+        assert_eq!(t.num_missing(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_checked() {
+        let mut t = PerformanceTable::new(2);
+        t.push_row(vec![Perf::level(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn inverted_range_rejected() {
+        Perf::range(1.0, 0.0);
+    }
+
+    #[test]
+    fn missing_policies() {
+        assert_eq!(MissingPolicy::UnitInterval.utility(), Interval::UNIT);
+        assert_eq!(MissingPolicy::Worst.utility(), Interval::point(0.0));
+    }
+}

@@ -1,0 +1,196 @@
+//! Attribute scales: what the raw performances of alternatives mean.
+//!
+//! The paper's criteria are mostly **discrete** ("most criteria were
+//! assessed on a discrete scale", Section II) — e.g. *adequacy of the
+//! implementation language* ∈ {low, medium, high} — with one **continuous**
+//! criterion, the number of functional requirements covered (`ValueT`,
+//! Fig 3). Discrete scales may carry an extra *Unknown* level for missing
+//! performances (handled in [`crate::perf`]).
+
+use serde::{Deserialize, Serialize};
+
+/// Preference direction of a continuous scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Direction {
+    /// Larger raw values are better (e.g. CQ coverage).
+    Increasing,
+    /// Smaller raw values are better (e.g. cost, required time).
+    Decreasing,
+}
+
+/// An ordered discrete scale. Level `0` is the *least preferred*, the last
+/// level the most preferred — matching the paper's `0-unknown … 3-high`
+/// codings where higher codes are better.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiscreteScale {
+    pub levels: Vec<String>,
+}
+
+impl DiscreteScale {
+    pub fn new(levels: &[&str]) -> DiscreteScale {
+        assert!(levels.len() >= 2, "a discrete scale needs at least two levels");
+        DiscreteScale { levels: levels.iter().map(|s| s.to_string()).collect() }
+    }
+
+    pub fn len(&self) -> usize {
+        self.levels.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.levels.is_empty()
+    }
+
+    pub fn level_name(&self, level: usize) -> Option<&str> {
+        self.levels.get(level).map(|s| s.as_str())
+    }
+
+    /// Index of a level by name (case-insensitive).
+    pub fn level_index(&self, name: &str) -> Option<usize> {
+        self.levels.iter().position(|l| l.eq_ignore_ascii_case(name))
+    }
+
+    /// The common low/medium/high scale.
+    pub fn low_medium_high() -> DiscreteScale {
+        DiscreteScale::new(&["low", "medium", "high"])
+    }
+}
+
+/// A continuous scale over `[min, max]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ContinuousScale {
+    pub min: f64,
+    pub max: f64,
+    pub direction: Direction,
+}
+
+impl ContinuousScale {
+    pub fn new(min: f64, max: f64, direction: Direction) -> ContinuousScale {
+        assert!(min < max && min.is_finite() && max.is_finite(), "invalid range [{min}, {max}]");
+        ContinuousScale { min, max, direction }
+    }
+
+    pub fn contains(&self, v: f64) -> bool {
+        v >= self.min && v <= self.max
+    }
+
+    /// Normalize a raw value to `[0,1]` *in preference order* (1 = best).
+    pub fn normalize(&self, v: f64) -> f64 {
+        let t = ((v - self.min) / (self.max - self.min)).clamp(0.0, 1.0);
+        match self.direction {
+            Direction::Increasing => t,
+            Direction::Decreasing => 1.0 - t,
+        }
+    }
+}
+
+/// Either kind of scale.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Scale {
+    Discrete(DiscreteScale),
+    Continuous(ContinuousScale),
+}
+
+impl Scale {
+    pub fn as_discrete(&self) -> Option<&DiscreteScale> {
+        match self {
+            Scale::Discrete(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    pub fn as_continuous(&self) -> Option<&ContinuousScale> {
+        match self {
+            Scale::Continuous(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+/// An attribute: a named, scaled criterion bound to a lowest-level
+/// objective.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Attribute {
+    /// Short stable key, e.g. `"financ_cost"`.
+    pub key: String,
+    /// Human-readable name, e.g. `"Financial cost of reuse"`.
+    pub name: String,
+    pub scale: Scale,
+}
+
+impl Attribute {
+    pub fn discrete(key: impl Into<String>, name: impl Into<String>, levels: &[&str]) -> Attribute {
+        Attribute {
+            key: key.into(),
+            name: name.into(),
+            scale: Scale::Discrete(DiscreteScale::new(levels)),
+        }
+    }
+
+    pub fn continuous(
+        key: impl Into<String>,
+        name: impl Into<String>,
+        min: f64,
+        max: f64,
+        direction: Direction,
+    ) -> Attribute {
+        Attribute {
+            key: key.into(),
+            name: name.into(),
+            scale: Scale::Continuous(ContinuousScale::new(min, max, direction)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discrete_scale_lookup() {
+        let s = DiscreteScale::new(&["unknown", "low", "medium", "high"]);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.level_name(3), Some("high"));
+        assert_eq!(s.level_name(4), None);
+        assert_eq!(s.level_index("Medium"), Some(2));
+        assert_eq!(s.level_index("nope"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two levels")]
+    fn discrete_scale_needs_two_levels() {
+        DiscreteScale::new(&["only"]);
+    }
+
+    #[test]
+    fn continuous_normalize_directions() {
+        let up = ContinuousScale::new(0.0, 10.0, Direction::Increasing);
+        assert!((up.normalize(7.5) - 0.75).abs() < 1e-12);
+        let down = ContinuousScale::new(0.0, 10.0, Direction::Decreasing);
+        assert!((down.normalize(7.5) - 0.25).abs() < 1e-12);
+        // clamping
+        assert_eq!(up.normalize(-5.0), 0.0);
+        assert_eq!(up.normalize(50.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid range")]
+    fn continuous_rejects_empty_range() {
+        ContinuousScale::new(1.0, 1.0, Direction::Increasing);
+    }
+
+    #[test]
+    fn scale_accessors() {
+        let a = Attribute::discrete("x", "X", &["a", "b"]);
+        assert!(a.scale.as_discrete().is_some());
+        assert!(a.scale.as_continuous().is_none());
+        let c = Attribute::continuous("y", "Y", 0.0, 3.0, Direction::Increasing);
+        assert!(c.scale.as_continuous().is_some());
+        assert!(c.scale.as_discrete().is_none());
+    }
+
+    #[test]
+    fn low_medium_high_helper() {
+        let s = DiscreteScale::low_medium_high();
+        assert_eq!(s.levels, vec!["low", "medium", "high"]);
+    }
+}

@@ -1,0 +1,321 @@
+//! Component utility functions — *classes* of utility functions, in the
+//! GMAA sense: imprecise answers to elicitation questions leave a band of
+//! admissible utilities per performance, represented here as an
+//! [`Interval`] per discrete level (Fig 4 of the paper) or per vertex of a
+//! piecewise-linear function (Fig 3).
+//!
+//! Conventions (paper, Section III): utility 1 corresponds to the best
+//! attribute performance, 0 to the least preferred; missing performances
+//! get the whole interval `[0, 1]`.
+
+use crate::interval::Interval;
+use crate::perf::{MissingPolicy, Perf};
+use crate::scale::{ContinuousScale, Scale};
+use serde::{Deserialize, Serialize};
+
+/// Utility class for a discrete attribute: one utility interval per level.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiscreteUtility {
+    /// `per_level[k]` is the admissible utility band of level `k`.
+    pub per_level: Vec<Interval>,
+}
+
+impl DiscreteUtility {
+    /// Build from explicit intervals.
+    pub fn new(per_level: Vec<Interval>) -> DiscreteUtility {
+        assert!(per_level.len() >= 2, "need at least two levels");
+        DiscreteUtility { per_level }
+    }
+
+    /// Precise, evenly spaced utilities: `k / (n-1)` — the default when the
+    /// decision maker answers without imprecision.
+    pub fn linear(num_levels: usize) -> DiscreteUtility {
+        assert!(num_levels >= 2);
+        let n = (num_levels - 1) as f64;
+        DiscreteUtility {
+            per_level: (0..num_levels).map(|k| Interval::point(k as f64 / n)).collect(),
+        }
+    }
+
+    /// Evenly spaced midpoints with a symmetric imprecision band of
+    /// `± half_width` (clamped to `[0,1]`) — matching the look of the
+    /// paper's Fig 4, where each discrete value carries a small band.
+    pub fn banded(num_levels: usize, half_width: f64) -> DiscreteUtility {
+        assert!(num_levels >= 2);
+        assert!((0.0..=0.5).contains(&half_width));
+        let n = (num_levels - 1) as f64;
+        DiscreteUtility {
+            per_level: (0..num_levels)
+                .map(|k| {
+                    let mid = k as f64 / n;
+                    Interval::new((mid - half_width).max(0.0), (mid + half_width).min(1.0))
+                })
+                .collect(),
+        }
+    }
+
+    pub fn num_levels(&self) -> usize {
+        self.per_level.len()
+    }
+
+    pub fn utility_of(&self, level: usize) -> Interval {
+        self.per_level[level]
+    }
+}
+
+/// Utility class for a continuous attribute: piecewise-linear with an
+/// interval at each vertex. The paper's *number of functional requirements
+/// covered* uses the linear special case (Fig 3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PiecewiseLinearUtility {
+    /// Strictly increasing x-coordinates.
+    pub xs: Vec<f64>,
+    /// Utility band at each vertex.
+    pub us: Vec<Interval>,
+}
+
+impl PiecewiseLinearUtility {
+    pub fn new(xs: Vec<f64>, us: Vec<Interval>) -> PiecewiseLinearUtility {
+        assert_eq!(xs.len(), us.len(), "vertex arity mismatch");
+        assert!(xs.len() >= 2, "need at least two vertices");
+        assert!(xs.windows(2).all(|w| w[0] < w[1]), "x-coordinates must be strictly increasing");
+        PiecewiseLinearUtility { xs, us }
+    }
+
+    /// The precise linear utility over a scale: 0 at the worst end, 1 at the
+    /// best end (direction-aware).
+    pub fn linear_over(scale: &ContinuousScale) -> PiecewiseLinearUtility {
+        use crate::scale::Direction;
+        let (u0, u1) = match scale.direction {
+            Direction::Increasing => (0.0, 1.0),
+            Direction::Decreasing => (1.0, 0.0),
+        };
+        PiecewiseLinearUtility::new(
+            vec![scale.min, scale.max],
+            vec![Interval::point(u0), Interval::point(u1)],
+        )
+    }
+
+    /// Evaluate the utility band at `x` (clamped to the vertex range).
+    pub fn eval(&self, x: f64) -> Interval {
+        let x = x.clamp(self.xs[0], *self.xs.last().expect("non-empty"));
+        // Find the segment containing x.
+        let mut k = 0;
+        while k + 2 < self.xs.len() && x > self.xs[k + 1] {
+            k += 1;
+        }
+        let t = (x - self.xs[k]) / (self.xs[k + 1] - self.xs[k]);
+        Interval::lerp(&self.us[k], &self.us[k + 1], t)
+    }
+
+    /// The utility band over a performance *range* `[a, b]`: the hull of the
+    /// endpoint bands and any interior vertices (exact for piecewise-linear
+    /// bounds).
+    pub fn eval_range(&self, a: f64, b: f64) -> Interval {
+        let mut band = self.eval(a).hull(&self.eval(b));
+        for (x, u) in self.xs.iter().zip(&self.us) {
+            if *x > a && *x < b {
+                band = band.hull(u);
+            }
+        }
+        band
+    }
+}
+
+/// A component utility function of either kind.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum UtilityFunction {
+    Discrete(DiscreteUtility),
+    PiecewiseLinear(PiecewiseLinearUtility),
+}
+
+impl UtilityFunction {
+    /// The admissible utility band of a performance under this function.
+    ///
+    /// Panics on type mismatch (level vs. continuous) — the model builder
+    /// validates compatibility up front.
+    pub fn band(&self, perf: &Perf, missing: MissingPolicy) -> Interval {
+        match (self, perf) {
+            (_, Perf::Missing) => missing.utility(),
+            (UtilityFunction::Discrete(d), Perf::Level(k)) => d.utility_of(*k),
+            (UtilityFunction::PiecewiseLinear(p), Perf::Value(x)) => p.eval(*x),
+            (UtilityFunction::PiecewiseLinear(p), Perf::Range(a, b)) => p.eval_range(*a, *b),
+            (UtilityFunction::Discrete(_), other) => {
+                panic!("discrete utility applied to non-level performance {other:?}")
+            }
+            (UtilityFunction::PiecewiseLinear(_), other) => {
+                panic!("continuous utility applied to non-continuous performance {other:?}")
+            }
+        }
+    }
+
+    /// Check compatibility with a scale; returns a human-readable reason on
+    /// mismatch.
+    pub fn check_against(&self, scale: &Scale) -> Result<(), String> {
+        match (self, scale) {
+            (UtilityFunction::Discrete(d), Scale::Discrete(s)) => {
+                if d.num_levels() != s.len() {
+                    Err(format!("{} utility levels vs {} scale levels", d.num_levels(), s.len()))
+                } else if d.per_level.iter().any(|i| i.lo() < 0.0 || i.hi() > 1.0) {
+                    Err("utility bands must lie in [0,1]".to_string())
+                } else {
+                    Ok(())
+                }
+            }
+            (UtilityFunction::PiecewiseLinear(p), Scale::Continuous(c)) => {
+                if p.xs[0] > c.min || *p.xs.last().expect("non-empty") < c.max {
+                    Err(format!(
+                        "vertices [{}, {}] do not cover scale [{}, {}]",
+                        p.xs[0],
+                        p.xs.last().expect("non-empty"),
+                        c.min,
+                        c.max
+                    ))
+                } else if p.us.iter().any(|i| i.lo() < 0.0 || i.hi() > 1.0) {
+                    Err("utility bands must lie in [0,1]".to_string())
+                } else {
+                    Ok(())
+                }
+            }
+            (UtilityFunction::Discrete(_), Scale::Continuous(_)) => {
+                Err("discrete utility on continuous scale".to_string())
+            }
+            (UtilityFunction::PiecewiseLinear(_), Scale::Discrete(_)) => {
+                Err("continuous utility on discrete scale".to_string())
+            }
+        }
+    }
+
+    /// Default utility for a scale: evenly spaced precise utilities for
+    /// discrete scales, the direction-aware linear function for continuous
+    /// ones.
+    pub fn default_for(scale: &Scale) -> UtilityFunction {
+        match scale {
+            Scale::Discrete(d) => UtilityFunction::Discrete(DiscreteUtility::linear(d.len())),
+            Scale::Continuous(c) => {
+                UtilityFunction::PiecewiseLinear(PiecewiseLinearUtility::linear_over(c))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::{Direction, DiscreteScale};
+
+    #[test]
+    fn discrete_linear_spacing() {
+        let d = DiscreteUtility::linear(4);
+        assert_eq!(d.utility_of(0), Interval::point(0.0));
+        assert!((d.utility_of(1).mid() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(d.utility_of(3), Interval::point(1.0));
+    }
+
+    #[test]
+    fn discrete_banded_clamps_to_unit() {
+        let d = DiscreteUtility::banded(4, 0.1);
+        assert_eq!(d.utility_of(0), Interval::new(0.0, 0.1));
+        assert_eq!(d.utility_of(3), Interval::new(0.9, 1.0));
+        let mid = d.utility_of(1);
+        assert!((mid.lo() - (1.0 / 3.0 - 0.1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn piecewise_eval_interpolates() {
+        // The paper's Fig 4 Purpose-reliability-like bands.
+        let p = PiecewiseLinearUtility::new(
+            vec![0.0, 3.0],
+            vec![Interval::point(0.0), Interval::point(1.0)],
+        );
+        assert!((p.eval(1.5).mid() - 0.5).abs() < 1e-12);
+        assert_eq!(p.eval(-1.0), Interval::point(0.0)); // clamped
+        assert_eq!(p.eval(9.0), Interval::point(1.0));
+    }
+
+    #[test]
+    fn piecewise_with_bands() {
+        let p = PiecewiseLinearUtility::new(
+            vec![0.0, 1.0],
+            vec![Interval::new(0.0, 0.2), Interval::new(0.8, 1.0)],
+        );
+        let b = p.eval(0.5);
+        assert!((b.lo() - 0.4).abs() < 1e-12);
+        assert!((b.hi() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eval_range_hulls_interior_vertices() {
+        // V-shaped lower bound: interior vertex dips to 0.
+        let p = PiecewiseLinearUtility::new(
+            vec![0.0, 0.5, 1.0],
+            vec![Interval::point(0.8), Interval::point(0.0), Interval::point(0.9)],
+        );
+        let band = p.eval_range(0.1, 0.9);
+        assert!(band.lo() <= 1e-12, "interior dip must widen the band: {band:?}");
+        // endpoint evals: u(0.1) = 0.64, u(0.9) = 0.72
+        assert!((band.hi() - 0.72).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_over_decreasing_scale() {
+        let s = ContinuousScale::new(0.0, 100.0, Direction::Decreasing);
+        let p = PiecewiseLinearUtility::linear_over(&s);
+        assert_eq!(p.eval(0.0), Interval::point(1.0));
+        assert_eq!(p.eval(100.0), Interval::point(0.0));
+    }
+
+    #[test]
+    fn band_handles_missing_policies() {
+        let f = UtilityFunction::Discrete(DiscreteUtility::linear(3));
+        assert_eq!(f.band(&Perf::Missing, MissingPolicy::UnitInterval), Interval::UNIT);
+        assert_eq!(f.band(&Perf::Missing, MissingPolicy::Worst), Interval::point(0.0));
+        assert_eq!(f.band(&Perf::Level(2), MissingPolicy::UnitInterval), Interval::point(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-level")]
+    fn discrete_rejects_value_perf() {
+        let f = UtilityFunction::Discrete(DiscreteUtility::linear(3));
+        f.band(&Perf::Value(0.5), MissingPolicy::UnitInterval);
+    }
+
+    #[test]
+    fn check_against_matches() {
+        let d = UtilityFunction::Discrete(DiscreteUtility::linear(3));
+        let s = Scale::Discrete(DiscreteScale::low_medium_high());
+        assert!(d.check_against(&s).is_ok());
+        let wrong = UtilityFunction::Discrete(DiscreteUtility::linear(4));
+        assert!(wrong.check_against(&s).is_err());
+        let cont = Scale::Continuous(ContinuousScale::new(0.0, 1.0, Direction::Increasing));
+        assert!(d.check_against(&cont).is_err());
+    }
+
+    #[test]
+    fn check_against_requires_scale_coverage() {
+        let p = UtilityFunction::PiecewiseLinear(PiecewiseLinearUtility::new(
+            vec![0.0, 0.5],
+            vec![Interval::point(0.0), Interval::point(1.0)],
+        ));
+        let s = Scale::Continuous(ContinuousScale::new(0.0, 1.0, Direction::Increasing));
+        assert!(p.check_against(&s).is_err());
+    }
+
+    #[test]
+    fn default_for_scales() {
+        let s = Scale::Discrete(DiscreteScale::low_medium_high());
+        assert!(matches!(UtilityFunction::default_for(&s), UtilityFunction::Discrete(_)));
+        let c = Scale::Continuous(ContinuousScale::new(0.0, 3.0, Direction::Increasing));
+        let f = UtilityFunction::default_for(&c);
+        assert!(f.check_against(&c).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn piecewise_rejects_unsorted() {
+        PiecewiseLinearUtility::new(
+            vec![1.0, 0.0],
+            vec![Interval::point(0.0), Interval::point(1.0)],
+        );
+    }
+}

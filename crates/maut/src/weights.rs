@@ -1,0 +1,272 @@
+//! Weights: elicited as **intervals along the branches of the hierarchy**
+//! (a trade-offs-based method, paper Section III) and flattened to attribute
+//! level by multiplying the elicited weights on the path from the overall
+//! objective to each attribute — producing exactly the *(low., avg., upp.)*
+//! triples of the paper's Fig 5.
+//!
+//! Semantics:
+//!
+//! * every non-root objective carries a *local* weight interval relative to
+//!   its siblings;
+//! * the **average normalized weight** of a node is its interval midpoint
+//!   normalized over its sibling group (so sibling averages sum to 1);
+//! * attribute triples are path products: `low = Π lowᵢ`, `avg = Π avgᵢ`,
+//!   `upp = Π uppᵢ`. Averages therefore sum to 1 over all attributes, while
+//!   `low`/`upp` are *raw* bounds that need not sum to 1 — this matches
+//!   GMAA, whose maximum overall utilities can exceed 1 (see Fig 6).
+
+use crate::hierarchy::{ObjectiveId, ObjectiveTree};
+use crate::interval::Interval;
+use crate::model::AttributeId;
+use serde::{Deserialize, Serialize};
+
+/// `(low, avg, upp)` for one attribute — one row of the paper's Fig 5.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WeightTriple {
+    pub low: f64,
+    pub avg: f64,
+    pub upp: f64,
+}
+
+impl WeightTriple {
+    pub fn is_consistent(&self) -> bool {
+        self.low <= self.avg + 1e-9 && self.avg <= self.upp + 1e-9 && self.low >= -1e-12
+    }
+}
+
+/// Flattened attribute-level weights in hierarchy (display) order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttributeWeights {
+    pub attributes: Vec<AttributeId>,
+    pub triples: Vec<WeightTriple>,
+}
+
+impl AttributeWeights {
+    pub fn len(&self) -> usize {
+        self.attributes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.attributes.is_empty()
+    }
+
+    /// Triple for a given attribute id, if present.
+    pub fn for_attribute(&self, attr: AttributeId) -> Option<WeightTriple> {
+        self.attributes.iter().position(|a| *a == attr).map(|i| self.triples[i])
+    }
+
+    pub fn lows(&self) -> Vec<f64> {
+        self.triples.iter().map(|t| t.low).collect()
+    }
+
+    pub fn avgs(&self) -> Vec<f64> {
+        self.triples.iter().map(|t| t.avg).collect()
+    }
+
+    pub fn upps(&self) -> Vec<f64> {
+        self.triples.iter().map(|t| t.upp).collect()
+    }
+}
+
+/// Local (sibling-relative) weight assignment over the tree. Nodes without
+/// an explicit interval default to "indifferent": `[1/k, 1/k]` within their
+/// sibling group of size `k`.
+pub fn resolve_local(
+    tree: &ObjectiveTree,
+    explicit: &[Option<Interval>],
+) -> Vec<Interval> {
+    assert_eq!(explicit.len(), tree.len(), "local weight table arity mismatch");
+    let mut out = vec![Interval::point(1.0); tree.len()];
+    for (id, _) in tree.iter() {
+        if id == tree.root() {
+            continue;
+        }
+        let sibs = tree.siblings(id);
+        let k = sibs.len().max(1) as f64;
+        out[id.index()] = explicit[id.index()].unwrap_or(Interval::point(1.0 / k));
+    }
+    out
+}
+
+/// Normalized *average* local weight per node: interval midpoints normalized
+/// within each sibling group (uniform if all midpoints are 0).
+pub fn normalized_averages(tree: &ObjectiveTree, local: &[Interval]) -> Vec<f64> {
+    let mut avg = vec![1.0; tree.len()];
+    for (_id, node) in tree.iter() {
+        if node.children.is_empty() {
+            continue;
+        }
+        let total: f64 = node.children.iter().map(|c| local[c.index()].mid()).sum();
+        for &c in &node.children {
+            avg[c.index()] = if total > 0.0 {
+                local[c.index()].mid() / total
+            } else {
+                1.0 / node.children.len() as f64
+            };
+        }
+    }
+    avg
+}
+
+/// Feasibility of each sibling group: interval lows must not exceed 1 and
+/// upps must reach 1 (otherwise no normalized weight vector exists).
+/// Returns the key of the first offending parent objective.
+pub fn check_feasible(tree: &ObjectiveTree, local: &[Interval]) -> Result<(), String> {
+    for (_, node) in tree.iter() {
+        if node.children.len() < 2 {
+            continue;
+        }
+        let lo: f64 = node.children.iter().map(|c| local[c.index()].lo()).sum();
+        let hi: f64 = node.children.iter().map(|c| local[c.index()].hi()).sum();
+        if lo > 1.0 + 1e-9 || hi < 1.0 - 1e-9 {
+            return Err(node.key.clone());
+        }
+    }
+    Ok(())
+}
+
+/// Flatten local weights to attribute level (the paper's Fig 5 table).
+pub fn flatten(tree: &ObjectiveTree, local: &[Interval]) -> AttributeWeights {
+    flatten_from(tree, local, tree.root())
+}
+
+/// Flatten relative to an arbitrary objective: weights of the attributes in
+/// the subtree, with path products starting *below* `start`. Used when
+/// ranking by a single objective (paper Fig 7, ranking by
+/// *Understandability*): within the subtree the average weights again sum
+/// to 1.
+pub fn flatten_from(
+    tree: &ObjectiveTree,
+    local: &[Interval],
+    start: ObjectiveId,
+) -> AttributeWeights {
+    let avg = normalized_averages(tree, local);
+    let start_depth = tree.depth(start);
+    let mut attributes = Vec::new();
+    let mut triples = Vec::new();
+    for leaf in tree.leaves_under(start) {
+        let attr = tree.get(leaf).attribute.expect("leaf has attribute");
+        let mut low = 1.0;
+        let mut a = 1.0;
+        let mut upp = 1.0;
+        for id in tree.path_to(leaf) {
+            if tree.depth(id) <= start_depth {
+                continue;
+            }
+            low *= local[id.index()].lo();
+            a *= avg[id.index()];
+            upp *= local[id.index()].hi();
+        }
+        attributes.push(attr);
+        triples.push(WeightTriple { low, avg: a, upp: upp.min(1.0) });
+    }
+    AttributeWeights { attributes, triples }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::ObjectiveTree;
+
+    /// root -> {A (2 leaves), B (1 leaf)}
+    fn tree() -> (ObjectiveTree, Vec<Option<Interval>>) {
+        let mut t = ObjectiveTree::new("overall");
+        let a = t.add_child(t.root(), "a", "A");
+        let b = t.add_child(t.root(), "b", "B");
+        let a1 = t.add_child(a, "a1", "A1");
+        let a2 = t.add_child(a, "a2", "A2");
+        t.bind_attribute(a1, AttributeId(0));
+        t.bind_attribute(a2, AttributeId(1));
+        t.bind_attribute(b, AttributeId(2));
+        let mut w = vec![None; t.len()];
+        w[a.index()] = Some(Interval::new(0.5, 0.7)); // A
+        w[b.index()] = Some(Interval::new(0.3, 0.5)); // B
+        w[a1.index()] = Some(Interval::new(0.2, 0.4)); // A1 within A
+        w[a2.index()] = Some(Interval::new(0.6, 0.8)); // A2 within A
+        (t, w)
+    }
+
+    #[test]
+    fn resolve_defaults_to_uniform() {
+        let mut t = ObjectiveTree::new("o");
+        let x = t.add_child(t.root(), "x", "X");
+        let y = t.add_child(t.root(), "y", "Y");
+        t.bind_attribute(x, AttributeId(0));
+        t.bind_attribute(y, AttributeId(1));
+        let local = resolve_local(&t, &vec![None; t.len()]);
+        assert_eq!(local[x.index()], Interval::point(0.5));
+        assert_eq!(local[y.index()], Interval::point(0.5));
+    }
+
+    #[test]
+    fn averages_normalize_per_group() {
+        let (t, w) = tree();
+        let local = resolve_local(&t, &w);
+        let avg = normalized_averages(&t, &local);
+        let a = t.find("a").unwrap();
+        let b = t.find("b").unwrap();
+        // mids: A = 0.6, B = 0.4 -> already normalized
+        assert!((avg[a.index()] - 0.6).abs() < 1e-12);
+        assert!((avg[b.index()] - 0.4).abs() < 1e-12);
+        let a1 = t.find("a1").unwrap();
+        let a2 = t.find("a2").unwrap();
+        // mids 0.3 / 0.7 -> normalized over 1.0
+        assert!((avg[a1.index()] - 0.3).abs() < 1e-12);
+        assert!((avg[a2.index()] - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flatten_products_and_sum() {
+        let (t, w) = tree();
+        let local = resolve_local(&t, &w);
+        let flat = flatten(&t, &local);
+        assert_eq!(flat.len(), 3);
+        // Avg weights: a1 = 0.6*0.3, a2 = 0.6*0.7, b = 0.4 -> sums to 1.
+        let total: f64 = flat.avgs().iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        let t0 = flat.for_attribute(AttributeId(0)).unwrap();
+        assert!((t0.avg - 0.18).abs() < 1e-12);
+        assert!((t0.low - 0.5 * 0.2).abs() < 1e-12);
+        assert!((t0.upp - 0.7 * 0.4).abs() < 1e-12);
+        assert!(t0.is_consistent());
+    }
+
+    #[test]
+    fn flatten_ordering_matches_hierarchy() {
+        let (t, w) = tree();
+        let flat = flatten(&t, &resolve_local(&t, &w));
+        assert_eq!(flat.attributes, vec![AttributeId(0), AttributeId(1), AttributeId(2)]);
+    }
+
+    #[test]
+    fn feasibility_detects_bad_groups() {
+        let (t, mut w) = tree();
+        assert!(check_feasible(&t, &resolve_local(&t, &w)).is_ok());
+        let a1 = t.find("a1").unwrap();
+        let a2 = t.find("a2").unwrap();
+        w[a1.index()] = Some(Interval::new(0.8, 0.9));
+        w[a2.index()] = Some(Interval::new(0.8, 0.9)); // lows sum to 1.6
+        let err = check_feasible(&t, &resolve_local(&t, &w)).unwrap_err();
+        assert_eq!(err, "a");
+    }
+
+    #[test]
+    fn zero_midpoints_fall_back_to_uniform() {
+        let mut t = ObjectiveTree::new("o");
+        let x = t.add_child(t.root(), "x", "X");
+        let y = t.add_child(t.root(), "y", "Y");
+        t.bind_attribute(x, AttributeId(0));
+        t.bind_attribute(y, AttributeId(1));
+        let mut w = vec![None; t.len()];
+        w[x.index()] = Some(Interval::point(0.0));
+        w[y.index()] = Some(Interval::point(0.0));
+        let avg = normalized_averages(&t, &resolve_local(&t, &w));
+        assert!((avg[x.index()] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weight_triple_consistency() {
+        assert!(WeightTriple { low: 0.1, avg: 0.2, upp: 0.3 }.is_consistent());
+        assert!(!WeightTriple { low: 0.4, avg: 0.2, upp: 0.3 }.is_consistent());
+    }
+}

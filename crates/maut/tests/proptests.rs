@@ -1,0 +1,153 @@
+//! Property-based tests for the MAUT core: interval arithmetic closure,
+//! additive-model bounds, weight flattening, and ranking invariances.
+
+use maut::prelude::*;
+use maut::utility::{DiscreteUtility, UtilityFunction};
+use proptest::prelude::*;
+
+fn interval_strategy() -> impl Strategy<Value = Interval> {
+    (0.0f64..1.0, 0.0f64..1.0).prop_map(|(a, b)| Interval::new(a.min(b), a.max(b)))
+}
+
+/// A random flat model: n attributes (4-level discrete), m alternatives.
+fn model_strategy() -> impl Strategy<Value = DecisionModel> {
+    (2usize..6, 2usize..8, 0u64..1_000).prop_map(|(n_attrs, n_alts, seed)| {
+        let mut b = DecisionModelBuilder::new("prop");
+        let mut pairs = Vec::new();
+        let base = 1.0 / n_attrs as f64;
+        for j in 0..n_attrs {
+            let a = b.discrete_attribute(format!("a{j}"), format!("A{j}"), &["0", "1", "2", "3"]);
+            b.set_utility(a, UtilityFunction::Discrete(DiscreteUtility::banded(4, 0.1)));
+            pairs.push((a, Interval::new(base * 0.5, (base * 1.5).min(1.0))));
+        }
+        b.attach_attributes_to_root(&pairs);
+        // xorshift-ish deterministic fill
+        let mut state = seed.wrapping_add(0x9E3779B97F4A7C15);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for i in 0..n_alts {
+            let perfs: Vec<Perf> = (0..n_attrs)
+                .map(|_| {
+                    let r = next() % 10;
+                    if r == 9 {
+                        Perf::Missing
+                    } else {
+                        Perf::level((r % 4) as usize)
+                    }
+                })
+                .collect();
+            b.alternative(format!("alt{i}"), perfs);
+        }
+        b.build().expect("random flat model is valid")
+    })
+}
+
+proptest! {
+    /// Interval ops stay well-formed (lo ≤ hi) and hull/intersect relate
+    /// correctly.
+    #[test]
+    fn interval_closure(a in interval_strategy(), b in interval_strategy(), k in 0.0f64..3.0) {
+        let sum = a.add(&b);
+        prop_assert!(sum.lo() <= sum.hi());
+        let sc = a.scale(k);
+        prop_assert!(sc.lo() <= sc.hi());
+        let hull = a.hull(&b);
+        prop_assert!(hull.contains_interval(&a) && hull.contains_interval(&b));
+        if let Some(ix) = a.intersect(&b) {
+            prop_assert!(a.contains_interval(&ix) && b.contains_interval(&ix));
+            prop_assert!(hull.contains_interval(&ix));
+        }
+        prop_assert!(a.contains(a.mid()));
+    }
+
+    /// lerp stays within the hull of its endpoints.
+    #[test]
+    fn lerp_bounded(a in interval_strategy(), b in interval_strategy(), t in 0.0f64..1.0) {
+        let l = Interval::lerp(&a, &b, t);
+        let hull = a.hull(&b);
+        prop_assert!(hull.contains_interval(&l), "{l:?} outside {hull:?}");
+    }
+
+    /// Evaluation bounds are ordered (min ≤ avg ≤ max) for every model.
+    #[test]
+    fn bounds_ordered(model in model_strategy()) {
+        let eval = model.evaluate();
+        for b in &eval.bounds {
+            prop_assert!(b.is_ordered(), "{b:?}");
+        }
+    }
+
+    /// Average flattened weights always sum to one.
+    #[test]
+    fn flattened_averages_sum_to_one(model in model_strategy()) {
+        let w = model.attribute_weights();
+        let total: f64 = w.avgs().iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "sum {total}");
+        for t in &w.triples {
+            prop_assert!(t.is_consistent(), "{t:?}");
+        }
+    }
+
+    /// The ranking is a permutation with ranks 1..=n and is sorted by avg.
+    #[test]
+    fn ranking_is_sound(model in model_strategy()) {
+        let eval = model.evaluate();
+        let ranking = eval.ranking();
+        prop_assert_eq!(ranking.len(), model.num_alternatives());
+        for (i, r) in ranking.iter().enumerate() {
+            prop_assert_eq!(r.rank, i + 1);
+            if i > 0 {
+                prop_assert!(ranking[i - 1].bounds.avg >= r.bounds.avg - 1e-12);
+            }
+        }
+        let mut alts: Vec<usize> = ranking.iter().map(|r| r.alternative).collect();
+        alts.sort_unstable();
+        let expected: Vec<usize> = (0..model.num_alternatives()).collect();
+        prop_assert_eq!(alts, expected);
+    }
+
+    /// Pareto monotonicity: raising one performance level never lowers the
+    /// alternative's average utility.
+    #[test]
+    fn raising_a_level_never_hurts(model in model_strategy(), pick in 0usize..64) {
+        let i = pick % model.num_alternatives();
+        let j = (pick / 8) % model.num_attributes();
+        if let Perf::Level(l) = model.perf.get(i, j) {
+            if l < 3 {
+                let before = model.evaluate().bounds[i].avg;
+                let mut improved = model.clone();
+                improved.perf.set(i, j, Perf::level(l + 1));
+                let after = improved.evaluate().bounds[i].avg;
+                prop_assert!(after >= before - 1e-12, "{after} < {before}");
+            }
+        }
+    }
+
+    /// Scoring with the average flattened weights reproduces the evaluation
+    /// averages (consistency between the MC fast path and the evaluator).
+    #[test]
+    fn score_with_weights_matches_evaluation(model in model_strategy()) {
+        let w = model.attribute_weights();
+        let scores = model.score_with_weights(&w.avgs());
+        let eval = model.evaluate();
+        for (s, b) in scores.iter().zip(&eval.bounds) {
+            prop_assert!((s - b.avg).abs() < 1e-9, "{s} vs {}", b.avg);
+        }
+    }
+
+    /// Missing-as-worst is a lower bound on missing-as-interval averages.
+    #[test]
+    fn worst_policy_is_pessimistic(model in model_strategy()) {
+        let mut worst = model.clone();
+        worst.missing_policy = maut::perf::MissingPolicy::Worst;
+        let a = model.evaluate();
+        let b = worst.evaluate();
+        for (x, y) in a.bounds.iter().zip(&b.bounds) {
+            prop_assert!(y.avg <= x.avg + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! The NeOn Methodology's ontology reuse process (paper, Section I):
+//! **(1) search** for candidate ontologies, **(2) assess** their usefulness,
+//! **(3) select** the most suitable subset, **(4) integrate** the selection
+//! into the ontology network under development.
+//!
+//! Selection implements the paper's rule: rank candidates with the
+//! multi-attribute model, then take best-ranked candidates until the union
+//! of covered competency questions exceeds the coverage target ("as the
+//! number of CQs covered by the five best-ranked MM ontologies was higher
+//! than 70 %, no more ontologies were necessary").
+
+use crate::assess::{AssessmentInput, OntologyAssessor};
+use maut::{DecisionModel, Perf};
+use ontolib::{Graph, Ontology};
+use std::collections::BTreeSet;
+
+/// A candidate in the registry: the ontology plus its extrinsic metadata.
+#[derive(Debug, Clone)]
+pub struct RegistryEntry {
+    pub name: String,
+    pub ontology: Ontology,
+    pub metadata: AssessmentInput,
+    /// Free-text topic tags used by `search`.
+    pub tags: Vec<String>,
+}
+
+/// A searchable collection of candidate ontologies (the stand-in for the
+/// paper's survey that found 40 MM ontologies and kept 23).
+#[derive(Debug, Clone, Default)]
+pub struct OntologyRegistry {
+    entries: Vec<RegistryEntry>,
+}
+
+impl OntologyRegistry {
+    pub fn new() -> OntologyRegistry {
+        OntologyRegistry::default()
+    }
+
+    pub fn add(&mut self, entry: RegistryEntry) {
+        self.entries.push(entry);
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn entries(&self) -> &[RegistryEntry] {
+        &self.entries
+    }
+
+    /// Activity 1 — search: candidates whose tags or entity lexicon mention
+    /// any of the query terms (case-insensitive).
+    pub fn search(&self, terms: &[&str]) -> Vec<&RegistryEntry> {
+        let terms: Vec<String> = terms.iter().map(|t| t.to_lowercase()).collect();
+        self.entries
+            .iter()
+            .filter(|e| {
+                let tag_hit = e
+                    .tags
+                    .iter()
+                    .any(|tag| terms.iter().any(|t| tag.to_lowercase().contains(t)));
+                if tag_hit {
+                    return true;
+                }
+                let lexicon = ontolib::cq::build_lexicon(&e.ontology);
+                terms.iter().any(|t| lexicon.contains(t))
+            })
+            .collect()
+    }
+
+    /// Activity 2 — assess every entry into performance rows (criteria
+    /// display order), ready for the decision model.
+    pub fn assess_all(&self, assessor: &OntologyAssessor) -> Vec<(String, Vec<Perf>)> {
+        self.entries
+            .iter()
+            .map(|e| (e.name.clone(), assessor.assess(&e.ontology, &e.metadata)))
+            .collect()
+    }
+}
+
+/// Outcome of the selection activity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectionReport {
+    /// Selected alternative indices, in ranking order.
+    pub selected: Vec<usize>,
+    pub selected_names: Vec<String>,
+    /// Union coverage fraction achieved.
+    pub coverage: f64,
+    /// The coverage target (e.g. 0.7).
+    pub target: f64,
+    /// Whether the target was reached before exhausting the candidates.
+    pub target_reached: bool,
+}
+
+/// Activity 3 — select: walk the ranking, accumulating CQ coverage until
+/// `target` (fraction of `total_cqs`) is reached.
+pub fn select_by_ranking(
+    model: &DecisionModel,
+    cq_sets: &[Vec<usize>],
+    total_cqs: usize,
+    target: f64,
+) -> SelectionReport {
+    assert_eq!(cq_sets.len(), model.num_alternatives(), "one CQ set per alternative");
+    assert!(total_cqs > 0, "need at least one competency question");
+    let ranking = model.evaluate().ranking();
+    let mut covered: BTreeSet<usize> = BTreeSet::new();
+    let mut selected = Vec::new();
+    let mut selected_names = Vec::new();
+    let mut reached = false;
+    for r in &ranking {
+        selected.push(r.alternative);
+        selected_names.push(r.name.clone());
+        covered.extend(cq_sets[r.alternative].iter().copied());
+        if covered.len() as f64 / total_cqs as f64 >= target {
+            reached = true;
+            break;
+        }
+    }
+    SelectionReport {
+        selected,
+        selected_names,
+        coverage: covered.len() as f64 / total_cqs as f64,
+        target,
+        target_reached: reached,
+    }
+}
+
+/// Outcome of the integration activity.
+#[derive(Debug, Clone)]
+pub struct IntegrationReport {
+    /// The merged ontology network.
+    pub network: Ontology,
+    /// Triples contributed per source (name, triple count before merge).
+    pub sources: Vec<(String, usize)>,
+    /// Total triples after deduplicating merge.
+    pub total_triples: usize,
+}
+
+/// Activity 4 — integrate: merge the selected ontologies' graphs into a
+/// single deduplicated network (the mechanical part of integration; semantic
+/// alignment is out of the paper's scope too).
+pub fn integrate(selection: &[(&str, &Ontology)]) -> IntegrationReport {
+    let mut merged = Graph::new();
+    let mut sources = Vec::new();
+    for (name, o) in selection {
+        sources.push((name.to_string(), o.graph.len()));
+        merged.merge(&o.graph);
+    }
+    let total = merged.len();
+    IntegrationReport { network: Ontology::from_graph(merged), sources, total_triples: total }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{paper_model, TOTAL_CQS};
+    use ontolib::{CompetencyQuestion, GeneratorConfig, OntologyGenerator};
+
+    fn registry() -> OntologyRegistry {
+        let mut r = OntologyRegistry::new();
+        for (i, name) in ["AlphaMedia", "BetaMusic", "GammaDevices"].iter().enumerate() {
+            let ontology = OntologyGenerator::new(GeneratorConfig {
+                seed: 100 + i as u64,
+                ..GeneratorConfig::default()
+            })
+            .generate();
+            r.add(RegistryEntry {
+                name: name.to_string(),
+                ontology,
+                metadata: AssessmentInput::default(),
+                tags: vec![if i == 1 { "music".into() } else { "multimedia".into() }],
+            });
+        }
+        r
+    }
+
+    #[test]
+    fn search_by_tag_and_lexicon() {
+        let r = registry();
+        assert_eq!(r.search(&["music"]).len(), 1);
+        assert_eq!(r.search(&["multimedia"]).len(), 2);
+        // the generator's theme vocabulary guarantees "video" terms exist
+        assert!(!r.search(&["video"]).is_empty());
+        assert!(r.search(&["blockchain"]).is_empty());
+    }
+
+    #[test]
+    fn assess_all_covers_registry() {
+        let r = registry();
+        let assessor = OntologyAssessor::new(vec![CompetencyQuestion::new(
+            "What is the duration of the video segment?",
+        )]);
+        let rows = r.assess_all(&assessor);
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().all(|(_, p)| p.len() == crate::criteria::CRITERIA_COUNT));
+    }
+
+    #[test]
+    fn paper_selection_needs_about_five_ontologies() {
+        let data = paper_model();
+        let report = select_by_ranking(&data.model, &data.cq_sets, TOTAL_CQS, 0.70);
+        assert!(report.target_reached, "{report:?}");
+        assert_eq!(
+            report.selected.len(),
+            5,
+            "paper selects exactly the top five; got {:?}",
+            report.selected_names
+        );
+        assert!(report.coverage >= 0.70);
+        assert_eq!(report.selected_names[0], "Media Ontology");
+        assert!(report.selected_names.contains(&"Boemie VDO".to_string()));
+    }
+
+    #[test]
+    fn unreachable_target_reports_exhaustion() {
+        let data = paper_model();
+        let report = select_by_ranking(&data.model, &data.cq_sets, TOTAL_CQS, 1.01);
+        assert!(!report.target_reached);
+        assert_eq!(report.selected.len(), 23);
+    }
+
+    #[test]
+    fn integrate_merges_and_dedups() {
+        let r = registry();
+        let e = r.entries();
+        let rep = integrate(&[
+            (&e[0].name, &e[0].ontology),
+            (&e[1].name, &e[1].ontology),
+            // merging a source twice must not change the result
+            (&e[1].name, &e[1].ontology),
+        ]);
+        assert_eq!(rep.sources.len(), 3);
+        assert!(rep.total_triples <= e[0].ontology.graph.len() + e[1].ontology.graph.len());
+        assert!(rep.network.num_entities() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one CQ set per alternative")]
+    fn selection_arity_checked() {
+        let data = paper_model();
+        select_by_ranking(&data.model, &[], TOTAL_CQS, 0.7);
+    }
+}

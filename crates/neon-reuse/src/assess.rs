@@ -1,0 +1,238 @@
+//! Automated assessment of a candidate ontology into a performance vector
+//! on the 14 criteria.
+//!
+//! The paper's scores came from expert inspection (\[15\]). This module is the
+//! measurable counterpart: structural criteria (*documentation quality*,
+//! *code clarity*, *naming conventions*, *knowledge extraction*, *functional
+//! requirements covered*) are computed from the ontology itself with
+//! [`ontolib`], while inherently extrinsic criteria (cost, team reputation,
+//! test availability, …) come from registry metadata supplied alongside —
+//! or are reported *missing*, which the decision model handles natively.
+
+use crate::criteria::{criteria, CriterionScale, CRITERIA_COUNT};
+use crate::valuet::value_t;
+use maut::Perf;
+use ontolib::naming::ConventionLevel;
+use ontolib::{CompetencyQuestion, CqCoverage, NamingReport, Ontology, OntologyMetrics};
+
+/// Extrinsic facts about a candidate that cannot be read off its triples.
+/// Every field is optional; `None` becomes a *missing* performance.
+#[derive(Debug, Clone, Default)]
+pub struct AssessmentInput {
+    /// Financial cost level 0..=3 (3 = free).
+    pub financial_cost: Option<usize>,
+    /// Required time level 0..=3 (3 = hours).
+    pub required_time: Option<usize>,
+    /// External knowledge availability 0..=3.
+    pub external_knowledge: Option<usize>,
+    /// Implementation-language adequacy 0..=3 (3 = same language).
+    pub implementation_language: Option<usize>,
+    /// Test availability 0..=3.
+    pub tests_available: Option<usize>,
+    /// Former evaluation 0..=3.
+    pub former_evaluation: Option<usize>,
+    /// Team reputation 0..=3.
+    pub team_reputation: Option<usize>,
+    /// Purpose reliability 0..=3 (unknown/academic/standard-metadata/project).
+    pub purpose_reliability: Option<usize>,
+    /// Practical support 0..=3.
+    pub practical_support: Option<usize>,
+}
+
+/// The assessor: target-ontology competency questions plus the match
+/// threshold used by [`CqCoverage`].
+#[derive(Debug, Clone)]
+pub struct OntologyAssessor {
+    pub questions: Vec<CompetencyQuestion>,
+    pub term_threshold: f64,
+}
+
+impl OntologyAssessor {
+    pub fn new(questions: Vec<CompetencyQuestion>) -> OntologyAssessor {
+        OntologyAssessor { questions, term_threshold: 0.6 }
+    }
+
+    /// Assess one candidate into a performance vector in criteria display
+    /// order.
+    pub fn assess(&self, ontology: &Ontology, input: &AssessmentInput) -> Vec<Perf> {
+        let metrics = OntologyMetrics::compute(ontology);
+        let naming = NamingReport::analyze(ontology);
+        let coverage = CqCoverage::compute(ontology, &self.questions, self.term_threshold);
+
+        let mut out = Vec::with_capacity(CRITERIA_COUNT);
+        for c in criteria() {
+            let perf = match c.key {
+                "financ_cost" => opt_level(input.financial_cost),
+                "required_time" => opt_level(input.required_time),
+                "doc_quality" => Perf::level(quartile_level(metrics.documentation_density())),
+                "ext_knowledge" => opt_level(input.external_knowledge),
+                "code_clarity" => {
+                    // Clarity = commented code + consistent naming.
+                    let score = 0.5 * metrics.comment_coverage + 0.5 * naming.consistency;
+                    Perf::level(quartile_level(score))
+                }
+                "funct_requir" => {
+                    Perf::value(value_t(coverage.num_covered, self.questions.len()))
+                }
+                "knowl_extrac" => {
+                    // Easy extraction = structured (few orphans) but shallow
+                    // enough to cut: reward hierarchy presence, punish
+                    // orphan islands.
+                    let orphan_ratio = if metrics.num_classes == 0 {
+                        1.0
+                    } else {
+                        metrics.orphan_classes as f64 / metrics.num_classes as f64
+                    };
+                    Perf::level(quartile_level(1.0 - orphan_ratio))
+                }
+                "naming_conv" => Perf::level(match naming.level() {
+                    ConventionLevel::Low => 1,
+                    ConventionLevel::Medium => 2,
+                    ConventionLevel::High => 3,
+                }),
+                "imp_language" => opt_level(input.implementation_language),
+                "availab_test" => opt_level(input.tests_available),
+                "former_eval" => opt_level(input.former_evaluation),
+                "team_reputat" => opt_level(input.team_reputation),
+                "purpose_rel" => opt_level(input.purpose_reliability),
+                "prac_support" => opt_level(input.practical_support),
+                other => unreachable!("unknown criterion {other}"),
+            };
+            // Defensive: discrete criteria must stay within their scales.
+            if let (CriterionScale::FourLevel(_), Perf::Level(l)) = (&c.scale, perf) {
+                debug_assert!(l <= 3);
+            }
+            out.push(perf);
+        }
+        out
+    }
+}
+
+fn opt_level(v: Option<usize>) -> Perf {
+    match v {
+        Some(l) => Perf::level(l.min(3)),
+        None => Perf::Missing,
+    }
+}
+
+/// Map a `[0,1]` score onto the 0..=3 scale by quartiles.
+fn quartile_level(score: f64) -> usize {
+    let s = score.clamp(0.0, 1.0);
+    if s < 0.25 {
+        0
+    } else if s < 0.5 {
+        1
+    } else if s < 0.75 {
+        2
+    } else {
+        3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ontolib::{GeneratorConfig, OntologyGenerator};
+
+    fn questions() -> Vec<CompetencyQuestion> {
+        vec![
+            CompetencyQuestion::new("What is the duration of a video segment?"),
+            CompetencyQuestion::new("Which audio tracks belong to a media stream?"),
+            CompetencyQuestion::new("What codec does the container use?"),
+            CompetencyQuestion::new("Who is the creator of the collection?"),
+        ]
+    }
+
+    fn rich_ontology() -> Ontology {
+        OntologyGenerator::new(GeneratorConfig {
+            label_prob: 1.0,
+            comment_prob: 0.95,
+            num_classes: 40,
+            num_object_properties: 12,
+            num_datatype_properties: 10,
+            seed: 7,
+            ..GeneratorConfig::default()
+        })
+        .generate()
+    }
+
+    fn poor_ontology() -> Ontology {
+        OntologyGenerator::new(GeneratorConfig {
+            label_prob: 0.05,
+            comment_prob: 0.0,
+            opaque_prob: 0.9,
+            num_classes: 15,
+            seed: 9,
+            ..GeneratorConfig::default()
+        })
+        .generate()
+    }
+
+    #[test]
+    fn assessment_has_fourteen_entries() {
+        let a = OntologyAssessor::new(questions());
+        let out = a.assess(&rich_ontology(), &AssessmentInput::default());
+        assert_eq!(out.len(), CRITERIA_COUNT);
+    }
+
+    #[test]
+    fn missing_metadata_becomes_missing_perf() {
+        let a = OntologyAssessor::new(questions());
+        let out = a.assess(&rich_ontology(), &AssessmentInput::default());
+        // All nine extrinsic criteria default to missing.
+        let missing = out.iter().filter(|p| p.is_missing()).count();
+        assert_eq!(missing, 9);
+    }
+
+    #[test]
+    fn documented_ontology_scores_higher_clarity() {
+        let a = OntologyAssessor::new(questions());
+        let rich = a.assess(&rich_ontology(), &AssessmentInput::default());
+        let poor = a.assess(&poor_ontology(), &AssessmentInput::default());
+        let idx = criteria().iter().position(|c| c.key == "doc_quality").unwrap();
+        match (rich[idx], poor[idx]) {
+            (Perf::Level(r), Perf::Level(p)) => assert!(r > p, "rich {r} vs poor {p}"),
+            other => panic!("expected levels, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn metadata_passes_through() {
+        let a = OntologyAssessor::new(questions());
+        let input = AssessmentInput {
+            financial_cost: Some(3),
+            team_reputation: Some(2),
+            purpose_reliability: Some(9), // clamped to 3
+            ..AssessmentInput::default()
+        };
+        let out = a.assess(&rich_ontology(), &input);
+        let cs = criteria();
+        let idx = |k: &str| cs.iter().position(|c| c.key == k).unwrap();
+        assert_eq!(out[idx("financ_cost")], Perf::Level(3));
+        assert_eq!(out[idx("team_reputat")], Perf::Level(2));
+        assert_eq!(out[idx("purpose_rel")], Perf::Level(3));
+    }
+
+    #[test]
+    fn cq_coverage_feeds_valuet() {
+        let a = OntologyAssessor::new(questions());
+        let out = a.assess(&rich_ontology(), &AssessmentInput::default());
+        let idx = criteria().iter().position(|c| c.key == "funct_requir").unwrap();
+        match out[idx] {
+            Perf::Value(v) => assert!((0.0..=3.0).contains(&v), "ValueT {v}"),
+            other => panic!("expected ValueT value, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quartile_level_boundaries() {
+        assert_eq!(quartile_level(0.0), 0);
+        assert_eq!(quartile_level(0.24), 0);
+        assert_eq!(quartile_level(0.25), 1);
+        assert_eq!(quartile_level(0.5), 2);
+        assert_eq!(quartile_level(0.75), 3);
+        assert_eq!(quartile_level(1.0), 3);
+        assert_eq!(quartile_level(-3.0), 0);
+        assert_eq!(quartile_level(9.0), 3);
+    }
+}

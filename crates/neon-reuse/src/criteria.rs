@@ -1,0 +1,271 @@
+//! The 14 criteria of the paper's objective hierarchy (Fig 1), adapted from
+//! the NeOn Methodology \[8\] to the multimedia domain following \[15\].
+
+use serde::Serialize;
+
+/// Number of criteria (lowest-level objectives).
+pub const CRITERIA_COUNT: usize = 14;
+
+/// The four upper-level objectives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum ObjectiveGroup {
+    /// Estimate of the cost of reusing the candidate ontology.
+    ReuseCost,
+    /// Estimate of the effort it takes to understand the candidate.
+    Understandability,
+    /// Estimate of the workload of integrating the candidate.
+    Integration,
+    /// Whether the candidate ontology is trustworthy.
+    Reliability,
+}
+
+impl ObjectiveGroup {
+    pub fn key(&self) -> &'static str {
+        match self {
+            ObjectiveGroup::ReuseCost => "reuse_cost",
+            ObjectiveGroup::Understandability => "understandability",
+            ObjectiveGroup::Integration => "integration",
+            ObjectiveGroup::Reliability => "reliability",
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            ObjectiveGroup::ReuseCost => "Reuse Cost",
+            ObjectiveGroup::Understandability => "Understandability",
+            ObjectiveGroup::Integration => "Integration workload",
+            ObjectiveGroup::Reliability => "Reliability",
+        }
+    }
+
+    pub const ALL: [ObjectiveGroup; 4] = [
+        ObjectiveGroup::ReuseCost,
+        ObjectiveGroup::Understandability,
+        ObjectiveGroup::Integration,
+        ObjectiveGroup::Reliability,
+    ];
+}
+
+/// How a criterion is measured.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum CriterionScale {
+    /// Four ordered levels, level 0 worst. The level names vary per
+    /// criterion (e.g. *Purpose reliability*: unknown / academic /
+    /// standard-metadata / project — the paper's Fig 4).
+    FourLevel([&'static str; 4]),
+    /// The continuous `ValueT` transformation in `[0, MNVLT]` (only the
+    /// *number of functional requirements covered* criterion, Fig 3).
+    ValueT,
+}
+
+/// One of the 14 criteria.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Criterion {
+    /// Stable key (also the attribute key in the decision model).
+    pub key: &'static str,
+    /// The short label used in the paper's figures.
+    pub short: &'static str,
+    /// Full name as described in Section II.
+    pub name: &'static str,
+    pub group: ObjectiveGroup,
+    pub scale: CriterionScale,
+    /// What the criterion measures (Section II prose, condensed).
+    pub description: &'static str,
+}
+
+const LMH: [&str; 4] = ["none", "low", "medium", "high"];
+
+/// The criteria in the display order of Figs 2 and 5.
+pub fn criteria() -> Vec<Criterion> {
+    use CriterionScale::*;
+    use ObjectiveGroup::*;
+    vec![
+        Criterion {
+            key: "financ_cost",
+            short: "Financ. Cost",
+            name: "Financial cost of reuse",
+            group: ReuseCost,
+            scale: FourLevel(["prohibitive", "high", "moderate", "free"]),
+            description: "Estimate of the economic cost needed for accessing and using the \
+                          candidate ontology.",
+        },
+        Criterion {
+            key: "required_time",
+            short: "RequiredTime",
+            name: "Required time for reuse",
+            group: ReuseCost,
+            scale: FourLevel(["months", "weeks", "days", "hours"]),
+            description: "The time it takes to access the candidate ontology.",
+        },
+        Criterion {
+            key: "doc_quality",
+            short: "Doc Quality",
+            name: "Documentation quality",
+            group: Understandability,
+            scale: FourLevel(LMH),
+            description: "Whether there is communicable material (wiki, article, web page) \
+                          explaining aspects of the candidate ontology such as modeling \
+                          decisions.",
+        },
+        Criterion {
+            key: "ext_knowledge",
+            short: "Ext Knowledg",
+            name: "Availability of external knowledge",
+            group: Understandability,
+            scale: FourLevel(LMH),
+            description: "Whether the candidate includes references to documentation sources \
+                          and/or experts are easily available.",
+        },
+        Criterion {
+            key: "code_clarity",
+            short: "Code Clarity",
+            name: "Code clarity",
+            group: Understandability,
+            scale: FourLevel(LMH),
+            description: "Whether the code is easy to understand and modify: unified patterns, \
+                          clear and coherent definitions and comments for the knowledge \
+                          entities.",
+        },
+        Criterion {
+            key: "funct_requir",
+            short: "Funct Requir",
+            name: "Number of functional requirements covered",
+            group: Integration,
+            scale: ValueT,
+            description: "The number of competency questions identified for the target \
+                          ontology that the candidate fulfils, linguistically transformed \
+                          (ValueT, Fig 3).",
+        },
+        Criterion {
+            key: "knowl_extrac",
+            short: "Knowl Extrac",
+            name: "Adequacy of knowledge extraction",
+            group: Integration,
+            scale: FourLevel(LMH),
+            description: "Whether it is easy to identify parts of the candidate ontology to be \
+                          reused or extracted.",
+        },
+        Criterion {
+            key: "naming_conv",
+            short: "Naming Conv",
+            name: "Adequacy of naming conventions",
+            group: Integration,
+            scale: FourLevel(["none", "not intuitive", "understandable", "standard"]),
+            description: "Low if names are not intuitive, medium if clearly understandable, \
+                          high if taken from a given standard (e.g. W3C, MPEG7).",
+        },
+        Criterion {
+            key: "imp_language",
+            short: "Imp Language",
+            name: "Adequacy of the implementation language",
+            group: Integration,
+            scale: FourLevel(["none", "no transformation", "transformable", "same language"]),
+            description: "Low when the candidate and target languages differ with no \
+                          transformation mechanism; medium when a transformation exists; high \
+                          when the language is the same.",
+        },
+        Criterion {
+            key: "availab_test",
+            short: "Availab test",
+            name: "Availability of tests",
+            group: Reliability,
+            scale: FourLevel(LMH),
+            description: "Whether tests are available for the candidate ontology.",
+        },
+        Criterion {
+            key: "former_eval",
+            short: "Former Eval",
+            name: "Former evaluation",
+            group: Reliability,
+            scale: FourLevel(LMH),
+            description: "Whether the ontology has been properly evaluated, i.e. has passed a \
+                          set of unit tests.",
+        },
+        Criterion {
+            key: "team_reputat",
+            short: "Team Reputat",
+            name: "Development team reputation",
+            group: Reliability,
+            scale: FourLevel(LMH),
+            description: "Whether the development team is reliable.",
+        },
+        Criterion {
+            key: "purpose_rel",
+            short: "Purpose Rel",
+            name: "Purpose reliability",
+            group: Reliability,
+            scale: FourLevel(["unknown", "academic", "standard-metadata", "project"]),
+            description: "0 unknown, 1 built for academic use, 2 transformed from standard \
+                          metadata by a reputed team, 3 developed in a project (Fig 4).",
+        },
+        Criterion {
+            key: "prac_support",
+            short: "Prac Support",
+            name: "Practical support",
+            group: Reliability,
+            scale: FourLevel(LMH),
+            description: "Whether well-known projects or ontologies have reused the candidate \
+                          (project-built ontologies using design patterns score highest).",
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn there_are_fourteen_criteria() {
+        assert_eq!(criteria().len(), CRITERIA_COUNT);
+    }
+
+    #[test]
+    fn group_sizes_match_fig1() {
+        let cs = criteria();
+        let count = |g: ObjectiveGroup| cs.iter().filter(|c| c.group == g).count();
+        assert_eq!(count(ObjectiveGroup::ReuseCost), 2);
+        assert_eq!(count(ObjectiveGroup::Understandability), 3);
+        assert_eq!(count(ObjectiveGroup::Integration), 4);
+        assert_eq!(count(ObjectiveGroup::Reliability), 5);
+    }
+
+    #[test]
+    fn keys_are_unique() {
+        let cs = criteria();
+        let mut keys: Vec<&str> = cs.iter().map(|c| c.key).collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), CRITERIA_COUNT);
+    }
+
+    #[test]
+    fn only_funct_requir_is_continuous() {
+        let cs = criteria();
+        let continuous: Vec<&str> = cs
+            .iter()
+            .filter(|c| matches!(c.scale, CriterionScale::ValueT))
+            .map(|c| c.key)
+            .collect();
+        assert_eq!(continuous, vec!["funct_requir"]);
+    }
+
+    #[test]
+    fn group_metadata() {
+        assert_eq!(ObjectiveGroup::ALL.len(), 4);
+        assert_eq!(ObjectiveGroup::Integration.name(), "Integration workload");
+        assert_eq!(ObjectiveGroup::ReuseCost.key(), "reuse_cost");
+    }
+
+    #[test]
+    fn purpose_rel_levels_match_fig4() {
+        let cs = criteria();
+        let p = cs.iter().find(|c| c.key == "purpose_rel").unwrap();
+        match &p.scale {
+            CriterionScale::FourLevel(levels) => {
+                assert_eq!(levels[0], "unknown");
+                assert_eq!(levels[3], "project");
+            }
+            _ => panic!("purpose_rel must be discrete"),
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! # neon-reuse
+//!
+//! Domain layer of the reproduction: the **NeOn Methodology's ontology
+//! reuse process** (search → assess → select → integrate) with selection
+//! formulated as the paper's multi-attribute decision problem.
+//!
+//! * [`mod@criteria`] — the 14 criteria of Fig 1, organized under the four
+//!   objectives *Reuse Cost*, *Understandability*, *Integration workload*
+//!   and *Reliability*, with the discrete scales of \[8\]/\[15\];
+//! * [`valuet`] — the `ValueT` linguistic transformation for the *number of
+//!   functional requirements covered* criterion (Section III);
+//! * [`dataset`] — the paper's 23 multimedia-ontology case study: Fig 2
+//!   cells verbatim, the remaining cells reconstructed by calibration
+//!   against Figs 5/6/10 (per-cell provenance documented), the Fig 5 weight
+//!   intervals, and the Figs 3/4 component utilities;
+//! * [`assess`] — automated assessment of an [`ontolib`] ontology into a
+//!   performance vector on the 14 criteria;
+//! * [`activities`] — the reuse activities: registry search, assessment,
+//!   ranked selection under the ≥ 70 % competency-question coverage rule,
+//!   and mechanical integration (graph merge).
+
+pub mod activities;
+pub mod assess;
+pub mod criteria;
+pub mod dataset;
+pub mod nor;
+pub mod valuet;
+
+pub use activities::{IntegrationReport, OntologyRegistry, RegistryEntry, SelectionReport};
+pub use assess::{AssessmentInput, OntologyAssessor};
+pub use criteria::{criteria, Criterion, ObjectiveGroup, CRITERIA_COUNT};
+pub use dataset::{paper_model, paper_names, PaperData};
+pub use nor::{sample_soc_scheme, ClassificationScheme, SchemeError, SchemeItem};
+pub use valuet::{value_t, MNVLT};

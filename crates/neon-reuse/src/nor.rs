@@ -1,0 +1,325 @@
+//! Non-ontological resource (NOR) reuse.
+//!
+//! The paper's introduction lists, alongside ontologies, the reuse of
+//! *non-ontological resources* "such as thesauri, lexicons, data bases, UML
+//! diagrams and classification schemas, such as NAICS … and SOC" (citing
+//! Jimeno-Yepes et al., ref \[7\], and the NeOn NOR-reengineering guidelines).
+//! This module implements the most common case end to end: a
+//! **classification scheme** (a coded hierarchy like SOC's 23 major groups
+//! → 96 minor groups → 449 occupations) re-engineered into an ontology
+//! whose classes mirror the scheme items, ready to be assessed and selected
+//! like any other candidate.
+
+use ontolib::model::{Graph, Iri, Literal, Ontology, Term};
+use ontolib::vocab;
+
+/// One item of a classification scheme.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchemeItem {
+    /// The code within the scheme (`"15-1252"` in SOC style).
+    pub code: String,
+    /// Human-readable label (`"Software Developers"`).
+    pub label: String,
+    /// Code of the parent item, if any.
+    pub parent: Option<String>,
+}
+
+/// A classification scheme: named, versioned, with coded items.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassificationScheme {
+    pub name: String,
+    /// Namespace the re-engineered ontology will live in.
+    pub namespace: String,
+    pub items: Vec<SchemeItem>,
+}
+
+/// Problems found by [`ClassificationScheme::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchemeError {
+    DuplicateCode(String),
+    UnknownParent { code: String, parent: String },
+    CycleAt(String),
+    EmptyScheme,
+}
+
+impl std::fmt::Display for SchemeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchemeError::DuplicateCode(c) => write!(f, "duplicate code '{c}'"),
+            SchemeError::UnknownParent { code, parent } => {
+                write!(f, "item '{code}' references unknown parent '{parent}'")
+            }
+            SchemeError::CycleAt(c) => write!(f, "parent cycle through '{c}'"),
+            SchemeError::EmptyScheme => write!(f, "scheme has no items"),
+        }
+    }
+}
+
+impl std::error::Error for SchemeError {}
+
+impl ClassificationScheme {
+    pub fn new(name: impl Into<String>, namespace: impl Into<String>) -> ClassificationScheme {
+        ClassificationScheme { name: name.into(), namespace: namespace.into(), items: Vec::new() }
+    }
+
+    pub fn add_item(
+        &mut self,
+        code: impl Into<String>,
+        label: impl Into<String>,
+        parent: Option<&str>,
+    ) -> &mut Self {
+        self.items.push(SchemeItem {
+            code: code.into(),
+            label: label.into(),
+            parent: parent.map(|s| s.to_string()),
+        });
+        self
+    }
+
+    /// Structural validation: unique codes, resolvable parents, no cycles.
+    pub fn validate(&self) -> Result<(), SchemeError> {
+        if self.items.is_empty() {
+            return Err(SchemeError::EmptyScheme);
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for item in &self.items {
+            if !seen.insert(item.code.as_str()) {
+                return Err(SchemeError::DuplicateCode(item.code.clone()));
+            }
+        }
+        for item in &self.items {
+            if let Some(p) = &item.parent {
+                if !seen.contains(p.as_str()) {
+                    return Err(SchemeError::UnknownParent {
+                        code: item.code.clone(),
+                        parent: p.clone(),
+                    });
+                }
+            }
+        }
+        // Cycle check by walking parents with a step bound.
+        let parent_of: std::collections::BTreeMap<&str, &str> = self
+            .items
+            .iter()
+            .filter_map(|i| i.parent.as_deref().map(|p| (i.code.as_str(), p)))
+            .collect();
+        for item in &self.items {
+            let mut cur = item.code.as_str();
+            for _ in 0..=self.items.len() {
+                match parent_of.get(cur) {
+                    Some(&p) => {
+                        if p == item.code {
+                            return Err(SchemeError::CycleAt(item.code.clone()));
+                        }
+                        cur = p;
+                    }
+                    None => break,
+                }
+            }
+            if parent_of.contains_key(cur) {
+                return Err(SchemeError::CycleAt(item.code.clone()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Depth statistics of the scheme (levels, counts per level).
+    pub fn level_counts(&self) -> Vec<usize> {
+        let index: std::collections::BTreeMap<&str, &SchemeItem> =
+            self.items.iter().map(|i| (i.code.as_str(), i)).collect();
+        let mut counts: Vec<usize> = Vec::new();
+        for item in &self.items {
+            let mut depth = 0usize;
+            let mut cur = item;
+            while let Some(p) = cur.parent.as_deref().and_then(|p| index.get(p)) {
+                depth += 1;
+                cur = p;
+                if depth > self.items.len() {
+                    break; // defensive; validate() catches real cycles
+                }
+            }
+            if counts.len() <= depth {
+                counts.resize(depth + 1, 0);
+            }
+            counts[depth] += 1;
+        }
+        counts
+    }
+
+    /// Re-engineer the scheme into an ontology: each item becomes a class
+    /// named by a sanitized version of its label, labelled with the original
+    /// label, annotated with its code via `rdfs:comment`, and subclassed
+    /// under its parent. (The NeOn NOR re-engineering pattern "classification
+    /// scheme → class hierarchy".)
+    pub fn to_ontology(&self) -> Result<Ontology, SchemeError> {
+        self.validate()?;
+        let mut g = Graph::new();
+        g.prefixes.insert("", self.namespace.clone());
+        let onto = self.namespace.trim_end_matches(['#', '/']).to_string();
+        g.add(Term::iri(&onto), vocab::RDF_TYPE, Term::iri(vocab::OWL_ONTOLOGY));
+        g.add(
+            Term::iri(&onto),
+            vocab::DC_TITLE,
+            Term::Literal(Literal::plain(self.name.clone())),
+        );
+
+        let class_iri = |item: &SchemeItem| -> Iri {
+            Iri::new(format!("{}{}", self.namespace, sanitize(&item.label, &item.code)))
+        };
+        let index: std::collections::BTreeMap<&str, &SchemeItem> =
+            self.items.iter().map(|i| (i.code.as_str(), i)).collect();
+
+        for item in &self.items {
+            let iri = class_iri(item);
+            g.add(Term::Iri(iri.clone()), vocab::RDF_TYPE, Term::iri(vocab::OWL_CLASS));
+            g.add(
+                Term::Iri(iri.clone()),
+                vocab::RDFS_LABEL,
+                Term::Literal(Literal::plain(item.label.clone())),
+            );
+            g.add(
+                Term::Iri(iri.clone()),
+                vocab::RDFS_COMMENT,
+                Term::Literal(Literal::plain(format!(
+                    "{} code {}",
+                    self.name, item.code
+                ))),
+            );
+            if let Some(parent) = item.parent.as_deref().and_then(|p| index.get(p)) {
+                g.add(
+                    Term::Iri(iri),
+                    vocab::RDFS_SUBCLASS_OF,
+                    Term::Iri(class_iri(parent)),
+                );
+            }
+        }
+        Ok(Ontology::from_graph(g))
+    }
+}
+
+/// Sanitize a label into an `UpperCamel` local name, falling back to the
+/// code when the label has no usable characters.
+fn sanitize(label: &str, code: &str) -> String {
+    let mut out = String::new();
+    for word in label.split(|c: char| !c.is_alphanumeric()) {
+        let mut chars = word.chars();
+        if let Some(first) = chars.next() {
+            out.extend(first.to_uppercase());
+            out.extend(chars.flat_map(|c| c.to_lowercase()));
+        }
+    }
+    if out.is_empty() {
+        format!("Item{}", code.replace(|c: char| !c.is_alphanumeric(), "_"))
+    } else {
+        out
+    }
+}
+
+/// A miniature SOC-style occupational scheme used by tests and examples.
+pub fn sample_soc_scheme() -> ClassificationScheme {
+    let mut s = ClassificationScheme::new(
+        "Standard Occupational Classification (sample)",
+        "http://example.org/soc#",
+    );
+    s.add_item("15-0000", "Computer and Mathematical Occupations", None);
+    s.add_item("15-1200", "Computer Occupations", Some("15-0000"));
+    s.add_item("15-1252", "Software Developers", Some("15-1200"));
+    s.add_item("15-1253", "Software Quality Assurance Analysts and Testers", Some("15-1200"));
+    s.add_item("15-2000", "Mathematical Science Occupations", Some("15-0000"));
+    s.add_item("15-2041", "Statisticians", Some("15-2000"));
+    s.add_item("27-0000", "Arts, Design, Entertainment, Sports, and Media", None);
+    s.add_item("27-4000", "Media and Communication Equipment Workers", Some("27-0000"));
+    s.add_item("27-4032", "Film and Video Editors", Some("27-4000"));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ontolib::OntologyMetrics;
+
+    #[test]
+    fn sample_scheme_validates() {
+        assert!(sample_soc_scheme().validate().is_ok());
+        assert_eq!(sample_soc_scheme().level_counts(), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn duplicate_codes_rejected() {
+        let mut s = ClassificationScheme::new("x", "http://e/");
+        s.add_item("1", "A", None).add_item("1", "B", None);
+        assert_eq!(s.validate(), Err(SchemeError::DuplicateCode("1".into())));
+    }
+
+    #[test]
+    fn unknown_parent_rejected() {
+        let mut s = ClassificationScheme::new("x", "http://e/");
+        s.add_item("1", "A", Some("0"));
+        assert!(matches!(s.validate(), Err(SchemeError::UnknownParent { .. })));
+    }
+
+    #[test]
+    fn cycles_rejected() {
+        let mut s = ClassificationScheme::new("x", "http://e/");
+        s.add_item("1", "A", Some("2")).add_item("2", "B", Some("1"));
+        assert!(matches!(s.validate(), Err(SchemeError::CycleAt(_))));
+    }
+
+    #[test]
+    fn empty_scheme_rejected() {
+        let s = ClassificationScheme::new("x", "http://e/");
+        assert_eq!(s.validate(), Err(SchemeError::EmptyScheme));
+        assert!(SchemeError::EmptyScheme.to_string().contains("no items"));
+    }
+
+    #[test]
+    fn reengineering_produces_matching_hierarchy() {
+        let o = sample_soc_scheme().to_ontology().expect("valid scheme");
+        assert_eq!(o.classes.len(), 9);
+        let m = OntologyMetrics::compute(&o);
+        assert_eq!(m.hierarchy_depth, 2);
+        // Every class has a label and the code comment.
+        assert!((m.label_coverage - 1.0).abs() < 1e-12);
+        assert!((m.comment_coverage - 1.0).abs() < 1e-12);
+        let dev = ontolib::Iri::new("http://example.org/soc#SoftwareDevelopers");
+        assert_eq!(o.label(&dev), Some("Software Developers"));
+        assert!(o.comment(&dev).expect("comment").contains("15-1252"));
+    }
+
+    #[test]
+    fn reengineered_ontology_is_assessable() {
+        use crate::assess::{AssessmentInput, OntologyAssessor};
+        use ontolib::CompetencyQuestion;
+        let o = sample_soc_scheme().to_ontology().expect("valid");
+        let assessor = OntologyAssessor::new(vec![
+            CompetencyQuestion::new("Which occupations are software developers?"),
+            CompetencyQuestion::new("Who edits film and video?"),
+        ]);
+        let perfs = assessor.assess(&o, &AssessmentInput::default());
+        assert_eq!(perfs.len(), crate::criteria::CRITERIA_COUNT);
+        // The CQ terms match the re-engineered labels.
+        let funct = crate::criteria::criteria()
+            .iter()
+            .position(|c| c.key == "funct_requir")
+            .expect("exists");
+        match perfs[funct] {
+            maut::Perf::Value(v) => assert!(v > 0.0, "some CQ coverage expected, got {v}"),
+            other => panic!("expected ValueT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sanitize_edge_cases() {
+        assert_eq!(sanitize("Software Developers", "x"), "SoftwareDevelopers");
+        assert_eq!(sanitize("--##--", "15-1"), "Item15_1");
+        assert_eq!(sanitize("ALL CAPS HERE", "x"), "AllCapsHere");
+    }
+
+    #[test]
+    fn roundtrips_as_turtle() {
+        let o = sample_soc_scheme().to_ontology().expect("valid");
+        let text = ontolib::write_turtle(&o.graph);
+        let back = ontolib::parse_turtle(&text).expect("serializable");
+        assert_eq!(back.len(), o.graph.len());
+    }
+}

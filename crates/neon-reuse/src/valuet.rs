@@ -1,0 +1,63 @@
+//! The `ValueT` linguistic transformation (paper, Section III / Fig 3):
+//!
+//! ```text
+//! ValueT = (number of CQs covered × MNVLT) / (total number of CQs)
+//! ```
+//!
+//! where MNVLT — *the maximum numerical value in linguistic transformation*
+//! — is 3, as established in \[15\]. The transformation maps competency-
+//! question coverage onto the same `0..=3` numeric range as the discrete
+//! criteria, and the associated component utility is the precise linear
+//! function of Fig 3.
+
+/// Maximum numerical value in linguistic transformation (set to 3 in \[15\]).
+pub const MNVLT: f64 = 3.0;
+
+/// Compute `ValueT` from a CQ coverage count.
+///
+/// Returns 0 when `total` is 0 (no requirements identified yet — nothing to
+/// cover).
+pub fn value_t(covered: usize, total: usize) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    assert!(covered <= total, "covered ({covered}) exceeds total ({total})");
+    covered as f64 * MNVLT / total as f64
+}
+
+/// Invert `ValueT` back to an (approximate) coverage fraction in `[0, 1]`.
+pub fn coverage_fraction(value_t: f64) -> f64 {
+    (value_t / MNVLT).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formula_matches_paper() {
+        // e.g. 31 of 100 CQs covered -> 0.93, the COMM cell of Fig 2.
+        assert!((value_t(31, 100) - 0.93).abs() < 1e-12);
+        assert_eq!(value_t(0, 50), 0.0);
+        assert_eq!(value_t(50, 50), MNVLT);
+    }
+
+    #[test]
+    fn zero_total_is_zero() {
+        assert_eq!(value_t(0, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds total")]
+    fn covered_cannot_exceed_total() {
+        value_t(5, 3);
+    }
+
+    #[test]
+    fn coverage_roundtrip() {
+        let v = value_t(35, 100);
+        assert!((coverage_fraction(v) - 0.35).abs() < 1e-12);
+        assert_eq!(coverage_fraction(99.0), 1.0);
+        assert_eq!(coverage_fraction(-1.0), 0.0);
+    }
+}

@@ -1,0 +1,208 @@
+//! Competency-question (CQ) coverage.
+//!
+//! The paper's *number of functional requirements covered* criterion counts
+//! how many of the CQs written for the target ontology (M3) a candidate
+//! ontology can answer (Gruninger & Fox's methodology, ref \[16\]). The
+//! measurable proxy implemented here: a CQ is *covered* when a sufficient
+//! share of its key terms match the candidate's lexicon (entity local names
+//! and labels, tokenized and lightly normalized).
+
+use crate::model::Ontology;
+use crate::naming::tokenize;
+use std::collections::BTreeSet;
+
+/// Words carrying no domain meaning, skipped during term extraction.
+const STOPWORDS: &[&str] = &[
+    "a", "an", "and", "are", "be", "by", "can", "do", "does", "for", "from", "has", "have", "how",
+    "in", "is", "it", "its", "many", "much", "of", "on", "or", "that", "the", "there", "to",
+    "what", "when", "where", "which", "who", "with",
+];
+
+/// A competency question plus its extracted key terms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompetencyQuestion {
+    pub text: String,
+    pub terms: BTreeSet<String>,
+}
+
+impl CompetencyQuestion {
+    /// Build from free text; key terms are the normalized non-stopwords.
+    pub fn new(text: impl Into<String>) -> CompetencyQuestion {
+        let text = text.into();
+        let terms = text
+            .split(|c: char| !c.is_alphanumeric())
+            .map(normalize)
+            .filter(|w| w.len() > 1 && !STOPWORDS.contains(&w.as_str()))
+            .collect();
+        CompetencyQuestion { text, terms }
+    }
+}
+
+/// Lowercase and fold trivial plurals (`images` → `image`, `properties` →
+/// `property`). Deliberately conservative — no full stemmer.
+fn normalize(word: &str) -> String {
+    let w = word.to_lowercase();
+    if let Some(stem) = w.strip_suffix("ies") {
+        if stem.len() >= 3 {
+            return format!("{stem}y");
+        }
+    }
+    if let Some(stem) = w.strip_suffix('s') {
+        if stem.len() >= 3 && !stem.ends_with('s') && !stem.ends_with('u') {
+            return stem.to_string();
+        }
+    }
+    w
+}
+
+/// Result of matching a CQ set against one ontology.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CqCoverage {
+    /// Per-question flags, aligned with the input order.
+    pub covered: Vec<bool>,
+    /// Number of questions judged covered.
+    pub num_covered: usize,
+    pub total: usize,
+}
+
+impl CqCoverage {
+    /// Fraction covered in `[0,1]`.
+    pub fn fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.num_covered as f64 / self.total as f64
+        }
+    }
+
+    /// Match `questions` against `ontology`. A question counts as covered
+    /// when at least `threshold` (e.g. 0.6) of its terms appear in the
+    /// ontology lexicon.
+    pub fn compute(
+        ontology: &Ontology,
+        questions: &[CompetencyQuestion],
+        threshold: f64,
+    ) -> CqCoverage {
+        let lexicon = build_lexicon(ontology);
+        let covered: Vec<bool> = questions
+            .iter()
+            .map(|q| {
+                if q.terms.is_empty() {
+                    return false;
+                }
+                let hits = q.terms.iter().filter(|t| lexicon.contains(*t)).count();
+                hits as f64 / q.terms.len() as f64 >= threshold
+            })
+            .collect();
+        let num_covered = covered.iter().filter(|&&c| c).count();
+        CqCoverage { covered, num_covered, total: questions.len() }
+    }
+}
+
+/// All normalized word tokens from entity local names and labels.
+pub fn build_lexicon(o: &Ontology) -> BTreeSet<String> {
+    let mut lex = BTreeSet::new();
+    for (iri, _) in o.entities() {
+        for tok in tokenize(iri.local_name()) {
+            lex.insert(normalize(&tok));
+        }
+    }
+    for labels in o.labels.values() {
+        for l in labels {
+            for tok in l.lexical.split(|c: char| !c.is_alphanumeric()) {
+                if !tok.is_empty() {
+                    lex.insert(normalize(tok));
+                }
+            }
+        }
+    }
+    lex
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Graph, Literal, Term};
+    use crate::vocab;
+
+    fn mm_ontology() -> Ontology {
+        let mut g = Graph::new();
+        for c in ["http://e/VideoSegment", "http://e/AudioTrack", "http://e/Image"] {
+            g.add(Term::iri(c), vocab::RDF_TYPE, Term::iri(vocab::OWL_CLASS));
+        }
+        g.add(
+            Term::iri("http://e/hasDuration"),
+            vocab::RDF_TYPE,
+            Term::iri(vocab::OWL_DATATYPE_PROPERTY),
+        );
+        g.add(
+            Term::iri("http://e/Image"),
+            vocab::RDFS_LABEL,
+            Term::Literal(Literal::plain("still picture")),
+        );
+        Ontology::from_graph(g)
+    }
+
+    #[test]
+    fn terms_extracted_without_stopwords() {
+        let q = CompetencyQuestion::new("What is the duration of a video segment?");
+        assert!(q.terms.contains("duration"));
+        assert!(q.terms.contains("video"));
+        assert!(q.terms.contains("segment"));
+        assert!(!q.terms.contains("the"));
+        assert!(!q.terms.contains("is"));
+    }
+
+    #[test]
+    fn plural_folding() {
+        assert_eq!(normalize("images"), "image");
+        assert_eq!(normalize("properties"), "property");
+        assert_eq!(normalize("glass"), "glass"); // double-s left alone
+        assert_eq!(normalize("Video"), "video");
+    }
+
+    #[test]
+    fn lexicon_includes_names_and_labels() {
+        let lex = build_lexicon(&mm_ontology());
+        assert!(lex.contains("video"));
+        assert!(lex.contains("segment"));
+        assert!(lex.contains("duration"));
+        assert!(lex.contains("picture")); // from the label
+    }
+
+    #[test]
+    fn coverage_counts_matching_questions() {
+        let o = mm_ontology();
+        let qs = vec![
+            CompetencyQuestion::new("What is the duration of a video segment?"),
+            CompetencyQuestion::new("Which audio tracks exist?"),
+            CompetencyQuestion::new("Who composed the symphony in the opera house?"),
+        ];
+        let cov = CqCoverage::compute(&o, &qs, 0.6);
+        assert_eq!(cov.total, 3);
+        assert!(cov.covered[0]);
+        assert!(cov.covered[1]);
+        assert!(!cov.covered[2]);
+        assert_eq!(cov.num_covered, 2);
+        assert!((cov.fraction() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn threshold_controls_strictness() {
+        let o = mm_ontology();
+        let q = vec![CompetencyQuestion::new("video segment duration frames codec")];
+        // 3 of 5 terms match (video, segment, duration).
+        assert_eq!(CqCoverage::compute(&o, &q, 0.6).num_covered, 1);
+        assert_eq!(CqCoverage::compute(&o, &q, 0.8).num_covered, 0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let o = mm_ontology();
+        let cov = CqCoverage::compute(&o, &[], 0.6);
+        assert_eq!(cov.fraction(), 0.0);
+        let blank = vec![CompetencyQuestion::new("??")];
+        let cov = CqCoverage::compute(&o, &blank, 0.6);
+        assert!(!cov.covered[0]);
+    }
+}

@@ -1,0 +1,217 @@
+//! Structural metrics over an [`Ontology`], feeding the *understandability*
+//! criteria of the NeOn reuse assessment (documentation quality and code
+//! clarity are functions of annotation coverage and structural regularity).
+
+use crate::model::{Iri, Ontology};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Aggregate structural metrics of one ontology.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OntologyMetrics {
+    pub num_classes: usize,
+    pub num_object_properties: usize,
+    pub num_datatype_properties: usize,
+    pub num_individuals: usize,
+    pub num_triples: usize,
+    /// Longest `rdfs:subClassOf` chain (0 for a flat ontology).
+    pub hierarchy_depth: usize,
+    /// Mean number of direct subclasses per non-leaf class.
+    pub mean_branching: f64,
+    /// Share of named entities (classes + properties) carrying an
+    /// `rdfs:label`.
+    pub label_coverage: f64,
+    /// Share of named entities carrying an `rdfs:comment`.
+    pub comment_coverage: f64,
+    /// Classes with no superclass and no subclasses (structure islands).
+    pub orphan_classes: usize,
+    /// Number of `owl:imports`.
+    pub num_imports: usize,
+}
+
+impl OntologyMetrics {
+    /// Compute all metrics for an ontology.
+    pub fn compute(o: &Ontology) -> OntologyMetrics {
+        let schema_entities: Vec<&Iri> = o
+            .classes
+            .iter()
+            .chain(o.object_properties.iter())
+            .chain(o.datatype_properties.iter())
+            .collect();
+        let n_schema = schema_entities.len();
+        let labeled = schema_entities.iter().filter(|e| o.labels.contains_key(**e)).count();
+        let commented = schema_entities.iter().filter(|e| o.comments.contains_key(**e)).count();
+
+        let (depth, mean_branching, orphans) = hierarchy_shape(o);
+
+        OntologyMetrics {
+            num_classes: o.classes.len(),
+            num_object_properties: o.object_properties.len(),
+            num_datatype_properties: o.datatype_properties.len(),
+            num_individuals: o.individuals.len(),
+            num_triples: o.graph.len(),
+            hierarchy_depth: depth,
+            mean_branching,
+            label_coverage: ratio(labeled, n_schema),
+            comment_coverage: ratio(commented, n_schema),
+            orphan_classes: orphans,
+            num_imports: o.imports.len(),
+        }
+    }
+
+    /// A single "documentation density" figure in `[0,1]`: the mean of label
+    /// and comment coverage. Used as the measurable proxy for the paper's
+    /// *documentation quality* / *code clarity* judgments.
+    pub fn documentation_density(&self) -> f64 {
+        (self.label_coverage + self.comment_coverage) / 2.0
+    }
+
+    /// Schema size (classes + properties), the usual "ontology size" figure.
+    pub fn schema_size(&self) -> usize {
+        self.num_classes + self.num_object_properties + self.num_datatype_properties
+    }
+}
+
+fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Depth (longest chain), mean branching over non-leaf classes, orphan count.
+fn hierarchy_shape(o: &Ontology) -> (usize, f64, usize) {
+    // children map: super -> subs
+    let mut children: BTreeMap<&Iri, Vec<&Iri>> = BTreeMap::new();
+    for (sub, supers) in &o.subclass_of {
+        for sup in supers {
+            children.entry(sup).or_default().push(sub);
+        }
+    }
+    // Depth via memoized DFS from roots, guarding against cycles.
+    fn depth_of<'a>(
+        class: &'a Iri,
+        o: &'a Ontology,
+        memo: &mut BTreeMap<&'a Iri, usize>,
+        visiting: &mut BTreeSet<&'a Iri>,
+    ) -> usize {
+        if let Some(&d) = memo.get(class) {
+            return d;
+        }
+        if !visiting.insert(class) {
+            return 0; // cycle: treat as depth 0 rather than recursing forever
+        }
+        let d = o
+            .subclass_of
+            .get(class)
+            .into_iter()
+            .flatten()
+            .map(|sup| 1 + depth_of(sup, o, memo, visiting))
+            .max()
+            .unwrap_or(0);
+        visiting.remove(class);
+        memo.insert(class, d);
+        d
+    }
+    let mut memo = BTreeMap::new();
+    let mut visiting = BTreeSet::new();
+    let depth =
+        o.classes.iter().map(|c| depth_of(c, o, &mut memo, &mut visiting)).max().unwrap_or(0);
+
+    let non_leaf = children.len();
+    let total_children: usize = children.values().map(|v| v.len()).sum();
+    let mean_branching = if non_leaf == 0 { 0.0 } else { total_children as f64 / non_leaf as f64 };
+
+    let orphans = o
+        .classes
+        .iter()
+        .filter(|c| {
+            !o.subclass_of.contains_key(*c) && !children.contains_key(*c)
+        })
+        .count();
+
+    (depth, mean_branching, orphans)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Graph, Literal, Term};
+    use crate::vocab;
+
+    fn class(g: &mut Graph, iri: &str) -> Term {
+        let t = Term::iri(iri);
+        g.add(t.clone(), vocab::RDF_TYPE, Term::iri(vocab::OWL_CLASS));
+        t
+    }
+
+    fn chain_graph() -> Graph {
+        // A <- B <- C (C subclass of B subclass of A), plus orphan D
+        let mut g = Graph::new();
+        let a = class(&mut g, "http://e/A");
+        let b = class(&mut g, "http://e/B");
+        let c = class(&mut g, "http://e/C");
+        let _d = class(&mut g, "http://e/D");
+        g.add(b.clone(), vocab::RDFS_SUBCLASS_OF, a.clone());
+        g.add(c.clone(), vocab::RDFS_SUBCLASS_OF, b.clone());
+        g.add(a.clone(), vocab::RDFS_LABEL, Term::Literal(Literal::plain("A")));
+        g.add(a, vocab::RDFS_COMMENT, Term::Literal(Literal::plain("root")));
+        g.add(b, vocab::RDFS_LABEL, Term::Literal(Literal::plain("B")));
+        g
+    }
+
+    #[test]
+    fn counts_and_depth() {
+        let o = Ontology::from_graph(chain_graph());
+        let m = OntologyMetrics::compute(&o);
+        assert_eq!(m.num_classes, 4);
+        assert_eq!(m.hierarchy_depth, 2);
+        assert_eq!(m.orphan_classes, 1);
+        assert_eq!(m.schema_size(), 4);
+    }
+
+    #[test]
+    fn coverage_ratios() {
+        let o = Ontology::from_graph(chain_graph());
+        let m = OntologyMetrics::compute(&o);
+        assert!((m.label_coverage - 0.5).abs() < 1e-12); // 2 of 4
+        assert!((m.comment_coverage - 0.25).abs() < 1e-12); // 1 of 4
+        assert!((m.documentation_density() - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn branching_factor() {
+        // A with two children B, C.
+        let mut g = Graph::new();
+        let a = class(&mut g, "http://e/A");
+        let b = class(&mut g, "http://e/B");
+        let c = class(&mut g, "http://e/C");
+        g.add(b, vocab::RDFS_SUBCLASS_OF, a.clone());
+        g.add(c, vocab::RDFS_SUBCLASS_OF, a);
+        let m = OntologyMetrics::compute(&Ontology::from_graph(g));
+        assert!((m.mean_branching - 2.0).abs() < 1e-12);
+        assert_eq!(m.hierarchy_depth, 1);
+        assert_eq!(m.orphan_classes, 0);
+    }
+
+    #[test]
+    fn cycle_does_not_hang() {
+        let mut g = Graph::new();
+        let a = class(&mut g, "http://e/A");
+        let b = class(&mut g, "http://e/B");
+        g.add(a.clone(), vocab::RDFS_SUBCLASS_OF, b.clone());
+        g.add(b, vocab::RDFS_SUBCLASS_OF, a);
+        let m = OntologyMetrics::compute(&Ontology::from_graph(g));
+        // Depth is defined (bounded) despite the cycle.
+        assert!(m.hierarchy_depth <= 2);
+    }
+
+    #[test]
+    fn empty_ontology_is_all_zero() {
+        let m = OntologyMetrics::compute(&Ontology::from_graph(Graph::new()));
+        assert_eq!(m.num_classes, 0);
+        assert_eq!(m.hierarchy_depth, 0);
+        assert_eq!(m.label_coverage, 0.0);
+        assert_eq!(m.documentation_density(), 0.0);
+    }
+}

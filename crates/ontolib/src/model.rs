@@ -1,0 +1,576 @@
+//! RDF-style data model: IRIs, literals, triples, graphs, and an
+//! OWL-flavoured [`Ontology`] view derived from a [`Graph`].
+
+use crate::vocab;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// An IRI (kept as a plain string; no normalization beyond trimming).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Iri(pub String);
+
+impl Iri {
+    pub fn new(s: impl Into<String>) -> Iri {
+        Iri(s.into())
+    }
+
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// The local name: the fragment after `#`, or the last path segment.
+    pub fn local_name(&self) -> &str {
+        let s = self.0.as_str();
+        if let Some(i) = s.rfind('#') {
+            return &s[i + 1..];
+        }
+        if let Some(i) = s.rfind('/') {
+            return &s[i + 1..];
+        }
+        if let Some(i) = s.rfind(':') {
+            return &s[i + 1..];
+        }
+        s
+    }
+
+    /// The namespace part (everything up to and including the separator).
+    pub fn namespace(&self) -> &str {
+        let s = self.0.as_str();
+        let cut = s.rfind('#').or_else(|| s.rfind('/')).or_else(|| s.rfind(':'));
+        match cut {
+            Some(i) => &s[..=i],
+            None => "",
+        }
+    }
+}
+
+impl fmt::Display for Iri {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{}>", self.0)
+    }
+}
+
+impl From<&str> for Iri {
+    fn from(s: &str) -> Iri {
+        Iri::new(s)
+    }
+}
+
+/// An RDF literal: lexical form plus optional datatype or language tag.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Literal {
+    pub lexical: String,
+    pub datatype: Option<Iri>,
+    pub lang: Option<String>,
+}
+
+impl Literal {
+    pub fn plain(s: impl Into<String>) -> Literal {
+        Literal { lexical: s.into(), datatype: None, lang: None }
+    }
+
+    pub fn lang_tagged(s: impl Into<String>, lang: impl Into<String>) -> Literal {
+        Literal { lexical: s.into(), datatype: None, lang: Some(lang.into()) }
+    }
+
+    pub fn typed(s: impl Into<String>, datatype: Iri) -> Literal {
+        Literal { lexical: s.into(), datatype: Some(datatype), lang: None }
+    }
+
+    pub fn integer(v: i64) -> Literal {
+        Literal::typed(v.to_string(), Iri::new(vocab::XSD_INTEGER))
+    }
+
+    pub fn decimal(v: f64) -> Literal {
+        Literal::typed(format!("{v}"), Iri::new(vocab::XSD_DECIMAL))
+    }
+
+    pub fn boolean(v: bool) -> Literal {
+        Literal::typed(v.to_string(), Iri::new(vocab::XSD_BOOLEAN))
+    }
+}
+
+/// A node in subject or object position.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Term {
+    Iri(Iri),
+    Blank(String),
+    Literal(Literal),
+}
+
+impl Term {
+    pub fn iri(s: impl Into<String>) -> Term {
+        Term::Iri(Iri::new(s))
+    }
+
+    pub fn as_iri(&self) -> Option<&Iri> {
+        match self {
+            Term::Iri(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    pub fn as_literal(&self) -> Option<&Literal> {
+        match self {
+            Term::Literal(l) => Some(l),
+            _ => None,
+        }
+    }
+}
+
+/// A single RDF triple. Subjects are IRIs or blank nodes (encoded as
+/// [`Term`], literals in subject position are rejected by the parser and
+/// debug-asserted here).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Triple {
+    pub subject: Term,
+    pub predicate: Iri,
+    pub object: Term,
+}
+
+impl Triple {
+    pub fn new(subject: Term, predicate: Iri, object: Term) -> Triple {
+        debug_assert!(
+            !matches!(subject, Term::Literal(_)),
+            "literal in subject position"
+        );
+        Triple { subject, predicate, object }
+    }
+}
+
+/// Prefix table (`@prefix` declarations).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrefixMap {
+    map: BTreeMap<String, String>,
+}
+
+impl PrefixMap {
+    pub fn new() -> PrefixMap {
+        PrefixMap::default()
+    }
+
+    /// A map preloaded with the standard rdf/rdfs/owl/xsd/dc prefixes.
+    pub fn standard() -> PrefixMap {
+        let mut p = PrefixMap::new();
+        p.insert("rdf", vocab::RDF_NS);
+        p.insert("rdfs", vocab::RDFS_NS);
+        p.insert("owl", vocab::OWL_NS);
+        p.insert("xsd", vocab::XSD_NS);
+        p.insert("dc", vocab::DC_NS);
+        p
+    }
+
+    pub fn insert(&mut self, prefix: impl Into<String>, ns: impl Into<String>) {
+        self.map.insert(prefix.into(), ns.into());
+    }
+
+    pub fn expand(&self, prefix: &str, local: &str) -> Option<Iri> {
+        self.map.get(prefix).map(|ns| Iri::new(format!("{ns}{local}")))
+    }
+
+    /// Find `(prefix, local)` for an IRI if some namespace matches.
+    pub fn compress<'a>(&self, iri: &'a Iri) -> Option<(String, &'a str)> {
+        let s = iri.as_str();
+        // Longest-namespace match wins so nested namespaces compress sanely.
+        let mut best: Option<(&String, &String)> = None;
+        for (p, ns) in &self.map {
+            if s.starts_with(ns.as_str()) {
+                match best {
+                    Some((_, bns)) if bns.len() >= ns.len() => {}
+                    _ => best = Some((p, ns)),
+                }
+            }
+        }
+        let (p, ns) = best?;
+        let local = &s[ns.len()..];
+        // Only compress when the remainder is a sane local name.
+        if local.is_empty()
+            || !local.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '-' || c == '.')
+        {
+            return None;
+        }
+        Some((p.clone(), local))
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &String)> {
+        self.map.iter()
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// A bag of triples plus prefix declarations.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Graph {
+    pub prefixes: PrefixMap,
+    triples: Vec<Triple>,
+}
+
+impl Graph {
+    pub fn new() -> Graph {
+        Graph { prefixes: PrefixMap::standard(), triples: Vec::new() }
+    }
+
+    pub fn insert(&mut self, t: Triple) {
+        self.triples.push(t);
+    }
+
+    pub fn add(&mut self, s: Term, p: impl Into<Iri>, o: Term) {
+        self.insert(Triple::new(s, p.into(), o));
+    }
+
+    pub fn len(&self) -> usize {
+        self.triples.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.triples.is_empty()
+    }
+
+    pub fn triples(&self) -> &[Triple] {
+        &self.triples
+    }
+
+    /// All triples with the given predicate.
+    pub fn with_predicate<'a>(&'a self, p: &'a str) -> impl Iterator<Item = &'a Triple> + 'a {
+        self.triples.iter().filter(move |t| t.predicate.as_str() == p)
+    }
+
+    /// All objects of `(subject, predicate, ?)`.
+    pub fn objects_of<'a>(
+        &'a self,
+        subject: &'a Term,
+        predicate: &'a str,
+    ) -> impl Iterator<Item = &'a Term> + 'a {
+        self.triples
+            .iter()
+            .filter(move |t| &t.subject == subject && t.predicate.as_str() == predicate)
+            .map(|t| &t.object)
+    }
+
+    /// Subjects declared `rdf:type` of `class_iri`.
+    pub fn instances_of<'a>(&'a self, class_iri: &'a str) -> impl Iterator<Item = &'a Term> + 'a {
+        self.triples
+            .iter()
+            .filter(move |t| {
+                t.predicate.as_str() == vocab::RDF_TYPE
+                    && t.object.as_iri().map(|i| i.as_str()) == Some(class_iri)
+            })
+            .map(|t| &t.subject)
+    }
+
+    /// Deduplicate triples (stable order of first occurrence).
+    pub fn dedup(&mut self) {
+        let mut seen = BTreeSet::new();
+        self.triples.retain(|t| seen.insert(t.clone()));
+    }
+
+    /// Merge another graph into this one (prefixes of `other` win on clash),
+    /// deduplicating afterwards. This is the mechanical core of the NeOn
+    /// *integration* activity.
+    pub fn merge(&mut self, other: &Graph) {
+        for (p, ns) in other.prefixes.iter() {
+            self.prefixes.insert(p.clone(), ns.clone());
+        }
+        self.triples.extend(other.triples.iter().cloned());
+        self.dedup();
+    }
+}
+
+/// The kind of a named entity in the ontology view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum EntityKind {
+    Class,
+    ObjectProperty,
+    DatatypeProperty,
+    AnnotationProperty,
+    Individual,
+}
+
+/// An OWL-flavoured read view over a [`Graph`]: entity sets, annotations and
+/// the subclass hierarchy, which is what the assessment metrics consume.
+#[derive(Debug, Clone, Default)]
+pub struct Ontology {
+    /// The ontology IRI (subject of `rdf:type owl:Ontology`), if declared.
+    pub iri: Option<Iri>,
+    pub classes: BTreeSet<Iri>,
+    pub object_properties: BTreeSet<Iri>,
+    pub datatype_properties: BTreeSet<Iri>,
+    pub annotation_properties: BTreeSet<Iri>,
+    pub individuals: BTreeSet<Iri>,
+    /// `rdfs:label` values per entity.
+    pub labels: BTreeMap<Iri, Vec<Literal>>,
+    /// `rdfs:comment` values per entity.
+    pub comments: BTreeMap<Iri, Vec<Literal>>,
+    /// Direct subclass edges (sub → supers).
+    pub subclass_of: BTreeMap<Iri, BTreeSet<Iri>>,
+    /// `owl:imports` targets.
+    pub imports: BTreeSet<Iri>,
+    /// The underlying graph.
+    pub graph: Graph,
+}
+
+impl Ontology {
+    /// Build the view from a graph.
+    pub fn from_graph(graph: Graph) -> Ontology {
+        let mut o = Ontology { graph, ..Ontology::default() };
+
+        for t in o.graph.triples() {
+            let Some(subj) = t.subject.as_iri().cloned() else { continue };
+            match t.predicate.as_str() {
+                vocab::RDF_TYPE => {
+                    if let Some(ty) = t.object.as_iri() {
+                        match ty.as_str() {
+                            vocab::OWL_ONTOLOGY => o.iri = Some(subj.clone()),
+                            vocab::OWL_CLASS | vocab::RDFS_CLASS => {
+                                o.classes.insert(subj.clone());
+                            }
+                            vocab::OWL_OBJECT_PROPERTY => {
+                                o.object_properties.insert(subj.clone());
+                            }
+                            vocab::OWL_DATATYPE_PROPERTY => {
+                                o.datatype_properties.insert(subj.clone());
+                            }
+                            vocab::OWL_ANNOTATION_PROPERTY => {
+                                o.annotation_properties.insert(subj.clone());
+                            }
+                            vocab::OWL_NAMED_INDIVIDUAL => {
+                                o.individuals.insert(subj.clone());
+                            }
+                            _ => {
+                                // typed with a domain class: an individual
+                                if !ty.as_str().starts_with(vocab::OWL_NS)
+                                    && !ty.as_str().starts_with(vocab::RDFS_NS)
+                                    && !ty.as_str().starts_with(vocab::RDF_NS)
+                                {
+                                    o.individuals.insert(subj.clone());
+                                }
+                            }
+                        }
+                    }
+                }
+                vocab::RDFS_SUBCLASS_OF => {
+                    if let Some(sup) = t.object.as_iri() {
+                        o.classes.insert(subj.clone());
+                        o.classes.insert(sup.clone());
+                        o.subclass_of.entry(subj.clone()).or_default().insert(sup.clone());
+                    }
+                }
+                vocab::RDFS_LABEL => {
+                    if let Some(l) = t.object.as_literal() {
+                        o.labels.entry(subj.clone()).or_default().push(l.clone());
+                    }
+                }
+                vocab::RDFS_COMMENT => {
+                    if let Some(l) = t.object.as_literal() {
+                        o.comments.entry(subj.clone()).or_default().push(l.clone());
+                    }
+                }
+                vocab::OWL_IMPORTS => {
+                    if let Some(i) = t.object.as_iri() {
+                        o.imports.insert(i.clone());
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Individuals typed by a declared class shouldn't also count as
+        // classes; classes win on conflict.
+        o.individuals = &o.individuals - &o.classes;
+        o
+    }
+
+    /// All named entities with their kinds.
+    pub fn entities(&self) -> Vec<(Iri, EntityKind)> {
+        let mut out = Vec::new();
+        out.extend(self.classes.iter().cloned().map(|i| (i, EntityKind::Class)));
+        out.extend(self.object_properties.iter().cloned().map(|i| (i, EntityKind::ObjectProperty)));
+        out.extend(
+            self.datatype_properties.iter().cloned().map(|i| (i, EntityKind::DatatypeProperty)),
+        );
+        out.extend(
+            self.annotation_properties.iter().cloned().map(|i| (i, EntityKind::AnnotationProperty)),
+        );
+        out.extend(self.individuals.iter().cloned().map(|i| (i, EntityKind::Individual)));
+        out
+    }
+
+    pub fn num_entities(&self) -> usize {
+        self.classes.len()
+            + self.object_properties.len()
+            + self.datatype_properties.len()
+            + self.annotation_properties.len()
+            + self.individuals.len()
+    }
+
+    /// Direct superclasses of `class`.
+    pub fn superclasses(&self, class: &Iri) -> impl Iterator<Item = &Iri> {
+        self.subclass_of.get(class).into_iter().flatten()
+    }
+
+    /// First label of an entity, if any.
+    pub fn label(&self, e: &Iri) -> Option<&str> {
+        self.labels.get(e).and_then(|v| v.first()).map(|l| l.lexical.as_str())
+    }
+
+    /// First comment of an entity, if any.
+    pub fn comment(&self, e: &Iri) -> Option<&str> {
+        self.comments.get(e).and_then(|v| v.first()).map(|l| l.lexical.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iri(s: &str) -> Iri {
+        Iri::new(s)
+    }
+
+    #[test]
+    fn iri_local_name_variants() {
+        assert_eq!(iri("http://ex.org/onto#Video").local_name(), "Video");
+        assert_eq!(iri("http://ex.org/onto/Video").local_name(), "Video");
+        assert_eq!(iri("urn:x:Video").local_name(), "Video");
+        assert_eq!(iri("Video").local_name(), "Video");
+    }
+
+    #[test]
+    fn iri_namespace_variants() {
+        assert_eq!(iri("http://ex.org/onto#Video").namespace(), "http://ex.org/onto#");
+        assert_eq!(iri("http://ex.org/onto/Video").namespace(), "http://ex.org/onto/");
+        assert_eq!(iri("Video").namespace(), "");
+    }
+
+    #[test]
+    fn prefix_expand_and_compress_roundtrip() {
+        let p = PrefixMap::standard();
+        let i = p.expand("owl", "Class").unwrap();
+        assert_eq!(i.as_str(), vocab::OWL_CLASS);
+        let (pref, local) = p.compress(&i).unwrap();
+        assert_eq!(pref, "owl");
+        assert_eq!(local, "Class");
+    }
+
+    #[test]
+    fn compress_rejects_odd_locals() {
+        let mut p = PrefixMap::new();
+        p.insert("ex", "http://ex.org/");
+        assert!(p.compress(&iri("http://ex.org/a b")).is_none());
+        assert!(p.compress(&iri("http://ex.org/")).is_none());
+        assert!(p.compress(&iri("http://other.org/x")).is_none());
+    }
+
+    #[test]
+    fn compress_prefers_longest_namespace() {
+        let mut p = PrefixMap::new();
+        p.insert("a", "http://ex.org/");
+        p.insert("b", "http://ex.org/deep/");
+        let deep = iri("http://ex.org/deep/Thing");
+        let (pref, local) = p.compress(&deep).unwrap();
+        assert_eq!(pref, "b");
+        assert_eq!(local, "Thing");
+    }
+
+    fn sample_graph() -> Graph {
+        let mut g = Graph::new();
+        g.prefixes.insert("ex", "http://ex.org/mm#");
+        let ont = Term::iri("http://ex.org/mm");
+        g.add(ont.clone(), vocab::RDF_TYPE, Term::iri(vocab::OWL_ONTOLOGY));
+        g.add(ont, vocab::OWL_IMPORTS, Term::iri("http://ex.org/base"));
+        let video = Term::iri("http://ex.org/mm#Video");
+        let media = Term::iri("http://ex.org/mm#Media");
+        g.add(video.clone(), vocab::RDF_TYPE, Term::iri(vocab::OWL_CLASS));
+        g.add(media.clone(), vocab::RDF_TYPE, Term::iri(vocab::OWL_CLASS));
+        g.add(video.clone(), vocab::RDFS_SUBCLASS_OF, media.clone());
+        g.add(video.clone(), vocab::RDFS_LABEL, Term::Literal(Literal::plain("Video")));
+        g.add(
+            video.clone(),
+            vocab::RDFS_COMMENT,
+            Term::Literal(Literal::lang_tagged("A moving image.", "en")),
+        );
+        let dur = Term::iri("http://ex.org/mm#duration");
+        g.add(dur, vocab::RDF_TYPE, Term::iri(vocab::OWL_DATATYPE_PROPERTY));
+        let depicts = Term::iri("http://ex.org/mm#depicts");
+        g.add(depicts, vocab::RDF_TYPE, Term::iri(vocab::OWL_OBJECT_PROPERTY));
+        let clip = Term::iri("http://ex.org/mm#clip1");
+        g.add(clip, vocab::RDF_TYPE, video.clone());
+        g
+    }
+
+    #[test]
+    fn ontology_view_classifies_entities() {
+        let o = Ontology::from_graph(sample_graph());
+        assert_eq!(o.iri.as_ref().unwrap().as_str(), "http://ex.org/mm");
+        assert_eq!(o.classes.len(), 2);
+        assert_eq!(o.object_properties.len(), 1);
+        assert_eq!(o.datatype_properties.len(), 1);
+        assert_eq!(o.individuals.len(), 1);
+        assert_eq!(o.imports.len(), 1);
+        assert_eq!(o.num_entities(), 5);
+    }
+
+    #[test]
+    fn ontology_view_annotations() {
+        let o = Ontology::from_graph(sample_graph());
+        let video = iri("http://ex.org/mm#Video");
+        assert_eq!(o.label(&video), Some("Video"));
+        assert_eq!(o.comment(&video), Some("A moving image."));
+        assert_eq!(o.label(&iri("http://ex.org/mm#Media")), None);
+    }
+
+    #[test]
+    fn subclass_edges_recorded() {
+        let o = Ontology::from_graph(sample_graph());
+        let video = iri("http://ex.org/mm#Video");
+        let supers: Vec<_> = o.superclasses(&video).collect();
+        assert_eq!(supers.len(), 1);
+        assert_eq!(supers[0].as_str(), "http://ex.org/mm#Media");
+    }
+
+    #[test]
+    fn subclass_infers_classes_without_declaration() {
+        let mut g = Graph::new();
+        g.add(
+            Term::iri("http://e/A"),
+            vocab::RDFS_SUBCLASS_OF,
+            Term::iri("http://e/B"),
+        );
+        let o = Ontology::from_graph(g);
+        assert_eq!(o.classes.len(), 2);
+    }
+
+    #[test]
+    fn graph_merge_dedups() {
+        let g1 = sample_graph();
+        let mut g2 = sample_graph();
+        let before = g1.len();
+        g2.merge(&g1);
+        assert_eq!(g2.len(), before, "identical merge must not grow the graph");
+    }
+
+    #[test]
+    fn graph_queries() {
+        let g = sample_graph();
+        let video = Term::iri("http://ex.org/mm#Video");
+        assert_eq!(g.objects_of(&video, vocab::RDFS_LABEL).count(), 1);
+        assert_eq!(g.instances_of("http://ex.org/mm#Video").count(), 1);
+        assert_eq!(g.with_predicate(vocab::RDF_TYPE).count(), 6);
+    }
+
+    #[test]
+    fn literal_constructors() {
+        assert_eq!(Literal::integer(3).lexical, "3");
+        assert_eq!(Literal::boolean(true).lexical, "true");
+        assert!(Literal::decimal(0.5).datatype.unwrap().as_str().ends_with("decimal"));
+        let l = Literal::lang_tagged("hi", "en");
+        assert_eq!(l.lang.as_deref(), Some("en"));
+    }
+}

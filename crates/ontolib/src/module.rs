@@ -1,0 +1,324 @@
+//! Ontology **module extraction**: given a *signature* (a set of entities
+//! of interest), extract the self-contained fragment of an ontology needed
+//! to reason about it.
+//!
+//! The paper's *adequacy of knowledge extraction* criterion asks "whether
+//! it is easy to identify parts of the candidate ontology to be reused or
+//! extracted", citing Cuenca-Grau et al., *"Just the right amount:
+//! extracting modules from ontologies"* (ref \[4\]). This module implements a
+//! syntactic approximation suitable for the RDFS-level axioms in this
+//! workspace: starting from the signature, it closes over
+//!
+//! * all superclasses (upward `rdfs:subClassOf` closure),
+//! * properties whose domain or range mentions a collected class (plus the
+//!   class on the other end),
+//! * annotations (`rdfs:label`, `rdfs:comment`) of collected entities,
+//! * individuals typed by collected classes (optional).
+//!
+//! The result is a new [`Graph`]/[`Ontology`] that parses, serializes and
+//! assesses like any other — exactly what the NeOn *integration* activity
+//! consumes when only part of a candidate is worth reusing.
+
+use crate::model::{Graph, Iri, Ontology, Term};
+use crate::vocab;
+use std::collections::BTreeSet;
+
+/// Options for [`extract_module`].
+#[derive(Debug, Clone)]
+pub struct ModuleOptions {
+    /// Follow `rdfs:subClassOf` upward from signature classes (default on).
+    pub include_superclasses: bool,
+    /// Pull in properties whose domain/range touches the module (default
+    /// on).
+    pub include_properties: bool,
+    /// Pull in individuals typed by module classes (default off — TBox
+    /// modules are the common case for reuse).
+    pub include_individuals: bool,
+    /// Keep labels/comments of module entities (default on).
+    pub include_annotations: bool,
+}
+
+impl Default for ModuleOptions {
+    fn default() -> ModuleOptions {
+        ModuleOptions {
+            include_superclasses: true,
+            include_properties: true,
+            include_individuals: false,
+            include_annotations: true,
+        }
+    }
+}
+
+/// Result of an extraction.
+#[derive(Debug, Clone)]
+pub struct Module {
+    /// The extracted fragment as a standalone ontology.
+    pub ontology: Ontology,
+    /// Entities of the requested signature that were not found at all.
+    pub unresolved: Vec<Iri>,
+    /// Final signature (requested + pulled-in entities).
+    pub signature: BTreeSet<Iri>,
+}
+
+impl Module {
+    /// Size ratio of the module against its source (triples).
+    pub fn compression(&self, source: &Ontology) -> f64 {
+        if source.graph.is_empty() {
+            return 1.0;
+        }
+        self.ontology.graph.len() as f64 / source.graph.len() as f64
+    }
+}
+
+/// Extract the module of `signature` from `source`.
+pub fn extract_module(source: &Ontology, signature: &[Iri], opts: &ModuleOptions) -> Module {
+    let mut sig: BTreeSet<Iri> = BTreeSet::new();
+    let mut unresolved = Vec::new();
+    for e in signature {
+        let known = source.classes.contains(e)
+            || source.object_properties.contains(e)
+            || source.datatype_properties.contains(e)
+            || source.individuals.contains(e);
+        if known {
+            sig.insert(e.clone());
+        } else {
+            unresolved.push(e.clone());
+        }
+    }
+
+    // 1. Upward subclass closure.
+    if opts.include_superclasses {
+        let mut frontier: Vec<Iri> = sig.iter().cloned().collect();
+        while let Some(c) = frontier.pop() {
+            for sup in source.superclasses(&c) {
+                if sig.insert(sup.clone()) {
+                    frontier.push(sup.clone());
+                }
+            }
+        }
+    }
+
+    // 2. Properties touching the module (and the classes on the other end).
+    if opts.include_properties {
+        let mut additions: Vec<Iri> = Vec::new();
+        for t in source.graph.triples() {
+            let (is_domain, is_range) = match t.predicate.as_str() {
+                vocab::RDFS_DOMAIN => (true, false),
+                vocab::RDFS_RANGE => (false, true),
+                _ => continue,
+            };
+            let _ = is_range;
+            let Some(prop) = t.subject.as_iri() else { continue };
+            let Some(class) = t.object.as_iri() else { continue };
+            if sig.contains(class) {
+                additions.push(prop.clone());
+            }
+            let _ = is_domain;
+        }
+        for prop in additions {
+            sig.insert(prop.clone());
+            // carry the other end of the property's domain/range
+            let subj = Term::Iri(prop);
+            for p in [vocab::RDFS_DOMAIN, vocab::RDFS_RANGE] {
+                for obj in source.graph.objects_of(&subj, p) {
+                    if let Some(c) = obj.as_iri() {
+                        sig.insert(c.clone());
+                    }
+                }
+            }
+        }
+    }
+
+    // 3. Individuals typed by module classes.
+    if opts.include_individuals {
+        let classes: Vec<Iri> = sig.iter().cloned().collect();
+        for c in classes {
+            for inst in source.graph.instances_of(c.as_str()) {
+                if let Some(i) = inst.as_iri() {
+                    sig.insert(i.clone());
+                }
+            }
+        }
+    }
+
+    // 4. Copy every triple whose subject is in the signature and whose
+    //    object (if an IRI entity of the source) is too — keeping the
+    //    fragment closed.
+    let mut g = Graph::new();
+    for (p, ns) in source.graph.prefixes.iter() {
+        g.prefixes.insert(p.clone(), ns.clone());
+    }
+    for t in source.graph.triples() {
+        let Some(subj) = t.subject.as_iri() else { continue };
+        if !sig.contains(subj) {
+            continue;
+        }
+        let keep = match t.predicate.as_str() {
+            vocab::RDFS_LABEL | vocab::RDFS_COMMENT => opts.include_annotations,
+            vocab::RDF_TYPE => match t.object.as_iri() {
+                // type declarations: keep built-in types, and instance
+                // typing only when the class is in the module
+                Some(ty) if ty.as_str().starts_with(vocab::OWL_NS) => true,
+                Some(ty) => sig.contains(ty),
+                None => false,
+            },
+            vocab::RDFS_SUBCLASS_OF | vocab::RDFS_DOMAIN | vocab::RDFS_RANGE => {
+                t.object.as_iri().map(|o| sig.contains(o)).unwrap_or(false)
+            }
+            _ => match t.object.as_iri() {
+                Some(o) => sig.contains(o) || !is_source_entity(source, o),
+                None => true, // literals and blanks travel with the subject
+            },
+        };
+        if keep {
+            g.insert(t.clone());
+        }
+    }
+    g.dedup();
+
+    Module { ontology: Ontology::from_graph(g), unresolved, signature: sig }
+}
+
+fn is_source_entity(source: &Ontology, iri: &Iri) -> bool {
+    source.classes.contains(iri)
+        || source.object_properties.contains(iri)
+        || source.datatype_properties.contains(iri)
+        || source.individuals.contains(iri)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Literal;
+
+    /// Media <- Video <- Clip ; Audio <- Track ; hasDuration: Video -> (dt)
+    /// depicts: Video -> Agent ; clip1 : Clip
+    fn source() -> Ontology {
+        let mut g = Graph::new();
+        g.prefixes.insert("ex", "http://e/");
+        let classes = ["Media", "Video", "Clip", "Audio", "Track", "Agent"];
+        for c in classes {
+            g.add(
+                Term::iri(format!("http://e/{c}")),
+                vocab::RDF_TYPE,
+                Term::iri(vocab::OWL_CLASS),
+            );
+        }
+        g.add(Term::iri("http://e/Video"), vocab::RDFS_SUBCLASS_OF, Term::iri("http://e/Media"));
+        g.add(Term::iri("http://e/Clip"), vocab::RDFS_SUBCLASS_OF, Term::iri("http://e/Video"));
+        g.add(Term::iri("http://e/Track"), vocab::RDFS_SUBCLASS_OF, Term::iri("http://e/Audio"));
+        g.add(
+            Term::iri("http://e/hasDuration"),
+            vocab::RDF_TYPE,
+            Term::iri(vocab::OWL_DATATYPE_PROPERTY),
+        );
+        g.add(Term::iri("http://e/hasDuration"), vocab::RDFS_DOMAIN, Term::iri("http://e/Video"));
+        g.add(
+            Term::iri("http://e/depicts"),
+            vocab::RDF_TYPE,
+            Term::iri(vocab::OWL_OBJECT_PROPERTY),
+        );
+        g.add(Term::iri("http://e/depicts"), vocab::RDFS_DOMAIN, Term::iri("http://e/Video"));
+        g.add(Term::iri("http://e/depicts"), vocab::RDFS_RANGE, Term::iri("http://e/Agent"));
+        g.add(
+            Term::iri("http://e/Video"),
+            vocab::RDFS_LABEL,
+            Term::Literal(Literal::plain("Video")),
+        );
+        g.add(Term::iri("http://e/clip1"), vocab::RDF_TYPE, Term::iri("http://e/Clip"));
+        Ontology::from_graph(g)
+    }
+
+    #[test]
+    fn module_closes_upward() {
+        let src = source();
+        let m = extract_module(&src, &[Iri::new("http://e/Clip")], &ModuleOptions::default());
+        assert!(m.signature.contains(&Iri::new("http://e/Video")));
+        assert!(m.signature.contains(&Iri::new("http://e/Media")));
+        // The audio branch stays out.
+        assert!(!m.signature.contains(&Iri::new("http://e/Audio")));
+        assert!(!m.ontology.classes.contains(&Iri::new("http://e/Track")));
+        assert!(m.unresolved.is_empty());
+    }
+
+    #[test]
+    fn module_pulls_in_touching_properties_and_their_ranges() {
+        let src = source();
+        let m = extract_module(&src, &[Iri::new("http://e/Video")], &ModuleOptions::default());
+        assert!(m.ontology.datatype_properties.contains(&Iri::new("http://e/hasDuration")));
+        assert!(m.ontology.object_properties.contains(&Iri::new("http://e/depicts")));
+        // depicts' range (Agent) comes along so the fragment is closed.
+        assert!(m.ontology.classes.contains(&Iri::new("http://e/Agent")));
+    }
+
+    #[test]
+    fn annotations_follow_the_flag() {
+        let src = source();
+        let with = extract_module(&src, &[Iri::new("http://e/Video")], &ModuleOptions::default());
+        assert_eq!(with.ontology.label(&Iri::new("http://e/Video")), Some("Video"));
+        let without = extract_module(
+            &src,
+            &[Iri::new("http://e/Video")],
+            &ModuleOptions { include_annotations: false, ..ModuleOptions::default() },
+        );
+        assert_eq!(without.ontology.label(&Iri::new("http://e/Video")), None);
+    }
+
+    #[test]
+    fn individuals_follow_the_flag() {
+        let src = source();
+        let tbox = extract_module(&src, &[Iri::new("http://e/Clip")], &ModuleOptions::default());
+        assert!(tbox.ontology.individuals.is_empty());
+        let abox = extract_module(
+            &src,
+            &[Iri::new("http://e/Clip")],
+            &ModuleOptions { include_individuals: true, ..ModuleOptions::default() },
+        );
+        assert!(abox.ontology.individuals.contains(&Iri::new("http://e/clip1")));
+    }
+
+    #[test]
+    fn unknown_signature_entities_are_reported() {
+        let src = source();
+        let m = extract_module(
+            &src,
+            &[Iri::new("http://e/Nope"), Iri::new("http://e/Video")],
+            &ModuleOptions::default(),
+        );
+        assert_eq!(m.unresolved, vec![Iri::new("http://e/Nope")]);
+        assert!(m.ontology.classes.contains(&Iri::new("http://e/Video")));
+    }
+
+    #[test]
+    fn module_is_smaller_and_serializable() {
+        let src = source();
+        let m = extract_module(&src, &[Iri::new("http://e/Track")], &ModuleOptions::default());
+        assert!(m.compression(&src) < 1.0);
+        let text = crate::turtle::write_turtle(&m.ontology.graph);
+        let back = crate::turtle::parse_turtle(&text).expect("module serializes");
+        assert_eq!(back.len(), m.ontology.graph.len());
+    }
+
+    #[test]
+    fn empty_signature_yields_empty_module() {
+        let src = source();
+        let m = extract_module(&src, &[], &ModuleOptions::default());
+        assert!(m.ontology.graph.is_empty());
+        assert_eq!(m.compression(&src), 0.0);
+    }
+
+    #[test]
+    fn module_of_generated_ontology_roundtrips() {
+        use crate::generator::{GeneratorConfig, OntologyGenerator};
+        let src = OntologyGenerator::new(GeneratorConfig {
+            num_classes: 30,
+            seed: 3,
+            ..GeneratorConfig::default()
+        })
+        .generate();
+        let some_class = src.classes.iter().next().expect("non-empty").clone();
+        let m = extract_module(&src, &[some_class], &ModuleOptions::default());
+        assert!(!m.ontology.graph.is_empty());
+        assert!(m.compression(&src) <= 1.0);
+    }
+}

@@ -1,0 +1,324 @@
+//! Identifier-style analysis for the *adequacy of naming conventions*
+//! criterion.
+//!
+//! The paper (Section II) scores naming conventions as *low* "if the names
+//! are not intuitive", *medium* "if they are clearly understandable" and
+//! *high* "if they are taken from a given standard (e.g. W3C, MPEG7)".
+//! Mechanically we measure: (a) how consistently entity local names follow a
+//! single casing convention, (b) whether names tokenize into dictionary-like
+//! words rather than opaque codes, and (c) how many entities live in (or
+//! reference) standard namespaces.
+
+use crate::model::{Iri, Ontology};
+use crate::vocab;
+use std::collections::BTreeMap;
+
+/// Casing convention of a single identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum NamingStyle {
+    /// `VideoSegment`
+    UpperCamel,
+    /// `hasDuration`
+    LowerCamel,
+    /// `video_segment`
+    Snake,
+    /// `video-segment`
+    Kebab,
+    /// `VIDEO` / `MPEG7`
+    UpperCase,
+    /// `video`
+    LowerCase,
+    /// digits-only, mixed separators, empty, …
+    Other,
+}
+
+/// Classify one identifier's style.
+pub fn classify(name: &str) -> NamingStyle {
+    if name.is_empty() {
+        return NamingStyle::Other;
+    }
+    let has_underscore = name.contains('_');
+    let has_dash = name.contains('-');
+    let alpha: Vec<char> = name.chars().filter(|c| c.is_alphabetic()).collect();
+    if alpha.is_empty() {
+        return NamingStyle::Other;
+    }
+    if has_underscore && has_dash {
+        return NamingStyle::Other;
+    }
+    if has_underscore {
+        return if alpha.iter().all(|c| c.is_lowercase()) {
+            NamingStyle::Snake
+        } else {
+            NamingStyle::Other
+        };
+    }
+    if has_dash {
+        return if alpha.iter().all(|c| c.is_lowercase()) {
+            NamingStyle::Kebab
+        } else {
+            NamingStyle::Other
+        };
+    }
+    let first_upper = alpha[0].is_uppercase();
+    let all_upper = alpha.iter().all(|c| c.is_uppercase());
+    let all_lower = alpha.iter().all(|c| c.is_lowercase());
+    let has_internal_upper = alpha[1..].iter().any(|c| c.is_uppercase());
+    match (first_upper, all_upper, all_lower, has_internal_upper) {
+        (_, true, _, _) => NamingStyle::UpperCase,
+        (_, _, true, _) => NamingStyle::LowerCase,
+        (true, _, _, _) => NamingStyle::UpperCamel,
+        (false, _, _, true) => NamingStyle::LowerCamel,
+        _ => NamingStyle::Other,
+    }
+}
+
+/// Split an identifier into lowercase word tokens (`VideoSegment` →
+/// `["video","segment"]`, `has_duration` → `["has","duration"]`).
+pub fn tokenize(name: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    let chars: Vec<char> = name.chars().collect();
+    for (i, &c) in chars.iter().enumerate() {
+        if c == '_' || c == '-' || c == '.' || c == ' ' {
+            if !current.is_empty() {
+                tokens.push(std::mem::take(&mut current));
+            }
+            continue;
+        }
+        if c.is_uppercase() && !current.is_empty() {
+            // Camel boundary — but keep acronym runs together (`MPEG7Video`
+            // splits as mpeg7 | video).
+            let prev_lower = chars[i - 1].is_lowercase() || chars[i - 1].is_numeric();
+            let next_lower = chars.get(i + 1).map(|n| n.is_lowercase()).unwrap_or(false);
+            if prev_lower || (chars[i - 1].is_uppercase() && next_lower) {
+                tokens.push(std::mem::take(&mut current));
+            }
+        }
+        current.extend(c.to_lowercase());
+    }
+    if !current.is_empty() {
+        tokens.push(current);
+    }
+    tokens.retain(|t| !t.is_empty());
+    tokens
+}
+
+/// The three-level scale the paper uses for the criterion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ConventionLevel {
+    Low,
+    Medium,
+    High,
+}
+
+/// Naming analysis over a whole ontology.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NamingReport {
+    /// Share of entities following the dominant convention per entity kind
+    /// (classes judged separately from properties, as conventions differ).
+    pub consistency: f64,
+    /// Share of entities whose tokens look like words (≥ 2 letters each,
+    /// not digit-dominated).
+    pub wordiness: f64,
+    /// Share of entities in standard namespaces (see
+    /// [`vocab::STANDARD_NAMESPACES`]).
+    pub standard_share: f64,
+    /// Style histogram over all schema entities.
+    pub styles: BTreeMap<NamingStyle, usize>,
+}
+
+impl NamingReport {
+    /// Analyze the schema entities of an ontology.
+    pub fn analyze(o: &Ontology) -> NamingReport {
+        let classes: Vec<&Iri> = o.classes.iter().collect();
+        let props: Vec<&Iri> =
+            o.object_properties.iter().chain(o.datatype_properties.iter()).collect();
+        let all: Vec<&Iri> = classes.iter().chain(props.iter()).copied().collect();
+
+        if all.is_empty() {
+            return NamingReport {
+                consistency: 0.0,
+                wordiness: 0.0,
+                standard_share: 0.0,
+                styles: BTreeMap::new(),
+            };
+        }
+
+        let mut styles: BTreeMap<NamingStyle, usize> = BTreeMap::new();
+        for e in &all {
+            *styles.entry(classify(e.local_name())).or_insert(0) += 1;
+        }
+
+        let consistency =
+            (dominant_share(&classes) * classes.len() as f64 + dominant_share(&props) * props.len() as f64)
+                / all.len() as f64;
+
+        let wordy = all.iter().filter(|e| looks_wordy(e.local_name())).count();
+        let standard = all
+            .iter()
+            .filter(|e| {
+                vocab::STANDARD_NAMESPACES.iter().any(|ns| e.as_str().starts_with(ns))
+            })
+            .count();
+
+        NamingReport {
+            consistency,
+            wordiness: wordy as f64 / all.len() as f64,
+            standard_share: standard as f64 / all.len() as f64,
+            styles,
+        }
+    }
+
+    /// Collapse to the paper's low/medium/high scale.
+    ///
+    /// *High* needs substantial reuse of standard vocabularies; *medium*
+    /// needs consistent, word-like names; everything else is *low*.
+    pub fn level(&self) -> ConventionLevel {
+        if self.standard_share >= 0.3 {
+            ConventionLevel::High
+        } else if self.consistency >= 0.7 && self.wordiness >= 0.6 {
+            ConventionLevel::Medium
+        } else {
+            ConventionLevel::Low
+        }
+    }
+}
+
+fn dominant_share(entities: &[&Iri]) -> f64 {
+    if entities.is_empty() {
+        return 1.0; // vacuously consistent
+    }
+    let mut counts: BTreeMap<NamingStyle, usize> = BTreeMap::new();
+    for e in entities {
+        *counts.entry(classify(e.local_name())).or_insert(0) += 1;
+    }
+    let max = counts.values().copied().max().unwrap_or(0);
+    max as f64 / entities.len() as f64
+}
+
+fn looks_wordy(name: &str) -> bool {
+    let tokens = tokenize(name);
+    if tokens.is_empty() {
+        return false;
+    }
+    let wordish = tokens
+        .iter()
+        .filter(|t| t.chars().filter(|c| c.is_alphabetic()).count() >= 2)
+        .count();
+    wordish as f64 / tokens.len() as f64 >= 0.5
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Graph, Ontology, Term};
+
+    #[test]
+    fn classify_styles() {
+        assert_eq!(classify("VideoSegment"), NamingStyle::UpperCamel);
+        assert_eq!(classify("hasDuration"), NamingStyle::LowerCamel);
+        assert_eq!(classify("video_segment"), NamingStyle::Snake);
+        assert_eq!(classify("video-segment"), NamingStyle::Kebab);
+        assert_eq!(classify("MPEG"), NamingStyle::UpperCase);
+        assert_eq!(classify("video"), NamingStyle::LowerCase);
+        assert_eq!(classify("x_y-z"), NamingStyle::Other);
+        assert_eq!(classify(""), NamingStyle::Other);
+        assert_eq!(classify("1234"), NamingStyle::Other);
+    }
+
+    #[test]
+    fn tokenize_camel_and_snake() {
+        assert_eq!(tokenize("VideoSegment"), vec!["video", "segment"]);
+        assert_eq!(tokenize("hasDuration"), vec!["has", "duration"]);
+        assert_eq!(tokenize("video_segment"), vec!["video", "segment"]);
+        assert_eq!(tokenize("MPEG7Video"), vec!["mpeg7", "video"]);
+        assert_eq!(tokenize("HTTPServer"), vec!["http", "server"]);
+        assert!(tokenize("").is_empty());
+    }
+
+    fn ontology_with(classes: &[&str], props: &[&str]) -> Ontology {
+        let mut g = Graph::new();
+        for c in classes {
+            g.add(Term::iri(*c), vocab::RDF_TYPE, Term::iri(vocab::OWL_CLASS));
+        }
+        for p in props {
+            g.add(Term::iri(*p), vocab::RDF_TYPE, Term::iri(vocab::OWL_OBJECT_PROPERTY));
+        }
+        Ontology::from_graph(g)
+    }
+
+    #[test]
+    fn consistent_camel_scores_medium() {
+        let o = ontology_with(
+            &[
+                "http://e/VideoSegment",
+                "http://e/AudioTrack",
+                "http://e/MediaItem",
+                "http://e/StillImage",
+            ],
+            &["http://e/hasDuration", "http://e/depictsScene"],
+        );
+        let r = NamingReport::analyze(&o);
+        assert!(r.consistency > 0.9, "consistency {}", r.consistency);
+        assert!(r.wordiness > 0.9);
+        assert_eq!(r.level(), ConventionLevel::Medium);
+    }
+
+    #[test]
+    fn standard_namespace_scores_high() {
+        let o = ontology_with(
+            &[
+                "http://www.w3.org/ns/ma-ont#MediaResource",
+                "http://www.w3.org/ns/ma-ont#VideoTrack",
+                "http://e/LocalThing",
+            ],
+            &[],
+        );
+        let r = NamingReport::analyze(&o);
+        assert!(r.standard_share > 0.5);
+        assert_eq!(r.level(), ConventionLevel::High);
+    }
+
+    #[test]
+    fn opaque_codes_score_low() {
+        let o = ontology_with(
+            &["http://e/C001", "http://e/c_002-x", "http://e/XY1", "http://e/q9"],
+            &[],
+        );
+        let r = NamingReport::analyze(&o);
+        assert_eq!(r.level(), ConventionLevel::Low);
+    }
+
+    #[test]
+    fn mixed_styles_hurt_consistency() {
+        let consistent = NamingReport::analyze(&ontology_with(
+            &["http://e/AlphaBeta", "http://e/GammaDelta", "http://e/EpsilonZeta"],
+            &[],
+        ));
+        let mixed = NamingReport::analyze(&ontology_with(
+            &["http://e/AlphaBeta", "http://e/gamma_delta", "http://e/epsilon-zeta"],
+            &[],
+        ));
+        assert!(mixed.consistency < consistent.consistency);
+    }
+
+    #[test]
+    fn classes_and_properties_judged_separately() {
+        // UpperCamel classes + lowerCamel properties is the OWL norm and
+        // should count as fully consistent.
+        let o = ontology_with(
+            &["http://e/VideoSegment", "http://e/AudioTrack"],
+            &["http://e/hasDuration", "http://e/hasTitle"],
+        );
+        let r = NamingReport::analyze(&o);
+        assert!((r.consistency - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_ontology_report() {
+        let r = NamingReport::analyze(&ontology_with(&[], &[]));
+        assert_eq!(r.level(), ConventionLevel::Low);
+        assert_eq!(r.consistency, 0.0);
+    }
+}

@@ -1,0 +1,158 @@
+//! N-Triples support: the line-oriented exchange format many ontology
+//! registries serve alongside Turtle. One triple per line, fully expanded
+//! IRIs, no prefixes — trivially streamable and diffable, which makes it the
+//! right interchange format for corpus snapshots in tests and benchmarks.
+
+use crate::model::{Graph, Iri, Literal, Term, Triple};
+use crate::turtle::TurtleError;
+use crate::vocab;
+use std::fmt::Write as _;
+
+/// Serialize a graph as N-Triples (one line per triple, `.`-terminated).
+pub fn write_ntriples(graph: &Graph) -> String {
+    let mut out = String::new();
+    for t in graph.triples() {
+        let _ = writeln!(
+            out,
+            "{} {} {} .",
+            render_term(&t.subject),
+            format_args!("<{}>", t.predicate.as_str()),
+            render_term(&t.object)
+        );
+    }
+    out
+}
+
+fn render_term(t: &Term) -> String {
+    match t {
+        Term::Iri(i) => format!("<{}>", i.as_str()),
+        Term::Blank(b) => format!("_:{b}"),
+        Term::Literal(l) => {
+            let escaped = escape(&l.lexical);
+            match (&l.lang, &l.datatype) {
+                (Some(lang), _) => format!("\"{escaped}\"@{lang}"),
+                (None, Some(dt)) => format!("\"{escaped}\"^^<{}>", dt.as_str()),
+                (None, None) => format!("\"{escaped}\""),
+            }
+        }
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Parse an N-Triples document. Reuses the Turtle machinery: N-Triples is a
+/// syntactic subset of Turtle, so every valid document parses identically;
+/// this wrapper only adds the line-oriented error reporting contract.
+pub fn parse_ntriples(src: &str) -> Result<Graph, TurtleError> {
+    // Validate the line discipline first for precise diagnostics.
+    for (ln, line) in src.lines().enumerate() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        if !trimmed.ends_with('.') {
+            return Err(TurtleError::new(ln + 1, line.len().max(1), "line must end with '.'"));
+        }
+    }
+    let mut g = crate::turtle::parse_turtle(src)?;
+    // N-Triples documents carry no prefixes of their own.
+    g.prefixes = crate::model::PrefixMap::standard();
+    Ok(g)
+}
+
+/// Convenience: a triple with IRI subject/object.
+pub fn iri_triple(s: &str, p: &str, o: &str) -> Triple {
+    Triple::new(Term::iri(s), Iri::new(p), Term::iri(o))
+}
+
+/// Convenience: a labelled-literal triple.
+pub fn label_triple(s: &str, label: &str) -> Triple {
+    Triple::new(
+        Term::iri(s),
+        Iri::new(vocab::RDFS_LABEL),
+        Term::Literal(Literal::plain(label)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{GeneratorConfig, OntologyGenerator};
+
+    fn sorted(g: &Graph) -> Vec<Triple> {
+        let mut v = g.triples().to_vec();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn roundtrip_generated_graph() {
+        let g = OntologyGenerator::new(GeneratorConfig {
+            num_classes: 20,
+            seed: 13,
+            ..GeneratorConfig::default()
+        })
+        .generate_graph();
+        let text = write_ntriples(&g);
+        let back = parse_ntriples(&text).expect("valid N-Triples");
+        assert_eq!(sorted(&g), sorted(&back));
+    }
+
+    #[test]
+    fn one_line_per_triple() {
+        let mut g = Graph::new();
+        g.insert(iri_triple("http://e/A", vocab::RDF_TYPE, vocab::OWL_CLASS));
+        g.insert(label_triple("http://e/A", "The A"));
+        let text = write_ntriples(&g);
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.lines().all(|l| l.ends_with(" .")));
+        assert!(!text.contains("@prefix"));
+    }
+
+    #[test]
+    fn literals_with_escapes_and_tags() {
+        let mut g = Graph::new();
+        g.add(
+            Term::iri("http://e/A"),
+            "http://e/p",
+            Term::Literal(Literal::lang_tagged("line\n\"quote\"", "en")),
+        );
+        g.add(
+            Term::iri("http://e/A"),
+            "http://e/q",
+            Term::Literal(Literal::typed("42", Iri::new(vocab::XSD_INTEGER))),
+        );
+        let text = write_ntriples(&g);
+        let back = parse_ntriples(&text).expect("valid");
+        assert_eq!(sorted(&g), sorted(&back));
+    }
+
+    #[test]
+    fn missing_dot_is_reported_with_line() {
+        let err = parse_ntriples("<http://e/A> <http://e/p> <http://e/B>").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("end with '.'"));
+    }
+
+    #[test]
+    fn comments_and_blanks_allowed() {
+        let g = parse_ntriples(
+            "# snapshot 2012-04-02\n\n<http://e/A> <http://e/p> <http://e/B> .\n",
+        )
+        .expect("valid");
+        assert_eq!(g.len(), 1);
+    }
+}

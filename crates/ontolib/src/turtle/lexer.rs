@@ -1,0 +1,508 @@
+//! Hand-written Turtle lexer producing a flat token stream with positions.
+
+use super::TurtleError;
+
+/// Token categories of the supported Turtle subset.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// `<http://…>` (contents, unescaped)
+    IriRef(String),
+    /// `prefix:local` — both parts may be empty (`:x`, `rdf:`)
+    PrefixedName { prefix: String, local: String },
+    /// `_:label`
+    BlankNode(String),
+    /// String literal contents (after escape processing)
+    StringLit(String),
+    /// `@lang` tag following a string
+    LangTag(String),
+    /// Bare numeric literal (lexical form kept verbatim)
+    Number(String),
+    /// `true` / `false`
+    Boolean(bool),
+    /// `@prefix`
+    AtPrefix,
+    /// `@base`
+    AtBase,
+    /// `a` keyword
+    A,
+    Dot,
+    Semicolon,
+    Comma,
+    /// `^^`
+    CaretCaret,
+    LBracket,
+    RBracket,
+    LParen,
+    RParen,
+    Eof,
+}
+
+/// A token plus its 1-based source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: usize,
+    pub col: usize,
+}
+
+/// Streaming lexer over the source text.
+pub struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Lexer<'a> {
+    pub fn new(src: &'a str) -> Lexer<'a> {
+        Lexer { src: src.as_bytes(), pos: 0, line: 1, col: 1 }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> TurtleError {
+        TurtleError::new(self.line, self.col, msg)
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(b' ') | Some(b'\t') | Some(b'\r') | Some(b'\n') => {
+                    self.bump();
+                }
+                Some(b'#') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Lex the whole input into a token vector (ending with `Eof`).
+    pub fn tokenize(mut self) -> Result<Vec<Token>, TurtleError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia();
+            let line = self.line;
+            let col = self.col;
+            let Some(c) = self.peek() else {
+                out.push(Token { kind: TokenKind::Eof, line, col });
+                return Ok(out);
+            };
+            let kind = match c {
+                b'<' => self.lex_iri()?,
+                b'"' => self.lex_string()?,
+                b'@' => self.lex_at()?,
+                b'_' if self.peek2() == Some(b':') => self.lex_blank()?,
+                b'.' if !matches!(self.peek2(), Some(d) if d.is_ascii_digit()) => {
+                    self.bump();
+                    TokenKind::Dot
+                }
+                b';' => {
+                    self.bump();
+                    TokenKind::Semicolon
+                }
+                b',' => {
+                    self.bump();
+                    TokenKind::Comma
+                }
+                b'[' => {
+                    self.bump();
+                    TokenKind::LBracket
+                }
+                b']' => {
+                    self.bump();
+                    TokenKind::RBracket
+                }
+                b'(' => {
+                    self.bump();
+                    TokenKind::LParen
+                }
+                b')' => {
+                    self.bump();
+                    TokenKind::RParen
+                }
+                b'^' => {
+                    self.bump();
+                    if self.peek() == Some(b'^') {
+                        self.bump();
+                        TokenKind::CaretCaret
+                    } else {
+                        return Err(self.err("expected '^^'"));
+                    }
+                }
+                c if c.is_ascii_digit() || c == b'+' || c == b'-' || c == b'.' => {
+                    self.lex_number()?
+                }
+                _ => self.lex_name()?,
+            };
+            out.push(Token { kind, line, col });
+        }
+    }
+
+    fn lex_iri(&mut self) -> Result<TokenKind, TurtleError> {
+        self.bump(); // '<'
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                Some(b'>') => return Ok(TokenKind::IriRef(s)),
+                Some(b'\n') | None => return Err(self.err("unterminated IRI")),
+                Some(b'\\') => match self.bump() {
+                    Some(c) => {
+                        s.push('\\');
+                        s.push(c as char);
+                    }
+                    None => return Err(self.err("unterminated IRI escape")),
+                },
+                Some(c) => s.push(c as char),
+            }
+        }
+    }
+
+    fn lex_string(&mut self) -> Result<TokenKind, TurtleError> {
+        // Either "..." or """...""" (long string).
+        self.bump(); // first quote
+        let long = self.peek() == Some(b'"') && self.peek2() == Some(b'"');
+        if long {
+            self.bump();
+            self.bump();
+        } else if self.peek() == Some(b'"') {
+            // empty short string ""
+            self.bump();
+            return Ok(TokenKind::StringLit(String::new()));
+        }
+        let mut s = String::new();
+        loop {
+            let Some(c) = self.bump() else { return Err(self.err("unterminated string")) };
+            match c {
+                b'"' => {
+                    if long {
+                        // Count the full quote run: the final three close the
+                        // string, any earlier ones are content ("a""""
+                        // means content `a"` + terminator).
+                        let mut run = 1usize;
+                        while self.peek() == Some(b'"') {
+                            self.bump();
+                            run += 1;
+                        }
+                        if run >= 3 {
+                            s.extend(std::iter::repeat_n('"', run - 3));
+                            return Ok(TokenKind::StringLit(s));
+                        }
+                        s.extend(std::iter::repeat_n('"', run));
+                    } else {
+                        return Ok(TokenKind::StringLit(s));
+                    }
+                }
+                b'\\' => {
+                    let Some(e) = self.bump() else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    match e {
+                        b'n' => s.push('\n'),
+                        b't' => s.push('\t'),
+                        b'r' => s.push('\r'),
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'u' => {
+                            let mut hex = String::new();
+                            for _ in 0..4 {
+                                let Some(h) = self.bump() else {
+                                    return Err(self.err("truncated \\u escape"));
+                                };
+                                hex.push(h as char);
+                            }
+                            let code = u32::from_str_radix(&hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            s.push(
+                                char::from_u32(code).ok_or_else(|| self.err("bad code point"))?,
+                            );
+                        }
+                        other => {
+                            return Err(self.err(format!("unknown escape '\\{}'", other as char)))
+                        }
+                    }
+                }
+                b'\n' if !long => return Err(self.err("newline in short string")),
+                c => {
+                    // Collect the full UTF-8 sequence for multibyte chars.
+                    if c < 0x80 {
+                        s.push(c as char);
+                    } else {
+                        let start = self.pos - 1;
+                        let width = utf8_width(c);
+                        for _ in 1..width {
+                            self.bump();
+                        }
+                        let bytes = &self.src[start..start + width];
+                        s.push_str(
+                            std::str::from_utf8(bytes).map_err(|_| self.err("invalid UTF-8"))?,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    fn lex_at(&mut self) -> Result<TokenKind, TurtleError> {
+        self.bump(); // '@'
+        let word = self.take_while(|c| c.is_ascii_alphanumeric() || c == b'-');
+        match word.as_str() {
+            "prefix" => Ok(TokenKind::AtPrefix),
+            "base" => Ok(TokenKind::AtBase),
+            "" => Err(self.err("bare '@'")),
+            lang => Ok(TokenKind::LangTag(lang.to_string())),
+        }
+    }
+
+    fn lex_blank(&mut self) -> Result<TokenKind, TurtleError> {
+        self.bump(); // '_'
+        self.bump(); // ':'
+        let label = self.take_while(|c| c.is_ascii_alphanumeric() || c == b'_' || c == b'-');
+        if label.is_empty() {
+            return Err(self.err("empty blank node label"));
+        }
+        Ok(TokenKind::BlankNode(label))
+    }
+
+    fn lex_number(&mut self) -> Result<TokenKind, TurtleError> {
+        let mut s = String::new();
+        if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+            s.push(self.bump().unwrap() as char);
+        }
+        let mut saw_digit = false;
+        let mut saw_dot = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => {
+                    saw_digit = true;
+                    s.push(self.bump().unwrap() as char);
+                }
+                b'.' if !saw_dot => {
+                    // A trailing '.' is the statement terminator, not part of
+                    // the number, unless a digit follows.
+                    if matches!(self.peek2(), Some(d) if d.is_ascii_digit()) {
+                        saw_dot = true;
+                        s.push(self.bump().unwrap() as char);
+                    } else {
+                        break;
+                    }
+                }
+                b'e' | b'E' => {
+                    s.push(self.bump().unwrap() as char);
+                    if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                        s.push(self.bump().unwrap() as char);
+                    }
+                }
+                _ => break,
+            }
+        }
+        if !saw_digit {
+            return Err(self.err("malformed number"));
+        }
+        Ok(TokenKind::Number(s))
+    }
+
+    fn lex_name(&mut self) -> Result<TokenKind, TurtleError> {
+        // prefixed name, `a`, or boolean.
+        let first = self.take_while(|c| {
+            c.is_ascii_alphanumeric() || c == b'_' || c == b'-' || c == b'.' || c >= 0x80
+        });
+        if self.peek() == Some(b':') {
+            self.bump();
+            let local = self.take_while(|c| {
+                c.is_ascii_alphanumeric() || c == b'_' || c == b'-' || c == b'.' || c >= 0x80
+            });
+            // Turtle allows a trailing '.' in locals but that collides with
+            // the statement dot; strip it and rewind one byte if needed.
+            let (local, strip) = match local.strip_suffix('.') {
+                Some(rest) => (rest.to_string(), true),
+                None => (local, false),
+            };
+            if strip {
+                self.pos -= 1;
+                self.col -= 1;
+            }
+            return Ok(TokenKind::PrefixedName { prefix: first, local });
+        }
+        match first.as_str() {
+            "a" => Ok(TokenKind::A),
+            "true" => Ok(TokenKind::Boolean(true)),
+            "false" => Ok(TokenKind::Boolean(false)),
+            "" => Err(self.err(format!(
+                "unexpected character '{}'",
+                self.peek().map(|c| c as char).unwrap_or('?')
+            ))),
+            other => Err(self.err(format!("unexpected token '{other}'"))),
+        }
+    }
+
+    fn take_while(&mut self, pred: impl Fn(u8) -> bool) -> String {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if pred(c) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        String::from_utf8_lossy(&self.src[start..self.pos]).into_owned()
+    }
+}
+
+fn utf8_width(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::new(src).tokenize().unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lex_basic_statement() {
+        let k = kinds("ex:Video a owl:Class .");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::PrefixedName { prefix: "ex".into(), local: "Video".into() },
+                TokenKind::A,
+                TokenKind::PrefixedName { prefix: "owl".into(), local: "Class".into() },
+                TokenKind::Dot,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_prefix_directive() {
+        let k = kinds("@prefix ex: <http://e/> .");
+        assert_eq!(k[0], TokenKind::AtPrefix);
+        assert_eq!(k[1], TokenKind::PrefixedName { prefix: "ex".into(), local: "".into() });
+        assert_eq!(k[2], TokenKind::IriRef("http://e/".into()));
+    }
+
+    #[test]
+    fn lex_string_escapes() {
+        let k = kinds(r#""a\nb\t\"q\\" "#);
+        assert_eq!(k[0], TokenKind::StringLit("a\nb\t\"q\\".into()));
+    }
+
+    #[test]
+    fn lex_unicode_escape() {
+        let k = kinds(r#""é" "#);
+        assert_eq!(k[0], TokenKind::StringLit("é".into()));
+    }
+
+    #[test]
+    fn lex_long_string() {
+        let k = kinds("\"\"\"two\nlines \"quoted\"\"\"\" ");
+        assert_eq!(k[0], TokenKind::StringLit("two\nlines \"quoted\"".into()));
+    }
+
+    #[test]
+    fn lex_empty_string() {
+        assert_eq!(kinds(r#""" "#)[0], TokenKind::StringLit(String::new()));
+    }
+
+    #[test]
+    fn lex_lang_tag_and_datatype() {
+        let k = kinds(r#""hi"@en "3"^^xsd:int"#);
+        assert_eq!(k[1], TokenKind::LangTag("en".into()));
+        assert_eq!(k[3], TokenKind::CaretCaret);
+    }
+
+    #[test]
+    fn lex_numbers() {
+        let k = kinds("42 -7 3.25 1e4 .");
+        assert_eq!(k[0], TokenKind::Number("42".into()));
+        assert_eq!(k[1], TokenKind::Number("-7".into()));
+        assert_eq!(k[2], TokenKind::Number("3.25".into()));
+        assert_eq!(k[3], TokenKind::Number("1e4".into()));
+        assert_eq!(k[4], TokenKind::Dot);
+    }
+
+    #[test]
+    fn number_then_statement_dot() {
+        // "3." must lex as Number(3) then Dot.
+        let k = kinds("ex:x ex:v 3 .");
+        assert!(matches!(k[2], TokenKind::Number(_)));
+        assert_eq!(k[3], TokenKind::Dot);
+    }
+
+    #[test]
+    fn lex_blank_nodes_and_brackets() {
+        let k = kinds("_:b1 [ ] ( )");
+        assert_eq!(k[0], TokenKind::BlankNode("b1".into()));
+        assert_eq!(k[1], TokenKind::LBracket);
+        assert_eq!(k[2], TokenKind::RBracket);
+        assert_eq!(k[3], TokenKind::LParen);
+        assert_eq!(k[4], TokenKind::RParen);
+    }
+
+    #[test]
+    fn lex_comments_skipped() {
+        let k = kinds("# a comment\nex:a a ex:B . # trailing");
+        assert_eq!(k.len(), 5); // name, a, name, dot, eof
+    }
+
+    #[test]
+    fn lex_booleans() {
+        let k = kinds("true false");
+        assert_eq!(k[0], TokenKind::Boolean(true));
+        assert_eq!(k[1], TokenKind::Boolean(false));
+    }
+
+    #[test]
+    fn error_on_unterminated_string() {
+        assert!(Lexer::new("\"abc").tokenize().is_err());
+    }
+
+    #[test]
+    fn error_on_unterminated_iri() {
+        assert!(Lexer::new("<http://e").tokenize().is_err());
+    }
+
+    #[test]
+    fn error_position_is_tracked() {
+        let err = Lexer::new("ex:a ex:b\n  \"oops").tokenize().unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn lex_unicode_in_string() {
+        let k = kinds("\"ontología\" ");
+        assert_eq!(k[0], TokenKind::StringLit("ontología".into()));
+    }
+}

@@ -1,0 +1,92 @@
+//! A practical Turtle subset: parser and serializer.
+//!
+//! Supported syntax — sufficient for OWL ontologies of the kind the paper's
+//! case study assesses:
+//!
+//! * `@prefix p: <ns> .` and `@base <iri> .`
+//! * subject–predicate–object statements with `;` (predicate lists) and
+//!   `,` (object lists),
+//! * `a` as `rdf:type`,
+//! * `<iri>` references (resolved against `@base` when relative),
+//! * prefixed names `p:local` (and `:local` for the empty prefix),
+//! * literals: `"…"` with `\" \\ \n \t \r` escapes, `"""…"""` long strings,
+//!   language tags `@en`, datatypes `^^xsd:int`, bare integers, decimals and
+//!   booleans,
+//! * blank nodes `_:b1` and anonymous `[ … ]` property lists,
+//! * `#` comments.
+//!
+//! Not supported (rejected with a clear error): collections `( … )`,
+//! SPARQL-style `PREFIX`, and RDF-star. These do not occur in the corpora
+//! this workspace generates or assesses.
+
+mod lexer;
+mod parser;
+mod writer;
+
+pub use lexer::{Lexer, Token, TokenKind};
+pub use parser::parse_turtle;
+pub use writer::write_turtle;
+
+use std::fmt;
+
+/// Parse or serialization error with 1-based line/column information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TurtleError {
+    pub line: usize,
+    pub col: usize,
+    pub message: String,
+}
+
+impl TurtleError {
+    pub(crate) fn new(line: usize, col: usize, message: impl Into<String>) -> TurtleError {
+        TurtleError { line, col, message: message.into() }
+    }
+}
+
+impl fmt::Display for TurtleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "turtle error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for TurtleError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Graph;
+
+    #[test]
+    fn round_trip_preserves_triples() {
+        let src = r#"
+@prefix ex: <http://ex.org/mm#> .
+@prefix owl: <http://www.w3.org/2002/07/owl#> .
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+
+ex:Video a owl:Class ;
+    rdfs:label "Video"@en ;
+    rdfs:comment "A moving image." ;
+    rdfs:subClassOf ex:Media .
+
+ex:duration a owl:DatatypeProperty ;
+    rdfs:domain ex:Video .
+"#;
+        let g: Graph = parse_turtle(src).unwrap();
+        assert_eq!(g.len(), 6);
+        let out = write_turtle(&g);
+        let g2 = parse_turtle(&out).unwrap();
+        let mut a = g.triples().to_vec();
+        let mut b = g2.triples().to_vec();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "round trip changed the triple set:\n{out}");
+    }
+
+    #[test]
+    fn error_reports_position() {
+        let err = parse_turtle("ex:Broken").unwrap_err();
+        assert!(err.line >= 1);
+        assert!(!err.message.is_empty());
+        assert!(err.to_string().contains("turtle error"));
+    }
+}

@@ -1,0 +1,407 @@
+//! Recursive-descent parser over the token stream producing a [`Graph`].
+
+use super::lexer::{Lexer, Token, TokenKind};
+use super::TurtleError;
+use crate::model::{Graph, Iri, Literal, Term, Triple};
+use crate::vocab;
+
+/// Parse a Turtle document into a [`Graph`].
+/// # Example
+///
+/// ```
+/// let g = ontolib::parse_turtle(
+///     "@prefix ex: <http://e/> . ex:Video a owl:Class ; rdfs:label \"Video\" .",
+/// ).expect("valid turtle");
+/// assert_eq!(g.len(), 2);
+/// ```
+pub fn parse_turtle(src: &str) -> Result<Graph, TurtleError> {
+    let tokens = Lexer::new(src).tokenize()?;
+    Parser { tokens, pos: 0, graph: Graph::new(), base: None, blank_counter: 0 }.parse()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    graph: Graph,
+    base: Option<String>,
+    blank_counter: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err_here(&self, msg: impl Into<String>) -> TurtleError {
+        let t = self.peek();
+        TurtleError::new(t.line, t.col, msg)
+    }
+
+    fn expect_dot(&mut self) -> Result<(), TurtleError> {
+        match self.bump().kind {
+            TokenKind::Dot => Ok(()),
+            other => Err(self.err_here(format!("expected '.', found {other:?}"))),
+        }
+    }
+
+    fn parse(mut self) -> Result<Graph, TurtleError> {
+        loop {
+            match &self.peek().kind {
+                TokenKind::Eof => break,
+                TokenKind::AtPrefix => {
+                    self.bump();
+                    self.parse_prefix()?;
+                }
+                TokenKind::AtBase => {
+                    self.bump();
+                    self.parse_base()?;
+                }
+                _ => self.parse_statement()?,
+            }
+        }
+        Ok(self.graph)
+    }
+
+    fn parse_prefix(&mut self) -> Result<(), TurtleError> {
+        let name = match self.bump().kind {
+            TokenKind::PrefixedName { prefix, local } if local.is_empty() => prefix,
+            other => return Err(self.err_here(format!("expected prefix name, found {other:?}"))),
+        };
+        let ns = match self.bump().kind {
+            TokenKind::IriRef(iri) => self.resolve(iri),
+            other => return Err(self.err_here(format!("expected namespace IRI, found {other:?}"))),
+        };
+        self.graph.prefixes.insert(name, ns);
+        self.expect_dot()
+    }
+
+    fn parse_base(&mut self) -> Result<(), TurtleError> {
+        match self.bump().kind {
+            TokenKind::IriRef(iri) => self.base = Some(iri),
+            other => return Err(self.err_here(format!("expected base IRI, found {other:?}"))),
+        }
+        self.expect_dot()
+    }
+
+    /// Resolve a (possibly relative) IRI against `@base`.
+    fn resolve(&self, iri: String) -> String {
+        if iri.contains("://") || iri.starts_with("urn:") || iri.starts_with("mailto:") {
+            return iri;
+        }
+        match &self.base {
+            Some(b) if iri.starts_with('#') => format!("{}{}", b.trim_end_matches('#'), iri),
+            Some(b) => {
+                if b.ends_with('/') || b.ends_with('#') {
+                    format!("{b}{iri}")
+                } else {
+                    format!("{b}/{iri}")
+                }
+            }
+            None => iri,
+        }
+    }
+
+    fn fresh_blank(&mut self) -> Term {
+        self.blank_counter += 1;
+        Term::Blank(format!("anon{}", self.blank_counter))
+    }
+
+    fn parse_statement(&mut self) -> Result<(), TurtleError> {
+        let subject = self.parse_subject()?;
+        self.parse_predicate_object_list(&subject)?;
+        self.expect_dot()
+    }
+
+    fn parse_subject(&mut self) -> Result<Term, TurtleError> {
+        let t = self.bump();
+        let (tl, tc) = (t.line, t.col);
+        match t.kind {
+            TokenKind::IriRef(i) => Ok(Term::Iri(Iri::new(self.resolve(i)))),
+            TokenKind::PrefixedName { prefix, local } => self.expand(&prefix, &local, tl, tc),
+            TokenKind::BlankNode(label) => Ok(Term::Blank(label)),
+            TokenKind::LBracket => {
+                // anonymous subject with property list: [ p o ; … ] p2 o2 .
+                let node = self.fresh_blank();
+                if self.peek().kind != TokenKind::RBracket {
+                    self.parse_predicate_object_list(&node)?;
+                }
+                match self.bump().kind {
+                    TokenKind::RBracket => Ok(node),
+                    other => Err(self.err_here(format!("expected ']', found {other:?}"))),
+                }
+            }
+            other => Err(self.err_here(format!("expected subject, found {other:?}"))),
+        }
+    }
+
+    fn expand(
+        &self,
+        prefix: &str,
+        local: &str,
+        line: usize,
+        col: usize,
+    ) -> Result<Term, TurtleError> {
+        self.graph
+            .prefixes
+            .expand(prefix, local)
+            .map(Term::Iri)
+            .ok_or_else(|| TurtleError::new(line, col, format!("unknown prefix '{prefix}:'")))
+    }
+
+    fn parse_predicate_object_list(&mut self, subject: &Term) -> Result<(), TurtleError> {
+        loop {
+            let predicate = self.parse_predicate()?;
+            self.parse_object_list(subject, &predicate)?;
+            match self.peek().kind {
+                TokenKind::Semicolon => {
+                    self.bump();
+                    // allow trailing ';' before '.' or ']'
+                    if matches!(self.peek().kind, TokenKind::Dot | TokenKind::RBracket) {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+        Ok(())
+    }
+
+    fn parse_predicate(&mut self) -> Result<Iri, TurtleError> {
+        let t = self.bump();
+        let (tl, tc) = (t.line, t.col);
+        match t.kind {
+            TokenKind::A => Ok(Iri::new(vocab::RDF_TYPE)),
+            TokenKind::IriRef(i) => Ok(Iri::new(self.resolve(i))),
+            TokenKind::PrefixedName { prefix, local } => {
+                match self.expand(&prefix, &local, tl, tc)? {
+                    Term::Iri(i) => Ok(i),
+                    _ => unreachable!("expand returns IRIs"),
+                }
+            }
+            other => Err(self.err_here(format!("expected predicate, found {other:?}"))),
+        }
+    }
+
+    fn parse_object_list(&mut self, subject: &Term, predicate: &Iri) -> Result<(), TurtleError> {
+        loop {
+            let object = self.parse_object()?;
+            self.graph.insert(Triple::new(subject.clone(), predicate.clone(), object));
+            if self.peek().kind == TokenKind::Comma {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    fn parse_object(&mut self) -> Result<Term, TurtleError> {
+        let t = self.bump();
+        let (tl, tc) = (t.line, t.col);
+        match t.kind {
+            TokenKind::IriRef(i) => Ok(Term::Iri(Iri::new(self.resolve(i)))),
+            TokenKind::PrefixedName { prefix, local } => self.expand(&prefix, &local, tl, tc),
+            TokenKind::BlankNode(label) => Ok(Term::Blank(label)),
+            TokenKind::Boolean(b) => Ok(Term::Literal(Literal::boolean(b))),
+            TokenKind::Number(n) => {
+                let dt = if n.contains('.') || n.contains('e') || n.contains('E') {
+                    vocab::XSD_DECIMAL
+                } else {
+                    vocab::XSD_INTEGER
+                };
+                Ok(Term::Literal(Literal::typed(n, Iri::new(dt))))
+            }
+            TokenKind::StringLit(s) => {
+                // optional @lang or ^^datatype
+                match self.peek().kind.clone() {
+                    TokenKind::LangTag(lang) => {
+                        self.bump();
+                        Ok(Term::Literal(Literal::lang_tagged(s, lang)))
+                    }
+                    TokenKind::CaretCaret => {
+                        self.bump();
+                        let t2 = self.bump();
+                        let (t2l, t2c) = (t2.line, t2.col);
+                        let dt = match t2.kind {
+                            TokenKind::IriRef(i) => Iri::new(self.resolve(i)),
+                            TokenKind::PrefixedName { prefix, local } => {
+                                match self.expand(&prefix, &local, t2l, t2c)? {
+                                    Term::Iri(i) => i,
+                                    _ => unreachable!(),
+                                }
+                            }
+                            other => {
+                                return Err(
+                                    self.err_here(format!("expected datatype, found {other:?}"))
+                                )
+                            }
+                        };
+                        Ok(Term::Literal(Literal::typed(s, dt)))
+                    }
+                    _ => Ok(Term::Literal(Literal::plain(s))),
+                }
+            }
+            TokenKind::LBracket => {
+                // anonymous node with optional inline properties
+                let node = self.fresh_blank();
+                if self.peek().kind != TokenKind::RBracket {
+                    self.parse_predicate_object_list(&node)?;
+                }
+                match self.bump().kind {
+                    TokenKind::RBracket => Ok(node),
+                    other => Err(self.err_here(format!("expected ']', found {other:?}"))),
+                }
+            }
+            TokenKind::LParen => {
+                Err(self.err_here("RDF collections '( … )' are not supported by this subset"))
+            }
+            other => Err(self.err_here(format!("expected object, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Term;
+
+    #[test]
+    fn parse_simple_document() {
+        let g = parse_turtle(
+            "@prefix ex: <http://e/> .\n\
+             ex:A a ex:B .",
+        )
+        .unwrap();
+        assert_eq!(g.len(), 1);
+        let t = &g.triples()[0];
+        assert_eq!(t.subject, Term::iri("http://e/A"));
+        assert_eq!(t.predicate.as_str(), vocab::RDF_TYPE);
+    }
+
+    #[test]
+    fn parse_predicate_and_object_lists() {
+        let g = parse_turtle(
+            "@prefix ex: <http://e/> .\n\
+             ex:A ex:p ex:B , ex:C ; ex:q \"v\" .",
+        )
+        .unwrap();
+        assert_eq!(g.len(), 3);
+    }
+
+    #[test]
+    fn parse_trailing_semicolon() {
+        let g = parse_turtle(
+            "@prefix ex: <http://e/> .\n\
+             ex:A ex:p ex:B ; .",
+        )
+        .unwrap();
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn parse_typed_and_tagged_literals() {
+        let g = parse_turtle(
+            "@prefix ex: <http://e/> .\n\
+             @prefix xsd: <http://www.w3.org/2001/XMLSchema#> .\n\
+             ex:A ex:age 42 ; ex:w 1.5 ; ex:ok true ; ex:n \"x\"@en ; ex:d \"y\"^^xsd:string .",
+        )
+        .unwrap();
+        assert_eq!(g.len(), 5);
+        let lits: Vec<_> =
+            g.triples().iter().filter_map(|t| t.object.as_literal()).collect();
+        assert_eq!(lits.len(), 5);
+        assert!(lits.iter().any(|l| l.lang.as_deref() == Some("en")));
+        assert!(lits
+            .iter()
+            .any(|l| l.datatype.as_ref().map(|d| d.as_str()) == Some(vocab::XSD_INTEGER)));
+    }
+
+    #[test]
+    fn parse_blank_nodes() {
+        let g = parse_turtle(
+            "@prefix ex: <http://e/> .\n\
+             ex:A ex:p _:b1 .\n\
+             _:b1 ex:q ex:C .",
+        )
+        .unwrap();
+        assert_eq!(g.len(), 2);
+        assert!(matches!(g.triples()[0].object, Term::Blank(_)));
+    }
+
+    #[test]
+    fn parse_anonymous_bracket_node() {
+        let g = parse_turtle(
+            "@prefix ex: <http://e/> .\n\
+             ex:A ex:p [ ex:q ex:B ; ex:r \"s\" ] .",
+        )
+        .unwrap();
+        // 1 outer + 2 inner
+        assert_eq!(g.len(), 3);
+    }
+
+    #[test]
+    fn parse_empty_brackets() {
+        let g = parse_turtle(
+            "@prefix ex: <http://e/> .\n\
+             ex:A ex:p [ ] .",
+        )
+        .unwrap();
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn parse_base_resolution() {
+        let g = parse_turtle(
+            "@base <http://e/onto> .\n\
+             <#A> a <#B> .\n\
+             <rel> a <#C> .",
+        )
+        .unwrap();
+        let subs: Vec<_> =
+            g.triples().iter().filter_map(|t| t.subject.as_iri()).map(|i| i.as_str()).collect();
+        assert!(subs.contains(&"http://e/onto#A"));
+        assert!(subs.contains(&"http://e/onto/rel"));
+    }
+
+    #[test]
+    fn unknown_prefix_is_an_error() {
+        let err = parse_turtle("nope:A a nope:B .").unwrap_err();
+        assert!(err.message.contains("unknown prefix"), "{err}");
+    }
+
+    #[test]
+    fn collections_are_rejected_with_message() {
+        let err = parse_turtle(
+            "@prefix ex: <http://e/> .\n\
+             ex:A ex:p ( ex:B ex:C ) .",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("not supported"));
+    }
+
+    #[test]
+    fn missing_dot_is_an_error() {
+        assert!(parse_turtle("@prefix ex: <http://e/> .\nex:A a ex:B").is_err());
+    }
+
+    #[test]
+    fn standard_prefixes_are_preloaded() {
+        // rdf:, rdfs:, owl:, xsd:, dc: usable without declaration.
+        let g = parse_turtle("rdfs:label a rdf:Property .").unwrap();
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn empty_document_parses() {
+        assert_eq!(parse_turtle("").unwrap().len(), 0);
+        assert_eq!(parse_turtle("# only a comment\n").unwrap().len(), 0);
+    }
+}

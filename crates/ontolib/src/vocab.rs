@@ -1,0 +1,69 @@
+//! RDF / RDFS / OWL / XSD / Dublin Core vocabulary constants used by the
+//! parser, the ontology view and the synthetic generator.
+
+pub const RDF_NS: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#";
+pub const RDFS_NS: &str = "http://www.w3.org/2000/01/rdf-schema#";
+pub const OWL_NS: &str = "http://www.w3.org/2002/07/owl#";
+pub const XSD_NS: &str = "http://www.w3.org/2001/XMLSchema#";
+pub const DC_NS: &str = "http://purl.org/dc/elements/1.1/";
+
+pub const RDF_TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+
+pub const RDFS_CLASS: &str = "http://www.w3.org/2000/01/rdf-schema#Class";
+pub const RDFS_SUBCLASS_OF: &str = "http://www.w3.org/2000/01/rdf-schema#subClassOf";
+pub const RDFS_LABEL: &str = "http://www.w3.org/2000/01/rdf-schema#label";
+pub const RDFS_COMMENT: &str = "http://www.w3.org/2000/01/rdf-schema#comment";
+pub const RDFS_DOMAIN: &str = "http://www.w3.org/2000/01/rdf-schema#domain";
+pub const RDFS_RANGE: &str = "http://www.w3.org/2000/01/rdf-schema#range";
+pub const RDFS_SEE_ALSO: &str = "http://www.w3.org/2000/01/rdf-schema#seeAlso";
+pub const RDFS_IS_DEFINED_BY: &str = "http://www.w3.org/2000/01/rdf-schema#isDefinedBy";
+
+pub const OWL_ONTOLOGY: &str = "http://www.w3.org/2002/07/owl#Ontology";
+pub const OWL_CLASS: &str = "http://www.w3.org/2002/07/owl#Class";
+pub const OWL_OBJECT_PROPERTY: &str = "http://www.w3.org/2002/07/owl#ObjectProperty";
+pub const OWL_DATATYPE_PROPERTY: &str = "http://www.w3.org/2002/07/owl#DatatypeProperty";
+pub const OWL_ANNOTATION_PROPERTY: &str = "http://www.w3.org/2002/07/owl#AnnotationProperty";
+pub const OWL_NAMED_INDIVIDUAL: &str = "http://www.w3.org/2002/07/owl#NamedIndividual";
+pub const OWL_IMPORTS: &str = "http://www.w3.org/2002/07/owl#imports";
+pub const OWL_VERSION_INFO: &str = "http://www.w3.org/2002/07/owl#versionInfo";
+
+pub const XSD_INTEGER: &str = "http://www.w3.org/2001/XMLSchema#integer";
+pub const XSD_DECIMAL: &str = "http://www.w3.org/2001/XMLSchema#decimal";
+pub const XSD_BOOLEAN: &str = "http://www.w3.org/2001/XMLSchema#boolean";
+pub const XSD_STRING: &str = "http://www.w3.org/2001/XMLSchema#string";
+
+pub const DC_TITLE: &str = "http://purl.org/dc/elements/1.1/title";
+pub const DC_CREATOR: &str = "http://purl.org/dc/elements/1.1/creator";
+pub const DC_DESCRIPTION: &str = "http://purl.org/dc/elements/1.1/description";
+
+/// Namespaces that count as "taken from a given standard" for the *adequacy
+/// of naming conventions* criterion (the paper names W3C and MPEG-7 as
+/// examples of standards whose terms score *high*).
+pub const STANDARD_NAMESPACES: &[&str] = &[
+    "http://www.w3.org/",
+    "http://purl.org/dc/",
+    "http://mpeg7.org/",
+    "urn:mpeg:mpeg7:",
+    "http://xmlns.com/foaf/",
+    "http://www.w3.org/ns/ma-ont#",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_in_their_namespaces() {
+        assert!(RDF_TYPE.starts_with(RDF_NS));
+        assert!(RDFS_LABEL.starts_with(RDFS_NS));
+        assert!(OWL_CLASS.starts_with(OWL_NS));
+        assert!(XSD_INTEGER.starts_with(XSD_NS));
+        assert!(DC_TITLE.starts_with(DC_NS));
+    }
+
+    #[test]
+    fn standard_namespaces_include_w3c() {
+        assert!(STANDARD_NAMESPACES.iter().any(|ns| ns.contains("w3.org")));
+        assert!(STANDARD_NAMESPACES.iter().any(|ns| ns.contains("mpeg")));
+    }
+}

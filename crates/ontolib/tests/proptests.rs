@@ -1,0 +1,110 @@
+//! Property-based tests for the ontology substrate: Turtle round trips over
+//! generated graphs and arbitrary literals, plus tokenizer invariants.
+
+use ontolib::model::{Graph, Literal, Term};
+use ontolib::naming::tokenize;
+use ontolib::{parse_turtle, write_turtle, GeneratorConfig, OntologyGenerator};
+use proptest::prelude::*;
+
+/// Strategy for literal strings exercising the escape paths.
+fn literal_string() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[ -~äöüé\\n\\t\"\\\\]{0,40}").expect("valid regex")
+}
+
+fn sorted_triples(g: &Graph) -> Vec<ontolib::Triple> {
+    let mut v = g.triples().to_vec();
+    v.sort();
+    v
+}
+
+proptest! {
+    /// Any generated ontology graph round-trips through Turtle.
+    #[test]
+    fn generated_graphs_roundtrip(
+        seed in 0u64..200,
+        n_classes in 1usize..40,
+        label_prob in 0.0f64..1.0,
+        opaque in 0.0f64..1.0,
+    ) {
+        let g = OntologyGenerator::new(GeneratorConfig {
+            seed,
+            num_classes: n_classes,
+            label_prob,
+            opaque_prob: opaque,
+            ..GeneratorConfig::default()
+        })
+        .generate_graph();
+        let text = write_turtle(&g);
+        let back = parse_turtle(&text).expect("round trip parses");
+        prop_assert_eq!(sorted_triples(&g), sorted_triples(&back));
+    }
+
+    /// Arbitrary literal content survives serialization (escaping is
+    /// lossless).
+    #[test]
+    fn literal_roundtrip(s in literal_string(), lang in proptest::option::of("[a-z]{2}")) {
+        let mut g = Graph::new();
+        g.prefixes.insert("ex", "http://e/");
+        let lit = match lang {
+            Some(l) => Literal::lang_tagged(s.clone(), l),
+            None => Literal::plain(s.clone()),
+        };
+        g.add(Term::iri("http://e/s"), "http://e/p", Term::Literal(lit));
+        let text = write_turtle(&g);
+        let back = parse_turtle(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        prop_assert_eq!(sorted_triples(&g), sorted_triples(&back));
+    }
+
+    /// Tokenization never produces empty tokens and is idempotent under
+    /// re-joining for snake_case inputs.
+    #[test]
+    fn tokenize_no_empty_tokens(name in "[A-Za-z0-9_\\-\\.]{0,30}") {
+        let toks = tokenize(&name);
+        prop_assert!(toks.iter().all(|t| !t.is_empty()));
+        prop_assert!(toks.iter().all(|t| t.chars().all(|c| c.is_lowercase() || c.is_numeric())));
+    }
+
+    /// Merging a graph into itself never grows it (dedup is sound).
+    #[test]
+    fn self_merge_is_idempotent(seed in 0u64..100) {
+        let g = OntologyGenerator::new(GeneratorConfig {
+            seed,
+            num_classes: 10,
+            ..GeneratorConfig::default()
+        })
+        .generate_graph();
+        let mut merged = g.clone();
+        merged.merge(&g);
+        prop_assert_eq!(merged.len(), g.len());
+    }
+
+    /// Parsing is deterministic: same text, same triples.
+    #[test]
+    fn parse_deterministic(seed in 0u64..100) {
+        let g = OntologyGenerator::new(GeneratorConfig {
+            seed,
+            num_classes: 8,
+            ..GeneratorConfig::default()
+        })
+        .generate_graph();
+        let text = write_turtle(&g);
+        let a = parse_turtle(&text).expect("parses");
+        let b = parse_turtle(&text).expect("parses");
+        prop_assert_eq!(a.triples(), b.triples());
+    }
+}
+
+proptest! {
+    /// The Turtle parser is total: arbitrary input returns Ok or Err but
+    /// never panics, loops, or overflows.
+    #[test]
+    fn parser_never_panics(input in "[ -~\\n\\t]{0,200}") {
+        let _ = parse_turtle(&input);
+    }
+
+    /// N-Triples parsing is total as well.
+    #[test]
+    fn ntriples_parser_never_panics(input in "[ -~\\n]{0,200}") {
+        let _ = ontolib::parse_ntriples(&input);
+    }
+}

@@ -1,0 +1,59 @@
+use std::fmt;
+
+/// Errors raised while *building* or *solving* a linear program.
+///
+/// Infeasibility and unboundedness are not errors — they are legitimate
+/// outcomes reported through [`crate::Status`]. `LpError` covers malformed
+/// inputs and solver-internal failures only.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpError {
+    /// A coefficient row has the wrong number of entries.
+    DimensionMismatch { expected: usize, got: usize },
+    /// A coefficient, bound or right-hand side is NaN or infinite where a
+    /// finite value is required.
+    NonFiniteInput(String),
+    /// A variable's lower bound exceeds its upper bound.
+    InvalidBound { var: usize, lower: f64, upper: f64 },
+    /// The pivoting loop exceeded its iteration budget. With Bland's rule
+    /// this indicates numerical corruption rather than cycling.
+    IterationLimit(usize),
+    /// The problem has no variables or no objective set.
+    EmptyProblem,
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::DimensionMismatch { expected, got } => {
+                write!(f, "coefficient row has {got} entries, expected {expected}")
+            }
+            LpError::NonFiniteInput(what) => write!(f, "non-finite input: {what}"),
+            LpError::InvalidBound { var, lower, upper } => {
+                write!(f, "variable {var} has lower bound {lower} > upper bound {upper}")
+            }
+            LpError::IterationLimit(n) => write!(f, "simplex exceeded {n} pivots"),
+            LpError::EmptyProblem => write!(f, "linear program has no variables"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = LpError::DimensionMismatch { expected: 3, got: 2 };
+        assert!(e.to_string().contains("expected 3"));
+        let e = LpError::InvalidBound { var: 1, lower: 2.0, upper: 1.0 };
+        assert!(e.to_string().contains("variable 1"));
+        let e = LpError::IterationLimit(10);
+        assert!(e.to_string().contains("10"));
+        let e = LpError::NonFiniteInput("rhs".into());
+        assert!(e.to_string().contains("rhs"));
+        let e = LpError::EmptyProblem;
+        assert!(e.to_string().contains("no variables"));
+    }
+}

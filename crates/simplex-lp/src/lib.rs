@@ -1,0 +1,65 @@
+//! # simplex-lp
+//!
+//! A small, dependency-free, dense **two-phase simplex** linear-programming
+//! solver.
+//!
+//! This crate is the optimization substrate for the imprecise-MAUT
+//! sensitivity analyses of the GMAA reproduction (dominance and potential
+//! optimality are decided by minimizing / maximizing linear functionals over
+//! the *weight polytope* `{ w : low ≤ w ≤ upp, Σ w = 1 }`), but it is a
+//! general-purpose LP solver:
+//!
+//! * minimize or maximize a linear objective,
+//! * `≤`, `≥` and `=` constraints,
+//! * per-variable lower/upper bounds (including free variables),
+//! * exact infeasibility / unboundedness detection,
+//! * Bland's anti-cycling rule as a fallback after a Dantzig-rule phase.
+//!
+//! ## Example
+//!
+//! ```
+//! use simplex_lp::{LinearProgram, Objective, Relation, Status};
+//!
+//! // maximize 3x + 2y  subject to  x + y <= 4, x + 3y <= 6, x,y >= 0
+//! let mut lp = LinearProgram::new(2, Objective::Maximize);
+//! lp.set_objective(&[3.0, 2.0]);
+//! lp.add_constraint(&[1.0, 1.0], Relation::Le, 4.0);
+//! lp.add_constraint(&[1.0, 3.0], Relation::Le, 6.0);
+//! let sol = lp.solve().unwrap();
+//! assert_eq!(sol.status, Status::Optimal);
+//! assert!((sol.objective - 12.0).abs() < 1e-9); // x=4, y=0
+//! ```
+
+mod error;
+mod polytope;
+mod problem;
+mod solver;
+mod tableau;
+
+pub use error::LpError;
+pub use polytope::{minimize_via_lp, WeightPolytope};
+pub use problem::{Bound, Constraint, LinearProgram, Objective, Relation};
+pub use solver::{Solution, Status};
+
+/// Numerical tolerance used throughout the solver for feasibility and
+/// optimality tests. Problems in this workspace are small (tens of
+/// variables), so a fixed absolute tolerance is adequate.
+pub const EPS: f64 = 1e-9;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn readme_example() {
+        let mut lp = LinearProgram::new(2, Objective::Maximize);
+        lp.set_objective(&[3.0, 2.0]);
+        lp.add_constraint(&[1.0, 1.0], Relation::Le, 4.0);
+        lp.add_constraint(&[1.0, 3.0], Relation::Le, 6.0);
+        let sol = lp.solve().unwrap();
+        assert_eq!(sol.status, Status::Optimal);
+        assert!((sol.objective - 12.0).abs() < 1e-9);
+        assert!((sol.x[0] - 4.0).abs() < 1e-9);
+        assert!(sol.x[1].abs() < 1e-9);
+    }
+}

@@ -1,0 +1,244 @@
+//! The *weight polytope* `W = { w : low ≤ w ≤ upp, Σ w = 1 }` that arises in
+//! imprecise multi-attribute analysis (normalized attribute weights known
+//! only up to intervals).
+//!
+//! Optimizing a linear functional over `W` is a continuous-knapsack problem
+//! with an exact greedy solution, which this module implements directly; the
+//! general [`crate::LinearProgram`] path is used by tests to cross-validate.
+
+use crate::problem::{Bound, LinearProgram, Objective, Relation};
+use crate::solver::Status;
+use crate::EPS;
+
+/// A box-constrained probability simplex.
+///
+/// # Example
+///
+/// ```
+/// use simplex_lp::WeightPolytope;
+/// let p = WeightPolytope::new(&[0.2, 0.1], &[0.8, 0.9]).expect("feasible");
+/// let (lo, hi) = p.range(&[1.0, 0.0]); // range of w1 over the polytope
+/// assert!((lo - 0.2).abs() < 1e-9 && (hi - 0.8).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightPolytope {
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+}
+
+impl WeightPolytope {
+    /// Build from per-weight interval bounds. Bounds are clamped to `[0, 1]`.
+    ///
+    /// Returns `None` when the box cannot intersect the simplex
+    /// (`Σ low > 1` or `Σ upp < 1`) or when any interval is inverted.
+    pub fn new(lower: &[f64], upper: &[f64]) -> Option<WeightPolytope> {
+        if lower.len() != upper.len() || lower.is_empty() {
+            return None;
+        }
+        let mut lo = Vec::with_capacity(lower.len());
+        let mut hi = Vec::with_capacity(upper.len());
+        for (&l, &u) in lower.iter().zip(upper) {
+            if !l.is_finite() || !u.is_finite() || l > u + EPS {
+                return None;
+            }
+            lo.push(l.clamp(0.0, 1.0));
+            hi.push(u.clamp(0.0, 1.0));
+        }
+        let p = WeightPolytope { lower: lo, upper: hi };
+        if p.is_feasible() {
+            Some(p)
+        } else {
+            None
+        }
+    }
+
+    /// The unconstrained simplex over `n` weights (`low = 0`, `upp = 1`).
+    pub fn full_simplex(n: usize) -> WeightPolytope {
+        WeightPolytope { lower: vec![0.0; n], upper: vec![1.0; n] }
+    }
+
+    /// Number of weights.
+    pub fn dim(&self) -> usize {
+        self.lower.len()
+    }
+
+    pub fn lower(&self) -> &[f64] {
+        &self.lower
+    }
+
+    pub fn upper(&self) -> &[f64] {
+        &self.upper
+    }
+
+    /// Whether the box intersects the normalization hyperplane.
+    pub fn is_feasible(&self) -> bool {
+        let lo: f64 = self.lower.iter().sum();
+        let hi: f64 = self.upper.iter().sum();
+        lo <= 1.0 + EPS && hi >= 1.0 - EPS
+    }
+
+    /// Whether `w` lies in the polytope (within tolerance `tol`).
+    pub fn contains(&self, w: &[f64], tol: f64) -> bool {
+        if w.len() != self.dim() {
+            return false;
+        }
+        let sum: f64 = w.iter().sum();
+        if (sum - 1.0).abs() > tol {
+            return false;
+        }
+        w.iter()
+            .zip(self.lower.iter().zip(&self.upper))
+            .all(|(&x, (&l, &u))| x >= l - tol && x <= u + tol)
+    }
+
+    /// Minimize `c · w` over the polytope. Exact greedy continuous-knapsack:
+    /// start from the lower bounds and pour the remaining mass into the
+    /// cheapest coordinates first. Returns `(value, argmin)`.
+    pub fn minimize(&self, c: &[f64]) -> (f64, Vec<f64>) {
+        assert_eq!(c.len(), self.dim(), "coefficient length mismatch");
+        let mut w = self.lower.clone();
+        let mut remaining: f64 = 1.0 - w.iter().sum::<f64>();
+        let mut order: Vec<usize> = (0..self.dim()).collect();
+        order.sort_by(|&a, &b| c[a].partial_cmp(&c[b]).expect("finite coefficients"));
+        for &j in &order {
+            if remaining <= EPS {
+                break;
+            }
+            let cap = self.upper[j] - self.lower[j];
+            let add = cap.min(remaining);
+            w[j] += add;
+            remaining -= add;
+        }
+        debug_assert!(remaining <= 1e-7, "polytope was infeasible");
+        let value = c.iter().zip(&w).map(|(a, b)| a * b).sum();
+        (value, w)
+    }
+
+    /// Maximize `c · w` over the polytope. Returns `(value, argmax)`.
+    pub fn maximize(&self, c: &[f64]) -> (f64, Vec<f64>) {
+        let neg: Vec<f64> = c.iter().map(|v| -v).collect();
+        let (v, w) = self.minimize(&neg);
+        (-v, w)
+    }
+
+    /// The range `[min, max]` of `c · w` over the polytope.
+    pub fn range(&self, c: &[f64]) -> (f64, f64) {
+        (self.minimize(c).0, self.maximize(c).0)
+    }
+
+    /// A canonical interior-ish point: lower bounds plus remaining mass
+    /// spread proportionally to the interval widths (the "average normalized
+    /// weight" used by GMAA when intervals were elicited).
+    pub fn centroid(&self) -> Vec<f64> {
+        let lo: f64 = self.lower.iter().sum();
+        let width: f64 = self.upper.iter().zip(&self.lower).map(|(u, l)| u - l).sum();
+        let remaining = 1.0 - lo;
+        if width <= EPS {
+            return self.lower.clone();
+        }
+        self.lower
+            .iter()
+            .zip(&self.upper)
+            .map(|(&l, &u)| l + remaining * (u - l) / width)
+            .collect()
+    }
+
+    /// Build the equivalent [`LinearProgram`] (used for cross-validation and
+    /// by callers who need extra constraints on top of the polytope).
+    pub fn to_lp(&self, c: &[f64], direction: Objective) -> LinearProgram {
+        let n = self.dim();
+        let mut lp = LinearProgram::new(n, direction);
+        lp.set_objective(c);
+        for j in 0..n {
+            lp.set_bound(j, Bound::boxed(self.lower[j], self.upper[j]));
+        }
+        lp.add_constraint(&vec![1.0; n], Relation::Eq, 1.0);
+        lp
+    }
+}
+
+/// Convenience: minimize `c·w` over the polytope with the full LP machinery.
+/// Exposed mainly for testing the greedy path.
+pub fn minimize_via_lp(p: &WeightPolytope, c: &[f64]) -> Option<f64> {
+    let sol = p.to_lp(c, Objective::Minimize).solve().ok()?;
+    (sol.status == Status::Optimal).then_some(sol.objective)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_incompatible_box() {
+        assert!(WeightPolytope::new(&[0.6, 0.6], &[0.7, 0.7]).is_none()); // sum low > 1
+        assert!(WeightPolytope::new(&[0.0, 0.0], &[0.3, 0.3]).is_none()); // sum upp < 1
+        assert!(WeightPolytope::new(&[0.5], &[0.4]).is_none()); // inverted
+        assert!(WeightPolytope::new(&[], &[]).is_none());
+        assert!(WeightPolytope::new(&[0.1, 0.2], &[0.9]).is_none()); // length mismatch
+    }
+
+    #[test]
+    fn full_simplex_contains_uniform() {
+        let p = WeightPolytope::full_simplex(4);
+        assert!(p.contains(&[0.25; 4], 1e-9));
+        assert!(!p.contains(&[0.5, 0.5, 0.5, -0.5], 1e-9));
+        assert!(!p.contains(&[0.3, 0.3, 0.3], 1e-9)); // wrong dim
+    }
+
+    #[test]
+    fn minimize_matches_hand_computation() {
+        let p = WeightPolytope::new(&[0.2, 0.3, 0.1], &[0.5, 0.6, 0.4]).unwrap();
+        let (v, w) = p.minimize(&[0.2, -0.1, 0.05]);
+        assert!((v - (-0.01)).abs() < 1e-9, "v = {v}");
+        assert!(p.contains(&w, 1e-9));
+    }
+
+    #[test]
+    fn greedy_agrees_with_lp_on_grid() {
+        let p = WeightPolytope::new(&[0.05, 0.1, 0.0, 0.2], &[0.5, 0.4, 0.35, 0.6]).unwrap();
+        let cases = [
+            [1.0, 2.0, 3.0, 4.0],
+            [-1.0, 0.0, 1.0, 0.5],
+            [0.0, 0.0, 0.0, 0.0],
+            [-2.0, -2.0, 5.0, 1.0],
+        ];
+        for c in cases {
+            let (g, _) = p.minimize(&c);
+            let l = minimize_via_lp(&p, &c).unwrap();
+            assert!((g - l).abs() < 1e-7, "greedy {g} vs lp {l} for {c:?}");
+        }
+    }
+
+    #[test]
+    fn range_is_ordered_and_tight_for_degenerate_box() {
+        // Degenerate polytope: exact weights.
+        let p = WeightPolytope::new(&[0.3, 0.7], &[0.3, 0.7]).unwrap();
+        let (lo, hi) = p.range(&[1.0, 2.0]);
+        assert!((lo - 1.7).abs() < 1e-9);
+        assert!((hi - 1.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn centroid_is_feasible_and_normalized() {
+        let p = WeightPolytope::new(&[0.046, 0.059, 0.06], &[0.59, 0.515, 0.595]).unwrap();
+        let c = p.centroid();
+        assert!(p.contains(&c, 1e-9), "centroid {c:?}");
+        let s: f64 = c.iter().sum();
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn centroid_of_degenerate_box_is_the_point() {
+        let p = WeightPolytope::new(&[0.25, 0.75], &[0.25, 0.75]).unwrap();
+        assert_eq!(p.centroid(), vec![0.25, 0.75]);
+    }
+
+    #[test]
+    fn maximize_is_negated_minimize() {
+        let p = WeightPolytope::full_simplex(3);
+        let c = [0.1, 0.9, 0.5];
+        let (mx, w) = p.maximize(&c);
+        assert!((mx - 0.9).abs() < 1e-9);
+        assert!((w[1] - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,515 @@
+//! Two-phase simplex driver: standard-form conversion, phase 1 (artificial
+//! variables), phase 2, and solution extraction back in the user's variable
+//! space.
+
+use crate::error::LpError;
+use crate::problem::{LinearProgram, Objective, Relation};
+use crate::tableau::Tableau;
+use crate::EPS;
+
+/// Outcome category of a solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// An optimal solution was found.
+    Optimal,
+    /// The feasible region is empty.
+    Infeasible,
+    /// The objective is unbounded over the feasible region.
+    Unbounded,
+}
+
+/// Result of [`LinearProgram::solve`].
+#[derive(Debug, Clone)]
+pub struct Solution {
+    pub status: Status,
+    /// Optimal objective value in the user's direction. Meaningless unless
+    /// `status == Optimal`.
+    pub objective: f64,
+    /// Optimal assignment of the original decision variables. Empty unless
+    /// `status == Optimal`.
+    pub x: Vec<f64>,
+    /// Number of simplex pivots performed (both phases).
+    pub pivots: usize,
+}
+
+impl Solution {
+    fn non_optimal(status: Status) -> Solution {
+        Solution { status, objective: f64::NAN, x: Vec::new(), pivots: 0 }
+    }
+}
+
+/// How a user variable maps into the non-negative internal space.
+#[derive(Debug, Clone, Copy)]
+enum VarMap {
+    /// `x = lower + x'[col]`, optionally with an upper-bound row added.
+    Shifted { col: usize, lower: f64 },
+    /// `x = upper - x'[col]` (only an upper bound is finite).
+    Mirrored { col: usize, upper: f64 },
+    /// `x = x'[pos] - x'[neg]` (free variable split).
+    Split { pos: usize, neg: usize },
+}
+
+struct StandardForm {
+    /// Rows as (coeffs over internal structural vars, relation, rhs).
+    rows: Vec<(Vec<f64>, Relation, f64)>,
+    /// Internal minimization objective over structural vars.
+    cost: Vec<f64>,
+    /// Constant offset contributed by bound shifts: user_obj = cost·x' + offset
+    /// (in minimization orientation).
+    offset: f64,
+    maps: Vec<VarMap>,
+    n_internal: usize,
+}
+
+/// Translate bounds and direction into `min c'·x', A'x' REL b', x' ≥ 0`.
+fn to_standard(lp: &LinearProgram) -> StandardForm {
+    let sign = match lp.direction {
+        Objective::Minimize => 1.0,
+        Objective::Maximize => -1.0,
+    };
+
+    let mut maps = Vec::with_capacity(lp.n);
+    let mut n_internal = 0usize;
+    let mut extra_rows: Vec<(usize, f64)> = Vec::new(); // (internal col, ub residual)
+
+    for (i, b) in lp.bounds.iter().enumerate() {
+        if b.lower.is_finite() {
+            let col = n_internal;
+            n_internal += 1;
+            maps.push(VarMap::Shifted { col, lower: b.lower });
+            if b.upper.is_finite() && b.upper > b.lower {
+                extra_rows.push((col, b.upper - b.lower));
+            } else if b.upper.is_finite() {
+                // fixed variable: x' <= 0 i.e. x' = 0; encode as ub row 0.
+                extra_rows.push((col, 0.0));
+            }
+        } else if b.upper.is_finite() {
+            let col = n_internal;
+            n_internal += 1;
+            maps.push(VarMap::Mirrored { col, upper: b.upper });
+        } else {
+            let pos = n_internal;
+            let neg = n_internal + 1;
+            n_internal += 2;
+            maps.push(VarMap::Split { pos, neg });
+        }
+        let _ = i;
+    }
+
+    let mut cost = vec![0.0; n_internal];
+    let mut offset = 0.0;
+    for (i, &c) in lp.objective.iter().enumerate() {
+        let c = sign * c;
+        match maps[i] {
+            VarMap::Shifted { col, lower } => {
+                cost[col] += c;
+                offset += c * lower;
+            }
+            VarMap::Mirrored { col, upper } => {
+                cost[col] -= c;
+                offset += c * upper;
+            }
+            VarMap::Split { pos, neg } => {
+                cost[pos] += c;
+                cost[neg] -= c;
+            }
+        }
+    }
+
+    let mut rows = Vec::with_capacity(lp.constraints.len() + extra_rows.len());
+    for con in &lp.constraints {
+        let mut coeffs = vec![0.0; n_internal];
+        let mut rhs = con.rhs;
+        for (i, &a) in con.coeffs.iter().enumerate() {
+            if a == 0.0 {
+                continue;
+            }
+            match maps[i] {
+                VarMap::Shifted { col, lower } => {
+                    coeffs[col] += a;
+                    rhs -= a * lower;
+                }
+                VarMap::Mirrored { col, upper } => {
+                    coeffs[col] -= a;
+                    rhs -= a * upper;
+                }
+                VarMap::Split { pos, neg } => {
+                    coeffs[pos] += a;
+                    coeffs[neg] -= a;
+                }
+            }
+        }
+        rows.push((coeffs, con.relation, rhs));
+    }
+    for (col, ub) in extra_rows {
+        let mut coeffs = vec![0.0; n_internal];
+        coeffs[col] = 1.0;
+        rows.push((coeffs, Relation::Le, ub));
+    }
+
+    StandardForm { rows, cost, offset, maps, n_internal }
+}
+
+/// Run the pivot loop until optimality, unboundedness or the iteration cap.
+/// Switches from Dantzig to Bland pricing after `bland_after` pivots.
+fn pivot_loop(t: &mut Tableau, budget: &mut usize, max_pivots: usize) -> Result<bool, LpError> {
+    // Returns Ok(true) on optimal, Ok(false) on unbounded.
+    let bland_after = max_pivots / 2;
+    let mut local = 0usize;
+    loop {
+        let bland = local >= bland_after;
+        let Some(j) = t.entering(bland) else { return Ok(true) };
+        let Some(r) = t.leaving(j) else { return Ok(false) };
+        t.pivot(r, j);
+        local += 1;
+        *budget += 1;
+        if local > max_pivots {
+            return Err(LpError::IterationLimit(max_pivots));
+        }
+    }
+}
+
+pub(crate) fn solve(lp: &LinearProgram) -> Result<Solution, LpError> {
+    let sf = to_standard(lp);
+    let m = sf.rows.len();
+    let n = sf.n_internal;
+
+    // Count slack columns and build the equality system with rhs >= 0.
+    let n_slack = sf.rows.iter().filter(|(_, rel, _)| *rel != Relation::Eq).count();
+    let total_structural = n + n_slack;
+
+    let mut a: Vec<Vec<f64>> = Vec::with_capacity(m);
+    let mut slack_col_of_row: Vec<Option<usize>> = vec![None; m];
+    let mut next_slack = n;
+    for (ri, (coeffs, rel, rhs)) in sf.rows.iter().enumerate() {
+        let mut row = vec![0.0; total_structural + 1];
+        row[..n].copy_from_slice(coeffs);
+        let mut slack_sign = 0.0;
+        match rel {
+            Relation::Le => {
+                row[next_slack] = 1.0;
+                slack_sign = 1.0;
+            }
+            Relation::Ge => {
+                row[next_slack] = -1.0;
+                slack_sign = -1.0;
+            }
+            Relation::Eq => {}
+        }
+        let slack_col = if *rel != Relation::Eq {
+            let c = next_slack;
+            next_slack += 1;
+            Some(c)
+        } else {
+            None
+        };
+        row[total_structural] = *rhs;
+        if *rhs < 0.0 {
+            for v in row.iter_mut() {
+                *v = -*v;
+            }
+            slack_sign = -slack_sign;
+        }
+        if let Some(c) = slack_col {
+            // Slack usable as initial basis only if its coefficient is +1.
+            if slack_sign > 0.0 {
+                slack_col_of_row[ri] = Some(c);
+            }
+        }
+        a.push(row);
+    }
+
+    // Add artificial columns where no ready-made basic column exists.
+    let mut basis = vec![usize::MAX; m];
+    let mut artificials = Vec::new();
+    for (ri, row) in a.iter().enumerate() {
+        debug_assert!(row[total_structural] >= -EPS);
+        if let Some(c) = slack_col_of_row[ri] {
+            basis[ri] = c;
+        } else {
+            artificials.push(ri);
+        }
+    }
+    let n_art = artificials.len();
+    let cols = total_structural + n_art;
+    for row in a.iter_mut() {
+        let rhs = row.pop().expect("rhs present");
+        row.extend(std::iter::repeat_n(0.0, n_art));
+        row.push(rhs);
+    }
+    for (k, &ri) in artificials.iter().enumerate() {
+        let col = total_structural + k;
+        a[ri][col] = 1.0;
+        basis[ri] = col;
+    }
+
+    let mut pivots = 0usize;
+    let max_pivots = 2000 + 50 * (cols + m);
+
+    // ---- Phase 1 ----
+    if n_art > 0 {
+        let mut z = vec![0.0; cols + 1];
+        for k in 0..n_art {
+            z[total_structural + k] = 1.0;
+        }
+        // Price out the artificial basics: z_row -= sum of their rows.
+        for &ri in &artificials {
+            for j in 0..=cols {
+                z[j] -= a[ri][j];
+            }
+        }
+        let mut t = Tableau::new(a, z, basis, cols);
+        let optimal = pivot_loop(&mut t, &mut pivots, max_pivots)?;
+        debug_assert!(optimal, "phase-1 objective is bounded below by 0");
+        if t.objective_value() > 1e-7 {
+            return Ok(Solution { pivots, ..Solution::non_optimal(Status::Infeasible) });
+        }
+        // Drive remaining artificial variables out of the basis.
+        let mut drop_rows = Vec::new();
+        for r in 0..t.num_rows() {
+            if t.basis[r] >= total_structural {
+                let piv = (0..total_structural).find(|&j| t.a[r][j].abs() > 1e-7);
+                match piv {
+                    Some(j) => {
+                        t.pivot(r, j);
+                        pivots += 1;
+                    }
+                    None => drop_rows.push(r), // redundant constraint
+                }
+            }
+        }
+        for &r in drop_rows.iter().rev() {
+            t.a.remove(r);
+            t.basis.remove(r);
+        }
+        // Rebuild tableau without artificial columns.
+        let mut a2: Vec<Vec<f64>> = t
+            .a
+            .iter()
+            .map(|row| {
+                let mut r: Vec<f64> = row[..total_structural].to_vec();
+                r.push(row[cols]);
+                r
+            })
+            .collect();
+        let basis2 = t.basis.clone();
+        // Phase-2 objective priced out against the current basis.
+        let mut z2 = vec![0.0; total_structural + 1];
+        z2[..n].copy_from_slice(&sf.cost);
+        for (r, &b) in basis2.iter().enumerate() {
+            let cb = if b < n { sf.cost[b] } else { 0.0 };
+            if cb.abs() > 0.0 {
+                for j in 0..=total_structural {
+                    z2[j] -= cb * a2[r][j];
+                }
+                // keep reduced cost of basic column exactly zero
+                z2[b] = 0.0;
+            }
+        }
+        // Clean reduced costs of basic columns.
+        for &b in &basis2 {
+            z2[b] = 0.0;
+        }
+        let _ = &mut a2;
+        let mut t2 = Tableau::new(a2, z2, basis2, total_structural);
+        let optimal = pivot_loop(&mut t2, &mut pivots, max_pivots)?;
+        if !optimal {
+            return Ok(Solution { pivots, ..Solution::non_optimal(Status::Unbounded) });
+        }
+        return Ok(extract(lp, &sf, &t2, n, pivots));
+    }
+
+    // ---- Single phase (all rows had usable slack basis) ----
+    let mut z = vec![0.0; cols + 1];
+    z[..n].copy_from_slice(&sf.cost);
+    let mut t = Tableau::new(a, z, basis, cols);
+    let optimal = pivot_loop(&mut t, &mut pivots, max_pivots)?;
+    if !optimal {
+        return Ok(Solution { pivots, ..Solution::non_optimal(Status::Unbounded) });
+    }
+    Ok(extract(lp, &sf, &t, n, pivots))
+}
+
+/// Map the internal primal solution back to user variables and recompute the
+/// objective in the user's direction from first principles.
+fn extract(lp: &LinearProgram, sf: &StandardForm, t: &Tableau, n: usize, pivots: usize) -> Solution {
+    let xi = t.primal(n);
+    let mut x = vec![0.0; lp.n];
+    for (i, map) in sf.maps.iter().enumerate() {
+        x[i] = match *map {
+            VarMap::Shifted { col, lower } => lower + xi[col],
+            VarMap::Mirrored { col, upper } => upper - xi[col],
+            VarMap::Split { pos, neg } => xi[pos] - xi[neg],
+        };
+    }
+    let objective: f64 = lp.objective.iter().zip(x.iter()).map(|(c, v)| c * v).sum();
+    let _ = sf.offset; // objective recomputed directly; offset kept for debug use
+    Solution { status: Status::Optimal, objective, x, pivots }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Bound, LinearProgram};
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-7, "{a} vs {b}");
+    }
+
+    #[test]
+    fn minimize_with_ge_constraints_uses_phase1() {
+        // min 2x + 3y  s.t. x + y >= 10, x >= 2, y >= 0  -> x=10,y=0? cost 20
+        // (x cheaper per unit), but x>=2 already satisfied.
+        let mut lp = LinearProgram::new(2, Objective::Minimize);
+        lp.set_objective(&[2.0, 3.0]);
+        lp.add_constraint(&[1.0, 1.0], Relation::Ge, 10.0);
+        let sol = lp.solve().unwrap();
+        assert_eq!(sol.status, Status::Optimal);
+        assert_close(sol.objective, 20.0);
+        assert_close(sol.x[0], 10.0);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + y s.t. x + 2y = 4, 3x + 2y = 8 -> x = 2, y = 1, obj 3.
+        let mut lp = LinearProgram::new(2, Objective::Minimize);
+        lp.set_objective(&[1.0, 1.0]);
+        lp.add_constraint(&[1.0, 2.0], Relation::Eq, 4.0);
+        lp.add_constraint(&[3.0, 2.0], Relation::Eq, 8.0);
+        let sol = lp.solve().unwrap();
+        assert_eq!(sol.status, Status::Optimal);
+        assert_close(sol.x[0], 2.0);
+        assert_close(sol.x[1], 1.0);
+        assert_close(sol.objective, 3.0);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        let mut lp = LinearProgram::new(1, Objective::Minimize);
+        lp.set_objective(&[1.0]);
+        lp.add_constraint(&[1.0], Relation::Le, 1.0);
+        lp.add_constraint(&[1.0], Relation::Ge, 2.0);
+        let sol = lp.solve().unwrap();
+        assert_eq!(sol.status, Status::Infeasible);
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        let mut lp = LinearProgram::new(1, Objective::Maximize);
+        lp.set_objective(&[1.0]);
+        lp.add_constraint(&[1.0], Relation::Ge, 0.0);
+        let sol = lp.solve().unwrap();
+        assert_eq!(sol.status, Status::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_is_normalized() {
+        // min x s.t. -x <= -3  (i.e. x >= 3)
+        let mut lp = LinearProgram::new(1, Objective::Minimize);
+        lp.set_objective(&[1.0]);
+        lp.add_constraint(&[-1.0], Relation::Le, -3.0);
+        let sol = lp.solve().unwrap();
+        assert_eq!(sol.status, Status::Optimal);
+        assert_close(sol.x[0], 3.0);
+    }
+
+    #[test]
+    fn redundant_equality_rows_are_dropped() {
+        // x + y = 2 stated twice plus a harmless objective.
+        let mut lp = LinearProgram::new(2, Objective::Minimize);
+        lp.set_objective(&[1.0, 2.0]);
+        lp.add_constraint(&[1.0, 1.0], Relation::Eq, 2.0);
+        lp.add_constraint(&[2.0, 2.0], Relation::Eq, 4.0);
+        let sol = lp.solve().unwrap();
+        assert_eq!(sol.status, Status::Optimal);
+        assert_close(sol.objective, 2.0); // x = 2, y = 0
+    }
+
+    #[test]
+    fn boxed_variables() {
+        // max x + y, 0.2 <= x <= 0.5, 0.1 <= y <= 0.3, x + y <= 0.7
+        let mut lp = LinearProgram::new(2, Objective::Maximize);
+        lp.set_objective(&[1.0, 1.0]);
+        lp.set_bound(0, Bound::boxed(0.2, 0.5));
+        lp.set_bound(1, Bound::boxed(0.1, 0.3));
+        lp.add_constraint(&[1.0, 1.0], Relation::Le, 0.7);
+        let sol = lp.solve().unwrap();
+        assert_eq!(sol.status, Status::Optimal);
+        assert_close(sol.objective, 0.7);
+        assert!(sol.x[0] >= 0.2 - 1e-9 && sol.x[0] <= 0.5 + 1e-9);
+        assert!(sol.x[1] >= 0.1 - 1e-9 && sol.x[1] <= 0.3 + 1e-9);
+    }
+
+    #[test]
+    fn infeasible_bounds_vs_constraints() {
+        // 0.6 <= x <= 0.9 but x <= 0.5 required.
+        let mut lp = LinearProgram::new(1, Objective::Maximize);
+        lp.set_objective(&[1.0]);
+        lp.set_bound(0, Bound::boxed(0.6, 0.9));
+        lp.add_constraint(&[1.0], Relation::Le, 0.5);
+        let sol = lp.solve().unwrap();
+        assert_eq!(sol.status, Status::Infeasible);
+    }
+
+    #[test]
+    fn weight_polytope_style_problem() {
+        // Typical dominance LP: min sum d_j w_j over
+        // {w in [low,upp]^3, sum w = 1}.
+        let d = [0.2, -0.1, 0.05];
+        let low = [0.2, 0.3, 0.1];
+        let upp = [0.5, 0.6, 0.4];
+        let mut lp = LinearProgram::new(3, Objective::Minimize);
+        lp.set_objective(&d);
+        for i in 0..3 {
+            lp.set_bound(i, Bound::boxed(low[i], upp[i]));
+        }
+        lp.add_constraint(&[1.0, 1.0, 1.0], Relation::Eq, 1.0);
+        let sol = lp.solve().unwrap();
+        assert_eq!(sol.status, Status::Optimal);
+        let s: f64 = sol.x.iter().sum();
+        assert_close(s, 1.0);
+        // Optimal puts as much as possible on the most negative coefficient:
+        // w2 = 0.6, then cheapest remaining on w3: w3 = 0.2? bounds: w3 <= 0.4,
+        // w1 >= 0.2 -> w1 = 0.2, w3 = 0.2. Obj = .04 - .06 + .01 = -0.01.
+        assert_close(sol.objective, -0.01);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Classic degeneracy-inducing problem (Beale-like); just assert it
+        // terminates with an optimum.
+        let mut lp = LinearProgram::new(4, Objective::Minimize);
+        lp.set_objective(&[-0.75, 150.0, -0.02, 6.0]);
+        lp.add_constraint(&[0.25, -60.0, -0.04, 9.0], Relation::Le, 0.0);
+        lp.add_constraint(&[0.5, -90.0, -0.02, 3.0], Relation::Le, 0.0);
+        lp.add_constraint(&[0.0, 0.0, 1.0, 0.0], Relation::Le, 1.0);
+        let sol = lp.solve().unwrap();
+        assert_eq!(sol.status, Status::Optimal);
+        assert_close(sol.objective, -0.05);
+    }
+
+    #[test]
+    fn objective_constant_for_fixed_all_vars() {
+        let mut lp = LinearProgram::new(2, Objective::Maximize);
+        lp.set_objective(&[2.0, -1.0]);
+        lp.set_bound(0, Bound::fixed(1.5));
+        lp.set_bound(1, Bound::fixed(0.5));
+        let sol = lp.solve().unwrap();
+        assert_eq!(sol.status, Status::Optimal);
+        assert_close(sol.objective, 2.5);
+    }
+
+    #[test]
+    fn maximize_and_minimize_are_symmetric() {
+        let mut lp = LinearProgram::new(2, Objective::Maximize);
+        lp.set_objective(&[1.0, 2.0]);
+        lp.add_constraint(&[1.0, 1.0], Relation::Le, 1.0);
+        let max = lp.solve().unwrap();
+
+        let mut lp2 = LinearProgram::new(2, Objective::Minimize);
+        lp2.set_objective(&[-1.0, -2.0]);
+        lp2.add_constraint(&[1.0, 1.0], Relation::Le, 1.0);
+        let min = lp2.solve().unwrap();
+        assert_close(max.objective, -min.objective);
+    }
+}

@@ -1,0 +1,209 @@
+//! Dense simplex tableau with primitive row operations.
+//!
+//! The tableau stores the constraint matrix in canonical form
+//! `A x = b, x ≥ 0, b ≥ 0` together with one or two objective rows
+//! (phase-1 artificial objective and phase-2 true objective). Pivoting is
+//! plain Gauss-Jordan elimination; problems in this workspace are tiny
+//! (≤ ~60 columns) so no sparse or revised-simplex machinery is warranted.
+
+use crate::EPS;
+
+/// A dense simplex tableau.
+///
+/// Layout: `rows × (cols + 1)` where the last column is the right-hand side.
+/// `basis[r]` records which column is basic in row `r`.
+#[derive(Debug, Clone)]
+pub struct Tableau {
+    /// Constraint rows, each of length `cols + 1` (rhs last).
+    pub a: Vec<Vec<f64>>,
+    /// Objective row (reduced costs), length `cols + 1`; entry `cols` is the
+    /// negated objective value.
+    pub z: Vec<f64>,
+    /// Basic column index per row.
+    pub basis: Vec<usize>,
+    pub cols: usize,
+}
+
+impl Tableau {
+    pub fn new(a: Vec<Vec<f64>>, z: Vec<f64>, basis: Vec<usize>, cols: usize) -> Tableau {
+        debug_assert!(a.iter().all(|r| r.len() == cols + 1));
+        debug_assert_eq!(z.len(), cols + 1);
+        debug_assert_eq!(basis.len(), a.len());
+        Tableau { a, z, basis, cols }
+    }
+
+    pub fn num_rows(&self) -> usize {
+        self.a.len()
+    }
+
+    /// Current objective value (phase objective).
+    pub fn objective_value(&self) -> f64 {
+        -self.z[self.cols]
+    }
+
+    /// Choose the entering column.
+    ///
+    /// `bland` selects the lowest-index column with a negative reduced cost
+    /// (guaranteed finite termination); otherwise the most negative reduced
+    /// cost (Dantzig) is used. Returns `None` when optimal.
+    pub fn entering(&self, bland: bool) -> Option<usize> {
+        if bland {
+            (0..self.cols).find(|&j| self.z[j] < -EPS)
+        } else {
+            let mut best = None;
+            let mut best_val = -EPS;
+            for j in 0..self.cols {
+                if self.z[j] < best_val {
+                    best_val = self.z[j];
+                    best = Some(j);
+                }
+            }
+            best
+        }
+    }
+
+    /// Minimum-ratio test for the leaving row given entering column `j`.
+    /// Ties are broken by the lowest basis index (lexicographic safeguard).
+    /// Returns `None` when the column is unbounded below.
+    pub fn leaving(&self, j: usize) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for (r, row) in self.a.iter().enumerate() {
+            let coef = row[j];
+            if coef > EPS {
+                let ratio = row[self.cols] / coef;
+                match best {
+                    None => best = Some((r, ratio)),
+                    Some((br, bratio)) => {
+                        if ratio < bratio - EPS
+                            || (ratio < bratio + EPS && self.basis[r] < self.basis[br])
+                        {
+                            best = Some((r, ratio));
+                        }
+                    }
+                }
+            }
+        }
+        best.map(|(r, _)| r)
+    }
+
+    /// Pivot on `(row, col)`: scale the pivot row and eliminate the column
+    /// from every other row and the objective row.
+    pub fn pivot(&mut self, row: usize, col: usize) {
+        let piv = self.a[row][col];
+        debug_assert!(piv.abs() > EPS, "pivot too small: {piv}");
+        let inv = 1.0 / piv;
+        for v in self.a[row].iter_mut() {
+            *v *= inv;
+        }
+        // Defensive exactness: the pivot entry is 1 by construction.
+        self.a[row][col] = 1.0;
+
+        let pivot_row = self.a[row].clone();
+        for (r, target) in self.a.iter_mut().enumerate() {
+            if r == row {
+                continue;
+            }
+            let factor = target[col];
+            if factor.abs() > EPS {
+                for (t, p) in target.iter_mut().zip(pivot_row.iter()) {
+                    *t -= factor * p;
+                }
+                target[col] = 0.0;
+            }
+        }
+        let factor = self.z[col];
+        if factor.abs() > EPS {
+            for (t, p) in self.z.iter_mut().zip(pivot_row.iter()) {
+                *t -= factor * p;
+            }
+            self.z[col] = 0.0;
+        }
+        self.basis[row] = col;
+    }
+
+    /// Read the primal solution for the first `n` columns.
+    pub fn primal(&self, n: usize) -> Vec<f64> {
+        let mut x = vec![0.0; n];
+        for (r, &b) in self.basis.iter().enumerate() {
+            if b < n {
+                x[b] = self.a[r][self.cols];
+            }
+        }
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Tableau {
+        // x + y <= 4  ->  x + y + s1 = 4
+        // x + 3y <= 6 ->  x + 3y + s2 = 6
+        // maximize 3x + 2y -> minimize -3x - 2y; reduced costs start at c.
+        let a = vec![vec![1.0, 1.0, 1.0, 0.0, 4.0], vec![1.0, 3.0, 0.0, 1.0, 6.0]];
+        let z = vec![-3.0, -2.0, 0.0, 0.0, 0.0];
+        Tableau::new(a, z, vec![2, 3], 4)
+    }
+
+    #[test]
+    fn entering_dantzig_picks_most_negative() {
+        let t = tiny();
+        assert_eq!(t.entering(false), Some(0));
+    }
+
+    #[test]
+    fn entering_bland_picks_first_negative() {
+        let mut t = tiny();
+        t.z[0] = -1.0;
+        t.z[1] = -5.0;
+        assert_eq!(t.entering(true), Some(0));
+        assert_eq!(t.entering(false), Some(1));
+    }
+
+    #[test]
+    fn entering_none_when_optimal() {
+        let mut t = tiny();
+        t.z = vec![0.5, 0.0, 0.1, 0.0, -12.0];
+        assert_eq!(t.entering(false), None);
+        assert_eq!(t.entering(true), None);
+    }
+
+    #[test]
+    fn leaving_min_ratio() {
+        let t = tiny();
+        // column 0 ratios: 4/1 = 4, 6/1 = 6 -> row 0 leaves.
+        assert_eq!(t.leaving(0), Some(0));
+        // column 1 ratios: 4/1 = 4, 6/3 = 2 -> row 1 leaves.
+        assert_eq!(t.leaving(1), Some(1));
+    }
+
+    #[test]
+    fn leaving_none_when_unbounded() {
+        let a = vec![vec![-1.0, 1.0, 3.0]];
+        let z = vec![-1.0, 0.0, 0.0];
+        let t = Tableau::new(a, z, vec![1], 2);
+        assert_eq!(t.leaving(0), None);
+    }
+
+    #[test]
+    fn pivot_solves_tiny_problem() {
+        let mut t = tiny();
+        while let Some(j) = t.entering(false) {
+            let r = t.leaving(j).expect("bounded");
+            t.pivot(r, j);
+        }
+        // optimum: x=4, y=0, objective (min form) = -12.
+        let x = t.primal(2);
+        assert!((x[0] - 4.0).abs() < 1e-9);
+        assert!(x[1].abs() < 1e-9);
+        assert!((t.objective_value() + 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn primal_reads_only_decision_columns() {
+        let t = tiny();
+        let x = t.primal(2);
+        assert_eq!(x, vec![0.0, 0.0]); // slacks basic initially
+    }
+}

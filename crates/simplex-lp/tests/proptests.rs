@@ -1,0 +1,84 @@
+//! Property-based tests for the LP solver and the weight polytope.
+
+use proptest::prelude::*;
+use simplex_lp::{minimize_via_lp, Bound, LinearProgram, Objective, Relation, Status, WeightPolytope};
+
+/// Strategy: a feasible box-on-simplex polytope of dimension 2..=8.
+fn polytope_strategy() -> impl Strategy<Value = WeightPolytope> {
+    (2usize..=8)
+        .prop_flat_map(|n| {
+            (
+                proptest::collection::vec(0.0f64..0.3, n),
+                proptest::collection::vec(0.0f64..0.7, n),
+            )
+        })
+        .prop_filter_map("feasible box", |(lows, widths)| {
+            let upps: Vec<f64> = lows.iter().zip(&widths).map(|(l, w)| (l + w).min(1.0)).collect();
+            WeightPolytope::new(&lows, &upps)
+        })
+}
+
+proptest! {
+    /// The greedy continuous-knapsack optimum equals the LP optimum.
+    #[test]
+    fn greedy_matches_lp(p in polytope_strategy(),
+                         seed in proptest::collection::vec(-2.0f64..2.0, 8)) {
+        let c = &seed[..p.dim()];
+        let (greedy, w) = p.minimize(c);
+        prop_assert!(p.contains(&w, 1e-7), "argmin in polytope");
+        let lp = minimize_via_lp(&p, c).expect("polytope is feasible");
+        prop_assert!((greedy - lp).abs() < 1e-6, "greedy {greedy} vs lp {lp}");
+    }
+
+    /// Min ≤ value at centroid ≤ max for any linear functional.
+    #[test]
+    fn range_brackets_centroid(p in polytope_strategy(),
+                               seed in proptest::collection::vec(-2.0f64..2.0, 8)) {
+        let c = &seed[..p.dim()];
+        let (lo, hi) = p.range(c);
+        let centroid = p.centroid();
+        let v: f64 = c.iter().zip(&centroid).map(|(a, b)| a * b).sum();
+        prop_assert!(lo <= v + 1e-9 && v <= hi + 1e-9, "{lo} <= {v} <= {hi}");
+    }
+
+    /// The centroid is always a valid member of the polytope.
+    #[test]
+    fn centroid_is_member(p in polytope_strategy()) {
+        prop_assert!(p.contains(&p.centroid(), 1e-7));
+    }
+
+    /// LP duality-free sanity: a bounded maximize over the simplex yields a
+    /// solution within the variable bounds that satisfies all constraints.
+    #[test]
+    fn lp_solution_is_feasible(
+        n in 2usize..6,
+        coeffs in proptest::collection::vec(-1.0f64..1.0, 6),
+        rhs in 0.5f64..3.0,
+    ) {
+        let mut lp = LinearProgram::new(n, Objective::Maximize);
+        lp.set_objective(&coeffs[..n]);
+        for j in 0..n {
+            lp.set_bound(j, Bound::boxed(0.0, 1.0));
+        }
+        lp.add_constraint(&vec![1.0; n], Relation::Le, rhs);
+        let sol = lp.solve().expect("well-formed");
+        prop_assert_eq!(sol.status, Status::Optimal);
+        let sum: f64 = sol.x.iter().sum();
+        prop_assert!(sum <= rhs + 1e-7);
+        for &x in &sol.x {
+            prop_assert!((-1e-9..=1.0 + 1e-9).contains(&x));
+        }
+    }
+
+    /// Scaling the objective scales the optimum (homogeneity).
+    #[test]
+    fn objective_homogeneity(p in polytope_strategy(),
+                             seed in proptest::collection::vec(-2.0f64..2.0, 8),
+                             k in 0.1f64..5.0) {
+        let c: Vec<f64> = seed[..p.dim()].to_vec();
+        let scaled: Vec<f64> = c.iter().map(|v| v * k).collect();
+        let (a, _) = p.minimize(&c);
+        let (b, _) = p.minimize(&scaled);
+        prop_assert!((a * k - b).abs() < 1e-6, "{} vs {}", a * k, b);
+    }
+}

@@ -1,0 +1,210 @@
+//! Boxplot construction and text rendering.
+//!
+//! The GMAA system displays a *multiple boxplot* of the rank distribution of
+//! every alternative across Monte Carlo trials (paper Fig 9). [`Boxplot`]
+//! computes the five-number summary with Tukey whiskers; [`MultipleBoxplot`]
+//! lays several of them out side by side and renders an ASCII chart.
+
+use crate::describe::{percentile, Describe};
+
+/// Five-number boxplot with Tukey-style whiskers (at most 1.5·IQR beyond the
+/// quartiles, clipped to actual observations) and explicit outliers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Boxplot {
+    pub label: String,
+    pub q1: f64,
+    pub median: f64,
+    pub q3: f64,
+    pub whisker_low: f64,
+    pub whisker_high: f64,
+    pub outliers: Vec<f64>,
+    pub mean: f64,
+}
+
+impl Boxplot {
+    /// Build a boxplot from raw samples. Returns `None` on empty/non-finite
+    /// input.
+    pub fn new(label: impl Into<String>, samples: &[f64]) -> Option<Boxplot> {
+        let d = Describe::new(samples)?;
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let q1 = percentile(&sorted, 25.0);
+        let q3 = percentile(&sorted, 75.0);
+        let iqr = q3 - q1;
+        let lo_fence = q1 - 1.5 * iqr;
+        let hi_fence = q3 + 1.5 * iqr;
+        let whisker_low = sorted.iter().copied().find(|&v| v >= lo_fence).unwrap_or(q1);
+        let whisker_high = sorted.iter().rev().copied().find(|&v| v <= hi_fence).unwrap_or(q3);
+        let outliers =
+            sorted.iter().copied().filter(|&v| v < whisker_low || v > whisker_high).collect();
+        Some(Boxplot {
+            label: label.into(),
+            q1,
+            median: d.median,
+            q3,
+            whisker_low,
+            whisker_high,
+            outliers,
+            mean: d.mean,
+        })
+    }
+
+    /// Total span covered by whiskers.
+    pub fn span(&self) -> (f64, f64) {
+        let lo = self.outliers.iter().copied().fold(self.whisker_low, f64::min);
+        let hi = self.outliers.iter().copied().fold(self.whisker_high, f64::max);
+        (lo, hi)
+    }
+}
+
+/// A collection of boxplots on a shared axis, as in GMAA's Monte Carlo
+/// display.
+#[derive(Debug, Clone, Default)]
+pub struct MultipleBoxplot {
+    pub plots: Vec<Boxplot>,
+}
+
+impl MultipleBoxplot {
+    pub fn new() -> MultipleBoxplot {
+        MultipleBoxplot { plots: Vec::new() }
+    }
+
+    pub fn push(&mut self, plot: Boxplot) {
+        self.plots.push(plot);
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.plots.is_empty()
+    }
+
+    /// Common axis range across all plots (including outliers).
+    pub fn axis(&self) -> Option<(f64, f64)> {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for p in &self.plots {
+            let (l, h) = p.span();
+            lo = lo.min(l);
+            hi = hi.max(h);
+        }
+        (lo <= hi).then_some((lo, hi))
+    }
+
+    /// Render an ASCII chart, one row per plot:
+    ///
+    /// ```text
+    /// Media Ontology  |·····├────[▓▓▓█▓▓]────┤····| 1..5
+    /// ```
+    ///
+    /// `width` is the number of character cells for the axis.
+    pub fn render(&self, width: usize) -> String {
+        let Some((lo, hi)) = self.axis() else { return String::new() };
+        let width = width.max(10);
+        let scale = |v: f64| -> usize {
+            if hi <= lo {
+                return 0;
+            }
+            (((v - lo) / (hi - lo)) * (width - 1) as f64).round() as usize
+        };
+        let label_w = self.plots.iter().map(|p| p.label.len()).max().unwrap_or(0);
+        let mut out = String::new();
+        for p in &self.plots {
+            let mut row = vec![' '; width];
+            let wl = scale(p.whisker_low);
+            let wh = scale(p.whisker_high);
+            let q1 = scale(p.q1);
+            let q3 = scale(p.q3);
+            let md = scale(p.median);
+            for cell in row.iter_mut().take(wh + 1).skip(wl) {
+                *cell = '-';
+            }
+            row[wl] = '|';
+            row[wh] = '|';
+            for cell in row.iter_mut().take(q3 + 1).skip(q1) {
+                *cell = '=';
+            }
+            row[md] = '#';
+            for o in &p.outliers {
+                let pos = scale(*o);
+                row[pos] = 'o';
+            }
+            out.push_str(&format!("{:<label_w$}  ", p.label));
+            out.extend(row.iter());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boxplot_no_outliers() {
+        let b = Boxplot::new("a", &[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(b.median, 3.0);
+        assert!(b.outliers.is_empty());
+        assert_eq!(b.whisker_low, 1.0);
+        assert_eq!(b.whisker_high, 5.0);
+    }
+
+    #[test]
+    fn boxplot_detects_outlier() {
+        let b = Boxplot::new("a", &[1.0, 2.0, 2.0, 3.0, 3.0, 3.0, 4.0, 4.0, 50.0]).unwrap();
+        assert_eq!(b.outliers, vec![50.0]);
+        assert!(b.whisker_high < 50.0);
+    }
+
+    #[test]
+    fn boxplot_constant_sample() {
+        let b = Boxplot::new("const", &[2.0; 10]).unwrap();
+        assert_eq!(b.q1, 2.0);
+        assert_eq!(b.q3, 2.0);
+        assert_eq!(b.median, 2.0);
+        assert!(b.outliers.is_empty());
+    }
+
+    #[test]
+    fn boxplot_rejects_empty() {
+        assert!(Boxplot::new("x", &[]).is_none());
+    }
+
+    #[test]
+    fn span_includes_outliers() {
+        let b = Boxplot::new("a", &[1.0, 2.0, 2.0, 3.0, 3.0, 3.0, 4.0, 4.0, 50.0]).unwrap();
+        let (lo, hi) = b.span();
+        assert_eq!(lo, 1.0);
+        assert_eq!(hi, 50.0);
+    }
+
+    #[test]
+    fn multiple_boxplot_axis_and_render() {
+        let mut m = MultipleBoxplot::new();
+        m.push(Boxplot::new("first", &[1.0, 2.0, 3.0]).unwrap());
+        m.push(Boxplot::new("second", &[2.0, 5.0, 9.0]).unwrap());
+        let (lo, hi) = m.axis().unwrap();
+        assert_eq!(lo, 1.0);
+        assert_eq!(hi, 9.0);
+        let text = m.render(40);
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("first"));
+        assert!(text.contains('#'));
+        assert!(text.contains('='));
+    }
+
+    #[test]
+    fn render_empty_is_empty() {
+        let m = MultipleBoxplot::new();
+        assert!(m.render(40).is_empty());
+        assert!(m.axis().is_none());
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn render_handles_degenerate_axis() {
+        let mut m = MultipleBoxplot::new();
+        m.push(Boxplot::new("c", &[3.0, 3.0, 3.0]).unwrap());
+        let text = m.render(20);
+        assert!(text.contains('#'));
+    }
+}

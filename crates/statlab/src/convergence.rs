@@ -1,0 +1,137 @@
+//! Monte Carlo convergence diagnostics.
+//!
+//! The paper runs 10 000 simulations without justifying the number; this
+//! module provides the missing tooling: track a statistic over the trial
+//! stream and report when it has stabilized, so the trial budget can be
+//! chosen instead of guessed (used by the `montecarlo_trials_scaling`
+//! bench and the EXPERIMENTS notes).
+
+/// Online tracker for the convergence of a scalar statistic.
+///
+/// Feed observations with [`ConvergenceTracker::push`]; the tracker keeps a
+/// running mean and the history of means at checkpoint intervals; it
+/// declares convergence when the last `window` checkpoints all lie within
+/// `tolerance` of their common mean.
+#[derive(Debug, Clone)]
+pub struct ConvergenceTracker {
+    checkpoint_every: usize,
+    window: usize,
+    tolerance: f64,
+    count: usize,
+    mean: f64,
+    checkpoints: Vec<f64>,
+}
+
+impl ConvergenceTracker {
+    /// `checkpoint_every`: how many observations between checkpoints;
+    /// `window`: how many consecutive checkpoints must agree;
+    /// `tolerance`: maximal absolute deviation within the window.
+    pub fn new(checkpoint_every: usize, window: usize, tolerance: f64) -> ConvergenceTracker {
+        assert!(checkpoint_every > 0 && window >= 2, "degenerate tracker");
+        assert!(tolerance > 0.0);
+        ConvergenceTracker {
+            checkpoint_every,
+            window,
+            tolerance,
+            count: 0,
+            mean: 0.0,
+            checkpoints: Vec::new(),
+        }
+    }
+
+    /// Record one observation.
+    pub fn push(&mut self, value: f64) {
+        self.count += 1;
+        self.mean += (value - self.mean) / self.count as f64;
+        if self.count.is_multiple_of(self.checkpoint_every) {
+            self.checkpoints.push(self.mean);
+        }
+    }
+
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    pub fn checkpoints(&self) -> &[f64] {
+        &self.checkpoints
+    }
+
+    /// Whether the running mean has stabilized.
+    pub fn converged(&self) -> bool {
+        if self.checkpoints.len() < self.window {
+            return false;
+        }
+        let tail = &self.checkpoints[self.checkpoints.len() - self.window..];
+        let center = tail.iter().sum::<f64>() / tail.len() as f64;
+        tail.iter().all(|c| (c - center).abs() <= self.tolerance)
+    }
+
+    /// The first observation count at which the convergence criterion held
+    /// (scanning the checkpoint history), if it ever did.
+    pub fn converged_at(&self) -> Option<usize> {
+        for end in self.window..=self.checkpoints.len() {
+            let tail = &self.checkpoints[end - self.window..end];
+            let center = tail.iter().sum::<f64>() / tail.len() as f64;
+            if tail.iter().all(|c| (c - center).abs() <= self.tolerance) {
+                return Some(end * self.checkpoint_every);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_stream_converges_quickly() {
+        let mut t = ConvergenceTracker::new(10, 3, 1e-6);
+        for _ in 0..50 {
+            t.push(2.5);
+        }
+        assert!(t.converged());
+        assert_eq!(t.converged_at(), Some(30));
+        assert!((t.mean() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alternating_stream_converges_to_mean() {
+        let mut t = ConvergenceTracker::new(50, 4, 0.01);
+        for i in 0..2_000 {
+            t.push(if i % 2 == 0 { 0.0 } else { 1.0 });
+        }
+        assert!(t.converged());
+        assert!((t.mean() - 0.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn drifting_stream_does_not_converge() {
+        let mut t = ConvergenceTracker::new(10, 3, 0.001);
+        for i in 0..300 {
+            t.push(i as f64); // running mean keeps growing
+        }
+        assert!(!t.converged());
+        assert_eq!(t.converged_at(), None);
+    }
+
+    #[test]
+    fn insufficient_checkpoints_not_converged() {
+        let mut t = ConvergenceTracker::new(100, 3, 1.0);
+        for _ in 0..150 {
+            t.push(1.0);
+        }
+        assert!(!t.converged()); // only one checkpoint so far
+        assert_eq!(t.checkpoints().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn degenerate_config_panics() {
+        ConvergenceTracker::new(0, 3, 0.1);
+    }
+}

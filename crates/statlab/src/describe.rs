@@ -1,0 +1,187 @@
+//! Descriptive statistics over `f64` samples.
+//!
+//! The GMAA Monte Carlo module reports, per alternative, the *mode, minimum,
+//! maximum, mean, standard deviation and the 25th, 50th and 75th percentiles*
+//! of its ranking across simulations (paper, Section V / Fig 10). This module
+//! provides exactly those summaries for arbitrary samples.
+
+/// Percentile with linear interpolation between order statistics (the R-7 /
+/// NumPy `linear` definition). `q` is in `[0, 100]`.
+///
+/// `sorted` must be ascending; panics in debug builds otherwise.
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty sample");
+    assert!((0.0..=100.0).contains(&q), "q out of range: {q}");
+    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "input not sorted");
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let pos = q / 100.0 * (n - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Full descriptive summary of a sample.
+///
+/// # Example
+///
+/// ```
+/// use statlab::Describe;
+/// let d = Describe::new(&[1.0, 2.0, 2.0, 9.0]).expect("non-empty");
+/// assert_eq!(d.mode, 2.0);
+/// assert_eq!(d.max, 9.0);
+/// assert!((d.mean - 3.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Describe {
+    pub n: usize,
+    pub mean: f64,
+    /// Sample standard deviation (n − 1 denominator); 0 for n = 1.
+    pub std_dev: f64,
+    pub min: f64,
+    pub max: f64,
+    pub p25: f64,
+    pub median: f64,
+    pub p75: f64,
+    /// Most frequent value. Observations are compared exactly, which is the
+    /// right semantics for the integer-valued rank samples this is used on;
+    /// ties are broken toward the smallest value.
+    pub mode: f64,
+}
+
+impl Describe {
+    /// Compute a summary. Returns `None` for an empty sample or when any
+    /// observation is non-finite.
+    pub fn new(samples: &[f64]) -> Option<Describe> {
+        if samples.is_empty() || samples.iter().any(|v| !v.is_finite()) {
+            return None;
+        }
+        let n = samples.len();
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+
+        // Welford's online algorithm for numerically stable mean/variance.
+        let mut mean = 0.0;
+        let mut m2 = 0.0;
+        for (i, &x) in samples.iter().enumerate() {
+            let delta = x - mean;
+            mean += delta / (i + 1) as f64;
+            m2 += delta * (x - mean);
+        }
+        let std_dev = if n > 1 { (m2 / (n - 1) as f64).sqrt() } else { 0.0 };
+
+        // Mode over the sorted sample: longest run of equal values.
+        let mut mode = sorted[0];
+        let mut best_len = 0usize;
+        let mut i = 0usize;
+        while i < n {
+            let mut j = i;
+            while j < n && sorted[j] == sorted[i] {
+                j += 1;
+            }
+            if j - i > best_len {
+                best_len = j - i;
+                mode = sorted[i];
+            }
+            i = j;
+        }
+
+        Some(Describe {
+            n,
+            mean,
+            std_dev,
+            min: sorted[0],
+            max: sorted[n - 1],
+            p25: percentile(&sorted, 25.0),
+            median: percentile(&sorted, 50.0),
+            p75: percentile(&sorted, 75.0),
+            mode,
+        })
+    }
+
+    /// Interquartile range.
+    pub fn iqr(&self) -> f64 {
+        self.p75 - self.p25
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_endpoints() {
+        let s = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&s, 0.0), 1.0);
+        assert_eq!(percentile(&s, 100.0), 4.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let s = [1.0, 2.0, 3.0, 4.0];
+        // pos = 0.5 * 3 = 1.5 -> 2.5
+        assert!((percentile(&s, 50.0) - 2.5).abs() < 1e-12);
+        // pos = 0.25 * 3 = 0.75 -> 1.75
+        assert!((percentile(&s, 25.0) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_single_element() {
+        assert_eq!(percentile(&[7.0], 33.0), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_empty_panics() {
+        percentile(&[], 50.0);
+    }
+
+    #[test]
+    fn describe_basic() {
+        let d = Describe::new(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert_eq!(d.n, 8);
+        assert!((d.mean - 5.0).abs() < 1e-12);
+        // sample std of that classic dataset is sqrt(32/7)
+        assert!((d.std_dev - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(d.min, 2.0);
+        assert_eq!(d.max, 9.0);
+        assert_eq!(d.mode, 4.0);
+    }
+
+    #[test]
+    fn describe_mode_tie_prefers_smallest() {
+        let d = Describe::new(&[3.0, 3.0, 1.0, 1.0, 2.0]).unwrap();
+        assert_eq!(d.mode, 1.0);
+    }
+
+    #[test]
+    fn describe_single_sample() {
+        let d = Describe::new(&[42.0]).unwrap();
+        assert_eq!(d.std_dev, 0.0);
+        assert_eq!(d.median, 42.0);
+        assert_eq!(d.mode, 42.0);
+    }
+
+    #[test]
+    fn describe_rejects_empty_and_nan() {
+        assert!(Describe::new(&[]).is_none());
+        assert!(Describe::new(&[1.0, f64::NAN]).is_none());
+        assert!(Describe::new(&[f64::INFINITY]).is_none());
+    }
+
+    #[test]
+    fn iqr_matches_quartiles() {
+        let d = Describe::new(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert!((d.iqr() - (d.p75 - d.p25)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn describe_is_order_invariant() {
+        let a = Describe::new(&[5.0, 1.0, 3.0, 2.0, 4.0]).unwrap();
+        let b = Describe::new(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,308 @@
+//! Ranking utilities: converting score vectors to rank vectors, accumulating
+//! rank distributions across Monte Carlo trials (the per-alternative
+//! statistics of the paper's Fig 10), and rank correlation coefficients used
+//! to validate the reconstructed dataset against the published ranking.
+
+use crate::describe::Describe;
+
+/// Tie-handling policy for [`rank_vector`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TieBreak {
+    /// Tied scores share the average of the ranks they span (fractional
+    /// ranks; standard for Spearman's rho).
+    Average,
+    /// Tied scores all receive the smallest rank of their group ("1224"
+    /// competition ranking, what a ranked list display uses).
+    Min,
+}
+
+/// Rank a score vector, rank 1 = highest score. Returns fractional ranks for
+/// `TieBreak::Average`.
+pub fn rank_vector(scores: &[f64], ties: TieBreak) -> Vec<f64> {
+    let n = scores.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    // Descending by score; NaNs sink to the end deterministically.
+    order.sort_by(|&a, &b| {
+        scores[b].partial_cmp(&scores[a]).unwrap_or_else(|| a.cmp(&b).reverse())
+    });
+    let mut ranks = vec![0.0; n];
+    let mut i = 0usize;
+    while i < n {
+        let mut j = i;
+        while j < n && scores[order[j]] == scores[order[i]] {
+            j += 1;
+        }
+        // positions i..j (0-based) share ranks i+1 ..= j.
+        let value = match ties {
+            TieBreak::Average => (i + 1 + j) as f64 / 2.0,
+            TieBreak::Min => (i + 1) as f64,
+        };
+        for &idx in &order[i..j] {
+            ranks[idx] = value;
+        }
+        i = j;
+    }
+    ranks
+}
+
+/// Spearman rank correlation between two score vectors (computed on
+/// average-tie ranks). Returns `None` for length mismatch, n < 2, or zero
+/// variance.
+pub fn spearman_rho(a: &[f64], b: &[f64]) -> Option<f64> {
+    if a.len() != b.len() || a.len() < 2 {
+        return None;
+    }
+    let ra = rank_vector(a, TieBreak::Average);
+    let rb = rank_vector(b, TieBreak::Average);
+    pearson(&ra, &rb)
+}
+
+/// Kendall's tau-b between two score vectors.
+pub fn kendall_tau(a: &[f64], b: &[f64]) -> Option<f64> {
+    if a.len() != b.len() || a.len() < 2 {
+        return None;
+    }
+    let n = a.len();
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    let mut ties_a = 0i64;
+    let mut ties_b = 0i64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let da = a[i] - a[j];
+            let db = b[i] - b[j];
+            if da == 0.0 && db == 0.0 {
+                // tied in both; contributes to neither
+            } else if da == 0.0 {
+                ties_a += 1;
+            } else if db == 0.0 {
+                ties_b += 1;
+            } else if (da > 0.0) == (db > 0.0) {
+                concordant += 1;
+            } else {
+                discordant += 1;
+            }
+        }
+    }
+    let n0 = (n * (n - 1) / 2) as i64;
+    let denom = (((n0 - ties_a) as f64) * ((n0 - ties_b) as f64)).sqrt();
+    if denom == 0.0 {
+        return None;
+    }
+    Some((concordant - discordant) as f64 / denom)
+}
+
+fn pearson(x: &[f64], y: &[f64]) -> Option<f64> {
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (&a, &b) in x.iter().zip(y) {
+        cov += (a - mx) * (b - my);
+        vx += (a - mx) * (a - mx);
+        vy += (b - my) * (b - my);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return None;
+    }
+    Some(cov / (vx * vy).sqrt())
+}
+
+/// Summary of one alternative's rank distribution (the row format of the
+/// paper's Fig 10).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankStats {
+    pub label: String,
+    pub mode: u32,
+    pub min: u32,
+    pub p25: f64,
+    pub median: f64,
+    pub p75: f64,
+    pub max: u32,
+    pub mean: f64,
+    pub std_dev: f64,
+    /// How often this alternative ranked first.
+    pub times_best: usize,
+    pub trials: usize,
+}
+
+/// Accumulates integer rank observations for a set of alternatives across
+/// Monte Carlo trials.
+#[derive(Debug, Clone)]
+pub struct RankAccumulator {
+    labels: Vec<String>,
+    /// `counts[alt][rank-1]` = number of trials where `alt` took `rank`.
+    counts: Vec<Vec<usize>>,
+    trials: usize,
+}
+
+impl RankAccumulator {
+    pub fn new(labels: Vec<String>) -> RankAccumulator {
+        let n = labels.len();
+        RankAccumulator { labels, counts: vec![vec![0; n]; n], trials: 0 }
+    }
+
+    pub fn num_alternatives(&self) -> usize {
+        self.labels.len()
+    }
+
+    pub fn trials(&self) -> usize {
+        self.trials
+    }
+
+    /// Record one trial's score vector (higher score = better rank).
+    pub fn record_scores(&mut self, scores: &[f64]) {
+        assert_eq!(scores.len(), self.labels.len(), "score vector length mismatch");
+        let ranks = rank_vector(scores, TieBreak::Min);
+        for (alt, &r) in ranks.iter().enumerate() {
+            let r = r as usize;
+            debug_assert!((1..=self.labels.len()).contains(&r));
+            self.counts[alt][r - 1] += 1;
+        }
+        self.trials += 1;
+    }
+
+    /// Rank-acceptability index b(alt, rank): share of trials in which
+    /// `alt` obtained exactly `rank` (1-based).
+    pub fn acceptability(&self, alt: usize, rank: usize) -> f64 {
+        if self.trials == 0 {
+            return 0.0;
+        }
+        self.counts[alt][rank - 1] as f64 / self.trials as f64
+    }
+
+    /// Reconstruct the (sorted) rank sample of one alternative.
+    pub fn rank_sample(&self, alt: usize) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.trials);
+        for (rank0, &c) in self.counts[alt].iter().enumerate() {
+            out.extend(std::iter::repeat_n((rank0 + 1) as f64, c));
+        }
+        out
+    }
+
+    /// Fig 10-style statistics for every alternative.
+    pub fn stats(&self) -> Vec<RankStats> {
+        (0..self.labels.len())
+            .map(|alt| {
+                let sample = self.rank_sample(alt);
+                let d = Describe::new(&sample).expect("non-empty after trials");
+                RankStats {
+                    label: self.labels[alt].clone(),
+                    mode: d.mode as u32,
+                    min: d.min as u32,
+                    p25: d.p25,
+                    median: d.median,
+                    p75: d.p75,
+                    max: d.max as u32,
+                    mean: d.mean,
+                    std_dev: d.std_dev,
+                    times_best: self.counts[alt][0],
+                    trials: self.trials,
+                }
+            })
+            .collect()
+    }
+
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_vector_simple_descending() {
+        let r = rank_vector(&[0.9, 0.5, 0.7], TieBreak::Min);
+        assert_eq!(r, vec![1.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn rank_vector_average_ties() {
+        let r = rank_vector(&[0.5, 0.5, 0.1], TieBreak::Average);
+        assert_eq!(r, vec![1.5, 1.5, 3.0]);
+    }
+
+    #[test]
+    fn rank_vector_min_ties() {
+        let r = rank_vector(&[0.5, 0.5, 0.1], TieBreak::Min);
+        assert_eq!(r, vec![1.0, 1.0, 3.0]);
+    }
+
+    #[test]
+    fn spearman_perfect_and_inverse() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [10.0, 20.0, 30.0, 40.0];
+        assert!((spearman_rho(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+        let c = [4.0, 3.0, 2.0, 1.0];
+        assert!((spearman_rho(&a, &c).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_rejects_degenerate() {
+        assert!(spearman_rho(&[1.0], &[2.0]).is_none());
+        assert!(spearman_rho(&[1.0, 1.0], &[2.0, 3.0]).is_none()); // zero variance
+        assert!(spearman_rho(&[1.0, 2.0], &[2.0]).is_none());
+    }
+
+    #[test]
+    fn kendall_matches_known_value() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [3.0, 4.0, 1.0, 2.0, 5.0];
+        // concordant = 6, discordant = 4 over 10 pairs: tau = 0.2
+        assert!((kendall_tau(&a, &b).unwrap() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kendall_handles_ties() {
+        let a = [1.0, 1.0, 2.0];
+        let b = [1.0, 2.0, 3.0];
+        let t = kendall_tau(&a, &b).unwrap();
+        assert!(t > 0.0 && t <= 1.0);
+    }
+
+    #[test]
+    fn accumulator_records_and_summarizes() {
+        let mut acc = RankAccumulator::new(vec!["a".into(), "b".into(), "c".into()]);
+        acc.record_scores(&[0.9, 0.5, 0.1]); // a=1, b=2, c=3
+        acc.record_scores(&[0.8, 0.9, 0.1]); // b=1, a=2, c=3
+        acc.record_scores(&[0.9, 0.5, 0.1]); // a=1 again
+        assert_eq!(acc.trials(), 3);
+        let stats = acc.stats();
+        assert_eq!(stats[0].mode, 1);
+        assert_eq!(stats[0].times_best, 2);
+        assert_eq!(stats[2].mode, 3);
+        assert_eq!(stats[2].min, 3);
+        assert_eq!(stats[2].max, 3);
+        assert!((stats[1].mean - (2.0 + 1.0 + 2.0) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn acceptability_sums_to_one_over_ranks() {
+        let mut acc = RankAccumulator::new(vec!["a".into(), "b".into()]);
+        acc.record_scores(&[1.0, 0.0]);
+        acc.record_scores(&[0.0, 1.0]);
+        let total: f64 = (1..=2).map(|r| acc.acceptability(0, r)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!((acc.acceptability(0, 1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_sample_roundtrip() {
+        let mut acc = RankAccumulator::new(vec!["a".into(), "b".into()]);
+        acc.record_scores(&[1.0, 0.0]);
+        acc.record_scores(&[1.0, 0.0]);
+        assert_eq!(acc.rank_sample(0), vec![1.0, 1.0]);
+        assert_eq!(acc.rank_sample(1), vec![2.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn accumulator_rejects_wrong_length() {
+        let mut acc = RankAccumulator::new(vec!["a".into()]);
+        acc.record_scores(&[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,314 @@
+//! Weight-vector sampling on the probability simplex.
+//!
+//! GMAA's Monte Carlo sensitivity analysis offers **three classes of
+//! simulation** (paper, Section V):
+//!
+//! 1. attribute weights generated *completely at random* (no knowledge of
+//!    relative importance) — uniform distribution on the simplex;
+//! 2. random weights *preserving a total or partial rank order* of attribute
+//!    importance;
+//! 3. random weights *inside the elicited weight intervals*.
+//!
+//! All three are implemented here over any [`rand::Rng`], seeded by callers
+//! for reproducibility.
+
+use rand::Rng;
+
+/// Which generation scheme a [`SimplexSampler`] uses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WeightScheme {
+    /// Uniform (flat Dirichlet) over the whole simplex.
+    Uniform,
+    /// Uniform over the simplex, then reordered so that
+    /// `w[order[0]] ≥ w[order[1]] ≥ …` (a *total* rank order of importance).
+    RankOrder { order: Vec<usize> },
+    /// Like `RankOrder` but with *groups* of indistinguishable attributes: a
+    /// partial order. Weights are sorted across groups while order inside a
+    /// group stays random.
+    PartialRankOrder { groups: Vec<Vec<usize>> },
+    /// Each weight drawn uniformly from `[low, upp]`, then normalized to sum
+    /// to one; the draw is rejected if normalization pushes any component
+    /// outside its interval (the procedure GMAA documents for simulating
+    /// within elicited intervals).
+    Intervals { lower: Vec<f64>, upper: Vec<f64> },
+}
+
+/// Sampler producing normalized weight vectors under a [`WeightScheme`].
+#[derive(Debug, Clone)]
+pub struct SimplexSampler {
+    n: usize,
+    scheme: WeightScheme,
+    /// Max rejection attempts for `Intervals` before falling back to the
+    /// clamped-renormalized draw (keeps the sampler total).
+    max_rejects: usize,
+}
+
+impl SimplexSampler {
+    /// Build a sampler for `n` weights. Panics if the scheme is inconsistent
+    /// with `n` (wrong index sets or interval lengths).
+    pub fn new(n: usize, scheme: WeightScheme) -> SimplexSampler {
+        assert!(n > 0, "need at least one weight");
+        match &scheme {
+            WeightScheme::Uniform => {}
+            WeightScheme::RankOrder { order } => {
+                assert_eq!(order.len(), n, "rank order must mention every attribute");
+                let mut seen = vec![false; n];
+                for &i in order {
+                    assert!(i < n && !seen[i], "rank order must be a permutation");
+                    seen[i] = true;
+                }
+            }
+            WeightScheme::PartialRankOrder { groups } => {
+                let mut seen = vec![false; n];
+                let mut count = 0;
+                for g in groups {
+                    for &i in g {
+                        assert!(i < n && !seen[i], "groups must partition the attributes");
+                        seen[i] = true;
+                        count += 1;
+                    }
+                }
+                assert_eq!(count, n, "groups must cover every attribute");
+            }
+            WeightScheme::Intervals { lower, upper } => {
+                assert_eq!(lower.len(), n);
+                assert_eq!(upper.len(), n);
+                let lo: f64 = lower.iter().sum();
+                let hi: f64 = upper.iter().sum();
+                assert!(
+                    lower.iter().zip(upper).all(|(l, u)| l <= u && *l >= 0.0),
+                    "invalid weight intervals"
+                );
+                assert!(lo <= 1.0 + 1e-9 && hi >= 1.0 - 1e-9, "intervals exclude the simplex");
+            }
+        }
+        SimplexSampler { n, scheme, max_rejects: 1000 }
+    }
+
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    pub fn scheme(&self) -> &WeightScheme {
+        &self.scheme
+    }
+
+    /// Draw one weight vector (sums to 1, all components ≥ 0, scheme
+    /// constraints satisfied up to the documented `Intervals` fallback).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        match &self.scheme {
+            WeightScheme::Uniform => uniform_simplex(self.n, rng),
+            WeightScheme::RankOrder { order } => {
+                let mut w = uniform_simplex(self.n, rng);
+                w.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+                let mut out = vec![0.0; self.n];
+                for (pos, &attr) in order.iter().enumerate() {
+                    out[attr] = w[pos];
+                }
+                out
+            }
+            WeightScheme::PartialRankOrder { groups } => {
+                let mut w = uniform_simplex(self.n, rng);
+                w.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+                // Hand the largest block of weights to the most important
+                // group, shuffling inside each group.
+                let mut out = vec![0.0; self.n];
+                let mut next = 0usize;
+                for g in groups {
+                    let mut block: Vec<f64> = w[next..next + g.len()].to_vec();
+                    next += g.len();
+                    // Fisher-Yates over the block for within-group freedom.
+                    for i in (1..block.len()).rev() {
+                        let j = rng.random_range(0..=i);
+                        block.swap(i, j);
+                    }
+                    for (&attr, &val) in g.iter().zip(block.iter()) {
+                        out[attr] = val;
+                    }
+                }
+                out
+            }
+            WeightScheme::Intervals { lower, upper } => {
+                for _ in 0..self.max_rejects {
+                    let draw: Vec<f64> =
+                        lower.iter().zip(upper).map(|(&l, &u)| rng.random_range(l..=u)).collect();
+                    let sum: f64 = draw.iter().sum();
+                    if sum <= 0.0 {
+                        continue;
+                    }
+                    let w: Vec<f64> = draw.iter().map(|v| v / sum).collect();
+                    let ok = w
+                        .iter()
+                        .zip(lower.iter().zip(upper))
+                        .all(|(&x, (&l, &u))| x >= l - 1e-9 && x <= u + 1e-9);
+                    if ok {
+                        return w;
+                    }
+                }
+                // Fallback: clamp the normalized draw into the box and
+                // re-normalize once; slight boundary bias is acceptable and
+                // documented.
+                let draw: Vec<f64> =
+                    lower.iter().zip(upper).map(|(&l, &u)| rng.random_range(l..=u)).collect();
+                let sum: f64 = draw.iter().sum();
+                let mut w: Vec<f64> = draw.iter().map(|v| v / sum.max(1e-12)).collect();
+                for ((x, &l), &u) in w.iter_mut().zip(lower).zip(upper) {
+                    *x = x.clamp(l, u);
+                }
+                let s: f64 = w.iter().sum();
+                for x in w.iter_mut() {
+                    *x /= s;
+                }
+                w
+            }
+        }
+    }
+}
+
+/// Uniform sample on the standard simplex via normalized unit-rate
+/// exponentials (equivalently Dirichlet(1,…,1)).
+pub fn uniform_simplex<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<f64> {
+    loop {
+        let mut w: Vec<f64> = (0..n)
+            .map(|_| {
+                let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+                -u.ln()
+            })
+            .collect();
+        let sum: f64 = w.iter().sum();
+        if sum > 0.0 && sum.is_finite() {
+            for x in w.iter_mut() {
+                *x /= sum;
+            }
+            return w;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xC0FFEE)
+    }
+
+    fn assert_simplex(w: &[f64]) {
+        let s: f64 = w.iter().sum();
+        assert!((s - 1.0).abs() < 1e-9, "sum {s}");
+        assert!(w.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn uniform_sums_to_one() {
+        let s = SimplexSampler::new(5, WeightScheme::Uniform);
+        let mut r = rng();
+        for _ in 0..100 {
+            assert_simplex(&s.sample(&mut r));
+        }
+    }
+
+    #[test]
+    fn uniform_mean_is_centered() {
+        let s = SimplexSampler::new(4, WeightScheme::Uniform);
+        let mut r = rng();
+        let mut mean = vec![0.0; 4];
+        let trials = 20_000;
+        for _ in 0..trials {
+            for (m, x) in mean.iter_mut().zip(s.sample(&mut r)) {
+                *m += x;
+            }
+        }
+        for m in &mean {
+            let avg = m / trials as f64;
+            assert!((avg - 0.25).abs() < 0.01, "avg {avg}");
+        }
+    }
+
+    #[test]
+    fn rank_order_is_respected() {
+        let order = vec![2, 0, 1]; // attr2 most important, then 0, then 1
+        let s = SimplexSampler::new(3, WeightScheme::RankOrder { order });
+        let mut r = rng();
+        for _ in 0..200 {
+            let w = s.sample(&mut r);
+            assert_simplex(&w);
+            assert!(w[2] >= w[0] && w[0] >= w[1], "{w:?}");
+        }
+    }
+
+    #[test]
+    fn partial_rank_order_is_respected_across_groups() {
+        // {0,3} jointly more important than {1,2}
+        let groups = vec![vec![0, 3], vec![1, 2]];
+        let s = SimplexSampler::new(4, WeightScheme::PartialRankOrder { groups });
+        let mut r = rng();
+        for _ in 0..200 {
+            let w = s.sample(&mut r);
+            assert_simplex(&w);
+            let min_top = w[0].min(w[3]);
+            let max_bottom = w[1].max(w[2]);
+            assert!(min_top >= max_bottom, "{w:?}");
+        }
+    }
+
+    #[test]
+    fn intervals_are_respected() {
+        let lower = vec![0.1, 0.2, 0.05, 0.0];
+        let upper = vec![0.4, 0.6, 0.3, 0.5];
+        let s = SimplexSampler::new(
+            4,
+            WeightScheme::Intervals { lower: lower.clone(), upper: upper.clone() },
+        );
+        let mut r = rng();
+        for _ in 0..500 {
+            let w = s.sample(&mut r);
+            assert_simplex(&w);
+            for ((&x, &l), &u) in w.iter().zip(&lower).zip(&upper) {
+                assert!(x >= l - 1e-6 && x <= u + 1e-6, "{x} not in [{l},{u}]");
+            }
+        }
+    }
+
+    #[test]
+    fn tight_intervals_still_sample() {
+        // Nearly degenerate box around (0.25,0.25,0.25,0.25).
+        let lower = vec![0.24; 4];
+        let upper = vec![0.26; 4];
+        let s = SimplexSampler::new(4, WeightScheme::Intervals { lower, upper });
+        let mut r = rng();
+        let w = s.sample(&mut r);
+        assert_simplex(&w);
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn bad_rank_order_panics() {
+        SimplexSampler::new(3, WeightScheme::RankOrder { order: vec![0, 0, 1] });
+    }
+
+    #[test]
+    #[should_panic(expected = "exclude the simplex")]
+    fn incompatible_intervals_panic() {
+        SimplexSampler::new(
+            2,
+            WeightScheme::Intervals { lower: vec![0.0, 0.0], upper: vec![0.2, 0.2] },
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let s = SimplexSampler::new(6, WeightScheme::Uniform);
+        let a = s.sample(&mut StdRng::seed_from_u64(7));
+        let b = s.sample(&mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn uniform_simplex_handles_n1() {
+        let w = uniform_simplex(1, &mut rng());
+        assert_eq!(w, vec![1.0]);
+    }
+}

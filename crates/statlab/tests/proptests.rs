@@ -1,0 +1,99 @@
+//! Property-based tests for the statistics substrate.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use statlab::{percentile, rank_vector, spearman_rho, Describe, SimplexSampler, TieBreak, WeightScheme};
+
+proptest! {
+    /// Percentiles are monotone in q and bracketed by min/max.
+    #[test]
+    fn percentiles_monotone(mut xs in proptest::collection::vec(-1e3f64..1e3, 1..50),
+                            q1 in 0.0f64..100.0, q2 in 0.0f64..100.0) {
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let (lo, hi) = (q1.min(q2), q1.max(q2));
+        let p_lo = percentile(&xs, lo);
+        let p_hi = percentile(&xs, hi);
+        prop_assert!(p_lo <= p_hi + 1e-12);
+        prop_assert!(p_lo >= xs[0] - 1e-12);
+        prop_assert!(p_hi <= xs[xs.len() - 1] + 1e-12);
+    }
+
+    /// Describe invariants: min ≤ p25 ≤ median ≤ p75 ≤ max, std ≥ 0, and the
+    /// mode is an observed value.
+    #[test]
+    fn describe_invariants(xs in proptest::collection::vec(-1e3f64..1e3, 1..60)) {
+        let d = Describe::new(&xs).expect("finite input");
+        prop_assert!(d.min <= d.p25 + 1e-12);
+        prop_assert!(d.p25 <= d.median + 1e-12);
+        prop_assert!(d.median <= d.p75 + 1e-12);
+        prop_assert!(d.p75 <= d.max + 1e-12);
+        prop_assert!(d.std_dev >= 0.0);
+        prop_assert!(xs.contains(&d.mode));
+        prop_assert!(d.mean >= d.min - 1e-12 && d.mean <= d.max + 1e-12);
+    }
+
+    /// rank_vector produces a permutation of 1..=n when scores are distinct.
+    #[test]
+    fn ranks_are_a_permutation(xs in proptest::collection::hash_set(-1000i64..1000, 1..30)) {
+        let scores: Vec<f64> = xs.iter().map(|&v| v as f64).collect();
+        let ranks = rank_vector(&scores, TieBreak::Min);
+        let mut sorted: Vec<usize> = ranks.iter().map(|&r| r as usize).collect();
+        sorted.sort_unstable();
+        let expected: Vec<usize> = (1..=scores.len()).collect();
+        prop_assert_eq!(sorted, expected);
+    }
+
+    /// Spearman's rho is symmetric and bounded by [-1, 1].
+    #[test]
+    fn spearman_bounds(
+        a in proptest::collection::vec(-1e3f64..1e3, 3..30),
+        shift in -10.0f64..10.0,
+    ) {
+        let b: Vec<f64> = a.iter().enumerate().map(|(i, v)| v * 0.5 + shift + i as f64).collect();
+        if let Some(r1) = spearman_rho(&a, &b) {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r1));
+            let r2 = spearman_rho(&b, &a).expect("symmetric");
+            prop_assert!((r1 - r2).abs() < 1e-9);
+        }
+        // Self-correlation is exactly 1 when the vector has variance.
+        if let Some(rself) = spearman_rho(&a, &a) {
+            prop_assert!((rself - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// Every sampler scheme yields normalized non-negative weights.
+    #[test]
+    fn samplers_always_normalize(n in 2usize..10, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let schemes = vec![
+            WeightScheme::Uniform,
+            WeightScheme::RankOrder { order: (0..n).collect() },
+        ];
+        for scheme in schemes {
+            let s = SimplexSampler::new(n, scheme);
+            let w = s.sample(&mut rng);
+            let sum: f64 = w.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+            prop_assert!(w.iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    /// Interval-constrained samples stay inside their boxes.
+    #[test]
+    fn interval_sampler_respects_box(n in 2usize..8, seed in 0u64..500) {
+        let lower: Vec<f64> = (0..n).map(|_| 0.3 / n as f64).collect();
+        let upper: Vec<f64> = (0..n).map(|_| 2.0 / n as f64).collect();
+        let s = SimplexSampler::new(n, WeightScheme::Intervals {
+            lower: lower.clone(),
+            upper: upper.clone(),
+        });
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = s.sample(&mut rng);
+        let sum: f64 = w.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        for ((&x, &l), &u) in w.iter().zip(&lower).zip(&upper) {
+            prop_assert!(x >= l - 1e-6 && x <= u + 1e-6, "{x} not in [{l}, {u}]");
+        }
+    }
+}

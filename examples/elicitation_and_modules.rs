@@ -1,0 +1,126 @@
+//! Two "operational difficulty" features the GMAA line of work emphasizes,
+//! demonstrated together:
+//!
+//! 1. **Imprecise preference elicitation** (paper, Section III): utilities
+//!    from probability-equivalent questions and weights from trade-off
+//!    questions, both with interval answers;
+//! 2. **Ontology module extraction** (paper ref \[4\], behind the *adequacy
+//!    of knowledge extraction* criterion): pulling just the reusable
+//!    fragment out of a selected candidate before integration.
+//!
+//! Run with: `cargo run --example elicitation_and_modules`
+
+use maut::elicit::{
+    discrete_utility_from_answers, utility_from_probability_answers, weights_from_tradeoffs,
+    ProbabilityAnswer, RatioAnswer,
+};
+use maut::prelude::*;
+use maut::utility::UtilityFunction;
+use ontolib::module::{extract_module, ModuleOptions};
+use ontolib::{GeneratorConfig, Iri, OntologyGenerator};
+
+fn main() {
+    // ---------------------------------------------------------------
+    // 1a. Utility elicitation with probability-equivalent questions.
+    // ---------------------------------------------------------------
+    // "At which probability p are you indifferent between a sure coverage
+    //  of x CQs and a lottery between full and zero coverage?"
+    let coverage = ContinuousScale::new(0.0, 3.0, Direction::Increasing);
+    let answers = [
+        ProbabilityAnswer { x: 1.0, p: Interval::new(0.30, 0.45) },
+        ProbabilityAnswer { x: 2.0, p: Interval::new(0.65, 0.80) },
+    ];
+    let coverage_utility =
+        utility_from_probability_answers(&coverage, &answers).expect("answers are consistent");
+    println!("Elicited coverage utility (class of functions):");
+    for k in 0..=6 {
+        let x = 3.0 * k as f64 / 6.0;
+        let band = coverage_utility.eval(x);
+        println!("  u({x:.1}) in [{:.3}, {:.3}]", band.lo(), band.hi());
+    }
+
+    // 1b. Discrete utility for a low/medium/high criterion.
+    let lmh = DiscreteScale::new(&["none", "low", "medium", "high"]);
+    let doc_utility = discrete_utility_from_answers(
+        &lmh,
+        &[(1, Interval::new(0.25, 0.40)), (2, Interval::new(0.55, 0.75))],
+    )
+    .expect("answers are consistent");
+
+    // 1c. Weight elicitation by trade-offs: coverage is the reference;
+    //     documentation is judged 50-80 % as important; cost 20-40 %.
+    let local = weights_from_tradeoffs(&[
+        RatioAnswer::reference(),
+        RatioAnswer::new(0.5, 0.8),
+        RatioAnswer::new(0.2, 0.4),
+    ])
+    .expect("ratios are consistent");
+    println!("\nElicited local weight intervals:");
+    for (name, w) in ["coverage", "documentation", "cost"].iter().zip(&local) {
+        println!("  {name:<13} [{:.3}, {:.3}]", w.lo(), w.hi());
+    }
+
+    // 1d. Assemble and evaluate a model from the elicited pieces.
+    let mut b = DecisionModelBuilder::new("Elicited reuse model");
+    let cov = b.continuous_attribute("coverage", "CQ coverage (ValueT)", 0.0, 3.0, Direction::Increasing);
+    b.set_utility(cov, UtilityFunction::PiecewiseLinear(coverage_utility));
+    let doc = b.discrete_attribute("doc", "Documentation", &["none", "low", "medium", "high"]);
+    b.set_utility(doc, UtilityFunction::Discrete(doc_utility));
+    let cost = b.discrete_attribute("cost", "Cost of reuse", &["prohibitive", "high", "moderate", "free"]);
+    b.attach_attribute(b.root(), cov, local[0]);
+    b.attach_attribute(b.root(), doc, local[1]);
+    b.attach_attribute(b.root(), cost, local[2]);
+    b.alternative("CandidateA", vec![Perf::value(2.1), Perf::level(3), Perf::level(2)]);
+    b.alternative("CandidateB", vec![Perf::value(1.2), Perf::level(2), Perf::level(3)]);
+    b.alternative("CandidateC", vec![Perf::value(0.6), Perf::Missing, Perf::level(3)]);
+    let model = b.build().expect("elicited model is consistent");
+
+    println!("\nRanking under the elicited preferences:");
+    for r in model.evaluate().ranking() {
+        println!(
+            "  {}. {:<11} min {:.3}  avg {:.3}  max {:.3}",
+            r.rank, r.name, r.bounds.min, r.bounds.avg, r.bounds.max
+        );
+    }
+
+    // ---------------------------------------------------------------
+    // 2. Module extraction from the winning candidate.
+    // ---------------------------------------------------------------
+    let source = OntologyGenerator::new(GeneratorConfig {
+        namespace: "http://example.org/winner#".into(),
+        num_classes: 80,
+        num_object_properties: 25,
+        num_datatype_properties: 15,
+        seed: 20120402,
+        ..GeneratorConfig::default()
+    })
+    .generate();
+
+    // Reuse only the fragment around three classes of interest.
+    let signature: Vec<Iri> = source.classes.iter().take(3).cloned().collect();
+    println!("\nExtracting the module of signature:");
+    for s in &signature {
+        println!("  {}", s.local_name());
+    }
+    let module = extract_module(&source, &signature, &ModuleOptions::default());
+    println!(
+        "Source: {} triples, {} classes -> module: {} triples, {} classes ({:.0} % of the source)",
+        source.graph.len(),
+        source.classes.len(),
+        module.ontology.graph.len(),
+        module.ontology.classes.len(),
+        module.compression(&source) * 100.0
+    );
+    println!(
+        "Module signature closed over {} entities; unresolved: {}",
+        module.signature.len(),
+        module.unresolved.len()
+    );
+
+    // The module is a standalone ontology: serialize a preview.
+    let turtle = ontolib::write_turtle(&module.ontology.graph);
+    println!("\nModule preview (first 12 lines of Turtle):");
+    for line in turtle.lines().take(12) {
+        println!("  {line}");
+    }
+}

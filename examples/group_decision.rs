@@ -1,0 +1,99 @@
+//! Group decision support through imprecision (paper, Sections III & VI):
+//! "the provision for imprecision … makes the system suitable for group
+//! decision-making, where individual conflicting views in a group of DMs
+//! can be captured through imprecise answers".
+//!
+//! Three decision makers give different precise weight judgments for the
+//! paper's four upper-level objectives; the group model uses the *hull* of
+//! their answers as weight intervals. The example then compares the three
+//! Monte Carlo weight-generation classes (Section V) on the group model.
+//!
+//! Run with: `cargo run --example group_decision`
+
+use maut::prelude::*;
+use maut_sense::{MonteCarlo, MonteCarloConfig};
+use neon_reuse::dataset;
+
+/// Per-DM weights for (Reuse Cost, Understandability, Integration,
+/// Reliability).
+const DM_WEIGHTS: [[f64; 4]; 3] = [
+    [0.10, 0.20, 0.35, 0.35], // DM1: integration & reliability first
+    [0.20, 0.25, 0.30, 0.25], // DM2: balanced
+    [0.15, 0.20, 0.25, 0.40], // DM3: trusts only reliable sources
+];
+
+fn main() {
+    let data = dataset::paper_model();
+    let mut model = data.model.clone();
+
+    // Replace the four upper-level point weights with the group's hull.
+    println!("Group weight elicitation for the four objectives:");
+    for (gi, group) in data.groups.iter().enumerate() {
+        let answers: Vec<f64> = DM_WEIGHTS.iter().map(|dm| dm[gi]).collect();
+        let lo = answers.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = answers.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        model.local_weights[group.index()] = Some(Interval::new(lo, hi));
+        println!(
+            "  {:<24} answers {:?} -> interval [{lo:.2}, {hi:.2}]",
+            model.tree.get(*group).name,
+            answers
+        );
+    }
+    model.validate().expect("group model stays consistent");
+
+    // Evaluate under group imprecision.
+    let eval = model.evaluate();
+    println!("\nGroup ranking (top 8):");
+    for r in eval.ranking().into_iter().take(8) {
+        println!(
+            "  {}. {:<22} min {:.3}  avg {:.3}  max {:.3}",
+            r.rank, r.name, r.bounds.min, r.bounds.avg, r.bounds.max
+        );
+    }
+
+    // Compare the three GMAA Monte Carlo classes on the group model.
+    let trials = 5000;
+    let classes: Vec<(&str, MonteCarloConfig)> = vec![
+        ("class 1: completely random", MonteCarloConfig::Random),
+        (
+            // The group agrees Funct Requir (index 5) matters most, then the
+            // reliability block, then everything else: a partial rank order.
+            "class 2: partial rank order",
+            MonteCarloConfig::PartialRankOrder(vec![
+                vec![5],
+                vec![9, 10, 11, 12, 13],
+                vec![0, 1, 2, 3, 4, 6, 7, 8],
+            ]),
+        ),
+        ("class 3: elicited intervals", MonteCarloConfig::ElicitedIntervals),
+    ];
+
+    for (label, config) in classes {
+        let result = MonteCarlo::new(config, trials, 7).run(&model);
+        let ever: Vec<&str> = result
+            .ever_rank_one()
+            .into_iter()
+            .map(|i| model.alternatives[i].as_str())
+            .collect();
+        println!("\n=== {label} ({trials} trials) ===");
+        println!("  candidates that ever rank first: {ever:?}");
+        let mut by_mean: Vec<(usize, f64)> =
+            result.mean_ranks().into_iter().enumerate().collect();
+        by_mean.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+        print!("  top five by mean rank:");
+        for (i, mean) in by_mean.into_iter().take(5) {
+            print!(" {} ({mean:.2});", model.alternatives[i]);
+        }
+        println!();
+        println!(
+            "  top-five rank fluctuation: {} positions",
+            result.fluctuation_of_top(5)
+        );
+    }
+
+    println!(
+        "\nNote how extra structure (class 2, class 3) narrows the set of \
+         candidates that can rank first - the mechanism the paper uses to \
+         reach a robust recommendation despite group disagreement."
+    );
+}

@@ -1,0 +1,6 @@
+//! Umbrella crate of the GMAA reproduction: re-exports every workspace
+//! crate so examples and integration tests can use one dependency. See the
+//! individual crates (`maut`, `maut-sense`, `neon-reuse`, `ontolib`,
+//! `simplex-lp`, `statlab`, `gmaa`) for the actual APIs.
+
+pub use gmaa; pub use maut; pub use maut_sense; pub use neon_reuse; pub use ontolib; pub use simplex_lp; pub use statlab;

@@ -1,0 +1,190 @@
+//! Cross-crate integration of the *automated* reuse pipeline: synthetic
+//! corpus generation → Turtle round trip → assessment → decision model →
+//! ranking → selection → integration.
+
+use maut::prelude::*;
+use neon_reuse::{
+    activities::{self, OntologyRegistry, RegistryEntry},
+    criteria, AssessmentInput, OntologyAssessor,
+};
+use ontolib::{parse_turtle, write_turtle, CompetencyQuestion, GeneratorConfig, OntologyGenerator};
+
+fn mm_questions() -> Vec<CompetencyQuestion> {
+    [
+        "What is the duration of a video segment?",
+        "Which audio track belongs to a media stream?",
+        "What codec does the container use?",
+        "Who created the media collection?",
+        "What genre does the broadcast have?",
+        "Which regions of a still image depict agents?",
+    ]
+    .iter()
+    .map(|q| CompetencyQuestion::new(*q))
+    .collect()
+}
+
+fn entry(name: &str, cfg: GeneratorConfig, meta: AssessmentInput) -> RegistryEntry {
+    // Force a Turtle round trip so the parser sits on the critical path.
+    let graph = OntologyGenerator::new(cfg).generate_graph();
+    let text = write_turtle(&graph);
+    let parsed = parse_turtle(&text).expect("generator output is parseable");
+    RegistryEntry {
+        name: name.to_string(),
+        ontology: ontolib::Ontology::from_graph(parsed),
+        metadata: meta,
+        tags: vec!["multimedia".to_string()],
+    }
+}
+
+fn build_registry() -> OntologyRegistry {
+    let mut r = OntologyRegistry::new();
+    r.add(entry(
+        "rich",
+        GeneratorConfig {
+            namespace: "http://t/rich#".into(),
+            num_classes: 50,
+            label_prob: 0.95,
+            comment_prob: 0.9,
+            standard_share: 0.4,
+            seed: 11,
+            ..GeneratorConfig::default()
+        },
+        AssessmentInput {
+            financial_cost: Some(3),
+            required_time: Some(3),
+            external_knowledge: Some(3),
+            implementation_language: Some(3),
+            tests_available: Some(2),
+            former_evaluation: Some(2),
+            team_reputation: Some(3),
+            purpose_reliability: Some(3),
+            practical_support: Some(2),
+        },
+    ));
+    r.add(entry(
+        "poor",
+        GeneratorConfig {
+            namespace: "http://t/poor#".into(),
+            num_classes: 30,
+            label_prob: 0.1,
+            comment_prob: 0.0,
+            opaque_prob: 0.8,
+            seed: 12,
+            ..GeneratorConfig::default()
+        },
+        AssessmentInput {
+            financial_cost: Some(1),
+            required_time: Some(1),
+            implementation_language: Some(1),
+            purpose_reliability: Some(1),
+            ..AssessmentInput::default()
+        },
+    ));
+    r
+}
+
+/// Build a flat model over the assessed rows (uniform weight intervals).
+fn model_from_rows(rows: Vec<(String, Vec<Perf>)>) -> DecisionModel {
+    let cs = criteria();
+    let mut b = DecisionModelBuilder::new("assessment pipeline");
+    let n = cs.len() as f64;
+    let mut pairs = Vec::new();
+    for c in &cs {
+        let a = match &c.scale {
+            neon_reuse::criteria::CriterionScale::FourLevel(levels) => {
+                b.discrete_attribute(c.key, c.name, levels)
+            }
+            neon_reuse::criteria::CriterionScale::ValueT => b.continuous_attribute(
+                c.key,
+                c.name,
+                0.0,
+                neon_reuse::MNVLT,
+                Direction::Increasing,
+            ),
+        };
+        pairs.push((a, Interval::new(0.5 / n, 1.5 / n)));
+    }
+    b.attach_attributes_to_root(&pairs);
+    for (name, row) in rows {
+        b.alternative(name, row);
+    }
+    b.build().expect("assessed rows form a valid model")
+}
+
+#[test]
+fn full_pipeline_prefers_the_rich_ontology() {
+    let registry = build_registry();
+    assert_eq!(registry.search(&["multimedia"]).len(), 2);
+
+    let assessor = OntologyAssessor::new(mm_questions());
+    let rows = registry.assess_all(&assessor);
+    assert_eq!(rows.len(), 2);
+
+    let model = model_from_rows(rows);
+    let ranking = model.evaluate().ranking();
+    assert_eq!(ranking[0].name, "rich");
+    assert!(ranking[0].bounds.avg > ranking[1].bounds.avg + 0.1);
+}
+
+#[test]
+fn missing_metadata_flows_into_utility_intervals() {
+    let registry = build_registry();
+    let assessor = OntologyAssessor::new(mm_questions());
+    let rows = registry.assess_all(&assessor);
+    // "poor" left several metadata fields unset.
+    let poor_missing = rows[1].1.iter().filter(|p| p.is_missing()).count();
+    assert!(poor_missing >= 4);
+
+    let model = model_from_rows(rows);
+    let eval = model.evaluate();
+
+    // Holding everything else fixed, filling in the missing cells must
+    // shrink the candidate's utility band: the [0,1] interval is what makes
+    // it wide.
+    let mut filled = model.clone();
+    for j in 0..filled.num_attributes() {
+        if filled.perf.get(1, j).is_missing() {
+            filled.perf.set(1, j, Perf::level(2));
+        }
+    }
+    let filled_eval = filled.evaluate();
+    let poor_width = eval.bounds[1].max - eval.bounds[1].min;
+    let filled_width = filled_eval.bounds[1].max - filled_eval.bounds[1].min;
+    assert!(poor_width > filled_width + 0.05, "{poor_width} vs {filled_width}");
+}
+
+#[test]
+fn integration_merges_selected_candidates() {
+    let registry = build_registry();
+    let entries = registry.entries();
+    let report = activities::integrate(&[
+        (&entries[0].name, &entries[0].ontology),
+        (&entries[1].name, &entries[1].ontology),
+    ]);
+    assert_eq!(report.sources.len(), 2);
+    // The merged network contains both namespaces' entities.
+    let ns: Vec<&str> = report
+        .network
+        .classes
+        .iter()
+        .map(|c| c.namespace())
+        .collect();
+    assert!(ns.iter().any(|n| n.contains("rich")));
+    assert!(ns.iter().any(|n| n.contains("poor")));
+    // Serializes as valid Turtle.
+    let text = write_turtle(&report.network.graph);
+    assert_eq!(parse_turtle(&text).expect("valid").len(), report.total_triples);
+}
+
+#[test]
+fn sensitivity_analyses_run_on_assessed_models() {
+    let registry = build_registry();
+    let assessor = OntologyAssessor::new(mm_questions());
+    let model = model_from_rows(registry.assess_all(&assessor));
+    let nd = maut_sense::non_dominated(&model);
+    assert!(nd.contains(&0), "the rich candidate is never dominated");
+    let po = maut_sense::potentially_optimal(&model);
+    assert!(po[0].potentially_optimal);
+    let mc = maut_sense::MonteCarlo::new(maut_sense::MonteCarloConfig::Random, 500, 3).run(&model);
+    assert_eq!(mc.stats[0].mode, 1);
+}

@@ -1,0 +1,76 @@
+//! Persistence integration: a saved workspace reloads into a model whose
+//! evaluation, sensitivity analyses and Monte Carlo runs are bit-identical.
+
+use gmaa::Workspace;
+use maut_sense::{MonteCarlo, MonteCarloConfig};
+use neon_reuse::paper_model;
+use std::path::PathBuf;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("gmaa-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+#[test]
+fn reloaded_model_reproduces_every_analysis() {
+    let ws = Workspace::open(tmpdir("full")).expect("workspace opens");
+    let original = paper_model().model;
+    ws.save("multimedia", &original).expect("save");
+    let reloaded = ws.load("multimedia").expect("load");
+    assert_eq!(original, reloaded);
+
+    // Evaluation identical.
+    let e1 = original.evaluate();
+    let e2 = reloaded.evaluate();
+    assert_eq!(e1.ranking(), e2.ranking());
+
+    // Sensitivity analyses identical.
+    assert_eq!(
+        maut_sense::non_dominated(&original),
+        maut_sense::non_dominated(&reloaded)
+    );
+    let p1: Vec<bool> = maut_sense::potentially_optimal(&original)
+        .into_iter()
+        .map(|o| o.potentially_optimal)
+        .collect();
+    let p2: Vec<bool> = maut_sense::potentially_optimal(&reloaded)
+        .into_iter()
+        .map(|o| o.potentially_optimal)
+        .collect();
+    assert_eq!(p1, p2);
+
+    // Monte Carlo identical given the seed.
+    let mc = |m: &maut::DecisionModel| {
+        MonteCarlo::new(MonteCarloConfig::ElicitedIntervals, 500, 7).run(m).mean_ranks()
+    };
+    assert_eq!(mc(&original), mc(&reloaded));
+}
+
+#[test]
+fn workspace_lists_saved_models() {
+    let ws = Workspace::open(tmpdir("list")).expect("workspace opens");
+    let model = paper_model().model;
+    ws.save("a", &model).expect("save a");
+    ws.save("b", &model).expect("save b");
+    assert_eq!(ws.list().expect("list"), vec!["a".to_string(), "b".to_string()]);
+    ws.delete("a").expect("delete");
+    assert_eq!(ws.list().expect("list"), vec!["b".to_string()]);
+}
+
+#[test]
+fn hand_corrupted_model_fails_validation_on_load() {
+    let ws = Workspace::open(tmpdir("corrupt")).expect("workspace opens");
+    let model = paper_model().model;
+    ws.save("m", &model).expect("save");
+    // Break an invariant in the JSON: make a discrete level out of range.
+    let path = ws.path().join("m.json");
+    let text = std::fs::read_to_string(&path).expect("read");
+    let broken = text.replacen("\"Level\": 3", "\"Level\": 9", 1);
+    assert_ne!(text, broken, "expected a Level cell in the JSON");
+    std::fs::write(&path, broken).expect("write");
+    match ws.load("m") {
+        Err(gmaa::WorkspaceError::Invalid(_)) => {}
+        other => panic!("expected validation failure, got {other:?}"),
+    }
+}
