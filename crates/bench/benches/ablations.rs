@@ -10,6 +10,10 @@
 //!   potentially-optimal figure is recovered.
 //! * `exp15_selection` — the NeOn ≥ 70 % CQ-coverage selection rule.
 
+// The legacy eager entry points stay under measurement (alongside the
+// context-based paths) until they are removed after the deprecation window.
+#![allow(deprecated)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use statlab::spearman_rho;
 use std::hint::black_box;
@@ -25,7 +29,10 @@ fn abl12_missing_policy(c: &mut Criterion) {
     // "The ranking output by the GMAA system is very similar to the ranking
     // in [15], where missing performances were not correctly modeled."
     let rho = spearman_rho(&avg_a, &avg_b).expect("non-degenerate");
-    assert!(rho > 0.95, "rankings should stay very similar, rho = {rho:.3}");
+    assert!(
+        rho > 0.95,
+        "rankings should stay very similar, rho = {rho:.3}"
+    );
     // But alternatives with missing entries score strictly lower under the
     // worst-performance policy.
     for i in 0..23 {
@@ -79,8 +86,9 @@ fn abl_band_width(c: &mut Criterion) {
 
 fn exp15_selection(c: &mut Criterion) {
     let data = neon_reuse::paper_model();
-    let report = neon_reuse::activities::select_by_ranking(
-        &data.model,
+    let mut ctx = maut::EvalContext::new(data.model.clone()).expect("valid");
+    let report = neon_reuse::activities::select_by_ranking_ctx(
+        &mut ctx,
         &data.cq_sets,
         neon_reuse::dataset::TOTAL_CQS,
         0.70,
@@ -91,8 +99,8 @@ fn exp15_selection(c: &mut Criterion) {
 
     c.bench_function("exp15_selection_rule", |b| {
         b.iter(|| {
-            black_box(neon_reuse::activities::select_by_ranking(
-                &data.model,
+            black_box(neon_reuse::activities::select_by_ranking_ctx(
+                &mut ctx,
                 &data.cq_sets,
                 neon_reuse::dataset::TOTAL_CQS,
                 0.70,
@@ -101,5 +109,10 @@ fn exp15_selection(c: &mut Criterion) {
     });
 }
 
-criterion_group!(ablations, abl12_missing_policy, abl_band_width, exp15_selection);
+criterion_group!(
+    ablations,
+    abl12_missing_policy,
+    abl_band_width,
+    exp15_selection
+);
 criterion_main!(ablations);

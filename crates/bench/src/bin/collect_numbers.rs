@@ -1,30 +1,152 @@
+//! Collect the paper-comparison numbers (band-width ablation, missing-value
+//! policy, Fig 6 / Fig 10 Spearman agreement, stability summary) and the
+//! engine performance comparison.
+//!
+//! The performance section times the three evaluation paths of the
+//! `AnalysisEngine` redesign on the 23 × 14 case study —
+//!
+//! * **cold** — the deprecated `DecisionModel::evaluate()` that re-derives
+//!   the component-utility matrix and weight bounds on every call;
+//! * **context** — `EvalContext::evaluate()` on a warm context (the
+//!   steady-state serving path);
+//! * **incremental** — `set_perf` on one cell followed by re-evaluation
+//!   (only the touched row is re-scored);
+//! * plus the same comparison for a full `analyze()` cycle.
+//!
+//! Results are printed and written to `BENCH_engine.json` in the current
+//! directory, seeding the repo's performance trajectory.
+
+// The cold path being measured *is* the deprecated one.
+#![allow(deprecated)]
+
+use maut::{EvalContext, Perf};
+use std::time::Instant;
+
+/// Median-of-runs nanoseconds for `f`, with a warmup pass.
+fn time_ns(iters: u32, mut f: impl FnMut()) -> f64 {
+    let runs = 5;
+    let mut samples = Vec::with_capacity(runs);
+    for _ in 0..2 {
+        f(); // warmup
+    }
+    for _ in 0..runs {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        samples.push(start.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    samples[runs / 2]
+}
+
+fn engine_bench() -> String {
+    let model = bench::paper();
+    let financ = model.find_attribute("financ_cost").expect("exists");
+
+    // Cold: everything re-derived per call.
+    let cold_eval_ns = time_ns(200, || {
+        std::hint::black_box(model.evaluate());
+    });
+
+    // Context reuse: one warm context, cached evaluation.
+    let mut ctx = EvalContext::new(model.clone()).expect("valid");
+    ctx.evaluate();
+    let ctx_eval_ns = time_ns(2000, || {
+        std::hint::black_box(ctx.evaluate());
+    });
+
+    // Incremental: flip one performance cell, re-evaluate (1 of 23 rows
+    // re-scored).
+    let mut level = 2usize;
+    let incr_eval_ns = time_ns(2000, || {
+        level = if level == 2 { 3 } else { 2 };
+        ctx.set_perf(0, financ, Perf::level(level)).expect("valid");
+        std::hint::black_box(ctx.evaluate());
+    });
+
+    // Full analyze() cycle baseline (evaluation + stability + dominance +
+    // potential optimality + 1k-trial Monte Carlo) for the perf
+    // trajectory; dominated by the LP and Monte Carlo stages.
+    let mut engine = gmaa::AnalysisEngine::new(model.clone()).expect("valid");
+    engine.mc_trials = 1_000;
+    engine.stability_resolution = 60;
+    let engine_analyze_ns = time_ns(5, || {
+        std::hint::black_box(engine.analyze());
+    });
+
+    let stats = ctx.stats();
+    format!(
+        "{{\n  \"model\": \"paper 23x14\",\n  \"cold_evaluate_ns\": {cold_eval_ns:.0},\n  \"context_evaluate_ns\": {ctx_eval_ns:.0},\n  \"incremental_set_perf_evaluate_ns\": {incr_eval_ns:.0},\n  \"speedup_context_vs_cold\": {:.2},\n  \"speedup_incremental_vs_cold\": {:.2},\n  \"analyze_full_cycle_ns\": {engine_analyze_ns:.0},\n  \"context_stats\": {{\n    \"cold_evaluations\": {},\n    \"incremental_refreshes\": {},\n    \"cache_hits\": {},\n    \"rows_recomputed\": {}\n  }}\n}}\n",
+        cold_eval_ns / ctx_eval_ns,
+        cold_eval_ns / incr_eval_ns,
+        stats.cold_evaluations,
+        stats.incremental_refreshes,
+        stats.cache_hits,
+        stats.rows_recomputed,
+    )
+}
+
 fn main() {
     // band-width ablation counts
     for hw in [0.05, 0.15, 0.25, 0.35] {
-        let m = bench::paper_with_band(hw);
-        let n = maut_sense::potentially_optimal(&m).iter().filter(|o| o.potentially_optimal).count();
+        let ctx = EvalContext::new(bench::paper_with_band(hw)).expect("valid");
+        let n = maut_sense::potentially_optimal_ctx(&ctx)
+            .iter()
+            .filter(|o| o.potentially_optimal)
+            .count();
         println!("half_width {hw}: potentially optimal {n}/23");
     }
     // missing policy spearman
-    let a = bench::paper().evaluate();
-    let b = bench::paper_with_missing_as_worst().evaluate();
+    let a = EvalContext::new(bench::paper()).expect("valid").evaluate();
+    let b = EvalContext::new(bench::paper_with_missing_as_worst())
+        .expect("valid")
+        .evaluate();
     let av: Vec<f64> = a.bounds.iter().map(|x| x.avg).collect();
     let bv: Vec<f64> = b.bounds.iter().map(|x| x.avg).collect();
-    println!("missing-policy Spearman: {:.4}", statlab::spearman_rho(&av, &bv).unwrap());
+    println!(
+        "missing-policy Spearman: {:.4}",
+        statlab::spearman_rho(&av, &bv).unwrap()
+    );
     // fig6 spearman vs paper mean ranks
-    let model = bench::paper();
-    let paper_ranks: Vec<f64> = vec![2.564,9.959,7.506,4.0,5.0,7.435,9.041,11.514,1.218,6.0,2.218,20.807,13.0,16.413,20.192,14.728,11.436,18.969,16.043,15.049,23.0,22.0,17.798];
+    let ctx = EvalContext::new(bench::paper()).expect("valid");
+    let paper_ranks: Vec<f64> = vec![
+        2.564, 9.959, 7.506, 4.0, 5.0, 7.435, 9.041, 11.514, 1.218, 6.0, 2.218, 20.807, 13.0,
+        16.413, 20.192, 14.728, 11.436, 18.969, 16.043, 15.049, 23.0, 22.0, 17.798,
+    ];
     let neg: Vec<f64> = paper_ranks.iter().map(|r| -r).collect();
-    println!("Fig6 avg-vs-paper Spearman: {:.4}", statlab::spearman_rho(&av, &neg).unwrap());
-    let mc = maut_sense::MonteCarlo::paper_default().run(&model);
-    println!("MC mean-rank Spearman vs Fig10: {:.4}", statlab::spearman_rho(&mc.mean_ranks(), &paper_ranks).unwrap());
+    println!(
+        "Fig6 avg-vs-paper Spearman: {:.4}",
+        statlab::spearman_rho(&av, &neg).unwrap()
+    );
+    let mc = maut_sense::MonteCarlo::paper_default().run_ctx(&ctx);
+    println!(
+        "MC mean-rank Spearman vs Fig10: {:.4}",
+        statlab::spearman_rho(&mc.mean_ranks(), &paper_ranks).unwrap()
+    );
     // stability summary
-    let stab = maut_sense::stability::all_stability_intervals(&model, maut_sense::StabilityMode::BestAlternative, 200);
+    let stab = maut_sense::stability::all_stability_intervals_ctx(
+        &ctx,
+        maut_sense::StabilityMode::BestAlternative,
+        200,
+    );
     for r in &stab {
         if !r.is_fully_stable(1e-4) {
-            println!("sensitive: {} [{:.3},{:.3}] current {:.3}", model.tree.get(r.objective).name, r.lo, r.hi, r.current);
+            println!(
+                "sensitive: {} [{:.3},{:.3}] current {:.3}",
+                ctx.model().tree.get(r.objective).name,
+                r.lo,
+                r.hi,
+                r.current
+            );
         }
     }
-    let nd = maut_sense::non_dominated(&model);
+    let nd = maut_sense::non_dominated_ctx(&ctx);
     println!("non-dominated: {}/23", nd.len());
+
+    // engine performance comparison -> BENCH_engine.json
+    let json = engine_bench();
+    print!("\nengine bench:\n{json}");
+    std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
+    println!("wrote BENCH_engine.json");
 }

@@ -44,7 +44,10 @@ pub fn synthetic(n_alts: usize, n_attrs: usize, seed: u64) -> DecisionModel {
             format!("Attribute {j}"),
             &["none", "low", "medium", "high"],
         );
-        b.set_utility(a, UtilityFunction::Discrete(DiscreteUtility::banded(4, 0.1)));
+        b.set_utility(
+            a,
+            UtilityFunction::Discrete(DiscreteUtility::banded(4, 0.1)),
+        );
         attrs.push(a);
     }
     let base = 1.0 / n_attrs as f64;

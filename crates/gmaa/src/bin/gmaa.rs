@@ -22,7 +22,7 @@
 //!   save-paper DIR      save the paper model into a workspace
 //! ```
 
-use gmaa::{report, Gmaa, Workspace};
+use gmaa::{report, AnalysisEngine, Workspace};
 use maut_sense::{MonteCarloConfig, StabilityMode};
 use std::process::ExitCode;
 
@@ -103,39 +103,45 @@ fn run(args: Args) -> Result<(), String> {
         }
         None => neon_reuse::paper_model().model,
     };
-    let mut gmaa = Gmaa::new(model);
-    gmaa.mc_trials = args.trials;
-    gmaa.mc_seed = args.seed;
+    let mut engine = AnalysisEngine::new(model).map_err(|e| e.to_string())?;
+    engine.mc_trials = args.trials;
+    engine.mc_seed = args.seed;
 
     let cmd: Vec<&str> = args.command.iter().map(|s| s.as_str()).collect();
     match cmd.as_slice() {
-        ["hierarchy"] => print!("{}", report::hierarchy(gmaa.model())),
-        ["performances"] => print!("{}", report::consequences(gmaa.model())),
-        ["utility", key] => print!("{}", report::component_utility(gmaa.model(), key)),
-        ["weights"] => print!("{}", report::weight_table(gmaa.model())),
+        ["hierarchy"] => print!("{}", report::hierarchy(engine.model())),
+        ["performances"] => print!("{}", report::consequences(engine.model())),
+        ["utility", key] => print!("{}", report::component_utility(engine.model(), key)),
+        ["weights"] => print!("{}", report::weight_table_ctx(engine.context())),
         ["ranking"] => {
-            let eval = gmaa.evaluate();
-            print!("{}", report::ranking(gmaa.model(), &eval));
+            let eval = engine.evaluate();
+            print!("{}", report::ranking(engine.model(), &eval));
         }
         ["rank-by", key] => {
-            let eval = gmaa.rank_by(key).ok_or_else(|| format!("unknown objective '{key}'"))?;
-            print!("{}", report::ranking(gmaa.model(), &eval));
+            let eval = engine
+                .rank_by(key)
+                .ok_or_else(|| format!("unknown objective '{key}'"))?;
+            print!("{}", report::ranking(engine.model(), &eval));
         }
         ["stability"] => {
-            let stab = gmaa.stability_all(StabilityMode::BestAlternative);
-            print!("{}", report::stability(gmaa.model(), &stab));
+            let stab = engine.stability_all(StabilityMode::BestAlternative);
+            print!("{}", report::stability(engine.model(), &stab));
         }
         ["montecarlo"] => {
-            let mc = gmaa.monte_carlo(MonteCarloConfig::ElicitedIntervals);
+            let mc = engine.monte_carlo(MonteCarloConfig::ElicitedIntervals);
             print!("{}", report::boxplot(&mc, 72));
             println!();
             print!("{}", report::rank_statistics(&mc.stats));
-            print!("{}", report::acceptability(gmaa.model(), &mc, 5));
+            print!("{}", report::acceptability(engine.model(), &mc, 5));
         }
         ["potential"] => {
-            let nd = gmaa.non_dominated();
-            println!("Non-dominated: {} of {}", nd.len(), gmaa.model().num_alternatives());
-            for o in gmaa.potentially_optimal() {
+            let nd = engine.non_dominated();
+            println!(
+                "Non-dominated: {} of {}",
+                nd.len(),
+                engine.model().num_alternatives()
+            );
+            for o in engine.potentially_optimal() {
                 println!(
                     "{:<24} potentially optimal: {:<5} slack {:+.4}",
                     o.name, o.potentially_optimal, o.slack
@@ -143,22 +149,25 @@ fn run(args: Args) -> Result<(), String> {
             }
         }
         ["intensity"] => {
-            for r in maut_sense::intensity_ranking(gmaa.model()) {
-                println!("{:>3}. {:<24} intensity {:+.4}", r.rank, r.name, r.intensity);
+            for r in engine.intensity_ranking() {
+                println!(
+                    "{:>3}. {:<24} intensity {:+.4}",
+                    r.rank, r.name, r.intensity
+                );
             }
         }
         ["analyze"] => {
-            let a = gmaa.analyze();
-            print!("{}", report::ranking(gmaa.model(), &a.evaluation));
+            let a = engine.analyze();
+            print!("{}", report::ranking(engine.model(), &a.evaluation));
             println!();
-            print!("{}", report::stability(gmaa.model(), &a.stability));
+            print!("{}", report::stability(engine.model(), &a.stability));
             println!(
                 "\nNon-dominated: {}; potentially optimal: {}; discarded: {:?}",
                 a.non_dominated.len(),
                 a.survivors().len(),
                 a.discarded()
                     .iter()
-                    .map(|&i| gmaa.model().alternatives[i].as_str())
+                    .map(|&i| engine.model().alternatives[i].as_str())
                     .collect::<Vec<_>>()
             );
             println!();
@@ -166,7 +175,8 @@ fn run(args: Args) -> Result<(), String> {
         }
         ["save-paper", dir] => {
             let ws = Workspace::open(dir.to_string()).map_err(|e| e.to_string())?;
-            ws.save("multimedia", gmaa.model()).map_err(|e| e.to_string())?;
+            ws.save("multimedia", engine.model())
+                .map_err(|e| e.to_string())?;
             println!("saved model 'multimedia' into {dir}");
         }
         other => return Err(format!("unknown command {other:?}\n{USAGE}")),

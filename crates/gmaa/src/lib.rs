@@ -7,17 +7,51 @@
 //! Where the original is a Windows GUI, this crate exposes the same
 //! capabilities as a library:
 //!
-//! * [`system::Gmaa`] — one handle bundling a decision model with every
-//!   evaluation and sensitivity analysis of the paper (Figs 6–10);
+//! * [`engine::AnalysisEngine`] — **the single entry point**: one handle
+//!   bundling a decision model with every evaluation and sensitivity
+//!   analysis of the paper (Figs 6–10), all sharing one precomputed
+//!   [`maut::EvalContext`], plus incremental `set_perf` / `set_weight`
+//!   what-if mutation;
 //! * [`report`] — text renderers that regenerate each figure as an ASCII
 //!   artifact (hierarchy, consequences, utilities, weights, rankings,
 //!   stability intervals, Monte Carlo boxplots and statistics);
 //! * [`workspace`] — save/load of decision models as JSON ("Current
-//!   Workspace: Multimedia" in the paper's Fig 1 screenshot).
+//!   Workspace: Multimedia" in the paper's Fig 1 screenshot);
+//! * [`system::Gmaa`] — the pre-engine facade, deprecated for one release.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use gmaa::AnalysisEngine;
+//! use maut::Perf;
+//!
+//! // The paper's 23-ontology case study, ready to analyze.
+//! let mut engine = AnalysisEngine::new(neon_reuse::paper_model().model).unwrap();
+//! engine.mc_trials = 200; // keep the doctest quick
+//!
+//! // Fig 6: evaluate and rank.
+//! let eval = engine.evaluate();
+//! assert_eq!(eval.ranking()[0].name, "Media Ontology");
+//!
+//! // Fig 7: re-rank within one objective subtree.
+//! let by_cost = engine.rank_by("reuse_cost").unwrap();
+//! assert_eq!(by_cost.bounds.len(), 23);
+//!
+//! // What-if: fill in a missing cell and re-evaluate incrementally —
+//! // only the touched alternative is re-scored.
+//! let nokia = 17;
+//! let financ = engine.model().find_attribute("financ_cost").unwrap();
+//! engine.set_perf(nokia, financ, Perf::level(2)).unwrap();
+//! let eval2 = engine.evaluate();
+//! assert!(eval2.bounds[nokia].max <= eval.bounds[nokia].max);
+//! ```
 
+pub mod engine;
 pub mod report;
 pub mod system;
 pub mod workspace;
 
-pub use system::{Analysis, Gmaa};
+pub use engine::{Analysis, AnalysisEngine};
+#[allow(deprecated)]
+pub use system::Gmaa;
 pub use workspace::{load_model, save_model, Workspace, WorkspaceError};

@@ -4,7 +4,7 @@
 //! like the corresponding GMAA display, so the examples and benches can
 //! regenerate every figure as a text artifact.
 
-use maut::{DecisionModel, Evaluation, ObjectiveId};
+use maut::{DecisionModel, EvalContext, Evaluation, ObjectiveId};
 use maut_sense::{MonteCarloResult, StabilityReport};
 use statlab::RankStats;
 use std::fmt::Write as _;
@@ -35,7 +35,13 @@ pub fn hierarchy(model: &DecisionModel) -> String {
 /// Fig 2 — alternative consequences (performances) table.
 pub fn consequences(model: &DecisionModel) -> String {
     let mut out = String::new();
-    let name_w = model.alternatives.iter().map(|n| n.len()).max().unwrap_or(4).max(11);
+    let name_w = model
+        .alternatives
+        .iter()
+        .map(|n| n.len())
+        .max()
+        .unwrap_or(4)
+        .max(11);
     let _ = write!(out, "{:<name_w$}", "Alternative");
     for a in &model.attributes {
         let _ = write!(out, " {:>12}", truncate(&a.key, 12));
@@ -98,11 +104,28 @@ pub fn component_utility(model: &DecisionModel, key: &str) -> String {
     out
 }
 
-/// Fig 5 — attribute weights (low / avg / upp) with a bar for the average.
+/// Fig 5 — attribute weights (low / avg / upp) with a bar for the average,
+/// straight from the context's cached triples.
+pub fn weight_table_ctx(ctx: &EvalContext) -> String {
+    weight_table_inner(ctx.model(), ctx.weights())
+}
+
+/// Fig 5 weight table, re-deriving the flattened triples from scratch.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `maut::EvalContext` and use `weight_table_ctx`"
+)]
 pub fn weight_table(model: &DecisionModel) -> String {
-    let w = model.attribute_weights();
+    weight_table_inner(model, &model.attribute_weights())
+}
+
+fn weight_table_inner(model: &DecisionModel, w: &maut::weights::AttributeWeights) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "{:<42} {:>7} {:>7} {:>7}", "Attribute", "low.", "avg.", "upp.");
+    let _ = writeln!(
+        out,
+        "{:<42} {:>7} {:>7} {:>7}",
+        "Attribute", "low.", "avg.", "upp."
+    );
     for (attr, t) in w.attributes.iter().zip(&w.triples) {
         let a = model.attribute(*attr);
         let bar = "#".repeat((t.avg * 200.0).round() as usize);
@@ -122,7 +145,13 @@ pub fn weight_table(model: &DecisionModel) -> String {
 pub fn ranking(model: &DecisionModel, eval: &Evaluation) -> String {
     let scope_name = &model.tree.get(eval.scope).name;
     let mut out = format!("Ranking by: {scope_name}\n");
-    let name_w = model.alternatives.iter().map(|n| n.len()).max().unwrap_or(4).max(11);
+    let name_w = model
+        .alternatives
+        .iter()
+        .map(|n| n.len())
+        .max()
+        .unwrap_or(4)
+        .max(11);
     let _ = writeln!(
         out,
         "{:>4} {:<name_w$} {:>8} {:>8} {:>8}",
@@ -154,7 +183,13 @@ pub fn stability(model: &DecisionModel, reports: &[StabilityReport]) -> String {
         } else {
             format!("[{:.3}, {:.3}]", r.lo, r.hi)
         };
-        let _ = writeln!(out, "{:<42} {:>8.3} {:>18}", truncate(&node.name, 42), r.current, label);
+        let _ = writeln!(
+            out,
+            "{:<42} {:>8.3} {:>18}",
+            truncate(&node.name, 42),
+            r.current,
+            label
+        );
     }
     out
 }
@@ -168,7 +203,12 @@ pub fn boxplot(result: &MonteCarloResult, width: usize) -> String {
 
 /// Fig 10 — the Monte Carlo rank statistics table.
 pub fn rank_statistics(stats: &[RankStats]) -> String {
-    let name_w = stats.iter().map(|s| s.label.len()).max().unwrap_or(4).max(11);
+    let name_w = stats
+        .iter()
+        .map(|s| s.label.len())
+        .max()
+        .unwrap_or(4)
+        .max(11);
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -189,7 +229,13 @@ pub fn rank_statistics(stats: &[RankStats]) -> String {
 /// trials in which it took each of the first `k` ranks. (An SMAA-style view
 /// the GMAA statistics window summarizes; complements Fig 10.)
 pub fn acceptability(model: &DecisionModel, result: &MonteCarloResult, k: usize) -> String {
-    let name_w = model.alternatives.iter().map(|n| n.len()).max().unwrap_or(4).max(11);
+    let name_w = model
+        .alternatives
+        .iter()
+        .map(|n| n.len())
+        .max()
+        .unwrap_or(4)
+        .max(11);
     let mut out = String::new();
     let _ = write!(out, "{:<name_w$}", "Alternative");
     for rank in 1..=k {
@@ -210,7 +256,15 @@ fn truncate(s: &str, n: usize) -> String {
     if s.len() <= n {
         s.to_string()
     } else {
-        format!("{}…", &s[..s.char_indices().take(n - 1).last().map(|(i, c)| i + c.len_utf8()).unwrap_or(0)])
+        format!(
+            "{}…",
+            &s[..s
+                .char_indices()
+                .take(n - 1)
+                .last()
+                .map(|(i, c)| i + c.len_utf8())
+                .unwrap_or(0)]
+        )
     }
 }
 
@@ -219,6 +273,10 @@ mod tests {
     use super::*;
     use maut_sense::{MonteCarlo, MonteCarloConfig, StabilityMode};
     use neon_reuse::paper_model;
+
+    fn ctx() -> EvalContext {
+        EvalContext::new(paper_model().model).expect("paper model is valid")
+    }
 
     #[test]
     fn hierarchy_shows_all_nodes() {
@@ -252,17 +310,16 @@ mod tests {
 
     #[test]
     fn weight_table_lists_14_attributes() {
-        let model = paper_model().model;
-        let text = weight_table(&model);
+        let text = weight_table_ctx(&ctx());
         assert_eq!(text.lines().count(), 15);
         assert!(text.contains("Financial cost"));
     }
 
     #[test]
     fn ranking_report_is_ordered() {
-        let model = paper_model().model;
-        let eval = model.evaluate();
-        let text = ranking(&model, &eval);
+        let mut c = ctx();
+        let eval = c.evaluate();
+        let text = ranking(c.model(), &eval);
         let media = text.find("Media Ontology").unwrap();
         let kanzaki = text.find("Kanzaki Music").unwrap();
         assert!(media < kanzaki);
@@ -273,16 +330,16 @@ mod tests {
     fn stability_report_renders() {
         let model = paper_model().model;
         let target = model.tree.find("funct_requir").unwrap();
-        let r = maut_sense::stability_interval(&model, target, StabilityMode::BestAlternative, 50);
+        let c = ctx();
+        let r = maut_sense::stability_interval_ctx(&c, target, StabilityMode::BestAlternative, 50);
         let text = stability(&model, &[r]);
         assert!(text.contains("functional requirements"));
     }
 
     #[test]
     fn montecarlo_reports_render() {
-        let model = paper_model().model;
         let mc = MonteCarlo::new(MonteCarloConfig::ElicitedIntervals, 200, 1);
-        let result = mc.run(&model);
+        let result = mc.run_ctx(&ctx());
         let b = boxplot(&result, 60);
         assert!(b.contains("200 trials"));
         let s = rank_statistics(&result.stats);
@@ -293,7 +350,7 @@ mod tests {
     #[test]
     fn acceptability_table_rows_sum_below_one() {
         let model = paper_model().model;
-        let mc = MonteCarlo::new(MonteCarloConfig::ElicitedIntervals, 300, 2).run(&model);
+        let mc = MonteCarlo::new(MonteCarloConfig::ElicitedIntervals, 300, 2).run_ctx(&ctx());
         let text = acceptability(&model, &mc, 3);
         assert_eq!(text.lines().count(), 24);
         assert!(text.contains("b^1"));

@@ -1,49 +1,29 @@
-//! The `Gmaa` orchestrator: one handle that runs the full decision-analysis
-//! cycle of the paper — evaluation (Fig 6), per-objective re-ranking
-//! (Fig 7), weight stability (Fig 8), dominance / potential optimality
-//! (Section V), and Monte Carlo simulation (Figs 9–10).
+//! The legacy `Gmaa` facade — a deprecated shim kept for one release.
+//!
+//! [`Gmaa`](crate::system::Gmaa) predates the shared evaluation context:
+//! every method re-derived the component-utility matrix and weight bounds
+//! from scratch. New code should hold a [`crate::AnalysisEngine`] instead,
+//! which runs the same analyses against one precomputed
+//! [`maut::EvalContext`] and adds incremental `set_perf` / `set_weight`
+//! what-if mutation. The [`crate::Analysis`] bundle type now lives in
+//! [`crate::engine`] and is re-exported here unchanged.
 
+pub use crate::engine::Analysis;
 use maut::{DecisionModel, Evaluation, ObjectiveId};
 use maut_sense::{
-    dominance, potential, stability, MonteCarlo, MonteCarloConfig, MonteCarloResult,
-    PotentialOutcome, StabilityMode, StabilityReport,
+    MonteCarlo, MonteCarloConfig, MonteCarloResult, PotentialOutcome, StabilityMode,
+    StabilityReport,
 };
 
-/// Bundle of every analysis the paper reports.
-#[derive(Debug)]
-pub struct Analysis {
-    pub evaluation: Evaluation,
-    pub stability: Vec<StabilityReport>,
-    pub non_dominated: Vec<usize>,
-    pub potential: Vec<PotentialOutcome>,
-    pub monte_carlo: MonteCarloResult,
-}
-
-impl Analysis {
-    /// Alternatives discarded by the potential-optimality analysis
-    /// (3 of 23 in the paper).
-    pub fn discarded(&self) -> Vec<usize> {
-        self.potential
-            .iter()
-            .filter(|o| !o.potentially_optimal)
-            .map(|o| o.alternative)
-            .collect()
-    }
-
-    /// Alternatives that are both non-dominated and potentially optimal
-    /// (20 of 23 in the paper).
-    pub fn survivors(&self) -> Vec<usize> {
-        let nd: std::collections::BTreeSet<usize> =
-            self.non_dominated.iter().copied().collect();
-        self.potential
-            .iter()
-            .filter(|o| o.potentially_optimal && nd.contains(&o.alternative))
-            .map(|o| o.alternative)
-            .collect()
-    }
-}
-
-/// The system facade.
+/// The pre-engine system facade. Deliberately kept on the eager code
+/// paths (each call re-derives what it needs from the bare model), so
+/// its behavior — including accepting models that were never validated —
+/// is exactly what callers of the old API observed.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `gmaa::AnalysisEngine`, which shares one `maut::EvalContext` across all \
+            analyses and supports incremental re-evaluation"
+)]
 #[derive(Debug, Clone)]
 pub struct Gmaa {
     model: DecisionModel,
@@ -55,9 +35,15 @@ pub struct Gmaa {
     pub stability_resolution: usize,
 }
 
+#[allow(deprecated)]
 impl Gmaa {
     pub fn new(model: DecisionModel) -> Gmaa {
-        Gmaa { model, mc_trials: 10_000, mc_seed: 20120402, stability_resolution: 100 }
+        Gmaa {
+            model,
+            mc_trials: 10_000,
+            mc_seed: 20120402,
+            stability_resolution: 100,
+        }
     }
 
     pub fn model(&self) -> &DecisionModel {
@@ -77,22 +63,27 @@ impl Gmaa {
 
     /// Weight stability interval of one objective (Fig 8).
     pub fn stability_of(&self, objective: ObjectiveId, mode: StabilityMode) -> StabilityReport {
-        stability::stability_interval(&self.model, objective, mode, self.stability_resolution)
+        maut_sense::stability::stability_interval(
+            &self.model,
+            objective,
+            mode,
+            self.stability_resolution,
+        )
     }
 
     /// Stability intervals of every non-root objective.
     pub fn stability_all(&self, mode: StabilityMode) -> Vec<StabilityReport> {
-        stability::all_stability_intervals(&self.model, mode, self.stability_resolution)
+        maut_sense::stability::all_stability_intervals(&self.model, mode, self.stability_resolution)
     }
 
     /// Non-dominated alternatives.
     pub fn non_dominated(&self) -> Vec<usize> {
-        dominance::non_dominated(&self.model)
+        maut_sense::dominance::non_dominated(&self.model)
     }
 
     /// Potential-optimality verdicts.
     pub fn potentially_optimal(&self) -> Vec<PotentialOutcome> {
-        potential::potentially_optimal(&self.model)
+        maut_sense::potential::potentially_optimal(&self.model)
     }
 
     /// Monte Carlo simulation with any of the three weight-generation
@@ -114,72 +105,35 @@ impl Gmaa {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use neon_reuse::paper_model;
 
     fn system() -> Gmaa {
         let mut g = Gmaa::new(paper_model().model);
-        g.mc_trials = 500; // keep unit tests quick; benches run the full 10k
-        g.stability_resolution = 60;
+        g.mc_trials = 300;
+        g.stability_resolution = 40;
         g
     }
 
     #[test]
-    fn evaluate_matches_model() {
+    fn facade_still_runs_and_matches_the_engine() {
         let g = system();
-        assert_eq!(g.evaluate().ranking()[0].name, "Media Ontology");
-    }
-
-    #[test]
-    fn rank_by_understandability_exists() {
-        let g = system();
-        let e = g.rank_by("understandability").expect("objective exists");
-        // Fig 7: only the three understandability attributes count.
-        let best = &e.ranking()[0];
-        assert!(best.bounds.avg <= 1.0 + 1e-9);
-        assert!(g.rank_by("nonexistent").is_none());
-    }
-
-    #[test]
-    fn full_analysis_runs() {
-        let g = system();
+        let mut e = crate::AnalysisEngine::new(g.model().clone()).unwrap();
+        e.mc_trials = g.mc_trials;
+        e.stability_resolution = g.stability_resolution;
+        assert_eq!(g.evaluate(), *e.evaluate());
+        assert_eq!(g.non_dominated(), e.non_dominated());
         let a = g.analyze();
         assert_eq!(a.evaluation.bounds.len(), 23);
-        assert_eq!(a.stability.len(), g.model().tree.len() - 1);
-        assert!(!a.non_dominated.is_empty());
-        assert_eq!(a.potential.len(), 23);
-        assert_eq!(a.monte_carlo.trials, 500);
-        // The survivors/discarded partition is consistent.
-        let d = a.discarded();
-        let s = a.survivors();
-        assert!(d.len() + s.len() <= 23);
-        for i in &s {
-            assert!(!d.contains(i));
-        }
+        assert_eq!(a.monte_carlo.trials, 300);
     }
 
     #[test]
-    fn paper_headline_shape_holds() {
-        // The paper's Section V conclusions, as shape assertions:
-        // a majority of candidates are potentially optimal, and the very
-        // bottom candidates are discarded.
+    fn facade_rank_by_delegates() {
         let g = system();
-        let a = g.analyze();
-        let names: Vec<&str> =
-            a.discarded().iter().map(|&i| g.model().alternatives[i].as_str()).collect();
-        // The paper reports 20 of 23 potentially optimal; our reconstructed
-        // matrix (narrower utility bands than the original experts') keeps
-        // roughly half in play — see EXPERIMENTS.md E11 for the comparison
-        // and the band-width ablation.
-        assert!(
-            a.survivors().len() >= 10,
-            "a large share of the 23 should survive, got {}",
-            a.survivors().len()
-        );
-        assert!(
-            names.contains(&"Kanzaki Music") || names.contains(&"Photography Ontology"),
-            "the bottom candidates should be discarded, got {names:?}"
-        );
+        assert!(g.rank_by("understandability").is_some());
+        assert!(g.rank_by("nope").is_none());
     }
 }

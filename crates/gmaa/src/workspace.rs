@@ -133,8 +133,8 @@ mod tests {
         let loaded = ws.load("multimedia").unwrap();
         assert_eq!(model, loaded);
         // The reloaded model evaluates identically.
-        let a = model.evaluate().ranking();
-        let b = loaded.evaluate().ranking();
+        let a = maut::EvalContext::new(model).unwrap().evaluate().ranking();
+        let b = maut::EvalContext::new(loaded).unwrap().evaluate().ranking();
         assert_eq!(a, b);
     }
 
@@ -144,7 +144,10 @@ mod tests {
         let model = paper_model().model;
         ws.save("one", &model).unwrap();
         ws.save("two", &model).unwrap();
-        assert_eq!(ws.list().unwrap(), vec!["one".to_string(), "two".to_string()]);
+        assert_eq!(
+            ws.list().unwrap(),
+            vec!["one".to_string(), "two".to_string()]
+        );
         ws.delete("one").unwrap();
         assert_eq!(ws.list().unwrap(), vec!["two".to_string()]);
         ws.delete("one").unwrap(); // idempotent

@@ -71,7 +71,11 @@ fn intensity_command_ranks_all() {
     assert!(out.status.success());
     let text = stdout(&out);
     assert_eq!(text.lines().count(), 23);
-    assert!(text.lines().next().expect("non-empty").contains("Media Ontology"));
+    assert!(text
+        .lines()
+        .next()
+        .expect("non-empty")
+        .contains("Media Ontology"));
 }
 
 #[test]
@@ -88,7 +92,11 @@ fn save_and_reload_workspace_via_cli() {
     let dirs = dir.to_string_lossy().into_owned();
 
     let save = gmaa(&["save-paper", &dirs]);
-    assert!(save.status.success(), "{}", String::from_utf8_lossy(&save.stderr));
+    assert!(
+        save.status.success(),
+        "{}",
+        String::from_utf8_lossy(&save.stderr)
+    );
     assert!(dir.join("multimedia.json").exists());
 
     // Read it back through the workspace path.

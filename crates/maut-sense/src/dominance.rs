@@ -13,7 +13,8 @@
 //! optimized over the polytope `W = {low ≤ w ≤ upp, Σw = 1}` (an exact
 //! greedy continuous-knapsack step via [`simplex_lp::WeightPolytope`]).
 
-use maut::DecisionModel;
+use maut::weights::AttributeWeights;
+use maut::{DecisionModel, EvalContext};
 use simplex_lp::WeightPolytope;
 
 /// Pairwise dominance verdict.
@@ -25,11 +26,25 @@ pub enum DominanceOutcome {
     None,
 }
 
-/// The weight polytope implied by a model's flattened weight intervals.
-pub fn weight_polytope(model: &DecisionModel) -> WeightPolytope {
-    let w = model.attribute_weights();
-    WeightPolytope::new(&w.lows(), &w.upps())
+/// The weight polytope implied by flattened weight triples.
+pub fn polytope_from(weights: &AttributeWeights) -> WeightPolytope {
+    WeightPolytope::new(&weights.lows(), &weights.upps())
         .expect("flattened weight intervals always intersect the simplex")
+}
+
+/// The weight polytope of a context's root-scope weights.
+pub fn weight_polytope_ctx(ctx: &EvalContext) -> WeightPolytope {
+    polytope_from(ctx.weights())
+}
+
+/// The weight polytope implied by a model's flattened weight intervals,
+/// re-derived from scratch.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `maut::EvalContext` and use `weight_polytope_ctx`"
+)]
+pub fn weight_polytope(model: &DecisionModel) -> WeightPolytope {
+    polytope_from(&model.attribute_weights())
 }
 
 /// Does `i` dominate `k`? `u_lo`/`u_hi` are the bound utility matrices.
@@ -42,8 +57,7 @@ fn dominates(
     i: usize,
     k: usize,
 ) -> bool {
-    let d: Vec<f64> =
-        u_lo[i].iter().zip(&u_hi[k]).map(|(a, b)| a - b).collect();
+    let d: Vec<f64> = u_lo[i].iter().zip(&u_hi[k]).map(|(a, b)| a - b).collect();
     let (worst, _) = polytope.minimize(&d);
     if worst < -1e-9 {
         return false;
@@ -55,16 +69,35 @@ fn dominates(
     best > 1e-9
 }
 
-/// Full pairwise dominance matrix (`matrix[i][k]` = does `i` dominate `k`).
+/// Full pairwise dominance matrix (`matrix[i][k]` = does `i` dominate
+/// `k`) against a shared evaluation context.
+pub fn dominance_matrix_ctx(ctx: &EvalContext) -> Vec<Vec<DominanceOutcome>> {
+    let (u_lo, u_hi) = ctx.bound_matrices();
+    dominance_core(&weight_polytope_ctx(ctx), u_lo, u_hi)
+}
+
+/// Full pairwise dominance matrix, re-deriving the utility matrices and
+/// weight polytope from scratch.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `maut::EvalContext` and use `dominance_matrix_ctx`"
+)]
 pub fn dominance_matrix(model: &DecisionModel) -> Vec<Vec<DominanceOutcome>> {
-    let polytope = weight_polytope(model);
     let (u_lo, u_hi) = model.bound_utility_matrices();
-    let n = model.num_alternatives();
+    dominance_core(&polytope_from(&model.attribute_weights()), &u_lo, &u_hi)
+}
+
+fn dominance_core(
+    polytope: &WeightPolytope,
+    u_lo: &[Vec<f64>],
+    u_hi: &[Vec<f64>],
+) -> Vec<Vec<DominanceOutcome>> {
+    let n = u_lo.len();
     (0..n)
         .map(|i| {
             (0..n)
                 .map(|k| {
-                    if i != k && dominates(&polytope, &u_lo, &u_hi, i, k) {
+                    if i != k && dominates(polytope, u_lo, u_hi, i, k) {
                         DominanceOutcome::Dominates
                     } else {
                         DominanceOutcome::None
@@ -76,12 +109,27 @@ pub fn dominance_matrix(model: &DecisionModel) -> Vec<Vec<DominanceOutcome>> {
 }
 
 /// Indices of non-dominated alternatives (paper: 20 of the 23 MM ontologies
-/// are non-dominated).
+/// are non-dominated), against a shared evaluation context.
+pub fn non_dominated_ctx(ctx: &EvalContext) -> Vec<usize> {
+    non_dominated_of(&dominance_matrix_ctx(ctx))
+}
+
+/// Indices of non-dominated alternatives, re-deriving everything from
+/// scratch.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `maut::EvalContext` and use `non_dominated_ctx`"
+)]
 pub fn non_dominated(model: &DecisionModel) -> Vec<usize> {
-    let m = dominance_matrix(model);
-    let n = model.num_alternatives();
+    let (u_lo, u_hi) = model.bound_utility_matrices();
+    let m = dominance_core(&polytope_from(&model.attribute_weights()), &u_lo, &u_hi);
+    non_dominated_of(&m)
+}
+
+fn non_dominated_of(matrix: &[Vec<DominanceOutcome>]) -> Vec<usize> {
+    let n = matrix.len();
     (0..n)
-        .filter(|&k| (0..n).all(|i| m[i][k] != DominanceOutcome::Dominates))
+        .filter(|&k| (0..n).all(|i| matrix[i][k] != DominanceOutcome::Dominates))
         .collect()
 }
 
@@ -90,14 +138,15 @@ mod tests {
     use super::*;
     use maut::prelude::*;
 
+    fn ctx(m: &DecisionModel) -> EvalContext {
+        EvalContext::new(m.clone()).expect("valid model")
+    }
+
     fn two_attr_model(rows: &[(&str, usize, usize)]) -> DecisionModel {
         let mut b = DecisionModelBuilder::new("m");
         let x = b.discrete_attribute("x", "X", &["0", "1", "2", "3"]);
         let y = b.discrete_attribute("y", "Y", &["0", "1", "2", "3"]);
-        b.attach_attributes_to_root(&[
-            (x, Interval::new(0.3, 0.7)),
-            (y, Interval::new(0.3, 0.7)),
-        ]);
+        b.attach_attributes_to_root(&[(x, Interval::new(0.3, 0.7)), (y, Interval::new(0.3, 0.7))]);
         for (name, px, py) in rows {
             b.alternative(*name, vec![Perf::level(*px), Perf::level(*py)]);
         }
@@ -107,28 +156,28 @@ mod tests {
     #[test]
     fn pareto_better_dominates() {
         let m = two_attr_model(&[("strong", 3, 3), ("weak", 1, 1)]);
-        let dm = dominance_matrix(&m);
+        let dm = dominance_matrix_ctx(&ctx(&m));
         assert_eq!(dm[0][1], DominanceOutcome::Dominates);
         assert_eq!(dm[1][0], DominanceOutcome::None);
-        assert_eq!(non_dominated(&m), vec![0]);
+        assert_eq!(non_dominated_ctx(&ctx(&m)), vec![0]);
     }
 
     #[test]
     fn trade_off_pair_is_mutually_non_dominated() {
         let m = two_attr_model(&[("left", 3, 0), ("right", 0, 3)]);
-        let dm = dominance_matrix(&m);
+        let dm = dominance_matrix_ctx(&ctx(&m));
         assert_eq!(dm[0][1], DominanceOutcome::None);
         assert_eq!(dm[1][0], DominanceOutcome::None);
-        assert_eq!(non_dominated(&m).len(), 2);
+        assert_eq!(non_dominated_ctx(&ctx(&m)).len(), 2);
     }
 
     #[test]
     fn identical_alternatives_do_not_dominate_each_other() {
         let m = two_attr_model(&[("a", 2, 2), ("b", 2, 2)]);
-        let dm = dominance_matrix(&m);
+        let dm = dominance_matrix_ctx(&ctx(&m));
         assert_eq!(dm[0][1], DominanceOutcome::None);
         assert_eq!(dm[1][0], DominanceOutcome::None);
-        assert_eq!(non_dominated(&m).len(), 2);
+        assert_eq!(non_dominated_ctx(&ctx(&m)).len(), 2);
     }
 
     #[test]
@@ -136,7 +185,7 @@ mod tests {
         // "balanced" beats "spiky" on average but not for every weight
         // vector in the box.
         let m = two_attr_model(&[("balanced", 2, 2), ("spiky", 3, 1)]);
-        let dm = dominance_matrix(&m);
+        let dm = dominance_matrix_ctx(&ctx(&m));
         assert_eq!(dm[0][1], DominanceOutcome::None);
         assert_eq!(dm[1][0], DominanceOutcome::None);
     }
@@ -148,16 +197,13 @@ mod tests {
         let mut b = DecisionModelBuilder::new("m");
         let x = b.discrete_attribute("x", "X", &["0", "1", "2", "3"]);
         let y = b.discrete_attribute("y", "Y", &["0", "1", "2", "3"]);
-        b.attach_attributes_to_root(&[
-            (x, Interval::new(0.3, 0.7)),
-            (y, Interval::new(0.3, 0.7)),
-        ]);
+        b.attach_attributes_to_root(&[(x, Interval::new(0.3, 0.7)), (y, Interval::new(0.3, 0.7))]);
         b.alternative("strong", vec![Perf::level(3), Perf::level(2)]);
         b.alternative("unknown", vec![Perf::level(1), Perf::Missing]);
         let m = b.build().unwrap();
-        let dm = dominance_matrix(&m);
+        let dm = dominance_matrix_ctx(&ctx(&m));
         assert_eq!(dm[0][1], DominanceOutcome::None);
-        assert_eq!(non_dominated(&m).len(), 2);
+        assert_eq!(non_dominated_ctx(&ctx(&m)).len(), 2);
     }
 
     #[test]
@@ -167,24 +213,30 @@ mod tests {
         let mut b = DecisionModelBuilder::new("m");
         let x = b.discrete_attribute("x", "X", &["0", "1", "2", "3"]);
         let y = b.discrete_attribute("y", "Y", &["0", "1", "2", "3"]);
-        b.attach_attributes_to_root(&[
-            (x, Interval::new(0.3, 0.7)),
-            (y, Interval::new(0.3, 0.7)),
-        ]);
+        b.attach_attributes_to_root(&[(x, Interval::new(0.3, 0.7)), (y, Interval::new(0.3, 0.7))]);
         b.alternative("strong", vec![Perf::level(3), Perf::level(2)]);
         b.alternative("unknown", vec![Perf::level(1), Perf::Missing]);
         b.missing_policy(maut::perf::MissingPolicy::Worst);
         let m = b.build().unwrap();
-        let dm = dominance_matrix(&m);
+        let dm = dominance_matrix_ctx(&ctx(&m));
         assert_eq!(dm[0][1], DominanceOutcome::Dominates);
-        assert_eq!(non_dominated(&m), vec![0]);
+        assert_eq!(non_dominated_ctx(&ctx(&m)), vec![0]);
     }
 
     #[test]
     fn polytope_matches_weight_table() {
         let m = two_attr_model(&[("a", 1, 1)]);
-        let p = weight_polytope(&m);
+        let p = weight_polytope_ctx(&ctx(&m));
         assert_eq!(p.dim(), 2);
         assert!(p.contains(&[0.5, 0.5], 1e-9));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_agree_with_context_path() {
+        let m = two_attr_model(&[("strong", 3, 3), ("weak", 1, 1), ("odd", 3, 0)]);
+        let c = ctx(&m);
+        assert_eq!(dominance_matrix(&m), dominance_matrix_ctx(&c));
+        assert_eq!(non_dominated(&m), non_dominated_ctx(&c));
     }
 }

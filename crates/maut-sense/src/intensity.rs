@@ -14,8 +14,9 @@
 //! average-utility ranking with the imprecision information that min/avg/max
 //! evaluation discards.
 
-use crate::dominance::weight_polytope;
-use maut::DecisionModel;
+use crate::dominance::{polytope_from, weight_polytope_ctx};
+use maut::{DecisionModel, EvalContext};
+use simplex_lp::WeightPolytope;
 
 /// The dominance interval of one ordered pair.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -49,11 +50,29 @@ pub struct IntensityRank {
     pub rank: usize,
 }
 
-/// All pairwise dominance intervals (`matrix[i][k]`, diagonal zero).
+/// All pairwise dominance intervals (`matrix[i][k]`, diagonal zero),
+/// against a shared evaluation context.
+pub fn dominance_intervals_ctx(ctx: &EvalContext) -> Vec<Vec<DominanceInterval>> {
+    let (u_lo, u_hi) = ctx.bound_matrices();
+    intervals_core(&weight_polytope_ctx(ctx), u_lo, u_hi)
+}
+
+/// All pairwise dominance intervals, re-deriving everything from scratch.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `maut::EvalContext` and use `dominance_intervals_ctx`"
+)]
 pub fn dominance_intervals(model: &DecisionModel) -> Vec<Vec<DominanceInterval>> {
-    let polytope = weight_polytope(model);
     let (u_lo, u_hi) = model.bound_utility_matrices();
-    let n = model.num_alternatives();
+    intervals_core(&polytope_from(&model.attribute_weights()), &u_lo, &u_hi)
+}
+
+fn intervals_core(
+    polytope: &WeightPolytope,
+    u_lo: &[Vec<f64>],
+    u_hi: &[Vec<f64>],
+) -> Vec<Vec<DominanceInterval>> {
+    let n = u_lo.len();
     (0..n)
         .map(|i| {
             (0..n)
@@ -63,8 +82,7 @@ pub fn dominance_intervals(model: &DecisionModel) -> Vec<Vec<DominanceInterval>>
                     }
                     let worst: Vec<f64> =
                         u_lo[i].iter().zip(&u_hi[k]).map(|(a, b)| a - b).collect();
-                    let best: Vec<f64> =
-                        u_hi[i].iter().zip(&u_lo[k]).map(|(a, b)| a - b).collect();
+                    let best: Vec<f64> = u_hi[i].iter().zip(&u_lo[k]).map(|(a, b)| a - b).collect();
                     DominanceInterval {
                         min: polytope.minimize(&worst).0,
                         max: polytope.maximize(&best).0,
@@ -75,24 +93,43 @@ pub fn dominance_intervals(model: &DecisionModel) -> Vec<Vec<DominanceInterval>>
         .collect()
 }
 
-/// Rank all alternatives by dominance intensity.
+/// Rank all alternatives by dominance intensity, against a shared
+/// evaluation context.
+pub fn intensity_ranking_ctx(ctx: &EvalContext) -> Vec<IntensityRank> {
+    ranking_core(&dominance_intervals_ctx(ctx), &ctx.model().alternatives)
+}
+
+/// Rank by dominance intensity, re-deriving everything from scratch.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `maut::EvalContext` and use `intensity_ranking_ctx`"
+)]
+#[allow(deprecated)]
 pub fn intensity_ranking(model: &DecisionModel) -> Vec<IntensityRank> {
-    let intervals = dominance_intervals(model);
-    let n = model.num_alternatives();
+    ranking_core(&dominance_intervals(model), &model.alternatives)
+}
+
+fn ranking_core(intervals: &[Vec<DominanceInterval>], names: &[String]) -> Vec<IntensityRank> {
+    let n = names.len();
     let mut rows: Vec<IntensityRank> = (0..n)
         .map(|i| {
-            let intensity: f64 =
-                (0..n).filter(|&k| k != i).map(|k| intervals[i][k].expected()).sum();
+            let intensity: f64 = (0..n)
+                .filter(|&k| k != i)
+                .map(|k| intervals[i][k].expected())
+                .sum();
             IntensityRank {
                 alternative: i,
-                name: model.alternatives[i].clone(),
+                name: names[i].clone(),
                 intensity,
                 rank: 0,
             }
         })
         .collect();
     rows.sort_by(|a, b| {
-        b.intensity.partial_cmp(&a.intensity).expect("finite").then(a.name.cmp(&b.name))
+        b.intensity
+            .partial_cmp(&a.intensity)
+            .expect("finite")
+            .then(a.name.cmp(&b.name))
     });
     for (pos, r) in rows.iter_mut().enumerate() {
         r.rank = pos + 1;
@@ -105,14 +142,15 @@ mod tests {
     use super::*;
     use maut::prelude::*;
 
+    fn ctx(m: &DecisionModel) -> EvalContext {
+        EvalContext::new(m.clone()).expect("valid model")
+    }
+
     fn model(rows: &[(&str, usize, usize)]) -> DecisionModel {
         let mut b = DecisionModelBuilder::new("m");
         let x = b.discrete_attribute("x", "X", &["0", "1", "2", "3"]);
         let y = b.discrete_attribute("y", "Y", &["0", "1", "2", "3"]);
-        b.attach_attributes_to_root(&[
-            (x, Interval::new(0.3, 0.7)),
-            (y, Interval::new(0.3, 0.7)),
-        ]);
+        b.attach_attributes_to_root(&[(x, Interval::new(0.3, 0.7)), (y, Interval::new(0.3, 0.7))]);
         for (name, px, py) in rows {
             b.alternative(*name, vec![Perf::level(*px), Perf::level(*py)]);
         }
@@ -122,7 +160,7 @@ mod tests {
     #[test]
     fn intervals_are_antisymmetric() {
         let m = model(&[("a", 3, 1), ("b", 1, 3)]);
-        let d = dominance_intervals(&m);
+        let d = dominance_intervals_ctx(&ctx(&m));
         assert!((d[0][1].min + d[1][0].max).abs() < 1e-9);
         assert!((d[0][1].max + d[1][0].min).abs() < 1e-9);
         assert_eq!(d[0][0], DominanceInterval { min: 0.0, max: 0.0 });
@@ -131,7 +169,7 @@ mod tests {
     #[test]
     fn pareto_better_has_positive_interval() {
         let m = model(&[("strong", 3, 3), ("weak", 1, 1)]);
-        let d = dominance_intervals(&m);
+        let d = dominance_intervals_ctx(&ctx(&m));
         assert!(d[0][1].dominates(), "{:?}", d[0][1]);
         assert!(d[0][1].expected() > 0.0);
         assert!(!d[1][0].dominates());
@@ -140,7 +178,7 @@ mod tests {
     #[test]
     fn intensity_ranking_matches_clear_order() {
         let m = model(&[("top", 3, 3), ("mid", 2, 2), ("low", 0, 0)]);
-        let r = intensity_ranking(&m);
+        let r = intensity_ranking_ctx(&ctx(&m));
         let names: Vec<&str> = r.iter().map(|x| x.name.as_str()).collect();
         assert_eq!(names, ["top", "mid", "low"]);
         assert!(r[0].intensity > r[1].intensity);
@@ -152,14 +190,17 @@ mod tests {
     fn intensities_sum_to_zero() {
         // Σ_i Σ_k expected(i,k) = 0 by antisymmetry of the midpoints.
         let m = model(&[("a", 3, 0), ("b", 0, 3), ("c", 2, 2), ("d", 1, 1)]);
-        let total: f64 = intensity_ranking(&m).iter().map(|r| r.intensity).sum();
+        let total: f64 = intensity_ranking_ctx(&ctx(&m))
+            .iter()
+            .map(|r| r.intensity)
+            .sum();
         assert!(total.abs() < 1e-9, "total {total}");
     }
 
     #[test]
     fn intensity_refines_the_paper_case_study() {
         let m = neon_reuse::paper_model().model;
-        let r = intensity_ranking(&m);
+        let r = intensity_ranking_ctx(&ctx(&m));
         // A complete ranking of all 23, topped by the same two candidates.
         assert_eq!(r.len(), 23);
         assert_eq!(r[0].name, "Media Ontology");

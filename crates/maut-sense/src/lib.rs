@@ -16,8 +16,11 @@
 //!   GMAA generation classes (random / rank-order / elicited intervals),
 //!   producing the rank statistics and multiple boxplot of Figs 9–10.
 //!
-//! All analyses operate on a [`maut::DecisionModel`] and are deterministic
-//! given a caller-provided seed.
+//! All analyses consume a shared [`maut::EvalContext`] (the `*_ctx` entry
+//! points) so the component-utility matrices, weight bounds and polytope
+//! are derived once per model instead of once per analysis; the eager
+//! model-based functions survive as deprecated shims for one release.
+//! Everything is deterministic given a caller-provided seed.
 
 pub mod dominance;
 pub mod intensity;
@@ -25,8 +28,21 @@ pub mod montecarlo;
 pub mod potential;
 pub mod stability;
 
-pub use dominance::{dominance_matrix, non_dominated, DominanceOutcome};
-pub use intensity::{dominance_intervals, intensity_ranking, DominanceInterval, IntensityRank};
+pub use dominance::{dominance_matrix_ctx, non_dominated_ctx, DominanceOutcome};
+pub use intensity::{
+    dominance_intervals_ctx, intensity_ranking_ctx, DominanceInterval, IntensityRank,
+};
 pub use montecarlo::{MonteCarlo, MonteCarloConfig, MonteCarloResult};
-pub use potential::{potentially_optimal, PotentialOutcome};
-pub use stability::{stability_interval, StabilityMode, StabilityReport};
+pub use potential::{potentially_optimal_ctx, PotentialOutcome};
+pub use stability::{stability_interval_ctx, StabilityMode, StabilityReport};
+
+// Deprecated eager entry points, re-exported for one release so the old
+// import paths keep compiling (each call warns with a migration hint).
+#[allow(deprecated)]
+pub use dominance::{dominance_matrix, non_dominated};
+#[allow(deprecated)]
+pub use intensity::{dominance_intervals, intensity_ranking};
+#[allow(deprecated)]
+pub use potential::potentially_optimal;
+#[allow(deprecated)]
+pub use stability::stability_interval;

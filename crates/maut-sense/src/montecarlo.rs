@@ -13,7 +13,8 @@
 //! rank statistics (mode, min, max, mean, std, quartiles — Fig 10) and the
 //! multiple boxplot (Fig 9) summarize the runs.
 
-use maut::DecisionModel;
+use maut::weights::AttributeWeights;
+use maut::{DecisionModel, EvalContext};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use statlab::{Boxplot, MultipleBoxplot, RankAccumulator, RankStats, SimplexSampler, WeightScheme};
@@ -76,7 +77,10 @@ impl MonteCarloResult {
     pub fn fluctuation_of_top(&self, k: usize) -> u32 {
         let mut order: Vec<usize> = (0..self.stats.len()).collect();
         order.sort_by(|&a, &b| {
-            self.stats[a].mean.partial_cmp(&self.stats[b].mean).expect("finite")
+            self.stats[a]
+                .mean
+                .partial_cmp(&self.stats[b].mean)
+                .expect("finite")
         });
         order
             .into_iter()
@@ -109,14 +113,15 @@ impl MonteCarloResult {
 /// ```
 /// use maut::prelude::*;
 /// use maut_sense::{MonteCarlo, MonteCarloConfig};
+///
 /// let mut b = DecisionModelBuilder::new("demo");
 /// let x = b.discrete_attribute("x", "X", &["bad", "good"]);
 /// let y = b.discrete_attribute("y", "Y", &["bad", "good"]);
 /// b.attach_attributes_to_root(&[(x, Interval::new(0.3, 0.7)), (y, Interval::new(0.3, 0.7))]);
 /// b.alternative("winner", vec![Perf::level(1), Perf::level(1)]);
 /// b.alternative("loser", vec![Perf::level(0), Perf::level(0)]);
-/// let model = b.build().unwrap();
-/// let result = MonteCarlo::new(MonteCarloConfig::Random, 500, 42).run(&model);
+/// let ctx = EvalContext::new(b.build().unwrap()).unwrap();
+/// let result = MonteCarlo::new(MonteCarloConfig::Random, 500, 42).run_ctx(&ctx);
 /// assert_eq!(result.stats[0].times_best, 500);
 /// ```
 #[derive(Debug, Clone)]
@@ -129,7 +134,11 @@ pub struct MonteCarlo {
 impl MonteCarlo {
     pub fn new(config: MonteCarloConfig, trials: usize, seed: u64) -> MonteCarlo {
         assert!(trials > 0, "need at least one trial");
-        MonteCarlo { config, trials, seed }
+        MonteCarlo {
+            config,
+            trials,
+            seed,
+        }
     }
 
     /// The paper's headline run: 10 000 trials within elicited intervals.
@@ -137,33 +146,67 @@ impl MonteCarlo {
         MonteCarlo::new(MonteCarloConfig::ElicitedIntervals, 10_000, 20120402)
     }
 
-    fn sampler(&self, model: &DecisionModel) -> SimplexSampler {
-        let n = model.num_attributes();
+    fn sampler(&self, n: usize, weights: &AttributeWeights) -> SimplexSampler {
         match &self.config {
             MonteCarloConfig::Random => SimplexSampler::new(n, WeightScheme::Uniform),
-            MonteCarloConfig::RankOrder(order) => {
-                SimplexSampler::new(n, WeightScheme::RankOrder { order: order.clone() })
-            }
-            MonteCarloConfig::PartialRankOrder(groups) => {
-                SimplexSampler::new(n, WeightScheme::PartialRankOrder { groups: groups.clone() })
-            }
-            MonteCarloConfig::ElicitedIntervals => {
-                let w = model.attribute_weights();
-                SimplexSampler::new(
-                    n,
-                    WeightScheme::Intervals { lower: w.lows(), upper: w.upps() },
-                )
-            }
+            MonteCarloConfig::RankOrder(order) => SimplexSampler::new(
+                n,
+                WeightScheme::RankOrder {
+                    order: order.clone(),
+                },
+            ),
+            MonteCarloConfig::PartialRankOrder(groups) => SimplexSampler::new(
+                n,
+                WeightScheme::PartialRankOrder {
+                    groups: groups.clone(),
+                },
+            ),
+            MonteCarloConfig::ElicitedIntervals => SimplexSampler::new(
+                n,
+                WeightScheme::Intervals {
+                    lower: weights.lows(),
+                    upper: weights.upps(),
+                },
+            ),
         }
     }
 
-    /// Run the simulation.
+    /// Run the simulation against a shared evaluation context: the scoring
+    /// matrix and elicited weight bounds come straight from the cache.
+    pub fn run_ctx(&self, ctx: &EvalContext) -> MonteCarloResult {
+        self.run_core(
+            ctx.model().num_attributes(),
+            ctx.weights(),
+            ctx.avg_matrix(),
+            &ctx.model().alternatives,
+        )
+    }
+
+    /// Run the simulation, re-deriving the scoring matrix and weight
+    /// bounds from scratch.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build a `maut::EvalContext` and use `run_ctx`"
+    )]
     pub fn run(&self, model: &DecisionModel) -> MonteCarloResult {
-        let sampler = self.sampler(model);
+        self.run_core(
+            model.num_attributes(),
+            &model.attribute_weights(),
+            &model.avg_utility_matrix(),
+            &model.alternatives,
+        )
+    }
+
+    fn run_core(
+        &self,
+        n_attrs: usize,
+        weights: &AttributeWeights,
+        matrix: &[Vec<f64>],
+        names: &[String],
+    ) -> MonteCarloResult {
+        let sampler = self.sampler(n_attrs, weights);
         let mut rng = StdRng::seed_from_u64(self.seed);
-        let mut acc = RankAccumulator::new(model.alternatives.clone());
-        // Hoist the utility matrix out of the trial loop.
-        let matrix = model.avg_utility_matrix();
+        let mut acc = RankAccumulator::new(names.to_vec());
         for _ in 0..self.trials {
             let w = sampler.sample(&mut rng);
             let scores: Vec<f64> = matrix
@@ -172,7 +215,11 @@ impl MonteCarlo {
                 .collect();
             acc.record_scores(&scores);
         }
-        MonteCarloResult { trials: self.trials, stats: acc.stats(), accumulator: acc }
+        MonteCarloResult {
+            trials: self.trials,
+            stats: acc.stats(),
+            accumulator: acc,
+        }
     }
 }
 
@@ -181,14 +228,15 @@ mod tests {
     use super::*;
     use maut::prelude::*;
 
+    fn ctx(m: &DecisionModel) -> EvalContext {
+        EvalContext::new(m.clone()).expect("valid model")
+    }
+
     fn model() -> DecisionModel {
         let mut b = DecisionModelBuilder::new("m");
         let x = b.discrete_attribute("x", "X", &["0", "1", "2", "3"]);
         let y = b.discrete_attribute("y", "Y", &["0", "1", "2", "3"]);
-        b.attach_attributes_to_root(&[
-            (x, Interval::new(0.3, 0.6)),
-            (y, Interval::new(0.4, 0.7)),
-        ]);
+        b.attach_attributes_to_root(&[(x, Interval::new(0.3, 0.6)), (y, Interval::new(0.4, 0.7))]);
         b.alternative("top", vec![Perf::level(3), Perf::level(3)]);
         b.alternative("spiky-x", vec![Perf::level(3), Perf::level(0)]);
         b.alternative("spiky-y", vec![Perf::level(0), Perf::level(3)]);
@@ -199,7 +247,7 @@ mod tests {
     #[test]
     fn dominant_alternative_always_first() {
         let mc = MonteCarlo::new(MonteCarloConfig::Random, 500, 7);
-        let r = mc.run(&model());
+        let r = mc.run_ctx(&ctx(&model()));
         assert_eq!(r.always_rank_one(), vec![0]);
         assert_eq!(r.stats[0].times_best, 500);
         assert_eq!(r.stats[3].mode, 4);
@@ -208,7 +256,7 @@ mod tests {
     #[test]
     fn acceptability_indices_sum_to_one() {
         let mc = MonteCarlo::new(MonteCarloConfig::Random, 200, 3);
-        let r = mc.run(&model());
+        let r = mc.run_ctx(&ctx(&model()));
         for alt in 0..4 {
             let total: f64 = (1..=4).map(|rank| r.acceptability(alt, rank)).sum();
             assert!((total - 1.0).abs() < 1e-9);
@@ -218,7 +266,7 @@ mod tests {
     #[test]
     fn spiky_alternatives_swap_under_random_weights() {
         let mc = MonteCarlo::new(MonteCarloConfig::Random, 2000, 11);
-        let r = mc.run(&model());
+        let r = mc.run_ctx(&ctx(&model()));
         // Both spiky alternatives take rank 2 sometimes and rank 3 others.
         assert!(r.acceptability(1, 2) > 0.1);
         assert!(r.acceptability(1, 3) > 0.1);
@@ -230,7 +278,7 @@ mod tests {
     fn rank_order_scheme_biases_results() {
         // Force x most important: spiky-x should sit at rank 2 nearly always.
         let mc = MonteCarlo::new(MonteCarloConfig::RankOrder(vec![0, 1]), 1000, 13);
-        let r = mc.run(&model());
+        let r = mc.run_ctx(&ctx(&model()));
         assert!(r.acceptability(1, 2) > 0.95, "{}", r.acceptability(1, 2));
     }
 
@@ -238,7 +286,7 @@ mod tests {
     fn interval_scheme_respects_elicited_bounds() {
         let m = model();
         let mc = MonteCarlo::new(MonteCarloConfig::ElicitedIntervals, 500, 17);
-        let r = mc.run(&m);
+        let r = mc.run_ctx(&ctx(&m));
         // y's weight never drops below 0.4, so spiky-y beats spiky-x in the
         // worst case only when w_y < 0.5 — possible but the mean rank of
         // spiky-y must be no worse than spiky-x's.
@@ -247,17 +295,17 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let m = model();
+        let c = ctx(&model());
         let mc = MonteCarlo::new(MonteCarloConfig::Random, 100, 99);
-        let a = mc.run(&m);
-        let b = mc.run(&m);
+        let a = mc.run_ctx(&c);
+        let b = mc.run_ctx(&c);
         assert_eq!(a.mean_ranks(), b.mean_ranks());
     }
 
     #[test]
     fn boxplots_cover_all_alternatives() {
         let mc = MonteCarlo::new(MonteCarloConfig::Random, 100, 5);
-        let r = mc.run(&model());
+        let r = mc.run_ctx(&ctx(&model()));
         let plots = r.boxplots();
         assert_eq!(plots.plots.len(), 4);
         assert!(!plots.render(60).is_empty());
@@ -266,7 +314,7 @@ mod tests {
     #[test]
     fn fluctuation_of_top_is_bounded_by_n() {
         let mc = MonteCarlo::new(MonteCarloConfig::Random, 300, 23);
-        let r = mc.run(&model());
+        let r = mc.run_ctx(&ctx(&model()));
         assert!(r.fluctuation_of_top(2) <= 3);
         // top alternative never moves
         let mut order: Vec<usize> = (0..4).collect();
@@ -276,9 +324,8 @@ mod tests {
 
     #[test]
     fn partial_rank_order_runs() {
-        let mc =
-            MonteCarlo::new(MonteCarloConfig::PartialRankOrder(vec![vec![0, 1]]), 50, 31);
-        let r = mc.run(&model());
+        let mc = MonteCarlo::new(MonteCarloConfig::PartialRankOrder(vec![vec![0, 1]]), 50, 31);
+        let r = mc.run_ctx(&ctx(&model()));
         assert_eq!(r.trials, 50);
     }
 
@@ -286,5 +333,13 @@ mod tests {
     #[should_panic(expected = "at least one trial")]
     fn zero_trials_rejected() {
         MonteCarlo::new(MonteCarloConfig::Random, 0, 1);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_agrees_with_context_path() {
+        let m = model();
+        let mc = MonteCarlo::new(MonteCarloConfig::ElicitedIntervals, 200, 9);
+        assert_eq!(mc.run(&m).mean_ranks(), mc.run_ctx(&ctx(&m)).mean_ranks());
     }
 }

@@ -15,9 +15,9 @@
 //! `i` is potentially optimal iff the optimum `t* ≥ 0`. The paper finds 20
 //! of its 23 candidates potentially optimal, discarding three.
 
-use crate::dominance::weight_polytope;
-use maut::DecisionModel;
-use simplex_lp::{Bound, LinearProgram, Objective, Relation, Status};
+use crate::dominance::{polytope_from, weight_polytope_ctx};
+use maut::{DecisionModel, EvalContext};
+use simplex_lp::{Bound, LinearProgram, Objective, Relation, Status, WeightPolytope};
 
 /// Verdict for one alternative.
 #[derive(Debug, Clone, PartialEq)]
@@ -30,12 +30,42 @@ pub struct PotentialOutcome {
     pub slack: f64,
 }
 
-/// Evaluate potential optimality for every alternative.
+/// Evaluate potential optimality for every alternative, against a shared
+/// evaluation context.
+pub fn potentially_optimal_ctx(ctx: &EvalContext) -> Vec<PotentialOutcome> {
+    let (u_lo, u_hi) = ctx.bound_matrices();
+    potential_core(
+        &weight_polytope_ctx(ctx),
+        u_lo,
+        u_hi,
+        &ctx.model().alternatives,
+    )
+}
+
+/// Evaluate potential optimality, re-deriving the utility matrices and
+/// weight polytope from scratch.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `maut::EvalContext` and use `potentially_optimal_ctx`"
+)]
 pub fn potentially_optimal(model: &DecisionModel) -> Vec<PotentialOutcome> {
-    let polytope = weight_polytope(model);
     let (u_lo, u_hi) = model.bound_utility_matrices();
-    let n = model.num_alternatives();
-    let n_attr = model.num_attributes();
+    potential_core(
+        &polytope_from(&model.attribute_weights()),
+        &u_lo,
+        &u_hi,
+        &model.alternatives,
+    )
+}
+
+fn potential_core(
+    polytope: &WeightPolytope,
+    u_lo: &[Vec<f64>],
+    u_hi: &[Vec<f64>],
+    names: &[String],
+) -> Vec<PotentialOutcome> {
+    let n = u_lo.len();
+    let n_attr = polytope.dim();
 
     (0..n)
         .map(|i| {
@@ -71,7 +101,7 @@ pub fn potentially_optimal(model: &DecisionModel) -> Vec<PotentialOutcome> {
             };
             PotentialOutcome {
                 alternative: i,
-                name: model.alternatives[i].clone(),
+                name: names[i].clone(),
                 potentially_optimal: potentially,
                 slack,
             }
@@ -81,6 +111,20 @@ pub fn potentially_optimal(model: &DecisionModel) -> Vec<PotentialOutcome> {
 
 /// Indices of alternatives that are *not* potentially optimal — the ones
 /// this analysis can discard (3 of 23 in the paper).
+pub fn discarded_ctx(ctx: &EvalContext) -> Vec<usize> {
+    potentially_optimal_ctx(ctx)
+        .into_iter()
+        .filter(|o| !o.potentially_optimal)
+        .map(|o| o.alternative)
+        .collect()
+}
+
+/// Indices of discarded alternatives, re-deriving everything from scratch.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `maut::EvalContext` and use `discarded_ctx`"
+)]
+#[allow(deprecated)]
 pub fn discarded(model: &DecisionModel) -> Vec<usize> {
     potentially_optimal(model)
         .into_iter()
@@ -93,6 +137,10 @@ pub fn discarded(model: &DecisionModel) -> Vec<usize> {
 mod tests {
     use super::*;
     use maut::prelude::*;
+
+    fn ctx(m: &DecisionModel) -> EvalContext {
+        EvalContext::new(m.clone()).expect("valid model")
+    }
 
     fn model(rows: &[(&str, usize, usize)], wx: Interval, wy: Interval) -> DecisionModel {
         let mut b = DecisionModelBuilder::new("m");
@@ -112,10 +160,10 @@ mod tests {
             Interval::new(0.3, 0.7),
             Interval::new(0.3, 0.7),
         );
-        let out = potentially_optimal(&m);
+        let out = potentially_optimal_ctx(&ctx(&m));
         assert!(out[0].potentially_optimal);
         assert!(!out[1].potentially_optimal);
-        assert_eq!(discarded(&m), vec![1]);
+        assert_eq!(discarded_ctx(&ctx(&m)), vec![1]);
         assert!(out[1].slack < 0.0);
     }
 
@@ -126,9 +174,9 @@ mod tests {
             Interval::new(0.2, 0.8),
             Interval::new(0.2, 0.8),
         );
-        let out = potentially_optimal(&m);
+        let out = potentially_optimal_ctx(&ctx(&m));
         assert!(out.iter().all(|o| o.potentially_optimal));
-        assert!(discarded(&m).is_empty());
+        assert!(discarded_ctx(&ctx(&m)).is_empty());
     }
 
     #[test]
@@ -140,7 +188,7 @@ mod tests {
             Interval::new(0.7, 0.9),
             Interval::new(0.1, 0.3),
         );
-        let out = potentially_optimal(&m);
+        let out = potentially_optimal_ctx(&ctx(&m));
         assert!(out[0].potentially_optimal);
         assert!(!out[1].potentially_optimal, "{out:?}");
     }
@@ -154,7 +202,7 @@ mod tests {
             Interval::new(0.2, 0.8),
             Interval::new(0.2, 0.8),
         );
-        let out = potentially_optimal(&m);
+        let out = potentially_optimal_ctx(&ctx(&m));
         assert!(out[0].potentially_optimal);
         assert!(out[1].potentially_optimal);
         assert!(!out[2].potentially_optimal);
@@ -167,14 +215,11 @@ mod tests {
         let mut b = DecisionModelBuilder::new("m");
         let x = b.discrete_attribute("x", "X", &["0", "1", "2", "3"]);
         let y = b.discrete_attribute("y", "Y", &["0", "1", "2", "3"]);
-        b.attach_attributes_to_root(&[
-            (x, Interval::new(0.3, 0.7)),
-            (y, Interval::new(0.3, 0.7)),
-        ]);
+        b.attach_attributes_to_root(&[(x, Interval::new(0.3, 0.7)), (y, Interval::new(0.3, 0.7))]);
         b.alternative("solid", vec![Perf::level(2), Perf::level(2)]);
         b.alternative("mystery", vec![Perf::level(2), Perf::Missing]);
         let m = b.build().unwrap();
-        let out = potentially_optimal(&m);
+        let out = potentially_optimal_ctx(&ctx(&m));
         assert!(out[1].potentially_optimal, "{out:?}");
     }
 
@@ -185,21 +230,22 @@ mod tests {
             Interval::new(0.4, 0.6),
             Interval::new(0.4, 0.6),
         );
-        let out = potentially_optimal(&m);
+        let out = potentially_optimal_ctx(&ctx(&m));
         assert!(out.iter().all(|o| o.potentially_optimal));
         assert!(out.iter().all(|o| o.slack.abs() < 1e-7));
     }
 
     #[test]
     fn potentially_optimal_implies_non_dominated() {
-        use crate::dominance::non_dominated;
+        use crate::dominance::non_dominated_ctx;
         let m = model(
             &[("a", 3, 0), ("b", 0, 3), ("c", 1, 1), ("d", 2, 2)],
             Interval::new(0.2, 0.8),
             Interval::new(0.2, 0.8),
         );
-        let nd: std::collections::BTreeSet<usize> = non_dominated(&m).into_iter().collect();
-        for o in potentially_optimal(&m) {
+        let c = ctx(&m);
+        let nd: std::collections::BTreeSet<usize> = non_dominated_ctx(&c).into_iter().collect();
+        for o in potentially_optimal_ctx(&c) {
             // Strict potential optimality implies non-dominance; a slack of
             // ~0 (can only tie for best) is compatible with weak dominance.
             if o.potentially_optimal && o.slack > 1e-6 {
@@ -210,5 +256,17 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_agrees_with_context_path() {
+        let m = model(
+            &[("a", 3, 0), ("b", 0, 3), ("c", 1, 1)],
+            Interval::new(0.2, 0.8),
+            Interval::new(0.2, 0.8),
+        );
+        assert_eq!(potentially_optimal(&m), potentially_optimal_ctx(&ctx(&m)));
+        assert_eq!(discarded(&m), discarded_ctx(&ctx(&m)));
     }
 }

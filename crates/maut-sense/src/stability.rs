@@ -12,7 +12,7 @@
 //! boundaries by bisection; the additive model makes rank changes monotone
 //! enough in practice that this is robust at the default resolution.
 
-use maut::{DecisionModel, ObjectiveId};
+use maut::{DecisionModel, EvalContext, ObjectiveId, ORDERING_EPS};
 
 /// What must stay unchanged inside the stability interval.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,12 +94,20 @@ fn scores_with_weight(
         flat[attr.index()] = p;
     }
 
-    avg_matrix.iter().map(|row| row.iter().zip(&flat).map(|(u, w)| u * w).sum()).collect()
+    avg_matrix
+        .iter()
+        .map(|row| row.iter().zip(&flat).map(|(u, w)| u * w).sum())
+        .collect()
 }
 
 fn ranking_of(scores: &[f64]) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..scores.len()).collect();
-    idx.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("finite").then(a.cmp(&b)));
+    idx.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .expect("finite")
+            .then(a.cmp(&b))
+    });
     idx
 }
 
@@ -107,15 +115,14 @@ fn ranking_of(scores: &[f64]) -> Vec<usize> {
 /// extreme (two alternatives identical on the active criteria) does not
 /// count as a rank change.
 fn criterion_holds(reference: &[usize], scores: &[f64], mode: StabilityMode) -> bool {
-    const TOL: f64 = 1e-9;
     match mode {
         StabilityMode::BestAlternative => {
             let best = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-            scores[reference[0]] >= best - TOL
+            scores[reference[0]] >= best - ORDERING_EPS
         }
         StabilityMode::FullRanking => reference
             .windows(2)
-            .all(|w| scores[w[0]] >= scores[w[1]] - TOL),
+            .all(|w| scores[w[0]] >= scores[w[1]] - ORDERING_EPS),
     }
 }
 
@@ -123,24 +130,62 @@ fn criterion_holds(reference: &[usize], scores: &[f64], mode: StabilityMode) -> 
 ///
 /// `resolution` is the number of scan steps (≥ 10; 200 is plenty for the
 /// 23-alternative case study), boundaries are bisected to `1e-4`.
+/// Compute the stability interval of `target` against a shared evaluation
+/// context (must not be the root).
+pub fn stability_interval_ctx(
+    ctx: &EvalContext,
+    target: ObjectiveId,
+    mode: StabilityMode,
+    resolution: usize,
+) -> StabilityReport {
+    stability_core(
+        ctx.model(),
+        ctx.avg_matrix(),
+        ctx.node_averages(),
+        target,
+        mode,
+        resolution,
+    )
+}
+
+/// Compute the stability interval, re-deriving the utility matrix and
+/// normalized weights from scratch.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `maut::EvalContext` and use `stability_interval_ctx`"
+)]
 pub fn stability_interval(
     model: &DecisionModel,
     target: ObjectiveId,
     mode: StabilityMode,
     resolution: usize,
 ) -> StabilityReport {
-    assert!(target != model.tree.root(), "stability of the root is undefined");
-    let resolution = resolution.max(10);
     let avg_matrix = model.avg_utility_matrix();
-    let base_avgs = maut::weights::normalized_averages(
-        &model.tree,
-        &model.resolved_local_weights(),
+    let base_avgs =
+        maut::weights::normalized_averages(&model.tree, &model.resolved_local_weights());
+    stability_core(model, &avg_matrix, &base_avgs, target, mode, resolution)
+}
+
+fn stability_core(
+    model: &DecisionModel,
+    avg_matrix: &[Vec<f64>],
+    base_avgs: &[f64],
+    target: ObjectiveId,
+    mode: StabilityMode,
+    resolution: usize,
+) -> StabilityReport {
+    assert!(
+        target != model.tree.root(),
+        "stability of the root is undefined"
     );
+    let resolution = resolution.max(10);
     let current = base_avgs[target.index()];
-    let reference = ranking_of(&scores_with_weight(model, &avg_matrix, &base_avgs, target, current));
+    let reference = ranking_of(&scores_with_weight(
+        model, avg_matrix, base_avgs, target, current,
+    ));
 
     let holds = |w: f64| -> bool {
-        let s = scores_with_weight(model, &avg_matrix, &base_avgs, target, w);
+        let s = scores_with_weight(model, avg_matrix, base_avgs, target, w);
         criterion_holds(&reference, &s, mode)
     };
 
@@ -179,10 +224,38 @@ pub fn stability_interval(
         }
     }
 
-    StabilityReport { objective: target, mode, current, lo, hi }
+    StabilityReport {
+        objective: target,
+        mode,
+        current,
+        lo,
+        hi,
+    }
 }
 
-/// Stability intervals for every non-root objective.
+/// Stability intervals for every non-root objective, against a shared
+/// evaluation context.
+pub fn all_stability_intervals_ctx(
+    ctx: &EvalContext,
+    mode: StabilityMode,
+    resolution: usize,
+) -> Vec<StabilityReport> {
+    let model = ctx.model();
+    model
+        .tree
+        .iter()
+        .filter(|(id, _)| *id != model.tree.root())
+        .map(|(id, _)| stability_interval_ctx(ctx, id, mode, resolution))
+        .collect()
+}
+
+/// Stability intervals for every non-root objective, re-deriving shared
+/// state once per objective.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `maut::EvalContext` and use `all_stability_intervals_ctx`"
+)]
+#[allow(deprecated)]
 pub fn all_stability_intervals(
     model: &DecisionModel,
     mode: StabilityMode,
@@ -201,16 +274,17 @@ mod tests {
     use super::*;
     use maut::prelude::*;
 
+    fn ctx(m: &DecisionModel) -> EvalContext {
+        EvalContext::new(m.clone()).expect("valid model")
+    }
+
     /// Two attributes; alt "x-wins" is best on x, "y-wins" on y. With equal
     /// weights x-wins is slightly ahead; pushing weight toward y flips it.
     fn model() -> DecisionModel {
         let mut b = DecisionModelBuilder::new("m");
         let x = b.discrete_attribute("x", "X", &["l", "m", "h"]);
         let y = b.discrete_attribute("y", "Y", &["l", "m", "h"]);
-        b.attach_attributes_to_root(&[
-            (x, Interval::new(0.4, 0.6)),
-            (y, Interval::new(0.4, 0.6)),
-        ]);
+        b.attach_attributes_to_root(&[(x, Interval::new(0.4, 0.6)), (y, Interval::new(0.4, 0.6))]);
         b.alternative("x-wins", vec![Perf::level(2), Perf::level(1)]);
         b.alternative("y-wins", vec![Perf::level(1), Perf::level(2)]);
         b.build().unwrap()
@@ -220,10 +294,13 @@ mod tests {
     fn flip_point_is_found() {
         let m = model();
         let x = m.tree.find("x").unwrap();
-        let r = stability_interval(&m, x, StabilityMode::BestAlternative, 200);
+        let r = stability_interval_ctx(&ctx(&m), x, StabilityMode::BestAlternative, 200);
         // x-wins and y-wins tie at w_x = 0.5; below that y-wins leads.
         assert!((r.current - 0.5).abs() < 1e-9);
-        assert!(r.hi >= 1.0 - 1e-6, "raising x's weight keeps x-wins best: {r:?}");
+        assert!(
+            r.hi >= 1.0 - 1e-6,
+            "raising x's weight keeps x-wins best: {r:?}"
+        );
         assert!(r.lo > 0.4 && r.lo <= 0.51, "flip near 0.5: {r:?}");
         assert!(!r.is_fully_stable(1e-6));
     }
@@ -238,7 +315,7 @@ mod tests {
         b.alternative("worst", vec![Perf::level(0), Perf::level(0)]);
         let m = b.build().unwrap();
         let x = m.tree.find("x").unwrap();
-        let r = stability_interval(&m, x, StabilityMode::FullRanking, 100);
+        let r = stability_interval_ctx(&ctx(&m), x, StabilityMode::FullRanking, 100);
         assert!(r.is_fully_stable(1e-6), "{r:?}");
         assert_eq!(r.width(), r.hi - r.lo);
     }
@@ -247,8 +324,9 @@ mod tests {
     fn full_ranking_mode_is_no_wider_than_best_mode() {
         let m = model();
         let x = m.tree.find("x").unwrap();
-        let best = stability_interval(&m, x, StabilityMode::BestAlternative, 100);
-        let full = stability_interval(&m, x, StabilityMode::FullRanking, 100);
+        let c = ctx(&m);
+        let best = stability_interval_ctx(&c, x, StabilityMode::BestAlternative, 100);
+        let full = stability_interval_ctx(&c, x, StabilityMode::FullRanking, 100);
         assert!(full.lo >= best.lo - 1e-9);
         assert!(full.hi <= best.hi + 1e-9);
     }
@@ -256,7 +334,7 @@ mod tests {
     #[test]
     fn all_intervals_cover_every_objective() {
         let m = model();
-        let rs = all_stability_intervals(&m, StabilityMode::BestAlternative, 50);
+        let rs = all_stability_intervals_ctx(&ctx(&m), StabilityMode::BestAlternative, 50);
         assert_eq!(rs.len(), m.tree.len() - 1);
     }
 
@@ -264,7 +342,7 @@ mod tests {
     #[should_panic(expected = "root is undefined")]
     fn root_is_rejected() {
         let m = model();
-        stability_interval(&m, m.tree.root(), StabilityMode::BestAlternative, 50);
+        stability_interval_ctx(&ctx(&m), m.tree.root(), StabilityMode::BestAlternative, 50);
     }
 
     #[test]
@@ -279,13 +357,29 @@ mod tests {
         b.attach_attribute(g, y, Interval::point(0.5));
         let z = b.discrete_attribute("z", "Z", &["l", "h"]);
         b.attach_attributes_to_root(&[(z, Interval::point(0.4))]);
-        b.alternative("g-strong", vec![Perf::level(1), Perf::level(1), Perf::level(0)]);
-        b.alternative("z-strong", vec![Perf::level(0), Perf::level(0), Perf::level(1)]);
+        b.alternative(
+            "g-strong",
+            vec![Perf::level(1), Perf::level(1), Perf::level(0)],
+        );
+        b.alternative(
+            "z-strong",
+            vec![Perf::level(0), Perf::level(0), Perf::level(1)],
+        );
         let m = b.build().unwrap();
         let g_id = m.tree.find("g").unwrap();
-        let r = stability_interval(&m, g_id, StabilityMode::BestAlternative, 200);
+        let r = stability_interval_ctx(&ctx(&m), g_id, StabilityMode::BestAlternative, 200);
         // g-strong is best at 0.6; it stays best down to 0.5 and up to 1.
         assert!(r.hi >= 1.0 - 1e-6);
         assert!((r.lo - 0.5).abs() < 0.02, "{r:?}");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_agrees_with_context_path() {
+        let m = model();
+        let x = m.tree.find("x").unwrap();
+        let old = stability_interval(&m, x, StabilityMode::BestAlternative, 100);
+        let new = stability_interval_ctx(&ctx(&m), x, StabilityMode::BestAlternative, 100);
+        assert_eq!(old, new);
     }
 }

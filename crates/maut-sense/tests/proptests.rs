@@ -5,6 +5,10 @@ use maut::utility::{DiscreteUtility, UtilityFunction};
 use maut_sense::{MonteCarlo, MonteCarloConfig, StabilityMode};
 use proptest::prelude::*;
 
+fn ctx(m: &DecisionModel) -> EvalContext {
+    EvalContext::new(m.clone()).expect("valid model")
+}
+
 fn model_strategy() -> impl Strategy<Value = DecisionModel> {
     (2usize..5, 2usize..7, 0u64..500).prop_map(|(n_attrs, n_alts, seed)| {
         let mut b = DecisionModelBuilder::new("prop");
@@ -12,7 +16,10 @@ fn model_strategy() -> impl Strategy<Value = DecisionModel> {
         let mut pairs = Vec::new();
         for j in 0..n_attrs {
             let a = b.discrete_attribute(format!("a{j}"), format!("A{j}"), &["0", "1", "2", "3"]);
-            b.set_utility(a, UtilityFunction::Discrete(DiscreteUtility::banded(4, 0.1)));
+            b.set_utility(
+                a,
+                UtilityFunction::Discrete(DiscreteUtility::banded(4, 0.1)),
+            );
             pairs.push((a, Interval::new(base * 0.6, (base * 1.4).min(1.0))));
         }
         b.attach_attributes_to_root(&pairs);
@@ -24,8 +31,9 @@ fn model_strategy() -> impl Strategy<Value = DecisionModel> {
             state
         };
         for i in 0..n_alts {
-            let perfs: Vec<Perf> =
-                (0..n_attrs).map(|_| Perf::level((next() % 4) as usize)).collect();
+            let perfs: Vec<Perf> = (0..n_attrs)
+                .map(|_| Perf::level((next() % 4) as usize))
+                .collect();
             b.alternative(format!("alt{i}"), perfs);
         }
         b.build().expect("valid")
@@ -39,8 +47,9 @@ proptest! {
     #[test]
     fn stability_nesting(model in model_strategy()) {
         let target = model.tree.get(model.tree.root()).children[0];
-        let best = maut_sense::stability_interval(&model, target, StabilityMode::BestAlternative, 40);
-        let full = maut_sense::stability_interval(&model, target, StabilityMode::FullRanking, 40);
+        let c = ctx(&model);
+        let best = maut_sense::stability_interval_ctx(&c, target, StabilityMode::BestAlternative, 40);
+        let full = maut_sense::stability_interval_ctx(&c, target, StabilityMode::FullRanking, 40);
         prop_assert!(best.lo >= -1e-9 && best.hi <= 1.0 + 1e-9);
         prop_assert!(best.lo <= best.current + 1e-9 && best.current <= best.hi + 1e-9);
         prop_assert!(full.lo >= best.lo - 1e-6);
@@ -51,7 +60,8 @@ proptest! {
     /// never empty and contains the avg-utility winner.
     #[test]
     fn dominance_structure(model in model_strategy()) {
-        let m = maut_sense::dominance_matrix(&model);
+        let mut c = ctx(&model);
+        let m = maut_sense::dominance_matrix_ctx(&c);
         let _n = model.num_alternatives();
         for (i, row) in m.iter().enumerate() {
             prop_assert_eq!(row[i], maut_sense::DominanceOutcome::None);
@@ -62,20 +72,21 @@ proptest! {
                 }
             }
         }
-        let nd = maut_sense::non_dominated(&model);
+        let nd = maut_sense::non_dominated_ctx(&c);
         prop_assert!(!nd.is_empty());
-        prop_assert!(nd.contains(&model.evaluate().best()));
+        prop_assert!(nd.contains(&c.evaluate().best()));
     }
 
     /// Potential optimality: the set is non-empty, the avg winner is in it,
     /// and every potentially optimal alternative is non-dominated.
     #[test]
     fn potential_optimality_structure(model in model_strategy()) {
-        let po = maut_sense::potentially_optimal(&model);
+        let mut c = ctx(&model);
+        let po = maut_sense::potentially_optimal_ctx(&c);
         let nd: std::collections::BTreeSet<usize> =
-            maut_sense::non_dominated(&model).into_iter().collect();
+            maut_sense::non_dominated_ctx(&c).into_iter().collect();
         prop_assert!(po.iter().any(|o| o.potentially_optimal));
-        let best = model.evaluate().best();
+        let best = c.evaluate().best();
         prop_assert!(po[best].potentially_optimal, "avg winner must be potentially optimal");
         // An alternative that can be best with strictly positive slack is
         // never dominated. (Slack ~0 means it can only *tie* for best, which
@@ -94,7 +105,7 @@ proptest! {
     /// Monte Carlo rank statistics are internally consistent.
     #[test]
     fn montecarlo_consistency(model in model_strategy(), seed in 0u64..100) {
-        let result = MonteCarlo::new(MonteCarloConfig::Random, 200, seed).run(&model);
+        let result = MonteCarlo::new(MonteCarloConfig::Random, 200, seed).run_ctx(&ctx(&model));
         let n = model.num_alternatives() as f64;
         let mut mean_sum = 0.0;
         for s in &result.stats {
@@ -122,7 +133,7 @@ proptest! {
         b.alternative("hi", vec![Perf::level(3), Perf::level(2)]);
         b.alternative("lo", vec![Perf::level(1), Perf::level(0)]);
         let model = b.build().expect("valid");
-        let mc = MonteCarlo::new(MonteCarloConfig::ElicitedIntervals, 50, seed).run(&model);
+        let mc = MonteCarlo::new(MonteCarloConfig::ElicitedIntervals, 50, seed).run_ctx(&ctx(&model));
         prop_assert_eq!(mc.stats[0].min, 1);
         prop_assert_eq!(mc.stats[0].max, 1);
         prop_assert_eq!(mc.stats[1].min, 2);

@@ -228,7 +228,11 @@ mod tests {
         b.attach_attributes_to_root(&[(x, Interval::point(1.0))]);
         b.alternative("short", vec![]);
         match b.build() {
-            Err(ModelError::PerformanceArity { alternative, expected, got }) => {
+            Err(ModelError::PerformanceArity {
+                alternative,
+                expected,
+                got,
+            }) => {
                 assert_eq!(alternative, "short");
                 assert_eq!(expected, 1);
                 assert_eq!(got, 0);
@@ -286,11 +290,11 @@ mod tests {
         let x = b.discrete_attribute("x", "X", &["a", "b"]);
         let y = b.discrete_attribute("y", "Y", &["a", "b"]);
         // both lows 0.8: cannot sum to 1
-        b.attach_attributes_to_root(&[
-            (x, Interval::new(0.8, 0.9)),
-            (y, Interval::new(0.8, 0.9)),
-        ]);
+        b.attach_attributes_to_root(&[(x, Interval::new(0.8, 0.9)), (y, Interval::new(0.8, 0.9))]);
         b.alternative("one", vec![Perf::level(0), Perf::level(0)]);
-        assert!(matches!(b.build(), Err(ModelError::InfeasibleWeights { .. })));
+        assert!(matches!(
+            b.build(),
+            Err(ModelError::InfeasibleWeights { .. })
+        ));
     }
 }

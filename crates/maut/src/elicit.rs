@@ -114,7 +114,10 @@ pub fn utility_from_probability_answers(
             Direction::Decreasing => u1.lo() > u0.hi() + 1e-9,
         };
         if violated {
-            return Err(ElicitError::NonMonotone { x_lower: x0, x_higher: x1 });
+            return Err(ElicitError::NonMonotone {
+                x_lower: x0,
+                x_higher: x1,
+            });
         }
     }
 
@@ -144,7 +147,10 @@ pub fn discrete_utility_from_answers(
     }
     let missing = per_level.iter().filter(|u| u.is_none()).count();
     if missing > 0 {
-        return Err(ElicitError::Incomplete { expected: n - 2, got: n - 2 - missing });
+        return Err(ElicitError::Incomplete {
+            expected: n - 2,
+            got: n - 2 - missing,
+        });
     }
     let bands: Vec<Interval> = per_level.into_iter().map(|u| u.expect("filled")).collect();
     // Monotone non-reversing bands across levels.
@@ -168,12 +174,16 @@ pub struct RatioAnswer {
 
 impl RatioAnswer {
     pub fn new(lo: f64, hi: f64) -> RatioAnswer {
-        RatioAnswer { ratio: Interval::new(lo, hi) }
+        RatioAnswer {
+            ratio: Interval::new(lo, hi),
+        }
     }
 
     /// The reference sibling itself (ratio exactly 1).
     pub fn reference() -> RatioAnswer {
-        RatioAnswer { ratio: Interval::point(1.0) }
+        RatioAnswer {
+            ratio: Interval::point(1.0),
+        }
     }
 }
 
@@ -188,7 +198,10 @@ impl RatioAnswer {
 /// — the tightest bounds consistent with every admissible ratio profile.
 pub fn weights_from_tradeoffs(answers: &[RatioAnswer]) -> Result<Vec<Interval>, ElicitError> {
     if answers.is_empty() {
-        return Err(ElicitError::Incomplete { expected: 1, got: 0 });
+        return Err(ElicitError::Incomplete {
+            expected: 1,
+            got: 0,
+        });
     }
     for a in answers {
         if a.ratio.lo() <= 0.0 || a.ratio.hi() > 1.0 + 1e-12 {
@@ -224,8 +237,14 @@ mod tests {
     fn probability_answers_build_utility() {
         let scale = ContinuousScale::new(0.0, 100.0, Direction::Increasing);
         let answers = [
-            ProbabilityAnswer { x: 50.0, p: Interval::new(0.55, 0.65) },
-            ProbabilityAnswer { x: 25.0, p: Interval::new(0.3, 0.4) },
+            ProbabilityAnswer {
+                x: 50.0,
+                p: Interval::new(0.55, 0.65),
+            },
+            ProbabilityAnswer {
+                x: 25.0,
+                p: Interval::new(0.3, 0.4),
+            },
         ];
         let u = utility_from_probability_answers(&scale, &answers).expect("valid");
         assert_eq!(u.xs, vec![0.0, 25.0, 50.0, 100.0]);
@@ -246,12 +265,18 @@ mod tests {
     #[test]
     fn rejects_out_of_range_answers() {
         let scale = ContinuousScale::new(0.0, 1.0, Direction::Increasing);
-        let bad_p = [ProbabilityAnswer { x: 0.5, p: Interval::new(0.5, 1.2) }];
+        let bad_p = [ProbabilityAnswer {
+            x: 0.5,
+            p: Interval::new(0.5, 1.2),
+        }];
         assert!(matches!(
             utility_from_probability_answers(&scale, &bad_p),
             Err(ElicitError::ProbabilityOutOfRange(_))
         ));
-        let bad_x = [ProbabilityAnswer { x: 7.0, p: Interval::new(0.2, 0.3) }];
+        let bad_x = [ProbabilityAnswer {
+            x: 7.0,
+            p: Interval::new(0.2, 0.3),
+        }];
         assert!(matches!(
             utility_from_probability_answers(&scale, &bad_x),
             Err(ElicitError::PerformanceOutOfRange(_))
@@ -262,8 +287,14 @@ mod tests {
     fn rejects_non_monotone_answers() {
         let scale = ContinuousScale::new(0.0, 1.0, Direction::Increasing);
         let answers = [
-            ProbabilityAnswer { x: 0.3, p: Interval::new(0.8, 0.9) },
-            ProbabilityAnswer { x: 0.6, p: Interval::new(0.1, 0.2) },
+            ProbabilityAnswer {
+                x: 0.3,
+                p: Interval::new(0.8, 0.9),
+            },
+            ProbabilityAnswer {
+                x: 0.6,
+                p: Interval::new(0.1, 0.2),
+            },
         ];
         assert!(matches!(
             utility_from_probability_answers(&scale, &answers),
@@ -276,8 +307,14 @@ mod tests {
         // Imprecision means bands may overlap without strict reversal.
         let scale = ContinuousScale::new(0.0, 1.0, Direction::Increasing);
         let answers = [
-            ProbabilityAnswer { x: 0.4, p: Interval::new(0.3, 0.6) },
-            ProbabilityAnswer { x: 0.6, p: Interval::new(0.4, 0.5) },
+            ProbabilityAnswer {
+                x: 0.4,
+                p: Interval::new(0.3, 0.6),
+            },
+            ProbabilityAnswer {
+                x: 0.6,
+                p: Interval::new(0.4, 0.5),
+            },
         ];
         assert!(utility_from_probability_answers(&scale, &answers).is_ok());
     }
@@ -367,7 +404,14 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(ElicitError::ProbabilityOutOfRange(1.5).to_string().contains("1.5"));
-        assert!(ElicitError::Incomplete { expected: 2, got: 1 }.to_string().contains("expected 2"));
+        assert!(ElicitError::ProbabilityOutOfRange(1.5)
+            .to_string()
+            .contains("1.5"));
+        assert!(ElicitError::Incomplete {
+            expected: 2,
+            got: 1
+        }
+        .to_string()
+        .contains("expected 2"));
     }
 }

@@ -1,0 +1,553 @@
+//! The shared evaluation context behind every analysis.
+//!
+//! GMAA is an *interactive* system: the analyst evaluates the model, then
+//! repeatedly re-ranks subtrees (Fig 7), perturbs weights (Fig 8), runs
+//! dominance / potential-optimality checks and Monte Carlo simulations
+//! (Figs 9–10) — all against the *same* model. Each of those analyses needs
+//! the same derived data:
+//!
+//! * the **component-utility band matrix** — one interval per
+//!   alternative × attribute cell (and its lower / midpoint / upper
+//!   projections, consumed by dominance, ranking and Monte Carlo
+//!   respectively);
+//! * the **multiplied-down weight bounds** per attribute (the Fig 5
+//!   triples), per evaluation scope;
+//! * the **objective-subtree index** — which attributes sit under which
+//!   objective.
+//!
+//! [`EvalContext`] computes all of that once, caches evaluations per scope,
+//! and supports *incremental* mutation: [`EvalContext::set_perf`] touches a
+//! single matrix cell and marks only that alternative's cached bounds
+//! dirty, [`EvalContext::set_weight`] recomputes the weight side while
+//! keeping the (much larger) band matrix intact. The legacy
+//! [`DecisionModel::evaluate`] path rebuilds everything from scratch on
+//! every call and survives only as a deprecated shim.
+//!
+//! ```
+//! use maut::prelude::*;
+//!
+//! let mut b = DecisionModelBuilder::new("Buy a laptop");
+//! let price = b.continuous_attribute("price", "Price", 500.0, 2000.0, Direction::Decreasing);
+//! let battery = b.discrete_attribute("battery", "Battery life", &["poor", "ok", "great"]);
+//! b.attach_attributes_to_root(&[
+//!     (price, Interval::new(0.4, 0.6)),
+//!     (battery, Interval::new(0.4, 0.6)),
+//! ]);
+//! b.alternative("A", vec![Perf::value(900.0), Perf::level(2)]);
+//! b.alternative("B", vec![Perf::value(1500.0), Perf::level(1)]);
+//!
+//! let mut ctx = EvalContext::new(b.build().unwrap()).unwrap();
+//! assert_eq!(ctx.evaluate().ranking()[0].name, "A");
+//!
+//! // What if B's battery turns out to be great? One cell changes; only
+//! // B's cached bounds are recomputed.
+//! let battery = ctx.model().find_attribute("battery").unwrap();
+//! ctx.set_perf(1, battery, Perf::level(2)).unwrap();
+//! let eval = ctx.evaluate();
+//! assert!(eval.bounds[1].avg > eval.bounds[0].avg - 1.0);
+//! ```
+
+use crate::error::ModelError;
+use crate::evaluate::{Evaluation, UtilityBounds};
+use crate::hierarchy::ObjectiveId;
+use crate::interval::Interval;
+use crate::model::{AttributeId, DecisionModel};
+use crate::perf::Perf;
+use crate::weights::{self, AttributeWeights};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// Counters describing how much work the context has saved; exposed so
+/// tests and benches can assert the incremental paths actually run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Evaluations computed from scratch (first touch of a scope, or after
+    /// a weight change).
+    pub cold_evaluations: usize,
+    /// Evaluations answered from cache after refreshing only dirty rows.
+    pub incremental_refreshes: usize,
+    /// Evaluations answered straight from cache with nothing dirty.
+    pub cache_hits: usize,
+    /// Individual alternative rows re-scored by incremental refreshes.
+    pub rows_recomputed: usize,
+}
+
+/// Precomputed, incrementally-maintained evaluation state for one
+/// [`DecisionModel`]. See the module docs for the design rationale.
+#[derive(Debug, Clone)]
+pub struct EvalContext {
+    model: DecisionModel,
+    /// Component-utility band matrix, stored as its three projections
+    /// (the shapes the analyses actually consume): lower bounds
+    /// (dominance / potential optimality), midpoints (ranking / Monte
+    /// Carlo), upper bounds. [`EvalContext::band`] reassembles the
+    /// interval of a single cell on demand.
+    band_lo: Vec<Vec<f64>>,
+    band_mid: Vec<Vec<f64>>,
+    band_hi: Vec<Vec<f64>>,
+    /// Resolved local weight interval per objective node.
+    local: Vec<Interval>,
+    /// Normalized average local weight per objective node.
+    node_avgs: Vec<f64>,
+    /// Flattened weight triples per scope (root precomputed, subtrees
+    /// filled on first use).
+    scope_weights: BTreeMap<usize, AttributeWeights>,
+    /// Objective-subtree index: attributes under each objective node.
+    subtree_attrs: Vec<Vec<AttributeId>>,
+    /// Cached evaluation plus the set of alternatives whose bounds are
+    /// stale, per scope. Shared via `Arc` so cache hits on the serving
+    /// path hand out a pointer instead of cloning 23 name strings.
+    eval_cache: BTreeMap<usize, (Arc<Evaluation>, BTreeSet<usize>)>,
+    stats: EngineStats,
+}
+
+impl EvalContext {
+    /// Validate the model and precompute every shared matrix.
+    pub fn new(model: DecisionModel) -> Result<EvalContext, ModelError> {
+        model.validate()?;
+        let n_alts = model.num_alternatives();
+        let n_attrs = model.num_attributes();
+
+        let mut band_lo = vec![vec![0.0; n_attrs]; n_alts];
+        let mut band_mid = vec![vec![0.0; n_attrs]; n_alts];
+        let mut band_hi = vec![vec![0.0; n_attrs]; n_alts];
+        for i in 0..n_alts {
+            for j in 0..n_attrs {
+                let band = model.utility_band(i, AttributeId(j));
+                band_lo[i][j] = band.lo();
+                band_mid[i][j] = band.mid();
+                band_hi[i][j] = band.hi();
+            }
+        }
+
+        let local = model.resolved_local_weights();
+        let node_avgs = weights::normalized_averages(&model.tree, &local);
+        let subtree_attrs = (0..model.tree.len())
+            .map(|k| model.tree.attributes_under(ObjectiveId::from_index(k)))
+            .collect();
+
+        let mut ctx = EvalContext {
+            model,
+            band_lo,
+            band_mid,
+            band_hi,
+            local,
+            node_avgs,
+            scope_weights: BTreeMap::new(),
+            subtree_attrs,
+            eval_cache: BTreeMap::new(),
+            stats: EngineStats::default(),
+        };
+        ctx.cache_scope_weights(ctx.model.tree.root());
+        Ok(ctx)
+    }
+
+    // ------------------------------------------------------------ accessors
+
+    pub fn model(&self) -> &DecisionModel {
+        &self.model
+    }
+
+    /// Give the model back, consuming the context.
+    pub fn into_model(self) -> DecisionModel {
+        self.model
+    }
+
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Component-utility band of one cell, reassembled from the stored
+    /// projections.
+    pub fn band(&self, alternative: usize, attr: AttributeId) -> Interval {
+        let j = attr.index();
+        Interval::new(self.band_lo[alternative][j], self.band_hi[alternative][j])
+    }
+
+    /// Band midpoints (`u_avg`), alternatives × attributes — the Monte
+    /// Carlo scoring matrix.
+    pub fn avg_matrix(&self) -> &[Vec<f64>] {
+        &self.band_mid
+    }
+
+    /// Band lower / upper bound matrices — the dominance and
+    /// potential-optimality inputs.
+    pub fn bound_matrices(&self) -> (&[Vec<f64>], &[Vec<f64>]) {
+        (&self.band_lo, &self.band_hi)
+    }
+
+    /// Flattened weight triples over the whole hierarchy (Fig 5).
+    pub fn weights(&self) -> &AttributeWeights {
+        self.scope_weights
+            .get(&self.model.tree.root().index())
+            .expect("root precomputed")
+    }
+
+    /// Normalized average local weight per objective node.
+    pub fn node_averages(&self) -> &[f64] {
+        &self.node_avgs
+    }
+
+    /// Resolved local weight interval per objective node.
+    pub fn local_weights(&self) -> &[Interval] {
+        &self.local
+    }
+
+    /// Attributes in the subtree of `objective` (the subtree index).
+    pub fn subtree_attributes(&self, objective: ObjectiveId) -> &[AttributeId] {
+        &self.subtree_attrs[objective.index()]
+    }
+
+    /// Flattened weights within a subtree, cached per scope.
+    pub fn weights_under(&mut self, scope: ObjectiveId) -> &AttributeWeights {
+        self.cache_scope_weights(scope);
+        self.scope_weights.get(&scope.index()).expect("just cached")
+    }
+
+    fn cache_scope_weights(&mut self, scope: ObjectiveId) {
+        if !self.scope_weights.contains_key(&scope.index()) {
+            let w = weights::flatten_from(&self.model.tree, &self.local, scope);
+            self.scope_weights.insert(scope.index(), w);
+        }
+    }
+
+    // ----------------------------------------------------------- evaluation
+
+    /// Evaluate over the whole hierarchy (Fig 6), from cache when clean.
+    pub fn evaluate(&mut self) -> Arc<Evaluation> {
+        self.evaluate_under(self.model.tree.root())
+    }
+
+    /// Evaluate within one objective's subtree (Fig 7), from cache when
+    /// clean; after [`EvalContext::set_perf`] only the dirty alternatives
+    /// are re-scored.
+    pub fn evaluate_under(&mut self, scope: ObjectiveId) -> Arc<Evaluation> {
+        self.cache_scope_weights(scope);
+        if let Some((eval, dirty)) = self.eval_cache.get_mut(&scope.index()) {
+            if dirty.is_empty() {
+                self.stats.cache_hits += 1;
+                return Arc::clone(eval);
+            }
+            let rows = std::mem::take(dirty);
+            let weights = self
+                .scope_weights
+                .get(&scope.index())
+                .expect("cached above");
+            let entry = &mut self.eval_cache.get_mut(&scope.index()).expect("present").0;
+            // Clone-on-write: only pays when a caller still holds the
+            // previous snapshot.
+            let eval = Arc::make_mut(entry);
+            for &i in &rows {
+                eval.bounds[i] = row_bounds(
+                    weights,
+                    &self.band_lo[i],
+                    &self.band_mid[i],
+                    &self.band_hi[i],
+                );
+                self.stats.rows_recomputed += 1;
+            }
+            self.stats.incremental_refreshes += 1;
+            return Arc::clone(&self.eval_cache[&scope.index()].0);
+        }
+
+        let weights = &self.scope_weights[&scope.index()];
+        let bounds: Vec<UtilityBounds> = (0..self.model.num_alternatives())
+            .map(|i| {
+                row_bounds(
+                    weights,
+                    &self.band_lo[i],
+                    &self.band_mid[i],
+                    &self.band_hi[i],
+                )
+            })
+            .collect();
+        let eval = Arc::new(Evaluation::from_parts(
+            scope,
+            bounds,
+            self.model.alternatives.clone(),
+        ));
+        self.eval_cache
+            .insert(scope.index(), (Arc::clone(&eval), BTreeSet::new()));
+        self.stats.cold_evaluations += 1;
+        eval
+    }
+
+    /// Score a batch of alternatives under one scope without touching the
+    /// evaluation cache — the bulk path for scoring many candidates at
+    /// once (returns bounds in the order requested).
+    pub fn batch_evaluate(
+        &mut self,
+        scope: ObjectiveId,
+        alternatives: &[usize],
+    ) -> Vec<UtilityBounds> {
+        self.cache_scope_weights(scope);
+        let weights = &self.scope_weights[&scope.index()];
+        alternatives
+            .iter()
+            .map(|&i| {
+                row_bounds(
+                    weights,
+                    &self.band_lo[i],
+                    &self.band_mid[i],
+                    &self.band_hi[i],
+                )
+            })
+            .collect()
+    }
+
+    /// Score every alternative with a fixed flat weight vector over band
+    /// midpoints — the Monte Carlo inner loop, against the cached matrix.
+    pub fn score_with_weights(&self, flat_weights: &[f64]) -> Vec<f64> {
+        assert_eq!(
+            flat_weights.len(),
+            self.model.num_attributes(),
+            "weight vector arity"
+        );
+        self.band_mid
+            .iter()
+            .map(|row| row.iter().zip(flat_weights).map(|(u, w)| u * w).sum())
+            .collect()
+    }
+
+    // ------------------------------------------------------------- mutation
+
+    /// Change one performance cell and dirty-track exactly that
+    /// alternative: the band matrix is patched in place and every cached
+    /// evaluation re-scores only this row on its next read.
+    pub fn set_perf(
+        &mut self,
+        alternative: usize,
+        attr: AttributeId,
+        perf: Perf,
+    ) -> Result<(), ModelError> {
+        // check_perf range-checks both indices before validating the cell.
+        self.model.check_perf(alternative, attr, perf)?;
+        self.model.perf.set(alternative, attr.index(), perf);
+
+        let band = self.model.utility_band(alternative, attr);
+        let j = attr.index();
+        self.band_lo[alternative][j] = band.lo();
+        self.band_mid[alternative][j] = band.mid();
+        self.band_hi[alternative][j] = band.hi();
+
+        // Dirty only the scopes whose subtree actually contains the
+        // changed attribute (the subtree index answers that directly);
+        // other cached evaluations are untouched by this cell.
+        for (&scope, (_, dirty)) in self.eval_cache.iter_mut() {
+            if self.subtree_attrs[scope].contains(&attr) {
+                dirty.insert(alternative);
+            }
+        }
+        Ok(())
+    }
+
+    /// Change one objective's local weight interval. The weight side
+    /// (local resolution, node averages, flattened triples, cached
+    /// evaluations) is recomputed; the band matrix — the expensive part —
+    /// is untouched.
+    pub fn set_weight(
+        &mut self,
+        objective: ObjectiveId,
+        weight: Interval,
+    ) -> Result<(), ModelError> {
+        if objective == self.model.tree.root() {
+            return Err(ModelError::InvalidMutation(
+                "the root objective carries no local weight".to_string(),
+            ));
+        }
+        let previous = self.model.local_weights[objective.index()];
+        self.model.local_weights[objective.index()] = Some(weight);
+        let local = self.model.resolved_local_weights();
+        if let Err(parent) = weights::check_feasible(&self.model.tree, &local) {
+            self.model.local_weights[objective.index()] = previous;
+            return Err(ModelError::InfeasibleWeights { objective: parent });
+        }
+        self.local = local;
+        self.node_avgs = weights::normalized_averages(&self.model.tree, &self.local);
+        self.scope_weights.clear();
+        self.eval_cache.clear();
+        self.cache_scope_weights(self.model.tree.root());
+        Ok(())
+    }
+}
+
+/// Overall utility bounds of one row against one scope's weight triples.
+fn row_bounds(weights: &AttributeWeights, lo: &[f64], mid: &[f64], hi: &[f64]) -> UtilityBounds {
+    let mut min = 0.0;
+    let mut avg = 0.0;
+    let mut max = 0.0;
+    for (attr, triple) in weights.attributes.iter().zip(&weights.triples) {
+        let j = attr.index();
+        min += triple.low * lo[j];
+        avg += triple.avg * mid[j];
+        max += triple.upp * hi[j];
+    }
+    UtilityBounds { min, avg, max }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DecisionModelBuilder;
+    use crate::scale::Direction;
+
+    fn model() -> DecisionModel {
+        let mut b = DecisionModelBuilder::new("m");
+        let g = b.objective_under_root("g", "G", Interval::new(0.5, 0.7));
+        let x = b.discrete_attribute("x", "X", &["l", "m", "h"]);
+        let y = b.discrete_attribute("y", "Y", &["l", "m", "h"]);
+        b.attach_attribute(g, x, Interval::new(0.4, 0.6));
+        b.attach_attribute(g, y, Interval::new(0.4, 0.6));
+        let z = b.continuous_attribute("z", "Z", 0.0, 10.0, Direction::Increasing);
+        b.attach_attributes_to_root(&[(z, Interval::new(0.3, 0.5))]);
+        b.alternative("a", vec![Perf::level(2), Perf::level(1), Perf::value(5.0)]);
+        b.alternative("b", vec![Perf::level(0), Perf::level(2), Perf::value(9.0)]);
+        b.alternative("c", vec![Perf::level(1), Perf::Missing, Perf::value(1.0)]);
+        b.build().unwrap()
+    }
+
+    #[allow(deprecated)]
+    fn eager(m: &DecisionModel) -> Arc<Evaluation> {
+        Arc::new(m.evaluate())
+    }
+
+    #[test]
+    fn context_matches_eager_evaluation() {
+        let m = model();
+        let from_scratch = eager(&m);
+        let mut ctx = EvalContext::new(m).unwrap();
+        let eval = ctx.evaluate();
+        assert_eq!(eval, from_scratch);
+        assert_eq!(ctx.stats().cold_evaluations, 1);
+    }
+
+    #[test]
+    fn second_evaluate_is_a_cache_hit() {
+        let mut ctx = EvalContext::new(model()).unwrap();
+        let a = ctx.evaluate();
+        let b = ctx.evaluate();
+        assert_eq!(a, b);
+        assert_eq!(ctx.stats().cold_evaluations, 1);
+        assert_eq!(ctx.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn subtree_evaluation_matches_eager_and_caches() {
+        let m = model();
+        let g = m.tree.find("g").unwrap();
+        #[allow(deprecated)]
+        let from_scratch = Arc::new(m.evaluate_under(g));
+        let mut ctx = EvalContext::new(m).unwrap();
+        assert_eq!(ctx.evaluate_under(g), from_scratch);
+        ctx.evaluate_under(g);
+        assert_eq!(ctx.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn set_perf_refreshes_only_the_touched_row() {
+        let mut ctx = EvalContext::new(model()).unwrap();
+        let before = ctx.evaluate();
+        let y = ctx.model().find_attribute("y").unwrap();
+        ctx.set_perf(2, y, Perf::level(2)).unwrap();
+        let after = ctx.evaluate();
+        assert_eq!(ctx.stats().incremental_refreshes, 1);
+        assert_eq!(ctx.stats().rows_recomputed, 1);
+        // Rows 0 and 1 are untouched, row 2 improved.
+        assert_eq!(after.bounds[0], before.bounds[0]);
+        assert_eq!(after.bounds[1], before.bounds[1]);
+        assert!(after.bounds[2].avg > before.bounds[2].avg);
+        // And the incremental result matches a from-scratch context.
+        let fresh = EvalContext::new(ctx.model().clone())
+            .unwrap()
+            .evaluate_cold();
+        assert_eq!(after, fresh);
+    }
+
+    #[test]
+    fn set_perf_validates_the_cell() {
+        let mut ctx = EvalContext::new(model()).unwrap();
+        let x = ctx.model().find_attribute("x").unwrap();
+        let z = ctx.model().find_attribute("z").unwrap();
+        assert!(ctx.set_perf(0, x, Perf::level(9)).is_err());
+        assert!(ctx.set_perf(0, z, Perf::value(99.0)).is_err());
+        assert!(ctx.set_perf(0, x, Perf::value(0.5)).is_err());
+        assert!(ctx.set_perf(9, x, Perf::level(1)).is_err());
+        // Failed mutations leave the context unchanged.
+        let fresh = EvalContext::new(ctx.model().clone())
+            .unwrap()
+            .evaluate_cold();
+        assert_eq!(ctx.evaluate(), fresh);
+    }
+
+    #[test]
+    fn set_weight_recomputes_weight_side() {
+        let mut ctx = EvalContext::new(model()).unwrap();
+        let before = ctx.evaluate();
+        let g = ctx.model().tree.find("g").unwrap();
+        ctx.set_weight(g, Interval::new(0.5, 0.9)).unwrap();
+        let after = ctx.evaluate();
+        assert_ne!(before, after);
+        // Matches a context built from the mutated model.
+        let fresh = EvalContext::new(ctx.model().clone())
+            .unwrap()
+            .evaluate_cold();
+        assert_eq!(after, fresh);
+    }
+
+    #[test]
+    fn set_weight_rejects_root_and_infeasible() {
+        let mut ctx = EvalContext::new(model()).unwrap();
+        let root = ctx.model().tree.root();
+        assert!(ctx.set_weight(root, Interval::point(1.0)).is_err());
+        // Sibling lows of g (0.8) and z (0.3) exceed 1: infeasible.
+        let g = ctx.model().tree.find("g").unwrap();
+        assert!(ctx.set_weight(g, Interval::new(0.8, 0.9)).is_err());
+        // The rejected write rolled back.
+        let fresh = EvalContext::new(ctx.model().clone())
+            .unwrap()
+            .evaluate_cold();
+        assert_eq!(ctx.evaluate(), fresh);
+    }
+
+    #[test]
+    fn batch_evaluate_matches_full_evaluation() {
+        let mut ctx = EvalContext::new(model()).unwrap();
+        let full = ctx.evaluate();
+        let root = ctx.model().tree.root();
+        let batch = ctx.batch_evaluate(root, &[2, 0]);
+        assert_eq!(batch[0], full.bounds[2]);
+        assert_eq!(batch[1], full.bounds[0]);
+    }
+
+    #[test]
+    fn score_with_weights_matches_model_path() {
+        let ctx = EvalContext::new(model()).unwrap();
+        let w = ctx.weights().avgs();
+        assert_eq!(
+            ctx.score_with_weights(&w),
+            ctx.model().score_with_weights(&w)
+        );
+    }
+
+    #[test]
+    fn subtree_index_is_precomputed() {
+        let ctx = EvalContext::new(model()).unwrap();
+        let g = ctx.model().tree.find("g").unwrap();
+        assert_eq!(ctx.subtree_attributes(g).len(), 2);
+        assert_eq!(ctx.subtree_attributes(ctx.model().tree.root()).len(), 3);
+    }
+
+    #[test]
+    fn invalid_model_is_rejected() {
+        let mut m = model();
+        m.perf.set(0, 0, Perf::level(9));
+        assert!(EvalContext::new(m).is_err());
+    }
+
+    impl EvalContext {
+        /// Test helper: evaluate without consulting the cache counters.
+        fn evaluate_cold(mut self) -> Arc<Evaluation> {
+            self.evaluate()
+        }
+    }
+}

@@ -8,11 +8,24 @@ pub enum ModelError {
     /// No alternatives were added.
     NoAlternatives,
     /// An alternative's performance vector has the wrong arity.
-    PerformanceArity { alternative: String, expected: usize, got: usize },
+    PerformanceArity {
+        alternative: String,
+        expected: usize,
+        got: usize,
+    },
     /// A discrete performance level is outside its scale.
-    LevelOutOfRange { alternative: String, attribute: String, level: usize, levels: usize },
+    LevelOutOfRange {
+        alternative: String,
+        attribute: String,
+        level: usize,
+        levels: usize,
+    },
     /// A continuous performance value falls outside its scale range.
-    ValueOutOfRange { alternative: String, attribute: String, value: f64 },
+    ValueOutOfRange {
+        alternative: String,
+        attribute: String,
+        value: f64,
+    },
     /// A utility function does not match its attribute's scale.
     UtilityMismatch { attribute: String, reason: String },
     /// Sibling weight intervals cannot intersect the normalization simplex.
@@ -21,6 +34,9 @@ pub enum ModelError {
     DuplicateAttachment { attribute: String },
     /// Identifier not found.
     UnknownId(String),
+    /// An engine mutation addressed a nonexistent row/column or an
+    /// immutable node (e.g. the root's local weight).
+    InvalidMutation(String),
     /// An objective that should be a leaf (has an attribute) also has
     /// children, or vice versa.
     MalformedHierarchy(String),
@@ -31,20 +47,39 @@ impl fmt::Display for ModelError {
         match self {
             ModelError::NoAttributes => write!(f, "model has no attributes"),
             ModelError::NoAlternatives => write!(f, "model has no alternatives"),
-            ModelError::PerformanceArity { alternative, expected, got } => write!(
+            ModelError::PerformanceArity {
+                alternative,
+                expected,
+                got,
+            } => write!(
                 f,
                 "alternative '{alternative}' has {got} performances, expected {expected}"
             ),
-            ModelError::LevelOutOfRange { alternative, attribute, level, levels } => write!(
+            ModelError::LevelOutOfRange {
+                alternative,
+                attribute,
+                level,
+                levels,
+            } => write!(
                 f,
                 "alternative '{alternative}': level {level} out of range for '{attribute}' \
                  ({levels} levels)"
             ),
-            ModelError::ValueOutOfRange { alternative, attribute, value } => {
-                write!(f, "alternative '{alternative}': value {value} outside '{attribute}' scale")
+            ModelError::ValueOutOfRange {
+                alternative,
+                attribute,
+                value,
+            } => {
+                write!(
+                    f,
+                    "alternative '{alternative}': value {value} outside '{attribute}' scale"
+                )
             }
             ModelError::UtilityMismatch { attribute, reason } => {
-                write!(f, "utility for '{attribute}' mismatches its scale: {reason}")
+                write!(
+                    f,
+                    "utility for '{attribute}' mismatches its scale: {reason}"
+                )
             }
             ModelError::InfeasibleWeights { objective } => {
                 write!(f, "weight intervals under '{objective}' cannot sum to 1")
@@ -53,6 +88,7 @@ impl fmt::Display for ModelError {
                 write!(f, "attribute '{attribute}' attached to multiple objectives")
             }
             ModelError::UnknownId(id) => write!(f, "unknown identifier '{id}'"),
+            ModelError::InvalidMutation(msg) => write!(f, "invalid mutation: {msg}"),
             ModelError::MalformedHierarchy(msg) => write!(f, "malformed hierarchy: {msg}"),
         }
     }
@@ -75,10 +111,14 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("COMM") && s.contains("Doc Quality") && s.contains('7'));
 
-        assert!(ModelError::NoAttributes.to_string().contains("no attributes"));
-        assert!(ModelError::UnknownId("x".into()).to_string().contains('x'));
-        assert!(ModelError::InfeasibleWeights { objective: "Reuse Cost".into() }
+        assert!(ModelError::NoAttributes
             .to_string()
-            .contains("Reuse Cost"));
+            .contains("no attributes"));
+        assert!(ModelError::UnknownId("x".into()).to_string().contains('x'));
+        assert!(ModelError::InfeasibleWeights {
+            objective: "Reuse Cost".into()
+        }
+        .to_string()
+        .contains("Reuse Cost"));
     }
 }

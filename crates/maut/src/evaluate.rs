@@ -19,6 +19,13 @@ use crate::hierarchy::ObjectiveId;
 use crate::model::DecisionModel;
 use serde::{Deserialize, Serialize};
 
+/// Shared ordering tolerance for comparing floating-point utilities: two
+/// overall utilities closer than this are treated as tied. Used by
+/// [`UtilityBounds::is_ordered`], [`UtilityBounds::overlaps`] and the
+/// rank-change criteria of the sensitivity analyses, so every layer agrees
+/// on what counts as a tie.
+pub const ORDERING_EPS: f64 = 1e-9;
+
 /// Min / average / max overall utilities of one alternative.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct UtilityBounds {
@@ -29,12 +36,13 @@ pub struct UtilityBounds {
 
 impl UtilityBounds {
     pub fn is_ordered(&self) -> bool {
-        self.min <= self.avg + 1e-9 && self.avg <= self.max + 1e-9
+        self.min <= self.avg + ORDERING_EPS && self.avg <= self.max + ORDERING_EPS
     }
 
-    /// Do two bounds overlap as intervals `[min, max]`?
+    /// Do two bounds overlap as intervals `[min, max]` (within the shared
+    /// [`ORDERING_EPS`] tolerance)?
     pub fn overlaps(&self, other: &UtilityBounds) -> bool {
-        self.min <= other.max && other.min <= self.max
+        self.min <= other.max + ORDERING_EPS && other.min <= self.max + ORDERING_EPS
     }
 }
 
@@ -108,6 +116,20 @@ impl Evaluation {
     pub fn names(&self) -> &[String] {
         &self.names
     }
+
+    /// Assemble an evaluation from precomputed parts (crate-internal: the
+    /// [`crate::engine::EvalContext`] fast paths build these directly).
+    pub(crate) fn from_parts(
+        scope: ObjectiveId,
+        bounds: Vec<UtilityBounds>,
+        names: Vec<String>,
+    ) -> Evaluation {
+        Evaluation {
+            scope,
+            bounds,
+            names,
+        }
+    }
 }
 
 /// Evaluate the model restricted to the subtree of `scope`.
@@ -127,7 +149,11 @@ pub(crate) fn evaluate_scope(model: &DecisionModel, scope: ObjectiveId) -> Evalu
         }
         bounds.push(UtilityBounds { min, avg, max });
     }
-    Evaluation { scope, bounds, names: model.alternatives.clone() }
+    Evaluation {
+        scope,
+        bounds,
+        names: model.alternatives.clone(),
+    }
 }
 
 #[cfg(test)]
@@ -155,7 +181,8 @@ mod tests {
 
     #[test]
     fn ranking_orders_by_average() {
-        let e = model().evaluate();
+        let m = model();
+        let e = evaluate_scope(&m, m.tree.root());
         let r = e.ranking();
         assert_eq!(r[0].name, "good");
         assert_eq!(r[2].name, "bad");
@@ -166,7 +193,8 @@ mod tests {
 
     #[test]
     fn bounds_are_ordered() {
-        let e = model().evaluate();
+        let m = model();
+        let e = evaluate_scope(&m, m.tree.root());
         for b in &e.bounds {
             assert!(b.is_ordered(), "{b:?}");
         }
@@ -179,7 +207,7 @@ mod tests {
         b.attach_attributes_to_root(&[(x, Interval::point(1.0))]);
         b.alternative("one", vec![Perf::level(1)]);
         let m = b.build().unwrap();
-        let e = m.evaluate();
+        let e = evaluate_scope(&m, m.tree.root());
         let bd = e.bounds[0];
         assert!((bd.min - 1.0).abs() < 1e-12);
         assert!((bd.avg - 1.0).abs() < 1e-12);
@@ -195,7 +223,7 @@ mod tests {
         b.alternative("known", vec![Perf::level(1), Perf::level(1)]);
         b.alternative("partial", vec![Perf::level(1), Perf::Missing]);
         let m = b.build().unwrap();
-        let e = m.evaluate();
+        let e = evaluate_scope(&m, m.tree.root());
         let known = e.bounds[0];
         let partial = e.bounds[1];
         assert!(partial.max - partial.min > known.max - known.min);
@@ -220,17 +248,18 @@ mod tests {
         let m = b.build().unwrap();
 
         // Overall: alt2 wins (B dominates the weight).
-        assert_eq!(m.evaluate().ranking()[0].name, "alt2");
+        assert_eq!(evaluate_scope(&m, m.tree.root()).ranking()[0].name, "alt2");
         // Under A: alt1 wins with utility 1.
         let a_id = m.tree.find("a").unwrap();
-        let e = m.evaluate_under(a_id);
+        let e = evaluate_scope(&m, a_id);
         assert_eq!(e.ranking()[0].name, "alt1");
         assert!((e.bounds[0].avg - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn overlap_count_reflects_closeness() {
-        let e = model().evaluate();
+        let m = model();
+        let e = evaluate_scope(&m, m.tree.root());
         // "good" vs others overlap heavily thanks to the wide weight bands
         assert!(e.overlap_with_best() >= 1);
         assert!(e.avg_gap(1) >= 0.0);
@@ -243,7 +272,8 @@ mod tests {
         b.attach_attributes_to_root(&[(x, Interval::point(1.0))]);
         b.alternative("zeta", vec![Perf::level(1)]);
         b.alternative("alpha", vec![Perf::level(1)]);
-        let e = b.build().unwrap().evaluate();
+        let m = b.build().unwrap();
+        let e = evaluate_scope(&m, m.tree.root());
         let r = e.ranking();
         assert_eq!(r[0].name, "alpha");
         assert_eq!(r[1].name, "zeta");

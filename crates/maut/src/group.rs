@@ -37,12 +37,19 @@ pub struct MemberWeights {
 
 impl MemberWeights {
     /// A member answering with precise values.
-    pub fn precise(name: impl Into<String>, tree: &ObjectiveTree, values: &[(usize, f64)]) -> MemberWeights {
+    pub fn precise(
+        name: impl Into<String>,
+        tree: &ObjectiveTree,
+        values: &[(usize, f64)],
+    ) -> MemberWeights {
         let mut local = vec![None; tree.len()];
         for (idx, v) in values {
             local[*idx] = Some(Interval::point(*v));
         }
-        MemberWeights { name: name.into(), local }
+        MemberWeights {
+            name: name.into(),
+            local,
+        }
     }
 }
 
@@ -68,13 +75,17 @@ pub fn aggregate(
 ) -> (Vec<Option<Interval>>, Vec<Disagreement>) {
     assert!(!members.is_empty(), "need at least one member");
     for m in members {
-        assert_eq!(m.local.len(), tree.len(), "member '{}' arity mismatch", m.name);
+        assert_eq!(
+            m.local.len(),
+            tree.len(),
+            "member '{}' arity mismatch",
+            m.name
+        );
     }
     let mut group: Vec<Option<Interval>> = vec![None; tree.len()];
     let mut report = Vec::new();
     for (idx, slot) in group.iter_mut().enumerate() {
-        let stated: Vec<Interval> =
-            members.iter().filter_map(|m| m.local[idx]).collect();
+        let stated: Vec<Interval> = members.iter().filter_map(|m| m.local[idx]).collect();
         if stated.is_empty() {
             continue;
         }
@@ -105,7 +116,11 @@ pub fn aggregate(
             midpoint_spread: spread,
         });
     }
-    report.sort_by(|a, b| b.midpoint_spread.partial_cmp(&a.midpoint_spread).expect("finite"));
+    report.sort_by(|a, b| {
+        b.midpoint_spread
+            .partial_cmp(&a.midpoint_spread)
+            .expect("finite")
+    });
     (group, report)
 }
 
@@ -136,10 +151,7 @@ mod tests {
         let mut b = DecisionModelBuilder::new("g");
         let x = b.discrete_attribute("x", "X", &["l", "h"]);
         let y = b.discrete_attribute("y", "Y", &["l", "h"]);
-        b.attach_attributes_to_root(&[
-            (x, Interval::new(0.4, 0.6)),
-            (y, Interval::new(0.4, 0.6)),
-        ]);
+        b.attach_attributes_to_root(&[(x, Interval::new(0.4, 0.6)), (y, Interval::new(0.4, 0.6))]);
         b.alternative("a", vec![Perf::level(1), Perf::level(0)]);
         b.alternative("b", vec![Perf::level(0), Perf::level(1)]);
         b.build().expect("valid")
@@ -197,7 +209,9 @@ mod tests {
         let dm2 = MemberWeights::precise("dm2", &m.tree, &[(1, 0.3), (2, 0.7)]);
         let (group, _) = aggregate(&m.tree, &[dm1, dm2], Aggregation::Hull);
         let gm = apply_group_weights(&m, &group).expect("feasible");
-        let e = gm.evaluate();
+        let e = crate::engine::EvalContext::new(gm)
+            .expect("valid")
+            .evaluate();
         // Wide group disagreement -> wide utility bands.
         assert!(e.bounds[0].max - e.bounds[0].min > 0.4);
     }

@@ -13,6 +13,12 @@ impl ObjectiveId {
     pub fn index(&self) -> usize {
         self.0
     }
+
+    /// Rebuild an id from a raw index (crate-internal: used by the
+    /// evaluation context's per-node tables).
+    pub(crate) fn from_index(index: usize) -> ObjectiveId {
+        ObjectiveId(index)
+    }
 }
 
 /// One node in the hierarchy.
@@ -92,7 +98,10 @@ impl ObjectiveTree {
 
     /// Find a node by key (depth-first).
     pub fn find(&self, key: &str) -> Option<ObjectiveId> {
-        self.nodes.iter().position(|n| n.key == key).map(ObjectiveId)
+        self.nodes
+            .iter()
+            .position(|n| n.key == key)
+            .map(ObjectiveId)
     }
 
     /// All node ids in depth-first pre-order from `start`.
@@ -113,7 +122,10 @@ impl ObjectiveTree {
     /// depth-first order. For the root this is "all attributes in display
     /// order" (the order of the paper's Figs 2 and 5).
     pub fn attributes_under(&self, start: ObjectiveId) -> Vec<AttributeId> {
-        self.descendants(start).into_iter().filter_map(|id| self.nodes[id.0].attribute).collect()
+        self.descendants(start)
+            .into_iter()
+            .filter_map(|id| self.nodes[id.0].attribute)
+            .collect()
     }
 
     /// Leaf objectives (with attributes) in the subtree.
@@ -156,10 +168,16 @@ impl ObjectiveTree {
         let mut seen = std::collections::BTreeSet::new();
         for (i, n) in self.nodes.iter().enumerate() {
             if n.attribute.is_some() && !n.children.is_empty() {
-                return Err(format!("objective '{}' has both an attribute and children", n.key));
+                return Err(format!(
+                    "objective '{}' has both an attribute and children",
+                    n.key
+                ));
             }
             if i != 0 && n.attribute.is_none() && n.children.is_empty() {
-                return Err(format!("objective '{}' is a leaf without an attribute", n.key));
+                return Err(format!(
+                    "objective '{}' is a leaf without an attribute",
+                    n.key
+                ));
             }
             if let Some(a) = n.attribute {
                 if !seen.insert(a) {
@@ -172,7 +190,10 @@ impl ObjectiveTree {
 
     /// Iterate `(id, node)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (ObjectiveId, &Objective)> {
-        self.nodes.iter().enumerate().map(|(i, n)| (ObjectiveId(i), n))
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (ObjectiveId(i), n))
     }
 }
 
@@ -213,22 +234,35 @@ mod tests {
         assert_eq!(all.len(), 5);
         let und = t.find("underst").unwrap();
         let u_attrs = t.attributes_under(und);
-        assert_eq!(u_attrs, vec![AttributeId(2), AttributeId(3), AttributeId(4)]);
+        assert_eq!(
+            u_attrs,
+            vec![AttributeId(2), AttributeId(3), AttributeId(4)]
+        );
     }
 
     #[test]
     fn depth_first_order_is_stable() {
         let t = paper_like_tree();
-        let keys: Vec<&str> =
-            t.descendants(t.root()).iter().map(|&id| t.get(id).key.as_str()).collect();
-        assert_eq!(keys, vec!["root", "cost", "financ", "time", "underst", "doc", "ext", "clarity"]);
+        let keys: Vec<&str> = t
+            .descendants(t.root())
+            .iter()
+            .map(|&id| t.get(id).key.as_str())
+            .collect();
+        assert_eq!(
+            keys,
+            vec!["root", "cost", "financ", "time", "underst", "doc", "ext", "clarity"]
+        );
     }
 
     #[test]
     fn path_and_siblings() {
         let t = paper_like_tree();
         let doc = t.find("doc").unwrap();
-        let path: Vec<&str> = t.path_to(doc).iter().map(|&id| t.get(id).key.as_str()).collect();
+        let path: Vec<&str> = t
+            .path_to(doc)
+            .iter()
+            .map(|&id| t.get(id).key.as_str())
+            .collect();
         assert_eq!(path, vec!["root", "underst", "doc"]);
         let sibs = t.siblings(doc);
         assert_eq!(sibs.len(), 3);

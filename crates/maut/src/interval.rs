@@ -72,7 +72,10 @@ impl Interval {
 
     /// Smallest interval containing both.
     pub fn hull(&self, other: &Interval) -> Interval {
-        Interval { lo: self.lo.min(other.lo), hi: self.hi.max(other.hi) }
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
     }
 
     /// Clamp both endpoints into `[min, max]`.
@@ -87,7 +90,10 @@ impl Interval {
 
     /// Scale by a non-negative factor.
     pub fn scale(&self, k: f64) -> Interval {
-        assert!(k >= 0.0 && k.is_finite(), "scale factor must be non-negative, got {k}");
+        assert!(
+            k >= 0.0 && k.is_finite(),
+            "scale factor must be non-negative, got {k}"
+        );
         Interval::new(self.lo * k, self.hi * k)
     }
 
@@ -95,7 +101,10 @@ impl Interval {
     /// and utilities both live in `[0, ∞)`), where it is simply
     /// `[a·c, b·d]`.
     pub fn mul_nonneg(&self, other: &Interval) -> Interval {
-        debug_assert!(self.lo >= 0.0 && other.lo >= 0.0, "mul_nonneg needs non-negative operands");
+        debug_assert!(
+            self.lo >= 0.0 && other.lo >= 0.0,
+            "mul_nonneg needs non-negative operands"
+        );
         Interval::new(self.lo * other.lo, self.hi * other.hi)
     }
 

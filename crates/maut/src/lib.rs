@@ -23,12 +23,17 @@
 //!   component utility is the whole interval `[0, 1]` (ref \[18\] of the
 //!   paper; [`perf`]).
 //!
-//! Evaluation ([`evaluate`]) yields *minimum, average and maximum overall
-//! utilities* per alternative — exactly the three columns of the paper's
-//! Fig 6 — and rankings by average utility, for the whole hierarchy or any
-//! objective subtree (Fig 7). Sensitivity analyses (weight stability,
-//! dominance, potential optimality, Monte Carlo) live in the companion
-//! `maut-sense` crate.
+//! Evaluation yields *minimum, average and maximum overall utilities* per
+//! alternative — exactly the three columns of the paper's Fig 6 — and
+//! rankings by average utility, for the whole hierarchy or any objective
+//! subtree (Fig 7). The canonical way to evaluate is through an
+//! [`engine::EvalContext`], which precomputes the component-utility band
+//! matrix, the multiplied-down weight bounds, and the objective-subtree
+//! index once, caches evaluations per scope, and re-scores only the
+//! affected alternatives after an incremental [`engine::EvalContext::set_perf`]
+//! / [`engine::EvalContext::set_weight`] mutation. Sensitivity analyses
+//! (weight stability, dominance, potential optimality, Monte Carlo) live
+//! in the companion `maut-sense` crate and consume the same context.
 //!
 //! ## Quick start
 //!
@@ -45,13 +50,24 @@
 //! ]);
 //! b.alternative("A", vec![Perf::value(900.0), Perf::level(2)]);
 //! b.alternative("B", vec![Perf::value(1500.0), Perf::level(1)]);
-//! let model = b.build().unwrap();
-//! let eval = model.evaluate();
-//! assert_eq!(eval.ranking()[0].alternative, 0); // A wins
+//!
+//! // One context, computed once, shared by every analysis.
+//! let mut ctx = EvalContext::new(b.build().unwrap()).unwrap();
+//! let before = ctx.evaluate();
+//! assert_eq!(before.ranking()[0].alternative, 0); // A wins
+//!
+//! // What-if: B drops to 700 EUR — one cell changes, one row re-scores.
+//! let price = ctx.model().find_attribute("price").unwrap();
+//! ctx.set_perf(1, price, Perf::value(700.0)).unwrap();
+//! let after = ctx.evaluate();
+//! assert!(after.bounds[1].avg > before.bounds[1].avg); // B improved
+//! assert_eq!(after.bounds[0], before.bounds[0]); // A untouched
+//! assert_eq!(ctx.stats().rows_recomputed, 1);
 //! ```
 
 pub mod builder;
 pub mod elicit;
+pub mod engine;
 pub mod error;
 pub mod evaluate;
 pub mod group;
@@ -65,8 +81,9 @@ pub mod weights;
 
 pub use builder::DecisionModelBuilder;
 pub use elicit::{ElicitError, ProbabilityAnswer, RatioAnswer};
+pub use engine::{EngineStats, EvalContext};
 pub use error::ModelError;
-pub use evaluate::{Evaluation, RankedAlternative, UtilityBounds};
+pub use evaluate::{Evaluation, RankedAlternative, UtilityBounds, ORDERING_EPS};
 pub use group::{aggregate, apply_group_weights, Aggregation, Disagreement, MemberWeights};
 pub use hierarchy::{Objective, ObjectiveId, ObjectiveTree};
 pub use interval::Interval;
@@ -79,8 +96,9 @@ pub use weights::{AttributeWeights, WeightTriple};
 /// Convenient glob import for applications.
 pub mod prelude {
     pub use crate::builder::DecisionModelBuilder;
+    pub use crate::engine::{EngineStats, EvalContext};
     pub use crate::error::ModelError;
-    pub use crate::evaluate::{Evaluation, RankedAlternative, UtilityBounds};
+    pub use crate::evaluate::{Evaluation, RankedAlternative, UtilityBounds, ORDERING_EPS};
     pub use crate::hierarchy::{Objective, ObjectiveId, ObjectiveTree};
     pub use crate::interval::Interval;
     pub use crate::model::{AttributeId, DecisionModel};

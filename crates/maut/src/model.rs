@@ -19,6 +19,13 @@ impl AttributeId {
     pub fn index(&self) -> usize {
         self.0
     }
+
+    /// Build an id from a raw column index. The id is only meaningful for
+    /// a model with at least `index + 1` attributes; APIs taking ids
+    /// (e.g. `EvalContext::set_perf`) range-check against their model.
+    pub fn from_index(index: usize) -> AttributeId {
+        AttributeId(index)
+    }
 }
 
 /// A complete, validated multi-attribute decision model.
@@ -61,7 +68,10 @@ impl DecisionModel {
 
     /// Find an attribute id by key.
     pub fn find_attribute(&self, key: &str) -> Option<AttributeId> {
-        self.attributes.iter().position(|a| a.key == key).map(AttributeId)
+        self.attributes
+            .iter()
+            .position(|a| a.key == key)
+            .map(AttributeId)
     }
 
     /// Resolved local weights (defaults filled in).
@@ -117,21 +127,108 @@ impl DecisionModel {
         (lo, hi)
     }
 
-    /// Evaluate the additive model over the whole hierarchy (paper Fig 6).
+    /// Evaluate the additive model over the whole hierarchy (paper Fig 6),
+    /// rebuilding all derived state from scratch.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build a `maut::EvalContext` (or a `gmaa::AnalysisEngine`) once and call \
+                `evaluate()` on it; this eager path re-derives the component-utility \
+                matrix and weight bounds on every call"
+    )]
     pub fn evaluate(&self) -> Evaluation {
         evaluate_scope(self, self.tree.root())
     }
 
-    /// Evaluate within one objective's subtree (paper Fig 7).
+    /// Evaluate within one objective's subtree (paper Fig 7), rebuilding
+    /// all derived state from scratch.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build a `maut::EvalContext` once and call `evaluate_under()` on it"
+    )]
     pub fn evaluate_under(&self, objective: ObjectiveId) -> Evaluation {
         evaluate_scope(self, objective)
+    }
+
+    /// Check one performance entry against its attribute's scale — the
+    /// per-cell slice of [`DecisionModel::validate`], shared with the
+    /// incremental [`crate::engine::EvalContext::set_perf`] path.
+    pub fn check_perf(
+        &self,
+        alternative: usize,
+        attr: AttributeId,
+        p: Perf,
+    ) -> Result<(), ModelError> {
+        if alternative >= self.alternatives.len() {
+            return Err(ModelError::InvalidMutation(format!(
+                "alternative index {alternative} out of range ({} alternatives)",
+                self.alternatives.len()
+            )));
+        }
+        if attr.0 >= self.attributes.len() {
+            return Err(ModelError::InvalidMutation(format!(
+                "attribute index {} out of range ({} attributes)",
+                attr.0,
+                self.attributes.len()
+            )));
+        }
+        let a = &self.attributes[attr.0];
+        let alt = &self.alternatives[alternative];
+        match (&a.scale, p) {
+            (_, Perf::Missing) => Ok(()),
+            (Scale::Discrete(s), Perf::Level(k)) => {
+                if k >= s.len() {
+                    Err(ModelError::LevelOutOfRange {
+                        alternative: alt.clone(),
+                        attribute: a.key.clone(),
+                        level: k,
+                        levels: s.len(),
+                    })
+                } else {
+                    Ok(())
+                }
+            }
+            (Scale::Continuous(c), Perf::Value(v)) => {
+                if !c.contains(v) {
+                    Err(ModelError::ValueOutOfRange {
+                        alternative: alt.clone(),
+                        attribute: a.key.clone(),
+                        value: v,
+                    })
+                } else {
+                    Ok(())
+                }
+            }
+            (Scale::Continuous(c), Perf::Range(lo, hi)) => {
+                if !c.contains(lo) || !c.contains(hi) {
+                    Err(ModelError::ValueOutOfRange {
+                        alternative: alt.clone(),
+                        attribute: a.key.clone(),
+                        value: if c.contains(lo) { hi } else { lo },
+                    })
+                } else {
+                    Ok(())
+                }
+            }
+            (Scale::Discrete(_), _) => Err(ModelError::UtilityMismatch {
+                attribute: a.key.clone(),
+                reason: format!("non-level performance {p:?} on discrete scale"),
+            }),
+            (Scale::Continuous(_), Perf::Level(_)) => Err(ModelError::UtilityMismatch {
+                attribute: a.key.clone(),
+                reason: "level performance on continuous scale".to_string(),
+            }),
+        }
     }
 
     /// Score every alternative with a *fixed* flat weight vector (aligned
     /// with attribute-id order), using average utilities. This is the inner
     /// loop of the Monte Carlo sensitivity analysis.
     pub fn score_with_weights(&self, flat_weights: &[f64]) -> Vec<f64> {
-        assert_eq!(flat_weights.len(), self.num_attributes(), "weight vector arity");
+        assert_eq!(
+            flat_weights.len(),
+            self.num_attributes(),
+            "weight vector arity"
+        );
         self.avg_utility_matrix()
             .iter()
             .map(|row| row.iter().zip(flat_weights).map(|(u, w)| u * w).sum())
@@ -146,7 +243,9 @@ impl DecisionModel {
         if self.alternatives.is_empty() {
             return Err(ModelError::NoAlternatives);
         }
-        self.tree.validate().map_err(ModelError::MalformedHierarchy)?;
+        self.tree
+            .validate()
+            .map_err(ModelError::MalformedHierarchy)?;
 
         // Every attribute bound exactly once.
         let bound = self.tree.attributes_under(self.tree.root());
@@ -160,10 +259,11 @@ impl DecisionModel {
 
         // Utilities match scales.
         for (j, (a, u)) in self.attributes.iter().zip(&self.utilities).enumerate() {
-            u.check_against(&a.scale).map_err(|reason| ModelError::UtilityMismatch {
-                attribute: self.attributes[j].key.clone(),
-                reason,
-            })?;
+            u.check_against(&a.scale)
+                .map_err(|reason| ModelError::UtilityMismatch {
+                    attribute: self.attributes[j].key.clone(),
+                    reason,
+                })?;
         }
 
         // Weights feasible.
@@ -178,52 +278,9 @@ impl DecisionModel {
                 self.attributes.len()
             )));
         }
-        for (i, alt) in self.alternatives.iter().enumerate() {
-            for (j, a) in self.attributes.iter().enumerate() {
-                let p = self.perf.get(i, j);
-                match (&a.scale, p) {
-                    (_, Perf::Missing) => {}
-                    (Scale::Discrete(s), Perf::Level(k)) => {
-                        if k >= s.len() {
-                            return Err(ModelError::LevelOutOfRange {
-                                alternative: alt.clone(),
-                                attribute: a.key.clone(),
-                                level: k,
-                                levels: s.len(),
-                            });
-                        }
-                    }
-                    (Scale::Continuous(c), Perf::Value(v)) => {
-                        if !c.contains(v) {
-                            return Err(ModelError::ValueOutOfRange {
-                                alternative: alt.clone(),
-                                attribute: a.key.clone(),
-                                value: v,
-                            });
-                        }
-                    }
-                    (Scale::Continuous(c), Perf::Range(lo, hi)) => {
-                        if !c.contains(lo) || !c.contains(hi) {
-                            return Err(ModelError::ValueOutOfRange {
-                                alternative: alt.clone(),
-                                attribute: a.key.clone(),
-                                value: if c.contains(lo) { hi } else { lo },
-                            });
-                        }
-                    }
-                    (Scale::Discrete(_), _) => {
-                        return Err(ModelError::UtilityMismatch {
-                            attribute: a.key.clone(),
-                            reason: format!("non-level performance {p:?} on discrete scale"),
-                        })
-                    }
-                    (Scale::Continuous(_), Perf::Level(_)) => {
-                        return Err(ModelError::UtilityMismatch {
-                            attribute: a.key.clone(),
-                            reason: "level performance on continuous scale".to_string(),
-                        })
-                    }
-                }
+        for i in 0..self.alternatives.len() {
+            for j in 0..self.attributes.len() {
+                self.check_perf(i, AttributeId(j), self.perf.get(i, j))?;
             }
         }
         Ok(())
@@ -240,10 +297,7 @@ mod tests {
         let mut b = DecisionModelBuilder::new("test");
         let x = b.discrete_attribute("x", "X", &["low", "high"]);
         let y = b.continuous_attribute("y", "Y", 0.0, 10.0, Direction::Increasing);
-        b.attach_attributes_to_root(&[
-            (x, Interval::new(0.3, 0.5)),
-            (y, Interval::new(0.5, 0.7)),
-        ]);
+        b.attach_attributes_to_root(&[(x, Interval::new(0.3, 0.5)), (y, Interval::new(0.5, 0.7))]);
         b.alternative("A", vec![Perf::level(1), Perf::value(5.0)]);
         b.alternative("B", vec![Perf::level(0), Perf::Missing]);
         b.build().unwrap()
@@ -280,21 +334,30 @@ mod tests {
     fn validate_catches_level_out_of_range() {
         let mut m = tiny_model();
         m.perf.set(0, 0, Perf::level(9));
-        assert!(matches!(m.validate(), Err(ModelError::LevelOutOfRange { .. })));
+        assert!(matches!(
+            m.validate(),
+            Err(ModelError::LevelOutOfRange { .. })
+        ));
     }
 
     #[test]
     fn validate_catches_value_out_of_range() {
         let mut m = tiny_model();
         m.perf.set(0, 1, Perf::value(99.0));
-        assert!(matches!(m.validate(), Err(ModelError::ValueOutOfRange { .. })));
+        assert!(matches!(
+            m.validate(),
+            Err(ModelError::ValueOutOfRange { .. })
+        ));
     }
 
     #[test]
     fn validate_catches_type_confusion() {
         let mut m = tiny_model();
         m.perf.set(0, 0, Perf::value(0.5)); // value on discrete scale
-        assert!(matches!(m.validate(), Err(ModelError::UtilityMismatch { .. })));
+        assert!(matches!(
+            m.validate(),
+            Err(ModelError::UtilityMismatch { .. })
+        ));
     }
 
     #[test]

@@ -71,7 +71,10 @@ pub struct PerformanceTable {
 
 impl PerformanceTable {
     pub fn new(num_attributes: usize) -> PerformanceTable {
-        PerformanceTable { num_attributes, rows: Vec::new() }
+        PerformanceTable {
+            num_attributes,
+            rows: Vec::new(),
+        }
     }
 
     pub fn num_attributes(&self) -> usize {
@@ -85,7 +88,11 @@ impl PerformanceTable {
     /// Append a row; panics on arity mismatch (validated again, with a
     /// proper error, in the model builder).
     pub fn push_row(&mut self, row: Vec<Perf>) {
-        assert_eq!(row.len(), self.num_attributes, "performance row arity mismatch");
+        assert_eq!(
+            row.len(),
+            self.num_attributes,
+            "performance row arity mismatch"
+        );
         self.rows.push(row);
     }
 
@@ -103,7 +110,11 @@ impl PerformanceTable {
 
     /// Number of missing entries in the whole table.
     pub fn num_missing(&self) -> usize {
-        self.rows.iter().flatten().filter(|p| p.is_missing()).count()
+        self.rows
+            .iter()
+            .flatten()
+            .filter(|p| p.is_missing())
+            .count()
     }
 
     /// Attributes that have at least one missing entry — the paper notes
@@ -124,7 +135,11 @@ mod tests {
     fn table_roundtrip() {
         let mut t = PerformanceTable::new(3);
         t.push_row(vec![Perf::level(1), Perf::value(0.5), Perf::Missing]);
-        t.push_row(vec![Perf::level(2), Perf::range(0.2, 0.4), Perf::value(1.0)]);
+        t.push_row(vec![
+            Perf::level(2),
+            Perf::range(0.2, 0.4),
+            Perf::value(1.0),
+        ]);
         assert_eq!(t.num_alternatives(), 2);
         assert_eq!(t.num_attributes(), 3);
         assert_eq!(t.get(0, 0), Perf::Level(1));

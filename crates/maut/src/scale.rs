@@ -28,8 +28,13 @@ pub struct DiscreteScale {
 
 impl DiscreteScale {
     pub fn new(levels: &[&str]) -> DiscreteScale {
-        assert!(levels.len() >= 2, "a discrete scale needs at least two levels");
-        DiscreteScale { levels: levels.iter().map(|s| s.to_string()).collect() }
+        assert!(
+            levels.len() >= 2,
+            "a discrete scale needs at least two levels"
+        );
+        DiscreteScale {
+            levels: levels.iter().map(|s| s.to_string()).collect(),
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -46,7 +51,9 @@ impl DiscreteScale {
 
     /// Index of a level by name (case-insensitive).
     pub fn level_index(&self, name: &str) -> Option<usize> {
-        self.levels.iter().position(|l| l.eq_ignore_ascii_case(name))
+        self.levels
+            .iter()
+            .position(|l| l.eq_ignore_ascii_case(name))
     }
 
     /// The common low/medium/high scale.
@@ -65,8 +72,15 @@ pub struct ContinuousScale {
 
 impl ContinuousScale {
     pub fn new(min: f64, max: f64, direction: Direction) -> ContinuousScale {
-        assert!(min < max && min.is_finite() && max.is_finite(), "invalid range [{min}, {max}]");
-        ContinuousScale { min, max, direction }
+        assert!(
+            min < max && min.is_finite() && max.is_finite(),
+            "invalid range [{min}, {max}]"
+        );
+        ContinuousScale {
+            min,
+            max,
+            direction,
+        }
     }
 
     pub fn contains(&self, v: f64) -> bool {

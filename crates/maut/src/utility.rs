@@ -33,7 +33,9 @@ impl DiscreteUtility {
         assert!(num_levels >= 2);
         let n = (num_levels - 1) as f64;
         DiscreteUtility {
-            per_level: (0..num_levels).map(|k| Interval::point(k as f64 / n)).collect(),
+            per_level: (0..num_levels)
+                .map(|k| Interval::point(k as f64 / n))
+                .collect(),
         }
     }
 
@@ -78,7 +80,10 @@ impl PiecewiseLinearUtility {
     pub fn new(xs: Vec<f64>, us: Vec<Interval>) -> PiecewiseLinearUtility {
         assert_eq!(xs.len(), us.len(), "vertex arity mismatch");
         assert!(xs.len() >= 2, "need at least two vertices");
-        assert!(xs.windows(2).all(|w| w[0] < w[1]), "x-coordinates must be strictly increasing");
+        assert!(
+            xs.windows(2).all(|w| w[0] < w[1]),
+            "x-coordinates must be strictly increasing"
+        );
         PiecewiseLinearUtility { xs, us }
     }
 
@@ -155,7 +160,11 @@ impl UtilityFunction {
         match (self, scale) {
             (UtilityFunction::Discrete(d), Scale::Discrete(s)) => {
                 if d.num_levels() != s.len() {
-                    Err(format!("{} utility levels vs {} scale levels", d.num_levels(), s.len()))
+                    Err(format!(
+                        "{} utility levels vs {} scale levels",
+                        d.num_levels(),
+                        s.len()
+                    ))
                 } else if d.per_level.iter().any(|i| i.lo() < 0.0 || i.hi() > 1.0) {
                     Err("utility bands must lie in [0,1]".to_string())
                 } else {
@@ -249,10 +258,17 @@ mod tests {
         // V-shaped lower bound: interior vertex dips to 0.
         let p = PiecewiseLinearUtility::new(
             vec![0.0, 0.5, 1.0],
-            vec![Interval::point(0.8), Interval::point(0.0), Interval::point(0.9)],
+            vec![
+                Interval::point(0.8),
+                Interval::point(0.0),
+                Interval::point(0.9),
+            ],
         );
         let band = p.eval_range(0.1, 0.9);
-        assert!(band.lo() <= 1e-12, "interior dip must widen the band: {band:?}");
+        assert!(
+            band.lo() <= 1e-12,
+            "interior dip must widen the band: {band:?}"
+        );
         // endpoint evals: u(0.1) = 0.64, u(0.9) = 0.72
         assert!((band.hi() - 0.72).abs() < 1e-12);
     }
@@ -268,9 +284,18 @@ mod tests {
     #[test]
     fn band_handles_missing_policies() {
         let f = UtilityFunction::Discrete(DiscreteUtility::linear(3));
-        assert_eq!(f.band(&Perf::Missing, MissingPolicy::UnitInterval), Interval::UNIT);
-        assert_eq!(f.band(&Perf::Missing, MissingPolicy::Worst), Interval::point(0.0));
-        assert_eq!(f.band(&Perf::Level(2), MissingPolicy::UnitInterval), Interval::point(1.0));
+        assert_eq!(
+            f.band(&Perf::Missing, MissingPolicy::UnitInterval),
+            Interval::UNIT
+        );
+        assert_eq!(
+            f.band(&Perf::Missing, MissingPolicy::Worst),
+            Interval::point(0.0)
+        );
+        assert_eq!(
+            f.band(&Perf::Level(2), MissingPolicy::UnitInterval),
+            Interval::point(1.0)
+        );
     }
 
     #[test]
@@ -304,7 +329,10 @@ mod tests {
     #[test]
     fn default_for_scales() {
         let s = Scale::Discrete(DiscreteScale::low_medium_high());
-        assert!(matches!(UtilityFunction::default_for(&s), UtilityFunction::Discrete(_)));
+        assert!(matches!(
+            UtilityFunction::default_for(&s),
+            UtilityFunction::Discrete(_)
+        ));
         let c = Scale::Continuous(ContinuousScale::new(0.0, 3.0, Direction::Increasing));
         let f = UtilityFunction::default_for(&c);
         assert!(f.check_against(&c).is_ok());

@@ -52,7 +52,10 @@ impl AttributeWeights {
 
     /// Triple for a given attribute id, if present.
     pub fn for_attribute(&self, attr: AttributeId) -> Option<WeightTriple> {
-        self.attributes.iter().position(|a| *a == attr).map(|i| self.triples[i])
+        self.attributes
+            .iter()
+            .position(|a| *a == attr)
+            .map(|i| self.triples[i])
     }
 
     pub fn lows(&self) -> Vec<f64> {
@@ -71,11 +74,12 @@ impl AttributeWeights {
 /// Local (sibling-relative) weight assignment over the tree. Nodes without
 /// an explicit interval default to "indifferent": `[1/k, 1/k]` within their
 /// sibling group of size `k`.
-pub fn resolve_local(
-    tree: &ObjectiveTree,
-    explicit: &[Option<Interval>],
-) -> Vec<Interval> {
-    assert_eq!(explicit.len(), tree.len(), "local weight table arity mismatch");
+pub fn resolve_local(tree: &ObjectiveTree, explicit: &[Option<Interval>]) -> Vec<Interval> {
+    assert_eq!(
+        explicit.len(),
+        tree.len(),
+        "local weight table arity mismatch"
+    );
     let mut out = vec![Interval::point(1.0); tree.len()];
     for (id, _) in tree.iter() {
         if id == tree.root() {
@@ -158,9 +162,16 @@ pub fn flatten_from(
             upp *= local[id.index()].hi();
         }
         attributes.push(attr);
-        triples.push(WeightTriple { low, avg: a, upp: upp.min(1.0) });
+        triples.push(WeightTriple {
+            low,
+            avg: a,
+            upp: upp.min(1.0),
+        });
     }
-    AttributeWeights { attributes, triples }
+    AttributeWeights {
+        attributes,
+        triples,
+    }
 }
 
 #[cfg(test)]
@@ -235,7 +246,10 @@ mod tests {
     fn flatten_ordering_matches_hierarchy() {
         let (t, w) = tree();
         let flat = flatten(&t, &resolve_local(&t, &w));
-        assert_eq!(flat.attributes, vec![AttributeId(0), AttributeId(1), AttributeId(2)]);
+        assert_eq!(
+            flat.attributes,
+            vec![AttributeId(0), AttributeId(1), AttributeId(2)]
+        );
     }
 
     #[test]
@@ -266,7 +280,17 @@ mod tests {
 
     #[test]
     fn weight_triple_consistency() {
-        assert!(WeightTriple { low: 0.1, avg: 0.2, upp: 0.3 }.is_consistent());
-        assert!(!WeightTriple { low: 0.4, avg: 0.2, upp: 0.3 }.is_consistent());
+        assert!(WeightTriple {
+            low: 0.1,
+            avg: 0.2,
+            upp: 0.3
+        }
+        .is_consistent());
+        assert!(!WeightTriple {
+            low: 0.4,
+            avg: 0.2,
+            upp: 0.3
+        }
+        .is_consistent());
     }
 }

@@ -5,6 +5,13 @@ use maut::prelude::*;
 use maut::utility::{DiscreteUtility, UtilityFunction};
 use proptest::prelude::*;
 
+/// Evaluate through the engine context — the canonical API.
+fn ctx_eval(model: &DecisionModel) -> std::sync::Arc<Evaluation> {
+    EvalContext::new(model.clone())
+        .expect("valid model")
+        .evaluate()
+}
+
 fn interval_strategy() -> impl Strategy<Value = Interval> {
     (0.0f64..1.0, 0.0f64..1.0).prop_map(|(a, b)| Interval::new(a.min(b), a.max(b)))
 }
@@ -17,7 +24,10 @@ fn model_strategy() -> impl Strategy<Value = DecisionModel> {
         let base = 1.0 / n_attrs as f64;
         for j in 0..n_attrs {
             let a = b.discrete_attribute(format!("a{j}"), format!("A{j}"), &["0", "1", "2", "3"]);
-            b.set_utility(a, UtilityFunction::Discrete(DiscreteUtility::banded(4, 0.1)));
+            b.set_utility(
+                a,
+                UtilityFunction::Discrete(DiscreteUtility::banded(4, 0.1)),
+            );
             pairs.push((a, Interval::new(base * 0.5, (base * 1.5).min(1.0))));
         }
         b.attach_attributes_to_root(&pairs);
@@ -75,7 +85,7 @@ proptest! {
     /// Evaluation bounds are ordered (min ≤ avg ≤ max) for every model.
     #[test]
     fn bounds_ordered(model in model_strategy()) {
-        let eval = model.evaluate();
+        let eval = ctx_eval(&model);
         for b in &eval.bounds {
             prop_assert!(b.is_ordered(), "{b:?}");
         }
@@ -95,7 +105,7 @@ proptest! {
     /// The ranking is a permutation with ranks 1..=n and is sorted by avg.
     #[test]
     fn ranking_is_sound(model in model_strategy()) {
-        let eval = model.evaluate();
+        let eval = ctx_eval(&model);
         let ranking = eval.ranking();
         prop_assert_eq!(ranking.len(), model.num_alternatives());
         for (i, r) in ranking.iter().enumerate() {
@@ -118,10 +128,10 @@ proptest! {
         let j = (pick / 8) % model.num_attributes();
         if let Perf::Level(l) = model.perf.get(i, j) {
             if l < 3 {
-                let before = model.evaluate().bounds[i].avg;
+                let before = ctx_eval(&model).bounds[i].avg;
                 let mut improved = model.clone();
                 improved.perf.set(i, j, Perf::level(l + 1));
-                let after = improved.evaluate().bounds[i].avg;
+                let after = ctx_eval(&improved).bounds[i].avg;
                 prop_assert!(after >= before - 1e-12, "{after} < {before}");
             }
         }
@@ -133,7 +143,7 @@ proptest! {
     fn score_with_weights_matches_evaluation(model in model_strategy()) {
         let w = model.attribute_weights();
         let scores = model.score_with_weights(&w.avgs());
-        let eval = model.evaluate();
+        let eval = ctx_eval(&model);
         for (s, b) in scores.iter().zip(&eval.bounds) {
             prop_assert!((s - b.avg).abs() < 1e-9, "{s} vs {}", b.avg);
         }
@@ -144,10 +154,26 @@ proptest! {
     fn worst_policy_is_pessimistic(model in model_strategy()) {
         let mut worst = model.clone();
         worst.missing_policy = maut::perf::MissingPolicy::Worst;
-        let a = model.evaluate();
-        let b = worst.evaluate();
+        let a = ctx_eval(&model);
+        let b = ctx_eval(&worst);
         for (x, y) in a.bounds.iter().zip(&b.bounds) {
             prop_assert!(y.avg <= x.avg + 1e-12);
         }
+    }
+
+    /// Incremental `set_perf` re-evaluation matches a from-scratch context
+    /// exactly, cell by cell.
+    #[test]
+    fn incremental_set_perf_matches_cold(model in model_strategy(), pick in 0usize..256) {
+        let mut ctx = EvalContext::new(model.clone()).expect("valid");
+        let _ = ctx.evaluate(); // warm the cache so the refresh path runs
+        let i = pick % model.num_alternatives();
+        let j = (pick / 16) % model.num_attributes();
+        let new_level = pick % 4;
+        let attr = model.find_attribute(&format!("a{j}")).expect("exists");
+        ctx.set_perf(i, attr, Perf::level(new_level)).expect("valid level");
+        let incremental = ctx.evaluate();
+        let cold = EvalContext::new(ctx.model().clone()).expect("valid").evaluate();
+        prop_assert_eq!(incremental, cold);
     }
 }

@@ -10,7 +10,7 @@
 //! than 70 %, no more ontologies were necessary").
 
 use crate::assess::{AssessmentInput, OntologyAssessor};
-use maut::{DecisionModel, Perf};
+use maut::{DecisionModel, EvalContext, Perf};
 use ontolib::{Graph, Ontology};
 use std::collections::BTreeSet;
 
@@ -97,14 +97,64 @@ pub struct SelectionReport {
 }
 
 /// Activity 3 — select: walk the ranking, accumulating CQ coverage until
-/// `target` (fraction of `total_cqs`) is reached.
+/// `target` (fraction of `total_cqs`) is reached. Consumes a shared
+/// [`EvalContext`] so the selection pipeline reuses whatever the engine
+/// has already computed (and benefits from incremental re-evaluation when
+/// candidates are re-assessed mid-process).
+pub fn select_by_ranking_ctx(
+    ctx: &mut EvalContext,
+    cq_sets: &[Vec<usize>],
+    total_cqs: usize,
+    target: f64,
+) -> SelectionReport {
+    assert_eq!(
+        cq_sets.len(),
+        ctx.model().num_alternatives(),
+        "one CQ set per alternative"
+    );
+    assert!(total_cqs > 0, "need at least one competency question");
+    let ranking = ctx.evaluate().ranking();
+    let mut covered: BTreeSet<usize> = BTreeSet::new();
+    let mut selected = Vec::new();
+    let mut selected_names = Vec::new();
+    let mut reached = false;
+    for r in &ranking {
+        selected.push(r.alternative);
+        selected_names.push(r.name.clone());
+        covered.extend(cq_sets[r.alternative].iter().copied());
+        if covered.len() as f64 / total_cqs as f64 >= target {
+            reached = true;
+            break;
+        }
+    }
+    SelectionReport {
+        selected,
+        selected_names,
+        coverage: covered.len() as f64 / total_cqs as f64,
+        target,
+        target_reached: reached,
+    }
+}
+
+/// Eager selection over a bare model, re-deriving the evaluation from
+/// scratch on every call (the pre-engine behavior, kept under the old
+/// name and signature for one release).
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `maut::EvalContext` and use `select_by_ranking_ctx`"
+)]
+#[allow(deprecated)]
 pub fn select_by_ranking(
     model: &DecisionModel,
     cq_sets: &[Vec<usize>],
     total_cqs: usize,
     target: f64,
 ) -> SelectionReport {
-    assert_eq!(cq_sets.len(), model.num_alternatives(), "one CQ set per alternative");
+    assert_eq!(
+        cq_sets.len(),
+        model.num_alternatives(),
+        "one CQ set per alternative"
+    );
     assert!(total_cqs > 0, "need at least one competency question");
     let ranking = model.evaluate().ranking();
     let mut covered: BTreeSet<usize> = BTreeSet::new();
@@ -151,7 +201,11 @@ pub fn integrate(selection: &[(&str, &Ontology)]) -> IntegrationReport {
         merged.merge(&o.graph);
     }
     let total = merged.len();
-    IntegrationReport { network: Ontology::from_graph(merged), sources, total_triples: total }
+    IntegrationReport {
+        network: Ontology::from_graph(merged),
+        sources,
+        total_triples: total,
+    }
 }
 
 #[cfg(test)]
@@ -162,7 +216,10 @@ mod tests {
 
     fn registry() -> OntologyRegistry {
         let mut r = OntologyRegistry::new();
-        for (i, name) in ["AlphaMedia", "BetaMusic", "GammaDevices"].iter().enumerate() {
+        for (i, name) in ["AlphaMedia", "BetaMusic", "GammaDevices"]
+            .iter()
+            .enumerate()
+        {
             let ontology = OntologyGenerator::new(GeneratorConfig {
                 seed: 100 + i as u64,
                 ..GeneratorConfig::default()
@@ -172,7 +229,11 @@ mod tests {
                 name: name.to_string(),
                 ontology,
                 metadata: AssessmentInput::default(),
-                tags: vec![if i == 1 { "music".into() } else { "multimedia".into() }],
+                tags: vec![if i == 1 {
+                    "music".into()
+                } else {
+                    "multimedia".into()
+                }],
             });
         }
         r
@@ -196,13 +257,16 @@ mod tests {
         )]);
         let rows = r.assess_all(&assessor);
         assert_eq!(rows.len(), 3);
-        assert!(rows.iter().all(|(_, p)| p.len() == crate::criteria::CRITERIA_COUNT));
+        assert!(rows
+            .iter()
+            .all(|(_, p)| p.len() == crate::criteria::CRITERIA_COUNT));
     }
 
     #[test]
     fn paper_selection_needs_about_five_ontologies() {
         let data = paper_model();
-        let report = select_by_ranking(&data.model, &data.cq_sets, TOTAL_CQS, 0.70);
+        let mut ctx = EvalContext::new(data.model).expect("valid");
+        let report = select_by_ranking_ctx(&mut ctx, &data.cq_sets, TOTAL_CQS, 0.70);
         assert!(report.target_reached, "{report:?}");
         assert_eq!(
             report.selected.len(),
@@ -218,7 +282,8 @@ mod tests {
     #[test]
     fn unreachable_target_reports_exhaustion() {
         let data = paper_model();
-        let report = select_by_ranking(&data.model, &data.cq_sets, TOTAL_CQS, 1.01);
+        let mut ctx = EvalContext::new(data.model).expect("valid");
+        let report = select_by_ranking_ctx(&mut ctx, &data.cq_sets, TOTAL_CQS, 1.01);
         assert!(!report.target_reached);
         assert_eq!(report.selected.len(), 23);
     }
@@ -242,6 +307,7 @@ mod tests {
     #[should_panic(expected = "one CQ set per alternative")]
     fn selection_arity_checked() {
         let data = paper_model();
-        select_by_ranking(&data.model, &[], TOTAL_CQS, 0.7);
+        let mut ctx = EvalContext::new(data.model).expect("valid");
+        select_by_ranking_ctx(&mut ctx, &[], TOTAL_CQS, 0.7);
     }
 }

@@ -49,7 +49,10 @@ pub struct OntologyAssessor {
 
 impl OntologyAssessor {
     pub fn new(questions: Vec<CompetencyQuestion>) -> OntologyAssessor {
-        OntologyAssessor { questions, term_threshold: 0.6 }
+        OntologyAssessor {
+            questions,
+            term_threshold: 0.6,
+        }
     }
 
     /// Assess one candidate into a performance vector in criteria display
@@ -71,9 +74,7 @@ impl OntologyAssessor {
                     let score = 0.5 * metrics.comment_coverage + 0.5 * naming.consistency;
                     Perf::level(quartile_level(score))
                 }
-                "funct_requir" => {
-                    Perf::value(value_t(coverage.num_covered, self.questions.len()))
-                }
+                "funct_requir" => Perf::value(value_t(coverage.num_covered, self.questions.len())),
                 "knowl_extrac" => {
                     // Easy extraction = structured (few orphans) but shallow
                     // enough to cut: reward hierarchy presence, punish
@@ -189,7 +190,10 @@ mod tests {
         let a = OntologyAssessor::new(questions());
         let rich = a.assess(&rich_ontology(), &AssessmentInput::default());
         let poor = a.assess(&poor_ontology(), &AssessmentInput::default());
-        let idx = criteria().iter().position(|c| c.key == "doc_quality").unwrap();
+        let idx = criteria()
+            .iter()
+            .position(|c| c.key == "doc_quality")
+            .unwrap();
         match (rich[idx], poor[idx]) {
             (Perf::Level(r), Perf::Level(p)) => assert!(r > p, "rich {r} vs poor {p}"),
             other => panic!("expected levels, got {other:?}"),
@@ -217,7 +221,10 @@ mod tests {
     fn cq_coverage_feeds_valuet() {
         let a = OntologyAssessor::new(questions());
         let out = a.assess(&rich_ontology(), &AssessmentInput::default());
-        let idx = criteria().iter().position(|c| c.key == "funct_requir").unwrap();
+        let idx = criteria()
+            .iter()
+            .position(|c| c.key == "funct_requir")
+            .unwrap();
         match out[idx] {
             Perf::Value(v) => assert!((0.0..=3.0).contains(&v), "ValueT {v}"),
             other => panic!("expected ValueT value, got {other:?}"),

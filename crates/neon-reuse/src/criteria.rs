@@ -159,7 +159,12 @@ pub fn criteria() -> Vec<Criterion> {
             short: "Imp Language",
             name: "Adequacy of the implementation language",
             group: Integration,
-            scale: FourLevel(["none", "no transformation", "transformable", "same language"]),
+            scale: FourLevel([
+                "none",
+                "no transformation",
+                "transformable",
+                "same language",
+            ]),
             description: "Low when the candidate and target languages differ with no \
                           transformation mechanism; medium when a transformation exists; high \
                           when the language is the same.",

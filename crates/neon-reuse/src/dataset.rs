@@ -110,35 +110,449 @@ fn performance_matrix() -> Vec<(&'static str, [Cell; CRITERIA_COUNT])> {
     vec![
         // For the first six candidates, columns 3..=10 (doc..availab_test)
         // are the paper's Fig 2 values verbatim.
-        ("COMM", [L(3), L(3), L(3), L(3), L(3), V(0.93), L(3), L(2), L(3), L(0), L(3), L(3), L(3), L(3)]),
-        ("MPEG7 Hunter", [L(2), L(2), L(2), L(2), L(3), V(0.75), L(3), L(3), L(3), L(0), L(2), L(2), L(2), L(3)]),
-        ("MPEG-7X", [L(3), L(2), L(2), L(2), L(3), V(0.75), L(3), L(3), L(3), L(0), L(2), L(3), L(3), L(3)]),
-        ("SAPO", [L(3), L(3), L(2), L(3), L(3), V(0.75), L(3), L(3), L(3), L(0), L(3), L(3), L(2), L(3)]),
-        ("DIG35", [L(3), L(3), L(3), L(3), L(3), V(0.18), L(3), L(3), L(3), L(0), L(3), L(3), L(3), L(2)]),
-        ("CSO", [L(2), L(3), L(2), L(3), L(3), V(0.18), L(3), L(3), L(3), L(0), L(3), L(3), L(3), L(3)]),
-        ("AceMedia VDO", [L(2), L(3), L(3), L(2), L(2), V(0.75), L(3), L(2), L(2), L(2), L(2), L(2), L(3), L(2)]),
-        ("VRACORE3 ASSEM", [L(2), L(2), L(2), L(2), L(2), V(0.45), L(2), L(3), L(2), L(2), L(2), L(2), L(2), L(2)]),
+        (
+            "COMM",
+            [
+                L(3),
+                L(3),
+                L(3),
+                L(3),
+                L(3),
+                V(0.93),
+                L(3),
+                L(2),
+                L(3),
+                L(0),
+                L(3),
+                L(3),
+                L(3),
+                L(3),
+            ],
+        ),
+        (
+            "MPEG7 Hunter",
+            [
+                L(2),
+                L(2),
+                L(2),
+                L(2),
+                L(3),
+                V(0.75),
+                L(3),
+                L(3),
+                L(3),
+                L(0),
+                L(2),
+                L(2),
+                L(2),
+                L(3),
+            ],
+        ),
+        (
+            "MPEG-7X",
+            [
+                L(3),
+                L(2),
+                L(2),
+                L(2),
+                L(3),
+                V(0.75),
+                L(3),
+                L(3),
+                L(3),
+                L(0),
+                L(2),
+                L(3),
+                L(3),
+                L(3),
+            ],
+        ),
+        (
+            "SAPO",
+            [
+                L(3),
+                L(3),
+                L(2),
+                L(3),
+                L(3),
+                V(0.75),
+                L(3),
+                L(3),
+                L(3),
+                L(0),
+                L(3),
+                L(3),
+                L(2),
+                L(3),
+            ],
+        ),
+        (
+            "DIG35",
+            [
+                L(3),
+                L(3),
+                L(3),
+                L(3),
+                L(3),
+                V(0.18),
+                L(3),
+                L(3),
+                L(3),
+                L(0),
+                L(3),
+                L(3),
+                L(3),
+                L(2),
+            ],
+        ),
+        (
+            "CSO",
+            [
+                L(2),
+                L(3),
+                L(2),
+                L(3),
+                L(3),
+                V(0.18),
+                L(3),
+                L(3),
+                L(3),
+                L(0),
+                L(3),
+                L(3),
+                L(3),
+                L(3),
+            ],
+        ),
+        (
+            "AceMedia VDO",
+            [
+                L(2),
+                L(3),
+                L(3),
+                L(2),
+                L(2),
+                V(0.75),
+                L(3),
+                L(2),
+                L(2),
+                L(2),
+                L(2),
+                L(2),
+                L(3),
+                L(2),
+            ],
+        ),
+        (
+            "VRACORE3 ASSEM",
+            [
+                L(2),
+                L(2),
+                L(2),
+                L(2),
+                L(2),
+                V(0.45),
+                L(2),
+                L(3),
+                L(2),
+                L(2),
+                L(2),
+                L(2),
+                L(2),
+                L(2),
+            ],
+        ),
         // Media Ontology and Boemie VDO are pinned to identical rows except
         // *Funct Requir* (Media's edge) and *Purpose Rel* (Boemie's edge):
         // this reproduces Fig 8's finding that the best-ranked candidate is
         // sensitive to the *number of functional requirements* weight (at
         // its low end Boemie overtakes) while matching the near-tie of
         // their Fig 6 average utilities.
-        ("Boemie VDO", [L(3), L(2), L(3), L(3), L(3), V(0.99), L(3), L(2), L(3), L(3), L(3), L(3), L(3), L(2)]),
-        ("Audio Ontology", [L(2), L(3), L(3), L(2), L(3), V(0.63), L(3), L(3), L(2), L(3), L(2), L(2), L(2), L(2)]),
-        ("Media Ontology", [L(3), L(2), L(3), L(3), L(3), V(1.29), L(3), L(2), L(3), L(3), L(3), L(3), L(2), L(2)]),
-        ("Kanzaki Music", [L(1), L(2), L(2), L(1), L(1), V(0.09), L(2), L(2), L(1), L(1), L(1), M, L(1), L(1)]),
-        ("Music Ontology", [L(2), L(1), L(2), L(2), L(2), V(0.30), L(2), L(1), L(2), L(2), L(2), L(2), L(2), L(2)]),
-        ("Music Rights", [L(2), L(1), L(2), L(2), L(2), V(0.15), L(1), L(2), L(2), L(2), M, L(2), L(2), L(2)]),
-        ("Open Drama", [L(2), L(1), L(1), M, L(1), V(0.12), L(1), L(2), L(2), M, L(2), L(2), L(1), L(2)]),
-        ("MPEG7 MDS", [L(2), L(1), L(1), L(2), L(2), V(0.45), L(2), L(2), L(2), L(2), L(2), L(2), L(2), L(2)]),
-        ("VraCore3 Simile", [L(2), L(3), L(2), L(2), L(2), V(0.36), L(3), L(2), L(2), L(2), L(2), L(2), L(3), L(2)]),
-        ("Nokia Ontology", [M, L(1), L(1), L(2), L(1), V(0.15), L(1), L(1), L(2), L(2), L(2), L(2), L(2), L(2)]),
-        ("SRO", [L(2), M, L(2), L(2), L(2), V(0.24), L(1), L(1), L(2), L(2), L(2), L(2), L(2), L(2)]),
-        ("Device Ontology", [L(2), L(1), L(2), L(2), L(2), V(0.21), L(2), L(1), L(2), L(2), L(2), L(2), L(2), M]),
-        ("MPEG7 Ontology", [L(1), L(2), L(1), L(1), L(1), V(0.12), L(1), L(1), L(1), L(1), M, L(1), L(1), L(1)]),
-        ("Photography Ontology", [L(1), L(2), L(2), L(1), L(1), V(0.09), M, L(2), L(1), L(1), L(1), L(1), L(1), L(1)]),
-        ("M3O", [L(2), L(1), L(1), L(2), L(2), V(0.30), L(1), L(1), L(2), L(2), L(2), L(2), L(2), L(2)]),
+        (
+            "Boemie VDO",
+            [
+                L(3),
+                L(2),
+                L(3),
+                L(3),
+                L(3),
+                V(0.99),
+                L(3),
+                L(2),
+                L(3),
+                L(3),
+                L(3),
+                L(3),
+                L(3),
+                L(2),
+            ],
+        ),
+        (
+            "Audio Ontology",
+            [
+                L(2),
+                L(3),
+                L(3),
+                L(2),
+                L(3),
+                V(0.63),
+                L(3),
+                L(3),
+                L(2),
+                L(3),
+                L(2),
+                L(2),
+                L(2),
+                L(2),
+            ],
+        ),
+        (
+            "Media Ontology",
+            [
+                L(3),
+                L(2),
+                L(3),
+                L(3),
+                L(3),
+                V(1.29),
+                L(3),
+                L(2),
+                L(3),
+                L(3),
+                L(3),
+                L(3),
+                L(2),
+                L(2),
+            ],
+        ),
+        (
+            "Kanzaki Music",
+            [
+                L(1),
+                L(2),
+                L(2),
+                L(1),
+                L(1),
+                V(0.09),
+                L(2),
+                L(2),
+                L(1),
+                L(1),
+                L(1),
+                M,
+                L(1),
+                L(1),
+            ],
+        ),
+        (
+            "Music Ontology",
+            [
+                L(2),
+                L(1),
+                L(2),
+                L(2),
+                L(2),
+                V(0.30),
+                L(2),
+                L(1),
+                L(2),
+                L(2),
+                L(2),
+                L(2),
+                L(2),
+                L(2),
+            ],
+        ),
+        (
+            "Music Rights",
+            [
+                L(2),
+                L(1),
+                L(2),
+                L(2),
+                L(2),
+                V(0.15),
+                L(1),
+                L(2),
+                L(2),
+                L(2),
+                M,
+                L(2),
+                L(2),
+                L(2),
+            ],
+        ),
+        (
+            "Open Drama",
+            [
+                L(2),
+                L(1),
+                L(1),
+                M,
+                L(1),
+                V(0.12),
+                L(1),
+                L(2),
+                L(2),
+                M,
+                L(2),
+                L(2),
+                L(1),
+                L(2),
+            ],
+        ),
+        (
+            "MPEG7 MDS",
+            [
+                L(2),
+                L(1),
+                L(1),
+                L(2),
+                L(2),
+                V(0.45),
+                L(2),
+                L(2),
+                L(2),
+                L(2),
+                L(2),
+                L(2),
+                L(2),
+                L(2),
+            ],
+        ),
+        (
+            "VraCore3 Simile",
+            [
+                L(2),
+                L(3),
+                L(2),
+                L(2),
+                L(2),
+                V(0.36),
+                L(3),
+                L(2),
+                L(2),
+                L(2),
+                L(2),
+                L(2),
+                L(3),
+                L(2),
+            ],
+        ),
+        (
+            "Nokia Ontology",
+            [
+                M,
+                L(1),
+                L(1),
+                L(2),
+                L(1),
+                V(0.15),
+                L(1),
+                L(1),
+                L(2),
+                L(2),
+                L(2),
+                L(2),
+                L(2),
+                L(2),
+            ],
+        ),
+        (
+            "SRO",
+            [
+                L(2),
+                M,
+                L(2),
+                L(2),
+                L(2),
+                V(0.24),
+                L(1),
+                L(1),
+                L(2),
+                L(2),
+                L(2),
+                L(2),
+                L(2),
+                L(2),
+            ],
+        ),
+        (
+            "Device Ontology",
+            [
+                L(2),
+                L(1),
+                L(2),
+                L(2),
+                L(2),
+                V(0.21),
+                L(2),
+                L(1),
+                L(2),
+                L(2),
+                L(2),
+                L(2),
+                L(2),
+                M,
+            ],
+        ),
+        (
+            "MPEG7 Ontology",
+            [
+                L(1),
+                L(2),
+                L(1),
+                L(1),
+                L(1),
+                V(0.12),
+                L(1),
+                L(1),
+                L(1),
+                L(1),
+                M,
+                L(1),
+                L(1),
+                L(1),
+            ],
+        ),
+        (
+            "Photography Ontology",
+            [
+                L(1),
+                L(2),
+                L(2),
+                L(1),
+                L(1),
+                V(0.09),
+                M,
+                L(2),
+                L(1),
+                L(1),
+                L(1),
+                L(1),
+                L(1),
+                L(1),
+            ],
+        ),
+        (
+            "M3O",
+            [
+                L(2),
+                L(1),
+                L(1),
+                L(2),
+                L(2),
+                V(0.30),
+                L(1),
+                L(1),
+                L(2),
+                L(2),
+                L(2),
+                L(2),
+                L(2),
+                L(2),
+            ],
+        ),
     ]
 }
 
@@ -158,7 +572,8 @@ pub struct PaperData {
 ///
 /// ```
 /// let data = neon_reuse::paper_model();
-/// let ranking = data.model.evaluate().ranking();
+/// let mut ctx = maut::EvalContext::new(data.model).unwrap();
+/// let ranking = ctx.evaluate().ranking();
 /// assert_eq!(ranking[0].name, "Media Ontology"); // the paper's winner
 /// ```
 pub fn paper_model() -> PaperData {
@@ -169,7 +584,10 @@ pub fn paper_model() -> PaperData {
     // into hierarchy levels; see the module docs of `maut::weights`.
     let mut group_mass = [0.0f64; 4];
     for (c, (lo, up)) in cs.iter().zip(&weights) {
-        let g = ObjectiveGroup::ALL.iter().position(|x| x == &c.group).expect("known group");
+        let g = ObjectiveGroup::ALL
+            .iter()
+            .position(|x| x == &c.group)
+            .expect("known group");
         group_mass[g] += (lo + up) / 2.0;
     }
 
@@ -191,7 +609,10 @@ pub fn paper_model() -> PaperData {
     // products reproduce Fig 5 exactly.
     let mut attr_ids = Vec::with_capacity(CRITERIA_COUNT);
     for (c, (lo, up)) in cs.iter().zip(&weights) {
-        let gi = ObjectiveGroup::ALL.iter().position(|x| x == &c.group).expect("known group");
+        let gi = ObjectiveGroup::ALL
+            .iter()
+            .position(|x| x == &c.group)
+            .expect("known group");
         let attr = match &c.scale {
             CriterionScale::FourLevel(levels) => {
                 let id = b.discrete_attribute(c.key, c.name, levels);
@@ -233,7 +654,11 @@ pub fn paper_model() -> PaperData {
 
     let model = b.build().expect("paper dataset is internally consistent");
     let cq_sets = cq_index_sets(&model);
-    PaperData { model, groups, cq_sets }
+    PaperData {
+        model,
+        groups,
+        cq_sets,
+    }
 }
 
 /// Reconstruct per-candidate CQ index sets consistent with each ValueT cell:
@@ -244,7 +669,9 @@ pub fn paper_model() -> PaperData {
 /// the five best-ranked MM ontologies was higher than 70 %, no more
 /// ontologies were necessary".
 fn cq_index_sets(model: &DecisionModel) -> Vec<Vec<usize>> {
-    let funct = model.find_attribute("funct_requir").expect("funct_requir exists");
+    let funct = model
+        .find_attribute("funct_requir")
+        .expect("funct_requir exists");
     (0..model.num_alternatives())
         .map(|i| {
             let vt = match model.perf.get(i, funct.index()) {
@@ -253,11 +680,11 @@ fn cq_index_sets(model: &DecisionModel) -> Vec<Vec<usize>> {
             };
             let count = (vt / MNVLT * TOTAL_CQS as f64).round() as usize;
             let offset = match i {
-                0 => 30,  // COMM
-                3 => 40,  // SAPO
-                4 => 62,  // DIG35
-                8 => 25,  // Boemie VDO
-                10 => 0,  // Media Ontology
+                0 => 30, // COMM
+                3 => 40, // SAPO
+                4 => 62, // DIG35
+                8 => 25, // Boemie VDO
+                10 => 0, // Media Ontology
                 other => (other * 17) % TOTAL_CQS,
             };
             (0..count).map(|k| (offset + k) % TOTAL_CQS).collect()
@@ -293,7 +720,10 @@ mod tests {
         let total: f64 = w.avgs().iter().sum();
         assert!((total - 1.0).abs() < 1e-9);
         for (i, (lo, up)) in expected.iter().enumerate() {
-            assert!((w.triples[i].avg - (lo + up) / 2.0).abs() < 1e-3, "avg[{i}]");
+            assert!(
+                (w.triples[i].avg - (lo + up) / 2.0).abs() < 1e-3,
+                "avg[{i}]"
+            );
         }
     }
 
@@ -348,7 +778,7 @@ mod tests {
     #[test]
     fn top_ranking_matches_fig6_order() {
         let model = paper_model().model;
-        let ranking = model.evaluate().ranking();
+        let ranking = maut::EvalContext::new(model).unwrap().evaluate().ranking();
         let names: Vec<&str> = ranking.iter().map(|r| r.name.as_str()).take(5).collect();
         assert_eq!(
             names,
@@ -356,8 +786,16 @@ mod tests {
             "top five of Fig 6"
         );
         // Bottom three of Figs 6/10.
-        let tail: Vec<&str> = ranking.iter().rev().map(|r| r.name.as_str()).take(3).collect();
-        assert_eq!(tail, vec!["MPEG7 Ontology", "Photography Ontology", "Kanzaki Music"]);
+        let tail: Vec<&str> = ranking
+            .iter()
+            .rev()
+            .map(|r| r.name.as_str())
+            .take(3)
+            .collect();
+        assert_eq!(
+            tail,
+            vec!["MPEG7 Ontology", "Photography Ontology", "Kanzaki Music"]
+        );
     }
 
     #[test]
@@ -375,7 +813,7 @@ mod tests {
             ("Music Ontology", 0.5677),
         ];
         let model = paper_model().model;
-        let eval = model.evaluate();
+        let eval = maut::EvalContext::new(model.clone()).unwrap().evaluate();
         for (name, target) in published {
             let i = model.alternatives.iter().position(|n| n == name).unwrap();
             let got = eval.bounds[i].avg;
@@ -391,7 +829,7 @@ mod tests {
         // Paper: "the output utility intervals are very overlapped" and the
         // top-8 averages differ by less than 0.1.
         let model = paper_model().model;
-        let eval = model.evaluate();
+        let eval = maut::EvalContext::new(model).unwrap().evaluate();
         assert!(eval.avg_gap(7) < 0.12, "gap {:.4}", eval.avg_gap(7));
         assert!(eval.overlap_with_best() >= 15);
         // Max overall utilities may exceed 1 (raw upper weights), as in Fig 6.

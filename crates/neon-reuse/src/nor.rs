@@ -59,7 +59,11 @@ impl std::error::Error for SchemeError {}
 
 impl ClassificationScheme {
     pub fn new(name: impl Into<String>, namespace: impl Into<String>) -> ClassificationScheme {
-        ClassificationScheme { name: name.into(), namespace: namespace.into(), items: Vec::new() }
+        ClassificationScheme {
+            name: name.into(),
+            namespace: namespace.into(),
+            items: Vec::new(),
+        }
     }
 
     pub fn add_item(
@@ -156,7 +160,11 @@ impl ClassificationScheme {
         let mut g = Graph::new();
         g.prefixes.insert("", self.namespace.clone());
         let onto = self.namespace.trim_end_matches(['#', '/']).to_string();
-        g.add(Term::iri(&onto), vocab::RDF_TYPE, Term::iri(vocab::OWL_ONTOLOGY));
+        g.add(
+            Term::iri(&onto),
+            vocab::RDF_TYPE,
+            Term::iri(vocab::OWL_ONTOLOGY),
+        );
         g.add(
             Term::iri(&onto),
             vocab::DC_TITLE,
@@ -164,14 +172,22 @@ impl ClassificationScheme {
         );
 
         let class_iri = |item: &SchemeItem| -> Iri {
-            Iri::new(format!("{}{}", self.namespace, sanitize(&item.label, &item.code)))
+            Iri::new(format!(
+                "{}{}",
+                self.namespace,
+                sanitize(&item.label, &item.code)
+            ))
         };
         let index: std::collections::BTreeMap<&str, &SchemeItem> =
             self.items.iter().map(|i| (i.code.as_str(), i)).collect();
 
         for item in &self.items {
             let iri = class_iri(item);
-            g.add(Term::Iri(iri.clone()), vocab::RDF_TYPE, Term::iri(vocab::OWL_CLASS));
+            g.add(
+                Term::Iri(iri.clone()),
+                vocab::RDF_TYPE,
+                Term::iri(vocab::OWL_CLASS),
+            );
             g.add(
                 Term::Iri(iri.clone()),
                 vocab::RDFS_LABEL,
@@ -180,10 +196,7 @@ impl ClassificationScheme {
             g.add(
                 Term::Iri(iri.clone()),
                 vocab::RDFS_COMMENT,
-                Term::Literal(Literal::plain(format!(
-                    "{} code {}",
-                    self.name, item.code
-                ))),
+                Term::Literal(Literal::plain(format!("{} code {}", self.name, item.code))),
             );
             if let Some(parent) = item.parent.as_deref().and_then(|p| index.get(p)) {
                 g.add(
@@ -224,11 +237,27 @@ pub fn sample_soc_scheme() -> ClassificationScheme {
     s.add_item("15-0000", "Computer and Mathematical Occupations", None);
     s.add_item("15-1200", "Computer Occupations", Some("15-0000"));
     s.add_item("15-1252", "Software Developers", Some("15-1200"));
-    s.add_item("15-1253", "Software Quality Assurance Analysts and Testers", Some("15-1200"));
-    s.add_item("15-2000", "Mathematical Science Occupations", Some("15-0000"));
+    s.add_item(
+        "15-1253",
+        "Software Quality Assurance Analysts and Testers",
+        Some("15-1200"),
+    );
+    s.add_item(
+        "15-2000",
+        "Mathematical Science Occupations",
+        Some("15-0000"),
+    );
     s.add_item("15-2041", "Statisticians", Some("15-2000"));
-    s.add_item("27-0000", "Arts, Design, Entertainment, Sports, and Media", None);
-    s.add_item("27-4000", "Media and Communication Equipment Workers", Some("27-0000"));
+    s.add_item(
+        "27-0000",
+        "Arts, Design, Entertainment, Sports, and Media",
+        None,
+    );
+    s.add_item(
+        "27-4000",
+        "Media and Communication Equipment Workers",
+        Some("27-0000"),
+    );
     s.add_item("27-4032", "Film and Video Editors", Some("27-4000"));
     s
 }
@@ -255,13 +284,17 @@ mod tests {
     fn unknown_parent_rejected() {
         let mut s = ClassificationScheme::new("x", "http://e/");
         s.add_item("1", "A", Some("0"));
-        assert!(matches!(s.validate(), Err(SchemeError::UnknownParent { .. })));
+        assert!(matches!(
+            s.validate(),
+            Err(SchemeError::UnknownParent { .. })
+        ));
     }
 
     #[test]
     fn cycles_rejected() {
         let mut s = ClassificationScheme::new("x", "http://e/");
-        s.add_item("1", "A", Some("2")).add_item("2", "B", Some("1"));
+        s.add_item("1", "A", Some("2"))
+            .add_item("2", "B", Some("1"));
         assert!(matches!(s.validate(), Err(SchemeError::CycleAt(_))));
     }
 

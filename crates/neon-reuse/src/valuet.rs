@@ -21,7 +21,10 @@ pub fn value_t(covered: usize, total: usize) -> f64 {
     if total == 0 {
         return 0.0;
     }
-    assert!(covered <= total, "covered ({covered}) exceeds total ({total})");
+    assert!(
+        covered <= total,
+        "covered ({covered}) exceeds total ({total})"
+    );
     covered as f64 * MNVLT / total as f64
 }
 

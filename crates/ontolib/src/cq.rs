@@ -95,7 +95,11 @@ impl CqCoverage {
             })
             .collect();
         let num_covered = covered.iter().filter(|&&c| c).count();
-        CqCoverage { covered, num_covered, total: questions.len() }
+        CqCoverage {
+            covered,
+            num_covered,
+            total: questions.len(),
+        }
     }
 }
 
@@ -127,7 +131,11 @@ mod tests {
 
     fn mm_ontology() -> Ontology {
         let mut g = Graph::new();
-        for c in ["http://e/VideoSegment", "http://e/AudioTrack", "http://e/Image"] {
+        for c in [
+            "http://e/VideoSegment",
+            "http://e/AudioTrack",
+            "http://e/Image",
+        ] {
             g.add(Term::iri(c), vocab::RDF_TYPE, Term::iri(vocab::OWL_CLASS));
         }
         g.add(
@@ -190,7 +198,9 @@ mod tests {
     #[test]
     fn threshold_controls_strictness() {
         let o = mm_ontology();
-        let q = vec![CompetencyQuestion::new("video segment duration frames codec")];
+        let q = vec![CompetencyQuestion::new(
+            "video segment duration frames codec",
+        )];
         // 3 of 5 terms match (video, segment, duration).
         assert_eq!(CqCoverage::compute(&o, &q, 0.6).num_covered, 1);
         assert_eq!(CqCoverage::compute(&o, &q, 0.8).num_covered, 0);

@@ -14,16 +14,67 @@ use rand::{Rng, SeedableRng};
 
 /// Topic vocabularies for class-name generation.
 pub const MULTIMEDIA_TERMS: &[&str] = &[
-    "video", "audio", "image", "segment", "track", "frame", "shot", "scene", "media", "stream",
-    "codec", "annotation", "descriptor", "region", "still", "moving", "visual", "aural", "text",
-    "caption", "subtitle", "channel", "sample", "rate", "duration", "resolution", "format",
-    "container", "decomposition", "locator", "agent", "creator", "genre", "rating", "license",
-    "collection", "album", "recording", "performance", "broadcast",
+    "video",
+    "audio",
+    "image",
+    "segment",
+    "track",
+    "frame",
+    "shot",
+    "scene",
+    "media",
+    "stream",
+    "codec",
+    "annotation",
+    "descriptor",
+    "region",
+    "still",
+    "moving",
+    "visual",
+    "aural",
+    "text",
+    "caption",
+    "subtitle",
+    "channel",
+    "sample",
+    "rate",
+    "duration",
+    "resolution",
+    "format",
+    "container",
+    "decomposition",
+    "locator",
+    "agent",
+    "creator",
+    "genre",
+    "rating",
+    "license",
+    "collection",
+    "album",
+    "recording",
+    "performance",
+    "broadcast",
 ];
 
 pub const GENERIC_TERMS: &[&str] = &[
-    "thing", "entity", "object", "item", "element", "component", "unit", "part", "group", "set",
-    "relation", "process", "event", "state", "quality", "role", "function", "attribute",
+    "thing",
+    "entity",
+    "object",
+    "item",
+    "element",
+    "component",
+    "unit",
+    "part",
+    "group",
+    "set",
+    "relation",
+    "process",
+    "event",
+    "state",
+    "quality",
+    "role",
+    "function",
+    "attribute",
 ];
 
 /// Dials of the generator.
@@ -106,7 +157,11 @@ impl OntologyGenerator {
         g.prefixes.insert("ma", "http://www.w3.org/ns/ma-ont#");
 
         let onto_iri = c.namespace.trim_end_matches(['#', '/']).to_string();
-        g.add(Term::iri(&onto_iri), vocab::RDF_TYPE, Term::iri(vocab::OWL_ONTOLOGY));
+        g.add(
+            Term::iri(&onto_iri),
+            vocab::RDF_TYPE,
+            Term::iri(vocab::OWL_ONTOLOGY),
+        );
         g.add(
             Term::iri(&onto_iri),
             vocab::OWL_VERSION_INFO,
@@ -124,7 +179,11 @@ impl OntologyGenerator {
             } else {
                 Iri::new(format!("{}{}", c.namespace, name))
             };
-            g.add(Term::Iri(iri.clone()), vocab::RDF_TYPE, Term::iri(vocab::OWL_CLASS));
+            g.add(
+                Term::Iri(iri.clone()),
+                vocab::RDF_TYPE,
+                Term::iri(vocab::OWL_CLASS),
+            );
             self.maybe_annotate(&mut rng, &mut g, &iri, &name);
             classes.push(iri);
         }
@@ -148,12 +207,24 @@ impl OntologyGenerator {
         for i in 0..c.num_object_properties {
             let name = self.fresh_name(&mut rng, &mut used, false, i);
             let iri = Iri::new(format!("{}{}", c.namespace, name));
-            g.add(Term::Iri(iri.clone()), vocab::RDF_TYPE, Term::iri(vocab::OWL_OBJECT_PROPERTY));
+            g.add(
+                Term::Iri(iri.clone()),
+                vocab::RDF_TYPE,
+                Term::iri(vocab::OWL_OBJECT_PROPERTY),
+            );
             if !classes.is_empty() {
                 let d = &classes[rng.random_range(0..classes.len())];
                 let r = &classes[rng.random_range(0..classes.len())];
-                g.add(Term::Iri(iri.clone()), vocab::RDFS_DOMAIN, Term::Iri(d.clone()));
-                g.add(Term::Iri(iri.clone()), vocab::RDFS_RANGE, Term::Iri(r.clone()));
+                g.add(
+                    Term::Iri(iri.clone()),
+                    vocab::RDFS_DOMAIN,
+                    Term::Iri(d.clone()),
+                );
+                g.add(
+                    Term::Iri(iri.clone()),
+                    vocab::RDFS_RANGE,
+                    Term::Iri(r.clone()),
+                );
             }
             self.maybe_annotate(&mut rng, &mut g, &iri, &name);
         }
@@ -172,7 +243,11 @@ impl OntologyGenerator {
         for i in 0..c.num_individuals {
             let iri = Iri::new(format!("{}instance{}", c.namespace, i + 1));
             if let Some(cl) = classes.get(rng.random_range(0..classes.len().max(1))) {
-                g.add(Term::Iri(iri.clone()), vocab::RDF_TYPE, Term::Iri(cl.clone()));
+                g.add(
+                    Term::Iri(iri.clone()),
+                    vocab::RDF_TYPE,
+                    Term::Iri(cl.clone()),
+                );
             }
         }
 
@@ -184,7 +259,11 @@ impl OntologyGenerator {
         let c = &self.config;
         if rng.random::<f64>() < c.label_prob {
             let label = crate::naming::tokenize(name).join(" ");
-            let label = if label.is_empty() { name.to_string() } else { label };
+            let label = if label.is_empty() {
+                name.to_string()
+            } else {
+                label
+            };
             g.insert(Triple::new(
                 Term::Iri(iri.clone()),
                 Iri::new(vocab::RDFS_LABEL),
@@ -213,7 +292,11 @@ impl OntologyGenerator {
         let c = &self.config;
         for _ in 0..100 {
             let name = if rng.random::<f64>() < c.opaque_prob {
-                format!("{}{:03}", if class_pos { "C" } else { "p" }, rng.random_range(0..1000))
+                format!(
+                    "{}{:03}",
+                    if class_pos { "C" } else { "p" },
+                    rng.random_range(0..1000)
+                )
             } else {
                 let w1 = &c.theme[rng.random_range(0..c.theme.len())];
                 let w2 = &c.theme[rng.random_range(0..c.theme.len())];
@@ -337,8 +420,14 @@ mod tests {
 
     #[test]
     fn opaque_names_lower_wordiness() {
-        let clean = GeneratorConfig { opaque_prob: 0.0, ..GeneratorConfig::default() };
-        let codes = GeneratorConfig { opaque_prob: 1.0, ..GeneratorConfig::default() };
+        let clean = GeneratorConfig {
+            opaque_prob: 0.0,
+            ..GeneratorConfig::default()
+        };
+        let codes = GeneratorConfig {
+            opaque_prob: 1.0,
+            ..GeneratorConfig::default()
+        };
         let rc = NamingReport::analyze(&OntologyGenerator::new(clean).generate());
         let ro = NamingReport::analyze(&OntologyGenerator::new(codes).generate());
         assert!(rc.wordiness > ro.wordiness);
@@ -346,7 +435,11 @@ mod tests {
 
     #[test]
     fn depth_is_bounded() {
-        let cfg = GeneratorConfig { max_depth: 2, num_classes: 60, ..GeneratorConfig::default() };
+        let cfg = GeneratorConfig {
+            max_depth: 2,
+            num_classes: 60,
+            ..GeneratorConfig::default()
+        };
         let o = OntologyGenerator::new(cfg).generate();
         let m = OntologyMetrics::compute(&o);
         assert!(m.hierarchy_depth <= 2, "depth {}", m.hierarchy_depth);

@@ -38,8 +38,14 @@ impl OntologyMetrics {
             .chain(o.datatype_properties.iter())
             .collect();
         let n_schema = schema_entities.len();
-        let labeled = schema_entities.iter().filter(|e| o.labels.contains_key(**e)).count();
-        let commented = schema_entities.iter().filter(|e| o.comments.contains_key(**e)).count();
+        let labeled = schema_entities
+            .iter()
+            .filter(|e| o.labels.contains_key(**e))
+            .count();
+        let commented = schema_entities
+            .iter()
+            .filter(|e| o.comments.contains_key(**e))
+            .count();
 
         let (depth, mean_branching, orphans) = hierarchy_shape(o);
 
@@ -115,19 +121,25 @@ fn hierarchy_shape(o: &Ontology) -> (usize, f64, usize) {
     }
     let mut memo = BTreeMap::new();
     let mut visiting = BTreeSet::new();
-    let depth =
-        o.classes.iter().map(|c| depth_of(c, o, &mut memo, &mut visiting)).max().unwrap_or(0);
+    let depth = o
+        .classes
+        .iter()
+        .map(|c| depth_of(c, o, &mut memo, &mut visiting))
+        .max()
+        .unwrap_or(0);
 
     let non_leaf = children.len();
     let total_children: usize = children.values().map(|v| v.len()).sum();
-    let mean_branching = if non_leaf == 0 { 0.0 } else { total_children as f64 / non_leaf as f64 };
+    let mean_branching = if non_leaf == 0 {
+        0.0
+    } else {
+        total_children as f64 / non_leaf as f64
+    };
 
     let orphans = o
         .classes
         .iter()
-        .filter(|c| {
-            !o.subclass_of.contains_key(*c) && !children.contains_key(*c)
-        })
+        .filter(|c| !o.subclass_of.contains_key(*c) && !children.contains_key(*c))
         .count();
 
     (depth, mean_branching, orphans)
@@ -154,8 +166,16 @@ mod tests {
         let _d = class(&mut g, "http://e/D");
         g.add(b.clone(), vocab::RDFS_SUBCLASS_OF, a.clone());
         g.add(c.clone(), vocab::RDFS_SUBCLASS_OF, b.clone());
-        g.add(a.clone(), vocab::RDFS_LABEL, Term::Literal(Literal::plain("A")));
-        g.add(a, vocab::RDFS_COMMENT, Term::Literal(Literal::plain("root")));
+        g.add(
+            a.clone(),
+            vocab::RDFS_LABEL,
+            Term::Literal(Literal::plain("A")),
+        );
+        g.add(
+            a,
+            vocab::RDFS_COMMENT,
+            Term::Literal(Literal::plain("root")),
+        );
         g.add(b, vocab::RDFS_LABEL, Term::Literal(Literal::plain("B")));
         g
     }

@@ -37,7 +37,10 @@ impl Iri {
     /// The namespace part (everything up to and including the separator).
     pub fn namespace(&self) -> &str {
         let s = self.0.as_str();
-        let cut = s.rfind('#').or_else(|| s.rfind('/')).or_else(|| s.rfind(':'));
+        let cut = s
+            .rfind('#')
+            .or_else(|| s.rfind('/'))
+            .or_else(|| s.rfind(':'));
         match cut {
             Some(i) => &s[..=i],
             None => "",
@@ -67,15 +70,27 @@ pub struct Literal {
 
 impl Literal {
     pub fn plain(s: impl Into<String>) -> Literal {
-        Literal { lexical: s.into(), datatype: None, lang: None }
+        Literal {
+            lexical: s.into(),
+            datatype: None,
+            lang: None,
+        }
     }
 
     pub fn lang_tagged(s: impl Into<String>, lang: impl Into<String>) -> Literal {
-        Literal { lexical: s.into(), datatype: None, lang: Some(lang.into()) }
+        Literal {
+            lexical: s.into(),
+            datatype: None,
+            lang: Some(lang.into()),
+        }
     }
 
     pub fn typed(s: impl Into<String>, datatype: Iri) -> Literal {
-        Literal { lexical: s.into(), datatype: Some(datatype), lang: None }
+        Literal {
+            lexical: s.into(),
+            datatype: Some(datatype),
+            lang: None,
+        }
     }
 
     pub fn integer(v: i64) -> Literal {
@@ -135,7 +150,11 @@ impl Triple {
             !matches!(subject, Term::Literal(_)),
             "literal in subject position"
         );
-        Triple { subject, predicate, object }
+        Triple {
+            subject,
+            predicate,
+            object,
+        }
     }
 }
 
@@ -166,7 +185,9 @@ impl PrefixMap {
     }
 
     pub fn expand(&self, prefix: &str, local: &str) -> Option<Iri> {
-        self.map.get(prefix).map(|ns| Iri::new(format!("{ns}{local}")))
+        self.map
+            .get(prefix)
+            .map(|ns| Iri::new(format!("{ns}{local}")))
     }
 
     /// Find `(prefix, local)` for an IRI if some namespace matches.
@@ -186,7 +207,9 @@ impl PrefixMap {
         let local = &s[ns.len()..];
         // Only compress when the remainder is a sane local name.
         if local.is_empty()
-            || !local.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '-' || c == '.')
+            || !local
+                .chars()
+                .all(|c| c.is_alphanumeric() || c == '_' || c == '-' || c == '.')
         {
             return None;
         }
@@ -215,7 +238,10 @@ pub struct Graph {
 
 impl Graph {
     pub fn new() -> Graph {
-        Graph { prefixes: PrefixMap::standard(), triples: Vec::new() }
+        Graph {
+            prefixes: PrefixMap::standard(),
+            triples: Vec::new(),
+        }
     }
 
     pub fn insert(&mut self, t: Triple) {
@@ -240,7 +266,9 @@ impl Graph {
 
     /// All triples with the given predicate.
     pub fn with_predicate<'a>(&'a self, p: &'a str) -> impl Iterator<Item = &'a Triple> + 'a {
-        self.triples.iter().filter(move |t| t.predicate.as_str() == p)
+        self.triples
+            .iter()
+            .filter(move |t| t.predicate.as_str() == p)
     }
 
     /// All objects of `(subject, predicate, ?)`.
@@ -320,10 +348,15 @@ pub struct Ontology {
 impl Ontology {
     /// Build the view from a graph.
     pub fn from_graph(graph: Graph) -> Ontology {
-        let mut o = Ontology { graph, ..Ontology::default() };
+        let mut o = Ontology {
+            graph,
+            ..Ontology::default()
+        };
 
         for t in o.graph.triples() {
-            let Some(subj) = t.subject.as_iri().cloned() else { continue };
+            let Some(subj) = t.subject.as_iri().cloned() else {
+                continue;
+            };
             match t.predicate.as_str() {
                 vocab::RDF_TYPE => {
                     if let Some(ty) = t.object.as_iri() {
@@ -360,7 +393,10 @@ impl Ontology {
                     if let Some(sup) = t.object.as_iri() {
                         o.classes.insert(subj.clone());
                         o.classes.insert(sup.clone());
-                        o.subclass_of.entry(subj.clone()).or_default().insert(sup.clone());
+                        o.subclass_of
+                            .entry(subj.clone())
+                            .or_default()
+                            .insert(sup.clone());
                     }
                 }
                 vocab::RDFS_LABEL => {
@@ -391,14 +427,30 @@ impl Ontology {
     pub fn entities(&self) -> Vec<(Iri, EntityKind)> {
         let mut out = Vec::new();
         out.extend(self.classes.iter().cloned().map(|i| (i, EntityKind::Class)));
-        out.extend(self.object_properties.iter().cloned().map(|i| (i, EntityKind::ObjectProperty)));
         out.extend(
-            self.datatype_properties.iter().cloned().map(|i| (i, EntityKind::DatatypeProperty)),
+            self.object_properties
+                .iter()
+                .cloned()
+                .map(|i| (i, EntityKind::ObjectProperty)),
         );
         out.extend(
-            self.annotation_properties.iter().cloned().map(|i| (i, EntityKind::AnnotationProperty)),
+            self.datatype_properties
+                .iter()
+                .cloned()
+                .map(|i| (i, EntityKind::DatatypeProperty)),
         );
-        out.extend(self.individuals.iter().cloned().map(|i| (i, EntityKind::Individual)));
+        out.extend(
+            self.annotation_properties
+                .iter()
+                .cloned()
+                .map(|i| (i, EntityKind::AnnotationProperty)),
+        );
+        out.extend(
+            self.individuals
+                .iter()
+                .cloned()
+                .map(|i| (i, EntityKind::Individual)),
+        );
         out
     }
 
@@ -417,12 +469,18 @@ impl Ontology {
 
     /// First label of an entity, if any.
     pub fn label(&self, e: &Iri) -> Option<&str> {
-        self.labels.get(e).and_then(|v| v.first()).map(|l| l.lexical.as_str())
+        self.labels
+            .get(e)
+            .and_then(|v| v.first())
+            .map(|l| l.lexical.as_str())
     }
 
     /// First comment of an entity, if any.
     pub fn comment(&self, e: &Iri) -> Option<&str> {
-        self.comments.get(e).and_then(|v| v.first()).map(|l| l.lexical.as_str())
+        self.comments
+            .get(e)
+            .and_then(|v| v.first())
+            .map(|l| l.lexical.as_str())
     }
 }
 
@@ -444,8 +502,14 @@ mod tests {
 
     #[test]
     fn iri_namespace_variants() {
-        assert_eq!(iri("http://ex.org/onto#Video").namespace(), "http://ex.org/onto#");
-        assert_eq!(iri("http://ex.org/onto/Video").namespace(), "http://ex.org/onto/");
+        assert_eq!(
+            iri("http://ex.org/onto#Video").namespace(),
+            "http://ex.org/onto#"
+        );
+        assert_eq!(
+            iri("http://ex.org/onto/Video").namespace(),
+            "http://ex.org/onto/"
+        );
         assert_eq!(iri("Video").namespace(), "");
     }
 
@@ -490,16 +554,28 @@ mod tests {
         g.add(video.clone(), vocab::RDF_TYPE, Term::iri(vocab::OWL_CLASS));
         g.add(media.clone(), vocab::RDF_TYPE, Term::iri(vocab::OWL_CLASS));
         g.add(video.clone(), vocab::RDFS_SUBCLASS_OF, media.clone());
-        g.add(video.clone(), vocab::RDFS_LABEL, Term::Literal(Literal::plain("Video")));
+        g.add(
+            video.clone(),
+            vocab::RDFS_LABEL,
+            Term::Literal(Literal::plain("Video")),
+        );
         g.add(
             video.clone(),
             vocab::RDFS_COMMENT,
             Term::Literal(Literal::lang_tagged("A moving image.", "en")),
         );
         let dur = Term::iri("http://ex.org/mm#duration");
-        g.add(dur, vocab::RDF_TYPE, Term::iri(vocab::OWL_DATATYPE_PROPERTY));
+        g.add(
+            dur,
+            vocab::RDF_TYPE,
+            Term::iri(vocab::OWL_DATATYPE_PROPERTY),
+        );
         let depicts = Term::iri("http://ex.org/mm#depicts");
-        g.add(depicts, vocab::RDF_TYPE, Term::iri(vocab::OWL_OBJECT_PROPERTY));
+        g.add(
+            depicts,
+            vocab::RDF_TYPE,
+            Term::iri(vocab::OWL_OBJECT_PROPERTY),
+        );
         let clip = Term::iri("http://ex.org/mm#clip1");
         g.add(clip, vocab::RDF_TYPE, video.clone());
         g
@@ -569,7 +645,11 @@ mod tests {
     fn literal_constructors() {
         assert_eq!(Literal::integer(3).lexical, "3");
         assert_eq!(Literal::boolean(true).lexical, "true");
-        assert!(Literal::decimal(0.5).datatype.unwrap().as_str().ends_with("decimal"));
+        assert!(Literal::decimal(0.5)
+            .datatype
+            .unwrap()
+            .as_str()
+            .ends_with("decimal"));
         let l = Literal::lang_tagged("hi", "en");
         assert_eq!(l.lang.as_deref(), Some("en"));
     }

@@ -108,8 +108,12 @@ pub fn extract_module(source: &Ontology, signature: &[Iri], opts: &ModuleOptions
                 _ => continue,
             };
             let _ = is_range;
-            let Some(prop) = t.subject.as_iri() else { continue };
-            let Some(class) = t.object.as_iri() else { continue };
+            let Some(prop) = t.subject.as_iri() else {
+                continue;
+            };
+            let Some(class) = t.object.as_iri() else {
+                continue;
+            };
             if sig.contains(class) {
                 additions.push(prop.clone());
             }
@@ -149,7 +153,9 @@ pub fn extract_module(source: &Ontology, signature: &[Iri], opts: &ModuleOptions
         g.prefixes.insert(p.clone(), ns.clone());
     }
     for t in source.graph.triples() {
-        let Some(subj) = t.subject.as_iri() else { continue };
+        let Some(subj) = t.subject.as_iri() else {
+            continue;
+        };
         if !sig.contains(subj) {
             continue;
         }
@@ -176,7 +182,11 @@ pub fn extract_module(source: &Ontology, signature: &[Iri], opts: &ModuleOptions
     }
     g.dedup();
 
-    Module { ontology: Ontology::from_graph(g), unresolved, signature: sig }
+    Module {
+        ontology: Ontology::from_graph(g),
+        unresolved,
+        signature: sig,
+    }
 }
 
 fn is_source_entity(source: &Ontology, iri: &Iri) -> bool {
@@ -204,35 +214,67 @@ mod tests {
                 Term::iri(vocab::OWL_CLASS),
             );
         }
-        g.add(Term::iri("http://e/Video"), vocab::RDFS_SUBCLASS_OF, Term::iri("http://e/Media"));
-        g.add(Term::iri("http://e/Clip"), vocab::RDFS_SUBCLASS_OF, Term::iri("http://e/Video"));
-        g.add(Term::iri("http://e/Track"), vocab::RDFS_SUBCLASS_OF, Term::iri("http://e/Audio"));
+        g.add(
+            Term::iri("http://e/Video"),
+            vocab::RDFS_SUBCLASS_OF,
+            Term::iri("http://e/Media"),
+        );
+        g.add(
+            Term::iri("http://e/Clip"),
+            vocab::RDFS_SUBCLASS_OF,
+            Term::iri("http://e/Video"),
+        );
+        g.add(
+            Term::iri("http://e/Track"),
+            vocab::RDFS_SUBCLASS_OF,
+            Term::iri("http://e/Audio"),
+        );
         g.add(
             Term::iri("http://e/hasDuration"),
             vocab::RDF_TYPE,
             Term::iri(vocab::OWL_DATATYPE_PROPERTY),
         );
-        g.add(Term::iri("http://e/hasDuration"), vocab::RDFS_DOMAIN, Term::iri("http://e/Video"));
+        g.add(
+            Term::iri("http://e/hasDuration"),
+            vocab::RDFS_DOMAIN,
+            Term::iri("http://e/Video"),
+        );
         g.add(
             Term::iri("http://e/depicts"),
             vocab::RDF_TYPE,
             Term::iri(vocab::OWL_OBJECT_PROPERTY),
         );
-        g.add(Term::iri("http://e/depicts"), vocab::RDFS_DOMAIN, Term::iri("http://e/Video"));
-        g.add(Term::iri("http://e/depicts"), vocab::RDFS_RANGE, Term::iri("http://e/Agent"));
+        g.add(
+            Term::iri("http://e/depicts"),
+            vocab::RDFS_DOMAIN,
+            Term::iri("http://e/Video"),
+        );
+        g.add(
+            Term::iri("http://e/depicts"),
+            vocab::RDFS_RANGE,
+            Term::iri("http://e/Agent"),
+        );
         g.add(
             Term::iri("http://e/Video"),
             vocab::RDFS_LABEL,
             Term::Literal(Literal::plain("Video")),
         );
-        g.add(Term::iri("http://e/clip1"), vocab::RDF_TYPE, Term::iri("http://e/Clip"));
+        g.add(
+            Term::iri("http://e/clip1"),
+            vocab::RDF_TYPE,
+            Term::iri("http://e/Clip"),
+        );
         Ontology::from_graph(g)
     }
 
     #[test]
     fn module_closes_upward() {
         let src = source();
-        let m = extract_module(&src, &[Iri::new("http://e/Clip")], &ModuleOptions::default());
+        let m = extract_module(
+            &src,
+            &[Iri::new("http://e/Clip")],
+            &ModuleOptions::default(),
+        );
         assert!(m.signature.contains(&Iri::new("http://e/Video")));
         assert!(m.signature.contains(&Iri::new("http://e/Media")));
         // The audio branch stays out.
@@ -244,9 +286,19 @@ mod tests {
     #[test]
     fn module_pulls_in_touching_properties_and_their_ranges() {
         let src = source();
-        let m = extract_module(&src, &[Iri::new("http://e/Video")], &ModuleOptions::default());
-        assert!(m.ontology.datatype_properties.contains(&Iri::new("http://e/hasDuration")));
-        assert!(m.ontology.object_properties.contains(&Iri::new("http://e/depicts")));
+        let m = extract_module(
+            &src,
+            &[Iri::new("http://e/Video")],
+            &ModuleOptions::default(),
+        );
+        assert!(m
+            .ontology
+            .datatype_properties
+            .contains(&Iri::new("http://e/hasDuration")));
+        assert!(m
+            .ontology
+            .object_properties
+            .contains(&Iri::new("http://e/depicts")));
         // depicts' range (Agent) comes along so the fragment is closed.
         assert!(m.ontology.classes.contains(&Iri::new("http://e/Agent")));
     }
@@ -254,12 +306,22 @@ mod tests {
     #[test]
     fn annotations_follow_the_flag() {
         let src = source();
-        let with = extract_module(&src, &[Iri::new("http://e/Video")], &ModuleOptions::default());
-        assert_eq!(with.ontology.label(&Iri::new("http://e/Video")), Some("Video"));
+        let with = extract_module(
+            &src,
+            &[Iri::new("http://e/Video")],
+            &ModuleOptions::default(),
+        );
+        assert_eq!(
+            with.ontology.label(&Iri::new("http://e/Video")),
+            Some("Video")
+        );
         let without = extract_module(
             &src,
             &[Iri::new("http://e/Video")],
-            &ModuleOptions { include_annotations: false, ..ModuleOptions::default() },
+            &ModuleOptions {
+                include_annotations: false,
+                ..ModuleOptions::default()
+            },
         );
         assert_eq!(without.ontology.label(&Iri::new("http://e/Video")), None);
     }
@@ -267,14 +329,24 @@ mod tests {
     #[test]
     fn individuals_follow_the_flag() {
         let src = source();
-        let tbox = extract_module(&src, &[Iri::new("http://e/Clip")], &ModuleOptions::default());
+        let tbox = extract_module(
+            &src,
+            &[Iri::new("http://e/Clip")],
+            &ModuleOptions::default(),
+        );
         assert!(tbox.ontology.individuals.is_empty());
         let abox = extract_module(
             &src,
             &[Iri::new("http://e/Clip")],
-            &ModuleOptions { include_individuals: true, ..ModuleOptions::default() },
+            &ModuleOptions {
+                include_individuals: true,
+                ..ModuleOptions::default()
+            },
         );
-        assert!(abox.ontology.individuals.contains(&Iri::new("http://e/clip1")));
+        assert!(abox
+            .ontology
+            .individuals
+            .contains(&Iri::new("http://e/clip1")));
     }
 
     #[test]
@@ -292,7 +364,11 @@ mod tests {
     #[test]
     fn module_is_smaller_and_serializable() {
         let src = source();
-        let m = extract_module(&src, &[Iri::new("http://e/Track")], &ModuleOptions::default());
+        let m = extract_module(
+            &src,
+            &[Iri::new("http://e/Track")],
+            &ModuleOptions::default(),
+        );
         assert!(m.compression(&src) < 1.0);
         let text = crate::turtle::write_turtle(&m.ontology.graph);
         let back = crate::turtle::parse_turtle(&text).expect("module serializes");

@@ -132,8 +132,11 @@ impl NamingReport {
     /// Analyze the schema entities of an ontology.
     pub fn analyze(o: &Ontology) -> NamingReport {
         let classes: Vec<&Iri> = o.classes.iter().collect();
-        let props: Vec<&Iri> =
-            o.object_properties.iter().chain(o.datatype_properties.iter()).collect();
+        let props: Vec<&Iri> = o
+            .object_properties
+            .iter()
+            .chain(o.datatype_properties.iter())
+            .collect();
         let all: Vec<&Iri> = classes.iter().chain(props.iter()).copied().collect();
 
         if all.is_empty() {
@@ -150,15 +153,17 @@ impl NamingReport {
             *styles.entry(classify(e.local_name())).or_insert(0) += 1;
         }
 
-        let consistency =
-            (dominant_share(&classes) * classes.len() as f64 + dominant_share(&props) * props.len() as f64)
-                / all.len() as f64;
+        let consistency = (dominant_share(&classes) * classes.len() as f64
+            + dominant_share(&props) * props.len() as f64)
+            / all.len() as f64;
 
         let wordy = all.iter().filter(|e| looks_wordy(e.local_name())).count();
         let standard = all
             .iter()
             .filter(|e| {
-                vocab::STANDARD_NAMESPACES.iter().any(|ns| e.as_str().starts_with(ns))
+                vocab::STANDARD_NAMESPACES
+                    .iter()
+                    .any(|ns| e.as_str().starts_with(ns))
             })
             .count();
 
@@ -243,7 +248,11 @@ mod tests {
             g.add(Term::iri(*c), vocab::RDF_TYPE, Term::iri(vocab::OWL_CLASS));
         }
         for p in props {
-            g.add(Term::iri(*p), vocab::RDF_TYPE, Term::iri(vocab::OWL_OBJECT_PROPERTY));
+            g.add(
+                Term::iri(*p),
+                vocab::RDF_TYPE,
+                Term::iri(vocab::OWL_OBJECT_PROPERTY),
+            );
         }
         Ontology::from_graph(g)
     }
@@ -283,7 +292,12 @@ mod tests {
     #[test]
     fn opaque_codes_score_low() {
         let o = ontology_with(
-            &["http://e/C001", "http://e/c_002-x", "http://e/XY1", "http://e/q9"],
+            &[
+                "http://e/C001",
+                "http://e/c_002-x",
+                "http://e/XY1",
+                "http://e/q9",
+            ],
             &[],
         );
         let r = NamingReport::analyze(&o);
@@ -293,11 +307,19 @@ mod tests {
     #[test]
     fn mixed_styles_hurt_consistency() {
         let consistent = NamingReport::analyze(&ontology_with(
-            &["http://e/AlphaBeta", "http://e/GammaDelta", "http://e/EpsilonZeta"],
+            &[
+                "http://e/AlphaBeta",
+                "http://e/GammaDelta",
+                "http://e/EpsilonZeta",
+            ],
             &[],
         ));
         let mixed = NamingReport::analyze(&ontology_with(
-            &["http://e/AlphaBeta", "http://e/gamma_delta", "http://e/epsilon-zeta"],
+            &[
+                "http://e/AlphaBeta",
+                "http://e/gamma_delta",
+                "http://e/epsilon-zeta",
+            ],
             &[],
         ));
         assert!(mixed.consistency < consistent.consistency);

@@ -64,7 +64,11 @@ pub fn parse_ntriples(src: &str) -> Result<Graph, TurtleError> {
             continue;
         }
         if !trimmed.ends_with('.') {
-            return Err(TurtleError::new(ln + 1, line.len().max(1), "line must end with '.'"));
+            return Err(TurtleError::new(
+                ln + 1,
+                line.len().max(1),
+                "line must end with '.'",
+            ));
         }
     }
     let mut g = crate::turtle::parse_turtle(src)?;
@@ -149,10 +153,9 @@ mod tests {
 
     #[test]
     fn comments_and_blanks_allowed() {
-        let g = parse_ntriples(
-            "# snapshot 2012-04-02\n\n<http://e/A> <http://e/p> <http://e/B> .\n",
-        )
-        .expect("valid");
+        let g =
+            parse_ntriples("# snapshot 2012-04-02\n\n<http://e/A> <http://e/p> <http://e/B> .\n")
+                .expect("valid");
         assert_eq!(g.len(), 1);
     }
 }

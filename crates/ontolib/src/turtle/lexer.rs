@@ -8,7 +8,10 @@ pub enum TokenKind {
     /// `<http://…>` (contents, unescaped)
     IriRef(String),
     /// `prefix:local` — both parts may be empty (`:x`, `rdf:`)
-    PrefixedName { prefix: String, local: String },
+    PrefixedName {
+        prefix: String,
+        local: String,
+    },
     /// `_:label`
     BlankNode(String),
     /// String literal contents (after escape processing)
@@ -55,7 +58,12 @@ pub struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     pub fn new(src: &'a str) -> Lexer<'a> {
-        Lexer { src: src.as_bytes(), pos: 0, line: 1, col: 1 }
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -109,7 +117,11 @@ impl<'a> Lexer<'a> {
             let line = self.line;
             let col = self.col;
             let Some(c) = self.peek() else {
-                out.push(Token { kind: TokenKind::Eof, line, col });
+                out.push(Token {
+                    kind: TokenKind::Eof,
+                    line,
+                    col,
+                });
                 return Ok(out);
             };
             let kind = match c {
@@ -196,7 +208,9 @@ impl<'a> Lexer<'a> {
         }
         let mut s = String::new();
         loop {
-            let Some(c) = self.bump() else { return Err(self.err("unterminated string")) };
+            let Some(c) = self.bump() else {
+                return Err(self.err("unterminated string"));
+            };
             match c {
                 b'"' => {
                     if long {
@@ -237,9 +251,7 @@ impl<'a> Lexer<'a> {
                             }
                             let code = u32::from_str_radix(&hex, 16)
                                 .map_err(|_| self.err("bad \\u escape"))?;
-                            s.push(
-                                char::from_u32(code).ok_or_else(|| self.err("bad code point"))?,
-                            );
+                            s.push(char::from_u32(code).ok_or_else(|| self.err("bad code point"))?);
                         }
                         other => {
                             return Err(self.err(format!("unknown escape '\\{}'", other as char)))
@@ -346,7 +358,10 @@ impl<'a> Lexer<'a> {
                 self.pos -= 1;
                 self.col -= 1;
             }
-            return Ok(TokenKind::PrefixedName { prefix: first, local });
+            return Ok(TokenKind::PrefixedName {
+                prefix: first,
+                local,
+            });
         }
         match first.as_str() {
             "a" => Ok(TokenKind::A),
@@ -387,7 +402,12 @@ mod tests {
     use super::*;
 
     fn kinds(src: &str) -> Vec<TokenKind> {
-        Lexer::new(src).tokenize().unwrap().into_iter().map(|t| t.kind).collect()
+        Lexer::new(src)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]
@@ -396,9 +416,15 @@ mod tests {
         assert_eq!(
             k,
             vec![
-                TokenKind::PrefixedName { prefix: "ex".into(), local: "Video".into() },
+                TokenKind::PrefixedName {
+                    prefix: "ex".into(),
+                    local: "Video".into()
+                },
                 TokenKind::A,
-                TokenKind::PrefixedName { prefix: "owl".into(), local: "Class".into() },
+                TokenKind::PrefixedName {
+                    prefix: "owl".into(),
+                    local: "Class".into()
+                },
                 TokenKind::Dot,
                 TokenKind::Eof,
             ]
@@ -409,7 +435,13 @@ mod tests {
     fn lex_prefix_directive() {
         let k = kinds("@prefix ex: <http://e/> .");
         assert_eq!(k[0], TokenKind::AtPrefix);
-        assert_eq!(k[1], TokenKind::PrefixedName { prefix: "ex".into(), local: "".into() });
+        assert_eq!(
+            k[1],
+            TokenKind::PrefixedName {
+                prefix: "ex".into(),
+                local: "".into()
+            }
+        );
         assert_eq!(k[2], TokenKind::IriRef("http://e/".into()));
     }
 

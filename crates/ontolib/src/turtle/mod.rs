@@ -39,13 +39,21 @@ pub struct TurtleError {
 
 impl TurtleError {
     pub(crate) fn new(line: usize, col: usize, message: impl Into<String>) -> TurtleError {
-        TurtleError { line, col, message: message.into() }
+        TurtleError {
+            line,
+            col,
+            message: message.into(),
+        }
     }
 }
 
 impl fmt::Display for TurtleError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "turtle error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "turtle error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 

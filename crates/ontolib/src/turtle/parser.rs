@@ -16,7 +16,14 @@ use crate::vocab;
 /// ```
 pub fn parse_turtle(src: &str) -> Result<Graph, TurtleError> {
     let tokens = Lexer::new(src).tokenize()?;
-    Parser { tokens, pos: 0, graph: Graph::new(), base: None, blank_counter: 0 }.parse()
+    Parser {
+        tokens,
+        pos: 0,
+        graph: Graph::new(),
+        base: None,
+        blank_counter: 0,
+    }
+    .parse()
 }
 
 struct Parser {
@@ -193,7 +200,8 @@ impl Parser {
     fn parse_object_list(&mut self, subject: &Term, predicate: &Iri) -> Result<(), TurtleError> {
         loop {
             let object = self.parse_object()?;
-            self.graph.insert(Triple::new(subject.clone(), predicate.clone(), object));
+            self.graph
+                .insert(Triple::new(subject.clone(), predicate.clone(), object));
             if self.peek().kind == TokenKind::Comma {
                 self.bump();
             } else {
@@ -315,8 +323,11 @@ mod tests {
         )
         .unwrap();
         assert_eq!(g.len(), 5);
-        let lits: Vec<_> =
-            g.triples().iter().filter_map(|t| t.object.as_literal()).collect();
+        let lits: Vec<_> = g
+            .triples()
+            .iter()
+            .filter_map(|t| t.object.as_literal())
+            .collect();
         assert_eq!(lits.len(), 5);
         assert!(lits.iter().any(|l| l.lang.as_deref() == Some("en")));
         assert!(lits
@@ -365,8 +376,12 @@ mod tests {
              <rel> a <#C> .",
         )
         .unwrap();
-        let subs: Vec<_> =
-            g.triples().iter().filter_map(|t| t.subject.as_iri()).map(|i| i.as_str()).collect();
+        let subs: Vec<_> = g
+            .triples()
+            .iter()
+            .filter_map(|t| t.subject.as_iri())
+            .map(|i| i.as_str())
+            .collect();
         assert!(subs.contains(&"http://e/onto#A"));
         assert!(subs.contains(&"http://e/onto/rel"));
     }

@@ -29,7 +29,10 @@ impl fmt::Display for LpError {
             }
             LpError::NonFiniteInput(what) => write!(f, "non-finite input: {what}"),
             LpError::InvalidBound { var, lower, upper } => {
-                write!(f, "variable {var} has lower bound {lower} > upper bound {upper}")
+                write!(
+                    f,
+                    "variable {var} has lower bound {lower} > upper bound {upper}"
+                )
             }
             LpError::IterationLimit(n) => write!(f, "simplex exceeded {n} pivots"),
             LpError::EmptyProblem => write!(f, "linear program has no variables"),
@@ -45,9 +48,16 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = LpError::DimensionMismatch { expected: 3, got: 2 };
+        let e = LpError::DimensionMismatch {
+            expected: 3,
+            got: 2,
+        };
         assert!(e.to_string().contains("expected 3"));
-        let e = LpError::InvalidBound { var: 1, lower: 2.0, upper: 1.0 };
+        let e = LpError::InvalidBound {
+            var: 1,
+            lower: 2.0,
+            upper: 1.0,
+        };
         assert!(e.to_string().contains("variable 1"));
         let e = LpError::IterationLimit(10);
         assert!(e.to_string().contains("10"));

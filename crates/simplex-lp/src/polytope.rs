@@ -44,7 +44,10 @@ impl WeightPolytope {
             lo.push(l.clamp(0.0, 1.0));
             hi.push(u.clamp(0.0, 1.0));
         }
-        let p = WeightPolytope { lower: lo, upper: hi };
+        let p = WeightPolytope {
+            lower: lo,
+            upper: hi,
+        };
         if p.is_feasible() {
             Some(p)
         } else {
@@ -54,7 +57,10 @@ impl WeightPolytope {
 
     /// The unconstrained simplex over `n` weights (`low = 0`, `upp = 1`).
     pub fn full_simplex(n: usize) -> WeightPolytope {
-        WeightPolytope { lower: vec![0.0; n], upper: vec![1.0; n] }
+        WeightPolytope {
+            lower: vec![0.0; n],
+            upper: vec![1.0; n],
+        }
     }
 
     /// Number of weights.

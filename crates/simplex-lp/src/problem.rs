@@ -39,10 +39,16 @@ pub struct Bound {
 
 impl Bound {
     /// The default bound: `x ≥ 0`.
-    pub const NON_NEGATIVE: Bound = Bound { lower: 0.0, upper: f64::INFINITY };
+    pub const NON_NEGATIVE: Bound = Bound {
+        lower: 0.0,
+        upper: f64::INFINITY,
+    };
 
     /// A completely free variable.
-    pub const FREE: Bound = Bound { lower: f64::NEG_INFINITY, upper: f64::INFINITY };
+    pub const FREE: Bound = Bound {
+        lower: f64::NEG_INFINITY,
+        upper: f64::INFINITY,
+    };
 
     /// A boxed variable `lower ≤ x ≤ upper`.
     pub fn boxed(lower: f64, upper: f64) -> Bound {
@@ -107,7 +113,11 @@ impl LinearProgram {
     /// Add the constraint `coeffs · x REL rhs`.
     pub fn add_constraint(&mut self, coeffs: &[f64], relation: Relation, rhs: f64) -> &mut Self {
         assert_eq!(coeffs.len(), self.n, "constraint length mismatch");
-        self.constraints.push(Constraint { coeffs: coeffs.to_vec(), relation, rhs });
+        self.constraints.push(Constraint {
+            coeffs: coeffs.to_vec(),
+            relation,
+            rhs,
+        });
         self
     }
 
@@ -123,7 +133,10 @@ impl LinearProgram {
         }
         for (ci, con) in self.constraints.iter().enumerate() {
             if con.coeffs.len() != self.n {
-                return Err(LpError::DimensionMismatch { expected: self.n, got: con.coeffs.len() });
+                return Err(LpError::DimensionMismatch {
+                    expected: self.n,
+                    got: con.coeffs.len(),
+                });
             }
             if !con.rhs.is_finite() {
                 return Err(LpError::NonFiniteInput(format!("constraint[{ci}].rhs")));
@@ -136,7 +149,11 @@ impl LinearProgram {
         }
         for (i, b) in self.bounds.iter().enumerate() {
             if b.lower > b.upper {
-                return Err(LpError::InvalidBound { var: i, lower: b.lower, upper: b.upper });
+                return Err(LpError::InvalidBound {
+                    var: i,
+                    lower: b.lower,
+                    upper: b.upper,
+                });
             }
             if b.lower.is_nan() || b.upper.is_nan() {
                 return Err(LpError::NonFiniteInput(format!("bound[{i}]")));

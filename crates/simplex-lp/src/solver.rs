@@ -34,7 +34,12 @@ pub struct Solution {
 
 impl Solution {
     fn non_optimal(status: Status) -> Solution {
-        Solution { status, objective: f64::NAN, x: Vec::new(), pivots: 0 }
+        Solution {
+            status,
+            objective: f64::NAN,
+            x: Vec::new(),
+            pivots: 0,
+        }
     }
 }
 
@@ -76,7 +81,10 @@ fn to_standard(lp: &LinearProgram) -> StandardForm {
         if b.lower.is_finite() {
             let col = n_internal;
             n_internal += 1;
-            maps.push(VarMap::Shifted { col, lower: b.lower });
+            maps.push(VarMap::Shifted {
+                col,
+                lower: b.lower,
+            });
             if b.upper.is_finite() && b.upper > b.lower {
                 extra_rows.push((col, b.upper - b.lower));
             } else if b.upper.is_finite() {
@@ -86,7 +94,10 @@ fn to_standard(lp: &LinearProgram) -> StandardForm {
         } else if b.upper.is_finite() {
             let col = n_internal;
             n_internal += 1;
-            maps.push(VarMap::Mirrored { col, upper: b.upper });
+            maps.push(VarMap::Mirrored {
+                col,
+                upper: b.upper,
+            });
         } else {
             let pos = n_internal;
             let neg = n_internal + 1;
@@ -147,7 +158,13 @@ fn to_standard(lp: &LinearProgram) -> StandardForm {
         rows.push((coeffs, Relation::Le, ub));
     }
 
-    StandardForm { rows, cost, offset, maps, n_internal }
+    StandardForm {
+        rows,
+        cost,
+        offset,
+        maps,
+        n_internal,
+    }
 }
 
 /// Run the pivot loop until optimality, unboundedness or the iteration cap.
@@ -158,8 +175,12 @@ fn pivot_loop(t: &mut Tableau, budget: &mut usize, max_pivots: usize) -> Result<
     let mut local = 0usize;
     loop {
         let bland = local >= bland_after;
-        let Some(j) = t.entering(bland) else { return Ok(true) };
-        let Some(r) = t.leaving(j) else { return Ok(false) };
+        let Some(j) = t.entering(bland) else {
+            return Ok(true);
+        };
+        let Some(r) = t.leaving(j) else {
+            return Ok(false);
+        };
         t.pivot(r, j);
         local += 1;
         *budget += 1;
@@ -175,7 +196,11 @@ pub(crate) fn solve(lp: &LinearProgram) -> Result<Solution, LpError> {
     let n = sf.n_internal;
 
     // Count slack columns and build the equality system with rhs >= 0.
-    let n_slack = sf.rows.iter().filter(|(_, rel, _)| *rel != Relation::Eq).count();
+    let n_slack = sf
+        .rows
+        .iter()
+        .filter(|(_, rel, _)| *rel != Relation::Eq)
+        .count();
     let total_structural = n + n_slack;
 
     let mut a: Vec<Vec<f64>> = Vec::with_capacity(m);
@@ -262,7 +287,10 @@ pub(crate) fn solve(lp: &LinearProgram) -> Result<Solution, LpError> {
         let optimal = pivot_loop(&mut t, &mut pivots, max_pivots)?;
         debug_assert!(optimal, "phase-1 objective is bounded below by 0");
         if t.objective_value() > 1e-7 {
-            return Ok(Solution { pivots, ..Solution::non_optimal(Status::Infeasible) });
+            return Ok(Solution {
+                pivots,
+                ..Solution::non_optimal(Status::Infeasible)
+            });
         }
         // Drive remaining artificial variables out of the basis.
         let mut drop_rows = Vec::new();
@@ -283,15 +311,14 @@ pub(crate) fn solve(lp: &LinearProgram) -> Result<Solution, LpError> {
             t.basis.remove(r);
         }
         // Rebuild tableau without artificial columns.
-        let mut a2: Vec<Vec<f64>> = t
-            .a
-            .iter()
-            .map(|row| {
-                let mut r: Vec<f64> = row[..total_structural].to_vec();
-                r.push(row[cols]);
-                r
-            })
-            .collect();
+        let mut a2: Vec<Vec<f64>> =
+            t.a.iter()
+                .map(|row| {
+                    let mut r: Vec<f64> = row[..total_structural].to_vec();
+                    r.push(row[cols]);
+                    r
+                })
+                .collect();
         let basis2 = t.basis.clone();
         // Phase-2 objective priced out against the current basis.
         let mut z2 = vec![0.0; total_structural + 1];
@@ -314,7 +341,10 @@ pub(crate) fn solve(lp: &LinearProgram) -> Result<Solution, LpError> {
         let mut t2 = Tableau::new(a2, z2, basis2, total_structural);
         let optimal = pivot_loop(&mut t2, &mut pivots, max_pivots)?;
         if !optimal {
-            return Ok(Solution { pivots, ..Solution::non_optimal(Status::Unbounded) });
+            return Ok(Solution {
+                pivots,
+                ..Solution::non_optimal(Status::Unbounded)
+            });
         }
         return Ok(extract(lp, &sf, &t2, n, pivots));
     }
@@ -325,14 +355,23 @@ pub(crate) fn solve(lp: &LinearProgram) -> Result<Solution, LpError> {
     let mut t = Tableau::new(a, z, basis, cols);
     let optimal = pivot_loop(&mut t, &mut pivots, max_pivots)?;
     if !optimal {
-        return Ok(Solution { pivots, ..Solution::non_optimal(Status::Unbounded) });
+        return Ok(Solution {
+            pivots,
+            ..Solution::non_optimal(Status::Unbounded)
+        });
     }
     Ok(extract(lp, &sf, &t, n, pivots))
 }
 
 /// Map the internal primal solution back to user variables and recompute the
 /// objective in the user's direction from first principles.
-fn extract(lp: &LinearProgram, sf: &StandardForm, t: &Tableau, n: usize, pivots: usize) -> Solution {
+fn extract(
+    lp: &LinearProgram,
+    sf: &StandardForm,
+    t: &Tableau,
+    n: usize,
+    pivots: usize,
+) -> Solution {
     let xi = t.primal(n);
     let mut x = vec![0.0; lp.n];
     for (i, map) in sf.maps.iter().enumerate() {
@@ -344,7 +383,12 @@ fn extract(lp: &LinearProgram, sf: &StandardForm, t: &Tableau, n: usize, pivots:
     }
     let objective: f64 = lp.objective.iter().zip(x.iter()).map(|(c, v)| c * v).sum();
     let _ = sf.offset; // objective recomputed directly; offset kept for debug use
-    Solution { status: Status::Optimal, objective, x, pivots }
+    Solution {
+        status: Status::Optimal,
+        objective,
+        x,
+        pivots,
+    }
 }
 
 #[cfg(test)]

@@ -1,7 +1,9 @@
 //! Property-based tests for the LP solver and the weight polytope.
 
 use proptest::prelude::*;
-use simplex_lp::{minimize_via_lp, Bound, LinearProgram, Objective, Relation, Status, WeightPolytope};
+use simplex_lp::{
+    minimize_via_lp, Bound, LinearProgram, Objective, Relation, Status, WeightPolytope,
+};
 
 /// Strategy: a feasible box-on-simplex polytope of dimension 2..=8.
 fn polytope_strategy() -> impl Strategy<Value = WeightPolytope> {
@@ -13,7 +15,11 @@ fn polytope_strategy() -> impl Strategy<Value = WeightPolytope> {
             )
         })
         .prop_filter_map("feasible box", |(lows, widths)| {
-            let upps: Vec<f64> = lows.iter().zip(&widths).map(|(l, w)| (l + w).min(1.0)).collect();
+            let upps: Vec<f64> = lows
+                .iter()
+                .zip(&widths)
+                .map(|(l, w)| (l + w).min(1.0))
+                .collect();
             WeightPolytope::new(&lows, &upps)
         })
 }

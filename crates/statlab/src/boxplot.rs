@@ -33,10 +33,22 @@ impl Boxplot {
         let iqr = q3 - q1;
         let lo_fence = q1 - 1.5 * iqr;
         let hi_fence = q3 + 1.5 * iqr;
-        let whisker_low = sorted.iter().copied().find(|&v| v >= lo_fence).unwrap_or(q1);
-        let whisker_high = sorted.iter().rev().copied().find(|&v| v <= hi_fence).unwrap_or(q3);
-        let outliers =
-            sorted.iter().copied().filter(|&v| v < whisker_low || v > whisker_high).collect();
+        let whisker_low = sorted
+            .iter()
+            .copied()
+            .find(|&v| v >= lo_fence)
+            .unwrap_or(q1);
+        let whisker_high = sorted
+            .iter()
+            .rev()
+            .copied()
+            .find(|&v| v <= hi_fence)
+            .unwrap_or(q3);
+        let outliers = sorted
+            .iter()
+            .copied()
+            .filter(|&v| v < whisker_low || v > whisker_high)
+            .collect();
         Some(Boxplot {
             label: label.into(),
             q1,
@@ -51,8 +63,16 @@ impl Boxplot {
 
     /// Total span covered by whiskers.
     pub fn span(&self) -> (f64, f64) {
-        let lo = self.outliers.iter().copied().fold(self.whisker_low, f64::min);
-        let hi = self.outliers.iter().copied().fold(self.whisker_high, f64::max);
+        let lo = self
+            .outliers
+            .iter()
+            .copied()
+            .fold(self.whisker_low, f64::min);
+        let hi = self
+            .outliers
+            .iter()
+            .copied()
+            .fold(self.whisker_high, f64::max);
         (lo, hi)
     }
 }
@@ -97,7 +117,9 @@ impl MultipleBoxplot {
     ///
     /// `width` is the number of character cells for the axis.
     pub fn render(&self, width: usize) -> String {
-        let Some((lo, hi)) = self.axis() else { return String::new() };
+        let Some((lo, hi)) = self.axis() else {
+            return String::new();
+        };
         let width = width.max(10);
         let scale = |v: f64| -> usize {
             if hi <= lo {

@@ -71,7 +71,11 @@ impl Describe {
             mean += delta / (i + 1) as f64;
             m2 += delta * (x - mean);
         }
-        let std_dev = if n > 1 { (m2 / (n - 1) as f64).sqrt() } else { 0.0 };
+        let std_dev = if n > 1 {
+            (m2 / (n - 1) as f64).sqrt()
+        } else {
+            0.0
+        };
 
         // Mode over the sorted sample: longest run of equal values.
         let mut mode = sorted[0];

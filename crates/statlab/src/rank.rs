@@ -23,7 +23,9 @@ pub fn rank_vector(scores: &[f64], ties: TieBreak) -> Vec<f64> {
     let mut order: Vec<usize> = (0..n).collect();
     // Descending by score; NaNs sink to the end deterministically.
     order.sort_by(|&a, &b| {
-        scores[b].partial_cmp(&scores[a]).unwrap_or_else(|| a.cmp(&b).reverse())
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or_else(|| a.cmp(&b).reverse())
     });
     let mut ranks = vec![0.0; n];
     let mut i = 0usize;
@@ -141,7 +143,11 @@ pub struct RankAccumulator {
 impl RankAccumulator {
     pub fn new(labels: Vec<String>) -> RankAccumulator {
         let n = labels.len();
-        RankAccumulator { labels, counts: vec![vec![0; n]; n], trials: 0 }
+        RankAccumulator {
+            labels,
+            counts: vec![vec![0; n]; n],
+            trials: 0,
+        }
     }
 
     pub fn num_alternatives(&self) -> usize {
@@ -154,7 +160,11 @@ impl RankAccumulator {
 
     /// Record one trial's score vector (higher score = better rank).
     pub fn record_scores(&mut self, scores: &[f64]) {
-        assert_eq!(scores.len(), self.labels.len(), "score vector length mismatch");
+        assert_eq!(
+            scores.len(),
+            self.labels.len(),
+            "score vector length mismatch"
+        );
         let ranks = rank_vector(scores, TieBreak::Min);
         for (alt, &r) in ranks.iter().enumerate() {
             let r = r as usize;

@@ -79,10 +79,17 @@ impl SimplexSampler {
                     lower.iter().zip(upper).all(|(l, u)| l <= u && *l >= 0.0),
                     "invalid weight intervals"
                 );
-                assert!(lo <= 1.0 + 1e-9 && hi >= 1.0 - 1e-9, "intervals exclude the simplex");
+                assert!(
+                    lo <= 1.0 + 1e-9 && hi >= 1.0 - 1e-9,
+                    "intervals exclude the simplex"
+                );
             }
         }
-        SimplexSampler { n, scheme, max_rejects: 1000 }
+        SimplexSampler {
+            n,
+            scheme,
+            max_rejects: 1000,
+        }
     }
 
     pub fn dim(&self) -> usize {
@@ -130,8 +137,11 @@ impl SimplexSampler {
             }
             WeightScheme::Intervals { lower, upper } => {
                 for _ in 0..self.max_rejects {
-                    let draw: Vec<f64> =
-                        lower.iter().zip(upper).map(|(&l, &u)| rng.random_range(l..=u)).collect();
+                    let draw: Vec<f64> = lower
+                        .iter()
+                        .zip(upper)
+                        .map(|(&l, &u)| rng.random_range(l..=u))
+                        .collect();
                     let sum: f64 = draw.iter().sum();
                     if sum <= 0.0 {
                         continue;
@@ -148,8 +158,11 @@ impl SimplexSampler {
                 // Fallback: clamp the normalized draw into the box and
                 // re-normalize once; slight boundary bias is acceptable and
                 // documented.
-                let draw: Vec<f64> =
-                    lower.iter().zip(upper).map(|(&l, &u)| rng.random_range(l..=u)).collect();
+                let draw: Vec<f64> = lower
+                    .iter()
+                    .zip(upper)
+                    .map(|(&l, &u)| rng.random_range(l..=u))
+                    .collect();
                 let sum: f64 = draw.iter().sum();
                 let mut w: Vec<f64> = draw.iter().map(|v| v / sum.max(1e-12)).collect();
                 for ((x, &l), &u) in w.iter_mut().zip(lower).zip(upper) {
@@ -260,7 +273,10 @@ mod tests {
         let upper = vec![0.4, 0.6, 0.3, 0.5];
         let s = SimplexSampler::new(
             4,
-            WeightScheme::Intervals { lower: lower.clone(), upper: upper.clone() },
+            WeightScheme::Intervals {
+                lower: lower.clone(),
+                upper: upper.clone(),
+            },
         );
         let mut r = rng();
         for _ in 0..500 {
@@ -286,7 +302,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "permutation")]
     fn bad_rank_order_panics() {
-        SimplexSampler::new(3, WeightScheme::RankOrder { order: vec![0, 0, 1] });
+        SimplexSampler::new(
+            3,
+            WeightScheme::RankOrder {
+                order: vec![0, 0, 1],
+            },
+        );
     }
 
     #[test]
@@ -294,7 +315,10 @@ mod tests {
     fn incompatible_intervals_panic() {
         SimplexSampler::new(
             2,
-            WeightScheme::Intervals { lower: vec![0.0, 0.0], upper: vec![0.2, 0.2] },
+            WeightScheme::Intervals {
+                lower: vec![0.0, 0.0],
+                upper: vec![0.2, 0.2],
+            },
         );
     }
 

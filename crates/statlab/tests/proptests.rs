@@ -3,7 +3,9 @@
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use statlab::{percentile, rank_vector, spearman_rho, Describe, SimplexSampler, TieBreak, WeightScheme};
+use statlab::{
+    percentile, rank_vector, spearman_rho, Describe, SimplexSampler, TieBreak, WeightScheme,
+};
 
 proptest! {
     /// Percentiles are monotone in q and bracketed by min/max.

@@ -27,8 +27,14 @@ fn main() {
     //  of x CQs and a lottery between full and zero coverage?"
     let coverage = ContinuousScale::new(0.0, 3.0, Direction::Increasing);
     let answers = [
-        ProbabilityAnswer { x: 1.0, p: Interval::new(0.30, 0.45) },
-        ProbabilityAnswer { x: 2.0, p: Interval::new(0.65, 0.80) },
+        ProbabilityAnswer {
+            x: 1.0,
+            p: Interval::new(0.30, 0.45),
+        },
+        ProbabilityAnswer {
+            x: 2.0,
+            p: Interval::new(0.65, 0.80),
+        },
     ];
     let coverage_utility =
         utility_from_probability_answers(&coverage, &answers).expect("answers are consistent");
@@ -43,7 +49,10 @@ fn main() {
     let lmh = DiscreteScale::new(&["none", "low", "medium", "high"]);
     let doc_utility = discrete_utility_from_answers(
         &lmh,
-        &[(1, Interval::new(0.25, 0.40)), (2, Interval::new(0.55, 0.75))],
+        &[
+            (1, Interval::new(0.25, 0.40)),
+            (2, Interval::new(0.55, 0.75)),
+        ],
     )
     .expect("answers are consistent");
 
@@ -62,21 +71,44 @@ fn main() {
 
     // 1d. Assemble and evaluate a model from the elicited pieces.
     let mut b = DecisionModelBuilder::new("Elicited reuse model");
-    let cov = b.continuous_attribute("coverage", "CQ coverage (ValueT)", 0.0, 3.0, Direction::Increasing);
+    let cov = b.continuous_attribute(
+        "coverage",
+        "CQ coverage (ValueT)",
+        0.0,
+        3.0,
+        Direction::Increasing,
+    );
     b.set_utility(cov, UtilityFunction::PiecewiseLinear(coverage_utility));
     let doc = b.discrete_attribute("doc", "Documentation", &["none", "low", "medium", "high"]);
     b.set_utility(doc, UtilityFunction::Discrete(doc_utility));
-    let cost = b.discrete_attribute("cost", "Cost of reuse", &["prohibitive", "high", "moderate", "free"]);
+    let cost = b.discrete_attribute(
+        "cost",
+        "Cost of reuse",
+        &["prohibitive", "high", "moderate", "free"],
+    );
     b.attach_attribute(b.root(), cov, local[0]);
     b.attach_attribute(b.root(), doc, local[1]);
     b.attach_attribute(b.root(), cost, local[2]);
-    b.alternative("CandidateA", vec![Perf::value(2.1), Perf::level(3), Perf::level(2)]);
-    b.alternative("CandidateB", vec![Perf::value(1.2), Perf::level(2), Perf::level(3)]);
-    b.alternative("CandidateC", vec![Perf::value(0.6), Perf::Missing, Perf::level(3)]);
+    b.alternative(
+        "CandidateA",
+        vec![Perf::value(2.1), Perf::level(3), Perf::level(2)],
+    );
+    b.alternative(
+        "CandidateB",
+        vec![Perf::value(1.2), Perf::level(2), Perf::level(3)],
+    );
+    b.alternative(
+        "CandidateC",
+        vec![Perf::value(0.6), Perf::Missing, Perf::level(3)],
+    );
     let model = b.build().expect("elicited model is consistent");
 
     println!("\nRanking under the elicited preferences:");
-    for r in model.evaluate().ranking() {
+    for r in maut::EvalContext::new(model.clone())
+        .expect("valid model")
+        .evaluate()
+        .ranking()
+    {
         println!(
             "  {}. {:<11} min {:.3}  avg {:.3}  max {:.3}",
             r.rank, r.name, r.bounds.min, r.bounds.avg, r.bounds.max

@@ -42,7 +42,8 @@ fn main() {
     model.validate().expect("group model stays consistent");
 
     // Evaluate under group imprecision.
-    let eval = model.evaluate();
+    let mut ctx = EvalContext::new(model.clone()).expect("valid group model");
+    let eval = ctx.evaluate();
     println!("\nGroup ranking (top 8):");
     for r in eval.ranking().into_iter().take(8) {
         println!(
@@ -65,11 +66,14 @@ fn main() {
                 vec![0, 1, 2, 3, 4, 6, 7, 8],
             ]),
         ),
-        ("class 3: elicited intervals", MonteCarloConfig::ElicitedIntervals),
+        (
+            "class 3: elicited intervals",
+            MonteCarloConfig::ElicitedIntervals,
+        ),
     ];
 
     for (label, config) in classes {
-        let result = MonteCarlo::new(config, trials, 7).run(&model);
+        let result = MonteCarlo::new(config, trials, 7).run_ctx(&ctx);
         let ever: Vec<&str> = result
             .ever_rank_one()
             .into_iter()
@@ -77,8 +81,7 @@ fn main() {
             .collect();
         println!("\n=== {label} ({trials} trials) ===");
         println!("  candidates that ever rank first: {ever:?}");
-        let mut by_mean: Vec<(usize, f64)> =
-            result.mean_ranks().into_iter().enumerate().collect();
+        let mut by_mean: Vec<(usize, f64)> = result.mean_ranks().into_iter().enumerate().collect();
         by_mean.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
         print!("  top five by mean rank:");
         for (i, mean) in by_mean.into_iter().take(5) {

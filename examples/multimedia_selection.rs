@@ -18,7 +18,7 @@
 //!
 //! Run with: `cargo run --example multimedia_selection`
 
-use gmaa::{report, Gmaa};
+use gmaa::{report, AnalysisEngine};
 use maut_sense::{MonteCarloConfig, StabilityMode};
 use neon_reuse::{activities, dataset};
 
@@ -28,27 +28,33 @@ fn header(title: &str) {
 
 fn main() {
     let data = dataset::paper_model();
-    let mut gmaa = Gmaa::new(data.model.clone());
-    gmaa.mc_trials = 10_000; // the paper's simulation size
+    let mut engine = AnalysisEngine::new(data.model.clone()).expect("paper model is valid");
+    engine.mc_trials = 10_000; // the paper's simulation size
 
     header("Fig 1 - Objective hierarchy");
-    print!("{}", report::hierarchy(gmaa.model()));
+    print!("{}", report::hierarchy(engine.model()));
 
     header("Fig 2 - MM ontology performances ('?' = missing)");
-    print!("{}", report::consequences(gmaa.model()));
+    print!("{}", report::consequences(engine.model()));
 
     header("Fig 3 - Component utility for number of functional requirements covered");
-    print!("{}", report::component_utility(gmaa.model(), "funct_requir"));
+    print!(
+        "{}",
+        report::component_utility(engine.model(), "funct_requir")
+    );
 
     header("Fig 4 - Imprecise component utilities for Purpose reliability");
-    print!("{}", report::component_utility(gmaa.model(), "purpose_rel"));
+    print!(
+        "{}",
+        report::component_utility(engine.model(), "purpose_rel")
+    );
 
     header("Fig 5 - Attribute weights in the additive model");
-    print!("{}", report::weight_table(gmaa.model()));
+    print!("{}", report::weight_table_ctx(engine.context()));
 
     header("Fig 6 - Ranking of MM ontologies");
-    let eval = gmaa.evaluate();
-    print!("{}", report::ranking(gmaa.model(), &eval));
+    let eval = engine.evaluate();
+    print!("{}", report::ranking(engine.model(), &eval));
     println!(
         "\nAverage-utility gap across the best eight: {:.4} (paper: < 0.1)",
         eval.avg_gap(7)
@@ -59,24 +65,26 @@ fn main() {
     );
 
     header("Fig 7 - Ranking for Understandability");
-    let under = gmaa.rank_by("understandability").expect("objective exists");
-    print!("{}", report::ranking(gmaa.model(), &under));
+    let under = engine
+        .rank_by("understandability")
+        .expect("objective exists");
+    print!("{}", report::ranking(engine.model(), &under));
 
     header("Fig 8 - Weight stability intervals (best-alternative mode)");
-    let stab = gmaa.stability_all(StabilityMode::BestAlternative);
-    print!("{}", report::stability(gmaa.model(), &stab));
+    let stab = engine.stability_all(StabilityMode::BestAlternative);
+    print!("{}", report::stability(engine.model(), &stab));
     let sensitive: Vec<&str> = stab
         .iter()
         .filter(|r| !r.is_fully_stable(1e-4))
-        .map(|r| gmaa.model().tree.get(r.objective).name.as_str())
+        .map(|r| engine.model().tree.get(r.objective).name.as_str())
         .collect();
     println!("\nObjectives the best-ranked candidate is sensitive to: {sensitive:?}");
     println!("(paper: all stable except Funct Requir and Naming Conv)");
 
     header("Section V - Dominance and potential optimality");
-    let nd = gmaa.non_dominated();
+    let nd = engine.non_dominated();
     println!("Non-dominated alternatives: {} of 23", nd.len());
-    let po = gmaa.potentially_optimal();
+    let po = engine.potentially_optimal();
     let discarded: Vec<&str> = po
         .iter()
         .filter(|o| !o.potentially_optimal)
@@ -88,7 +96,7 @@ fn main() {
     );
 
     header("Fig 9 - Monte Carlo multiple boxplot (10 000 trials, elicited intervals)");
-    let mc = gmaa.monte_carlo(MonteCarloConfig::ElicitedIntervals);
+    let mc = engine.monte_carlo(MonteCarloConfig::ElicitedIntervals);
     print!("{}", report::boxplot(&mc, 72));
 
     header("Fig 10 - Monte Carlo rank statistics");
@@ -96,12 +104,12 @@ fn main() {
     let always_best: Vec<&str> = mc
         .always_rank_one()
         .into_iter()
-        .map(|i| gmaa.model().alternatives[i].as_str())
+        .map(|i| engine.model().alternatives[i].as_str())
         .collect();
     let ever_best: Vec<&str> = mc
         .ever_rank_one()
         .into_iter()
-        .map(|i| gmaa.model().alternatives[i].as_str())
+        .map(|i| engine.model().alternatives[i].as_str())
         .collect();
     println!("\nEver ranked best: {ever_best:?} (paper: Media Ontology, Boemie VDO)");
     println!("Always ranked best: {always_best:?}");
@@ -111,8 +119,10 @@ fn main() {
     );
 
     header("NeOn selection rule - cover > 70 % of the competency questions");
-    let selection = activities::select_by_ranking(
-        &data.model,
+    // The selection pipeline runs against the engine's own context, so
+    // the evaluation it walks is the cached one from Fig 6.
+    let selection = activities::select_by_ranking_ctx(
+        engine.context_mut(),
         &data.cq_sets,
         dataset::TOTAL_CQS,
         0.70,

@@ -77,14 +77,20 @@ fn main() {
     };
     let rows = vec![
         ("SOC scheme".to_string(), assessor.assess(&soc_onto, &meta)),
-        ("MediaTypes scheme".to_string(), assessor.assess(&media_onto, &meta)),
+        (
+            "MediaTypes scheme".to_string(),
+            assessor.assess(&media_onto, &meta),
+        ),
         (
             "Native ontology".to_string(),
-            assessor.assess(&native, &AssessmentInput {
-                implementation_language: Some(3),
-                purpose_reliability: Some(3),
-                ..meta.clone()
-            }),
+            assessor.assess(
+                &native,
+                &AssessmentInput {
+                    implementation_language: Some(3),
+                    purpose_reliability: Some(3),
+                    ..meta.clone()
+                },
+            ),
         ),
     ];
 
@@ -111,7 +117,11 @@ fn main() {
     let model = b.build().expect("NOR model is consistent");
 
     println!("\nRanking (NOR candidates compete with native ontologies):");
-    for r in model.evaluate().ranking() {
+    for r in maut::EvalContext::new(model.clone())
+        .expect("valid model")
+        .evaluate()
+        .ranking()
+    {
         println!(
             "  {}. {:<18} min {:.3}  avg {:.3}  max {:.3}",
             r.rank, r.name, r.bounds.min, r.bounds.avg, r.bounds.max

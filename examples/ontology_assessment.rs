@@ -123,7 +123,10 @@ fn main() {
         });
     }
     println!("Registry holds {} candidates", registry.len());
-    println!("Search 'multimedia': {} hits", registry.search(&["multimedia"]).len());
+    println!(
+        "Search 'multimedia': {} hits",
+        registry.search(&["multimedia"]).len()
+    );
 
     // --- 2. Assess against the target ontology's competency questions. ---
     let questions: Vec<CompetencyQuestion> = [
@@ -156,7 +159,10 @@ fn main() {
             .collect();
         println!("  {name:<16} {rendered:?}");
     }
-    println!("  (criteria order: {:?})", cs.iter().map(|c| c.short).collect::<Vec<_>>());
+    println!(
+        "  (criteria order: {:?})",
+        cs.iter().map(|c| c.short).collect::<Vec<_>>()
+    );
 
     // --- 3. Select with the paper's hierarchy and weights. ---
     // Reuse the Fig 1 hierarchy + Fig 5 weights but swap in our candidates.
@@ -182,7 +188,11 @@ fn main() {
             }
         };
         let scale = mass[c.group.key()] / total;
-        b.attach_attribute(group_ids[c.group.key()], attr, Interval::new(lo / scale, up / scale));
+        b.attach_attribute(
+            group_ids[c.group.key()],
+            attr,
+            Interval::new(lo / scale, up / scale),
+        );
     }
     for (name, perfs) in rows {
         b.alternative(name, perfs);
@@ -190,7 +200,8 @@ fn main() {
     let model = b.build().expect("assessment model is consistent");
 
     println!("\nRanking of synthetic candidates:");
-    for r in model.evaluate().ranking() {
+    let mut ctx = maut::EvalContext::new(model.clone()).expect("valid model");
+    for r in ctx.evaluate().ranking() {
         println!(
             "  {}. {:<16} min {:.3}  avg {:.3}  max {:.3}",
             r.rank, r.name, r.bounds.min, r.bounds.avg, r.bounds.max
@@ -198,7 +209,7 @@ fn main() {
     }
 
     // --- 4. Integrate the top two into one network. ---
-    let ranking = model.evaluate().ranking();
+    let ranking = ctx.evaluate().ranking();
     let top: Vec<&str> = ranking.iter().take(2).map(|r| r.name.as_str()).collect();
     let entries = registry.entries();
     let selection: Vec<(&str, &ontolib::Ontology)> = entries
@@ -210,7 +221,11 @@ fn main() {
     println!(
         "\nIntegrated network: {} triples from {:?} ({} entities)",
         integrated.total_triples,
-        integrated.sources.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>(),
+        integrated
+            .sources
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .collect::<Vec<_>>(),
         integrated.network.num_entities()
     );
 }

@@ -3,4 +3,10 @@
 //! individual crates (`maut`, `maut-sense`, `neon-reuse`, `ontolib`,
 //! `simplex-lp`, `statlab`, `gmaa`) for the actual APIs.
 
-pub use gmaa; pub use maut; pub use maut_sense; pub use neon_reuse; pub use ontolib; pub use simplex_lp; pub use statlab;
+pub use gmaa;
+pub use maut;
+pub use maut_sense;
+pub use neon_reuse;
+pub use ontolib;
+pub use simplex_lp;
+pub use statlab;

@@ -94,13 +94,9 @@ fn model_from_rows(rows: Vec<(String, Vec<Perf>)>) -> DecisionModel {
             neon_reuse::criteria::CriterionScale::FourLevel(levels) => {
                 b.discrete_attribute(c.key, c.name, levels)
             }
-            neon_reuse::criteria::CriterionScale::ValueT => b.continuous_attribute(
-                c.key,
-                c.name,
-                0.0,
-                neon_reuse::MNVLT,
-                Direction::Increasing,
-            ),
+            neon_reuse::criteria::CriterionScale::ValueT => {
+                b.continuous_attribute(c.key, c.name, 0.0, neon_reuse::MNVLT, Direction::Increasing)
+            }
         };
         pairs.push((a, Interval::new(0.5 / n, 1.5 / n)));
     }
@@ -121,7 +117,7 @@ fn full_pipeline_prefers_the_rich_ontology() {
     assert_eq!(rows.len(), 2);
 
     let model = model_from_rows(rows);
-    let ranking = model.evaluate().ranking();
+    let ranking = EvalContext::new(model).expect("valid").evaluate().ranking();
     assert_eq!(ranking[0].name, "rich");
     assert!(ranking[0].bounds.avg > ranking[1].bounds.avg + 0.1);
 }
@@ -136,21 +132,27 @@ fn missing_metadata_flows_into_utility_intervals() {
     assert!(poor_missing >= 4);
 
     let model = model_from_rows(rows);
-    let eval = model.evaluate();
+    let mut ctx = EvalContext::new(model.clone()).expect("valid");
+    let eval = ctx.evaluate();
 
     // Holding everything else fixed, filling in the missing cells must
     // shrink the candidate's utility band: the [0,1] interval is what makes
     // it wide.
-    let mut filled = model.clone();
-    for j in 0..filled.num_attributes() {
-        if filled.perf.get(1, j).is_missing() {
-            filled.perf.set(1, j, Perf::level(2));
+    // Fill the missing cells through the incremental mutation API: each
+    // set_perf patches one matrix cell and dirty-tracks one row.
+    for j in 0..ctx.model().num_attributes() {
+        if ctx.model().perf.get(1, j).is_missing() {
+            let attr = maut::AttributeId::from_index(j);
+            ctx.set_perf(1, attr, Perf::level(2)).expect("valid level");
         }
     }
-    let filled_eval = filled.evaluate();
+    let filled_eval = ctx.evaluate();
     let poor_width = eval.bounds[1].max - eval.bounds[1].min;
     let filled_width = filled_eval.bounds[1].max - filled_eval.bounds[1].min;
-    assert!(poor_width > filled_width + 0.05, "{poor_width} vs {filled_width}");
+    assert!(
+        poor_width > filled_width + 0.05,
+        "{poor_width} vs {filled_width}"
+    );
 }
 
 #[test]
@@ -173,7 +175,10 @@ fn integration_merges_selected_candidates() {
     assert!(ns.iter().any(|n| n.contains("poor")));
     // Serializes as valid Turtle.
     let text = write_turtle(&report.network.graph);
-    assert_eq!(parse_turtle(&text).expect("valid").len(), report.total_triples);
+    assert_eq!(
+        parse_turtle(&text).expect("valid").len(),
+        report.total_triples
+    );
 }
 
 #[test]
@@ -181,10 +186,12 @@ fn sensitivity_analyses_run_on_assessed_models() {
     let registry = build_registry();
     let assessor = OntologyAssessor::new(mm_questions());
     let model = model_from_rows(registry.assess_all(&assessor));
-    let nd = maut_sense::non_dominated(&model);
+    let ctx = EvalContext::new(model).expect("valid");
+    let nd = maut_sense::non_dominated_ctx(&ctx);
     assert!(nd.contains(&0), "the rich candidate is never dominated");
-    let po = maut_sense::potentially_optimal(&model);
+    let po = maut_sense::potentially_optimal_ctx(&ctx);
     assert!(po[0].potentially_optimal);
-    let mc = maut_sense::MonteCarlo::new(maut_sense::MonteCarloConfig::Random, 500, 3).run(&model);
+    let mc =
+        maut_sense::MonteCarlo::new(maut_sense::MonteCarloConfig::Random, 500, 3).run_ctx(&ctx);
     assert_eq!(mc.stats[0].mode, 1);
 }

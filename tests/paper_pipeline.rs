@@ -2,7 +2,8 @@
 //! claim of Sections II–V checked against the reconstructed case study,
 //! crossing all crates (neon-reuse → maut → maut-sense → gmaa → statlab).
 
-use gmaa::Gmaa;
+use gmaa::AnalysisEngine;
+use maut::EvalContext;
 use maut_sense::{MonteCarlo, MonteCarloConfig, StabilityMode};
 use neon_reuse::{activities, dataset};
 use statlab::spearman_rho;
@@ -43,7 +44,9 @@ fn section2_problem_structure() {
     assert_eq!(model.num_attributes(), 14);
     assert_eq!(model.tree.get(model.tree.root()).children.len(), 4);
     assert_eq!(model.tree.len(), 1 + 4 + 14);
-    model.validate().expect("the case study is structurally valid");
+    model
+        .validate()
+        .expect("the case study is structurally valid");
 }
 
 #[test]
@@ -65,10 +68,14 @@ fn section3_preferences() {
 #[test]
 fn section4_evaluation_matches_fig6() {
     let model = dataset::paper_model().model;
-    let eval = model.evaluate();
+    let mut ctx = EvalContext::new(model.clone()).expect("valid");
+    let eval = ctx.evaluate();
     let ranking = eval.ranking();
     let top: Vec<&str> = ranking.iter().take(5).map(|r| r.name.as_str()).collect();
-    assert_eq!(top, ["Media Ontology", "Boemie VDO", "COMM", "SAPO", "DIG35"]);
+    assert_eq!(
+        top,
+        ["Media Ontology", "Boemie VDO", "COMM", "SAPO", "DIG35"]
+    );
 
     // Whole-ranking agreement with the paper: Spearman against Fig 10's
     // mean ranks (negated: higher utility = lower mean rank).
@@ -91,14 +98,20 @@ fn section5_stability_identifies_the_papers_two_criteria() {
     let model = dataset::paper_model().model;
     let funct = model.tree.find("funct_requir").expect("exists");
     let naming = model.tree.find("naming_conv").expect("exists");
-    let rf = maut_sense::stability_interval(&model, funct, StabilityMode::BestAlternative, 300);
-    let rn = maut_sense::stability_interval(&model, naming, StabilityMode::BestAlternative, 300);
+    let ctx = EvalContext::new(model.clone()).expect("valid");
+    let rf = maut_sense::stability_interval_ctx(&ctx, funct, StabilityMode::BestAlternative, 300);
+    let rn = maut_sense::stability_interval_ctx(&ctx, naming, StabilityMode::BestAlternative, 300);
     assert!(!rf.is_fully_stable(1e-4), "funct requir sensitive: {rf:?}");
     assert!(!rn.is_fully_stable(1e-4), "naming conv sensitive: {rn:?}");
     // Understandability (and its three criteria) are fully stable.
-    for key in ["understandability", "doc_quality", "ext_knowledge", "code_clarity"] {
+    for key in [
+        "understandability",
+        "doc_quality",
+        "ext_knowledge",
+        "code_clarity",
+    ] {
         let id = model.tree.find(key).expect("exists");
-        let r = maut_sense::stability_interval(&model, id, StabilityMode::BestAlternative, 300);
+        let r = maut_sense::stability_interval_ctx(&ctx, id, StabilityMode::BestAlternative, 300);
         assert!(r.is_fully_stable(1e-4), "{key} should be stable: {r:?}");
     }
 }
@@ -106,8 +119,9 @@ fn section5_stability_identifies_the_papers_two_criteria() {
 #[test]
 fn section5_dominance_and_potential_optimality() {
     let model = dataset::paper_model().model;
-    let nd = maut_sense::non_dominated(&model);
-    let po = maut_sense::potentially_optimal(&model);
+    let ctx = EvalContext::new(model).expect("valid");
+    let nd = maut_sense::non_dominated_ctx(&ctx);
+    let po = maut_sense::potentially_optimal_ctx(&ctx);
     let survivors = po.iter().filter(|o| o.potentially_optimal).count();
     // Paper: 20 of 23 survive; our reconstruction keeps the entire upper
     // half. Potential optimality must imply non-dominance.
@@ -131,11 +145,15 @@ fn section5_dominance_and_potential_optimality() {
 #[test]
 fn section5_monte_carlo_robustness() {
     let model = dataset::paper_model().model;
-    let result = MonteCarlo::new(MonteCarloConfig::ElicitedIntervals, 10_000, 99).run(&model);
+    let ctx = EvalContext::new(model.clone()).expect("valid");
+    let result = MonteCarlo::new(MonteCarloConfig::ElicitedIntervals, 10_000, 99).run_ctx(&ctx);
 
     // Only Media Ontology and Boemie VDO ever rank first.
-    let ever: Vec<&str> =
-        result.ever_rank_one().into_iter().map(|i| model.alternatives[i].as_str()).collect();
+    let ever: Vec<&str> = result
+        .ever_rank_one()
+        .into_iter()
+        .map(|i| model.alternatives[i].as_str())
+        .collect();
     assert_eq!(ever, ["Boemie VDO", "Media Ontology"]);
 
     // Top five fluctuate by at most two positions.
@@ -150,19 +168,31 @@ fn section5_monte_carlo_robustness() {
     // The five best by mean rank are the paper's five best.
     let mut order: Vec<usize> = (0..23).collect();
     order.sort_by(|&a, &b| means[a].partial_cmp(&means[b]).expect("finite"));
-    let mut top5: Vec<&str> =
-        order.iter().take(5).map(|&i| model.alternatives[i].as_str()).collect();
+    let mut top5: Vec<&str> = order
+        .iter()
+        .take(5)
+        .map(|&i| model.alternatives[i].as_str())
+        .collect();
     top5.sort_unstable();
-    assert_eq!(top5, ["Boemie VDO", "COMM", "DIG35", "Media Ontology", "SAPO"]);
+    assert_eq!(
+        top5,
+        ["Boemie VDO", "COMM", "DIG35", "Media Ontology", "SAPO"]
+    );
 }
 
 #[test]
 fn section6_final_selection() {
     let data = dataset::paper_model();
+    let mut ctx = EvalContext::new(data.model).expect("valid");
     let report =
-        activities::select_by_ranking(&data.model, &data.cq_sets, dataset::TOTAL_CQS, 0.70);
+        activities::select_by_ranking_ctx(&mut ctx, &data.cq_sets, dataset::TOTAL_CQS, 0.70);
     assert!(report.target_reached);
-    assert_eq!(report.selected_names.len(), 5, "{:?}", report.selected_names);
+    assert_eq!(
+        report.selected_names.len(),
+        5,
+        "{:?}",
+        report.selected_names
+    );
     assert!(report.coverage > 0.70);
     assert_eq!(
         report.selected_names,
@@ -172,7 +202,7 @@ fn section6_final_selection() {
 
 #[test]
 fn gmaa_facade_runs_the_whole_cycle() {
-    let mut g = Gmaa::new(dataset::paper_model().model);
+    let mut g = AnalysisEngine::new(dataset::paper_model().model).expect("valid");
     g.mc_trials = 1_000;
     g.stability_resolution = 50;
     let analysis = g.analyze();
@@ -192,12 +222,19 @@ fn monte_carlo_trial_budget_is_justified() {
     // The paper uses 10 000 trials without argument; show the headline
     // statistic (Media Ontology's mean rank) stabilizes well before that.
     let model = dataset::paper_model().model;
-    let media = model.alternatives.iter().position(|n| n == "Media Ontology").expect("present");
+    let media = model
+        .alternatives
+        .iter()
+        .position(|n| n == "Media Ontology")
+        .expect("present");
     let matrix = model.avg_utility_matrix();
     let w = model.attribute_weights();
     let sampler = statlab::SimplexSampler::new(
         model.num_attributes(),
-        statlab::WeightScheme::Intervals { lower: w.lows(), upper: w.upps() },
+        statlab::WeightScheme::Intervals {
+            lower: w.lows(),
+            upper: w.upps(),
+        },
     );
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(41);
     let mut tracker = statlab::ConvergenceTracker::new(250, 4, 0.01);
@@ -210,7 +247,10 @@ fn monte_carlo_trial_budget_is_justified() {
         let ranks = statlab::rank_vector(&scores, statlab::TieBreak::Min);
         tracker.push(ranks[media]);
     }
-    assert!(tracker.converged(), "mean rank must stabilize within 10k trials");
+    assert!(
+        tracker.converged(),
+        "mean rank must stabilize within 10k trials"
+    );
     let at = tracker.converged_at().expect("converged");
     assert!(at <= 5_000, "stabilizes early (at {at} trials)");
     assert!(tracker.mean() < 1.5, "Media's mean rank ≈ 1");

@@ -2,6 +2,7 @@
 //! evaluation, sensitivity analyses and Monte Carlo runs are bit-identical.
 
 use gmaa::Workspace;
+use maut::EvalContext;
 use maut_sense::{MonteCarlo, MonteCarloConfig};
 use neon_reuse::paper_model;
 use std::path::PathBuf;
@@ -20,31 +21,34 @@ fn reloaded_model_reproduces_every_analysis() {
     let reloaded = ws.load("multimedia").expect("load");
     assert_eq!(original, reloaded);
 
+    let mut c1 = EvalContext::new(original).expect("valid");
+    let mut c2 = EvalContext::new(reloaded).expect("valid");
+
     // Evaluation identical.
-    let e1 = original.evaluate();
-    let e2 = reloaded.evaluate();
-    assert_eq!(e1.ranking(), e2.ranking());
+    assert_eq!(c1.evaluate().ranking(), c2.evaluate().ranking());
 
     // Sensitivity analyses identical.
     assert_eq!(
-        maut_sense::non_dominated(&original),
-        maut_sense::non_dominated(&reloaded)
+        maut_sense::non_dominated_ctx(&c1),
+        maut_sense::non_dominated_ctx(&c2)
     );
-    let p1: Vec<bool> = maut_sense::potentially_optimal(&original)
+    let p1: Vec<bool> = maut_sense::potentially_optimal_ctx(&c1)
         .into_iter()
         .map(|o| o.potentially_optimal)
         .collect();
-    let p2: Vec<bool> = maut_sense::potentially_optimal(&reloaded)
+    let p2: Vec<bool> = maut_sense::potentially_optimal_ctx(&c2)
         .into_iter()
         .map(|o| o.potentially_optimal)
         .collect();
     assert_eq!(p1, p2);
 
     // Monte Carlo identical given the seed.
-    let mc = |m: &maut::DecisionModel| {
-        MonteCarlo::new(MonteCarloConfig::ElicitedIntervals, 500, 7).run(m).mean_ranks()
+    let mc = |c: &EvalContext| {
+        MonteCarlo::new(MonteCarloConfig::ElicitedIntervals, 500, 7)
+            .run_ctx(c)
+            .mean_ranks()
     };
-    assert_eq!(mc(&original), mc(&reloaded));
+    assert_eq!(mc(&c1), mc(&c2));
 }
 
 #[test]
@@ -53,7 +57,10 @@ fn workspace_lists_saved_models() {
     let model = paper_model().model;
     ws.save("a", &model).expect("save a");
     ws.save("b", &model).expect("save b");
-    assert_eq!(ws.list().expect("list"), vec!["a".to_string(), "b".to_string()]);
+    assert_eq!(
+        ws.list().expect("list"),
+        vec!["a".to_string(), "b".to_string()]
+    );
     ws.delete("a").expect("delete");
     assert_eq!(ws.list().expect("list"), vec!["b".to_string()]);
 }

@@ -1,0 +1,345 @@
+//! Minimal vendored stand-in for `proptest` (no registry access in the
+//! build environment). It keeps the macro surface this workspace uses —
+//! `proptest! { fn name(x in strategy) { .. } }`, `prop_assert!`,
+//! `prop_assert_eq!` — and a [`strategy::Strategy`] trait with the
+//! combinators the tests call (`prop_map`, `prop_flat_map`, `prop_filter`,
+//! `prop_filter_map`), over ranges, tuples, collections, options and
+//! character-class regex strings. There is no shrinking: a failing case
+//! panics with the assertion message and the deterministic case seed.
+
+pub mod strategy;
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Error carried out of a failing test case by `prop_assert!`.
+    #[derive(Debug)]
+    pub struct TestCaseError(pub String);
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "{}", self.0)
+        }
+    }
+
+    /// Number of cases each property runs (`PROPTEST_CASES` overrides).
+    pub fn cases() -> u64 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(32)
+    }
+
+    /// Deterministic per-case RNG: the same (test, case) pair always sees
+    /// the same values, so failures reproduce without a persistence file.
+    pub fn case_rng(test_name: &str, case: u64) -> StdRng {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        StdRng::seed_from_u64(h ^ case.wrapping_mul(0x9E3779B97F4A7C15))
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::collections::HashSet;
+    use std::hash::Hash;
+
+    /// Sizes accepted by [`vec`]/[`hash_set`]: a fixed length or a range.
+    pub trait SizeRange: Clone {
+        fn pick(&self, rng: &mut StdRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut StdRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn pick(&self, rng: &mut StdRng) -> usize {
+            rng.random_range(self.clone())
+        }
+    }
+
+    impl SizeRange for std::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut StdRng) -> usize {
+            rng.random_range(self.clone())
+        }
+    }
+
+    #[derive(Clone)]
+    pub struct VecStrategy<S, Z> {
+        element: S,
+        size: Z,
+    }
+
+    pub fn vec<S: Strategy, Z: SizeRange>(element: S, size: Z) -> VecStrategy<S, Z> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy, Z: SizeRange> Strategy for VecStrategy<S, Z> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    #[derive(Clone)]
+    pub struct HashSetStrategy<S, Z> {
+        element: S,
+        size: Z,
+    }
+
+    pub fn hash_set<S, Z>(element: S, size: Z) -> HashSetStrategy<S, Z>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+        Z: SizeRange,
+    {
+        HashSetStrategy { element, size }
+    }
+
+    impl<S, Z> Strategy for HashSetStrategy<S, Z>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+        Z: SizeRange,
+    {
+        type Value = HashSet<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> HashSet<S::Value> {
+            let target = self.size.pick(rng);
+            let mut out = HashSet::new();
+            // Bounded retries: small domains settle for fewer elements.
+            for _ in 0..target.saturating_mul(20).max(20) {
+                if out.len() >= target {
+                    break;
+                }
+                out.insert(self.element.generate(rng));
+            }
+            out
+        }
+    }
+}
+
+pub mod option {
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    #[derive(Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+            if rng.random_bool(0.5) {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+pub mod string {
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A parsed `[class]{lo,hi}` pattern — the only regex shape the
+    /// workspace's tests use.
+    #[derive(Debug, Clone)]
+    pub struct RegexStringStrategy {
+        alphabet: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    /// Compile a character-class regex (`[a-z]{2}`, `[ -~\n]{0,200}`, …).
+    /// Unsupported shapes return `Err` like the real `string_regex`.
+    pub fn string_regex(pattern: &str) -> Result<RegexStringStrategy, String> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0;
+        if chars.get(i) != Some(&'[') {
+            return Err(format!(
+                "unsupported regex (need [class]{{n,m}}): {pattern}"
+            ));
+        }
+        i += 1;
+        let mut alphabet = Vec::new();
+        let mut pending: Option<char> = None;
+        while i < chars.len() && chars[i] != ']' {
+            let c = match chars[i] {
+                '\\' => {
+                    i += 1;
+                    match chars.get(i) {
+                        Some('n') => '\n',
+                        Some('t') => '\t',
+                        Some('r') => '\r',
+                        Some(&c) => c,
+                        None => return Err(format!("dangling escape in {pattern}")),
+                    }
+                }
+                '-' if pending.is_some() && i + 1 < chars.len() && chars[i + 1] != ']' => {
+                    // Range: pending-to-next.
+                    let start = pending.take().expect("checked");
+                    i += 1;
+                    let end = match chars[i] {
+                        '\\' => {
+                            i += 1;
+                            match chars.get(i) {
+                                Some('n') => '\n',
+                                Some('t') => '\t',
+                                Some(&c) => c,
+                                None => return Err(format!("dangling escape in {pattern}")),
+                            }
+                        }
+                        c => c,
+                    };
+                    if (start as u32) > (end as u32) {
+                        return Err(format!("inverted range in {pattern}"));
+                    }
+                    for code in (start as u32)..=(end as u32) {
+                        if let Some(c) = char::from_u32(code) {
+                            alphabet.push(c);
+                        }
+                    }
+                    i += 1;
+                    continue;
+                }
+                c => c,
+            };
+            if let Some(prev) = pending.take() {
+                alphabet.push(prev);
+            }
+            pending = Some(c);
+            i += 1;
+        }
+        if let Some(prev) = pending {
+            alphabet.push(prev);
+        }
+        if chars.get(i) != Some(&']') {
+            return Err(format!("unterminated class in {pattern}"));
+        }
+        i += 1;
+        let (min, max) = if chars.get(i) == Some(&'{') {
+            let rest: String = chars[i + 1..].iter().collect();
+            let close = rest
+                .find('}')
+                .ok_or_else(|| format!("unterminated {{}} in {pattern}"))?;
+            let spec = &rest[..close];
+            if close + 1 != rest.len() {
+                return Err(format!("trailing tokens after quantifier in {pattern}"));
+            }
+            match spec.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.parse()
+                        .map_err(|_| format!("bad quantifier in {pattern}"))?,
+                    hi.parse()
+                        .map_err(|_| format!("bad quantifier in {pattern}"))?,
+                ),
+                None => {
+                    let n = spec
+                        .parse()
+                        .map_err(|_| format!("bad quantifier in {pattern}"))?;
+                    (n, n)
+                }
+            }
+        } else if i == chars.len() {
+            (1, 1)
+        } else {
+            return Err(format!("unsupported regex tail in {pattern}"));
+        };
+        if alphabet.is_empty() {
+            return Err(format!("empty character class in {pattern}"));
+        }
+        Ok(RegexStringStrategy { alphabet, min, max })
+    }
+
+    impl Strategy for RegexStringStrategy {
+        type Value = String;
+        fn generate(&self, rng: &mut StdRng) -> String {
+            let n = rng.random_range(self.min..=self.max);
+            (0..n)
+                .map(|_| self.alphabet[rng.random_range(0..self.alphabet.len())])
+                .collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Assert inside a proptest body; failure aborts the case with a message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Equality assertion inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return Err($crate::test_runner::TestCaseError(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($a), stringify!($b), a, b
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return Err($crate::test_runner::TestCaseError(format!($($fmt)*)));
+        }
+    }};
+}
+
+/// The test-harness macro: each `fn name(pat in strategy, ..) { body }`
+/// becomes a `#[test]` running `test_runner::cases()` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                for case in 0..$crate::test_runner::cases() {
+                    let mut rng = $crate::test_runner::case_rng(stringify!($name), case);
+                    $(let $pat = $crate::strategy::Strategy::generate(&$strat, &mut rng);)*
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body Ok(()) })();
+                    if let Err(e) = outcome {
+                        panic!("proptest {} failed at case {case}: {e}", stringify!($name));
+                    }
+                }
+            }
+        )*
+    };
+}

@@ -1,0 +1,347 @@
+//! Derive macros for the vendored `serde` stand-in. No `syn`/`quote`
+//! available offline, so the item is parsed directly from the raw
+//! `TokenStream` — enough for the shapes this workspace uses:
+//!
+//! * structs with named fields,
+//! * tuple structs (newtype and wider),
+//! * enums with unit and tuple variants.
+//!
+//! Representation mirrors serde's externally-tagged JSON defaults:
+//! `Unit` → `"Unit"`, `Newtype(x)` → `{"Newtype": x}`,
+//! `Tuple(a, b)` → `{"Tuple": [a, b]}`, newtype structs are transparent.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    Named(Vec<String>),
+    Tuple(usize),
+    Enum(Vec<(String, usize)>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+/// Skip `#[...]` attribute groups starting at `i`.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len()
+        && is_punct(&tokens[i], '#')
+        && matches!(&tokens[i + 1], TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket)
+    {
+        i += 2;
+    }
+    i
+}
+
+/// Skip a visibility modifier (`pub`, `pub(crate)`, …) starting at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+        i += 1;
+        if i < tokens.len()
+            && matches!(&tokens[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Number of top-level comma-separated items in a token slice (respecting
+/// `<...>` nesting inside types); 0 for an empty slice.
+fn count_top_level_items(tokens: &[TokenTree]) -> usize {
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut commas = 0;
+    let mut last_is_top_comma = false;
+    for t in tokens {
+        if is_punct(t, '<') {
+            depth += 1;
+            last_is_top_comma = false;
+        } else if is_punct(t, '>') {
+            depth -= 1;
+            last_is_top_comma = false;
+        } else if depth == 0 && is_punct(t, ',') {
+            commas += 1;
+            last_is_top_comma = true;
+        } else {
+            last_is_top_comma = false;
+        }
+    }
+    if last_is_top_comma {
+        commas -= 1;
+    }
+    commas + 1
+}
+
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        i = skip_vis(&tokens, i);
+        let TokenTree::Ident(name) = &tokens[i] else {
+            panic!("serde_derive: expected field name, got {:?}", tokens[i]);
+        };
+        fields.push(name.to_string());
+        i += 1;
+        assert!(
+            is_punct(&tokens[i], ':'),
+            "serde_derive: expected ':' after field name"
+        );
+        i += 1;
+        // Consume the type: everything until a top-level ','.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            if is_punct(&tokens[i], '<') {
+                depth += 1;
+            } else if is_punct(&tokens[i], '>') {
+                depth -= 1;
+            } else if depth == 0 && is_punct(&tokens[i], ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn parse_variants(group: &proc_macro::Group) -> Vec<(String, usize)> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let TokenTree::Ident(name) = &tokens[i] else {
+            panic!("serde_derive: expected variant name, got {:?}", tokens[i]);
+        };
+        let vname = name.to_string();
+        i += 1;
+        let mut arity = 0;
+        if i < tokens.len() {
+            if let TokenTree::Group(g) = &tokens[i] {
+                match g.delimiter() {
+                    Delimiter::Parenthesis => {
+                        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                        arity = count_top_level_items(&inner);
+                        i += 1;
+                    }
+                    Delimiter::Brace => {
+                        panic!("serde_derive: struct variants are not supported ({vname})")
+                    }
+                    _ => {}
+                }
+            }
+        }
+        variants.push((vname, arity));
+        // Skip an optional discriminant and the separating comma.
+        while i < tokens.len() && !is_punct(&tokens[i], ',') {
+            i += 1;
+        }
+        if i < tokens.len() {
+            i += 1;
+        }
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected struct/enum, got {other:?}"),
+    };
+    i += 1;
+    let TokenTree::Ident(name) = &tokens[i] else {
+        panic!("serde_derive: expected type name");
+    };
+    let name = name.to_string();
+    i += 1;
+    if i < tokens.len() && is_punct(&tokens[i], '<') {
+        panic!("serde_derive: generic types are not supported ({name})");
+    }
+    let shape = match (kind.as_str(), tokens.get(i)) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Shape::Named(parse_named_fields(g))
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            Shape::Tuple(count_top_level_items(&inner))
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Shape::Enum(parse_variants(g))
+        }
+        _ => panic!("serde_derive: unsupported item shape for {name}"),
+    };
+    Item { name, shape }
+}
+
+fn serialize_impl(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("::serde::Value::Map(vec![{}])", entries.join(", "))
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", entries.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, arity)| match arity {
+                    0 => format!(
+                        "{name}::{v} => ::serde::Value::Str(\"{v}\".to_string())"
+                    ),
+                    1 => format!(
+                        "{name}::{v}(a0) => ::serde::Value::Map(vec![(\"{v}\".to_string(), ::serde::Serialize::to_value(a0))])"
+                    ),
+                    n => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("a{k}")).collect();
+                        let vals: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Serialize::to_value(a{k})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({}) => ::serde::Value::Map(vec![(\"{v}\".to_string(), ::serde::Value::Seq(vec![{}]))])",
+                            binds.join(", "),
+                            vals.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn deserialize_impl(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("{f}: ::serde::Deserialize::from_value(::serde::field(v, \"{f}\"))?")
+                })
+                .collect();
+            format!("Ok({name} {{ {} }})", inits.join(", "))
+        }
+        Shape::Tuple(1) => format!("Ok({name}(::serde::Deserialize::from_value(v)?))"),
+        Shape::Tuple(n) => {
+            let gets: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_value(&s[{k}])?"))
+                .collect();
+            format!(
+                "let s = v.as_seq().ok_or_else(|| ::serde::Error::custom(\"expected sequence for {name}\"))?;\n\
+                 if s.len() != {n} {{ return Err(::serde::Error::custom(\"wrong arity for {name}\")); }}\n\
+                 Ok({name}({}))",
+                gets.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, a)| *a == 0)
+                .map(|(v, _)| format!("\"{v}\" => Ok({name}::{v})"))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, a)| *a > 0)
+                .map(|(v, arity)| {
+                    if *arity == 1 {
+                        format!("\"{v}\" => Ok({name}::{v}(::serde::Deserialize::from_value(inner)?))")
+                    } else {
+                        let gets: Vec<String> = (0..*arity)
+                            .map(|k| format!("::serde::Deserialize::from_value(&s[{k}])?"))
+                            .collect();
+                        format!(
+                            "\"{v}\" => {{\n\
+                             let s = inner.as_seq().ok_or_else(|| ::serde::Error::custom(\"expected sequence for {name}::{v}\"))?;\n\
+                             if s.len() != {arity} {{ return Err(::serde::Error::custom(\"wrong arity for {name}::{v}\")); }}\n\
+                             Ok({name}::{v}({}))\n\
+                             }}",
+                            gets.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                 ::serde::Value::Str(tag) => match tag.as_str() {{\n\
+                 {unit}\n\
+                 other => Err(::serde::Error::custom(format!(\"unknown variant {{other}} of {name}\"))),\n\
+                 }},\n\
+                 ::serde::Value::Map(m) if m.len() == 1 => {{\n\
+                 let (tag, inner) = (&m[0].0, &m[0].1);\n\
+                 match tag.as_str() {{\n\
+                 {tagged}\n\
+                 other => Err(::serde::Error::custom(format!(\"unknown variant {{other}} of {name}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 other => Err(::serde::Error::custom(format!(\"expected enum value for {name}, got {{other:?}}\"))),\n\
+                 }}",
+                unit = if unit_arms.is_empty() {
+                    String::new()
+                } else {
+                    unit_arms.join(",\n") + ","
+                },
+                tagged = if tagged_arms.is_empty() {
+                    String::new()
+                } else {
+                    tagged_arms.join(",\n") + ","
+                },
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n\
+         }}\n\
+         }}"
+    )
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    serialize_impl(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    deserialize_impl(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
