@@ -5,13 +5,16 @@
 //! * `fig10_rank_stats` — the per-alternative rank statistics table
 //! * `exp14_robustness` — the Section V robustness conclusions
 //! * `abl13_mc_classes` — the three weight-generation classes compared
-//! * Monte Carlo scaling over trial counts.
+//! * `abl15_mc_soa_pipeline` — the hot-loop ablation: scalar reference vs
+//!   batched SoA vs batched SoA with the scoped-thread fan-out
+//! * Monte Carlo scaling over trial counts, on both pipelines.
 
 // The legacy eager entry points stay under measurement (alongside the
 // context-based paths) until they are removed after the deprecation window.
 #![allow(deprecated)]
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use maut::EvalContext;
 use maut_sense::{MonteCarlo, MonteCarloConfig};
 use std::hint::black_box;
 
@@ -114,14 +117,46 @@ fn abl13_mc_classes(c: &mut Criterion) {
     group.finish();
 }
 
+fn abl15_mc_soa_pipeline(c: &mut Criterion) {
+    let ctx = EvalContext::new(bench::paper()).expect("valid");
+    let mc = MonteCarlo::new(MonteCarloConfig::ElicitedIntervals, 10_000, 20120402);
+    // The ablation only means something if the pipelines agree exactly.
+    let scalar = mc.run_scalar_ctx(&ctx);
+    let batched = mc.clone().with_threads(1).run_ctx(&ctx);
+    let threaded = mc.clone().with_threads(0).run_ctx(&ctx);
+    assert_eq!(scalar.rank_counts(), batched.rank_counts());
+    assert_eq!(scalar.rank_counts(), threaded.rank_counts());
+
+    let mut group = c.benchmark_group("abl15_mc_soa_pipeline");
+    group.bench_function("scalar_reference", |b| {
+        b.iter(|| black_box(mc.run_scalar_ctx(&ctx)))
+    });
+    group.bench_function("soa_batch_1thread", |b| {
+        let mc = mc.clone().with_threads(1);
+        b.iter(|| black_box(mc.run_ctx(&ctx)))
+    });
+    group.bench_function("soa_batch_parallel", |b| {
+        let mc = mc.clone().with_threads(0);
+        b.iter(|| black_box(mc.run_ctx(&ctx)))
+    });
+    group.finish();
+}
+
 fn montecarlo_scaling(c: &mut Criterion) {
     let model = bench::paper();
+    let ctx = EvalContext::new(model.clone()).expect("valid");
     let mut group = c.benchmark_group("montecarlo_trials_scaling");
     for trials in [1_000usize, 5_000, 10_000, 20_000] {
-        group.bench_with_input(BenchmarkId::from_parameter(trials), &trials, |b, &t| {
+        group.bench_with_input(BenchmarkId::new("legacy", trials), &trials, |b, &t| {
             b.iter(|| {
                 black_box(MonteCarlo::new(MonteCarloConfig::ElicitedIntervals, t, 23).run(&model))
             })
+        });
+        group.bench_with_input(BenchmarkId::new("soa_batch", trials), &trials, |b, &t| {
+            // Pin to one worker so this series isolates the layout win;
+            // abl15_mc_soa_pipeline covers the parallel variant.
+            let mc = MonteCarlo::new(MonteCarloConfig::ElicitedIntervals, t, 23).with_threads(1);
+            b.iter(|| black_box(mc.run_ctx(&ctx)))
         });
     }
     group.finish();
@@ -133,6 +168,7 @@ criterion_group!(
     fig10_rank_stats,
     exp14_robustness,
     abl13_mc_classes,
+    abl15_mc_soa_pipeline,
     montecarlo_scaling
 );
 criterion_main!(figures_montecarlo);

@@ -11,7 +11,9 @@
 //!   steady-state serving path);
 //! * **incremental** — `set_perf` on one cell followed by re-evaluation
 //!   (only the touched row is re-scored);
-//! * plus the same comparison for a full `analyze()` cycle.
+//! * plus the same comparison for a full `analyze()` cycle, and the Monte
+//!   Carlo hot-loop ablation (scalar reference vs batched SoA vs batched
+//!   SoA with the scoped-thread fan-out) at the paper's 10 000 trials.
 //!
 //! Results are printed and written to `BENCH_engine.json` in the current
 //! directory, seeding the repo's performance trajectory.
@@ -20,6 +22,7 @@
 #![allow(deprecated)]
 
 use maut::{EvalContext, Perf};
+use maut_sense::{MonteCarlo, MonteCarloConfig};
 use std::time::Instant;
 
 /// Median-of-runs nanoseconds for `f`, with a warmup pass.
@@ -75,11 +78,28 @@ fn engine_bench() -> String {
         std::hint::black_box(engine.analyze());
     });
 
+    // Monte Carlo hot-loop ablation on a pristine context: the scalar
+    // reference loop vs the batched SoA path vs SoA + scoped-thread
+    // fan-out, all at the paper's 10 000 elicited-interval trials.
+    let mc_ctx = EvalContext::new(model.clone()).expect("valid");
+    let mc = MonteCarlo::new(MonteCarloConfig::ElicitedIntervals, 10_000, 20120402);
+    let mc_scalar_ns = time_ns(3, || {
+        std::hint::black_box(mc.clone().with_threads(1).run_scalar_ctx(&mc_ctx));
+    });
+    let mc_soa_ns = time_ns(3, || {
+        std::hint::black_box(mc.clone().with_threads(1).run_ctx(&mc_ctx));
+    });
+    let mc_par_ns = time_ns(3, || {
+        std::hint::black_box(mc.clone().with_threads(0).run_ctx(&mc_ctx));
+    });
+
     let stats = ctx.stats();
     format!(
-        "{{\n  \"model\": \"paper 23x14\",\n  \"cold_evaluate_ns\": {cold_eval_ns:.0},\n  \"context_evaluate_ns\": {ctx_eval_ns:.0},\n  \"incremental_set_perf_evaluate_ns\": {incr_eval_ns:.0},\n  \"speedup_context_vs_cold\": {:.2},\n  \"speedup_incremental_vs_cold\": {:.2},\n  \"analyze_full_cycle_ns\": {engine_analyze_ns:.0},\n  \"context_stats\": {{\n    \"cold_evaluations\": {},\n    \"incremental_refreshes\": {},\n    \"cache_hits\": {},\n    \"rows_recomputed\": {}\n  }}\n}}\n",
+        "{{\n  \"model\": \"paper 23x14\",\n  \"cold_evaluate_ns\": {cold_eval_ns:.0},\n  \"context_evaluate_ns\": {ctx_eval_ns:.0},\n  \"incremental_set_perf_evaluate_ns\": {incr_eval_ns:.0},\n  \"speedup_context_vs_cold\": {:.2},\n  \"speedup_incremental_vs_cold\": {:.2},\n  \"analyze_full_cycle_ns\": {engine_analyze_ns:.0},\n  \"montecarlo_10k_trials\": {{\n    \"scalar_ns\": {mc_scalar_ns:.0},\n    \"soa_batch_ns\": {mc_soa_ns:.0},\n    \"soa_parallel_ns\": {mc_par_ns:.0},\n    \"speedup_soa_batch_vs_scalar\": {:.2},\n    \"speedup_soa_parallel_vs_scalar\": {:.2}\n  }},\n  \"context_stats\": {{\n    \"cold_evaluations\": {},\n    \"incremental_refreshes\": {},\n    \"cache_hits\": {},\n    \"rows_recomputed\": {}\n  }}\n}}\n",
         cold_eval_ns / ctx_eval_ns,
         cold_eval_ns / incr_eval_ns,
+        mc_scalar_ns / mc_soa_ns,
+        mc_scalar_ns / mc_par_ns,
         stats.cold_evaluations,
         stats.incremental_refreshes,
         stats.cache_hits,

@@ -74,6 +74,9 @@ pub struct AnalysisEngine {
     pub mc_trials: usize,
     /// Seed for the Monte Carlo stage.
     pub mc_seed: u64,
+    /// Worker threads for the Monte Carlo stage (`0` = one per core,
+    /// `1` = single-threaded); any value produces identical results.
+    pub mc_threads: usize,
     /// Scan resolution of the stability stage.
     pub stability_resolution: usize,
 }
@@ -85,6 +88,7 @@ impl AnalysisEngine {
             ctx: EvalContext::new(model)?,
             mc_trials: 10_000,
             mc_seed: 20120402,
+            mc_threads: 0,
             stability_resolution: 100,
         })
     }
@@ -130,10 +134,23 @@ impl AnalysisEngine {
     }
 
     /// Score a batch of alternatives over the whole hierarchy without
-    /// touching the evaluation cache.
+    /// touching the evaluation cache. Large batches fan out over scoped
+    /// worker threads against the columnar band matrix (small ones run
+    /// inline); results are identical either way.
     pub fn batch_evaluate(&mut self, alternatives: &[usize]) -> Vec<UtilityBounds> {
         let root = self.ctx.model().tree.root();
         self.ctx.batch_evaluate(root, alternatives)
+    }
+
+    /// [`AnalysisEngine::batch_evaluate`] with an explicit worker count
+    /// (`0` = one per core, `1` = force inline).
+    pub fn batch_evaluate_with(
+        &mut self,
+        alternatives: &[usize],
+        threads: usize,
+    ) -> Vec<UtilityBounds> {
+        let root = self.ctx.model().tree.root();
+        self.ctx.batch_evaluate_with(root, alternatives, threads)
     }
 
     // ------------------------------------------------------------- mutation
@@ -192,9 +209,13 @@ impl AnalysisEngine {
     }
 
     /// Monte Carlo simulation with any of the three weight-generation
-    /// classes.
+    /// classes, on the batched columnar path (see
+    /// [`maut_sense::montecarlo`]; results are seed-deterministic and
+    /// independent of [`AnalysisEngine::mc_threads`]).
     pub fn monte_carlo(&self, config: MonteCarloConfig) -> MonteCarloResult {
-        MonteCarlo::new(config, self.mc_trials, self.mc_seed).run_ctx(&self.ctx)
+        MonteCarlo::new(config, self.mc_trials, self.mc_seed)
+            .with_threads(self.mc_threads)
+            .run_ctx(&self.ctx)
     }
 
     /// Run the complete Section IV + V pipeline against the shared context.
@@ -298,6 +319,32 @@ mod tests {
         assert_eq!(batch[0], full.bounds[5]);
         assert_eq!(batch[1], full.bounds[0]);
         assert_eq!(batch[2], full.bounds[22]);
+    }
+
+    #[test]
+    fn parallel_batch_evaluate_agrees_with_inline() {
+        let mut e = engine();
+        // A batch big enough to actually fan out (the inline threshold is
+        // 1024 rows per worker).
+        let alts: Vec<usize> = (0..23).cycle().take(5000).collect();
+        let inline = e.batch_evaluate_with(&alts, 1);
+        for threads in [0, 2, 4] {
+            assert_eq!(e.batch_evaluate_with(&alts, threads), inline);
+        }
+    }
+
+    #[test]
+    fn monte_carlo_is_thread_count_invariant() {
+        let mut a = engine();
+        let mut b = engine();
+        a.mc_threads = 1;
+        b.mc_threads = 4;
+        assert_eq!(
+            a.monte_carlo(MonteCarloConfig::ElicitedIntervals)
+                .rank_counts(),
+            b.monte_carlo(MonteCarloConfig::ElicitedIntervals)
+                .rank_counts()
+        );
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! greedy continuous-knapsack step via [`simplex_lp::WeightPolytope`]).
 
 use maut::weights::AttributeWeights;
-use maut::{DecisionModel, EvalContext};
+use maut::{BandMatrixSoA, DecisionModel, EvalContext};
 use simplex_lp::WeightPolytope;
 
 /// Pairwise dominance verdict.
@@ -47,33 +47,35 @@ pub fn weight_polytope(model: &DecisionModel) -> WeightPolytope {
     polytope_from(&model.attribute_weights())
 }
 
-/// Does `i` dominate `k`? `u_lo`/`u_hi` are the bound utility matrices.
-/// `strict_margin` guards against counting identical alternatives as
-/// dominating each other.
+/// Does `i` dominate `k`? The adversarial difference vectors are gathered
+/// from the columnar band matrix into the caller's reusable buffer.
 fn dominates(
     polytope: &WeightPolytope,
-    u_lo: &[Vec<f64>],
-    u_hi: &[Vec<f64>],
+    soa: &BandMatrixSoA,
     i: usize,
     k: usize,
+    d: &mut [f64],
 ) -> bool {
-    let d: Vec<f64> = u_lo[i].iter().zip(&u_hi[k]).map(|(a, b)| a - b).collect();
-    let (worst, _) = polytope.minimize(&d);
+    for (j, dj) in d.iter_mut().enumerate() {
+        *dj = soa.lo(i, j) - soa.hi(k, j);
+    }
+    let (worst, _) = polytope.minimize(d);
     if worst < -1e-9 {
         return false;
     }
     // Require some advantage in the most favorable direction, so two
     // identical rows do not "dominate" each other.
-    let dbest: Vec<f64> = u_hi[i].iter().zip(&u_lo[k]).map(|(a, b)| a - b).collect();
-    let (best, _) = polytope.maximize(&dbest);
+    for (j, dj) in d.iter_mut().enumerate() {
+        *dj = soa.hi(i, j) - soa.lo(k, j);
+    }
+    let (best, _) = polytope.maximize(d);
     best > 1e-9
 }
 
 /// Full pairwise dominance matrix (`matrix[i][k]` = does `i` dominate
 /// `k`) against a shared evaluation context.
 pub fn dominance_matrix_ctx(ctx: &EvalContext) -> Vec<Vec<DominanceOutcome>> {
-    let (u_lo, u_hi) = ctx.bound_matrices();
-    dominance_core(&weight_polytope_ctx(ctx), u_lo, u_hi)
+    dominance_core(&weight_polytope_ctx(ctx), ctx.soa())
 }
 
 /// Full pairwise dominance matrix, re-deriving the utility matrices and
@@ -84,20 +86,18 @@ pub fn dominance_matrix_ctx(ctx: &EvalContext) -> Vec<Vec<DominanceOutcome>> {
 )]
 pub fn dominance_matrix(model: &DecisionModel) -> Vec<Vec<DominanceOutcome>> {
     let (u_lo, u_hi) = model.bound_utility_matrices();
-    dominance_core(&polytope_from(&model.attribute_weights()), &u_lo, &u_hi)
+    let soa = BandMatrixSoA::from_bounds(&u_lo, &u_hi);
+    dominance_core(&polytope_from(&model.attribute_weights()), &soa)
 }
 
-fn dominance_core(
-    polytope: &WeightPolytope,
-    u_lo: &[Vec<f64>],
-    u_hi: &[Vec<f64>],
-) -> Vec<Vec<DominanceOutcome>> {
-    let n = u_lo.len();
+fn dominance_core(polytope: &WeightPolytope, soa: &BandMatrixSoA) -> Vec<Vec<DominanceOutcome>> {
+    let n = soa.n_alternatives();
+    let mut d = vec![0.0; soa.n_attributes()];
     (0..n)
         .map(|i| {
             (0..n)
                 .map(|k| {
-                    if i != k && dominates(polytope, u_lo, u_hi, i, k) {
+                    if i != k && dominates(polytope, soa, i, k, &mut d) {
                         DominanceOutcome::Dominates
                     } else {
                         DominanceOutcome::None
@@ -120,10 +120,9 @@ pub fn non_dominated_ctx(ctx: &EvalContext) -> Vec<usize> {
     since = "0.2.0",
     note = "build a `maut::EvalContext` and use `non_dominated_ctx`"
 )]
+#[allow(deprecated)]
 pub fn non_dominated(model: &DecisionModel) -> Vec<usize> {
-    let (u_lo, u_hi) = model.bound_utility_matrices();
-    let m = dominance_core(&polytope_from(&model.attribute_weights()), &u_lo, &u_hi);
-    non_dominated_of(&m)
+    non_dominated_of(&dominance_matrix(model))
 }
 
 fn non_dominated_of(matrix: &[Vec<DominanceOutcome>]) -> Vec<usize> {

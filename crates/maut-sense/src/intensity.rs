@@ -15,7 +15,7 @@
 //! evaluation discards.
 
 use crate::dominance::{polytope_from, weight_polytope_ctx};
-use maut::{DecisionModel, EvalContext};
+use maut::{BandMatrixSoA, DecisionModel, EvalContext};
 use simplex_lp::WeightPolytope;
 
 /// The dominance interval of one ordered pair.
@@ -53,8 +53,7 @@ pub struct IntensityRank {
 /// All pairwise dominance intervals (`matrix[i][k]`, diagonal zero),
 /// against a shared evaluation context.
 pub fn dominance_intervals_ctx(ctx: &EvalContext) -> Vec<Vec<DominanceInterval>> {
-    let (u_lo, u_hi) = ctx.bound_matrices();
-    intervals_core(&weight_polytope_ctx(ctx), u_lo, u_hi)
+    intervals_core(&weight_polytope_ctx(ctx), ctx.soa())
 }
 
 /// All pairwise dominance intervals, re-deriving everything from scratch.
@@ -64,15 +63,14 @@ pub fn dominance_intervals_ctx(ctx: &EvalContext) -> Vec<Vec<DominanceInterval>>
 )]
 pub fn dominance_intervals(model: &DecisionModel) -> Vec<Vec<DominanceInterval>> {
     let (u_lo, u_hi) = model.bound_utility_matrices();
-    intervals_core(&polytope_from(&model.attribute_weights()), &u_lo, &u_hi)
+    let soa = BandMatrixSoA::from_bounds(&u_lo, &u_hi);
+    intervals_core(&polytope_from(&model.attribute_weights()), &soa)
 }
 
-fn intervals_core(
-    polytope: &WeightPolytope,
-    u_lo: &[Vec<f64>],
-    u_hi: &[Vec<f64>],
-) -> Vec<Vec<DominanceInterval>> {
-    let n = u_lo.len();
+fn intervals_core(polytope: &WeightPolytope, soa: &BandMatrixSoA) -> Vec<Vec<DominanceInterval>> {
+    let n = soa.n_alternatives();
+    let mut worst = vec![0.0; soa.n_attributes()];
+    let mut best = vec![0.0; soa.n_attributes()];
     (0..n)
         .map(|i| {
             (0..n)
@@ -80,9 +78,10 @@ fn intervals_core(
                     if i == k {
                         return DominanceInterval { min: 0.0, max: 0.0 };
                     }
-                    let worst: Vec<f64> =
-                        u_lo[i].iter().zip(&u_hi[k]).map(|(a, b)| a - b).collect();
-                    let best: Vec<f64> = u_hi[i].iter().zip(&u_lo[k]).map(|(a, b)| a - b).collect();
+                    for j in 0..soa.n_attributes() {
+                        worst[j] = soa.lo(i, j) - soa.hi(k, j);
+                        best[j] = soa.hi(i, j) - soa.lo(k, j);
+                    }
                     DominanceInterval {
                         min: polytope.minimize(&worst).0,
                         max: polytope.maximize(&best).0,

@@ -12,12 +12,47 @@
 //! the other analyses). Each trial ranks all alternatives; per-alternative
 //! rank statistics (mode, min, max, mean, std, quartiles — Fig 10) and the
 //! multiple boxplot (Fig 9) summarize the runs.
+//!
+//! ## The hot loop
+//!
+//! [`MonteCarlo::run_ctx`] is the batched path: weight vectors are drawn
+//! *sequentially* from the single seeded RNG into a flat sample buffer
+//! (identical stream to the scalar path, draw for draw), then each batch is
+//! scored against the columnar [`maut::BandMatrixSoA`] and ranked with
+//! reused scratch buffers — optionally fanned out over
+//! [`MonteCarlo::threads`] scoped workers whose integer rank counts merge
+//! order-independently. The result is therefore **identical** for the
+//! scalar reference ([`MonteCarlo::run_scalar_ctx`]), one thread, or N
+//! threads; `tests/soa_equivalence.rs` locks that down differentially.
 
 use maut::weights::AttributeWeights;
-use maut::{DecisionModel, EvalContext};
+use maut::{par, DecisionModel, EvalContext};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use statlab::{Boxplot, MultipleBoxplot, RankAccumulator, RankStats, SimplexSampler, WeightScheme};
+use statlab::{
+    Boxplot, MultipleBoxplot, RankAccumulator, RankScratch, RankStats, SimplexSampler, WeightScheme,
+};
+
+/// Trials per sample batch: bounds buffer memory (a batch holds
+/// `BATCH_TRIALS × n_attrs` weights) while amortizing per-batch setup.
+const BATCH_TRIALS: usize = 4096;
+
+/// Minimum trials each scoped worker must receive before the fan-out pays
+/// for the spawns.
+const PAR_MIN_TRIALS: usize = 512;
+
+/// Up to this many alternatives, scoring and ranking run on the blocked
+/// transposed kernels (trials in the SIMD lanes, O(n²)-per-trial rank
+/// counting); beyond it the per-trial sorting path wins. Both produce
+/// identical rank counts.
+const DENSE_RANK_MAX: usize = 64;
+
+/// Trials per transposed sub-block — exactly the width of the
+/// register-blocked kernels ([`maut::soa::SCORE_LANES`] /
+/// [`statlab::RANK_LANES`]); trailing partial blocks fall back to the
+/// dynamic kernels with identical results.
+const BLOCK_TRIALS: usize = maut::soa::SCORE_LANES;
+const _: () = assert!(BLOCK_TRIALS == statlab::RANK_LANES, "kernel widths agree");
 
 /// Which of the three GMAA simulation classes to run.
 #[derive(Debug, Clone, PartialEq)]
@@ -104,6 +139,13 @@ impl MonteCarloResult {
     pub fn mean_ranks(&self) -> Vec<f64> {
         self.stats.iter().map(|s| s.mean).collect()
     }
+
+    /// The raw ranking-frequency matrix: `rank_counts()[alt][rank-1]` =
+    /// number of trials where `alt` took `rank`. The differential tests
+    /// compare this exactly across the scalar / batched / threaded paths.
+    pub fn rank_counts(&self) -> &[Vec<usize>] {
+        self.accumulator.counts()
+    }
 }
 
 /// The simulation driver.
@@ -129,6 +171,11 @@ pub struct MonteCarlo {
     pub config: MonteCarloConfig,
     pub trials: usize,
     pub seed: u64,
+    /// Scoring workers for [`MonteCarlo::run_ctx`]: `0` = one per core,
+    /// `1` = single-threaded. Any value yields identical results — weight
+    /// generation stays on one sequential RNG stream and the per-worker
+    /// rank counts merge order-independently.
+    pub threads: usize,
 }
 
 impl MonteCarlo {
@@ -138,7 +185,14 @@ impl MonteCarlo {
             config,
             trials,
             seed,
+            threads: 0,
         }
+    }
+
+    /// Builder-style worker-count override (see the `threads` field).
+    pub fn with_threads(mut self, threads: usize) -> MonteCarlo {
+        self.threads = threads;
+        self
     }
 
     /// The paper's headline run: 10 000 trials within elicited intervals.
@@ -171,9 +225,81 @@ impl MonteCarlo {
         }
     }
 
-    /// Run the simulation against a shared evaluation context: the scoring
-    /// matrix and elicited weight bounds come straight from the cache.
+    /// Run the simulation against a shared evaluation context — the batched
+    /// hot path: sequential weight generation into a flat sample buffer,
+    /// columnar scoring against [`EvalContext::soa`], scratch-reusing rank
+    /// accumulation, and an optional scoped-thread fan-out (see
+    /// [`MonteCarlo::threads`]). Produces exactly the same result as
+    /// [`MonteCarlo::run_scalar_ctx`] for any worker count.
     pub fn run_ctx(&self, ctx: &EvalContext) -> MonteCarloResult {
+        let n_attrs = ctx.model().num_attributes();
+        let sampler = self.sampler(n_attrs, ctx.weights());
+        let soa = ctx.soa();
+        let names = &ctx.model().alternatives;
+        let n_alts = soa.n_alternatives();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut acc = RankAccumulator::new(names.clone());
+        let mut samples = vec![0.0; BATCH_TRIALS.min(self.trials) * n_attrs];
+        let mut done = 0usize;
+        while done < self.trials {
+            let batch = BATCH_TRIALS.min(self.trials - done);
+            for chunk in samples[..batch * n_attrs].chunks_exact_mut(n_attrs) {
+                sampler.sample_into(&mut rng, chunk);
+            }
+            let samples = &samples[..batch * n_attrs];
+            let parts = par::map_ranges(batch, self.threads, PAR_MIN_TRIALS, |range| {
+                let mut local = RankAccumulator::new(names.clone());
+                let worker = &samples[range.start * n_attrs..range.end * n_attrs];
+                if n_alts <= DENSE_RANK_MAX {
+                    // Blocked transposed pipeline: put trials in the SIMD
+                    // lanes. Per sub-block, flip the samples to
+                    // attribute-major, score all alternatives with one
+                    // broadcast-axpy per (alternative, attribute) cell,
+                    // and count ranks pair-major — bit-identical to the
+                    // per-trial path (same per-trial accumulation order).
+                    let mut samples_t = vec![0.0; BLOCK_TRIALS * n_attrs];
+                    let mut scores_t = vec![0.0; BLOCK_TRIALS * n_alts];
+                    for chunk in worker.chunks(BLOCK_TRIALS * n_attrs) {
+                        let block = chunk.len() / n_attrs;
+                        for (t, sample) in chunk.chunks_exact(n_attrs).enumerate() {
+                            for (j, &w) in sample.iter().enumerate() {
+                                samples_t[j * block + t] = w;
+                            }
+                        }
+                        soa.score_block_transposed(
+                            &samples_t[..block * n_attrs],
+                            block,
+                            &mut scores_t[..block * n_alts],
+                        );
+                        local.record_scores_transposed(&scores_t[..block * n_alts], block);
+                    }
+                } else {
+                    let mut scores = vec![0.0; n_alts];
+                    let mut scratch = RankScratch::default();
+                    for sample in worker.chunks_exact(n_attrs) {
+                        soa.score_into(sample, &mut scores);
+                        local.record_scores_with(&scores, &mut scratch);
+                    }
+                }
+                local
+            });
+            for part in &parts {
+                acc.merge(part);
+            }
+            done += batch;
+        }
+        MonteCarloResult {
+            trials: self.trials,
+            stats: acc.stats(),
+            accumulator: acc,
+        }
+    }
+
+    /// The scalar reference path: one weight vector drawn and scored at a
+    /// time against the row-major midpoint matrix. Kept (and exercised by
+    /// the differential suite) as the ground truth the batched path must
+    /// reproduce; prefer [`MonteCarlo::run_ctx`] everywhere else.
+    pub fn run_scalar_ctx(&self, ctx: &EvalContext) -> MonteCarloResult {
         self.run_core(
             ctx.model().num_attributes(),
             ctx.weights(),
@@ -333,6 +459,93 @@ mod tests {
     #[should_panic(expected = "at least one trial")]
     fn zero_trials_rejected() {
         MonteCarlo::new(MonteCarloConfig::Random, 0, 1);
+    }
+
+    #[test]
+    fn batched_path_matches_scalar_reference_exactly() {
+        let c = ctx(&model());
+        for config in [
+            MonteCarloConfig::Random,
+            MonteCarloConfig::RankOrder(vec![1, 0]),
+            MonteCarloConfig::PartialRankOrder(vec![vec![0, 1]]),
+            MonteCarloConfig::ElicitedIntervals,
+        ] {
+            let mc = MonteCarlo::new(config, 700, 42).with_threads(1);
+            let scalar = mc.run_scalar_ctx(&c);
+            let batched = mc.run_ctx(&c);
+            assert_eq!(scalar.rank_counts(), batched.rank_counts());
+            assert_eq!(scalar.mean_ranks(), batched.mean_ranks());
+        }
+    }
+
+    #[test]
+    fn same_seed_same_ranking_frequency_matrix_across_thread_counts() {
+        // The deterministic-RNG guarantee: one sequential sample stream,
+        // order-independent count merges — so 1, 2, 8 or auto workers (and
+        // batch boundaries in between) all reproduce the same matrix.
+        let c = ctx(&model());
+        let mc = MonteCarlo::new(MonteCarloConfig::ElicitedIntervals, 1500, 77);
+        let reference = mc.clone().with_threads(1).run_ctx(&c);
+        assert_eq!(reference.rank_counts(), mc.run_scalar_ctx(&c).rank_counts());
+        for threads in [0, 2, 3, 8] {
+            let run = mc.clone().with_threads(threads).run_ctx(&c);
+            assert_eq!(
+                reference.rank_counts(),
+                run.rank_counts(),
+                "{threads} threads"
+            );
+            assert_eq!(reference.mean_ranks(), run.mean_ranks());
+        }
+    }
+
+    #[test]
+    fn rank_counts_rows_sum_to_trials() {
+        let r = MonteCarlo::new(MonteCarloConfig::Random, 250, 1).run_ctx(&ctx(&model()));
+        for row in r.rank_counts() {
+            assert_eq!(row.iter().sum::<usize>(), 250);
+        }
+    }
+
+    #[test]
+    fn wide_models_take_the_sorting_branch_and_still_agree() {
+        // More alternatives than DENSE_RANK_MAX: run_ctx switches to the
+        // per-trial sorting path, which must match the scalar reference
+        // exactly too (and across thread counts).
+        let mut b = DecisionModelBuilder::new("wide");
+        let x = b.discrete_attribute("x", "X", &["0", "1", "2", "3"]);
+        let y = b.discrete_attribute("y", "Y", &["0", "1", "2", "3"]);
+        b.attach_attributes_to_root(&[(x, Interval::new(0.3, 0.7)), (y, Interval::new(0.3, 0.7))]);
+        for i in 0..(DENSE_RANK_MAX + 6) {
+            b.alternative(
+                format!("a{i:03}"),
+                vec![Perf::level(i % 4), Perf::level((i / 4) % 4)],
+            );
+        }
+        let c = EvalContext::new(b.build().unwrap()).unwrap();
+        // Enough trials that a multi-worker request actually fans out
+        // (PAR_MIN_TRIALS per worker) on the sorting branch.
+        let mc = MonteCarlo::new(MonteCarloConfig::Random, 2 * PAR_MIN_TRIALS + 100, 5);
+        let scalar = mc.run_scalar_ctx(&c);
+        for threads in [1usize, 4] {
+            let batched = mc.clone().with_threads(threads).run_ctx(&c);
+            assert_eq!(
+                scalar.rank_counts(),
+                batched.rank_counts(),
+                "{threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_boundaries_do_not_change_results() {
+        // More trials than one sample batch holds: the scalar reference
+        // and the multi-batch path must still agree exactly.
+        let c = ctx(&model());
+        let mc = MonteCarlo::new(MonteCarloConfig::Random, 5000, 3);
+        assert_eq!(
+            mc.run_scalar_ctx(&c).rank_counts(),
+            mc.run_ctx(&c).rank_counts()
+        );
     }
 
     #[test]

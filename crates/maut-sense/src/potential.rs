@@ -16,7 +16,7 @@
 //! of its 23 candidates potentially optimal, discarding three.
 
 use crate::dominance::{polytope_from, weight_polytope_ctx};
-use maut::{DecisionModel, EvalContext};
+use maut::{BandMatrixSoA, DecisionModel, EvalContext};
 use simplex_lp::{Bound, LinearProgram, Objective, Relation, Status, WeightPolytope};
 
 /// Verdict for one alternative.
@@ -33,11 +33,9 @@ pub struct PotentialOutcome {
 /// Evaluate potential optimality for every alternative, against a shared
 /// evaluation context.
 pub fn potentially_optimal_ctx(ctx: &EvalContext) -> Vec<PotentialOutcome> {
-    let (u_lo, u_hi) = ctx.bound_matrices();
     potential_core(
         &weight_polytope_ctx(ctx),
-        u_lo,
-        u_hi,
+        ctx.soa(),
         &ctx.model().alternatives,
     )
 }
@@ -50,21 +48,20 @@ pub fn potentially_optimal_ctx(ctx: &EvalContext) -> Vec<PotentialOutcome> {
 )]
 pub fn potentially_optimal(model: &DecisionModel) -> Vec<PotentialOutcome> {
     let (u_lo, u_hi) = model.bound_utility_matrices();
+    let soa = BandMatrixSoA::from_bounds(&u_lo, &u_hi);
     potential_core(
         &polytope_from(&model.attribute_weights()),
-        &u_lo,
-        &u_hi,
+        &soa,
         &model.alternatives,
     )
 }
 
 fn potential_core(
     polytope: &WeightPolytope,
-    u_lo: &[Vec<f64>],
-    u_hi: &[Vec<f64>],
+    soa: &BandMatrixSoA,
     names: &[String],
 ) -> Vec<PotentialOutcome> {
-    let n = u_lo.len();
+    let n = soa.n_alternatives();
     let n_attr = polytope.dim();
 
     (0..n)
@@ -81,13 +78,13 @@ fn potential_core(
             let mut norm = vec![1.0; n_attr + 1];
             norm[n_attr] = 0.0;
             lp.add_constraint(&norm, Relation::Eq, 1.0);
-            for (k, u_lo_k) in u_lo.iter().enumerate() {
+            let mut row = vec![0.0; n_attr + 1];
+            for k in 0..n {
                 if k == i {
                     continue;
                 }
-                let mut row = vec![0.0; n_attr + 1];
-                for (r, (hi, lo)) in row.iter_mut().zip(u_hi[i].iter().zip(u_lo_k)) {
-                    *r = hi - lo;
+                for (j, r) in row[..n_attr].iter_mut().enumerate() {
+                    *r = soa.hi(i, j) - soa.lo(k, j);
                 }
                 row[n_attr] = -1.0;
                 lp.add_constraint(&row, Relation::Ge, 0.0);

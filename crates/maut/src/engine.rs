@@ -52,10 +52,16 @@ use crate::evaluate::{Evaluation, UtilityBounds};
 use crate::hierarchy::ObjectiveId;
 use crate::interval::Interval;
 use crate::model::{AttributeId, DecisionModel};
+use crate::par;
 use crate::perf::Perf;
+use crate::soa::BandMatrixSoA;
 use crate::weights::{self, AttributeWeights};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
+
+/// Batches below this many rows per would-be worker are scored inline —
+/// spawn overhead beats the win on small fan-outs.
+const PAR_MIN_ROWS: usize = 1024;
 
 /// Counters describing how much work the context has saved; exposed so
 /// tests and benches can assert the incremental paths actually run.
@@ -85,6 +91,11 @@ pub struct EvalContext {
     band_lo: Vec<Vec<f64>>,
     band_mid: Vec<Vec<f64>>,
     band_hi: Vec<Vec<f64>>,
+    /// Columnar (per-attribute contiguous) view of the same three
+    /// projections, kept in sync by [`EvalContext::set_perf`] — the batch
+    /// analyses (Monte Carlo, dominance, potential optimality,
+    /// `batch_evaluate`) read this instead of the row-major matrices.
+    soa: BandMatrixSoA,
     /// Resolved local weight interval per objective node.
     local: Vec<Interval>,
     /// Normalized average local weight per objective node.
@@ -126,11 +137,13 @@ impl EvalContext {
             .map(|k| model.tree.attributes_under(ObjectiveId::from_index(k)))
             .collect();
 
+        let soa = BandMatrixSoA::from_rows(&band_lo, &band_mid, &band_hi);
         let mut ctx = EvalContext {
             model,
             band_lo,
             band_mid,
             band_hi,
+            soa,
             local,
             node_avgs,
             scope_weights: BTreeMap::new(),
@@ -174,6 +187,13 @@ impl EvalContext {
     /// potential-optimality inputs.
     pub fn bound_matrices(&self) -> (&[Vec<f64>], &[Vec<f64>]) {
         (&self.band_lo, &self.band_hi)
+    }
+
+    /// Columnar view of the band matrix (per-attribute contiguous lo / mid
+    /// / hi columns), kept in sync with [`EvalContext::set_perf`]. The
+    /// batch analyses consume this; see [`crate::soa`] for the layout.
+    pub fn soa(&self) -> &BandMatrixSoA {
+        &self.soa
     }
 
     /// Flattened weight triples over the whole hierarchy (Fig 5).
@@ -274,39 +294,50 @@ impl EvalContext {
 
     /// Score a batch of alternatives under one scope without touching the
     /// evaluation cache — the bulk path for scoring many candidates at
-    /// once (returns bounds in the order requested).
+    /// once (returns bounds in the order requested). Runs over the
+    /// columnar band matrix with an automatic scoped-thread fan-out for
+    /// large batches; see [`EvalContext::batch_evaluate_with`] to pin the
+    /// worker count.
     pub fn batch_evaluate(
         &mut self,
         scope: ObjectiveId,
         alternatives: &[usize],
     ) -> Vec<UtilityBounds> {
+        self.batch_evaluate_with(scope, alternatives, 0)
+    }
+
+    /// [`EvalContext::batch_evaluate`] with an explicit worker count:
+    /// `1` forces the inline path, `0` uses one worker per core. Batches
+    /// smaller than the per-worker minimum always run inline, and results
+    /// are identical for every worker count (disjoint output chunks, same
+    /// per-row accumulation order).
+    pub fn batch_evaluate_with(
+        &mut self,
+        scope: ObjectiveId,
+        alternatives: &[usize],
+        threads: usize,
+    ) -> Vec<UtilityBounds> {
         self.cache_scope_weights(scope);
         let weights = &self.scope_weights[&scope.index()];
-        alternatives
-            .iter()
-            .map(|&i| {
-                row_bounds(
-                    weights,
-                    &self.band_lo[i],
-                    &self.band_mid[i],
-                    &self.band_hi[i],
-                )
-            })
-            .collect()
+        let soa = &self.soa;
+        let mut out = vec![
+            UtilityBounds {
+                min: 0.0,
+                avg: 0.0,
+                max: 0.0
+            };
+            alternatives.len()
+        ];
+        par::for_each_chunk_mut(&mut out, threads, PAR_MIN_ROWS, |offset, chunk| {
+            soa.bounds_into(weights, &alternatives[offset..offset + chunk.len()], chunk);
+        });
+        out
     }
 
     /// Score every alternative with a fixed flat weight vector over band
-    /// midpoints — the Monte Carlo inner loop, against the cached matrix.
+    /// midpoints — one Monte Carlo trial against the columnar matrix.
     pub fn score_with_weights(&self, flat_weights: &[f64]) -> Vec<f64> {
-        assert_eq!(
-            flat_weights.len(),
-            self.model.num_attributes(),
-            "weight vector arity"
-        );
-        self.band_mid
-            .iter()
-            .map(|row| row.iter().zip(flat_weights).map(|(u, w)| u * w).sum())
-            .collect()
+        self.soa.score(flat_weights)
     }
 
     // ------------------------------------------------------------- mutation
@@ -329,6 +360,10 @@ impl EvalContext {
         self.band_lo[alternative][j] = band.lo();
         self.band_mid[alternative][j] = band.mid();
         self.band_hi[alternative][j] = band.hi();
+        // Keep the columnar view coherent: a stale SoA column would feed
+        // every batch analysis outdated utilities.
+        self.soa
+            .set_cell(alternative, j, band.lo(), band.mid(), band.hi());
 
         // Dirty only the scopes whose subtree actually contains the
         // changed attribute (the subtree index answers that directly);
@@ -517,6 +552,37 @@ mod tests {
         let batch = ctx.batch_evaluate(root, &[2, 0]);
         assert_eq!(batch[0], full.bounds[2]);
         assert_eq!(batch[1], full.bounds[0]);
+    }
+
+    #[test]
+    fn set_perf_keeps_soa_columns_coherent() {
+        // A stale SoA column is exactly the bug this guards against: the
+        // row-major matrices get patched, the columnar view must too, and
+        // the next batch_evaluate must see the new cell.
+        let mut ctx = EvalContext::new(model()).unwrap();
+        let root = ctx.model().tree.root();
+        let before = ctx.batch_evaluate(root, &[0, 1, 2]);
+        let y = ctx.model().find_attribute("y").unwrap();
+        ctx.set_perf(2, y, Perf::level(2)).unwrap();
+        let after = ctx.batch_evaluate(root, &[0, 1, 2]);
+        assert_eq!(after[0], before[0]);
+        assert_eq!(after[1], before[1]);
+        assert!(after[2].avg > before[2].avg, "stale SoA column");
+        // And the patched columns agree cell-for-cell with a context built
+        // fresh from the mutated model.
+        let fresh = EvalContext::new(ctx.model().clone()).unwrap();
+        assert_eq!(ctx.soa(), fresh.soa());
+    }
+
+    #[test]
+    fn batch_evaluate_thread_counts_agree() {
+        let mut ctx = EvalContext::new(model()).unwrap();
+        let root = ctx.model().tree.root();
+        let alts: Vec<usize> = (0..3).cycle().take(50).collect();
+        let one = ctx.batch_evaluate_with(root, &alts, 1);
+        for threads in [0, 2, 7] {
+            assert_eq!(ctx.batch_evaluate_with(root, &alts, threads), one);
+        }
     }
 
     #[test]

@@ -74,8 +74,10 @@ pub mod group;
 pub mod hierarchy;
 pub mod interval;
 pub mod model;
+pub mod par;
 pub mod perf;
 pub mod scale;
+pub mod soa;
 pub mod utility;
 pub mod weights;
 
@@ -90,6 +92,7 @@ pub use interval::Interval;
 pub use model::{AttributeId, DecisionModel};
 pub use perf::{Perf, PerformanceTable};
 pub use scale::{Attribute, ContinuousScale, Direction, DiscreteScale, Scale};
+pub use soa::BandMatrixSoA;
 pub use utility::{DiscreteUtility, PiecewiseLinearUtility, UtilityFunction};
 pub use weights::{AttributeWeights, WeightTriple};
 
@@ -104,6 +107,7 @@ pub mod prelude {
     pub use crate::model::{AttributeId, DecisionModel};
     pub use crate::perf::{Perf, PerformanceTable};
     pub use crate::scale::{Attribute, ContinuousScale, Direction, DiscreteScale, Scale};
+    pub use crate::soa::BandMatrixSoA;
     pub use crate::utility::{DiscreteUtility, PiecewiseLinearUtility, UtilityFunction};
     pub use crate::weights::{AttributeWeights, WeightTriple};
 }

@@ -112,6 +112,91 @@ impl Describe {
     }
 }
 
+/// [`Describe`] a sample given as a value histogram: `values` ascending and
+/// distinct, `counts[i]` occurrences of `values[i]`. Runs in O(bins) —
+/// the rank accumulator summarizes 10⁴-trial simulations without ever
+/// expanding per-trial samples. Agrees with [`Describe::new`] on the
+/// expanded sample (`mean`/`std_dev` up to floating-point rounding:
+/// closed-form here vs Welford there; everything else exactly, including
+/// the R-7 percentile interpolation and smallest-value mode tie-break).
+pub fn describe_counts(values: &[f64], counts: &[usize]) -> Option<Describe> {
+    assert_eq!(values.len(), counts.len(), "histogram arity mismatch");
+    debug_assert!(
+        values.windows(2).all(|w| w[0] < w[1]),
+        "values not ascending"
+    );
+    let n: usize = counts.iter().sum();
+    if n == 0 || values.iter().any(|v| !v.is_finite()) {
+        return None;
+    }
+
+    let mut total = 0.0;
+    for (&v, &c) in values.iter().zip(counts) {
+        total += v * c as f64;
+    }
+    let mean = total / n as f64;
+    let mut m2 = 0.0;
+    for (&v, &c) in values.iter().zip(counts) {
+        let d = v - mean;
+        m2 += d * d * c as f64;
+    }
+    let std_dev = if n > 1 {
+        (m2 / (n - 1) as f64).sqrt()
+    } else {
+        0.0
+    };
+
+    let occupied = || values.iter().zip(counts).filter(|(_, &c)| c > 0);
+    let min = *occupied().next().expect("n > 0").0;
+    let max = *occupied().next_back().expect("n > 0").0;
+    // Largest count wins; ties break toward the smallest value because the
+    // scan ascends and only a strictly larger count displaces the mode.
+    let mut mode = min;
+    let mut best = 0usize;
+    for (&v, &c) in values.iter().zip(counts) {
+        if c > best {
+            best = c;
+            mode = v;
+        }
+    }
+
+    // The `idx`-th order statistic of the expanded sample, via cumulative
+    // counts.
+    let value_at = |idx: usize| -> f64 {
+        let mut cum = 0usize;
+        for (&v, &c) in values.iter().zip(counts) {
+            cum += c;
+            if idx < cum {
+                return v;
+            }
+        }
+        unreachable!("index within sample");
+    };
+    let pct = |q: f64| -> f64 {
+        if n == 1 {
+            return value_at(0);
+        }
+        let pos = q / 100.0 * (n - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        let v_lo = value_at(lo);
+        v_lo + (value_at(hi) - v_lo) * frac
+    };
+
+    Some(Describe {
+        n,
+        mean,
+        std_dev,
+        min,
+        max,
+        p25: pct(25.0),
+        median: pct(50.0),
+        p75: pct(75.0),
+        mode,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -187,5 +272,41 @@ mod tests {
         let a = Describe::new(&[5.0, 1.0, 3.0, 2.0, 4.0]).unwrap();
         let b = Describe::new(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn describe_counts_matches_expanded_sample() {
+        let values = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let cases: [[usize; 5]; 4] = [
+            [3, 0, 2, 2, 1],
+            [1, 1, 1, 1, 1],
+            [0, 0, 7, 0, 0],
+            [10, 1, 0, 0, 4],
+        ];
+        for counts in &cases {
+            let mut expanded = Vec::new();
+            for (&v, &c) in values.iter().zip(counts) {
+                expanded.extend(std::iter::repeat_n(v, c));
+            }
+            let from_counts = describe_counts(&values, counts).unwrap();
+            let from_sample = Describe::new(&expanded).unwrap();
+            assert_eq!(from_counts.n, from_sample.n);
+            assert_eq!(from_counts.min, from_sample.min);
+            assert_eq!(from_counts.max, from_sample.max);
+            assert_eq!(from_counts.mode, from_sample.mode);
+            assert_eq!(from_counts.p25, from_sample.p25);
+            assert_eq!(from_counts.median, from_sample.median);
+            assert_eq!(from_counts.p75, from_sample.p75);
+            assert!(
+                (from_counts.mean - from_sample.mean).abs() < 1e-12,
+                "{counts:?}"
+            );
+            assert!((from_counts.std_dev - from_sample.std_dev).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn describe_counts_rejects_empty() {
+        assert!(describe_counts(&[1.0, 2.0], &[0, 0]).is_none());
     }
 }

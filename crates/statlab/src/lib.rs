@@ -23,6 +23,9 @@ pub mod sampling;
 
 pub use boxplot::{Boxplot, MultipleBoxplot};
 pub use convergence::ConvergenceTracker;
-pub use describe::{percentile, Describe};
-pub use rank::{kendall_tau, rank_vector, spearman_rho, RankAccumulator, RankStats, TieBreak};
-pub use sampling::{SimplexSampler, WeightScheme};
+pub use describe::{describe_counts, percentile, Describe};
+pub use rank::{
+    kendall_tau, rank_vector, rank_vector_with, spearman_rho, RankAccumulator, RankScratch,
+    RankStats, TieBreak, RANK_LANES,
+};
+pub use sampling::{uniform_simplex, uniform_simplex_into, SimplexSampler, WeightScheme};

@@ -3,7 +3,12 @@
 //! statistics of the paper's Fig 10), and rank correlation coefficients used
 //! to validate the reconstructed dataset against the published ranking.
 
-use crate::describe::Describe;
+use crate::describe::describe_counts;
+
+/// Trial count of the register-blocked transposed rank kernel (see
+/// [`RankAccumulator::record_scores_transposed`]); batch drivers slice
+/// their trials into sub-blocks of exactly this size for the fast path.
+pub const RANK_LANES: usize = 16;
 
 /// Tie-handling policy for [`rank_vector`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -19,15 +24,40 @@ pub enum TieBreak {
 /// Rank a score vector, rank 1 = highest score. Returns fractional ranks for
 /// `TieBreak::Average`.
 pub fn rank_vector(scores: &[f64], ties: TieBreak) -> Vec<f64> {
+    let mut scratch = RankScratch::default();
+    rank_vector_with(scores, ties, &mut scratch);
+    std::mem::take(&mut scratch.ranks)
+}
+
+/// Reusable buffers for [`rank_vector_with`] / repeated score recording —
+/// the Monte Carlo hot loop ranks tens of thousands of score vectors and
+/// must not allocate per trial.
+#[derive(Debug, Clone, Default)]
+pub struct RankScratch {
+    order: Vec<usize>,
+    ranks: Vec<f64>,
+}
+
+/// [`rank_vector`] into reusable scratch buffers; the computed ranks live
+/// in the returned slice (backed by `scratch.ranks`).
+pub fn rank_vector_with<'s>(
+    scores: &[f64],
+    ties: TieBreak,
+    scratch: &'s mut RankScratch,
+) -> &'s [f64] {
     let n = scores.len();
-    let mut order: Vec<usize> = (0..n).collect();
+    let order = &mut scratch.order;
+    order.clear();
+    order.extend(0..n);
     // Descending by score; NaNs sink to the end deterministically.
     order.sort_by(|&a, &b| {
         scores[b]
             .partial_cmp(&scores[a])
             .unwrap_or_else(|| a.cmp(&b).reverse())
     });
-    let mut ranks = vec![0.0; n];
+    let ranks = &mut scratch.ranks;
+    ranks.clear();
+    ranks.resize(n, 0.0);
     let mut i = 0usize;
     while i < n {
         let mut j = i;
@@ -138,6 +168,12 @@ pub struct RankAccumulator {
     /// `counts[alt][rank-1]` = number of trials where `alt` took `rank`.
     counts: Vec<Vec<usize>>,
     trials: usize,
+    /// Scratch for [`RankAccumulator::record_scores_transposed`]:
+    /// per-trial strictly-greater tallies, kept as f64 so the
+    /// compare-accumulate loop vectorizes lane-for-lane with the f64 score
+    /// compares (small integer counts are exact in f64). Re-sized by every
+    /// user — lengths vary between calls.
+    better: Vec<f64>,
 }
 
 impl RankAccumulator {
@@ -147,6 +183,7 @@ impl RankAccumulator {
             labels,
             counts: vec![vec![0; n]; n],
             trials: 0,
+            better: vec![0.0; n],
         }
     }
 
@@ -160,18 +197,107 @@ impl RankAccumulator {
 
     /// Record one trial's score vector (higher score = better rank).
     pub fn record_scores(&mut self, scores: &[f64]) {
+        let mut scratch = RankScratch::default();
+        self.record_scores_with(scores, &mut scratch);
+    }
+
+    /// [`RankAccumulator::record_scores`] with caller-owned scratch buffers
+    /// — identical counts, no per-trial allocation.
+    pub fn record_scores_with(&mut self, scores: &[f64], scratch: &mut RankScratch) {
         assert_eq!(
             scores.len(),
             self.labels.len(),
             "score vector length mismatch"
         );
-        let ranks = rank_vector(scores, TieBreak::Min);
+        let ranks = rank_vector_with(scores, TieBreak::Min, scratch);
         for (alt, &r) in ranks.iter().enumerate() {
             let r = r as usize;
             debug_assert!((1..=self.labels.len()).contains(&r));
             self.counts[alt][r - 1] += 1;
         }
         self.trials += 1;
+    }
+
+    /// Record a transposed *block* of trials at once — the batched Monte
+    /// Carlo ranking kernel. `scores_t` is alternative-major
+    /// (`scores_t[alt * block + t]` = score of `alt` in trial `t`). Rank
+    /// counting runs pair-major: an alternative's `TieBreak::Min` rank is
+    /// `1 +` the number of strictly greater scores, so each ordered
+    /// alternative pair is one vectorized strictly-greater sweep across
+    /// the whole block of trials. Counts are identical to the sorting
+    /// path of [`RankAccumulator::record_scores`] for finite scores (the
+    /// only scores an additive utility model produces).
+    pub fn record_scores_transposed(&mut self, scores_t: &[f64], block: usize) {
+        let n = self.labels.len();
+        assert_eq!(scores_t.len(), n * block, "score block arity");
+        debug_assert!(scores_t.iter().all(|s| !s.is_nan()), "NaN score");
+        if block == RANK_LANES {
+            return self.record_scores_16(scores_t);
+        }
+        self.better.clear();
+        self.better.resize(block, 0.0);
+        for (i, row) in self.counts.iter_mut().enumerate() {
+            let s_i = &scores_t[i * block..(i + 1) * block];
+            self.better.fill(0.0);
+            for (k, s_k) in scores_t.chunks_exact(block).enumerate() {
+                if k == i {
+                    continue;
+                }
+                for ((a, &sk), &si) in self.better.iter_mut().zip(s_k).zip(s_i) {
+                    *a += if sk > si { 1.0 } else { 0.0 };
+                }
+            }
+            for &b in self.better.iter() {
+                row[b as usize] += 1;
+            }
+        }
+        self.trials += block;
+    }
+
+    /// Fixed-width fast path of
+    /// [`RankAccumulator::record_scores_transposed`]: with the block size a
+    /// compile-time constant, each alternative's strictly-greater tally and
+    /// its own score row live in stack arrays the compiler keeps in vector
+    /// registers across the whole rival sweep — one compare + masked add
+    /// per `(rival, trial)` lane with no accumulator memory traffic.
+    fn record_scores_16(&mut self, scores_t: &[f64]) {
+        const T: usize = RANK_LANES;
+        for (i, row) in self.counts.iter_mut().enumerate() {
+            let mut s_i = [0.0f64; T];
+            s_i.copy_from_slice(&scores_t[i * T..(i + 1) * T]);
+            let mut acc = [0.0f64; T];
+            for (k, s_k) in scores_t.chunks_exact(T).enumerate() {
+                if k == i {
+                    continue;
+                }
+                for ((a, &sk), &si) in acc.iter_mut().zip(s_k).zip(&s_i) {
+                    *a += if sk > si { 1.0 } else { 0.0 };
+                }
+            }
+            for &b in &acc {
+                row[b as usize] += 1;
+            }
+        }
+        self.trials += T;
+    }
+
+    /// Fold another accumulator's counts into this one (same label set).
+    /// Integer counts make the fold order-independent, so parallel Monte
+    /// Carlo workers merge deterministically whatever the thread count.
+    pub fn merge(&mut self, other: &RankAccumulator) {
+        assert_eq!(self.labels, other.labels, "accumulator label mismatch");
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            for (m, t) in mine.iter_mut().zip(theirs) {
+                *m += t;
+            }
+        }
+        self.trials += other.trials;
+    }
+
+    /// The raw ranking-frequency matrix: `counts()[alt][rank-1]` = number
+    /// of trials where `alt` took `rank`.
+    pub fn counts(&self) -> &[Vec<usize>] {
+        &self.counts
     }
 
     /// Rank-acceptability index b(alt, rank): share of trials in which
@@ -192,12 +318,13 @@ impl RankAccumulator {
         out
     }
 
-    /// Fig 10-style statistics for every alternative.
+    /// Fig 10-style statistics for every alternative, straight from the
+    /// count histograms (no per-trial sample is ever expanded).
     pub fn stats(&self) -> Vec<RankStats> {
+        let ranks: Vec<f64> = (1..=self.labels.len()).map(|r| r as f64).collect();
         (0..self.labels.len())
             .map(|alt| {
-                let sample = self.rank_sample(alt);
-                let d = Describe::new(&sample).expect("non-empty after trials");
+                let d = describe_counts(&ranks, &self.counts[alt]).expect("non-empty after trials");
                 RankStats {
                     label: self.labels[alt].clone(),
                     mode: d.mode as u32,
@@ -307,6 +434,136 @@ mod tests {
         acc.record_scores(&[1.0, 0.0]);
         assert_eq!(acc.rank_sample(0), vec![1.0, 1.0]);
         assert_eq!(acc.rank_sample(1), vec![2.0, 2.0]);
+    }
+
+    #[test]
+    fn transposed_recording_matches_sorting_path_on_ties() {
+        // One-trial blocks through the transposed kernel vs the sorting
+        // path, on tie-heavy score vectors.
+        let labels: Vec<String> = (0..7).map(|i| format!("a{i}")).collect();
+        let mut sorted = RankAccumulator::new(labels.clone());
+        let mut transposed = RankAccumulator::new(labels);
+        let trials = [
+            vec![0.9, 0.5, 0.1, 0.5, 0.9, 0.0, 0.3], // ties everywhere
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0],
+            vec![0.0; 7], // all tied
+            vec![0.1, 0.2, 0.2, 0.2, 0.9, 0.9, 0.5],
+        ];
+        for t in &trials {
+            sorted.record_scores(t);
+            // A block of one trial is already alternative-major.
+            transposed.record_scores_transposed(t, 1);
+        }
+        assert_eq!(sorted.counts(), transposed.counts());
+        assert_eq!(sorted.stats(), transposed.stats());
+    }
+
+    #[test]
+    fn transposed_scratch_survives_varying_block_sizes() {
+        // Regression: the `better` scratch is shared across calls of
+        // different lengths; a small block must not truncate a larger
+        // following one.
+        let labels: Vec<String> = (0..7).map(|i| format!("a{i}")).collect();
+        let trial = [0.9, 0.5, 0.1, 0.6, 0.2, 0.8, 0.4];
+        let mut reference = RankAccumulator::new(labels.clone());
+        reference.record_scores(&trial);
+        reference.record_scores(&trial);
+        reference.record_scores(&trial);
+
+        let mut mixed = RankAccumulator::new(labels);
+        // Leaves `better` at length 7 (block of one trial)...
+        mixed.record_scores_transposed(&trial, 1);
+        // ...then a two-trial block needs length 14.
+        let mut scores_t = vec![0.0; 14];
+        for (alt, &s) in trial.iter().enumerate() {
+            scores_t[alt * 2] = s;
+            scores_t[alt * 2 + 1] = s;
+        }
+        mixed.record_scores_transposed(&scores_t, 2);
+        assert_eq!(reference.counts(), mixed.counts());
+        for row in mixed.counts() {
+            assert_eq!(row.iter().sum::<usize>(), 3);
+        }
+    }
+
+    #[test]
+    fn transposed_block_matches_per_trial_paths() {
+        let labels: Vec<String> = (0..5).map(|i| format!("a{i}")).collect();
+        let trials = [
+            vec![0.9, 0.5, 0.1, 0.5, 0.9],
+            vec![1.0, 2.0, 3.0, 4.0, 5.0],
+            vec![0.0, 0.0, 0.0, 0.0, 0.0],
+            vec![0.3, 0.3, 0.9, 0.1, 0.9],
+            vec![0.7, 0.1, 0.1, 0.2, 0.6],
+            vec![0.2, 0.8, 0.8, 0.8, 0.2],
+            vec![0.4, 0.6, 0.5, 0.3, 0.2],
+        ];
+        let mut per_trial = RankAccumulator::new(labels.clone());
+        for t in &trials {
+            per_trial.record_scores(t);
+        }
+        // Two blocks of sizes 4 and 3 in alternative-major layout.
+        let mut blocked = RankAccumulator::new(labels);
+        for chunk in trials.chunks(4) {
+            let block = chunk.len();
+            let mut scores_t = vec![0.0; 5 * block];
+            for (t, trial) in chunk.iter().enumerate() {
+                for (alt, &s) in trial.iter().enumerate() {
+                    scores_t[alt * block + t] = s;
+                }
+            }
+            blocked.record_scores_transposed(&scores_t, block);
+        }
+        assert_eq!(per_trial.counts(), blocked.counts());
+        assert_eq!(per_trial.trials(), blocked.trials());
+    }
+
+    #[test]
+    fn scratch_recording_matches_allocating_path() {
+        let mut a = RankAccumulator::new(vec!["x".into(), "y".into(), "z".into()]);
+        let mut b = a.clone();
+        let mut scratch = RankScratch::default();
+        let trials = [[0.9, 0.5, 0.1], [0.2, 0.2, 0.9], [0.5, 0.5, 0.5]];
+        for t in &trials {
+            a.record_scores(t);
+            b.record_scores_with(t, &mut scratch);
+        }
+        assert_eq!(a.counts(), b.counts());
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn merge_is_order_independent_and_sums_trials() {
+        let labels = vec!["x".to_string(), "y".to_string()];
+        let mut whole = RankAccumulator::new(labels.clone());
+        let mut left = RankAccumulator::new(labels.clone());
+        let mut right = RankAccumulator::new(labels.clone());
+        for (k, t) in [[1.0, 0.0], [0.0, 1.0], [1.0, 0.0], [0.3, 0.9]]
+            .iter()
+            .enumerate()
+        {
+            whole.record_scores(t);
+            if k < 2 {
+                left.record_scores(t);
+            } else {
+                right.record_scores(t);
+            }
+        }
+        let mut lr = left.clone();
+        lr.merge(&right);
+        let mut rl = right.clone();
+        rl.merge(&left);
+        assert_eq!(lr.counts(), whole.counts());
+        assert_eq!(rl.counts(), whole.counts());
+        assert_eq!(lr.trials(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "label mismatch")]
+    fn merge_rejects_different_label_sets() {
+        let mut a = RankAccumulator::new(vec!["x".into()]);
+        let b = RankAccumulator::new(vec!["y".into()]);
+        a.merge(&b);
     }
 
     #[test]

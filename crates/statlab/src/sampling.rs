@@ -103,26 +103,38 @@ impl SimplexSampler {
     /// Draw one weight vector (sums to 1, all components ≥ 0, scheme
     /// constraints satisfied up to the documented `Intervals` fallback).
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        let mut out = vec![0.0; self.n];
+        self.sample_into(rng, &mut out);
+        out
+    }
+
+    /// Draw one weight vector into a caller-provided buffer — the form the
+    /// batched Monte Carlo loop uses. Allocation-free for the `Uniform`
+    /// and `Intervals` schemes; the rank-order schemes still build a
+    /// sort scratch per draw. Consumes exactly the same RNG stream as
+    /// [`SimplexSampler::sample`] (draw for draw), so the two produce
+    /// identical sequences from the same seed.
+    pub fn sample_into<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut [f64]) {
+        assert_eq!(out.len(), self.n, "sample buffer arity");
         match &self.scheme {
-            WeightScheme::Uniform => uniform_simplex(self.n, rng),
+            WeightScheme::Uniform => uniform_simplex_into(rng, out),
             WeightScheme::RankOrder { order } => {
-                let mut w = uniform_simplex(self.n, rng);
+                let mut w = vec![0.0; self.n];
+                uniform_simplex_into(rng, &mut w);
                 w.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
-                let mut out = vec![0.0; self.n];
                 for (pos, &attr) in order.iter().enumerate() {
                     out[attr] = w[pos];
                 }
-                out
             }
             WeightScheme::PartialRankOrder { groups } => {
-                let mut w = uniform_simplex(self.n, rng);
+                let mut w = vec![0.0; self.n];
+                uniform_simplex_into(rng, &mut w);
                 w.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
                 // Hand the largest block of weights to the most important
                 // group, shuffling inside each group.
-                let mut out = vec![0.0; self.n];
                 let mut next = 0usize;
                 for g in groups {
-                    let mut block: Vec<f64> = w[next..next + g.len()].to_vec();
+                    let block = &mut w[next..next + g.len()];
                     next += g.len();
                     // Fisher-Yates over the block for within-group freedom.
                     for i in (1..block.len()).rev() {
@@ -133,46 +145,47 @@ impl SimplexSampler {
                         out[attr] = val;
                     }
                 }
-                out
             }
             WeightScheme::Intervals { lower, upper } => {
                 for _ in 0..self.max_rejects {
-                    let draw: Vec<f64> = lower
-                        .iter()
-                        .zip(upper)
-                        .map(|(&l, &u)| rng.random_range(l..=u))
-                        .collect();
-                    let sum: f64 = draw.iter().sum();
+                    // Draw and accumulate in one pass (the sum still adds
+                    // in index order), then normalize and box-check in a
+                    // second; with one reciprocal instead of n divisions.
+                    // The hot loop spends real time here.
+                    let mut sum = 0.0;
+                    for ((x, &l), &u) in out.iter_mut().zip(lower).zip(upper) {
+                        let v = rng.random_range(l..=u);
+                        *x = v;
+                        sum += v;
+                    }
                     if sum <= 0.0 {
                         continue;
                     }
-                    let w: Vec<f64> = draw.iter().map(|v| v / sum).collect();
-                    let ok = w
-                        .iter()
-                        .zip(lower.iter().zip(upper))
-                        .all(|(&x, (&l, &u))| x >= l - 1e-9 && x <= u + 1e-9);
+                    let inv = 1.0 / sum;
+                    let mut ok = true;
+                    for ((x, &l), &u) in out.iter_mut().zip(lower).zip(upper) {
+                        let v = *x * inv;
+                        *x = v;
+                        ok &= v >= l - 1e-9 && v <= u + 1e-9;
+                    }
                     if ok {
-                        return w;
+                        return;
                     }
                 }
                 // Fallback: clamp the normalized draw into the box and
                 // re-normalize once; slight boundary bias is acceptable and
                 // documented.
-                let draw: Vec<f64> = lower
-                    .iter()
-                    .zip(upper)
-                    .map(|(&l, &u)| rng.random_range(l..=u))
-                    .collect();
-                let sum: f64 = draw.iter().sum();
-                let mut w: Vec<f64> = draw.iter().map(|v| v / sum.max(1e-12)).collect();
-                for ((x, &l), &u) in w.iter_mut().zip(lower).zip(upper) {
-                    *x = x.clamp(l, u);
+                for ((x, &l), &u) in out.iter_mut().zip(lower).zip(upper) {
+                    *x = rng.random_range(l..=u);
                 }
-                let s: f64 = w.iter().sum();
-                for x in w.iter_mut() {
-                    *x /= s;
+                let inv = 1.0 / out.iter().sum::<f64>().max(1e-12);
+                for ((x, &l), &u) in out.iter_mut().zip(lower).zip(upper) {
+                    *x = (*x * inv).clamp(l, u);
                 }
-                w
+                let inv = 1.0 / out.iter().sum::<f64>();
+                for x in out.iter_mut() {
+                    *x *= inv;
+                }
             }
         }
     }
@@ -181,19 +194,25 @@ impl SimplexSampler {
 /// Uniform sample on the standard simplex via normalized unit-rate
 /// exponentials (equivalently Dirichlet(1,…,1)).
 pub fn uniform_simplex<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<f64> {
+    let mut w = vec![0.0; n];
+    uniform_simplex_into(rng, &mut w);
+    w
+}
+
+/// [`uniform_simplex`] into a caller-provided buffer; same RNG stream.
+pub fn uniform_simplex_into<R: Rng + ?Sized>(rng: &mut R, out: &mut [f64]) {
     loop {
-        let mut w: Vec<f64> = (0..n)
-            .map(|_| {
-                let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
-                -u.ln()
-            })
-            .collect();
-        let sum: f64 = w.iter().sum();
+        for x in out.iter_mut() {
+            let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+            *x = -u.ln();
+        }
+        let sum: f64 = out.iter().sum();
         if sum > 0.0 && sum.is_finite() {
-            for x in w.iter_mut() {
-                *x /= sum;
+            let inv = 1.0 / sum;
+            for x in out.iter_mut() {
+                *x *= inv;
             }
-            return w;
+            return;
         }
     }
 }
@@ -328,6 +347,40 @@ mod tests {
         let a = s.sample(&mut StdRng::seed_from_u64(7));
         let b = s.sample(&mut StdRng::seed_from_u64(7));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sample_into_ignores_prior_buffer_contents() {
+        // The draw must be a pure function of (scheme, rng state): a dirty
+        // reused buffer — the batched Monte Carlo loop writes trial after
+        // trial into the same storage — yields the same stream as fresh
+        // allocations.
+        let schemes = vec![
+            WeightScheme::Uniform,
+            WeightScheme::RankOrder {
+                order: vec![2, 0, 1, 3],
+            },
+            WeightScheme::PartialRankOrder {
+                groups: vec![vec![0, 3], vec![1, 2]],
+            },
+            WeightScheme::Intervals {
+                lower: vec![0.1, 0.2, 0.05, 0.0],
+                upper: vec![0.4, 0.6, 0.3, 0.5],
+            },
+        ];
+        for scheme in schemes {
+            let s = SimplexSampler::new(4, scheme);
+            let mut rng_a = StdRng::seed_from_u64(4242);
+            let mut rng_b = StdRng::seed_from_u64(4242);
+            let mut dirty = vec![f64::MAX; 4];
+            for _ in 0..200 {
+                let mut fresh = vec![0.0; 4];
+                s.sample_into(&mut rng_a, &mut fresh);
+                s.sample_into(&mut rng_b, &mut dirty);
+                assert_eq!(fresh, dirty, "{:?}", s.scheme());
+                assert_simplex(&dirty);
+            }
+        }
     }
 
     #[test]

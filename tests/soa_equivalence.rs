@@ -1,0 +1,307 @@
+//! Differential suite for the columnar (SoA) batch pipeline.
+//!
+//! The `BandMatrixSoA` rewrite moved the Monte Carlo hot loop, dominance
+//! and potential optimality, and `batch_evaluate` onto column-major
+//! kernels. These tests pin the new paths to the scalar references on
+//! randomized models (3–30 alternatives × 2–12 attributes, flat and
+//! hierarchical, with missing cells):
+//!
+//! * SoA batch evaluation vs the scalar per-row evaluation;
+//! * Monte Carlo rank counts and acceptance fractions under a fixed seed,
+//!   scalar loop vs batched SoA vs the scoped-thread fan-out (1 vs N
+//!   workers);
+//! * dominance matrices and potential-optimality verdicts vs in-test
+//!   row-major reference implementations (the pre-SoA logic, rebuilt here
+//!   so they share no code with the columnar kernels under test).
+//!
+//! All comparisons hold to `ORDERING_EPS`; in practice the pipelines agree
+//! bit-for-bit because every kernel accumulates in the same index order.
+//! The default suite runs 64 random cases; the `#[ignore]`d suite (run in
+//! CI via `cargo test -- --include-ignored`) covers 256 plus the LP-heavy
+//! potential-optimality sweep.
+
+#![allow(deprecated)]
+
+use maut::prelude::*;
+use maut_sense::{dominance, potential, DominanceOutcome, MonteCarlo, MonteCarloConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simplex_lp::{Bound, LinearProgram, Objective, Relation, Status};
+
+/// A random, always-valid decision model: mixed discrete / continuous
+/// attributes, occasional missing performances, and (for even seeds) a
+/// two-level objective hierarchy with interval weights that always
+/// intersect the simplex.
+fn random_model(seed: u64, max_alts: usize, max_attrs: usize) -> DecisionModel {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_alts = rng.random_range(3..=max_alts);
+    let n_attrs = rng.random_range(2..=max_attrs);
+    let mut b = DecisionModelBuilder::new(format!("random-{seed}"));
+
+    let mut attrs = Vec::with_capacity(n_attrs);
+    // Levels per attribute; `None` marks a continuous one.
+    let mut levels: Vec<Option<usize>> = Vec::with_capacity(n_attrs);
+    for j in 0..n_attrs {
+        if rng.random_range(0..4) == 0 {
+            let dir = if rng.random::<bool>() {
+                Direction::Increasing
+            } else {
+                Direction::Decreasing
+            };
+            attrs.push(b.continuous_attribute(format!("c{j}"), format!("C{j}"), 0.0, 100.0, dir));
+            levels.push(None);
+        } else {
+            let k = rng.random_range(2..=5);
+            let names: Vec<String> = (0..k).map(|l| format!("l{l}")).collect();
+            let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+            attrs.push(b.discrete_attribute(format!("d{j}"), format!("D{j}"), &refs));
+            levels.push(Some(k));
+        }
+    }
+
+    // Sibling weight intervals spread symmetrically around the uniform
+    // share, so lows sum to ≤ 1 and upps to ≥ 1 in every group.
+    let spread_interval = |rng: &mut StdRng, siblings: usize| {
+        let base = 1.0 / siblings as f64;
+        let d: f64 = rng.random_range(0.05..0.9);
+        Interval::new(base * (1.0 - d), (base * (1.0 + d)).min(1.0))
+    };
+
+    if seed.is_multiple_of(2) && n_attrs >= 4 {
+        // Two-level hierarchy: split attributes into 2–3 groups.
+        let n_groups = rng.random_range(2..=3.min(n_attrs / 2));
+        let mut group_ids = Vec::new();
+        for g in 0..n_groups {
+            let w = spread_interval(&mut rng, n_groups);
+            group_ids.push(b.objective_under_root(format!("g{g}"), format!("G{g}"), w));
+        }
+        for (g, &group) in group_ids.iter().enumerate() {
+            let members: Vec<usize> = (0..n_attrs).filter(|j| j % n_groups == g).collect();
+            for &j in &members {
+                let w = spread_interval(&mut rng, members.len());
+                b.attach_attribute(group, attrs[j], w);
+            }
+        }
+    } else {
+        let pairs: Vec<(AttributeId, Interval)> = attrs
+            .iter()
+            .map(|&a| (a, spread_interval(&mut rng, n_attrs)))
+            .collect();
+        b.attach_attributes_to_root(&pairs);
+    }
+
+    for i in 0..n_alts {
+        let perfs: Vec<Perf> = levels
+            .iter()
+            .map(|&k| {
+                if rng.random_range(0..20) == 0 {
+                    Perf::Missing
+                } else {
+                    match k {
+                        None => Perf::value(rng.random_range(0.0..=100.0)),
+                        Some(k) => Perf::level(rng.random_range(0..k)),
+                    }
+                }
+            })
+            .collect();
+        b.alternative(format!("alt{i:02}"), perfs);
+    }
+    b.build().expect("random model is valid")
+}
+
+/// Row-major dominance reference — the pre-SoA logic over
+/// `bound_matrices()`, sharing no code with the columnar kernels.
+fn reference_dominance(ctx: &EvalContext) -> Vec<Vec<DominanceOutcome>> {
+    let (u_lo, u_hi) = ctx.bound_matrices();
+    let polytope = dominance::weight_polytope_ctx(ctx);
+    let n = u_lo.len();
+    (0..n)
+        .map(|i| {
+            (0..n)
+                .map(|k| {
+                    if i == k {
+                        return DominanceOutcome::None;
+                    }
+                    let d: Vec<f64> = u_lo[i].iter().zip(&u_hi[k]).map(|(a, b)| a - b).collect();
+                    if polytope.minimize(&d).0 < -1e-9 {
+                        return DominanceOutcome::None;
+                    }
+                    let dbest: Vec<f64> =
+                        u_hi[i].iter().zip(&u_lo[k]).map(|(a, b)| a - b).collect();
+                    if polytope.maximize(&dbest).0 > 1e-9 {
+                        DominanceOutcome::Dominates
+                    } else {
+                        DominanceOutcome::None
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Row-major potential-optimality reference — the pre-SoA max-slack LP
+/// built straight from `bound_matrices()`.
+fn reference_potential(ctx: &EvalContext) -> Vec<(bool, f64)> {
+    let (u_lo, u_hi) = ctx.bound_matrices();
+    let polytope = dominance::weight_polytope_ctx(ctx);
+    let n = u_lo.len();
+    let n_attr = polytope.dim();
+    (0..n)
+        .map(|i| {
+            let mut lp = LinearProgram::new(n_attr + 1, Objective::Maximize);
+            let mut obj = vec![0.0; n_attr + 1];
+            obj[n_attr] = 1.0;
+            lp.set_objective(&obj);
+            for j in 0..n_attr {
+                lp.set_bound(j, Bound::boxed(polytope.lower()[j], polytope.upper()[j]));
+            }
+            lp.set_bound(n_attr, Bound::boxed(-2.0, 2.0));
+            let mut norm = vec![1.0; n_attr + 1];
+            norm[n_attr] = 0.0;
+            lp.add_constraint(&norm, Relation::Eq, 1.0);
+            for (k, u_lo_k) in u_lo.iter().enumerate() {
+                if k == i {
+                    continue;
+                }
+                let mut row = vec![0.0; n_attr + 1];
+                for (r, (hi, lo)) in row.iter_mut().zip(u_hi[i].iter().zip(u_lo_k)) {
+                    *r = hi - lo;
+                }
+                row[n_attr] = -1.0;
+                lp.add_constraint(&row, Relation::Ge, 0.0);
+            }
+            let sol = lp.solve().expect("well-formed LP");
+            match sol.status {
+                Status::Optimal => (sol.objective >= -1e-9, sol.objective),
+                _ => (false, f64::NEG_INFINITY),
+            }
+        })
+        .collect()
+}
+
+fn assert_bounds_close(a: &UtilityBounds, b: &UtilityBounds, what: &str) {
+    assert!(
+        (a.min - b.min).abs() <= ORDERING_EPS
+            && (a.avg - b.avg).abs() <= ORDERING_EPS
+            && (a.max - b.max).abs() <= ORDERING_EPS,
+        "{what}: {a:?} vs {b:?}"
+    );
+}
+
+/// One differential case: every SoA path against its scalar reference.
+fn check_case(seed: u64, max_alts: usize, max_attrs: usize, trials: usize, with_lp: bool) {
+    let model = random_model(seed, max_alts, max_attrs);
+    let mut ctx = EvalContext::new(model.clone()).expect("valid");
+    let n = model.num_alternatives();
+
+    // SoA batch evaluation vs the scalar per-row evaluation.
+    let full = ctx.evaluate();
+    let order: Vec<usize> = (0..n).rev().collect();
+    for threads in [1usize, 3] {
+        let root = model.tree.root();
+        let batch = ctx.batch_evaluate_with(root, &order, threads);
+        for (pos, &alt) in order.iter().enumerate() {
+            assert_bounds_close(&batch[pos], &full.bounds[alt], "batch vs evaluate");
+        }
+    }
+
+    // Monte Carlo: scalar loop vs batched SoA vs threaded fan-out.
+    let config = match seed % 3 {
+        0 => MonteCarloConfig::Random,
+        1 => MonteCarloConfig::ElicitedIntervals,
+        _ => MonteCarloConfig::RankOrder((0..model.num_attributes()).collect()),
+    };
+    let mc = MonteCarlo::new(config, trials, seed ^ 0xD1FF);
+    let scalar = mc.run_scalar_ctx(&ctx);
+    for threads in [1usize, 4] {
+        let batched = mc.clone().with_threads(threads).run_ctx(&ctx);
+        assert_eq!(
+            scalar.rank_counts(),
+            batched.rank_counts(),
+            "rank counts, seed {seed}, {threads} threads"
+        );
+        for alt in 0..n {
+            for rank in 1..=n {
+                assert!(
+                    (scalar.acceptability(alt, rank) - batched.acceptability(alt, rank)).abs()
+                        <= ORDERING_EPS,
+                    "acceptance fraction, seed {seed}"
+                );
+            }
+        }
+    }
+
+    // Dominance: SoA sweep vs the independent row-major reference (and
+    // the deprecated model-derived entry point stays consistent too).
+    let reference = reference_dominance(&ctx);
+    assert_eq!(
+        dominance::dominance_matrix_ctx(&ctx),
+        reference,
+        "dominance matrix, seed {seed}"
+    );
+    assert_eq!(
+        dominance::dominance_matrix(&model),
+        reference,
+        "deprecated dominance path, seed {seed}"
+    );
+
+    // Potential optimality (LP-per-alternative; slow suite only).
+    if with_lp {
+        let soa_out = potential::potentially_optimal_ctx(&ctx);
+        let reference = reference_potential(&ctx);
+        for (a, &(optimal, slack)) in soa_out.iter().zip(&reference) {
+            assert_eq!(a.potentially_optimal, optimal, "seed {seed}");
+            assert!((a.slack - slack).abs() <= 1e-7, "slack, seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn differential_suite_64_random_models() {
+    for seed in 0..64 {
+        check_case(seed, 18, 9, 120, false);
+    }
+}
+
+#[test]
+fn paper_model_scalar_and_batched_agree_across_threads() {
+    let ctx = EvalContext::new(neon_reuse::paper_model().model).expect("valid");
+    let mc = MonteCarlo::new(MonteCarloConfig::ElicitedIntervals, 2_000, 20120402);
+    let scalar = mc.run_scalar_ctx(&ctx);
+    for threads in [1usize, 2, 8, 0] {
+        let run = mc.clone().with_threads(threads).run_ctx(&ctx);
+        assert_eq!(scalar.rank_counts(), run.rank_counts(), "{threads} threads");
+        assert_eq!(scalar.mean_ranks(), run.mean_ranks());
+    }
+}
+
+#[test]
+fn set_perf_reaches_the_soa_columns_before_batch_evaluate() {
+    // The dirty-column regression: a stale SoA would serve pre-mutation
+    // utilities to every batch path.
+    let mut ctx = EvalContext::new(neon_reuse::paper_model().model).expect("valid");
+    let root = ctx.model().tree.root();
+    let all: Vec<usize> = (0..23).collect();
+    let attr = ctx.model().find_attribute("doc_quality").expect("exists");
+    ctx.set_perf(3, attr, Perf::level(3)).expect("valid");
+    let batch = ctx.batch_evaluate(root, &all);
+    let fresh = EvalContext::new(ctx.model().clone()).expect("valid");
+    let fresh_soa = fresh.soa();
+    assert_eq!(
+        ctx.soa(),
+        fresh_soa,
+        "SoA columns out of sync after set_perf"
+    );
+    let mut fresh = fresh;
+    let fresh_batch = fresh.batch_evaluate(root, &all);
+    assert_eq!(batch, fresh_batch);
+}
+
+#[test]
+#[ignore = "slow differential suite; CI runs it via --include-ignored"]
+fn differential_suite_256_random_models_with_lp() {
+    for seed in 0..256 {
+        let with_lp = seed % 4 == 0;
+        check_case(seed, 30, 12, 400, with_lp);
+    }
+}
