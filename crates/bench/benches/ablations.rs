@@ -10,11 +10,9 @@
 //!   potentially-optimal figure is recovered.
 //! * `exp15_selection` — the NeOn ≥ 70 % CQ-coverage selection rule.
 
-// The legacy eager entry points stay under measurement (alongside the
-// context-based paths) until they are removed after the deprecation window.
-#![allow(deprecated)]
-
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use maut::evaluate::evaluate_scope;
+use maut::EvalContext;
 use statlab::spearman_rho;
 use std::hint::black_box;
 
@@ -22,8 +20,8 @@ fn abl12_missing_policy(c: &mut Criterion) {
     let interval_model = bench::paper();
     let worst_model = bench::paper_with_missing_as_worst();
 
-    let a = interval_model.evaluate();
-    let b = worst_model.evaluate();
+    let a = evaluate_scope(&interval_model, interval_model.tree.root());
+    let b = evaluate_scope(&worst_model, worst_model.tree.root());
     let avg_a: Vec<f64> = a.bounds.iter().map(|x| x.avg).collect();
     let avg_b: Vec<f64> = b.bounds.iter().map(|x| x.avg).collect();
     // "The ranking output by the GMAA system is very similar to the ranking
@@ -46,10 +44,12 @@ fn abl12_missing_policy(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("abl12_missing_policy");
     group.bench_function("unit_interval", |bch| {
-        bch.iter(|| black_box(interval_model.evaluate().ranking()))
+        bch.iter(|| {
+            black_box(evaluate_scope(&interval_model, interval_model.tree.root()).ranking())
+        })
     });
     group.bench_function("worst", |bch| {
-        bch.iter(|| black_box(worst_model.evaluate().ranking()))
+        bch.iter(|| black_box(evaluate_scope(&worst_model, worst_model.tree.root()).ranking()))
     });
     group.finish();
 }
@@ -58,8 +58,9 @@ fn abl_band_width(c: &mut Criterion) {
     // Wider utility bands -> more alternatives potentially optimal.
     let mut counts = Vec::new();
     for half_width in [0.05, 0.15, 0.25, 0.35] {
-        let model = bench::paper_with_band(half_width);
-        let n = maut_sense::potentially_optimal(&model)
+        let ctx = EvalContext::new(bench::paper_with_band(half_width)).expect("valid");
+        let n = maut_sense::potentially_optimal_ctx(&ctx)
+            .expect("solver healthy")
             .iter()
             .filter(|o| o.potentially_optimal)
             .count();
@@ -74,11 +75,11 @@ fn abl_band_width(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("abl_band_width_potential_optimality");
     for half_width in [0.05f64, 0.15, 0.25, 0.35] {
-        let model = bench::paper_with_band(half_width);
+        let ctx = EvalContext::new(bench::paper_with_band(half_width)).expect("valid");
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{half_width}")),
-            &model,
-            |b, m| b.iter(|| black_box(maut_sense::potentially_optimal(m))),
+            &ctx,
+            |b, ctx| b.iter(|| black_box(maut_sense::potentially_optimal_ctx(ctx))),
         );
     }
     group.finish();

@@ -6,10 +6,6 @@
 //! * `fig04_discrete_utility` — evaluate Fig 4's imprecise discrete bands
 //! * `fig05_weights`          — flatten the Fig 5 weight triples
 
-// The legacy eager entry points stay under measurement (alongside the
-// context-based paths) until they are removed after the deprecation window.
-#![allow(deprecated)]
-
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 

@@ -9,18 +9,14 @@
 //!   batched SoA vs batched SoA with the scoped-thread fan-out
 //! * Monte Carlo scaling over trial counts, on both pipelines.
 
-// The legacy eager entry points stay under measurement (alongside the
-// context-based paths) until they are removed after the deprecation window.
-#![allow(deprecated)]
-
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use maut::EvalContext;
 use maut_sense::{MonteCarlo, MonteCarloConfig};
 use std::hint::black_box;
 
 fn fig09_montecarlo(c: &mut Criterion) {
-    let model = bench::paper();
-    let result = MonteCarlo::paper_default().run(&model);
+    let ctx = EvalContext::new(bench::paper()).expect("valid");
+    let result = MonteCarlo::paper_default().run_ctx(&ctx);
     assert_eq!(result.trials, 10_000);
     // Fig 9's headline: the five best-ranked candidates match the
     // average-utility ranking, and their boxplots sit at the left edge.
@@ -30,14 +26,15 @@ fn fig09_montecarlo(c: &mut Criterion) {
     c.bench_function("fig09_montecarlo_10k_elicited", |b| {
         b.iter(|| {
             let mc = MonteCarlo::new(MonteCarloConfig::ElicitedIntervals, 10_000, 1);
-            black_box(mc.run(&model))
+            black_box(mc.run_ctx(&ctx))
         })
     });
 }
 
 fn fig10_rank_stats(c: &mut Criterion) {
     let model = bench::paper();
-    let result = MonteCarlo::paper_default().run(&model);
+    let ctx = EvalContext::new(model.clone()).expect("valid");
+    let result = MonteCarlo::paper_default().run_ctx(&ctx);
     let stats = &result.stats;
     // Published Fig 10 anchors (mean ranks): SAPO 4.0, DIG35 5.0,
     // AceMedia 9.041, MPEG7 Ontology 23.0, Photography 22.0.
@@ -56,14 +53,15 @@ fn fig10_rank_stats(c: &mut Criterion) {
     assert!((mean_of("Photography Ontology") - 22.0).abs() < 0.2);
 
     c.bench_function("fig10_rank_statistics", |b| {
-        let result = MonteCarlo::new(MonteCarloConfig::ElicitedIntervals, 2_000, 3).run(&model);
+        let result = MonteCarlo::new(MonteCarloConfig::ElicitedIntervals, 2_000, 3).run_ctx(&ctx);
         b.iter(|| black_box(gmaa::report::rank_statistics(&result.stats)))
     });
 }
 
 fn exp14_robustness(c: &mut Criterion) {
     let model = bench::paper();
-    let result = MonteCarlo::paper_default().run(&model);
+    let ctx = EvalContext::new(model.clone()).expect("valid");
+    let result = MonteCarlo::paper_default().run_ctx(&ctx);
     // Paper: only Media Ontology and Boemie VDO are ever ranked best, and
     // the top five fluctuate by at most two positions => ranking is robust.
     let ever: Vec<&str> = result
@@ -75,7 +73,7 @@ fn exp14_robustness(c: &mut Criterion) {
     assert!(result.fluctuation_of_top(5) <= 2);
 
     c.bench_function("exp14_robustness_checks", |b| {
-        let result = MonteCarlo::new(MonteCarloConfig::ElicitedIntervals, 2_000, 5).run(&model);
+        let result = MonteCarlo::new(MonteCarloConfig::ElicitedIntervals, 2_000, 5).run_ctx(&ctx);
         b.iter(|| {
             black_box((
                 result.ever_rank_one(),
@@ -88,11 +86,12 @@ fn exp14_robustness(c: &mut Criterion) {
 
 fn abl13_mc_classes(c: &mut Criterion) {
     let model = bench::paper();
+    let ctx = EvalContext::new(model.clone()).expect("valid");
     // Class 1 (uniform) admits more rank-1 candidates than class 3
     // (elicited intervals): extra preference structure sharpens the
     // recommendation — the mechanism Section V relies on.
-    let uniform = MonteCarlo::new(MonteCarloConfig::Random, 4_000, 11).run(&model);
-    let intervals = MonteCarlo::new(MonteCarloConfig::ElicitedIntervals, 4_000, 11).run(&model);
+    let uniform = MonteCarlo::new(MonteCarloConfig::Random, 4_000, 11).run_ctx(&ctx);
+    let intervals = MonteCarlo::new(MonteCarloConfig::ElicitedIntervals, 4_000, 11).run_ctx(&ctx);
     assert!(
         uniform.ever_rank_one().len() >= intervals.ever_rank_one().len(),
         "uniform {:?} vs intervals {:?}",
@@ -111,7 +110,7 @@ fn abl13_mc_classes(c: &mut Criterion) {
     ];
     for (label, config) in classes {
         group.bench_with_input(BenchmarkId::from_parameter(label), &config, |b, cfg| {
-            b.iter(|| black_box(MonteCarlo::new(cfg.clone(), 2_000, 17).run(&model)))
+            b.iter(|| black_box(MonteCarlo::new(cfg.clone(), 2_000, 17).run_ctx(&ctx)))
         });
     }
     group.finish();
@@ -147,10 +146,9 @@ fn montecarlo_scaling(c: &mut Criterion) {
     let ctx = EvalContext::new(model.clone()).expect("valid");
     let mut group = c.benchmark_group("montecarlo_trials_scaling");
     for trials in [1_000usize, 5_000, 10_000, 20_000] {
-        group.bench_with_input(BenchmarkId::new("legacy", trials), &trials, |b, &t| {
-            b.iter(|| {
-                black_box(MonteCarlo::new(MonteCarloConfig::ElicitedIntervals, t, 23).run(&model))
-            })
+        group.bench_with_input(BenchmarkId::new("scalar_ref", trials), &trials, |b, &t| {
+            let mc = MonteCarlo::new(MonteCarloConfig::ElicitedIntervals, t, 23);
+            b.iter(|| black_box(mc.run_scalar_ctx(&ctx)))
         });
         group.bench_with_input(BenchmarkId::new("soa_batch", trials), &trials, |b, &t| {
             // Pin to one worker so this series isolates the layout win;

@@ -4,16 +4,13 @@
 //! * `fig07_understandability` — re-ranking by one objective subtree
 //! * plus evaluation scaling over synthetic problem sizes.
 
-// The legacy eager entry points stay under measurement (alongside the
-// context-based paths) until they are removed after the deprecation window.
-#![allow(deprecated)]
-
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use maut::evaluate::evaluate_scope;
 use std::hint::black_box;
 
 fn fig06_ranking(c: &mut Criterion) {
     let model = bench::paper();
-    let eval = model.evaluate();
+    let eval = evaluate_scope(&model, model.tree.root());
     let ranking = eval.ranking();
     // The published top five, in order.
     let top: Vec<&str> = ranking.iter().take(5).map(|r| r.name.as_str()).collect();
@@ -24,7 +21,7 @@ fn fig06_ranking(c: &mut Criterion) {
 
     c.bench_function("fig06_full_evaluation_and_ranking", |b| {
         b.iter(|| {
-            let e = model.evaluate();
+            let e = evaluate_scope(&model, model.tree.root());
             black_box(e.ranking())
         })
     });
@@ -36,14 +33,14 @@ fn fig07_understandability(c: &mut Criterion) {
         .tree
         .find("understandability")
         .expect("objective exists");
-    let eval = model.evaluate_under(under);
+    let eval = evaluate_scope(&model, under);
     // Only 3 attributes count; utilities are bounded by the subtree max.
     let best = &eval.ranking()[0];
     assert!(best.bounds.avg > 0.8);
 
     c.bench_function("fig07_subtree_evaluation", |b| {
         b.iter(|| {
-            let e = model.evaluate_under(under);
+            let e = evaluate_scope(&model, under);
             black_box(e.ranking())
         })
     });
@@ -56,7 +53,7 @@ fn evaluation_scaling(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{n_alts}x{n_attrs}")),
             &model,
-            |b, m| b.iter(|| black_box(m.evaluate().ranking())),
+            |b, m| b.iter(|| black_box(evaluate_scope(m, m.tree.root()).ranking())),
         );
     }
     group.finish();

@@ -2,15 +2,11 @@
 //! on — Turtle parsing/serialization, the simplex LP solver, the constrained
 //! simplex samplers, and ontology assessment.
 
-// The legacy eager entry points stay under measurement (alongside the
-// context-based paths) until they are removed after the deprecation window.
-#![allow(deprecated)]
-
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ontolib::{parse_turtle, write_turtle, GeneratorConfig, OntologyGenerator};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use simplex_lp::{LinearProgram, Objective, Relation, WeightPolytope};
+use simplex_lp::{LinearProgram, Objective, Relation, SolverWorkspace, WeightPolytope};
 use statlab::{SimplexSampler, WeightScheme};
 use std::hint::black_box;
 
@@ -39,28 +35,43 @@ fn turtle_roundtrip(c: &mut Criterion) {
     group.finish();
 }
 
+/// A potential-optimality-shaped LP: n weights + slack, n constraints,
+/// difference rows perturbed by `shift`.
+fn max_slack_lp(n: usize, shift: f64) -> LinearProgram {
+    let mut lp = LinearProgram::new(n + 1, Objective::Maximize);
+    let mut obj = vec![0.0; n + 1];
+    obj[n] = 1.0;
+    lp.set_objective(&obj);
+    let mut norm = vec![1.0; n + 1];
+    norm[n] = 0.0;
+    lp.add_constraint(&norm, Relation::Eq, 1.0);
+    for k in 0..n {
+        let mut row = vec![0.0; n + 1];
+        for (j, r) in row.iter_mut().enumerate().take(n) {
+            *r = ((j * 7 + k * 13) % 11) as f64 / 11.0 - 0.4 + shift;
+        }
+        row[n] = -1.0;
+        lp.add_constraint(&row, Relation::Ge, 0.0);
+    }
+    lp
+}
+
 fn simplex_lp_solve(c: &mut Criterion) {
     let mut group = c.benchmark_group("simplex_lp");
     for n in [10usize, 25, 50] {
-        // A potential-optimality-shaped LP: n weights + slack, n constraints.
-        group.bench_with_input(BenchmarkId::new("max_slack", n), &n, |b, &n| {
+        group.bench_with_input(BenchmarkId::new("max_slack_cold", n), &n, |b, &n| {
+            b.iter(|| black_box(max_slack_lp(n, 0.0).solve().expect("solvable")))
+        });
+        // The warm-start family: same skeleton, perturbed rows, one
+        // shared workspace — the potential-optimality solve pattern.
+        group.bench_with_input(BenchmarkId::new("max_slack_warm_chain", n), &n, |b, &n| {
+            let mut ws = SolverWorkspace::new();
+            max_slack_lp(n, 0.0).solve_with(&mut ws).expect("solvable");
+            let mut step = 0usize;
             b.iter(|| {
-                let mut lp = LinearProgram::new(n + 1, Objective::Maximize);
-                let mut obj = vec![0.0; n + 1];
-                obj[n] = 1.0;
-                lp.set_objective(&obj);
-                let mut norm = vec![1.0; n + 1];
-                norm[n] = 0.0;
-                lp.add_constraint(&norm, Relation::Eq, 1.0);
-                for k in 0..n {
-                    let mut row = vec![0.0; n + 1];
-                    for (j, r) in row.iter_mut().enumerate().take(n) {
-                        *r = ((j * 7 + k * 13) % 11) as f64 / 11.0 - 0.4;
-                    }
-                    row[n] = -1.0;
-                    lp.add_constraint(&row, Relation::Ge, 0.0);
-                }
-                black_box(lp.solve().expect("solvable"))
+                step = (step + 1) % 8;
+                let lp = max_slack_lp(n, step as f64 * 0.003);
+                black_box(lp.solve_with(&mut ws).expect("solvable"))
             })
         });
     }

@@ -2,25 +2,29 @@
 //! policy, Fig 6 / Fig 10 Spearman agreement, stability summary) and the
 //! engine performance comparison.
 //!
-//! The performance section times the three evaluation paths of the
-//! `AnalysisEngine` redesign on the 23 × 14 case study —
+//! The performance section times the evaluation paths of the
+//! `AnalysisEngine` on the 23 × 14 case study —
 //!
-//! * **cold** — the deprecated `DecisionModel::evaluate()` that re-derives
+//! * **cold** — the stateless `evaluate_scope` reference that re-derives
 //!   the component-utility matrix and weight bounds on every call;
 //! * **context** — `EvalContext::evaluate()` on a warm context (the
 //!   steady-state serving path);
 //! * **incremental** — `set_perf` on one cell followed by re-evaluation
 //!   (only the touched row is re-scored);
-//! * plus the same comparison for a full `analyze()` cycle, and the Monte
-//!   Carlo hot-loop ablation (scalar reference vs batched SoA vs batched
-//!   SoA with the scoped-thread fan-out) at the paper's 10 000 trials.
+//! * the full `analyze()` cycle, and the Monte Carlo hot-loop ablation
+//!   (scalar reference vs batched SoA vs the scoped-thread fan-out) at
+//!   the paper's 10 000 trials;
+//! * **analysis_cycle** — the Section V discard pipeline (dominance →
+//!   potential optimality → intensity): the PR-2-style reference
+//!   (per-pair allocating polytope optimization + one cold two-phase LP
+//!   per alternative) against the blocked sweeps + warm-started LP chain,
+//!   with the warm-start pivot counters (pivots per cold vs warm LP).
 //!
 //! Results are printed and written to `BENCH_engine.json` in the current
 //! directory, seeding the repo's performance trajectory.
 
-// The cold path being measured *is* the deprecated one.
-#![allow(deprecated)]
-
+use bench::legacy;
+use maut::evaluate::evaluate_scope;
 use maut::{EvalContext, Perf};
 use maut_sense::{MonteCarlo, MonteCarloConfig};
 use std::time::Instant;
@@ -43,13 +47,92 @@ fn time_ns(iters: u32, mut f: impl FnMut()) -> f64 {
     samples[runs / 2]
 }
 
+/// The PR-2 discard cycle, verbatim: per-pair allocating polytope
+/// optimizations for dominance and the intensity intervals, plus one cold
+/// two-phase LP per alternative for potential optimality — all through
+/// the frozen seed solver in [`bench::legacy`], so the comparison
+/// measures exactly the implementation this PR's blocked sweeps and
+/// warm-started chain replaced.
+fn reference_discard_cycle(ctx: &EvalContext) -> (Vec<usize>, usize, Vec<f64>) {
+    use legacy::{Bound, LinearProgram, Objective, Relation, Status, WeightPolytope};
+    let polytope = WeightPolytope::new(ctx.polytope().lower(), ctx.polytope().upper());
+    let (u_lo, u_hi) = ctx.bound_matrices();
+    let n = u_lo.len();
+    let n_attr = polytope.dim();
+
+    // Dominance, per pair.
+    let mut dominated = vec![false; n];
+    for (i, u_lo_i) in u_lo.iter().enumerate() {
+        for k in 0..n {
+            if i == k {
+                continue;
+            }
+            let worst: Vec<f64> = u_lo_i.iter().zip(&u_hi[k]).map(|(a, b)| a - b).collect();
+            if polytope.minimize(&worst).0 < -1e-9 {
+                continue;
+            }
+            let best: Vec<f64> = u_hi[i].iter().zip(&u_lo[k]).map(|(a, b)| a - b).collect();
+            if polytope.maximize(&best).0 > 1e-9 {
+                dominated[k] = true;
+            }
+        }
+    }
+    let non_dominated: Vec<usize> = (0..n).filter(|&k| !dominated[k]).collect();
+
+    // Potential optimality, one cold LP per alternative.
+    let mut optimal_count = 0usize;
+    for (i, u_hi_i) in u_hi.iter().enumerate() {
+        let mut lp = LinearProgram::new(n_attr + 1, Objective::Maximize);
+        let mut obj = vec![0.0; n_attr + 1];
+        obj[n_attr] = 1.0;
+        lp.set_objective(&obj);
+        for j in 0..n_attr {
+            lp.set_bound(j, Bound::boxed(polytope.lower()[j], polytope.upper()[j]));
+        }
+        lp.set_bound(n_attr, Bound::boxed(-2.0, 2.0));
+        let mut norm = vec![1.0; n_attr + 1];
+        norm[n_attr] = 0.0;
+        lp.add_constraint(&norm, Relation::Eq, 1.0);
+        let mut row = vec![0.0; n_attr + 1];
+        for (k, u_lo_k) in u_lo.iter().enumerate() {
+            if k == i {
+                continue;
+            }
+            for (r, (hi, lo)) in row.iter_mut().zip(u_hi_i.iter().zip(u_lo_k)) {
+                *r = hi - lo;
+            }
+            row[n_attr] = -1.0;
+            lp.add_constraint(&row, Relation::Ge, 0.0);
+        }
+        let sol = lp.solve().expect("well-formed LP");
+        if sol.status == Status::Optimal && sol.objective >= -1e-9 {
+            optimal_count += 1;
+        }
+    }
+
+    // Intensity, per pair (min and max both optimized).
+    let mut intensities = vec![0.0f64; n];
+    for i in 0..n {
+        for k in 0..n {
+            if i == k {
+                continue;
+            }
+            let worst: Vec<f64> = u_lo[i].iter().zip(&u_hi[k]).map(|(a, b)| a - b).collect();
+            let best: Vec<f64> = u_hi[i].iter().zip(&u_lo[k]).map(|(a, b)| a - b).collect();
+            intensities[i] += (polytope.minimize(&worst).0 + polytope.maximize(&best).0) / 2.0;
+        }
+    }
+
+    (non_dominated, optimal_count, intensities)
+}
+
 fn engine_bench() -> String {
     let model = bench::paper();
     let financ = model.find_attribute("financ_cost").expect("exists");
 
-    // Cold: everything re-derived per call.
+    // Cold: everything re-derived per call (the stateless reference path).
     let cold_eval_ns = time_ns(200, || {
-        std::hint::black_box(model.evaluate());
+        std::hint::black_box(evaluate_scope(&model, model.tree.root()));
     });
 
     // Context reuse: one warm context, cached evaluation.
@@ -68,15 +151,42 @@ fn engine_bench() -> String {
         std::hint::black_box(ctx.evaluate());
     });
 
-    // Full analyze() cycle baseline (evaluation + stability + dominance +
-    // potential optimality + 1k-trial Monte Carlo) for the perf
-    // trajectory; dominated by the LP and Monte Carlo stages.
+    // Full analyze() cycle (evaluation + stability + discard cycle +
+    // 1k-trial Monte Carlo) for the perf trajectory.
     let mut engine = gmaa::AnalysisEngine::new(model.clone()).expect("valid");
     engine.mc_trials = 1_000;
     engine.stability_resolution = 60;
     let engine_analyze_ns = time_ns(5, || {
-        std::hint::black_box(engine.analyze());
+        std::hint::black_box(engine.analyze().expect("solver healthy"));
     });
+
+    // Section V discard cycle (dominance + potential + intensity): the
+    // PR-2-style reference vs the blocked sweeps + warm-started LP chain.
+    let cycle_ctx = EvalContext::new(model.clone()).expect("valid");
+    let (nd_ref, po_ref, _) = reference_discard_cycle(&cycle_ctx);
+    let cycle_reference_ns = time_ns(20, || {
+        std::hint::black_box(reference_discard_cycle(&cycle_ctx));
+    });
+    let cycle_engine = gmaa::AnalysisEngine::new(model.clone()).expect("valid");
+    let cycle = cycle_engine.discard_cycle().expect("solver healthy");
+    assert_eq!(cycle.non_dominated, nd_ref, "discard cycles must agree");
+    assert_eq!(
+        cycle
+            .potential
+            .iter()
+            .filter(|o| o.potentially_optimal)
+            .count(),
+        po_ref,
+        "potential counts must agree"
+    );
+    let cycle_optimized_ns = time_ns(20, || {
+        std::hint::black_box(cycle_engine.discard_cycle().expect("solver healthy"));
+    });
+    // Warm-start effectiveness over one fresh chain (first LP cold, the
+    // rest warm-started from the previous optimal basis).
+    let stats_ctx = EvalContext::new(model.clone()).expect("valid");
+    maut_sense::potentially_optimal_ctx(&stats_ctx).expect("solver healthy");
+    let lp = stats_ctx.lp_stats();
 
     // Monte Carlo hot-loop ablation on a pristine context: the scalar
     // reference loop vs the batched SoA path vs SoA + scoped-thread
@@ -95,9 +205,15 @@ fn engine_bench() -> String {
 
     let stats = ctx.stats();
     format!(
-        "{{\n  \"model\": \"paper 23x14\",\n  \"cold_evaluate_ns\": {cold_eval_ns:.0},\n  \"context_evaluate_ns\": {ctx_eval_ns:.0},\n  \"incremental_set_perf_evaluate_ns\": {incr_eval_ns:.0},\n  \"speedup_context_vs_cold\": {:.2},\n  \"speedup_incremental_vs_cold\": {:.2},\n  \"analyze_full_cycle_ns\": {engine_analyze_ns:.0},\n  \"montecarlo_10k_trials\": {{\n    \"scalar_ns\": {mc_scalar_ns:.0},\n    \"soa_batch_ns\": {mc_soa_ns:.0},\n    \"soa_parallel_ns\": {mc_par_ns:.0},\n    \"speedup_soa_batch_vs_scalar\": {:.2},\n    \"speedup_soa_parallel_vs_scalar\": {:.2}\n  }},\n  \"context_stats\": {{\n    \"cold_evaluations\": {},\n    \"incremental_refreshes\": {},\n    \"cache_hits\": {},\n    \"rows_recomputed\": {}\n  }}\n}}\n",
+        "{{\n  \"model\": \"paper 23x14\",\n  \"cold_evaluate_ns\": {cold_eval_ns:.0},\n  \"context_evaluate_ns\": {ctx_eval_ns:.0},\n  \"incremental_set_perf_evaluate_ns\": {incr_eval_ns:.0},\n  \"speedup_context_vs_cold\": {:.2},\n  \"speedup_incremental_vs_cold\": {:.2},\n  \"analyze_full_cycle_ns\": {engine_analyze_ns:.0},\n  \"analysis_cycle\": {{\n    \"reference_per_pair_cold_lp_ns\": {cycle_reference_ns:.0},\n    \"blocked_warm_start_ns\": {cycle_optimized_ns:.0},\n    \"speedup\": {:.2},\n    \"lp_solves\": {},\n    \"lp_warm_started\": {},\n    \"lp_pivots_total\": {},\n    \"pivots_per_cold_lp\": {:.2},\n    \"pivots_per_warm_lp\": {:.2}\n  }},\n  \"montecarlo_10k_trials\": {{\n    \"scalar_ns\": {mc_scalar_ns:.0},\n    \"soa_batch_ns\": {mc_soa_ns:.0},\n    \"soa_parallel_ns\": {mc_par_ns:.0},\n    \"speedup_soa_batch_vs_scalar\": {:.2},\n    \"speedup_soa_parallel_vs_scalar\": {:.2}\n  }},\n  \"context_stats\": {{\n    \"cold_evaluations\": {},\n    \"incremental_refreshes\": {},\n    \"cache_hits\": {},\n    \"rows_recomputed\": {}\n  }}\n}}\n",
         cold_eval_ns / ctx_eval_ns,
         cold_eval_ns / incr_eval_ns,
+        cycle_reference_ns / cycle_optimized_ns,
+        lp.solves,
+        lp.warm_solves,
+        lp.pivots,
+        lp.pivots_per_cold_solve().unwrap_or(0.0),
+        lp.pivots_per_warm_solve().unwrap_or(0.0),
         mc_scalar_ns / mc_soa_ns,
         mc_scalar_ns / mc_par_ns,
         stats.cold_evaluations,
@@ -112,6 +228,7 @@ fn main() {
     for hw in [0.05, 0.15, 0.25, 0.35] {
         let ctx = EvalContext::new(bench::paper_with_band(hw)).expect("valid");
         let n = maut_sense::potentially_optimal_ctx(&ctx)
+            .expect("solver healthy")
             .iter()
             .filter(|o| o.potentially_optimal)
             .count();

@@ -1,0 +1,681 @@
+//! The **frozen PR-2 baseline** of the LP solver and weight-polytope
+//! optimization, kept verbatim (modulo crate plumbing) from the seed
+//! `simplex-lp` sources so `collect_numbers` can measure the
+//! dominance + potential-optimality + intensity cycle against the exact
+//! implementation PR 3 replaced: `Vec<Vec<f64>>` tableau storage with a
+//! per-pivot row clone, a fresh two-phase solve per LP (no workspace, no
+//! warm start), and allocating per-pair greedy polytope optimization.
+//!
+//! Nothing outside the bench harness should use this module; the live
+//! solver lives in `simplex-lp`.
+
+#![allow(dead_code)]
+
+const EPS: f64 = 1e-9;
+
+/// Minimal stand-in for the seed's `LpError` (the bench only solves
+/// well-formed programs).
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpError {
+    IterationLimit(usize),
+}
+
+/// Optimization direction (seed `problem.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Objective {
+    Minimize,
+    Maximize,
+}
+
+/// Constraint relation (seed `problem.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    Le,
+    Ge,
+    Eq,
+}
+
+/// A single linear constraint (seed `problem.rs`).
+#[derive(Debug, Clone)]
+pub struct Constraint {
+    pub coeffs: Vec<f64>,
+    pub relation: Relation,
+    pub rhs: f64,
+}
+
+/// Per-variable bound (seed `problem.rs`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bound {
+    pub lower: f64,
+    pub upper: f64,
+}
+
+impl Bound {
+    pub const NON_NEGATIVE: Bound = Bound {
+        lower: 0.0,
+        upper: f64::INFINITY,
+    };
+
+    pub fn boxed(lower: f64, upper: f64) -> Bound {
+        Bound { lower, upper }
+    }
+}
+
+/// A linear program in the seed's natural form.
+#[derive(Debug, Clone)]
+pub struct LinearProgram {
+    n: usize,
+    direction: Objective,
+    objective: Vec<f64>,
+    constraints: Vec<Constraint>,
+    bounds: Vec<Bound>,
+}
+
+impl LinearProgram {
+    pub fn new(n: usize, direction: Objective) -> LinearProgram {
+        LinearProgram {
+            n,
+            direction,
+            objective: vec![0.0; n],
+            constraints: Vec::new(),
+            bounds: vec![Bound::NON_NEGATIVE; n],
+        }
+    }
+
+    pub fn set_objective(&mut self, coeffs: &[f64]) -> &mut Self {
+        assert_eq!(coeffs.len(), self.n, "objective length mismatch");
+        self.objective.copy_from_slice(coeffs);
+        self
+    }
+
+    pub fn set_bound(&mut self, var: usize, bound: Bound) -> &mut Self {
+        self.bounds[var] = bound;
+        self
+    }
+
+    pub fn add_constraint(&mut self, coeffs: &[f64], relation: Relation, rhs: f64) -> &mut Self {
+        assert_eq!(coeffs.len(), self.n, "constraint length mismatch");
+        self.constraints.push(Constraint {
+            coeffs: coeffs.to_vec(),
+            relation,
+            rhs,
+        });
+        self
+    }
+
+    pub fn solve(&self) -> Result<Solution, LpError> {
+        solve(self)
+    }
+}
+
+/// The seed's allocating greedy weight-polytope optimizer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightPolytope {
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+}
+
+impl WeightPolytope {
+    pub fn new(lower: &[f64], upper: &[f64]) -> WeightPolytope {
+        WeightPolytope {
+            lower: lower.to_vec(),
+            upper: upper.to_vec(),
+        }
+    }
+
+    pub fn dim(&self) -> usize {
+        self.lower.len()
+    }
+
+    pub fn lower(&self) -> &[f64] {
+        &self.lower
+    }
+
+    pub fn upper(&self) -> &[f64] {
+        &self.upper
+    }
+
+    /// Seed `polytope.rs::minimize`: clones the lower bounds, allocates
+    /// the index order and returns the arg-optimum per call.
+    pub fn minimize(&self, c: &[f64]) -> (f64, Vec<f64>) {
+        assert_eq!(c.len(), self.dim(), "coefficient length mismatch");
+        let mut w = self.lower.clone();
+        let mut remaining: f64 = 1.0 - w.iter().sum::<f64>();
+        let mut order: Vec<usize> = (0..self.dim()).collect();
+        order.sort_by(|&a, &b| c[a].partial_cmp(&c[b]).expect("finite coefficients"));
+        for &j in &order {
+            if remaining <= EPS {
+                break;
+            }
+            let cap = self.upper[j] - self.lower[j];
+            let add = cap.min(remaining);
+            w[j] += add;
+            remaining -= add;
+        }
+        let value = c.iter().zip(&w).map(|(a, b)| a * b).sum();
+        (value, w)
+    }
+
+    pub fn maximize(&self, c: &[f64]) -> (f64, Vec<f64>) {
+        let neg: Vec<f64> = c.iter().map(|v| -v).collect();
+        let (v, w) = self.minimize(&neg);
+        (-v, w)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Seed `tableau.rs`
+// ---------------------------------------------------------------------------
+
+/// A dense simplex tableau.
+///
+/// Layout: `rows × (cols + 1)` where the last column is the right-hand side.
+/// `basis[r]` records which column is basic in row `r`.
+#[derive(Debug, Clone)]
+pub struct Tableau {
+    /// Constraint rows, each of length `cols + 1` (rhs last).
+    pub a: Vec<Vec<f64>>,
+    /// Objective row (reduced costs), length `cols + 1`; entry `cols` is the
+    /// negated objective value.
+    pub z: Vec<f64>,
+    /// Basic column index per row.
+    pub basis: Vec<usize>,
+    pub cols: usize,
+}
+
+impl Tableau {
+    pub fn new(a: Vec<Vec<f64>>, z: Vec<f64>, basis: Vec<usize>, cols: usize) -> Tableau {
+        debug_assert!(a.iter().all(|r| r.len() == cols + 1));
+        debug_assert_eq!(z.len(), cols + 1);
+        debug_assert_eq!(basis.len(), a.len());
+        Tableau { a, z, basis, cols }
+    }
+
+    pub fn num_rows(&self) -> usize {
+        self.a.len()
+    }
+
+    /// Current objective value (phase objective).
+    pub fn objective_value(&self) -> f64 {
+        -self.z[self.cols]
+    }
+
+    /// Choose the entering column.
+    ///
+    /// `bland` selects the lowest-index column with a negative reduced cost
+    /// (guaranteed finite termination); otherwise the most negative reduced
+    /// cost (Dantzig) is used. Returns `None` when optimal.
+    pub fn entering(&self, bland: bool) -> Option<usize> {
+        if bland {
+            (0..self.cols).find(|&j| self.z[j] < -EPS)
+        } else {
+            let mut best = None;
+            let mut best_val = -EPS;
+            for j in 0..self.cols {
+                if self.z[j] < best_val {
+                    best_val = self.z[j];
+                    best = Some(j);
+                }
+            }
+            best
+        }
+    }
+
+    /// Minimum-ratio test for the leaving row given entering column `j`.
+    /// Ties are broken by the lowest basis index (lexicographic safeguard).
+    /// Returns `None` when the column is unbounded below.
+    pub fn leaving(&self, j: usize) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for (r, row) in self.a.iter().enumerate() {
+            let coef = row[j];
+            if coef > EPS {
+                let ratio = row[self.cols] / coef;
+                match best {
+                    None => best = Some((r, ratio)),
+                    Some((br, bratio)) => {
+                        if ratio < bratio - EPS
+                            || (ratio < bratio + EPS && self.basis[r] < self.basis[br])
+                        {
+                            best = Some((r, ratio));
+                        }
+                    }
+                }
+            }
+        }
+        best.map(|(r, _)| r)
+    }
+
+    /// Pivot on `(row, col)`: scale the pivot row and eliminate the column
+    /// from every other row and the objective row.
+    pub fn pivot(&mut self, row: usize, col: usize) {
+        let piv = self.a[row][col];
+        debug_assert!(piv.abs() > EPS, "pivot too small: {piv}");
+        let inv = 1.0 / piv;
+        for v in self.a[row].iter_mut() {
+            *v *= inv;
+        }
+        // Defensive exactness: the pivot entry is 1 by construction.
+        self.a[row][col] = 1.0;
+
+        let pivot_row = self.a[row].clone();
+        for (r, target) in self.a.iter_mut().enumerate() {
+            if r == row {
+                continue;
+            }
+            let factor = target[col];
+            if factor.abs() > EPS {
+                for (t, p) in target.iter_mut().zip(pivot_row.iter()) {
+                    *t -= factor * p;
+                }
+                target[col] = 0.0;
+            }
+        }
+        let factor = self.z[col];
+        if factor.abs() > EPS {
+            for (t, p) in self.z.iter_mut().zip(pivot_row.iter()) {
+                *t -= factor * p;
+            }
+            self.z[col] = 0.0;
+        }
+        self.basis[row] = col;
+    }
+
+    /// Read the primal solution for the first `n` columns.
+    pub fn primal(&self, n: usize) -> Vec<f64> {
+        let mut x = vec![0.0; n];
+        for (r, &b) in self.basis.iter().enumerate() {
+            if b < n {
+                x[b] = self.a[r][self.cols];
+            }
+        }
+        x
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Seed `solver.rs`
+// ---------------------------------------------------------------------------
+
+/// Outcome category of a solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// An optimal solution was found.
+    Optimal,
+    /// The feasible region is empty.
+    Infeasible,
+    /// The objective is unbounded over the feasible region.
+    Unbounded,
+}
+
+/// Result of [`LinearProgram::solve`].
+#[derive(Debug, Clone)]
+pub struct Solution {
+    pub status: Status,
+    /// Optimal objective value in the user's direction. Meaningless unless
+    /// `status == Optimal`.
+    pub objective: f64,
+    /// Optimal assignment of the original decision variables. Empty unless
+    /// `status == Optimal`.
+    pub x: Vec<f64>,
+    /// Number of simplex pivots performed (both phases).
+    pub pivots: usize,
+}
+
+impl Solution {
+    fn non_optimal(status: Status) -> Solution {
+        Solution {
+            status,
+            objective: f64::NAN,
+            x: Vec::new(),
+            pivots: 0,
+        }
+    }
+}
+
+/// How a user variable maps into the non-negative internal space.
+#[derive(Debug, Clone, Copy)]
+enum VarMap {
+    /// `x = lower + x'[col]`, optionally with an upper-bound row added.
+    Shifted { col: usize, lower: f64 },
+    /// `x = upper - x'[col]` (only an upper bound is finite).
+    Mirrored { col: usize, upper: f64 },
+    /// `x = x'[pos] - x'[neg]` (free variable split).
+    Split { pos: usize, neg: usize },
+}
+
+struct StandardForm {
+    /// Rows as (coeffs over internal structural vars, relation, rhs).
+    rows: Vec<(Vec<f64>, Relation, f64)>,
+    /// Internal minimization objective over structural vars.
+    cost: Vec<f64>,
+    /// Constant offset contributed by bound shifts: user_obj = cost·x' + offset
+    /// (in minimization orientation).
+    offset: f64,
+    maps: Vec<VarMap>,
+    n_internal: usize,
+}
+
+/// Translate bounds and direction into `min c'·x', A'x' REL b', x' ≥ 0`.
+fn to_standard(lp: &LinearProgram) -> StandardForm {
+    let sign = match lp.direction {
+        Objective::Minimize => 1.0,
+        Objective::Maximize => -1.0,
+    };
+
+    let mut maps = Vec::with_capacity(lp.n);
+    let mut n_internal = 0usize;
+    let mut extra_rows: Vec<(usize, f64)> = Vec::new(); // (internal col, ub residual)
+
+    for (i, b) in lp.bounds.iter().enumerate() {
+        if b.lower.is_finite() {
+            let col = n_internal;
+            n_internal += 1;
+            maps.push(VarMap::Shifted {
+                col,
+                lower: b.lower,
+            });
+            if b.upper.is_finite() && b.upper > b.lower {
+                extra_rows.push((col, b.upper - b.lower));
+            } else if b.upper.is_finite() {
+                // fixed variable: x' <= 0 i.e. x' = 0; encode as ub row 0.
+                extra_rows.push((col, 0.0));
+            }
+        } else if b.upper.is_finite() {
+            let col = n_internal;
+            n_internal += 1;
+            maps.push(VarMap::Mirrored {
+                col,
+                upper: b.upper,
+            });
+        } else {
+            let pos = n_internal;
+            let neg = n_internal + 1;
+            n_internal += 2;
+            maps.push(VarMap::Split { pos, neg });
+        }
+        let _ = i;
+    }
+
+    let mut cost = vec![0.0; n_internal];
+    let mut offset = 0.0;
+    for (i, &c) in lp.objective.iter().enumerate() {
+        let c = sign * c;
+        match maps[i] {
+            VarMap::Shifted { col, lower } => {
+                cost[col] += c;
+                offset += c * lower;
+            }
+            VarMap::Mirrored { col, upper } => {
+                cost[col] -= c;
+                offset += c * upper;
+            }
+            VarMap::Split { pos, neg } => {
+                cost[pos] += c;
+                cost[neg] -= c;
+            }
+        }
+    }
+
+    let mut rows = Vec::with_capacity(lp.constraints.len() + extra_rows.len());
+    for con in &lp.constraints {
+        let mut coeffs = vec![0.0; n_internal];
+        let mut rhs = con.rhs;
+        for (i, &a) in con.coeffs.iter().enumerate() {
+            if a == 0.0 {
+                continue;
+            }
+            match maps[i] {
+                VarMap::Shifted { col, lower } => {
+                    coeffs[col] += a;
+                    rhs -= a * lower;
+                }
+                VarMap::Mirrored { col, upper } => {
+                    coeffs[col] -= a;
+                    rhs -= a * upper;
+                }
+                VarMap::Split { pos, neg } => {
+                    coeffs[pos] += a;
+                    coeffs[neg] -= a;
+                }
+            }
+        }
+        rows.push((coeffs, con.relation, rhs));
+    }
+    for (col, ub) in extra_rows {
+        let mut coeffs = vec![0.0; n_internal];
+        coeffs[col] = 1.0;
+        rows.push((coeffs, Relation::Le, ub));
+    }
+
+    StandardForm {
+        rows,
+        cost,
+        offset,
+        maps,
+        n_internal,
+    }
+}
+
+/// Run the pivot loop until optimality, unboundedness or the iteration cap.
+/// Switches from Dantzig to Bland pricing after `bland_after` pivots.
+fn pivot_loop(t: &mut Tableau, budget: &mut usize, max_pivots: usize) -> Result<bool, LpError> {
+    // Returns Ok(true) on optimal, Ok(false) on unbounded.
+    let bland_after = max_pivots / 2;
+    let mut local = 0usize;
+    loop {
+        let bland = local >= bland_after;
+        let Some(j) = t.entering(bland) else {
+            return Ok(true);
+        };
+        let Some(r) = t.leaving(j) else {
+            return Ok(false);
+        };
+        t.pivot(r, j);
+        local += 1;
+        *budget += 1;
+        if local > max_pivots {
+            return Err(LpError::IterationLimit(max_pivots));
+        }
+    }
+}
+
+pub fn solve(lp: &LinearProgram) -> Result<Solution, LpError> {
+    let sf = to_standard(lp);
+    let m = sf.rows.len();
+    let n = sf.n_internal;
+
+    // Count slack columns and build the equality system with rhs >= 0.
+    let n_slack = sf
+        .rows
+        .iter()
+        .filter(|(_, rel, _)| *rel != Relation::Eq)
+        .count();
+    let total_structural = n + n_slack;
+
+    let mut a: Vec<Vec<f64>> = Vec::with_capacity(m);
+    let mut slack_col_of_row: Vec<Option<usize>> = vec![None; m];
+    let mut next_slack = n;
+    for (ri, (coeffs, rel, rhs)) in sf.rows.iter().enumerate() {
+        let mut row = vec![0.0; total_structural + 1];
+        row[..n].copy_from_slice(coeffs);
+        let mut slack_sign = 0.0;
+        match rel {
+            Relation::Le => {
+                row[next_slack] = 1.0;
+                slack_sign = 1.0;
+            }
+            Relation::Ge => {
+                row[next_slack] = -1.0;
+                slack_sign = -1.0;
+            }
+            Relation::Eq => {}
+        }
+        let slack_col = if *rel != Relation::Eq {
+            let c = next_slack;
+            next_slack += 1;
+            Some(c)
+        } else {
+            None
+        };
+        row[total_structural] = *rhs;
+        if *rhs < 0.0 {
+            for v in row.iter_mut() {
+                *v = -*v;
+            }
+            slack_sign = -slack_sign;
+        }
+        if let Some(c) = slack_col {
+            // Slack usable as initial basis only if its coefficient is +1.
+            if slack_sign > 0.0 {
+                slack_col_of_row[ri] = Some(c);
+            }
+        }
+        a.push(row);
+    }
+
+    // Add artificial columns where no ready-made basic column exists.
+    let mut basis = vec![usize::MAX; m];
+    let mut artificials = Vec::new();
+    for (ri, row) in a.iter().enumerate() {
+        debug_assert!(row[total_structural] >= -EPS);
+        if let Some(c) = slack_col_of_row[ri] {
+            basis[ri] = c;
+        } else {
+            artificials.push(ri);
+        }
+    }
+    let n_art = artificials.len();
+    let cols = total_structural + n_art;
+    for row in a.iter_mut() {
+        let rhs = row.pop().expect("rhs present");
+        row.extend(std::iter::repeat_n(0.0, n_art));
+        row.push(rhs);
+    }
+    for (k, &ri) in artificials.iter().enumerate() {
+        let col = total_structural + k;
+        a[ri][col] = 1.0;
+        basis[ri] = col;
+    }
+
+    let mut pivots = 0usize;
+    let max_pivots = 2000 + 50 * (cols + m);
+
+    // ---- Phase 1 ----
+    if n_art > 0 {
+        let mut z = vec![0.0; cols + 1];
+        for k in 0..n_art {
+            z[total_structural + k] = 1.0;
+        }
+        // Price out the artificial basics: z_row -= sum of their rows.
+        for &ri in &artificials {
+            for j in 0..=cols {
+                z[j] -= a[ri][j];
+            }
+        }
+        let mut t = Tableau::new(a, z, basis, cols);
+        let optimal = pivot_loop(&mut t, &mut pivots, max_pivots)?;
+        debug_assert!(optimal, "phase-1 objective is bounded below by 0");
+        if t.objective_value() > 1e-7 {
+            return Ok(Solution {
+                pivots,
+                ..Solution::non_optimal(Status::Infeasible)
+            });
+        }
+        // Drive remaining artificial variables out of the basis.
+        let mut drop_rows = Vec::new();
+        for r in 0..t.num_rows() {
+            if t.basis[r] >= total_structural {
+                let piv = (0..total_structural).find(|&j| t.a[r][j].abs() > 1e-7);
+                match piv {
+                    Some(j) => {
+                        t.pivot(r, j);
+                        pivots += 1;
+                    }
+                    None => drop_rows.push(r), // redundant constraint
+                }
+            }
+        }
+        for &r in drop_rows.iter().rev() {
+            t.a.remove(r);
+            t.basis.remove(r);
+        }
+        // Rebuild tableau without artificial columns.
+        let mut a2: Vec<Vec<f64>> =
+            t.a.iter()
+                .map(|row| {
+                    let mut r: Vec<f64> = row[..total_structural].to_vec();
+                    r.push(row[cols]);
+                    r
+                })
+                .collect();
+        let basis2 = t.basis.clone();
+        // Phase-2 objective priced out against the current basis.
+        let mut z2 = vec![0.0; total_structural + 1];
+        z2[..n].copy_from_slice(&sf.cost);
+        for (r, &b) in basis2.iter().enumerate() {
+            let cb = if b < n { sf.cost[b] } else { 0.0 };
+            if cb.abs() > 0.0 {
+                for j in 0..=total_structural {
+                    z2[j] -= cb * a2[r][j];
+                }
+                // keep reduced cost of basic column exactly zero
+                z2[b] = 0.0;
+            }
+        }
+        // Clean reduced costs of basic columns.
+        for &b in &basis2 {
+            z2[b] = 0.0;
+        }
+        let _ = &mut a2;
+        let mut t2 = Tableau::new(a2, z2, basis2, total_structural);
+        let optimal = pivot_loop(&mut t2, &mut pivots, max_pivots)?;
+        if !optimal {
+            return Ok(Solution {
+                pivots,
+                ..Solution::non_optimal(Status::Unbounded)
+            });
+        }
+        return Ok(extract(lp, &sf, &t2, n, pivots));
+    }
+
+    // ---- Single phase (all rows had usable slack basis) ----
+    let mut z = vec![0.0; cols + 1];
+    z[..n].copy_from_slice(&sf.cost);
+    let mut t = Tableau::new(a, z, basis, cols);
+    let optimal = pivot_loop(&mut t, &mut pivots, max_pivots)?;
+    if !optimal {
+        return Ok(Solution {
+            pivots,
+            ..Solution::non_optimal(Status::Unbounded)
+        });
+    }
+    Ok(extract(lp, &sf, &t, n, pivots))
+}
+
+/// Map the internal primal solution back to user variables and recompute the
+/// objective in the user's direction from first principles.
+fn extract(
+    lp: &LinearProgram,
+    sf: &StandardForm,
+    t: &Tableau,
+    n: usize,
+    pivots: usize,
+) -> Solution {
+    let xi = t.primal(n);
+    let mut x = vec![0.0; lp.n];
+    for (i, map) in sf.maps.iter().enumerate() {
+        x[i] = match *map {
+            VarMap::Shifted { col, lower } => lower + xi[col],
+            VarMap::Mirrored { col, upper } => upper - xi[col],
+            VarMap::Split { pos, neg } => xi[pos] - xi[neg],
+        };
+    }
+    let objective: f64 = lp.objective.iter().zip(x.iter()).map(|(c, v)| c * v).sum();
+    let _ = sf.offset; // objective recomputed directly; offset kept for debug use
+    Solution {
+        status: Status::Optimal,
+        objective,
+        x,
+        pivots,
+    }
+}

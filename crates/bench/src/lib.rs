@@ -1,5 +1,9 @@
 //! Shared fixtures for the benchmark harness: the paper's case-study model,
-//! synthetic scaling workloads, and variants used by the ablations.
+//! synthetic scaling workloads, variants used by the ablations, and the
+//! frozen PR-2 solver baseline ([`legacy`]) the perf comparisons measure
+//! against.
+
+pub mod legacy;
 
 use maut::prelude::*;
 use maut::utility::{DiscreteUtility, UtilityFunction};

@@ -141,7 +141,7 @@ fn run(args: Args) -> Result<(), String> {
                 nd.len(),
                 engine.model().num_alternatives()
             );
-            for o in engine.potentially_optimal() {
+            for o in engine.potentially_optimal().map_err(|e| e.to_string())? {
                 println!(
                     "{:<24} potentially optimal: {:<5} slack {:+.4}",
                     o.name, o.potentially_optimal, o.slack
@@ -157,7 +157,7 @@ fn run(args: Args) -> Result<(), String> {
             }
         }
         ["analyze"] => {
-            let a = engine.analyze();
+            let a = engine.analyze().map_err(|e| e.to_string())?;
             print!("{}", report::ranking(engine.model(), &a.evaluation));
             println!();
             print!("{}", report::stability(engine.model(), &a.stability));

@@ -16,7 +16,7 @@
 //!
 //! let mut engine = AnalysisEngine::new(neon_reuse::paper_model().model).unwrap();
 //! engine.mc_trials = 500; // keep the doctest quick
-//! let analysis = engine.analyze();
+//! let analysis = engine.analyze().unwrap();
 //! assert_eq!(analysis.evaluation.ranking()[0].name, "Media Ontology");
 //! assert_eq!(analysis.evaluation.bounds.len(), 23);
 //! ```
@@ -27,7 +27,7 @@ use maut::{
 };
 use maut_sense::{
     dominance, intensity, montecarlo::MonteCarlo, potential, stability, DominanceOutcome,
-    IntensityRank, MonteCarloConfig, MonteCarloResult, PotentialOutcome, StabilityMode,
+    IntensityRank, LpError, MonteCarloConfig, MonteCarloResult, PotentialOutcome, StabilityMode,
     StabilityReport,
 };
 use std::sync::Arc;
@@ -39,7 +39,21 @@ pub struct Analysis {
     pub stability: Vec<StabilityReport>,
     pub non_dominated: Vec<usize>,
     pub potential: Vec<PotentialOutcome>,
+    pub intensity: Vec<IntensityRank>,
     pub monte_carlo: MonteCarloResult,
+}
+
+/// Result of the Section V discard pipeline
+/// ([`AnalysisEngine::discard_cycle`]): dominance → potential optimality
+/// → dominance-intensity, all from one pass over the shared context.
+#[derive(Debug)]
+pub struct DiscardCycle {
+    /// Alternatives no other alternative dominates.
+    pub non_dominated: Vec<usize>,
+    /// Per-alternative potential-optimality verdicts (warm-started LPs).
+    pub potential: Vec<PotentialOutcome>,
+    /// The complete ranking by dominance intensity (ref \[25\]).
+    pub intensity: Vec<IntensityRank>,
 }
 
 impl Analysis {
@@ -112,6 +126,13 @@ impl AnalysisEngine {
     /// Cache / incremental-work counters of the underlying context.
     pub fn stats(&self) -> EngineStats {
         self.ctx.stats()
+    }
+
+    /// Cumulative LP solver counters of the shared context — solves,
+    /// warm-started solves, and pivots split cold/warm. The warm-start
+    /// effectiveness numbers in `BENCH_engine.json` read these.
+    pub fn lp_stats(&self) -> maut_sense::simplex_lp::SolveStats {
+        self.ctx.lp_stats()
     }
 
     // ----------------------------------------------------------- evaluation
@@ -198,14 +219,37 @@ impl AnalysisEngine {
         dominance::non_dominated_ctx(&self.ctx)
     }
 
-    /// Potential-optimality verdicts.
-    pub fn potentially_optimal(&self) -> Vec<PotentialOutcome> {
+    /// Potential-optimality verdicts (one warm-started LP per
+    /// alternative). The error arm fires only on solver breakdown, never
+    /// on legitimate analysis outcomes — see [`maut_sense::potential`].
+    pub fn potentially_optimal(&self) -> Result<Vec<PotentialOutcome>, LpError> {
         potential::potentially_optimal_ctx(&self.ctx)
     }
 
     /// Dominance-intensity ranking (ref \[25\]).
     pub fn intensity_ranking(&self) -> Vec<IntensityRank> {
         intensity::intensity_ranking_ctx(&self.ctx)
+    }
+
+    /// The Section V discard pipeline — dominance, potential optimality
+    /// and dominance-intensity — in one call against the shared context
+    /// (the hot cycle the blocked sweeps and the warm-started LP chain
+    /// accelerate).
+    pub fn discard_cycle(&self) -> Result<DiscardCycle, LpError> {
+        // One blocked sweep yields every pairwise dominance interval; the
+        // dominance matrix and the intensity ranking both derive from it
+        // (bit-identically to their standalone entry points), so the
+        // cycle pays for the pair optimizations once.
+        let intervals = intensity::dominance_intervals_ctx(&self.ctx);
+        let matrix = intensity::dominance_from_intervals(&intervals);
+        Ok(DiscardCycle {
+            non_dominated: dominance::non_dominated_from(&matrix),
+            potential: self.potentially_optimal()?,
+            intensity: intensity::ranking_from_intervals(
+                &intervals,
+                &self.ctx.model().alternatives,
+            ),
+        })
     }
 
     /// Monte Carlo simulation with any of the three weight-generation
@@ -218,15 +262,19 @@ impl AnalysisEngine {
             .run_ctx(&self.ctx)
     }
 
-    /// Run the complete Section IV + V pipeline against the shared context.
-    pub fn analyze(&mut self) -> Analysis {
-        Analysis {
+    /// Run the complete Section IV + V pipeline against the shared
+    /// context. Fails only on LP solver breakdown (see
+    /// [`AnalysisEngine::potentially_optimal`]).
+    pub fn analyze(&mut self) -> Result<Analysis, LpError> {
+        let discard = self.discard_cycle()?;
+        Ok(Analysis {
             evaluation: Evaluation::clone(&self.evaluate()),
             stability: self.stability_all(StabilityMode::BestAlternative),
-            non_dominated: self.non_dominated(),
-            potential: self.potentially_optimal(),
+            non_dominated: discard.non_dominated,
+            potential: discard.potential,
+            intensity: discard.intensity,
             monte_carlo: self.monte_carlo(MonteCarloConfig::ElicitedIntervals),
-        }
+        })
     }
 }
 
@@ -245,8 +293,7 @@ mod tests {
     #[test]
     fn evaluate_matches_eager_path() {
         let mut e = engine();
-        #[allow(deprecated)]
-        let eager = e.model().clone().evaluate();
+        let eager = maut::evaluate::evaluate_scope(e.model(), e.model().tree.root());
         assert_eq!(*e.evaluate(), eager);
         assert_eq!(e.evaluate().ranking()[0].name, "Media Ontology");
         // The second call is a cache hit, not a recomputation.
@@ -266,11 +313,12 @@ mod tests {
     #[test]
     fn full_analysis_runs_against_one_context() {
         let mut e = engine();
-        let a = e.analyze();
+        let a = e.analyze().expect("solver healthy");
         assert_eq!(a.evaluation.bounds.len(), 23);
         assert_eq!(a.stability.len(), e.model().tree.len() - 1);
         assert!(!a.non_dominated.is_empty());
         assert_eq!(a.potential.len(), 23);
+        assert_eq!(a.intensity.len(), 23);
         assert_eq!(a.monte_carlo.trials, 500);
         let d = a.discarded();
         let s = a.survivors();
@@ -308,7 +356,10 @@ mod tests {
         fresh.stability_resolution = e.stability_resolution;
         assert_eq!(after, fresh.evaluate());
         assert_eq!(e.non_dominated(), fresh.non_dominated());
-        assert_eq!(e.potentially_optimal(), fresh.potentially_optimal());
+        assert_eq!(
+            e.potentially_optimal().expect("solver healthy"),
+            fresh.potentially_optimal().expect("solver healthy")
+        );
     }
 
     #[test]
@@ -350,7 +401,7 @@ mod tests {
     #[test]
     fn paper_headline_shape_holds() {
         let mut e = engine();
-        let a = e.analyze();
+        let a = e.analyze().expect("solver healthy");
         let names: Vec<&str> = a
             .discarded()
             .iter()

@@ -16,8 +16,7 @@
 //!   artifact (hierarchy, consequences, utilities, weights, rankings,
 //!   stability intervals, Monte Carlo boxplots and statistics);
 //! * [`workspace`] — save/load of decision models as JSON ("Current
-//!   Workspace: Multimedia" in the paper's Fig 1 screenshot);
-//! * [`system::Gmaa`] — the pre-engine facade, deprecated for one release.
+//!   Workspace: Multimedia" in the paper's Fig 1 screenshot).
 //!
 //! ## Quick start
 //!
@@ -48,10 +47,7 @@
 
 pub mod engine;
 pub mod report;
-pub mod system;
 pub mod workspace;
 
-pub use engine::{Analysis, AnalysisEngine};
-#[allow(deprecated)]
-pub use system::Gmaa;
+pub use engine::{Analysis, AnalysisEngine, DiscardCycle};
 pub use workspace::{load_model, save_model, Workspace, WorkspaceError};

@@ -110,15 +110,6 @@ pub fn weight_table_ctx(ctx: &EvalContext) -> String {
     weight_table_inner(ctx.model(), ctx.weights())
 }
 
-/// Fig 5 weight table, re-deriving the flattened triples from scratch.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a `maut::EvalContext` and use `weight_table_ctx`"
-)]
-pub fn weight_table(model: &DecisionModel) -> String {
-    weight_table_inner(model, &model.attribute_weights())
-}
-
 fn weight_table_inner(model: &DecisionModel, w: &maut::weights::AttributeWeights) -> String {
     let mut out = String::new();
     let _ = writeln!(

@@ -12,10 +12,25 @@
 //! — the utilities take their adversarial extremes and the weight vector is
 //! optimized over the polytope `W = {low ≤ w ≤ upp, Σw = 1}` (an exact
 //! greedy continuous-knapsack step via [`simplex_lp::WeightPolytope`]).
+//!
+//! ## The blocked sweep
+//!
+//! The inner loop no longer calls the allocating per-pair
+//! `WeightPolytope::minimize`: for each row alternative `i`, blocks of
+//! [`PAIR_BLOCK`] rivals have their adversarial difference vectors
+//! gathered in one pass over the [`BandMatrixSoA`] columns (each
+//! attribute's `lo`/`hi` column is read with unit stride across the
+//! rival block, mirroring the transposed Monte Carlo kernels), and the
+//! polytope's greedy optimum is then evaluated per rival through a single
+//! reused [`GreedyScratch`] — zero allocation per pair, identical values.
 
 use maut::weights::AttributeWeights;
-use maut::{BandMatrixSoA, DecisionModel, EvalContext};
-use simplex_lp::WeightPolytope;
+use maut::{BandMatrixSoA, EvalContext};
+use simplex_lp::{GreedyScratch, WeightPolytope};
+
+/// Rivals whose difference vectors are gathered per column sweep (the
+/// blocks stay L1-resident: 2 × `PAIR_BLOCK` × n_attrs doubles).
+pub(crate) const PAIR_BLOCK: usize = 16;
 
 /// Pairwise dominance verdict.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,100 +47,103 @@ pub fn polytope_from(weights: &AttributeWeights) -> WeightPolytope {
         .expect("flattened weight intervals always intersect the simplex")
 }
 
-/// The weight polytope of a context's root-scope weights.
+/// The weight polytope of a context's root-scope weights (precomputed by
+/// the context; this clones the cached copy).
 pub fn weight_polytope_ctx(ctx: &EvalContext) -> WeightPolytope {
-    polytope_from(ctx.weights())
+    ctx.polytope().clone()
 }
 
-/// The weight polytope implied by a model's flattened weight intervals,
-/// re-derived from scratch.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a `maut::EvalContext` and use `weight_polytope_ctx`"
-)]
-pub fn weight_polytope(model: &DecisionModel) -> WeightPolytope {
-    polytope_from(&model.attribute_weights())
-}
-
-/// Does `i` dominate `k`? The adversarial difference vectors are gathered
-/// from the columnar band matrix into the caller's reusable buffer.
-fn dominates(
-    polytope: &WeightPolytope,
+/// Gather one block of adversarial difference rows from the columnar band
+/// matrix: for rivals `k ∈ kb .. kb + block`,
+/// `worst[t·m + j] = lo(i, j) − hi(k, j)` and, when requested,
+/// `best[t·m + j] = hi(i, j) − lo(k, j)`. Reads each attribute column
+/// with unit stride over the rival range. The intensity sweep passes
+/// `best: None` — its favorable extremes come from antisymmetry instead.
+pub(crate) fn gather_diff_block(
     soa: &BandMatrixSoA,
     i: usize,
-    k: usize,
-    d: &mut [f64],
-) -> bool {
-    for (j, dj) in d.iter_mut().enumerate() {
-        *dj = soa.lo(i, j) - soa.hi(k, j);
+    kb: usize,
+    block: usize,
+    worst: &mut [f64],
+    best: Option<&mut [f64]>,
+) {
+    let m = soa.n_attributes();
+    match best {
+        Some(best) => {
+            for j in 0..m {
+                let lo_col = soa.lo_col(j);
+                let hi_col = soa.hi_col(j);
+                let lo_i = lo_col[i];
+                let hi_i = hi_col[i];
+                for t in 0..block {
+                    worst[t * m + j] = lo_i - hi_col[kb + t];
+                    best[t * m + j] = hi_i - lo_col[kb + t];
+                }
+            }
+        }
+        None => {
+            for j in 0..m {
+                let lo_col = soa.lo_col(j);
+                let hi_col = soa.hi_col(j);
+                let lo_i = lo_col[i];
+                for t in 0..block {
+                    worst[t * m + j] = lo_i - hi_col[kb + t];
+                }
+            }
+        }
     }
-    let (worst, _) = polytope.minimize(d);
-    if worst < -1e-9 {
-        return false;
-    }
-    // Require some advantage in the most favorable direction, so two
-    // identical rows do not "dominate" each other.
-    for (j, dj) in d.iter_mut().enumerate() {
-        *dj = soa.hi(i, j) - soa.lo(k, j);
-    }
-    let (best, _) = polytope.maximize(d);
-    best > 1e-9
 }
 
 /// Full pairwise dominance matrix (`matrix[i][k]` = does `i` dominate
 /// `k`) against a shared evaluation context.
 pub fn dominance_matrix_ctx(ctx: &EvalContext) -> Vec<Vec<DominanceOutcome>> {
-    dominance_core(&weight_polytope_ctx(ctx), ctx.soa())
+    dominance_core(ctx.polytope(), ctx.soa())
 }
 
-/// Full pairwise dominance matrix, re-deriving the utility matrices and
-/// weight polytope from scratch.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a `maut::EvalContext` and use `dominance_matrix_ctx`"
-)]
-pub fn dominance_matrix(model: &DecisionModel) -> Vec<Vec<DominanceOutcome>> {
-    let (u_lo, u_hi) = model.bound_utility_matrices();
-    let soa = BandMatrixSoA::from_bounds(&u_lo, &u_hi);
-    dominance_core(&polytope_from(&model.attribute_weights()), &soa)
-}
-
-fn dominance_core(polytope: &WeightPolytope, soa: &BandMatrixSoA) -> Vec<Vec<DominanceOutcome>> {
+pub(crate) fn dominance_core(
+    polytope: &WeightPolytope,
+    soa: &BandMatrixSoA,
+) -> Vec<Vec<DominanceOutcome>> {
     let n = soa.n_alternatives();
-    let mut d = vec![0.0; soa.n_attributes()];
-    (0..n)
-        .map(|i| {
-            (0..n)
-                .map(|k| {
-                    if i != k && dominates(polytope, soa, i, k, &mut d) {
-                        DominanceOutcome::Dominates
-                    } else {
-                        DominanceOutcome::None
-                    }
-                })
-                .collect()
-        })
-        .collect()
+    let m = soa.n_attributes();
+    let mut scratch = GreedyScratch::default();
+    let mut worst = vec![0.0; PAIR_BLOCK * m];
+    let mut best = vec![0.0; PAIR_BLOCK * m];
+    let mut matrix = vec![vec![DominanceOutcome::None; n]; n];
+    for (i, row) in matrix.iter_mut().enumerate() {
+        let mut kb = 0;
+        while kb < n {
+            let block = PAIR_BLOCK.min(n - kb);
+            gather_diff_block(soa, i, kb, block, &mut worst, Some(&mut best));
+            for t in 0..block {
+                let k = kb + t;
+                if k == i {
+                    continue;
+                }
+                // Adversarial worst case first; most pairs fail here.
+                if polytope.minimize_value(&worst[t * m..(t + 1) * m], &mut scratch) < -1e-9 {
+                    continue;
+                }
+                // Require some advantage in the most favorable direction,
+                // so two identical rows do not "dominate" each other.
+                if polytope.maximize_value(&best[t * m..(t + 1) * m], &mut scratch) > 1e-9 {
+                    row[k] = DominanceOutcome::Dominates;
+                }
+            }
+            kb += block;
+        }
+    }
+    matrix
 }
 
 /// Indices of non-dominated alternatives (paper: 20 of the 23 MM ontologies
 /// are non-dominated), against a shared evaluation context.
 pub fn non_dominated_ctx(ctx: &EvalContext) -> Vec<usize> {
-    non_dominated_of(&dominance_matrix_ctx(ctx))
+    non_dominated_from(&dominance_matrix_ctx(ctx))
 }
 
-/// Indices of non-dominated alternatives, re-deriving everything from
-/// scratch.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a `maut::EvalContext` and use `non_dominated_ctx`"
-)]
-#[allow(deprecated)]
-pub fn non_dominated(model: &DecisionModel) -> Vec<usize> {
-    non_dominated_of(&dominance_matrix(model))
-}
-
-fn non_dominated_of(matrix: &[Vec<DominanceOutcome>]) -> Vec<usize> {
+/// Indices of non-dominated alternatives given a dominance matrix.
+pub fn non_dominated_from(matrix: &[Vec<DominanceOutcome>]) -> Vec<usize> {
     let n = matrix.len();
     (0..n)
         .filter(|&k| (0..n).all(|i| matrix[i][k] != DominanceOutcome::Dominates))
@@ -231,11 +249,35 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_agree_with_context_path() {
-        let m = two_attr_model(&[("strong", 3, 3), ("weak", 1, 1), ("odd", 3, 0)]);
+    fn blocked_sweep_matches_per_pair_reference() {
+        // More alternatives than one rival block, so block boundaries and
+        // the i == k skip inside a block are both exercised.
+        let rows: Vec<(String, usize, usize)> = (0..PAIR_BLOCK + 7)
+            .map(|i| (format!("a{i:02}"), i % 4, (i / 2) % 4))
+            .collect();
+        let refs: Vec<(&str, usize, usize)> =
+            rows.iter().map(|(n, x, y)| (n.as_str(), *x, *y)).collect();
+        let m = two_attr_model(&refs);
         let c = ctx(&m);
-        assert_eq!(dominance_matrix(&m), dominance_matrix_ctx(&c));
-        assert_eq!(non_dominated(&m), non_dominated_ctx(&c));
+        let blocked = dominance_matrix_ctx(&c);
+        let polytope = c.polytope();
+        let (u_lo, u_hi) = c.bound_matrices();
+        for i in 0..refs.len() {
+            for k in 0..refs.len() {
+                let expected = if i != k {
+                    let worst: Vec<f64> =
+                        u_lo[i].iter().zip(&u_hi[k]).map(|(a, b)| a - b).collect();
+                    let best: Vec<f64> = u_hi[i].iter().zip(&u_lo[k]).map(|(a, b)| a - b).collect();
+                    polytope.minimize(&worst).0 >= -1e-9 && polytope.maximize(&best).0 > 1e-9
+                } else {
+                    false
+                };
+                assert_eq!(
+                    blocked[i][k] == DominanceOutcome::Dominates,
+                    expected,
+                    "pair ({i}, {k})"
+                );
+            }
+        }
     }
 }

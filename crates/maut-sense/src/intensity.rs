@@ -13,10 +13,21 @@
 //! advantages over all rivals. Ranking by intensity refines the
 //! average-utility ranking with the imprecision information that min/avg/max
 //! evaluation discards.
+//!
+//! ## The blocked sweep
+//!
+//! Like the dominance matrix, the interval matrix is computed by blocked
+//! column sweeps over the [`maut::BandMatrixSoA`] with one reused greedy
+//! scratch — and it exploits exact antisymmetry: the favorable extreme of
+//! `(i, k)` is the negated adversarial extreme of `(k, i)`
+//! (`d_ik^max = −d_ki^min`, since `uᵢᴴ − uₖᴸ = −(uₖᴸ − uᵢᴴ)` coordinate by
+//! coordinate and IEEE negation is exact), so only the `n·(n−1)` minima
+//! are optimized and the maxima fall out for free — half the greedy work
+//! of the per-pair formulation, bit-identical values.
 
-use crate::dominance::{polytope_from, weight_polytope_ctx};
-use maut::{BandMatrixSoA, DecisionModel, EvalContext};
-use simplex_lp::WeightPolytope;
+use crate::dominance::{gather_diff_block, PAIR_BLOCK};
+use maut::{BandMatrixSoA, EvalContext};
+use simplex_lp::{GreedyScratch, WeightPolytope};
 
 /// The dominance interval of one ordered pair.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -53,38 +64,47 @@ pub struct IntensityRank {
 /// All pairwise dominance intervals (`matrix[i][k]`, diagonal zero),
 /// against a shared evaluation context.
 pub fn dominance_intervals_ctx(ctx: &EvalContext) -> Vec<Vec<DominanceInterval>> {
-    intervals_core(&weight_polytope_ctx(ctx), ctx.soa())
+    intervals_core(ctx.polytope(), ctx.soa())
 }
 
-/// All pairwise dominance intervals, re-deriving everything from scratch.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a `maut::EvalContext` and use `dominance_intervals_ctx`"
-)]
-pub fn dominance_intervals(model: &DecisionModel) -> Vec<Vec<DominanceInterval>> {
-    let (u_lo, u_hi) = model.bound_utility_matrices();
-    let soa = BandMatrixSoA::from_bounds(&u_lo, &u_hi);
-    intervals_core(&polytope_from(&model.attribute_weights()), &soa)
-}
-
-fn intervals_core(polytope: &WeightPolytope, soa: &BandMatrixSoA) -> Vec<Vec<DominanceInterval>> {
+pub(crate) fn intervals_core(
+    polytope: &WeightPolytope,
+    soa: &BandMatrixSoA,
+) -> Vec<Vec<DominanceInterval>> {
     let n = soa.n_alternatives();
-    let mut worst = vec![0.0; soa.n_attributes()];
-    let mut best = vec![0.0; soa.n_attributes()];
+    let m = soa.n_attributes();
+    let mut scratch = GreedyScratch::default();
+    let mut worst = vec![0.0; PAIR_BLOCK * m];
+    // Adversarial minima for every ordered pair, by blocked column sweep
+    // (no favorable-direction gathers: the maxima fall out of antisymmetry).
+    let mut mins = vec![vec![0.0f64; n]; n];
+    for (i, row) in mins.iter_mut().enumerate() {
+        let mut kb = 0;
+        while kb < n {
+            let block = PAIR_BLOCK.min(n - kb);
+            gather_diff_block(soa, i, kb, block, &mut worst, None);
+            for t in 0..block {
+                let k = kb + t;
+                if k == i {
+                    continue;
+                }
+                row[k] = polytope.minimize_value(&worst[t * m..(t + 1) * m], &mut scratch);
+            }
+            kb += block;
+        }
+    }
+    // Antisymmetry closes the matrix: max(i, k) = −min(k, i), exactly.
     (0..n)
         .map(|i| {
             (0..n)
                 .map(|k| {
                     if i == k {
-                        return DominanceInterval { min: 0.0, max: 0.0 };
-                    }
-                    for j in 0..soa.n_attributes() {
-                        worst[j] = soa.lo(i, j) - soa.hi(k, j);
-                        best[j] = soa.hi(i, j) - soa.lo(k, j);
-                    }
-                    DominanceInterval {
-                        min: polytope.minimize(&worst).0,
-                        max: polytope.maximize(&best).0,
+                        DominanceInterval { min: 0.0, max: 0.0 }
+                    } else {
+                        DominanceInterval {
+                            min: mins[i][k],
+                            max: -mins[k][i],
+                        }
                     }
                 })
                 .collect()
@@ -95,20 +115,42 @@ fn intervals_core(polytope: &WeightPolytope, soa: &BandMatrixSoA) -> Vec<Vec<Dom
 /// Rank all alternatives by dominance intensity, against a shared
 /// evaluation context.
 pub fn intensity_ranking_ctx(ctx: &EvalContext) -> Vec<IntensityRank> {
-    ranking_core(&dominance_intervals_ctx(ctx), &ctx.model().alternatives)
+    ranking_from_intervals(&dominance_intervals_ctx(ctx), &ctx.model().alternatives)
 }
 
-/// Rank by dominance intensity, re-deriving everything from scratch.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a `maut::EvalContext` and use `intensity_ranking_ctx`"
-)]
-#[allow(deprecated)]
-pub fn intensity_ranking(model: &DecisionModel) -> Vec<IntensityRank> {
-    ranking_core(&dominance_intervals(model), &model.alternatives)
+/// Derive the pairwise dominance matrix from an interval matrix.
+///
+/// The interval endpoints are bit-identical to the optima the dominance
+/// sweep computes and the verdict thresholds are the same, so
+/// `dominance_from_intervals(&dominance_intervals_ctx(ctx))` equals
+/// [`crate::dominance::dominance_matrix_ctx`] exactly — the discard
+/// cycle uses this to pay for the pair optimizations once.
+pub fn dominance_from_intervals(
+    intervals: &[Vec<DominanceInterval>],
+) -> Vec<Vec<crate::dominance::DominanceOutcome>> {
+    use crate::dominance::DominanceOutcome;
+    let n = intervals.len();
+    (0..n)
+        .map(|i| {
+            (0..n)
+                .map(|k| {
+                    if i != k && intervals[i][k].dominates() {
+                        DominanceOutcome::Dominates
+                    } else {
+                        DominanceOutcome::None
+                    }
+                })
+                .collect()
+        })
+        .collect()
 }
 
-fn ranking_core(intervals: &[Vec<DominanceInterval>], names: &[String]) -> Vec<IntensityRank> {
+/// Rank by dominance intensity from a precomputed interval matrix (the
+/// shape [`intensity_ranking_ctx`] computes internally).
+pub fn ranking_from_intervals(
+    intervals: &[Vec<DominanceInterval>],
+    names: &[String],
+) -> Vec<IntensityRank> {
     let n = names.len();
     let mut rows: Vec<IntensityRank> = (0..n)
         .map(|i| {
@@ -160,8 +202,9 @@ mod tests {
     fn intervals_are_antisymmetric() {
         let m = model(&[("a", 3, 1), ("b", 1, 3)]);
         let d = dominance_intervals_ctx(&ctx(&m));
-        assert!((d[0][1].min + d[1][0].max).abs() < 1e-9);
-        assert!((d[0][1].max + d[1][0].min).abs() < 1e-9);
+        // Exact by construction since the max side reuses the mirrored min.
+        assert_eq!(d[0][1].min, -d[1][0].max);
+        assert_eq!(d[0][1].max, -d[1][0].min);
         assert_eq!(d[0][0], DominanceInterval { min: 0.0, max: 0.0 });
     }
 
@@ -194,6 +237,32 @@ mod tests {
             .map(|r| r.intensity)
             .sum();
         assert!(total.abs() < 1e-9, "total {total}");
+    }
+
+    #[test]
+    fn blocked_intervals_match_per_pair_reference() {
+        // Wide enough to cross a rival-block boundary.
+        let rows: Vec<(String, usize, usize)> = (0..crate::dominance::PAIR_BLOCK + 5)
+            .map(|i| (format!("a{i:02}"), i % 4, (i / 3) % 4))
+            .collect();
+        let refs: Vec<(&str, usize, usize)> =
+            rows.iter().map(|(n, x, y)| (n.as_str(), *x, *y)).collect();
+        let m = model(&refs);
+        let c = ctx(&m);
+        let blocked = dominance_intervals_ctx(&c);
+        let polytope = c.polytope();
+        let (u_lo, u_hi) = c.bound_matrices();
+        for i in 0..refs.len() {
+            for k in 0..refs.len() {
+                if i == k {
+                    continue;
+                }
+                let worst: Vec<f64> = u_lo[i].iter().zip(&u_hi[k]).map(|(a, b)| a - b).collect();
+                let best: Vec<f64> = u_hi[i].iter().zip(&u_lo[k]).map(|(a, b)| a - b).collect();
+                assert_eq!(blocked[i][k].min, polytope.minimize(&worst).0, "({i},{k})");
+                assert_eq!(blocked[i][k].max, polytope.maximize(&best).0, "({i},{k})");
+            }
+        }
     }
 
     #[test]

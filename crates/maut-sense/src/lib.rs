@@ -8,19 +8,26 @@
 //!   the best alternative / the whole ranking (paper Fig 8);
 //! * [`dominance`] — pairwise **dominance** under imprecise weights and
 //!   utilities, via exact optimization over the weight polytope
-//!   (refs \[23\]–\[25\]);
+//!   (refs \[23\]–\[25\]), computed as blocked sweeps over the columnar
+//!   band matrix;
 //! * [`potential`] — **potentially optimal** alternatives: those that are
 //!   best for at least one admissible combination of weights and component
-//!   utilities (the paper discards 3 of its 23 candidates this way);
+//!   utilities (the paper discards 3 of its 23 candidates this way), solved
+//!   as a warm-started linear-program chain over the context's shared
+//!   [`simplex_lp::SolverWorkspace`];
+//! * [`intensity`] — the **dominance intensity** ranking of ref \[25\],
+//!   sharing the dominance sweep's kernels (and its antisymmetry);
 //! * [`montecarlo`] — **Monte Carlo simulation** over weights with the three
 //!   GMAA generation classes (random / rank-order / elicited intervals),
 //!   producing the rank statistics and multiple boxplot of Figs 9–10.
 //!
 //! All analyses consume a shared [`maut::EvalContext`] (the `*_ctx` entry
-//! points) so the component-utility matrices, weight bounds and polytope
-//! are derived once per model instead of once per analysis; the eager
-//! model-based functions survive as deprecated shims for one release.
-//! Everything is deterministic given a caller-provided seed.
+//! points) so the component-utility matrices, weight bounds, polytope and
+//! LP workspace are derived once per model instead of once per analysis.
+//! Everything is deterministic given a caller-provided seed. The
+//! LP-backed analyses return `Result<_, LpError>`: infeasibility and
+//! unboundedness are legitimate outcomes folded into the verdicts, so the
+//! error arm only fires on solver breakdown (the pivot iteration cap).
 
 pub mod dominance;
 pub mod intensity;
@@ -28,21 +35,15 @@ pub mod montecarlo;
 pub mod potential;
 pub mod stability;
 
-pub use dominance::{dominance_matrix_ctx, non_dominated_ctx, DominanceOutcome};
+pub use dominance::{
+    dominance_matrix_ctx, non_dominated_ctx, non_dominated_from, DominanceOutcome,
+};
 pub use intensity::{
-    dominance_intervals_ctx, intensity_ranking_ctx, DominanceInterval, IntensityRank,
+    dominance_from_intervals, dominance_intervals_ctx, intensity_ranking_ctx,
+    ranking_from_intervals, DominanceInterval, IntensityRank,
 };
 pub use montecarlo::{MonteCarlo, MonteCarloConfig, MonteCarloResult};
-pub use potential::{potentially_optimal_ctx, PotentialOutcome};
+pub use potential::{discarded_ctx, potentially_optimal_ctx, PotentialOutcome};
+pub use simplex_lp;
+pub use simplex_lp::{LpError, SolveStats};
 pub use stability::{stability_interval_ctx, StabilityMode, StabilityReport};
-
-// Deprecated eager entry points, re-exported for one release so the old
-// import paths keep compiling (each call warns with a migration hint).
-#[allow(deprecated)]
-pub use dominance::{dominance_matrix, non_dominated};
-#[allow(deprecated)]
-pub use intensity::{dominance_intervals, intensity_ranking};
-#[allow(deprecated)]
-pub use potential::potentially_optimal;
-#[allow(deprecated)]
-pub use stability::stability_interval;

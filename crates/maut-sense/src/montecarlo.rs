@@ -26,7 +26,7 @@
 //! threads; `tests/soa_equivalence.rs` locks that down differentially.
 
 use maut::weights::AttributeWeights;
-use maut::{par, DecisionModel, EvalContext};
+use maut::{par, EvalContext};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use statlab::{
@@ -308,21 +308,6 @@ impl MonteCarlo {
         )
     }
 
-    /// Run the simulation, re-deriving the scoring matrix and weight
-    /// bounds from scratch.
-    #[deprecated(
-        since = "0.2.0",
-        note = "build a `maut::EvalContext` and use `run_ctx`"
-    )]
-    pub fn run(&self, model: &DecisionModel) -> MonteCarloResult {
-        self.run_core(
-            model.num_attributes(),
-            &model.attribute_weights(),
-            &model.avg_utility_matrix(),
-            &model.alternatives,
-        )
-    }
-
     fn run_core(
         &self,
         n_attrs: usize,
@@ -546,13 +531,5 @@ mod tests {
             mc.run_scalar_ctx(&c).rank_counts(),
             mc.run_ctx(&c).rank_counts()
         );
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shim_agrees_with_context_path() {
-        let m = model();
-        let mc = MonteCarlo::new(MonteCarloConfig::ElicitedIntervals, 200, 9);
-        assert_eq!(mc.run(&m).mean_ranks(), mc.run_ctx(&ctx(&m)).mean_ranks());
     }
 }

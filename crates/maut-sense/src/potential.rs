@@ -14,10 +14,53 @@
 //!
 //! `i` is potentially optimal iff the optimum `t* ≥ 0`. The paper finds 20
 //! of its 23 candidates potentially optimal, discarding three.
+//!
+//! ## Warm-started solve loop
+//!
+//! All `n` LPs share one skeleton — identical bounds and normalization
+//! row, only the `n − 1` pairwise difference rows change — so the loop
+//! builds the [`LinearProgram`] once, rewrites its rows in place with
+//! [`LinearProgram::set_constraint`], and solves through the context's
+//! shared [`simplex_lp::SolverWorkspace`]: alternative `i + 1` warm-starts
+//! from alternative `i`'s optimal basis and typically converges in a
+//! handful of pivots instead of a full two-phase run. Models with many
+//! alternatives fan the solves out over [`maut::par`] scoped workers
+//! (each with a private workspace whose pivot counters are folded back
+//! into the context).
+//!
+//! ## Errors
+//!
+//! The weight polytope is validated non-empty when the context is built
+//! and `t` is boxed in `[-2, 2]` (utilities live in `[0, 1]`), so these
+//! LPs are feasible and bounded by construction; an `Infeasible` /
+//! `Unbounded` status is treated defensively as "not potentially
+//! optimal". What *can* fail is the solver itself (the pivot iteration
+//! cap, indicating numerical corruption) — that is propagated as a typed
+//! [`LpError`] instead of aborting the analysis cycle.
 
-use crate::dominance::{polytope_from, weight_polytope_ctx};
-use maut::{BandMatrixSoA, DecisionModel, EvalContext};
-use simplex_lp::{Bound, LinearProgram, Objective, Relation, Status, WeightPolytope};
+use maut::EvalContext;
+use simplex_lp::{
+    Bound, LinearProgram, LpError, Objective, Relation, SolverWorkspace, Status, WeightPolytope,
+};
+use std::ops::Range;
+
+/// Minimum LPs per scoped worker for the fan-out to pay for its spawns.
+/// Models below `2 * PAR_MIN_ALTS` alternatives (too few for two such
+/// workers) run inline on the context's shared workspace as one warm
+/// chain.
+const PAR_MIN_ALTS: usize = 32;
+
+/// Rival rows kept in the LP working set. Most rivals are provably slack
+/// at the optimum; constraint generation starts from the strongest
+/// candidates (smallest greedy upper bound on `c_k·w`) and grows the set
+/// monotonically until no excluded rival is violated — the final optimum
+/// equals the full formulation's exactly.
+const WORKING_SET: usize = 5;
+
+/// An excluded rival counts as violated when `c_k·w* < t* − VIOLATION_EPS`
+/// at the working-set optimum. Tight enough that the accepted optimum
+/// matches the full LP's to well under the analysis thresholds.
+const VIOLATION_EPS: f64 = 1e-10;
 
 /// Verdict for one alternative.
 #[derive(Debug, Clone, PartialEq)]
@@ -30,104 +73,200 @@ pub struct PotentialOutcome {
     pub slack: f64,
 }
 
-/// Evaluate potential optimality for every alternative, against a shared
-/// evaluation context.
-pub fn potentially_optimal_ctx(ctx: &EvalContext) -> Vec<PotentialOutcome> {
-    potential_core(
-        &weight_polytope_ctx(ctx),
-        ctx.soa(),
-        &ctx.model().alternatives,
-    )
-}
-
-/// Evaluate potential optimality, re-deriving the utility matrices and
-/// weight polytope from scratch.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a `maut::EvalContext` and use `potentially_optimal_ctx`"
-)]
-pub fn potentially_optimal(model: &DecisionModel) -> Vec<PotentialOutcome> {
-    let (u_lo, u_hi) = model.bound_utility_matrices();
-    let soa = BandMatrixSoA::from_bounds(&u_lo, &u_hi);
-    potential_core(
-        &polytope_from(&model.attribute_weights()),
-        &soa,
-        &model.alternatives,
-    )
-}
-
-fn potential_core(
-    polytope: &WeightPolytope,
-    soa: &BandMatrixSoA,
-    names: &[String],
-) -> Vec<PotentialOutcome> {
-    let n = soa.n_alternatives();
+/// Build the shared LP skeleton: objective `max t`, box bounds, the
+/// normalization row, and `rivals` placeholder difference rows.
+fn build_skeleton(polytope: &WeightPolytope, rivals: usize) -> LinearProgram {
     let n_attr = polytope.dim();
+    let mut lp = LinearProgram::new(n_attr + 1, Objective::Maximize);
+    let mut obj = vec![0.0; n_attr + 1];
+    obj[n_attr] = 1.0;
+    lp.set_objective(&obj);
+    for j in 0..n_attr {
+        lp.set_bound(j, Bound::boxed(polytope.lower()[j], polytope.upper()[j]));
+    }
+    lp.set_bound(n_attr, Bound::boxed(-2.0, 2.0)); // |t| ≤ 2 suffices: utilities ∈ [0,1]
+    let mut norm = vec![1.0; n_attr + 1];
+    norm[n_attr] = 0.0;
+    lp.add_constraint(&norm, Relation::Eq, 1.0);
+    let mut row = vec![0.0; n_attr + 1];
+    row[n_attr] = -1.0;
+    for _ in 0..rivals {
+        lp.add_constraint(&row, Relation::Ge, 0.0);
+    }
+    lp
+}
 
-    (0..n)
+/// Per-range scratch for the constraint-generation loop.
+struct RangeScratch {
+    /// One difference row (`u_hi(i,·) − u_lo(k,·)` then `−1` for `t`).
+    row: Vec<f64>,
+    /// Current working set and membership mask.
+    active: Vec<usize>,
+    in_set: Vec<bool>,
+    violated: Vec<usize>,
+}
+
+/// Solve the max-slack LPs of `range`'s alternatives over one workspace.
+///
+/// Each alternative runs delayed constraint generation: the LP holds only
+/// a small working set of rival rows (seeded with the rivals whose greedy
+/// `max_w c_k·w` is smallest — the only candidates that can bind), and
+/// grows it monotonically until no excluded rival is violated at the
+/// optimum, which certifies the working-set optimum as the full LP's.
+/// Consecutive solves share the workspace, so alternative `i + 1`
+/// warm-starts from alternative `i`'s basis (same working-set shape).
+fn solve_range(
+    range: Range<usize>,
+    polytope: &WeightPolytope,
+    lo_rows: &[Vec<f64>],
+    hi_rows: &[Vec<f64>],
+    n: usize,
+    names: &[String],
+    ws: &mut SolverWorkspace,
+) -> Result<Vec<PotentialOutcome>, LpError> {
+    let n_attr = polytope.dim();
+    let r_full = n.saturating_sub(1);
+    let base_r = WORKING_SET.min(r_full);
+    let mut lp = build_skeleton(polytope, base_r);
+    let mut s = RangeScratch {
+        row: vec![0.0; n_attr + 1],
+        active: Vec::with_capacity(r_full),
+        in_set: vec![false; n],
+        violated: Vec::new(),
+    };
+    s.row[n_attr] = -1.0;
+
+    // Working-set seeding order, shared by every alternative: the binding
+    // rivals are the *strong* ones, and scoring rival `k` against `i` at
+    // the polytope centroid w̄ gives `u_hi(i)·w̄ − u_lo(k)·w̄` — the
+    // alternative-dependent term is constant across rivals, so ordering
+    // by descending `u_lo(k)·w̄` ranks candidates once for the whole
+    // range.
+    let centroid = polytope.centroid();
+    let strength: Vec<f64> = lo_rows
+        .iter()
+        .map(|lo_k| lo_k.iter().zip(&centroid).map(|(&lo, &w)| lo * w).sum())
+        .collect();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_unstable_by(|&a, &b| strength[b].partial_cmp(&strength[a]).expect("finite"));
+
+    range
         .map(|i| {
-            // Variables: w_0..w_{m-1}, t (free).
-            let mut lp = LinearProgram::new(n_attr + 1, Objective::Maximize);
-            let mut obj = vec![0.0; n_attr + 1];
-            obj[n_attr] = 1.0;
-            lp.set_objective(&obj);
-            for j in 0..n_attr {
-                lp.set_bound(j, Bound::boxed(polytope.lower()[j], polytope.upper()[j]));
-            }
-            lp.set_bound(n_attr, Bound::boxed(-2.0, 2.0)); // |t| ≤ 2 suffices: utilities ∈ [0,1]
-            let mut norm = vec![1.0; n_attr + 1];
-            norm[n_attr] = 0.0;
-            lp.add_constraint(&norm, Relation::Eq, 1.0);
-            let mut row = vec![0.0; n_attr + 1];
-            for k in 0..n {
-                if k == i {
-                    continue;
+            let hi_i = &hi_rows[i];
+            let diff_into = |row: &mut [f64], k: usize| {
+                for ((r, &hi), &lo) in row[..n_attr].iter_mut().zip(hi_i).zip(&lo_rows[k]) {
+                    *r = hi - lo;
                 }
-                for (j, r) in row[..n_attr].iter_mut().enumerate() {
-                    *r = soa.hi(i, j) - soa.lo(k, j);
-                }
-                row[n_attr] = -1.0;
-                lp.add_constraint(&row, Relation::Ge, 0.0);
-            }
-            let sol = lp.solve().expect("well-formed LP");
-            let (potentially, slack) = match sol.status {
-                Status::Optimal => (sol.objective >= -1e-9, sol.objective),
-                // The polytope is non-empty, so infeasibility cannot happen;
-                // treat defensively as not potentially optimal.
-                _ => (false, f64::NEG_INFINITY),
             };
-            PotentialOutcome {
+
+            // Seed the working set with the strongest rivals.
+            s.in_set.fill(false);
+            s.active.clear();
+            s.active
+                .extend(order.iter().filter(|&&k| k != i).take(base_r).copied());
+            for &k in &s.active {
+                s.in_set[k] = true;
+            }
+
+            let outcome = loop {
+                // Re-sync the skeleton when the working set grew (and back
+                // to the shared base shape for the next alternative).
+                if lp.num_constraints() != s.active.len() + 1 {
+                    lp = build_skeleton(polytope, s.active.len());
+                }
+                for (slot, &k) in s.active.iter().enumerate() {
+                    diff_into(&mut s.row, k);
+                    lp.set_constraint(slot + 1, &s.row, Relation::Ge, 0.0);
+                }
+                let sol = lp.solve_with(ws)?;
+                if sol.status != Status::Optimal {
+                    // Impossible by construction (see module docs); treat
+                    // defensively as not potentially optimal.
+                    break (false, f64::NEG_INFINITY);
+                }
+                let t = sol.objective;
+                let w = &sol.x[..n_attr];
+                // Certify against the excluded rivals.
+                s.violated.clear();
+                for (k, lo_k) in lo_rows.iter().enumerate() {
+                    if k == i || s.in_set[k] {
+                        continue;
+                    }
+                    let dot: f64 = hi_i
+                        .iter()
+                        .zip(lo_k)
+                        .zip(w)
+                        .map(|((&hi, &lo), &wj)| (hi - lo) * wj)
+                        .sum();
+                    if dot < t - VIOLATION_EPS {
+                        s.violated.push(k);
+                    }
+                }
+                if s.violated.is_empty() {
+                    break (t >= -1e-9, t);
+                }
+                // Grow the working set monotonically (termination: it can
+                // only grow r_full times) and re-solve.
+                for &k in &s.violated {
+                    s.in_set[k] = true;
+                }
+                s.active.extend(s.violated.iter().copied());
+            };
+
+            Ok(PotentialOutcome {
                 alternative: i,
                 name: names[i].clone(),
-                potentially_optimal: potentially,
-                slack,
-            }
+                potentially_optimal: outcome.0,
+                slack: outcome.1,
+            })
         })
         .collect()
 }
 
-/// Indices of alternatives that are *not* potentially optimal — the ones
-/// this analysis can discard (3 of 23 in the paper).
-pub fn discarded_ctx(ctx: &EvalContext) -> Vec<usize> {
-    potentially_optimal_ctx(ctx)
-        .into_iter()
-        .filter(|o| !o.potentially_optimal)
-        .map(|o| o.alternative)
-        .collect()
+/// Evaluate potential optimality for every alternative against a shared
+/// evaluation context, warm-starting each alternative's LP from the
+/// previous optimal basis (see the module docs). Fails only on solver
+/// breakdown ([`LpError::IterationLimit`]), never on legitimate analysis
+/// outcomes.
+pub fn potentially_optimal_ctx(ctx: &EvalContext) -> Result<Vec<PotentialOutcome>, LpError> {
+    let polytope = ctx.polytope();
+    let names = &ctx.model().alternatives;
+    let n = ctx.soa().n_alternatives();
+    // The context already caches the bound matrices row-major — exactly
+    // the shape the LP rows need.
+    let (lo_rows, hi_rows) = ctx.bound_matrices();
+
+    if n < 2 * PAR_MIN_ALTS {
+        // One warm chain over the context's shared workspace — also
+        // reused (and warm) across repeated analysis calls.
+        let mut ws = ctx.lp_workspace();
+        return solve_range(0..n, polytope, lo_rows, hi_rows, n, names, &mut ws);
+    }
+
+    // Large models: fan out over scoped workers, one warm chain and one
+    // private workspace per worker; fold the pivot counters back into the
+    // context afterwards.
+    let parts = maut::par::map_ranges(n, 0, PAR_MIN_ALTS, |range| {
+        let mut ws = SolverWorkspace::new();
+        let out = solve_range(range, polytope, lo_rows, hi_rows, n, names, &mut ws);
+        (out, ws.stats())
+    });
+    let mut all = Vec::with_capacity(n);
+    for (out, stats) in parts {
+        ctx.record_lp_stats(&stats);
+        all.extend(out?);
+    }
+    Ok(all)
 }
 
-/// Indices of discarded alternatives, re-deriving everything from scratch.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a `maut::EvalContext` and use `discarded_ctx`"
-)]
-#[allow(deprecated)]
-pub fn discarded(model: &DecisionModel) -> Vec<usize> {
-    potentially_optimal(model)
+/// Indices of alternatives that are *not* potentially optimal — the ones
+/// this analysis can discard (3 of 23 in the paper).
+pub fn discarded_ctx(ctx: &EvalContext) -> Result<Vec<usize>, LpError> {
+    Ok(potentially_optimal_ctx(ctx)?
         .into_iter()
         .filter(|o| !o.potentially_optimal)
         .map(|o| o.alternative)
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
@@ -157,10 +296,10 @@ mod tests {
             Interval::new(0.3, 0.7),
             Interval::new(0.3, 0.7),
         );
-        let out = potentially_optimal_ctx(&ctx(&m));
+        let out = potentially_optimal_ctx(&ctx(&m)).unwrap();
         assert!(out[0].potentially_optimal);
         assert!(!out[1].potentially_optimal);
-        assert_eq!(discarded_ctx(&ctx(&m)), vec![1]);
+        assert_eq!(discarded_ctx(&ctx(&m)).unwrap(), vec![1]);
         assert!(out[1].slack < 0.0);
     }
 
@@ -171,9 +310,9 @@ mod tests {
             Interval::new(0.2, 0.8),
             Interval::new(0.2, 0.8),
         );
-        let out = potentially_optimal_ctx(&ctx(&m));
+        let out = potentially_optimal_ctx(&ctx(&m)).unwrap();
         assert!(out.iter().all(|o| o.potentially_optimal));
-        assert!(discarded_ctx(&ctx(&m)).is_empty());
+        assert!(discarded_ctx(&ctx(&m)).unwrap().is_empty());
     }
 
     #[test]
@@ -185,7 +324,7 @@ mod tests {
             Interval::new(0.7, 0.9),
             Interval::new(0.1, 0.3),
         );
-        let out = potentially_optimal_ctx(&ctx(&m));
+        let out = potentially_optimal_ctx(&ctx(&m)).unwrap();
         assert!(out[0].potentially_optimal);
         assert!(!out[1].potentially_optimal, "{out:?}");
     }
@@ -199,7 +338,7 @@ mod tests {
             Interval::new(0.2, 0.8),
             Interval::new(0.2, 0.8),
         );
-        let out = potentially_optimal_ctx(&ctx(&m));
+        let out = potentially_optimal_ctx(&ctx(&m)).unwrap();
         assert!(out[0].potentially_optimal);
         assert!(out[1].potentially_optimal);
         assert!(!out[2].potentially_optimal);
@@ -216,7 +355,7 @@ mod tests {
         b.alternative("solid", vec![Perf::level(2), Perf::level(2)]);
         b.alternative("mystery", vec![Perf::level(2), Perf::Missing]);
         let m = b.build().unwrap();
-        let out = potentially_optimal_ctx(&ctx(&m));
+        let out = potentially_optimal_ctx(&ctx(&m)).unwrap();
         assert!(out[1].potentially_optimal, "{out:?}");
     }
 
@@ -227,7 +366,7 @@ mod tests {
             Interval::new(0.4, 0.6),
             Interval::new(0.4, 0.6),
         );
-        let out = potentially_optimal_ctx(&ctx(&m));
+        let out = potentially_optimal_ctx(&ctx(&m)).unwrap();
         assert!(out.iter().all(|o| o.potentially_optimal));
         assert!(out.iter().all(|o| o.slack.abs() < 1e-7));
     }
@@ -242,7 +381,7 @@ mod tests {
         );
         let c = ctx(&m);
         let nd: std::collections::BTreeSet<usize> = non_dominated_ctx(&c).into_iter().collect();
-        for o in potentially_optimal_ctx(&c) {
+        for o in potentially_optimal_ctx(&c).unwrap() {
             // Strict potential optimality implies non-dominance; a slack of
             // ~0 (can only tie for best) is compatible with weak dominance.
             if o.potentially_optimal && o.slack > 1e-6 {
@@ -256,14 +395,77 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shim_agrees_with_context_path() {
-        let m = model(
-            &[("a", 3, 0), ("b", 0, 3), ("c", 1, 1)],
-            Interval::new(0.2, 0.8),
-            Interval::new(0.2, 0.8),
+    fn warm_chain_reuses_the_context_workspace() {
+        // The paper's 23 × 14 study: consecutive LPs share enough basis
+        // structure that most of the chain warm-starts. (Tiny synthetic
+        // models can be structurally degenerate — every saved basis
+        // singular for the next LP — in which case the solver correctly
+        // falls back cold; the real model is the contract here.)
+        let c = EvalContext::new(neon_reuse::paper_model().model).expect("valid");
+        let first = potentially_optimal_ctx(&c).unwrap();
+        let stats = c.lp_stats();
+        assert_eq!(stats.solves, 23);
+        assert!(
+            stats.warm_solves >= 12,
+            "most of the chain should warm-start: {stats:?}"
         );
-        assert_eq!(potentially_optimal(&m), potentially_optimal_ctx(&ctx(&m)));
-        assert_eq!(discarded(&m), discarded_ctx(&ctx(&m)));
+        assert!(
+            stats.pivots_per_warm_solve().expect("warm ran")
+                < stats.pivots_per_cold_solve().expect("cold ran"),
+            "{stats:?}"
+        );
+        // A second run over the same context warm-starts from the first
+        // run's final basis — and agrees with it.
+        let again = potentially_optimal_ctx(&c).unwrap();
+        let stats2 = c.lp_stats();
+        assert_eq!(stats2.solves, 46);
+        assert!(stats2.warm_solves > stats.warm_solves);
+        for (a, b) in first.iter().zip(&again) {
+            assert_eq!(a.potentially_optimal, b.potentially_optimal);
+            assert!((a.slack - b.slack).abs() < 1e-7, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn large_model_fan_out_matches_sequential_verdicts() {
+        // Enough alternatives to cross the fan-out threshold; compare
+        // against an inline run over a private workspace.
+        let rows: Vec<(String, usize, usize)> = (0..70)
+            .map(|i| (format!("a{i:02}"), i % 4, (i / 4) % 4))
+            .collect();
+        let refs: Vec<(&str, usize, usize)> =
+            rows.iter().map(|(n, x, y)| (n.as_str(), *x, *y)).collect();
+        let m = model(&refs, Interval::new(0.2, 0.8), Interval::new(0.2, 0.8));
+        let c = ctx(&m);
+        let fanned = potentially_optimal_ctx(&c).unwrap();
+        assert!(c.lp_stats().solves >= 70, "workers reported their stats");
+        let (lo_rows, hi_rows) = c.bound_matrices();
+        let mut ws = SolverWorkspace::new();
+        let sequential = solve_range(
+            0..70,
+            c.polytope(),
+            lo_rows,
+            hi_rows,
+            70,
+            &c.model().alternatives,
+            &mut ws,
+        )
+        .unwrap();
+        for (a, b) in fanned.iter().zip(&sequential) {
+            assert_eq!(a.potentially_optimal, b.potentially_optimal, "{a:?}");
+            assert!((a.slack - b.slack).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn single_alternative_is_trivially_potentially_optimal() {
+        let m = model(
+            &[("only", 1, 1)],
+            Interval::new(0.3, 0.7),
+            Interval::new(0.3, 0.7),
+        );
+        let out = potentially_optimal_ctx(&ctx(&m)).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(out[0].potentially_optimal);
     }
 }

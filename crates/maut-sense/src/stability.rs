@@ -148,24 +148,6 @@ pub fn stability_interval_ctx(
     )
 }
 
-/// Compute the stability interval, re-deriving the utility matrix and
-/// normalized weights from scratch.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a `maut::EvalContext` and use `stability_interval_ctx`"
-)]
-pub fn stability_interval(
-    model: &DecisionModel,
-    target: ObjectiveId,
-    mode: StabilityMode,
-    resolution: usize,
-) -> StabilityReport {
-    let avg_matrix = model.avg_utility_matrix();
-    let base_avgs =
-        maut::weights::normalized_averages(&model.tree, &model.resolved_local_weights());
-    stability_core(model, &avg_matrix, &base_avgs, target, mode, resolution)
-}
-
 fn stability_core(
     model: &DecisionModel,
     avg_matrix: &[Vec<f64>],
@@ -246,26 +228,6 @@ pub fn all_stability_intervals_ctx(
         .iter()
         .filter(|(id, _)| *id != model.tree.root())
         .map(|(id, _)| stability_interval_ctx(ctx, id, mode, resolution))
-        .collect()
-}
-
-/// Stability intervals for every non-root objective, re-deriving shared
-/// state once per objective.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a `maut::EvalContext` and use `all_stability_intervals_ctx`"
-)]
-#[allow(deprecated)]
-pub fn all_stability_intervals(
-    model: &DecisionModel,
-    mode: StabilityMode,
-    resolution: usize,
-) -> Vec<StabilityReport> {
-    model
-        .tree
-        .iter()
-        .filter(|(id, _)| *id != model.tree.root())
-        .map(|(id, _)| stability_interval(model, id, mode, resolution))
         .collect()
 }
 
@@ -371,15 +333,5 @@ mod tests {
         // g-strong is best at 0.6; it stays best down to 0.5 and up to 1.
         assert!(r.hi >= 1.0 - 1e-6);
         assert!((r.lo - 0.5).abs() < 0.02, "{r:?}");
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shim_agrees_with_context_path() {
-        let m = model();
-        let x = m.tree.find("x").unwrap();
-        let old = stability_interval(&m, x, StabilityMode::BestAlternative, 100);
-        let new = stability_interval_ctx(&ctx(&m), x, StabilityMode::BestAlternative, 100);
-        assert_eq!(old, new);
     }
 }

@@ -82,7 +82,7 @@ proptest! {
     #[test]
     fn potential_optimality_structure(model in model_strategy()) {
         let mut c = ctx(&model);
-        let po = maut_sense::potentially_optimal_ctx(&c);
+        let po = maut_sense::potentially_optimal_ctx(&c).expect("solver healthy");
         let nd: std::collections::BTreeSet<usize> =
             maut_sense::non_dominated_ctx(&c).into_iter().collect();
         prop_assert!(po.iter().any(|o| o.potentially_optimal));

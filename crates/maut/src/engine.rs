@@ -19,9 +19,9 @@
 //! and supports *incremental* mutation: [`EvalContext::set_perf`] touches a
 //! single matrix cell and marks only that alternative's cached bounds
 //! dirty, [`EvalContext::set_weight`] recomputes the weight side while
-//! keeping the (much larger) band matrix intact. The legacy
-//! [`DecisionModel::evaluate`] path rebuilds everything from scratch on
-//! every call and survives only as a deprecated shim.
+//! keeping the (much larger) band matrix intact. The stateless
+//! [`crate::evaluate::evaluate_scope`] reference rebuilds everything from
+//! scratch on every call; hold a context anywhere evaluation repeats.
 //!
 //! ```
 //! use maut::prelude::*;
@@ -56,8 +56,9 @@ use crate::par;
 use crate::perf::Perf;
 use crate::soa::BandMatrixSoA;
 use crate::weights::{self, AttributeWeights};
+use simplex_lp::{SolveStats, SolverWorkspace, WeightPolytope};
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Batches below this many rows per would-be worker are scored inline —
 /// spawn overhead beats the win on small fan-outs.
@@ -80,7 +81,7 @@ pub struct EngineStats {
 
 /// Precomputed, incrementally-maintained evaluation state for one
 /// [`DecisionModel`]. See the module docs for the design rationale.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct EvalContext {
     model: DecisionModel,
     /// Component-utility band matrix, stored as its three projections
@@ -109,7 +110,40 @@ pub struct EvalContext {
     /// stale, per scope. Shared via `Arc` so cache hits on the serving
     /// path hand out a pointer instead of cloning 23 name strings.
     eval_cache: BTreeMap<usize, (Arc<Evaluation>, BTreeSet<usize>)>,
+    /// The root-scope weight polytope `{low ≤ w ≤ upp, Σw = 1}` every
+    /// dominance / potential-optimality / intensity sweep optimizes over.
+    /// Derived purely from the weight side: `set_weight` rebuilds it,
+    /// `set_perf` leaves it untouched.
+    polytope: WeightPolytope,
+    /// Shared LP solver workspace: the potential-optimality loop reuses
+    /// its tableau buffers and warm-starts each alternative's LP from the
+    /// previous optimal basis. Behind a mutex because analyses take
+    /// `&EvalContext` (and share it across scoped threads); a stale basis
+    /// is only ever a performance hint, so no invalidation is needed for
+    /// correctness — `set_weight` still clears it since the old optimum
+    /// is no longer a useful guess.
+    lp_workspace: Mutex<SolverWorkspace>,
     stats: EngineStats,
+}
+
+impl Clone for EvalContext {
+    fn clone(&self) -> EvalContext {
+        EvalContext {
+            model: self.model.clone(),
+            band_lo: self.band_lo.clone(),
+            band_mid: self.band_mid.clone(),
+            band_hi: self.band_hi.clone(),
+            soa: self.soa.clone(),
+            local: self.local.clone(),
+            node_avgs: self.node_avgs.clone(),
+            scope_weights: self.scope_weights.clone(),
+            subtree_attrs: self.subtree_attrs.clone(),
+            eval_cache: self.eval_cache.clone(),
+            polytope: self.polytope.clone(),
+            lp_workspace: Mutex::new(self.lp_workspace().clone()),
+            stats: self.stats,
+        }
+    }
 }
 
 impl EvalContext {
@@ -138,7 +172,11 @@ impl EvalContext {
             .collect();
 
         let soa = BandMatrixSoA::from_rows(&band_lo, &band_mid, &band_hi);
-        let mut ctx = EvalContext {
+        let root_weights = weights::flatten_from(&model.tree, &local, model.tree.root());
+        let polytope = polytope_of(&root_weights);
+        let mut scope_weights = BTreeMap::new();
+        scope_weights.insert(model.tree.root().index(), root_weights);
+        Ok(EvalContext {
             model,
             band_lo,
             band_mid,
@@ -146,13 +184,13 @@ impl EvalContext {
             soa,
             local,
             node_avgs,
-            scope_weights: BTreeMap::new(),
+            scope_weights,
             subtree_attrs,
             eval_cache: BTreeMap::new(),
+            polytope,
+            lp_workspace: Mutex::new(SolverWorkspace::new()),
             stats: EngineStats::default(),
-        };
-        ctx.cache_scope_weights(ctx.model.tree.root());
-        Ok(ctx)
+        })
     }
 
     // ------------------------------------------------------------ accessors
@@ -206,6 +244,36 @@ impl EvalContext {
     /// Normalized average local weight per objective node.
     pub fn node_averages(&self) -> &[f64] {
         &self.node_avgs
+    }
+
+    /// The root-scope weight polytope, cached once per weight state —
+    /// the feasible region of every dominance / potential-optimality /
+    /// intensity optimization.
+    pub fn polytope(&self) -> &WeightPolytope {
+        &self.polytope
+    }
+
+    /// Exclusive access to the shared LP solver workspace (tableau
+    /// buffers + warm-start basis + pivot counters). Analyses lock it
+    /// once per sweep; parallel fan-outs solve with private workspaces
+    /// and fold their counters back via
+    /// [`EvalContext::record_lp_stats`].
+    pub fn lp_workspace(&self) -> MutexGuard<'_, SolverWorkspace> {
+        self.lp_workspace
+            .lock()
+            .expect("LP workspace lock poisoned")
+    }
+
+    /// Cumulative LP solve counters (solves, warm starts, pivots split
+    /// cold/warm) across every analysis run against this context.
+    pub fn lp_stats(&self) -> SolveStats {
+        self.lp_workspace().stats()
+    }
+
+    /// Fold counters from a detached solver workspace (a parallel
+    /// worker's) into the shared one.
+    pub fn record_lp_stats(&self, stats: &SolveStats) {
+        self.lp_workspace().merge_stats(stats);
     }
 
     /// Resolved local weight interval per objective node.
@@ -402,8 +470,24 @@ impl EvalContext {
         self.scope_weights.clear();
         self.eval_cache.clear();
         self.cache_scope_weights(self.model.tree.root());
+        // The polytope is a pure function of the weight side; the LP
+        // workspace's saved basis belonged to the old polytope bounds, so
+        // drop it (a warm attempt against the new bounds would only be a
+        // wasted refactorization).
+        self.polytope = polytope_of(self.weights());
+        self.lp_workspace
+            .get_mut()
+            .expect("LP workspace lock poisoned")
+            .invalidate();
         Ok(())
     }
+}
+
+/// The weight polytope implied by flattened weight triples. The flattening
+/// normalizes sibling groups, so the box always intersects the simplex.
+fn polytope_of(weights: &AttributeWeights) -> WeightPolytope {
+    WeightPolytope::new(&weights.lows(), &weights.upps())
+        .expect("flattened weight intervals always intersect the simplex")
 }
 
 /// Overall utility bounds of one row against one scope's weight triples.
@@ -441,9 +525,9 @@ mod tests {
         b.build().unwrap()
     }
 
-    #[allow(deprecated)]
+    /// From-scratch reference evaluation (the kernel the cache must match).
     fn eager(m: &DecisionModel) -> Arc<Evaluation> {
-        Arc::new(m.evaluate())
+        Arc::new(crate::evaluate::evaluate_scope(m, m.tree.root()))
     }
 
     #[test]
@@ -470,8 +554,7 @@ mod tests {
     fn subtree_evaluation_matches_eager_and_caches() {
         let m = model();
         let g = m.tree.find("g").unwrap();
-        #[allow(deprecated)]
-        let from_scratch = Arc::new(m.evaluate_under(g));
+        let from_scratch = Arc::new(crate::evaluate::evaluate_scope(&m, g));
         let mut ctx = EvalContext::new(m).unwrap();
         assert_eq!(ctx.evaluate_under(g), from_scratch);
         ctx.evaluate_under(g);
@@ -608,6 +691,42 @@ mod tests {
         let mut m = model();
         m.perf.set(0, 0, Perf::level(9));
         assert!(EvalContext::new(m).is_err());
+    }
+
+    #[test]
+    fn polytope_tracks_the_weight_side() {
+        let mut ctx = EvalContext::new(model()).unwrap();
+        let w = ctx.weights().clone();
+        assert_eq!(ctx.polytope().lower(), &w.lows()[..]);
+        assert_eq!(ctx.polytope().upper(), &w.upps()[..]);
+        // set_perf never touches the polytope…
+        let y = ctx.model().find_attribute("y").unwrap();
+        let before = ctx.polytope().clone();
+        ctx.set_perf(0, y, Perf::level(2)).unwrap();
+        assert_eq!(*ctx.polytope(), before);
+        // …set_weight rebuilds it.
+        let g = ctx.model().tree.find("g").unwrap();
+        ctx.set_weight(g, Interval::new(0.5, 0.9)).unwrap();
+        let fresh = EvalContext::new(ctx.model().clone()).unwrap();
+        assert_eq!(ctx.polytope(), fresh.polytope());
+        assert_ne!(*ctx.polytope(), before);
+    }
+
+    #[test]
+    fn lp_workspace_is_shared_and_survives_clone() {
+        use simplex_lp::{LinearProgram, Objective, Relation};
+        let ctx = EvalContext::new(model()).unwrap();
+        let mut lp = LinearProgram::new(2, Objective::Maximize);
+        lp.set_objective(&[1.0, 1.0]);
+        lp.add_constraint(&[1.0, 2.0], Relation::Le, 4.0);
+        lp.solve_with(&mut ctx.lp_workspace()).unwrap();
+        assert_eq!(ctx.lp_stats().solves, 1);
+        // The clone carries the counters (and its own workspace).
+        let cloned = ctx.clone();
+        assert_eq!(cloned.lp_stats().solves, 1);
+        lp.solve_with(&mut ctx.lp_workspace()).unwrap();
+        assert_eq!(ctx.lp_stats().solves, 2);
+        assert_eq!(cloned.lp_stats().solves, 1);
     }
 
     impl EvalContext {

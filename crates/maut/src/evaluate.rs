@@ -133,7 +133,12 @@ impl Evaluation {
 }
 
 /// Evaluate the model restricted to the subtree of `scope`.
-pub(crate) fn evaluate_scope(model: &DecisionModel, scope: ObjectiveId) -> Evaluation {
+/// Evaluate `model` within `scope` from scratch — the stateless reference
+/// evaluator behind [`crate::engine::EvalContext`]. It re-derives the
+/// component-utility bands and flattened weights on every call; hold an
+/// `EvalContext` instead anywhere evaluation repeats, and use this only
+/// as the from-scratch baseline (differential tests, cold-path benches).
+pub fn evaluate_scope(model: &DecisionModel, scope: ObjectiveId) -> Evaluation {
     let weights = model.attribute_weights_under(scope);
     let n = model.num_alternatives();
     let mut bounds = Vec::with_capacity(n);

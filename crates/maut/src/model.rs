@@ -2,7 +2,6 @@
 //! weights + alternatives + performances.
 
 use crate::error::ModelError;
-use crate::evaluate::{evaluate_scope, Evaluation};
 use crate::hierarchy::{ObjectiveId, ObjectiveTree};
 use crate::interval::Interval;
 use crate::perf::{MissingPolicy, Perf, PerformanceTable};
@@ -125,28 +124,6 @@ impl DecisionModel {
             })
             .collect();
         (lo, hi)
-    }
-
-    /// Evaluate the additive model over the whole hierarchy (paper Fig 6),
-    /// rebuilding all derived state from scratch.
-    #[deprecated(
-        since = "0.2.0",
-        note = "build a `maut::EvalContext` (or a `gmaa::AnalysisEngine`) once and call \
-                `evaluate()` on it; this eager path re-derives the component-utility \
-                matrix and weight bounds on every call"
-    )]
-    pub fn evaluate(&self) -> Evaluation {
-        evaluate_scope(self, self.tree.root())
-    }
-
-    /// Evaluate within one objective's subtree (paper Fig 7), rebuilding
-    /// all derived state from scratch.
-    #[deprecated(
-        since = "0.2.0",
-        note = "build a `maut::EvalContext` once and call `evaluate_under()` on it"
-    )]
-    pub fn evaluate_under(&self, objective: ObjectiveId) -> Evaluation {
-        evaluate_scope(self, objective)
     }
 
     /// Check one performance entry against its attribute's scale — the

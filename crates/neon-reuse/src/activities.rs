@@ -10,7 +10,7 @@
 //! than 70 %, no more ontologies were necessary").
 
 use crate::assess::{AssessmentInput, OntologyAssessor};
-use maut::{DecisionModel, EvalContext, Perf};
+use maut::{EvalContext, Perf};
 use ontolib::{Graph, Ontology};
 use std::collections::BTreeSet;
 
@@ -114,49 +114,6 @@ pub fn select_by_ranking_ctx(
     );
     assert!(total_cqs > 0, "need at least one competency question");
     let ranking = ctx.evaluate().ranking();
-    let mut covered: BTreeSet<usize> = BTreeSet::new();
-    let mut selected = Vec::new();
-    let mut selected_names = Vec::new();
-    let mut reached = false;
-    for r in &ranking {
-        selected.push(r.alternative);
-        selected_names.push(r.name.clone());
-        covered.extend(cq_sets[r.alternative].iter().copied());
-        if covered.len() as f64 / total_cqs as f64 >= target {
-            reached = true;
-            break;
-        }
-    }
-    SelectionReport {
-        selected,
-        selected_names,
-        coverage: covered.len() as f64 / total_cqs as f64,
-        target,
-        target_reached: reached,
-    }
-}
-
-/// Eager selection over a bare model, re-deriving the evaluation from
-/// scratch on every call (the pre-engine behavior, kept under the old
-/// name and signature for one release).
-#[deprecated(
-    since = "0.2.0",
-    note = "build a `maut::EvalContext` and use `select_by_ranking_ctx`"
-)]
-#[allow(deprecated)]
-pub fn select_by_ranking(
-    model: &DecisionModel,
-    cq_sets: &[Vec<usize>],
-    total_cqs: usize,
-    target: f64,
-) -> SelectionReport {
-    assert_eq!(
-        cq_sets.len(),
-        model.num_alternatives(),
-        "one CQ set per alternative"
-    );
-    assert!(total_cqs > 0, "need at least one competency question");
-    let ranking = model.evaluate().ranking();
     let mut covered: BTreeSet<usize> = BTreeSet::new();
     let mut selected = Vec::new();
     let mut selected_names = Vec::new();

@@ -13,7 +13,9 @@
 //! * `≤`, `≥` and `=` constraints,
 //! * per-variable lower/upper bounds (including free variables),
 //! * exact infeasibility / unboundedness detection,
-//! * Bland's anti-cycling rule as a fallback after a Dantzig-rule phase.
+//! * Bland's anti-cycling rule as a fallback after a Dantzig-rule phase,
+//! * **workspace reuse and warm starting** for solve loops over families
+//!   of structurally similar programs.
 //!
 //! ## Example
 //!
@@ -29,17 +31,65 @@
 //! assert_eq!(sol.status, Status::Optimal);
 //! assert!((sol.objective - 12.0).abs() < 1e-9); // x=4, y=0
 //! ```
+//!
+//! ## Workspace reuse and warm starting
+//!
+//! [`LinearProgram::solve`] allocates fresh tableau storage per call.
+//! Solve loops — the sensitivity analyses solve one LP per alternative,
+//! all sharing the same bounds and normalization row — should instead
+//! hold a [`SolverWorkspace`] and call
+//! [`LinearProgram::solve_with`]:
+//!
+//! * **Buffer reuse.** The standard-form scratch, the dense tableau and
+//!   the basis vector live in the workspace and are resized in place, so
+//!   after the first solve of a given shape subsequent solves perform no
+//!   allocation.
+//! * **Warm start.** After each optimal solve the workspace remembers the
+//!   optimal basis. When the next program has the same standard-form
+//!   shape (row count and structural column count — mutate rows in place
+//!   with [`LinearProgram::set_constraint`] to keep it), the solver
+//!   refactorizes that basis against the new coefficients; if it is still
+//!   non-singular and primal feasible the whole phase-1 artificial pass
+//!   is skipped and the solve typically finishes in a handful of pivots.
+//!   [`Solution::warm`] reports whether that happened.
+//! * **Correctness is workspace-independent.** A saved basis that turns
+//!   out singular or infeasible for the new coefficients silently falls
+//!   back to the cold two-phase path; statuses and optima never depend on
+//!   the workspace's history. (Optimal *objective values* agree to
+//!   floating-point roundoff: a warm solve may walk a different pivot
+//!   sequence to the same vertex.)
+//! * **Accounting.** [`SolverWorkspace::stats`] exposes cumulative
+//!   [`SolveStats`] — solves, warm-started solves, and pivots split
+//!   cold/warm — which the engine benches surface as pivots-per-LP.
+//!
+//! ```
+//! use simplex_lp::{LinearProgram, Objective, Relation, SolverWorkspace};
+//!
+//! let mut ws = SolverWorkspace::new();
+//! let mut lp = LinearProgram::new(2, Objective::Maximize);
+//! lp.set_objective(&[1.0, 1.0]);
+//! lp.add_constraint(&[1.0, 2.0], Relation::Le, 4.0);
+//! let a = lp.solve_with(&mut ws).unwrap();
+//! assert!(!a.warm);
+//! // Same skeleton, new coefficients: reuses the optimal basis.
+//! lp.set_constraint(0, &[1.0, 2.5], Relation::Le, 4.0);
+//! let b = lp.solve_with(&mut ws).unwrap();
+//! assert!(b.warm);
+//! assert_eq!(ws.stats().solves, 2);
+//! ```
 
 mod error;
 mod polytope;
 mod problem;
 mod solver;
 mod tableau;
+mod workspace;
 
 pub use error::LpError;
-pub use polytope::{minimize_via_lp, WeightPolytope};
+pub use polytope::{minimize_via_lp, GreedyScratch, WeightPolytope};
 pub use problem::{Bound, Constraint, LinearProgram, Objective, Relation};
 pub use solver::{Solution, Status};
+pub use workspace::{SolveStats, SolverWorkspace};
 
 /// Numerical tolerance used throughout the solver for feasibility and
 /// optimality tests. Problems in this workspace are small (tens of

@@ -26,6 +26,18 @@ pub struct WeightPolytope {
     upper: Vec<f64>,
 }
 
+/// Reusable buffers for the allocation-free greedy optimizers
+/// ([`WeightPolytope::minimize_value`] / [`WeightPolytope::maximize_value`]).
+/// One scratch serves any number of polytopes and coefficient vectors; the
+/// hot dominance / intensity sweeps thread a single scratch through every
+/// alternative pair.
+#[derive(Debug, Clone, Default)]
+pub struct GreedyScratch {
+    order: Vec<usize>,
+    /// The arg-optimum of the last call (index order).
+    pub w: Vec<f64>,
+}
+
 impl WeightPolytope {
     /// Build from per-weight interval bounds. Bounds are clamped to `[0, 1]`.
     ///
@@ -97,16 +109,28 @@ impl WeightPolytope {
             .all(|(&x, (&l, &u))| x >= l - tol && x <= u + tol)
     }
 
-    /// Minimize `c · w` over the polytope. Exact greedy continuous-knapsack:
-    /// start from the lower bounds and pour the remaining mass into the
-    /// cheapest coordinates first. Returns `(value, argmin)`.
-    pub fn minimize(&self, c: &[f64]) -> (f64, Vec<f64>) {
+    /// The greedy continuous-knapsack core shared by every optimizer:
+    /// start from the lower bounds and pour the remaining mass into
+    /// coordinates in the order given by `cmp` over the coefficient
+    /// vector (ascending `c` minimizes, descending maximizes). Fills
+    /// `scratch.w` with the arg-optimum and returns `c · w`, allocating
+    /// nothing once the scratch is warm.
+    fn pour(
+        &self,
+        c: &[f64],
+        scratch: &mut GreedyScratch,
+        cmp: impl Fn(f64, f64) -> std::cmp::Ordering,
+    ) -> f64 {
         assert_eq!(c.len(), self.dim(), "coefficient length mismatch");
-        let mut w = self.lower.clone();
+        let w = &mut scratch.w;
+        w.clear();
+        w.extend_from_slice(&self.lower);
         let mut remaining: f64 = 1.0 - w.iter().sum::<f64>();
-        let mut order: Vec<usize> = (0..self.dim()).collect();
-        order.sort_by(|&a, &b| c[a].partial_cmp(&c[b]).expect("finite coefficients"));
-        for &j in &order {
+        let order = &mut scratch.order;
+        order.clear();
+        order.extend(0..self.dim());
+        order.sort_by(|&a, &b| cmp(c[a], c[b]));
+        for &j in order.iter() {
             if remaining <= EPS {
                 break;
             }
@@ -116,15 +140,44 @@ impl WeightPolytope {
             remaining -= add;
         }
         debug_assert!(remaining <= 1e-7, "polytope was infeasible");
-        let value = c.iter().zip(&w).map(|(a, b)| a * b).sum();
-        (value, w)
+        c.iter().zip(w.iter()).map(|(a, b)| a * b).sum()
+    }
+
+    /// Minimum of `c · w` over the polytope, reusing the caller's scratch
+    /// buffers — the batch-sweep entry point (bit-identical to
+    /// [`WeightPolytope::minimize`], without its allocations).
+    pub fn minimize_value(&self, c: &[f64], scratch: &mut GreedyScratch) -> f64 {
+        self.pour(c, scratch, |a, b| {
+            a.partial_cmp(&b).expect("finite coefficients")
+        })
+    }
+
+    /// Maximum of `c · w` over the polytope, reusing the caller's scratch
+    /// buffers (bit-identical to [`WeightPolytope::maximize`]).
+    pub fn maximize_value(&self, c: &[f64], scratch: &mut GreedyScratch) -> f64 {
+        // Pouring in descending-c order with a stable sort visits exactly
+        // the coordinates `minimize(-c)` would (negation is exact and
+        // ties keep index order), so the value matches -minimize(-c)
+        // bit for bit.
+        self.pour(c, scratch, |a, b| {
+            b.partial_cmp(&a).expect("finite coefficients")
+        })
+    }
+
+    /// Minimize `c · w` over the polytope. Exact greedy continuous-knapsack:
+    /// start from the lower bounds and pour the remaining mass into the
+    /// cheapest coordinates first. Returns `(value, argmin)`.
+    pub fn minimize(&self, c: &[f64]) -> (f64, Vec<f64>) {
+        let mut scratch = GreedyScratch::default();
+        let value = self.minimize_value(c, &mut scratch);
+        (value, scratch.w)
     }
 
     /// Maximize `c · w` over the polytope. Returns `(value, argmax)`.
     pub fn maximize(&self, c: &[f64]) -> (f64, Vec<f64>) {
-        let neg: Vec<f64> = c.iter().map(|v| -v).collect();
-        let (v, w) = self.minimize(&neg);
-        (-v, w)
+        let mut scratch = GreedyScratch::default();
+        let value = self.maximize_value(c, &mut scratch);
+        (value, scratch.w)
     }
 
     /// The range `[min, max]` of `c · w` over the polytope.

@@ -1,11 +1,31 @@
-//! Two-phase simplex driver: standard-form conversion, phase 1 (artificial
-//! variables), phase 2, and solution extraction back in the user's variable
-//! space.
+//! Two-phase simplex driver over a reusable [`SolverWorkspace`]:
+//! standard-form conversion, an optional warm start from the workspace's
+//! saved basis, phase 1 (artificial variables), phase 2, and solution
+//! extraction back in the user's variable space.
+//!
+//! ## Warm start
+//!
+//! [`solve_with`] first checks whether the workspace carries the optimal
+//! basis of a previous solve with the *same standard-form shape* (row
+//! count and structural column count). If so, it rebuilds the equality
+//! system with the new coefficients, refactorizes that basis by
+//! Gauss-Jordan elimination, and — when the basis is still non-singular
+//! and primal feasible — proceeds straight to phase 2 from there. In the
+//! potential-optimality loop, consecutive LPs differ only in their
+//! pairwise-difference rows, so this converges in a handful of pivots
+//! instead of a full two-phase run. Any singular or infeasible saved
+//! basis silently falls back to the cold path, so warm starting can
+//! change performance but never results.
 
 use crate::error::LpError;
 use crate::problem::{LinearProgram, Objective, Relation};
 use crate::tableau::Tableau;
+use crate::workspace::{SolverWorkspace, VarMap};
 use crate::EPS;
+
+/// Refactorization pivots below this magnitude mark the saved basis
+/// singular for the new coefficients; the solver then falls back cold.
+const WARM_PIVOT_TOL: f64 = 1e-7;
 
 /// Outcome category of a solve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -18,7 +38,7 @@ pub enum Status {
     Unbounded,
 }
 
-/// Result of [`LinearProgram::solve`].
+/// Result of [`LinearProgram::solve`] / [`LinearProgram::solve_with`].
 #[derive(Debug, Clone)]
 pub struct Solution {
     pub status: Status,
@@ -30,6 +50,10 @@ pub struct Solution {
     pub x: Vec<f64>,
     /// Number of simplex pivots performed (both phases).
     pub pivots: usize,
+    /// Whether this solve started from a reused basis (see
+    /// [`crate::SolverWorkspace`]). Always `false` for cold solves and
+    /// for warm attempts that fell back.
+    pub warm: bool,
 }
 
 impl Solution {
@@ -39,132 +63,112 @@ impl Solution {
             objective: f64::NAN,
             x: Vec::new(),
             pivots: 0,
+            warm: false,
         }
     }
 }
 
-/// How a user variable maps into the non-negative internal space.
-#[derive(Debug, Clone, Copy)]
-enum VarMap {
-    /// `x = lower + x'[col]`, optionally with an upper-bound row added.
-    Shifted { col: usize, lower: f64 },
-    /// `x = upper - x'[col]` (only an upper bound is finite).
-    Mirrored { col: usize, upper: f64 },
-    /// `x = x'[pos] - x'[neg]` (free variable split).
-    Split { pos: usize, neg: usize },
-}
-
-struct StandardForm {
-    /// Rows as (coeffs over internal structural vars, relation, rhs).
-    rows: Vec<(Vec<f64>, Relation, f64)>,
-    /// Internal minimization objective over structural vars.
-    cost: Vec<f64>,
-    /// Constant offset contributed by bound shifts: user_obj = cost·x' + offset
-    /// (in minimization orientation).
-    offset: f64,
-    maps: Vec<VarMap>,
-    n_internal: usize,
-}
-
-/// Translate bounds and direction into `min c'·x', A'x' REL b', x' ≥ 0`.
-fn to_standard(lp: &LinearProgram) -> StandardForm {
+/// Translate bounds and direction into `min c'·x', A'x' REL b', x' ≥ 0`,
+/// writing everything into the workspace's flat standard-form buffers.
+/// Returns the internal (structural) variable count.
+fn build_standard_form(lp: &LinearProgram, ws: &mut SolverWorkspace) -> usize {
     let sign = match lp.direction {
         Objective::Minimize => 1.0,
         Objective::Maximize => -1.0,
     };
 
-    let mut maps = Vec::with_capacity(lp.n);
+    ws.maps.clear();
     let mut n_internal = 0usize;
-    let mut extra_rows: Vec<(usize, f64)> = Vec::new(); // (internal col, ub residual)
-
-    for (i, b) in lp.bounds.iter().enumerate() {
+    let mut n_extra = 0usize;
+    for b in &lp.bounds {
         if b.lower.is_finite() {
-            let col = n_internal;
-            n_internal += 1;
-            maps.push(VarMap::Shifted {
-                col,
+            ws.maps.push(VarMap::Shifted {
+                col: n_internal,
                 lower: b.lower,
             });
-            if b.upper.is_finite() && b.upper > b.lower {
-                extra_rows.push((col, b.upper - b.lower));
-            } else if b.upper.is_finite() {
-                // fixed variable: x' <= 0 i.e. x' = 0; encode as ub row 0.
-                extra_rows.push((col, 0.0));
+            n_internal += 1;
+            if b.upper.is_finite() {
+                n_extra += 1;
             }
         } else if b.upper.is_finite() {
-            let col = n_internal;
-            n_internal += 1;
-            maps.push(VarMap::Mirrored {
-                col,
+            ws.maps.push(VarMap::Mirrored {
+                col: n_internal,
                 upper: b.upper,
             });
+            n_internal += 1;
         } else {
-            let pos = n_internal;
-            let neg = n_internal + 1;
+            ws.maps.push(VarMap::Split {
+                pos: n_internal,
+                neg: n_internal + 1,
+            });
             n_internal += 2;
-            maps.push(VarMap::Split { pos, neg });
         }
-        let _ = i;
     }
 
-    let mut cost = vec![0.0; n_internal];
-    let mut offset = 0.0;
+    ws.cost.clear();
+    ws.cost.resize(n_internal, 0.0);
     for (i, &c) in lp.objective.iter().enumerate() {
         let c = sign * c;
-        match maps[i] {
-            VarMap::Shifted { col, lower } => {
-                cost[col] += c;
-                offset += c * lower;
-            }
-            VarMap::Mirrored { col, upper } => {
-                cost[col] -= c;
-                offset += c * upper;
-            }
+        match ws.maps[i] {
+            VarMap::Shifted { col, .. } => ws.cost[col] += c,
+            VarMap::Mirrored { col, .. } => ws.cost[col] -= c,
             VarMap::Split { pos, neg } => {
-                cost[pos] += c;
-                cost[neg] -= c;
+                ws.cost[pos] += c;
+                ws.cost[neg] -= c;
             }
         }
     }
 
-    let mut rows = Vec::with_capacity(lp.constraints.len() + extra_rows.len());
-    for con in &lp.constraints {
-        let mut coeffs = vec![0.0; n_internal];
+    let m = lp.constraints.len() + n_extra;
+    ws.sf_coeffs.clear();
+    ws.sf_coeffs.resize(m * n_internal, 0.0);
+    ws.sf_rel.clear();
+    ws.sf_rhs.clear();
+    for (ri, con) in lp.constraints.iter().enumerate() {
+        let row = &mut ws.sf_coeffs[ri * n_internal..(ri + 1) * n_internal];
         let mut rhs = con.rhs;
         for (i, &a) in con.coeffs.iter().enumerate() {
             if a == 0.0 {
                 continue;
             }
-            match maps[i] {
+            match ws.maps[i] {
                 VarMap::Shifted { col, lower } => {
-                    coeffs[col] += a;
+                    row[col] += a;
                     rhs -= a * lower;
                 }
                 VarMap::Mirrored { col, upper } => {
-                    coeffs[col] -= a;
+                    row[col] -= a;
                     rhs -= a * upper;
                 }
                 VarMap::Split { pos, neg } => {
-                    coeffs[pos] += a;
-                    coeffs[neg] -= a;
+                    row[pos] += a;
+                    row[neg] -= a;
                 }
             }
         }
-        rows.push((coeffs, con.relation, rhs));
+        ws.sf_rel.push(con.relation);
+        ws.sf_rhs.push(rhs);
     }
-    for (col, ub) in extra_rows {
-        let mut coeffs = vec![0.0; n_internal];
-        coeffs[col] = 1.0;
-        rows.push((coeffs, Relation::Le, ub));
+    // Upper-bound rows of box-bounded variables: x' ≤ upper − lower
+    // (0 for a fixed variable).
+    let mut ri = lp.constraints.len();
+    for (map, b) in ws.maps.iter().zip(&lp.bounds) {
+        if let VarMap::Shifted { col, lower } = *map {
+            if b.upper.is_finite() {
+                let ub = if b.upper > lower {
+                    b.upper - lower
+                } else {
+                    0.0
+                };
+                ws.sf_coeffs[ri * n_internal + col] = 1.0;
+                ws.sf_rel.push(Relation::Le);
+                ws.sf_rhs.push(ub);
+                ri += 1;
+            }
+        }
     }
-
-    StandardForm {
-        rows,
-        cost,
-        offset,
-        maps,
-        n_internal,
-    }
+    debug_assert_eq!(ws.sf_rel.len(), m);
+    n_internal
 }
 
 /// Run the pivot loop until optimality, unboundedness or the iteration cap.
@@ -190,82 +194,194 @@ fn pivot_loop(t: &mut Tableau, budget: &mut usize, max_pivots: usize) -> Result<
     }
 }
 
-pub(crate) fn solve(lp: &LinearProgram) -> Result<Solution, LpError> {
-    let sf = to_standard(lp);
-    let m = sf.rows.len();
-    let n = sf.n_internal;
+/// Write the phase-2 objective (the internal cost vector priced out
+/// against the current basis) into the tableau's z-row.
+fn price_out_objective(t: &mut Tableau, cost: &[f64]) {
+    t.z.fill(0.0);
+    t.z[..cost.len()].copy_from_slice(cost);
+    for r in 0..t.num_rows() {
+        let b = t.basis[r];
+        let cb = if b < cost.len() { cost[b] } else { 0.0 };
+        if cb.abs() > 0.0 {
+            let (row, z) = t.row_and_z_mut(r);
+            for (zj, &v) in z.iter_mut().zip(row) {
+                *zj -= cb * v;
+            }
+            // keep reduced cost of basic column exactly zero
+            t.z[b] = 0.0;
+        }
+    }
+    // Clean reduced costs of basic columns.
+    for r in 0..t.num_rows() {
+        let b = t.basis[r];
+        t.z[b] = 0.0;
+    }
+}
 
-    // Count slack columns and build the equality system with rhs >= 0.
-    let n_slack = sf
-        .rows
-        .iter()
-        .filter(|(_, rel, _)| *rel != Relation::Eq)
-        .count();
-    let total_structural = n + n_slack;
-
-    let mut a: Vec<Vec<f64>> = Vec::with_capacity(m);
-    let mut slack_col_of_row: Vec<Option<usize>> = vec![None; m];
+/// Attempt a warm solve from the workspace's saved basis. Returns `None`
+/// when the basis is singular or infeasible for the new coefficients (the
+/// caller then runs the cold path).
+#[allow(clippy::too_many_arguments)]
+fn warm_solve(
+    lp: &LinearProgram,
+    ws: &mut SolverWorkspace,
+    m: usize,
+    n: usize,
+    total_structural: usize,
+) -> Option<Result<Solution, LpError>> {
+    ws.t.reset(m, total_structural);
     let mut next_slack = n;
-    for (ri, (coeffs, rel, rhs)) in sf.rows.iter().enumerate() {
-        let mut row = vec![0.0; total_structural + 1];
+    for ri in 0..m {
+        let rel = ws.sf_rel[ri];
+        let rhs = ws.sf_rhs[ri];
+        let coeffs = &ws.sf_coeffs[ri * n..(ri + 1) * n];
+        let row = ws.t.row_mut(ri);
         row[..n].copy_from_slice(coeffs);
-        let mut slack_sign = 0.0;
         match rel {
             Relation::Le => {
                 row[next_slack] = 1.0;
-                slack_sign = 1.0;
+                next_slack += 1;
             }
             Relation::Ge => {
                 row[next_slack] = -1.0;
-                slack_sign = -1.0;
+                next_slack += 1;
             }
             Relation::Eq => {}
         }
-        let slack_col = if *rel != Relation::Eq {
-            let c = next_slack;
-            next_slack += 1;
-            Some(c)
-        } else {
-            None
-        };
-        row[total_structural] = *rhs;
-        if *rhs < 0.0 {
-            for v in row.iter_mut() {
-                *v = -*v;
-            }
-            slack_sign = -slack_sign;
-        }
-        if let Some(c) = slack_col {
-            // Slack usable as initial basis only if its coefficient is +1.
-            if slack_sign > 0.0 {
-                slack_col_of_row[ri] = Some(c);
-            }
-        }
-        a.push(row);
+        row[total_structural] = rhs;
     }
 
-    // Add artificial columns where no ready-made basic column exists.
-    let mut basis = vec![usize::MAX; m];
-    let mut artificials = Vec::new();
-    for (ri, row) in a.iter().enumerate() {
-        debug_assert!(row[total_structural] >= -EPS);
-        if let Some(c) = slack_col_of_row[ri] {
-            basis[ri] = c;
-        } else {
-            artificials.push(ri);
+    // Refactorize the saved basis. The basis is a *set* of columns; the
+    // saved row pairing need not admit a zero-free diagonal against the
+    // new coefficients, so each column picks its pivot row greedily among
+    // the rows not yet claimed (partial pivoting). A basis that is
+    // singular for the new coefficients surfaces as no usable pivot.
+    ws.row_used.clear();
+    ws.row_used.resize(m, false);
+    for idx in 0..m {
+        let col = ws.saved_basis[idx];
+        if col >= total_structural {
+            return None;
+        }
+        let mut best_r = usize::MAX;
+        let mut best = WARM_PIVOT_TOL;
+        for r in 0..m {
+            if !ws.row_used[r] {
+                let v = ws.t.get(r, col).abs();
+                if v > best {
+                    best = v;
+                    best_r = r;
+                }
+            }
+        }
+        if best_r == usize::MAX {
+            return None; // singular for the new coefficients
+        }
+        ws.row_used[best_r] = true;
+        ws.t.pivot(best_r, col);
+    }
+    // Primal feasible?
+    for r in 0..m {
+        if ws.t.rhs(r) < -EPS {
+            return None;
         }
     }
-    let n_art = artificials.len();
-    let cols = total_structural + n_art;
-    for row in a.iter_mut() {
-        let rhs = row.pop().expect("rhs present");
-        row.extend(std::iter::repeat_n(0.0, n_art));
-        row.push(rhs);
+    for r in 0..m {
+        if ws.t.rhs(r) < 0.0 {
+            ws.t.set_rhs(r, 0.0);
+        }
     }
-    for (k, &ri) in artificials.iter().enumerate() {
-        let col = total_structural + k;
-        a[ri][col] = 1.0;
-        basis[ri] = col;
+
+    price_out_objective(&mut ws.t, &ws.cost);
+    let mut pivots = 0usize;
+    let max_pivots = 2000 + 50 * (total_structural + m);
+    let optimal = match pivot_loop(&mut ws.t, &mut pivots, max_pivots) {
+        Ok(o) => o,
+        // A degenerate saved basis can stall the pivot loop; fall back to
+        // the cold two-phase path so outcomes never depend on workspace
+        // history (the contract in the crate docs).
+        Err(_) => return None,
+    };
+    ws.record(true, pivots);
+    if !optimal {
+        return Some(Ok(Solution {
+            pivots,
+            warm: true,
+            ..Solution::non_optimal(Status::Unbounded)
+        }));
+    }
+    ws.save_basis(m, total_structural);
+    Some(Ok(extract(lp, ws, n, pivots, true)))
+}
+
+pub(crate) fn solve_with(
+    lp: &LinearProgram,
+    ws: &mut SolverWorkspace,
+) -> Result<Solution, LpError> {
+    let n = build_standard_form(lp, ws);
+    let m = ws.sf_rel.len();
+    let n_slack = ws.sf_rel.iter().filter(|r| **r != Relation::Eq).count();
+    let total_structural = n + n_slack;
+
+    // ---- Warm attempt ----
+    if ws.has_saved(m, total_structural) {
+        if let Some(result) = warm_solve(lp, ws, m, n, total_structural) {
+            return result;
+        }
+    }
+
+    // ---- Cold two-phase path ----
+    // Build the equality system with rhs ≥ 0; slacks whose coefficient
+    // stays +1 after the sign flip seed the basis, the rest of the rows
+    // get artificial columns.
+    ws.artificial_rows.clear();
+    for ri in 0..m {
+        let flip = ws.sf_rhs[ri] < 0.0;
+        ws.artificial_rows.push(match ws.sf_rel[ri] {
+            Relation::Le => flip,
+            Relation::Ge => !flip,
+            Relation::Eq => true,
+        });
+    }
+    let n_art = ws.artificial_rows.iter().filter(|&&a| a).count();
+    let cols = total_structural + n_art;
+
+    ws.t.reset(m, cols);
+    let mut next_slack = n;
+    let mut next_art = total_structural;
+    for ri in 0..m {
+        let artificial = ws.artificial_rows[ri];
+        let rel = ws.sf_rel[ri];
+        let flip = ws.sf_rhs[ri] < 0.0;
+        let sign = if flip { -1.0 } else { 1.0 };
+        let coeffs = &ws.sf_coeffs[ri * n..(ri + 1) * n];
+        let rhs = ws.sf_rhs[ri];
+        let row = ws.t.row_mut(ri);
+        for (dst, &v) in row[..n].iter_mut().zip(coeffs) {
+            *dst = sign * v;
+        }
+        match rel {
+            Relation::Le => {
+                row[next_slack] = sign;
+                next_slack += 1;
+            }
+            Relation::Ge => {
+                row[next_slack] = -sign;
+                next_slack += 1;
+            }
+            Relation::Eq => {}
+        }
+        row[cols] = sign * rhs;
+        debug_assert!(row[cols] >= -EPS);
+        if artificial {
+            row[next_art] = 1.0;
+            ws.t.basis[ri] = next_art;
+            next_art += 1;
+        } else {
+            // The slack we just wrote has coefficient +1 and seeds the
+            // basis for this row.
+            ws.t.basis[ri] = next_slack - 1;
+        }
     }
 
     let mut pivots = 0usize;
@@ -273,108 +389,92 @@ pub(crate) fn solve(lp: &LinearProgram) -> Result<Solution, LpError> {
 
     // ---- Phase 1 ----
     if n_art > 0 {
-        let mut z = vec![0.0; cols + 1];
+        ws.t.z.fill(0.0);
         for k in 0..n_art {
-            z[total_structural + k] = 1.0;
+            ws.t.z[total_structural + k] = 1.0;
         }
         // Price out the artificial basics: z_row -= sum of their rows.
-        for &ri in &artificials {
-            for j in 0..=cols {
-                z[j] -= a[ri][j];
+        for ri in 0..m {
+            if ws.artificial_rows[ri] {
+                let (row, z) = ws.t.row_and_z_mut(ri);
+                for (zj, &v) in z.iter_mut().zip(row) {
+                    *zj -= v;
+                }
             }
         }
-        let mut t = Tableau::new(a, z, basis, cols);
-        let optimal = pivot_loop(&mut t, &mut pivots, max_pivots)?;
+        let optimal = match pivot_loop(&mut ws.t, &mut pivots, max_pivots) {
+            Ok(o) => o,
+            Err(e) => {
+                ws.record(false, pivots);
+                return Err(e);
+            }
+        };
         debug_assert!(optimal, "phase-1 objective is bounded below by 0");
-        if t.objective_value() > 1e-7 {
+        if ws.t.objective_value() > 1e-7 {
+            ws.record(false, pivots);
             return Ok(Solution {
                 pivots,
                 ..Solution::non_optimal(Status::Infeasible)
             });
         }
         // Drive remaining artificial variables out of the basis.
-        let mut drop_rows = Vec::new();
-        for r in 0..t.num_rows() {
-            if t.basis[r] >= total_structural {
-                let piv = (0..total_structural).find(|&j| t.a[r][j].abs() > 1e-7);
+        ws.drop_rows.clear();
+        for r in 0..ws.t.num_rows() {
+            if ws.t.basis[r] >= total_structural {
+                let piv = (0..total_structural).find(|&j| ws.t.get(r, j).abs() > 1e-7);
                 match piv {
                     Some(j) => {
-                        t.pivot(r, j);
+                        ws.t.pivot(r, j);
                         pivots += 1;
                     }
-                    None => drop_rows.push(r), // redundant constraint
+                    None => ws.drop_rows.push(r), // redundant constraint
                 }
             }
         }
-        for &r in drop_rows.iter().rev() {
-            t.a.remove(r);
-            t.basis.remove(r);
-        }
-        // Rebuild tableau without artificial columns.
-        let mut a2: Vec<Vec<f64>> =
-            t.a.iter()
-                .map(|row| {
-                    let mut r: Vec<f64> = row[..total_structural].to_vec();
-                    r.push(row[cols]);
-                    r
-                })
-                .collect();
-        let basis2 = t.basis.clone();
-        // Phase-2 objective priced out against the current basis.
-        let mut z2 = vec![0.0; total_structural + 1];
-        z2[..n].copy_from_slice(&sf.cost);
-        for (r, &b) in basis2.iter().enumerate() {
-            let cb = if b < n { sf.cost[b] } else { 0.0 };
-            if cb.abs() > 0.0 {
-                for j in 0..=total_structural {
-                    z2[j] -= cb * a2[r][j];
-                }
-                // keep reduced cost of basic column exactly zero
-                z2[b] = 0.0;
-            }
-        }
-        // Clean reduced costs of basic columns.
-        for &b in &basis2 {
-            z2[b] = 0.0;
-        }
-        let _ = &mut a2;
-        let mut t2 = Tableau::new(a2, z2, basis2, total_structural);
-        let optimal = pivot_loop(&mut t2, &mut pivots, max_pivots)?;
-        if !optimal {
-            return Ok(Solution {
-                pivots,
-                ..Solution::non_optimal(Status::Unbounded)
-            });
-        }
-        return Ok(extract(lp, &sf, &t2, n, pivots));
+        let drop = std::mem::take(&mut ws.drop_rows);
+        ws.t.remove_rows(&drop);
+        ws.drop_rows = drop;
+        // Continue in phase 2 without the artificial columns.
+        ws.t.shrink_cols(total_structural);
     }
 
-    // ---- Single phase (all rows had usable slack basis) ----
-    let mut z = vec![0.0; cols + 1];
-    z[..n].copy_from_slice(&sf.cost);
-    let mut t = Tableau::new(a, z, basis, cols);
-    let optimal = pivot_loop(&mut t, &mut pivots, max_pivots)?;
+    // ---- Phase 2 (or single phase when no artificials were needed) ----
+    price_out_objective(&mut ws.t, &ws.cost);
+    let optimal = match pivot_loop(&mut ws.t, &mut pivots, max_pivots) {
+        Ok(o) => o,
+        Err(e) => {
+            ws.record(false, pivots);
+            return Err(e);
+        }
+    };
+    ws.record(false, pivots);
     if !optimal {
         return Ok(Solution {
             pivots,
             ..Solution::non_optimal(Status::Unbounded)
         });
     }
-    Ok(extract(lp, &sf, &t, n, pivots))
+    ws.save_basis(ws.t.num_rows(), total_structural);
+    Ok(extract(lp, ws, n, pivots, false))
 }
 
-/// Map the internal primal solution back to user variables and recompute the
-/// objective in the user's direction from first principles.
+/// Map the internal primal solution back to user variables and recompute
+/// the objective in the user's direction from first principles. (The
+/// returned `x` is the one allocation a solve necessarily makes — it is
+/// handed to the caller.)
 fn extract(
     lp: &LinearProgram,
-    sf: &StandardForm,
-    t: &Tableau,
+    ws: &mut SolverWorkspace,
     n: usize,
     pivots: usize,
+    warm: bool,
 ) -> Solution {
-    let xi = t.primal(n);
+    ws.xi.clear();
+    ws.xi.resize(n, 0.0);
+    ws.t.primal_into(&mut ws.xi);
+    let xi = &ws.xi;
     let mut x = vec![0.0; lp.n];
-    for (i, map) in sf.maps.iter().enumerate() {
+    for (i, map) in ws.maps.iter().enumerate() {
         x[i] = match *map {
             VarMap::Shifted { col, lower } => lower + xi[col],
             VarMap::Mirrored { col, upper } => upper - xi[col],
@@ -382,12 +482,12 @@ fn extract(
         };
     }
     let objective: f64 = lp.objective.iter().zip(x.iter()).map(|(c, v)| c * v).sum();
-    let _ = sf.offset; // objective recomputed directly; offset kept for debug use
     Solution {
         status: Status::Optimal,
         objective,
         x,
         pivots,
+        warm,
     }
 }
 
@@ -395,6 +495,7 @@ fn extract(
 mod tests {
     use super::*;
     use crate::problem::{Bound, LinearProgram};
+    use crate::workspace::SolverWorkspace;
 
     fn assert_close(a: f64, b: f64) {
         assert!((a - b).abs() < 1e-7, "{a} vs {b}");
@@ -411,6 +512,7 @@ mod tests {
         assert_eq!(sol.status, Status::Optimal);
         assert_close(sol.objective, 20.0);
         assert_close(sol.x[0], 10.0);
+        assert!(!sol.warm);
     }
 
     #[test]
@@ -555,5 +657,119 @@ mod tests {
         lp2.add_constraint(&[1.0, 1.0], Relation::Le, 1.0);
         let min = lp2.solve().unwrap();
         assert_close(max.objective, -min.objective);
+    }
+
+    // ------------------------------------------------- warm-start contract
+
+    /// A potential-optimality-shaped LP: max t over the boxed simplex with
+    /// pairwise difference rows derived from `shift`.
+    fn max_slack_lp(n: usize, shift: f64) -> LinearProgram {
+        let mut lp = LinearProgram::new(n + 1, Objective::Maximize);
+        let mut obj = vec![0.0; n + 1];
+        obj[n] = 1.0;
+        lp.set_objective(&obj);
+        for j in 0..n {
+            lp.set_bound(j, Bound::boxed(0.05, 0.8));
+        }
+        lp.set_bound(n, Bound::boxed(-2.0, 2.0));
+        let mut norm = vec![1.0; n + 1];
+        norm[n] = 0.0;
+        lp.add_constraint(&norm, Relation::Eq, 1.0);
+        for k in 0..n {
+            let mut row = vec![0.0; n + 1];
+            for (j, r) in row.iter_mut().enumerate().take(n) {
+                *r = ((j * 7 + k * 13) % 11) as f64 / 11.0 - 0.4 + shift;
+            }
+            row[n] = -1.0;
+            lp.add_constraint(&row, Relation::Ge, 0.0);
+        }
+        lp
+    }
+
+    #[test]
+    fn warm_start_matches_cold_and_saves_pivots() {
+        let mut ws = SolverWorkspace::new();
+        let mut cold_pivots = 0usize;
+        let mut warm_pivots = 0usize;
+        for step in 0..6 {
+            let lp = max_slack_lp(8, step as f64 * 0.01);
+            let cold = lp.solve().unwrap();
+            let sol = lp.solve_with(&mut ws).unwrap();
+            assert_eq!(sol.status, cold.status);
+            assert_close(sol.objective, cold.objective);
+            if step == 0 {
+                assert!(!sol.warm);
+                cold_pivots = sol.pivots;
+            } else {
+                assert!(sol.warm, "step {step} should warm start");
+                warm_pivots = warm_pivots.max(sol.pivots);
+            }
+        }
+        assert!(
+            warm_pivots < cold_pivots,
+            "warm {warm_pivots} vs cold {cold_pivots}"
+        );
+        let stats = ws.stats();
+        assert_eq!(stats.solves, 6);
+        assert_eq!(stats.warm_solves, 5);
+        assert_eq!(stats.pivots, stats.warm_pivots + stats.cold_pivots);
+    }
+
+    #[test]
+    fn shape_change_falls_back_to_cold() {
+        let mut ws = SolverWorkspace::new();
+        let a = max_slack_lp(8, 0.0);
+        a.solve_with(&mut ws).unwrap();
+        let b = max_slack_lp(5, 0.0); // different shape
+        let sol = b.solve_with(&mut ws).unwrap();
+        assert!(!sol.warm);
+        assert_eq!(sol.status, b.solve().unwrap().status);
+    }
+
+    #[test]
+    fn warm_start_detects_infeasibility_via_fallback() {
+        let mut ws = SolverWorkspace::new();
+        // First a feasible box problem, then an infeasible sibling of the
+        // same shape: the stale basis cannot be feasible, so the solver
+        // falls back cold and still reports Infeasible.
+        let mut a = LinearProgram::new(1, Objective::Maximize);
+        a.set_objective(&[1.0]);
+        a.set_bound(0, Bound::boxed(0.0, 1.0));
+        a.add_constraint(&[1.0], Relation::Le, 0.5);
+        assert_eq!(a.solve_with(&mut ws).unwrap().status, Status::Optimal);
+
+        let mut b = LinearProgram::new(1, Objective::Maximize);
+        b.set_objective(&[1.0]);
+        b.set_bound(0, Bound::boxed(0.6, 0.9));
+        b.add_constraint(&[1.0], Relation::Le, 0.5);
+        let sol = b.solve_with(&mut ws).unwrap();
+        assert_eq!(sol.status, Status::Infeasible);
+        assert!(!sol.warm);
+    }
+
+    #[test]
+    fn invalidate_forces_cold_solve() {
+        let mut ws = SolverWorkspace::new();
+        let lp = max_slack_lp(6, 0.0);
+        lp.solve_with(&mut ws).unwrap();
+        assert!(lp.solve_with(&mut ws).unwrap().warm);
+        ws.invalidate();
+        assert!(!lp.solve_with(&mut ws).unwrap().warm);
+    }
+
+    #[test]
+    fn workspace_cold_solve_is_identical_to_plain_solve() {
+        // The cold path through a workspace is the same algorithm as
+        // `solve()`: identical status, objective, point and pivot count.
+        for shift in [0.0, 0.05, -0.1] {
+            let lp = max_slack_lp(7, shift);
+            let plain = lp.solve().unwrap();
+            let mut ws = SolverWorkspace::new();
+            let through_ws = lp.solve_with(&mut ws).unwrap();
+            assert_eq!(plain.status, through_ws.status);
+            assert_eq!(plain.pivots, through_ws.pivots);
+            assert_eq!(plain.objective, through_ws.objective);
+            assert_eq!(plain.x, through_ws.x);
+        }
     }
 }

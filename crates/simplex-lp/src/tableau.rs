@@ -1,39 +1,86 @@
 //! Dense simplex tableau with primitive row operations.
 //!
 //! The tableau stores the constraint matrix in canonical form
-//! `A x = b, x ≥ 0, b ≥ 0` together with one or two objective rows
-//! (phase-1 artificial objective and phase-2 true objective). Pivoting is
-//! plain Gauss-Jordan elimination; problems in this workspace are tiny
-//! (≤ ~60 columns) so no sparse or revised-simplex machinery is warranted.
+//! `A x = b, x ≥ 0, b ≥ 0` together with an objective row (phase-1
+//! artificial objective or phase-2 true objective). Storage is a single
+//! flat row-major buffer (`rows × (cols + 1)`, right-hand side last in
+//! each row) owned across solves by a [`crate::SolverWorkspace`], so
+//! repeated solves of same-shaped problems perform no allocation after
+//! the first. Pivoting is plain Gauss-Jordan elimination; problems in
+//! this workspace are tiny (≤ ~60 columns) so no sparse or
+//! revised-simplex machinery is warranted.
 
 use crate::EPS;
 
-/// A dense simplex tableau.
+/// A dense simplex tableau over reusable flat storage.
 ///
-/// Layout: `rows × (cols + 1)` where the last column is the right-hand side.
-/// `basis[r]` records which column is basic in row `r`.
-#[derive(Debug, Clone)]
+/// Layout: row `r` occupies `a[r * (cols + 1) .. (r + 1) * (cols + 1)]`,
+/// with the right-hand side at local index `cols`. `basis[r]` records
+/// which column is basic in row `r`.
+#[derive(Debug, Clone, Default)]
 pub struct Tableau {
-    /// Constraint rows, each of length `cols + 1` (rhs last).
-    pub a: Vec<Vec<f64>>,
-    /// Objective row (reduced costs), length `cols + 1`; entry `cols` is the
-    /// negated objective value.
+    /// Constraint rows, flattened; each logical row has `cols + 1` entries.
+    a: Vec<f64>,
+    /// Objective row (reduced costs), length `cols + 1`; entry `cols` is
+    /// the negated objective value.
     pub z: Vec<f64>,
     /// Basic column index per row.
     pub basis: Vec<usize>,
-    pub cols: usize,
+    cols: usize,
+    rows: usize,
+    /// Copy of the pivot row, reused across pivots (no per-pivot clone).
+    scratch: Vec<f64>,
 }
 
 impl Tableau {
-    pub fn new(a: Vec<Vec<f64>>, z: Vec<f64>, basis: Vec<usize>, cols: usize) -> Tableau {
-        debug_assert!(a.iter().all(|r| r.len() == cols + 1));
-        debug_assert_eq!(z.len(), cols + 1);
-        debug_assert_eq!(basis.len(), a.len());
-        Tableau { a, z, basis, cols }
+    /// A fresh `rows × cols` tableau, zero-filled (including the objective
+    /// row), reusing whatever storage is already allocated.
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        self.cols = cols;
+        self.rows = rows;
+        let width = cols + 1;
+        self.a.clear();
+        self.a.resize(rows * width, 0.0);
+        self.z.clear();
+        self.z.resize(width, 0.0);
+        self.basis.clear();
+        self.basis.resize(rows, usize::MAX);
+        self.scratch.clear();
+        self.scratch.resize(width, 0.0);
     }
 
     pub fn num_rows(&self) -> usize {
-        self.a.len()
+        self.rows
+    }
+
+    fn width(&self) -> usize {
+        self.cols + 1
+    }
+
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        let w = self.width();
+        &mut self.a[r * w..(r + 1) * w]
+    }
+
+    /// Row `r` together with mutable access to the objective row — the
+    /// split borrow the pricing loops need (`z -= c_B · row`).
+    pub fn row_and_z_mut(&mut self, r: usize) -> (&[f64], &mut [f64]) {
+        let w = self.width();
+        (&self.a[r * w..(r + 1) * w], &mut self.z)
+    }
+
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.a[r * self.width() + c]
+    }
+
+    /// Right-hand side of row `r`.
+    pub fn rhs(&self, r: usize) -> f64 {
+        self.get(r, self.cols)
+    }
+
+    pub fn set_rhs(&mut self, r: usize, v: f64) {
+        let at = r * self.width() + self.cols;
+        self.a[at] = v;
     }
 
     /// Current objective value (phase objective).
@@ -67,10 +114,10 @@ impl Tableau {
     /// Returns `None` when the column is unbounded below.
     pub fn leaving(&self, j: usize) -> Option<usize> {
         let mut best: Option<(usize, f64)> = None;
-        for (r, row) in self.a.iter().enumerate() {
-            let coef = row[j];
+        for r in 0..self.rows {
+            let coef = self.get(r, j);
             if coef > EPS {
-                let ratio = row[self.cols] / coef;
+                let ratio = self.rhs(r) / coef;
                 match best {
                     None => best = Some((r, ratio)),
                     Some((br, bratio)) => {
@@ -89,23 +136,26 @@ impl Tableau {
     /// Pivot on `(row, col)`: scale the pivot row and eliminate the column
     /// from every other row and the objective row.
     pub fn pivot(&mut self, row: usize, col: usize) {
-        let piv = self.a[row][col];
+        let w = self.width();
+        let piv = self.a[row * w + col];
         debug_assert!(piv.abs() > EPS, "pivot too small: {piv}");
         let inv = 1.0 / piv;
-        for v in self.a[row].iter_mut() {
+        for v in &mut self.a[row * w..(row + 1) * w] {
             *v *= inv;
         }
         // Defensive exactness: the pivot entry is 1 by construction.
-        self.a[row][col] = 1.0;
+        self.a[row * w + col] = 1.0;
 
-        let pivot_row = self.a[row].clone();
-        for (r, target) in self.a.iter_mut().enumerate() {
+        self.scratch
+            .copy_from_slice(&self.a[row * w..(row + 1) * w]);
+        for r in 0..self.rows {
             if r == row {
                 continue;
             }
-            let factor = target[col];
+            let factor = self.a[r * w + col];
             if factor.abs() > EPS {
-                for (t, p) in target.iter_mut().zip(pivot_row.iter()) {
+                let target = &mut self.a[r * w..(r + 1) * w];
+                for (t, p) in target.iter_mut().zip(&self.scratch) {
                     *t -= factor * p;
                 }
                 target[col] = 0.0;
@@ -113,7 +163,7 @@ impl Tableau {
         }
         let factor = self.z[col];
         if factor.abs() > EPS {
-            for (t, p) in self.z.iter_mut().zip(pivot_row.iter()) {
+            for (t, p) in self.z.iter_mut().zip(&self.scratch) {
                 *t -= factor * p;
             }
             self.z[col] = 0.0;
@@ -121,15 +171,53 @@ impl Tableau {
         self.basis[row] = col;
     }
 
-    /// Read the primal solution for the first `n` columns.
-    pub fn primal(&self, n: usize) -> Vec<f64> {
-        let mut x = vec![0.0; n];
+    /// Delete the given rows (indices must be sorted ascending).
+    pub fn remove_rows(&mut self, drop: &[usize]) {
+        if drop.is_empty() {
+            return;
+        }
+        let w = self.width();
+        for &r in drop.iter().rev() {
+            self.a.copy_within((r + 1) * w.., r * w);
+            self.a.truncate(self.a.len() - w);
+            self.basis.remove(r);
+            self.rows -= 1;
+        }
+    }
+
+    /// Narrow the tableau to its first `new_cols` columns, keeping the
+    /// right-hand side (used to drop artificial columns between phases).
+    /// The objective row is reset to zero at the new width.
+    pub fn shrink_cols(&mut self, new_cols: usize) {
+        debug_assert!(new_cols <= self.cols);
+        let old_w = self.width();
+        let new_w = new_cols + 1;
+        for r in 0..self.rows {
+            let rhs = self.a[r * old_w + self.cols];
+            // Row r's destination starts at or before its source, and all
+            // previously moved rows ended before this source: in-place
+            // forward compaction is safe.
+            self.a
+                .copy_within(r * old_w..r * old_w + new_cols, r * new_w);
+            self.a[r * new_w + new_cols] = rhs;
+        }
+        self.a.truncate(self.rows * new_w);
+        self.cols = new_cols;
+        self.z.clear();
+        self.z.resize(new_w, 0.0);
+        self.scratch.clear();
+        self.scratch.resize(new_w, 0.0);
+    }
+
+    /// Read the primal solution for the first `n` columns into `x`
+    /// (`x.len() == n`, cleared to zero first).
+    pub fn primal_into(&self, x: &mut [f64]) {
+        x.fill(0.0);
         for (r, &b) in self.basis.iter().enumerate() {
-            if b < n {
-                x[b] = self.a[r][self.cols];
+            if b < x.len() {
+                x[b] = self.rhs(r);
             }
         }
-        x
     }
 }
 
@@ -137,13 +225,39 @@ impl Tableau {
 mod tests {
     use super::*;
 
+    /// Test helper: row `r` (with rhs) gathered through the cell accessor.
+    fn row_of(t: &Tableau, r: usize) -> Vec<f64> {
+        (0..=t.cols).map(|c| t.get(r, c)).collect()
+    }
+
+    /// Test helper: allocating wrapper over `primal_into`.
+    fn primal(t: &Tableau, n: usize) -> Vec<f64> {
+        let mut x = vec![0.0; n];
+        t.primal_into(&mut x);
+        x
+    }
+
+    fn from_rows(rows: &[&[f64]], z: &[f64], basis: &[usize], cols: usize) -> Tableau {
+        let mut t = Tableau::default();
+        t.reset(rows.len(), cols);
+        for (r, row) in rows.iter().enumerate() {
+            t.row_mut(r).copy_from_slice(row);
+        }
+        t.z.copy_from_slice(z);
+        t.basis.copy_from_slice(basis);
+        t
+    }
+
     fn tiny() -> Tableau {
         // x + y <= 4  ->  x + y + s1 = 4
         // x + 3y <= 6 ->  x + 3y + s2 = 6
         // maximize 3x + 2y -> minimize -3x - 2y; reduced costs start at c.
-        let a = vec![vec![1.0, 1.0, 1.0, 0.0, 4.0], vec![1.0, 3.0, 0.0, 1.0, 6.0]];
-        let z = vec![-3.0, -2.0, 0.0, 0.0, 0.0];
-        Tableau::new(a, z, vec![2, 3], 4)
+        from_rows(
+            &[&[1.0, 1.0, 1.0, 0.0, 4.0], &[1.0, 3.0, 0.0, 1.0, 6.0]],
+            &[-3.0, -2.0, 0.0, 0.0, 0.0],
+            &[2, 3],
+            4,
+        )
     }
 
     #[test]
@@ -180,9 +294,7 @@ mod tests {
 
     #[test]
     fn leaving_none_when_unbounded() {
-        let a = vec![vec![-1.0, 1.0, 3.0]];
-        let z = vec![-1.0, 0.0, 0.0];
-        let t = Tableau::new(a, z, vec![1], 2);
+        let t = from_rows(&[&[-1.0, 1.0, 3.0]], &[-1.0, 0.0, 0.0], &[1], 2);
         assert_eq!(t.leaving(0), None);
     }
 
@@ -194,7 +306,7 @@ mod tests {
             t.pivot(r, j);
         }
         // optimum: x=4, y=0, objective (min form) = -12.
-        let x = t.primal(2);
+        let x = primal(&t, 2);
         assert!((x[0] - 4.0).abs() < 1e-9);
         assert!(x[1].abs() < 1e-9);
         assert!((t.objective_value() + 12.0).abs() < 1e-9);
@@ -203,7 +315,45 @@ mod tests {
     #[test]
     fn primal_reads_only_decision_columns() {
         let t = tiny();
-        let x = t.primal(2);
+        let x = primal(&t, 2);
         assert_eq!(x, vec![0.0, 0.0]); // slacks basic initially
+    }
+
+    #[test]
+    fn remove_rows_compacts_storage() {
+        let mut t = from_rows(
+            &[&[1.0, 0.0, 10.0], &[0.0, 1.0, 20.0], &[1.0, 1.0, 30.0]],
+            &[0.0, 0.0, 0.0],
+            &[0, 1, 9],
+            2,
+        );
+        t.remove_rows(&[1]);
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(row_of(&t, 0), vec![1.0, 0.0, 10.0]);
+        assert_eq!(row_of(&t, 1), vec![1.0, 1.0, 30.0]);
+        assert_eq!(t.basis, vec![0, 9]);
+    }
+
+    #[test]
+    fn shrink_cols_keeps_structural_part_and_rhs() {
+        let mut t = from_rows(
+            &[&[1.0, 2.0, 3.0, 4.0, 40.0], &[5.0, 6.0, 7.0, 8.0, 80.0]],
+            &[0.0; 5],
+            &[0, 1],
+            4,
+        );
+        t.shrink_cols(2);
+        assert_eq!(row_of(&t, 0), vec![1.0, 2.0, 40.0]);
+        assert_eq!(row_of(&t, 1), vec![5.0, 6.0, 80.0]);
+        assert_eq!(t.rhs(1), 80.0);
+    }
+
+    #[test]
+    fn reset_reuses_storage_for_a_new_shape() {
+        let mut t = tiny();
+        t.reset(1, 2);
+        assert_eq!(t.num_rows(), 1);
+        assert_eq!(row_of(&t, 0), vec![0.0, 0.0, 0.0]);
+        assert_eq!(t.basis, vec![usize::MAX]);
     }
 }

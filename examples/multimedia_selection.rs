@@ -84,7 +84,7 @@ fn main() {
     header("Section V - Dominance and potential optimality");
     let nd = engine.non_dominated();
     println!("Non-dominated alternatives: {} of 23", nd.len());
-    let po = engine.potentially_optimal();
+    let po = engine.potentially_optimal().expect("solver healthy");
     let discarded: Vec<&str> = po
         .iter()
         .filter(|o| !o.potentially_optimal)

@@ -95,7 +95,7 @@ fn main() {
 
     // 6. Which alternatives could *ever* be the best?
     println!("\n=== Potential optimality ===");
-    for o in engine.potentially_optimal() {
+    for o in engine.potentially_optimal().expect("solver healthy") {
         println!(
             "{:<14} potentially optimal: {:>5} (slack {:+.3})",
             o.name, o.potentially_optimal, o.slack

@@ -189,7 +189,7 @@ fn sensitivity_analyses_run_on_assessed_models() {
     let ctx = EvalContext::new(model).expect("valid");
     let nd = maut_sense::non_dominated_ctx(&ctx);
     assert!(nd.contains(&0), "the rich candidate is never dominated");
-    let po = maut_sense::potentially_optimal_ctx(&ctx);
+    let po = maut_sense::potentially_optimal_ctx(&ctx).expect("solver healthy");
     assert!(po[0].potentially_optimal);
     let mc =
         maut_sense::MonteCarlo::new(maut_sense::MonteCarloConfig::Random, 500, 3).run_ctx(&ctx);

@@ -58,7 +58,7 @@ fn all_five_analyses_share_one_context() {
     // ablation), so it discards more — but every candidate the paper
     // names as discarded is discarded here too, and the paper's top five
     // all survive.
-    let analysis = e.analyze();
+    let analysis = e.analyze().expect("solver healthy");
     let discarded: Vec<&str> = analysis
         .discarded()
         .iter()
@@ -124,7 +124,10 @@ fn incremental_set_perf_matches_from_scratch_exactly() {
 
     // Downstream analyses agree too (they read the same patched matrices).
     assert_eq!(e.non_dominated(), fresh.non_dominated());
-    assert_eq!(e.potentially_optimal(), fresh.potentially_optimal());
+    assert_eq!(
+        e.potentially_optimal().expect("solver healthy"),
+        fresh.potentially_optimal().expect("solver healthy")
+    );
     assert_eq!(
         e.monte_carlo(MonteCarloConfig::ElicitedIntervals)
             .mean_ranks(),

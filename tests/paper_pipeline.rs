@@ -121,7 +121,7 @@ fn section5_dominance_and_potential_optimality() {
     let model = dataset::paper_model().model;
     let ctx = EvalContext::new(model).expect("valid");
     let nd = maut_sense::non_dominated_ctx(&ctx);
-    let po = maut_sense::potentially_optimal_ctx(&ctx);
+    let po = maut_sense::potentially_optimal_ctx(&ctx).expect("solver healthy");
     let survivors = po.iter().filter(|o| o.potentially_optimal).count();
     // Paper: 20 of 23 survive; our reconstruction keeps the entire upper
     // half. Potential optimality must imply non-dominance.
@@ -205,7 +205,7 @@ fn gmaa_facade_runs_the_whole_cycle() {
     let mut g = AnalysisEngine::new(dataset::paper_model().model).expect("valid");
     g.mc_trials = 1_000;
     g.stability_resolution = 50;
-    let analysis = g.analyze();
+    let analysis = g.analyze().expect("solver healthy");
     assert_eq!(analysis.evaluation.bounds.len(), 23);
     assert_eq!(analysis.potential.len(), 23);
     assert_eq!(analysis.monte_carlo.trials, 1_000);

@@ -10,23 +10,27 @@
 //! * Monte Carlo rank counts and acceptance fractions under a fixed seed,
 //!   scalar loop vs batched SoA vs the scoped-thread fan-out (1 vs N
 //!   workers);
-//! * dominance matrices and potential-optimality verdicts vs in-test
-//!   row-major reference implementations (the pre-SoA logic, rebuilt here
-//!   so they share no code with the columnar kernels under test).
+//! * dominance matrices, dominance intervals and potential-optimality
+//!   verdicts vs in-test row-major reference implementations (the
+//!   pre-blocked-sweep logic, rebuilt here so they share no code with the
+//!   columnar kernels under test);
+//! * the warm-started LP path: `solve_with` over a shared
+//!   `SolverWorkspace` vs a fresh cold `solve` per program, across random
+//!   LP families and the potential-optimality skeleton.
 //!
 //! All comparisons hold to `ORDERING_EPS`; in practice the pipelines agree
 //! bit-for-bit because every kernel accumulates in the same index order.
 //! The default suite runs 64 random cases; the `#[ignore]`d suite (run in
 //! CI via `cargo test -- --include-ignored`) covers 256 plus the LP-heavy
-//! potential-optimality sweep.
-
-#![allow(deprecated)]
+//! potential-optimality sweep and the long warm-start differential.
 
 use maut::prelude::*;
-use maut_sense::{dominance, potential, DominanceOutcome, MonteCarlo, MonteCarloConfig};
+use maut_sense::{dominance, intensity, potential, DominanceOutcome, MonteCarlo, MonteCarloConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use simplex_lp::{Bound, LinearProgram, Objective, Relation, Status};
+use simplex_lp::{
+    Bound, LinearProgram, Objective, Relation, SolverWorkspace, Status, WeightPolytope,
+};
 
 /// A random, always-valid decision model: mixed discrete / continuous
 /// attributes, occasional missing performances, and (for even seeds) a
@@ -109,7 +113,7 @@ fn random_model(seed: u64, max_alts: usize, max_attrs: usize) -> DecisionModel {
     b.build().expect("random model is valid")
 }
 
-/// Row-major dominance reference — the pre-SoA logic over
+/// Row-major dominance reference — the pre-blocked-sweep logic over
 /// `bound_matrices()`, sharing no code with the columnar kernels.
 fn reference_dominance(ctx: &EvalContext) -> Vec<Vec<DominanceOutcome>> {
     let (u_lo, u_hi) = ctx.bound_matrices();
@@ -179,6 +183,29 @@ fn reference_potential(ctx: &EvalContext) -> Vec<(bool, f64)> {
         .collect()
 }
 
+/// Row-major dominance-interval reference — per-pair allocating polytope
+/// optimization, the pre-blocked-sweep formulation.
+fn reference_intervals(ctx: &EvalContext) -> Vec<Vec<(f64, f64)>> {
+    let (u_lo, u_hi) = ctx.bound_matrices();
+    let polytope = dominance::weight_polytope_ctx(ctx);
+    let n = u_lo.len();
+    (0..n)
+        .map(|i| {
+            (0..n)
+                .map(|k| {
+                    if i == k {
+                        return (0.0, 0.0);
+                    }
+                    let worst: Vec<f64> =
+                        u_lo[i].iter().zip(&u_hi[k]).map(|(a, b)| a - b).collect();
+                    let best: Vec<f64> = u_hi[i].iter().zip(&u_lo[k]).map(|(a, b)| a - b).collect();
+                    (polytope.minimize(&worst).0, polytope.maximize(&best).0)
+                })
+                .collect()
+        })
+        .collect()
+}
+
 fn assert_bounds_close(a: &UtilityBounds, b: &UtilityBounds, what: &str) {
     assert!(
         (a.min - b.min).abs() <= ORDERING_EPS
@@ -231,28 +258,190 @@ fn check_case(seed: u64, max_alts: usize, max_attrs: usize, trials: usize, with_
         }
     }
 
-    // Dominance: SoA sweep vs the independent row-major reference (and
-    // the deprecated model-derived entry point stays consistent too).
+    // Dominance: blocked column sweep vs the independent row-major
+    // per-pair reference.
     let reference = reference_dominance(&ctx);
     assert_eq!(
         dominance::dominance_matrix_ctx(&ctx),
         reference,
         "dominance matrix, seed {seed}"
     );
-    assert_eq!(
-        dominance::dominance_matrix(&model),
-        reference,
-        "deprecated dominance path, seed {seed}"
-    );
 
-    // Potential optimality (LP-per-alternative; slow suite only).
+    // Dominance intervals: blocked sweep + antisymmetry vs the per-pair
+    // min/max reference — bit-identical by the sweep's construction.
+    let blocked = intensity::dominance_intervals_ctx(&ctx);
+    for (bi, ri) in blocked.iter().zip(reference_intervals(&ctx)) {
+        for (b, (min, max)) in bi.iter().zip(ri) {
+            assert_eq!(b.min, min, "interval min, seed {seed}");
+            assert_eq!(b.max, max, "interval max, seed {seed}");
+        }
+    }
+
+    // Potential optimality (LP-per-alternative; slow suite only): the
+    // warm-started in-place-row chain vs fresh cold LPs per alternative.
     if with_lp {
-        let soa_out = potential::potentially_optimal_ctx(&ctx);
+        let warm_out = potential::potentially_optimal_ctx(&ctx).expect("solver healthy");
         let reference = reference_potential(&ctx);
-        for (a, &(optimal, slack)) in soa_out.iter().zip(&reference) {
+        for (a, &(optimal, slack)) in warm_out.iter().zip(&reference) {
             assert_eq!(a.potentially_optimal, optimal, "seed {seed}");
             assert!((a.slack - slack).abs() <= 1e-7, "slack, seed {seed}");
         }
+    }
+}
+
+/// A random LP family sharing one shape: boxed/free variables, mixed
+/// relations, slightly perturbed coefficients per member — the shape of
+/// problems a warm-started workspace chains over.
+fn random_lp(rng: &mut StdRng, n: usize, m: usize, perturb: f64) -> LinearProgram {
+    let direction = if rng.random::<bool>() {
+        Objective::Minimize
+    } else {
+        Objective::Maximize
+    };
+    let mut lp = LinearProgram::new(n, direction);
+    let obj: Vec<f64> = (0..n).map(|_| rng.random_range(-1.0..1.0)).collect();
+    lp.set_objective(&obj);
+    for j in 0..n {
+        match j % 3 {
+            0 => {
+                lp.set_bound(j, Bound::boxed(0.0, rng.random_range(0.5..2.0)));
+            }
+            1 => {
+                let lo = rng.random_range(-1.0..0.0);
+                lp.set_bound(j, Bound::boxed(lo, lo + rng.random_range(0.5..2.0)));
+            }
+            _ => {} // default non-negative
+        }
+    }
+    for r in 0..m {
+        let coeffs: Vec<f64> = (0..n)
+            .map(|_| rng.random_range(-1.0..1.0) + perturb)
+            .collect();
+        let rel = match r % 3 {
+            0 => Relation::Le,
+            1 => Relation::Ge,
+            _ => Relation::Eq,
+        };
+        // Keep Ge/Eq rows satisfiable-ish: modest right-hand sides.
+        let rhs = match rel {
+            Relation::Le => rng.random_range(0.5..3.0),
+            Relation::Ge => rng.random_range(-2.0..0.5),
+            Relation::Eq => rng.random_range(-0.5..1.5),
+        };
+        lp.add_constraint(&coeffs, rel, rhs);
+    }
+    lp
+}
+
+/// One warm-start differential case: a family of `chain` same-shaped LPs
+/// solved twice — cold (`solve`, fresh workspace each) and chained
+/// (`solve_with`, one shared workspace). Statuses must match exactly and
+/// optima to tight tolerance, no matter how often the warm path engaged
+/// or fell back.
+fn check_warm_start_case(seed: u64, chain: usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rng.random_range(2..8);
+    let m = rng.random_range(1..9);
+    let mut ws = SolverWorkspace::new();
+    for step in 0..chain {
+        let perturb = step as f64 * 0.01;
+        let lp = random_lp(&mut rng, n, m, perturb);
+        let cold = lp.solve().expect("cold solve healthy");
+        let warm = lp.solve_with(&mut ws).expect("warm solve healthy");
+        assert_eq!(cold.status, warm.status, "status, seed {seed} step {step}");
+        if cold.status == Status::Optimal {
+            assert!(
+                (cold.objective - warm.objective).abs() <= 1e-7,
+                "objective {} vs {}, seed {seed} step {step}",
+                cold.objective,
+                warm.objective
+            );
+        }
+    }
+    let stats = ws.stats();
+    assert_eq!(stats.solves, chain);
+    assert_eq!(stats.pivots, stats.warm_pivots + stats.cold_pivots);
+}
+
+/// The potential-optimality LP skeleton specifically: same bounds and
+/// normalization row, per-step difference rows — warm chains here must
+/// reproduce cold solves. Returns how many solves warm-started (random
+/// rows change more violently than the real potential family's, so a
+/// single family may legitimately never warm; the caller asserts an
+/// aggregate rate).
+fn check_warm_start_skeleton(seed: u64) -> usize {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xA5A5);
+    let n_attr = rng.random_range(3..10);
+    let lows: Vec<f64> = (0..n_attr)
+        .map(|_| rng.random_range(0.0..0.6 / n_attr as f64))
+        .collect();
+    let upps: Vec<f64> = lows
+        .iter()
+        .map(|l| (l + rng.random_range(0.2..0.8)).min(1.0))
+        .collect();
+    let polytope = WeightPolytope::new(&lows, &upps).expect("feasible box");
+    // Base difference rows shared by the family; each member perturbs
+    // them slightly, like consecutive alternatives' LPs do.
+    let base: Vec<Vec<f64>> = (0..n_attr)
+        .map(|_| (0..n_attr).map(|_| rng.random_range(-0.6..0.6)).collect())
+        .collect();
+    let mut ws = SolverWorkspace::new();
+    for _ in 0..8 {
+        let mut lp = LinearProgram::new(n_attr + 1, Objective::Maximize);
+        let mut obj = vec![0.0; n_attr + 1];
+        obj[n_attr] = 1.0;
+        lp.set_objective(&obj);
+        for j in 0..n_attr {
+            lp.set_bound(j, Bound::boxed(polytope.lower()[j], polytope.upper()[j]));
+        }
+        lp.set_bound(n_attr, Bound::boxed(-2.0, 2.0));
+        let mut norm = vec![1.0; n_attr + 1];
+        norm[n_attr] = 0.0;
+        lp.add_constraint(&norm, Relation::Eq, 1.0);
+        for b in &base {
+            let mut row = vec![0.0; n_attr + 1];
+            for (r, v) in row.iter_mut().zip(b) {
+                *r = v + rng.random_range(-0.05..0.05);
+            }
+            row[n_attr] = -1.0;
+            lp.add_constraint(&row, Relation::Ge, 0.0);
+        }
+        let cold = lp.solve().expect("cold solve healthy");
+        let warm = lp.solve_with(&mut ws).expect("warm solve healthy");
+        assert_eq!(cold.status, warm.status, "seed {seed}");
+        assert_eq!(cold.status, Status::Optimal, "max-slack LPs are feasible");
+        assert!(
+            (cold.objective - warm.objective).abs() <= 1e-7,
+            "{} vs {}, seed {seed}",
+            cold.objective,
+            warm.objective
+        );
+    }
+    ws.stats().warm_solves
+}
+
+#[test]
+fn warm_start_lp_differential_64_families() {
+    for seed in 0..64 {
+        check_warm_start_case(seed, 6);
+    }
+}
+
+#[test]
+fn warm_start_skeleton_families_engage_and_agree() {
+    let warm: usize = (0..32).map(check_warm_start_skeleton).sum();
+    // 32 families × 8 solves; with gently perturbed rows the warm path
+    // must engage for a large share of the chain (the paper model's own
+    // chain warm-starts 19 of 23 — that contract lives in maut-sense's
+    // unit tests).
+    assert!(warm >= 128, "only {warm} of 256 solves warm-started");
+}
+
+#[test]
+#[ignore = "slow warm-start differential; CI runs it via --include-ignored"]
+fn warm_start_lp_differential_256_families() {
+    for seed in 0..256 {
+        check_warm_start_case(seed, 12);
     }
 }
 

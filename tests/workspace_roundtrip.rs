@@ -33,10 +33,12 @@ fn reloaded_model_reproduces_every_analysis() {
         maut_sense::non_dominated_ctx(&c2)
     );
     let p1: Vec<bool> = maut_sense::potentially_optimal_ctx(&c1)
+        .expect("solver healthy")
         .into_iter()
         .map(|o| o.potentially_optimal)
         .collect();
     let p2: Vec<bool> = maut_sense::potentially_optimal_ctx(&c2)
+        .expect("solver healthy")
         .into_iter()
         .map(|o| o.potentially_optimal)
         .collect();
