@@ -18,7 +18,12 @@
 //!   potential optimality → intensity): the PR-2-style reference
 //!   (per-pair allocating polytope optimization + one cold two-phase LP
 //!   per alternative) against the blocked sweeps + warm-started LP chain,
-//!   with the warm-start pivot counters (pivots per cold vs warm LP).
+//!   with the warm-start pivot counters (pivots per cold vs warm LP);
+//! * **incremental_whatif** — the interactive loop itself: one `set_perf`
+//!   edit followed by `discard_cycle_incremental` (touched rows/columns
+//!   re-swept, touched alternatives + dependents re-certified from their
+//!   per-alternative warm bases) against the full blocked cycle, after
+//!   asserting both produce the same verdicts.
 //!
 //! Results are printed and written to `BENCH_engine.json` in the current
 //! directory, seeding the repo's performance trajectory.
@@ -182,6 +187,57 @@ fn engine_bench() -> String {
     let cycle_optimized_ns = time_ns(20, || {
         std::hint::black_box(cycle_engine.discard_cycle().expect("solver healthy"));
     });
+
+    // Incremental what-if loop: one set_perf edit, then the pair-level
+    // incremental discard cycle (touched rows/columns of the interval
+    // matrix re-optimized, touched alternatives + dependents re-certified
+    // from their own cached bases) vs the full blocked cycle above. Two
+    // representative edits: a mid-field candidate ("Kanzaki Music", the
+    // typical what-if probe — it sits in few LP working sets, so only a
+    // handful of certificates re-solve) and the frontrunner ("Media
+    // Ontology", the adversarial case — it binds in *every* rival's
+    // working set, so nearly all certificates re-solve).
+    let doc = model.find_attribute("doc_quality").expect("exists");
+    let alt_of = |name: &str| {
+        model
+            .alternatives
+            .iter()
+            .position(|n| n == name)
+            .expect("present")
+    };
+    let bench_edit = |alternative: usize| {
+        let mut engine = gmaa::AnalysisEngine::new(model.clone()).expect("valid");
+        // Prime the cycle cache, then check incremental ≡ full on an edit.
+        engine.discard_cycle_incremental().expect("solver healthy");
+        engine
+            .set_perf(alternative, doc, Perf::level(3))
+            .expect("valid");
+        let incr_cycle = engine.discard_cycle_incremental().expect("solver healthy");
+        let full = gmaa::AnalysisEngine::new(engine.model().clone())
+            .expect("valid")
+            .discard_cycle()
+            .expect("solver healthy");
+        assert_eq!(incr_cycle.non_dominated, full.non_dominated);
+        assert_eq!(incr_cycle.intensity, full.intensity);
+        for (a, b) in incr_cycle.potential.iter().zip(&full.potential) {
+            assert_eq!(a.potentially_optimal, b.potentially_optimal);
+        }
+        let solves_before = engine.lp_stats().solves;
+        let mut level = 2usize;
+        let mut iters = 0usize;
+        let ns = time_ns(50, || {
+            level = if level == 2 { 3 } else { 2 };
+            engine
+                .set_perf(alternative, doc, Perf::level(level))
+                .expect("valid");
+            std::hint::black_box(engine.discard_cycle_incremental().expect("solver healthy"));
+            iters += 1;
+        });
+        let recertified = (engine.lp_stats().solves - solves_before) as f64 / iters as f64;
+        (ns, recertified)
+    };
+    let (incr_cycle_ns, recertified_per_edit) = bench_edit(alt_of("Kanzaki Music"));
+    let (incr_front_ns, recertified_front) = bench_edit(alt_of("Media Ontology"));
     // Warm-start effectiveness over one fresh chain (first LP cold, the
     // rest warm-started from the previous optimal basis).
     let stats_ctx = EvalContext::new(model.clone()).expect("valid");
@@ -205,7 +261,7 @@ fn engine_bench() -> String {
 
     let stats = ctx.stats();
     format!(
-        "{{\n  \"model\": \"paper 23x14\",\n  \"cold_evaluate_ns\": {cold_eval_ns:.0},\n  \"context_evaluate_ns\": {ctx_eval_ns:.0},\n  \"incremental_set_perf_evaluate_ns\": {incr_eval_ns:.0},\n  \"speedup_context_vs_cold\": {:.2},\n  \"speedup_incremental_vs_cold\": {:.2},\n  \"analyze_full_cycle_ns\": {engine_analyze_ns:.0},\n  \"analysis_cycle\": {{\n    \"reference_per_pair_cold_lp_ns\": {cycle_reference_ns:.0},\n    \"blocked_warm_start_ns\": {cycle_optimized_ns:.0},\n    \"speedup\": {:.2},\n    \"lp_solves\": {},\n    \"lp_warm_started\": {},\n    \"lp_pivots_total\": {},\n    \"pivots_per_cold_lp\": {:.2},\n    \"pivots_per_warm_lp\": {:.2}\n  }},\n  \"montecarlo_10k_trials\": {{\n    \"scalar_ns\": {mc_scalar_ns:.0},\n    \"soa_batch_ns\": {mc_soa_ns:.0},\n    \"soa_parallel_ns\": {mc_par_ns:.0},\n    \"speedup_soa_batch_vs_scalar\": {:.2},\n    \"speedup_soa_parallel_vs_scalar\": {:.2}\n  }},\n  \"context_stats\": {{\n    \"cold_evaluations\": {},\n    \"incremental_refreshes\": {},\n    \"cache_hits\": {},\n    \"rows_recomputed\": {}\n  }}\n}}\n",
+        "{{\n  \"model\": \"paper 23x14\",\n  \"cold_evaluate_ns\": {cold_eval_ns:.0},\n  \"context_evaluate_ns\": {ctx_eval_ns:.0},\n  \"incremental_set_perf_evaluate_ns\": {incr_eval_ns:.0},\n  \"speedup_context_vs_cold\": {:.2},\n  \"speedup_incremental_vs_cold\": {:.2},\n  \"analyze_full_cycle_ns\": {engine_analyze_ns:.0},\n  \"analysis_cycle\": {{\n    \"reference_per_pair_cold_lp_ns\": {cycle_reference_ns:.0},\n    \"blocked_warm_start_ns\": {cycle_optimized_ns:.0},\n    \"speedup\": {:.2},\n    \"lp_solves\": {},\n    \"lp_warm_started\": {},\n    \"lp_pivots_total\": {},\n    \"pivots_per_cold_lp\": {:.2},\n    \"pivots_per_warm_lp\": {:.2}\n  }},\n  \"incremental_whatif\": {{\n    \"full_discard_cycle_ns\": {cycle_optimized_ns:.0},\n    \"incremental_set_perf_discard_cycle_ns\": {incr_cycle_ns:.0},\n    \"speedup_incremental_vs_full\": {:.2},\n    \"lp_recertified_per_edit\": {recertified_per_edit:.2},\n    \"frontrunner_edit_ns\": {incr_front_ns:.0},\n    \"frontrunner_speedup_vs_full\": {:.2},\n    \"frontrunner_lp_recertified\": {recertified_front:.2}\n  }},\n  \"montecarlo_10k_trials\": {{\n    \"scalar_ns\": {mc_scalar_ns:.0},\n    \"soa_batch_ns\": {mc_soa_ns:.0},\n    \"soa_parallel_ns\": {mc_par_ns:.0},\n    \"speedup_soa_batch_vs_scalar\": {:.2},\n    \"speedup_soa_parallel_vs_scalar\": {:.2}\n  }},\n  \"context_stats\": {{\n    \"cold_evaluations\": {},\n    \"incremental_refreshes\": {},\n    \"cache_hits\": {},\n    \"rows_recomputed\": {}\n  }}\n}}\n",
         cold_eval_ns / ctx_eval_ns,
         cold_eval_ns / incr_eval_ns,
         cycle_reference_ns / cycle_optimized_ns,
@@ -214,6 +270,8 @@ fn engine_bench() -> String {
         lp.pivots,
         lp.pivots_per_cold_solve().unwrap_or(0.0),
         lp.pivots_per_warm_solve().unwrap_or(0.0),
+        cycle_optimized_ns / incr_cycle_ns,
+        cycle_optimized_ns / incr_front_ns,
         mc_scalar_ns / mc_soa_ns,
         mc_scalar_ns / mc_par_ns,
         stats.cold_evaluations,

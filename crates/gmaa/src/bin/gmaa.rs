@@ -22,6 +22,10 @@
 //!   save-paper DIR      save the paper model into a workspace
 //! ```
 
+// A CLI's job is to print: exempt the terminal-output lints the library
+// crates are held to under the strict clippy bar.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use gmaa::{report, AnalysisEngine, Workspace};
 use maut_sense::{MonteCarloConfig, StabilityMode};
 use std::process::ExitCode;
@@ -46,7 +50,7 @@ fn parse_args() -> Result<Args, String> {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--workspace" => {
-                args.workspace = Some(it.next().ok_or("--workspace needs a directory")?)
+                args.workspace = Some(it.next().ok_or("--workspace needs a directory")?);
             }
             "--model" => args.model = it.next().ok_or("--model needs a name")?,
             "--trials" => {
@@ -54,14 +58,14 @@ fn parse_args() -> Result<Args, String> {
                     .next()
                     .ok_or("--trials needs a number")?
                     .parse()
-                    .map_err(|e| format!("bad --trials: {e}"))?
+                    .map_err(|e| format!("bad --trials: {e}"))?;
             }
             "--seed" => {
                 args.seed = it
                     .next()
                     .ok_or("--seed needs a number")?
                     .parse()
-                    .map_err(|e| format!("bad --seed: {e}"))?
+                    .map_err(|e| format!("bad --seed: {e}"))?;
             }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => args.command.push(other.to_string()),

@@ -26,9 +26,9 @@ use maut::{
     UtilityBounds,
 };
 use maut_sense::{
-    dominance, intensity, montecarlo::MonteCarlo, potential, stability, DominanceOutcome,
-    IntensityRank, LpError, MonteCarloConfig, MonteCarloResult, PotentialOutcome, StabilityMode,
-    StabilityReport,
+    dominance, intensity, montecarlo::MonteCarlo, potential, stability, DominanceInterval,
+    DominanceOutcome, IntensityRank, LpError, MonteCarloConfig, MonteCarloResult, PotentialCert,
+    PotentialOutcome, StabilityMode, StabilityReport,
 };
 use std::sync::Arc;
 
@@ -79,11 +79,35 @@ impl Analysis {
     }
 }
 
+/// The previous discard cycle's expensive intermediates, kept so the next
+/// cycle after a small edit can be answered by pair-level re-optimization
+/// instead of a full recompute.
+///
+/// Invariants: the cache always describes the context state as of the
+/// last [`AnalysisEngine::discard_cycle_incremental`] call — that call
+/// drains the context's pair-level dirty set
+/// ([`EvalContext::take_analysis_dirty`]) and brings exactly those
+/// rows/columns (intervals) and certificates (potential optimality) up to
+/// date, so cache + drained-delta ≡ current context. A weight-side edit
+/// invalidates every pair at once; the cache is then dropped and rebuilt
+/// by a full pass.
+#[derive(Debug, Clone)]
+struct CycleCache {
+    /// All pairwise dominance intervals (the dominance matrix and the
+    /// intensity ranking both derive from these).
+    intervals: Vec<Vec<DominanceInterval>>,
+    /// Potential-optimality certificates (verdict + optimal weights +
+    /// final working set per alternative).
+    certs: Vec<PotentialCert>,
+}
+
 /// The analysis engine: one model, one shared evaluation context, every
 /// paper analysis, plus incremental what-if mutation.
 #[derive(Debug, Clone)]
 pub struct AnalysisEngine {
     ctx: EvalContext,
+    /// Last discard cycle's intermediates for the incremental path.
+    cycle_cache: Option<CycleCache>,
     /// Trials used by [`AnalysisEngine::analyze`]'s Monte Carlo stage.
     pub mc_trials: usize,
     /// Seed for the Monte Carlo stage.
@@ -100,6 +124,7 @@ impl AnalysisEngine {
     pub fn new(model: DecisionModel) -> Result<AnalysisEngine, ModelError> {
         Ok(AnalysisEngine {
             ctx: EvalContext::new(model)?,
+            cycle_cache: None,
             mc_trials: 10_000,
             mc_seed: 20120402,
             mc_threads: 0,
@@ -234,7 +259,8 @@ impl AnalysisEngine {
     /// The Section V discard pipeline — dominance, potential optimality
     /// and dominance-intensity — in one call against the shared context
     /// (the hot cycle the blocked sweeps and the warm-started LP chain
-    /// accelerate).
+    /// accelerate). Stateless: always a full recompute; the what-if loop
+    /// should prefer [`AnalysisEngine::discard_cycle_incremental`].
     pub fn discard_cycle(&self) -> Result<DiscardCycle, LpError> {
         // One blocked sweep yields every pairwise dominance interval; the
         // dominance matrix and the intensity ranking both derive from it
@@ -252,6 +278,60 @@ impl AnalysisEngine {
         })
     }
 
+    /// The discard cycle for the interactive what-if loop: after a few
+    /// `set_perf` edits, only the touched alternatives' rows/columns of
+    /// the interval matrix are re-optimized
+    /// ([`maut_sense::intensity::dominance_intervals_incremental_ctx`])
+    /// and only the touched alternatives plus their dependents are
+    /// re-certified ([`maut_sense::potential::certify_incremental_ctx`],
+    /// warm-starting each from its own cached basis). Falls back to a
+    /// full recompute — transparently, same results — when there is no
+    /// cached cycle yet, the weight side changed (every pair invalidated),
+    /// or the dirty set covers half the alternatives or more (pair-level
+    /// updates would stop paying).
+    ///
+    /// Verdicts and interval endpoints match [`AnalysisEngine::discard_cycle`]
+    /// on the same context state (intervals and intensities bit-for-bit;
+    /// potential slacks to the certification tolerance).
+    pub fn discard_cycle_incremental(&mut self) -> Result<DiscardCycle, LpError> {
+        let (dirty, weights_changed) = self.ctx.take_analysis_dirty();
+        let n = self.ctx.model().num_alternatives();
+        let incremental = !weights_changed && 2 * dirty.len() < n;
+        let cache = match self.cycle_cache.take() {
+            Some(cache) if incremental => {
+                if dirty.is_empty() {
+                    cache
+                } else {
+                    let intervals = intensity::dominance_intervals_incremental_ctx(
+                        &self.ctx,
+                        &cache.intervals,
+                        &dirty,
+                    );
+                    let certs =
+                        potential::certify_incremental_ctx(&self.ctx, &cache.certs, &dirty)?;
+                    CycleCache { intervals, certs }
+                }
+            }
+            _ => CycleCache {
+                intervals: intensity::dominance_intervals_ctx(&self.ctx),
+                certs: potential::certify_ctx(&self.ctx)?,
+            },
+        };
+        let cycle = Self::derive_cycle(&cache, &self.ctx.model().alternatives);
+        self.cycle_cache = Some(cache);
+        Ok(cycle)
+    }
+
+    /// Assemble the cycle's outward shape from cached intermediates.
+    fn derive_cycle(cache: &CycleCache, names: &[String]) -> DiscardCycle {
+        let matrix = intensity::dominance_from_intervals(&cache.intervals);
+        DiscardCycle {
+            non_dominated: dominance::non_dominated_from(&matrix),
+            potential: cache.certs.iter().map(|c| c.outcome.clone()).collect(),
+            intensity: intensity::ranking_from_intervals(&cache.intervals, names),
+        }
+    }
+
     /// Monte Carlo simulation with any of the three weight-generation
     /// classes, on the batched columnar path (see
     /// [`maut_sense::montecarlo`]; results are seed-deterministic and
@@ -267,6 +347,22 @@ impl AnalysisEngine {
     /// [`AnalysisEngine::potentially_optimal`]).
     pub fn analyze(&mut self) -> Result<Analysis, LpError> {
         let discard = self.discard_cycle()?;
+        self.finish_analysis(discard)
+    }
+
+    /// [`AnalysisEngine::analyze`] for the what-if loop: the discard
+    /// stage runs through [`AnalysisEngine::discard_cycle_incremental`]
+    /// (pair-level re-optimization after `set_perf`, full-recompute
+    /// fallback when the dirty set is empty-of-cache / weight-wide / too
+    /// large), the evaluation stage through the context's own row-level
+    /// cache. Stability and Monte Carlo are inherently whole-model scans
+    /// and always recompute.
+    pub fn analyze_incremental(&mut self) -> Result<Analysis, LpError> {
+        let discard = self.discard_cycle_incremental()?;
+        self.finish_analysis(discard)
+    }
+
+    fn finish_analysis(&mut self, discard: DiscardCycle) -> Result<Analysis, LpError> {
         Ok(Analysis {
             evaluation: Evaluation::clone(&self.evaluate()),
             stability: self.stability_all(StabilityMode::BestAlternative),
@@ -359,6 +455,84 @@ mod tests {
         assert_eq!(
             e.potentially_optimal().expect("solver healthy"),
             fresh.potentially_optimal().expect("solver healthy")
+        );
+    }
+
+    fn assert_cycles_agree(a: &DiscardCycle, b: &DiscardCycle) {
+        assert_eq!(a.non_dominated, b.non_dominated);
+        assert_eq!(a.potential.len(), b.potential.len());
+        for (x, y) in a.potential.iter().zip(&b.potential) {
+            assert_eq!(
+                x.potentially_optimal, y.potentially_optimal,
+                "{x:?} vs {y:?}"
+            );
+            assert!((x.slack - y.slack).abs() < 1e-7, "{x:?} vs {y:?}");
+        }
+        assert_eq!(a.intensity, b.intensity);
+    }
+
+    #[test]
+    fn incremental_discard_cycle_tracks_edits() {
+        let mut e = engine();
+        // First call: no cache yet — full recompute, cache primed.
+        let first = e.discard_cycle_incremental().expect("solver healthy");
+        assert_cycles_agree(&first, &e.discard_cycle().expect("solver healthy"));
+
+        // Edit one cell; the incremental cycle must equal a full one on
+        // the edited model.
+        let doc = e.model().find_attribute("doc_quality").expect("exists");
+        e.set_perf(3, doc, Perf::level(3)).expect("valid level");
+        let incr = e.discard_cycle_incremental().expect("solver healthy");
+        let mut fresh = AnalysisEngine::new(e.model().clone()).expect("valid");
+        assert_cycles_agree(&incr, &fresh.discard_cycle_incremental().expect("healthy"));
+
+        // No further edits: answered from cache without new LP solves.
+        let solves_before = e.lp_stats().solves;
+        let cached = e.discard_cycle_incremental().expect("solver healthy");
+        assert_eq!(e.lp_stats().solves, solves_before);
+        assert_cycles_agree(&incr, &cached);
+    }
+
+    #[test]
+    fn incremental_discard_cycle_falls_back_after_weight_edits() {
+        let mut e = engine();
+        e.discard_cycle_incremental().expect("solver healthy");
+        let understandability = e.model().tree.find("understandability").expect("exists");
+        e.set_weight(understandability, Interval::new(0.1, 0.3))
+            .expect("feasible");
+        let incr = e.discard_cycle_incremental().expect("solver healthy");
+        let mut fresh = AnalysisEngine::new(e.model().clone()).expect("valid");
+        assert_cycles_agree(&incr, &fresh.discard_cycle_incremental().expect("healthy"));
+    }
+
+    #[test]
+    fn analyze_incremental_matches_full_analyze() {
+        let mut e = engine();
+        e.analyze_incremental().expect("solver healthy");
+        let kanzaki = e
+            .model()
+            .alternatives
+            .iter()
+            .position(|n| n == "Kanzaki Music")
+            .expect("present");
+        let doc = e.model().find_attribute("doc_quality").expect("exists");
+        e.set_perf(kanzaki, doc, Perf::level(3)).expect("valid");
+        let incr = e.analyze_incremental().expect("solver healthy");
+
+        let mut fresh = AnalysisEngine::new(e.model().clone()).expect("valid");
+        fresh.mc_trials = e.mc_trials;
+        fresh.stability_resolution = e.stability_resolution;
+        let full = fresh.analyze().expect("solver healthy");
+        assert_eq!(incr.evaluation, full.evaluation);
+        assert_eq!(incr.non_dominated, full.non_dominated);
+        assert_eq!(incr.intensity, full.intensity);
+        for (a, b) in incr.potential.iter().zip(&full.potential) {
+            assert_eq!(a.potentially_optimal, b.potentially_optimal);
+            assert!((a.slack - b.slack).abs() < 1e-7);
+        }
+        assert_eq!(
+            incr.monte_carlo.rank_counts(),
+            full.monte_carlo.rank_counts()
         );
     }
 

@@ -28,6 +28,7 @@
 use crate::dominance::{gather_diff_block, PAIR_BLOCK};
 use maut::{BandMatrixSoA, EvalContext};
 use simplex_lp::{GreedyScratch, WeightPolytope};
+use std::collections::BTreeSet;
 
 /// The dominance interval of one ordered pair.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -112,6 +113,70 @@ pub(crate) fn intervals_core(
         .collect()
 }
 
+/// Update an interval matrix after band-row edits to the `dirty`
+/// alternatives: only the dirty rows and columns are re-optimized — a
+/// pair `(i, k)` depends solely on rows `i` and `k` of the band matrix,
+/// so every other entry of `prev` is still exact. Re-optimized entries
+/// run through the same gather + greedy kernel as the full sweep on the
+/// same inputs, so the result is bit-identical to
+/// [`dominance_intervals_ctx`] on the edited context.
+///
+/// Cost: `O(|dirty| · n)` pair optimizations instead of `n · (n − 1)`.
+///
+/// # Panics
+///
+/// When `prev`'s shape does not match the context's alternatives.
+pub fn dominance_intervals_incremental_ctx(
+    ctx: &EvalContext,
+    prev: &[Vec<DominanceInterval>],
+    dirty: &BTreeSet<usize>,
+) -> Vec<Vec<DominanceInterval>> {
+    let soa = ctx.soa();
+    let polytope = ctx.polytope();
+    let n = soa.n_alternatives();
+    let m = soa.n_attributes();
+    assert_eq!(prev.len(), n, "interval matrix does not match the model");
+    let mut intervals = prev.to_vec();
+
+    let mut scratch = GreedyScratch::default();
+    let mut worst = vec![0.0; PAIR_BLOCK * m];
+    // One adversarial minimum per touched ordered pair; antisymmetry
+    // mirrors it into the partner's favorable maximum, exactly as the
+    // full sweep does.
+    let set_min = |intervals: &mut [Vec<DominanceInterval>], i: usize, k: usize, min: f64| {
+        intervals[i][k].min = min;
+        intervals[k][i].max = -min;
+    };
+    for &d in dirty {
+        // Row d: d against every rival, by the blocked column sweep.
+        let mut kb = 0;
+        while kb < n {
+            let block = PAIR_BLOCK.min(n - kb);
+            gather_diff_block(soa, d, kb, block, &mut worst, None);
+            for t in 0..block {
+                let k = kb + t;
+                if k == d {
+                    continue;
+                }
+                let min = polytope.minimize_value(&worst[t * m..(t + 1) * m], &mut scratch);
+                set_min(&mut intervals, d, k, min);
+            }
+            kb += block;
+        }
+        // Column d: every non-dirty rival against d (dirty rows were or
+        // will be fully recomputed above).
+        for i in 0..n {
+            if i == d || dirty.contains(&i) {
+                continue;
+            }
+            gather_diff_block(soa, i, d, 1, &mut worst, None);
+            let min = polytope.minimize_value(&worst[..m], &mut scratch);
+            set_min(&mut intervals, i, d, min);
+        }
+    }
+    intervals
+}
+
 /// Rank all alternatives by dominance intensity, against a shared
 /// evaluation context.
 pub fn intensity_ranking_ctx(ctx: &EvalContext) -> Vec<IntensityRank> {
@@ -166,11 +231,16 @@ pub fn ranking_from_intervals(
             }
         })
         .collect();
+    // Finite intensities are guaranteed by model validation; if a NaN
+    // slips through anyway it must neither abort the cycle (as
+    // partial_cmp().expect() did) nor claim rank 1 (where a bare
+    // descending total_cmp would place +NaN) — mapping NaN below every
+    // finite value makes it sink to the bottom deterministically.
+    let key = |x: f64| if x.is_nan() { f64::NEG_INFINITY } else { x };
     rows.sort_by(|a, b| {
-        b.intensity
-            .partial_cmp(&a.intensity)
-            .expect("finite")
-            .then(a.name.cmp(&b.name))
+        key(b.intensity)
+            .total_cmp(&key(a.intensity))
+            .then_with(|| a.name.cmp(&b.name))
     });
     for (pos, r) in rows.iter_mut().enumerate() {
         r.rank = pos + 1;
@@ -263,6 +333,48 @@ mod tests {
                 assert_eq!(blocked[i][k].max, polytope.maximize(&best).0, "({i},{k})");
             }
         }
+    }
+
+    #[test]
+    fn incremental_intervals_match_a_full_resweep_bit_for_bit() {
+        // Wide enough to cross rival-block boundaries; edit several rows
+        // (including two in the same block) and re-sweep incrementally.
+        let rows: Vec<(String, usize, usize)> = (0..crate::dominance::PAIR_BLOCK + 9)
+            .map(|i| (format!("a{i:02}"), i % 4, (i / 3) % 4))
+            .collect();
+        let refs: Vec<(&str, usize, usize)> =
+            rows.iter().map(|(n, x, y)| (n.as_str(), *x, *y)).collect();
+        let mut c = ctx(&model(&refs));
+        let prev = dominance_intervals_ctx(&c);
+
+        let x = c.model().find_attribute("x").unwrap();
+        let y = c.model().find_attribute("y").unwrap();
+        c.set_perf(0, x, Perf::level(3)).unwrap();
+        c.set_perf(1, y, Perf::level(0)).unwrap();
+        c.set_perf(crate::dominance::PAIR_BLOCK + 2, x, Perf::level(2))
+            .unwrap();
+        let dirty: BTreeSet<usize> = [0, 1, crate::dominance::PAIR_BLOCK + 2]
+            .into_iter()
+            .collect();
+
+        let incremental = dominance_intervals_incremental_ctx(&c, &prev, &dirty);
+        let full = dominance_intervals_ctx(&c);
+        assert_eq!(incremental, full, "incremental re-sweep must be exact");
+        // And deriving the dominance matrix from the incremental update
+        // equals the standalone dominance sweep.
+        assert_eq!(
+            dominance_from_intervals(&incremental),
+            crate::dominance::dominance_matrix_ctx(&c)
+        );
+    }
+
+    #[test]
+    fn incremental_intervals_with_empty_dirty_set_are_a_no_op() {
+        let m = model(&[("a", 3, 0), ("b", 0, 3), ("c", 2, 2)]);
+        let c = ctx(&m);
+        let prev = dominance_intervals_ctx(&c);
+        let same = dominance_intervals_incremental_ctx(&c, &prev, &BTreeSet::new());
+        assert_eq!(same, prev);
     }
 
     #[test]

@@ -39,11 +39,14 @@ pub use dominance::{
     dominance_matrix_ctx, non_dominated_ctx, non_dominated_from, DominanceOutcome,
 };
 pub use intensity::{
-    dominance_from_intervals, dominance_intervals_ctx, intensity_ranking_ctx,
-    ranking_from_intervals, DominanceInterval, IntensityRank,
+    dominance_from_intervals, dominance_intervals_ctx, dominance_intervals_incremental_ctx,
+    intensity_ranking_ctx, ranking_from_intervals, DominanceInterval, IntensityRank,
 };
 pub use montecarlo::{MonteCarlo, MonteCarloConfig, MonteCarloResult};
-pub use potential::{discarded_ctx, potentially_optimal_ctx, PotentialOutcome};
+pub use potential::{
+    certify_ctx, certify_incremental_ctx, discarded_ctx, potentially_optimal_ctx, PotentialCert,
+    PotentialOutcome,
+};
 pub use simplex_lp;
 pub use simplex_lp::{LpError, SolveStats};
 pub use stability::{stability_interval_ctx, StabilityMode, StabilityReport};

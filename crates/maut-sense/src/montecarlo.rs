@@ -111,12 +111,10 @@ impl MonteCarloResult {
     /// ontologies fluctuate by at most two positions"*.
     pub fn fluctuation_of_top(&self, k: usize) -> u32 {
         let mut order: Vec<usize> = (0..self.stats.len()).collect();
-        order.sort_by(|&a, &b| {
-            self.stats[a]
-                .mean
-                .partial_cmp(&self.stats[b].mean)
-                .expect("finite")
-        });
+        // total_cmp: a NaN mean (empty/corrupt stats) must sort last and
+        // be ignored rather than panic — or, as a masking comparator
+        // would, silently rank the NaN alternative among the best.
+        order.sort_by(|&a, &b| self.stats[a].mean.total_cmp(&self.stats[b].mean));
         order
             .into_iter()
             .take(k)
@@ -429,7 +427,7 @@ mod tests {
         assert!(r.fluctuation_of_top(2) <= 3);
         // top alternative never moves
         let mut order: Vec<usize> = (0..4).collect();
-        order.sort_by(|&a, &b| r.stats[a].mean.partial_cmp(&r.stats[b].mean).unwrap());
+        order.sort_by(|&a, &b| r.stats[a].mean.total_cmp(&r.stats[b].mean));
         assert_eq!(order[0], 0);
     }
 

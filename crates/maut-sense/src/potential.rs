@@ -28,6 +28,29 @@
 //! (each with a private workspace whose pivot counters are folded back
 //! into the context).
 //!
+//! ## Certificates and incremental re-certification
+//!
+//! Every certification also records *why* it holds: the final working
+//! set and the optimal weight vector ([`PotentialCert`]). After a
+//! `set_perf` edit, [`certify_incremental_ctx`] re-solves only
+//!
+//! * the edited alternatives themselves (their `u_hi` row changed),
+//! * alternatives whose **working set** contained an edited rival (a
+//!   binding constraint row changed, so the stored optimum is void), and
+//! * alternatives whose stored optimum an edited rival now *violates*
+//!   (the rival strengthened past the certified slack — checked by one
+//!   dot product per (kept alternative, edited rival) pair);
+//!
+//! every other certificate is provably still the full LP's optimum (the
+//! working-set relaxation is unchanged and the new rival rows are
+//! satisfied at the stored optimum, to the same `VIOLATION_EPS` the full
+//! pass certifies with). Re-solved alternatives seed their working set
+//! from the previous certificate and warm-start from their *own* last
+//! optimal basis via the workspace's per-alternative
+//! [`simplex_lp::BasisCache`] (stashed by every pass, dropped by
+//! `set_weight`'s workspace invalidation) instead of chaining through
+//! whatever solved last.
+//!
 //! ## Errors
 //!
 //! The weight polytope is validated non-empty when the context is built
@@ -42,6 +65,7 @@ use maut::EvalContext;
 use simplex_lp::{
     Bound, LinearProgram, LpError, Objective, Relation, SolverWorkspace, Status, WeightPolytope,
 };
+use std::collections::BTreeSet;
 use std::ops::Range;
 
 /// Minimum LPs per scoped worker for the fan-out to pay for its spawns.
@@ -62,6 +86,16 @@ const WORKING_SET: usize = 5;
 /// matches the full LP's to well under the analysis thresholds.
 const VIOLATION_EPS: f64 = 1e-10;
 
+/// Ceiling on a re-certification's *seeded* working set. Constraint
+/// generation only ever grows a set, and re-certification re-seeds from
+/// the previous certificate, so over a long what-if session sets would
+/// ratchet monotonically toward the full `n − 1` formulation (and a
+/// bloated set also intersects more dirty sets, forcing extra
+/// re-solves). Past this size the seed is discarded and the alternative
+/// restarts from the strength-order base set — one cold solve that
+/// resets the ratchet.
+const MAX_SEED: usize = 4 * WORKING_SET;
+
 /// Verdict for one alternative.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PotentialOutcome {
@@ -71,6 +105,25 @@ pub struct PotentialOutcome {
     /// The optimal slack `t*`: ≥ 0 iff potentially optimal; more negative
     /// means further from ever being best.
     pub slack: f64,
+}
+
+/// A potential-optimality verdict together with the evidence that makes
+/// it incrementally checkable: the optimal weight vector and the final
+/// constraint-generation working set. [`certify_incremental_ctx`] uses
+/// these to decide, after an edit, whether the verdict can be kept
+/// without re-solving (see the module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PotentialCert {
+    pub outcome: PotentialOutcome,
+    /// Optimal weight vector `w*` at the certified optimum. Empty only
+    /// when the defensive non-optimal branch fired (never for
+    /// well-formed models) — such certs always re-solve.
+    pub weights: Vec<f64>,
+    /// Rival indices in the final working set, in LP row order (the
+    /// order re-certification re-seeds with, which keeps the stashed
+    /// basis's positional slack columns valid). Constraints of rivals
+    /// outside this set were slack at `w*` by at least `−VIOLATION_EPS`.
+    pub working_set: Vec<usize>,
 }
 
 /// Build the shared LP skeleton: objective `max t`, box bounds, the
@@ -106,16 +159,185 @@ struct RangeScratch {
     violated: Vec<usize>,
 }
 
-/// Solve the max-slack LPs of `range`'s alternatives over one workspace.
-///
-/// Each alternative runs delayed constraint generation: the LP holds only
-/// a small working set of rival rows (seeded with the rivals whose greedy
-/// `max_w c_k·w` is smallest — the only candidates that can bind), and
-/// grows it monotonically until no excluded rival is violated at the
-/// optimum, which certifies the working-set optimum as the full LP's.
-/// Consecutive solves share the workspace, so alternative `i + 1`
-/// warm-starts from alternative `i`'s basis (same working-set shape).
-fn solve_range(
+impl RangeScratch {
+    fn new(n: usize, n_attr: usize) -> RangeScratch {
+        let mut s = RangeScratch {
+            row: vec![0.0; n_attr + 1],
+            active: Vec::with_capacity(n.saturating_sub(1)),
+            in_set: vec![false; n],
+            violated: Vec::new(),
+        };
+        s.row[n_attr] = -1.0;
+        s
+    }
+}
+
+/// Shared read-only inputs of one certification pass, including the
+/// working-set seeding order.
+struct CertifyInputs<'a> {
+    polytope: &'a WeightPolytope,
+    lo_rows: &'a [Vec<f64>],
+    hi_rows: &'a [Vec<f64>],
+    n: usize,
+    names: &'a [String],
+    /// Seeding order, shared by every alternative: the binding rivals are
+    /// the *strong* ones, and scoring rival `k` against `i` at the
+    /// polytope centroid w̄ gives `u_hi(i)·w̄ − u_lo(k)·w̄` — the
+    /// alternative-dependent term is constant across rivals, so ordering
+    /// by descending `u_lo(k)·w̄` ranks candidates once for the whole
+    /// pass.
+    order: Vec<usize>,
+}
+
+impl<'a> CertifyInputs<'a> {
+    fn new(
+        polytope: &'a WeightPolytope,
+        lo_rows: &'a [Vec<f64>],
+        hi_rows: &'a [Vec<f64>],
+        n: usize,
+        names: &'a [String],
+    ) -> CertifyInputs<'a> {
+        let centroid = polytope.centroid();
+        let strength: Vec<f64> = lo_rows
+            .iter()
+            .map(|lo_k| lo_k.iter().zip(&centroid).map(|(&lo, &w)| lo * w).sum())
+            .collect();
+        let mut order: Vec<usize> = (0..n).collect();
+        // total_cmp, not partial_cmp().expect(): the seeding order is a pure
+        // heuristic (any order gives the same certified optimum), and a NaN
+        // strength — impossible for validated models — must not be the line
+        // that aborts an analysis cycle; it just lands at a deterministic
+        // position instead of panicking.
+        order.sort_unstable_by(|&a, &b| strength[b].total_cmp(&strength[a]));
+        CertifyInputs {
+            polytope,
+            lo_rows,
+            hi_rows,
+            n,
+            names,
+            order,
+        }
+    }
+
+    /// Certify one alternative by delayed constraint generation: the LP
+    /// holds only a small working set of rival rows, grown monotonically
+    /// until no excluded rival is violated at the optimum — which
+    /// certifies the working-set optimum as the full LP's. `seed` (used
+    /// by re-certification) replaces the strength-order seeding with the
+    /// previous certificate's working set, so a restored per-alternative
+    /// basis matches the first solve's shape.
+    fn certify_one(
+        &self,
+        i: usize,
+        seed: Option<&[usize]>,
+        lp: &mut LinearProgram,
+        s: &mut RangeScratch,
+        ws: &mut SolverWorkspace,
+    ) -> Result<PotentialCert, LpError> {
+        let n_attr = self.polytope.dim();
+        let base_r = WORKING_SET.min(self.n.saturating_sub(1));
+        let hi_i = &self.hi_rows[i];
+        let lo_rows = self.lo_rows;
+        let diff_into = |row: &mut [f64], k: usize| {
+            for ((r, &hi), &lo) in row[..n_attr].iter_mut().zip(hi_i).zip(&lo_rows[k]) {
+                *r = hi - lo;
+            }
+        };
+
+        // Warm-start from this alternative's own last optimal basis when
+        // one is stashed; otherwise the chained basis stays in place.
+        ws.restore_basis(i);
+
+        // Seed the working set: previous certificate's set on
+        // re-certification (unless it has ratcheted past MAX_SEED —
+        // then restart small), strongest rivals otherwise.
+        s.in_set.fill(false);
+        s.active.clear();
+        match seed {
+            Some(set) if !set.is_empty() && set.len() <= MAX_SEED => {
+                s.active.extend(set.iter().filter(|&&k| k != i).copied());
+            }
+            _ => {
+                s.active
+                    .extend(self.order.iter().filter(|&&k| k != i).take(base_r).copied());
+            }
+        }
+        for &k in &s.active {
+            s.in_set[k] = true;
+        }
+
+        let (potentially_optimal, slack, weights) = loop {
+            // Re-sync the skeleton when the working-set size changed.
+            if lp.num_constraints() != s.active.len() + 1 {
+                *lp = build_skeleton(self.polytope, s.active.len());
+            }
+            for (slot, &k) in s.active.iter().enumerate() {
+                diff_into(&mut s.row, k);
+                lp.set_constraint(slot + 1, &s.row, Relation::Ge, 0.0);
+            }
+            let sol = lp.solve_with(ws)?;
+            if sol.status != Status::Optimal {
+                // Impossible by construction (see module docs); treat
+                // defensively as not potentially optimal.
+                break (false, f64::NEG_INFINITY, Vec::new());
+            }
+            let t = sol.objective;
+            let w = &sol.x[..n_attr];
+            // Certify against the excluded rivals.
+            s.violated.clear();
+            for (k, lo_k) in lo_rows.iter().enumerate() {
+                if k == i || s.in_set[k] {
+                    continue;
+                }
+                let dot: f64 = hi_i
+                    .iter()
+                    .zip(lo_k)
+                    .zip(w)
+                    .map(|((&hi, &lo), &wj)| (hi - lo) * wj)
+                    .sum();
+                if dot < t - VIOLATION_EPS {
+                    s.violated.push(k);
+                }
+            }
+            if s.violated.is_empty() {
+                break (t >= -1e-9, t, w.to_vec());
+            }
+            // Grow the working set monotonically (termination: it can
+            // only grow n − 1 times) and re-solve.
+            for &k in &s.violated {
+                s.in_set[k] = true;
+            }
+            s.active.extend(s.violated.iter().copied());
+        };
+
+        // Remember this alternative's optimal basis for the next time *it*
+        // is re-certified (shape-matched because re-certification seeds
+        // the working set from this certificate).
+        ws.stash_basis(i);
+
+        // Keep the working set in LP row order (not sorted): slack-column
+        // indices in the stashed basis are positional per constraint row,
+        // so re-seeding must reproduce the exact row layout for the
+        // restored basis to describe the same vertex.
+        let working_set = s.active.clone();
+        Ok(PotentialCert {
+            outcome: PotentialOutcome {
+                alternative: i,
+                name: self.names[i].clone(),
+                potentially_optimal,
+                slack,
+            },
+            weights,
+            working_set,
+        })
+    }
+}
+
+/// Certify the max-slack LPs of `range`'s alternatives over one
+/// workspace. Consecutive solves share the workspace, so alternative
+/// `i + 1` warm-starts from alternative `i`'s basis (same working-set
+/// shape) unless its own stashed basis is available.
+fn certify_range(
     range: Range<usize>,
     polytope: &WeightPolytope,
     lo_rows: &[Vec<f64>],
@@ -123,103 +345,13 @@ fn solve_range(
     n: usize,
     names: &[String],
     ws: &mut SolverWorkspace,
-) -> Result<Vec<PotentialOutcome>, LpError> {
-    let n_attr = polytope.dim();
-    let r_full = n.saturating_sub(1);
-    let base_r = WORKING_SET.min(r_full);
+) -> Result<Vec<PotentialCert>, LpError> {
+    let inputs = CertifyInputs::new(polytope, lo_rows, hi_rows, n, names);
+    let base_r = WORKING_SET.min(n.saturating_sub(1));
     let mut lp = build_skeleton(polytope, base_r);
-    let mut s = RangeScratch {
-        row: vec![0.0; n_attr + 1],
-        active: Vec::with_capacity(r_full),
-        in_set: vec![false; n],
-        violated: Vec::new(),
-    };
-    s.row[n_attr] = -1.0;
-
-    // Working-set seeding order, shared by every alternative: the binding
-    // rivals are the *strong* ones, and scoring rival `k` against `i` at
-    // the polytope centroid w̄ gives `u_hi(i)·w̄ − u_lo(k)·w̄` — the
-    // alternative-dependent term is constant across rivals, so ordering
-    // by descending `u_lo(k)·w̄` ranks candidates once for the whole
-    // range.
-    let centroid = polytope.centroid();
-    let strength: Vec<f64> = lo_rows
-        .iter()
-        .map(|lo_k| lo_k.iter().zip(&centroid).map(|(&lo, &w)| lo * w).sum())
-        .collect();
-    let mut order: Vec<usize> = (0..n).collect();
-    order.sort_unstable_by(|&a, &b| strength[b].partial_cmp(&strength[a]).expect("finite"));
-
+    let mut s = RangeScratch::new(n, polytope.dim());
     range
-        .map(|i| {
-            let hi_i = &hi_rows[i];
-            let diff_into = |row: &mut [f64], k: usize| {
-                for ((r, &hi), &lo) in row[..n_attr].iter_mut().zip(hi_i).zip(&lo_rows[k]) {
-                    *r = hi - lo;
-                }
-            };
-
-            // Seed the working set with the strongest rivals.
-            s.in_set.fill(false);
-            s.active.clear();
-            s.active
-                .extend(order.iter().filter(|&&k| k != i).take(base_r).copied());
-            for &k in &s.active {
-                s.in_set[k] = true;
-            }
-
-            let outcome = loop {
-                // Re-sync the skeleton when the working set grew (and back
-                // to the shared base shape for the next alternative).
-                if lp.num_constraints() != s.active.len() + 1 {
-                    lp = build_skeleton(polytope, s.active.len());
-                }
-                for (slot, &k) in s.active.iter().enumerate() {
-                    diff_into(&mut s.row, k);
-                    lp.set_constraint(slot + 1, &s.row, Relation::Ge, 0.0);
-                }
-                let sol = lp.solve_with(ws)?;
-                if sol.status != Status::Optimal {
-                    // Impossible by construction (see module docs); treat
-                    // defensively as not potentially optimal.
-                    break (false, f64::NEG_INFINITY);
-                }
-                let t = sol.objective;
-                let w = &sol.x[..n_attr];
-                // Certify against the excluded rivals.
-                s.violated.clear();
-                for (k, lo_k) in lo_rows.iter().enumerate() {
-                    if k == i || s.in_set[k] {
-                        continue;
-                    }
-                    let dot: f64 = hi_i
-                        .iter()
-                        .zip(lo_k)
-                        .zip(w)
-                        .map(|((&hi, &lo), &wj)| (hi - lo) * wj)
-                        .sum();
-                    if dot < t - VIOLATION_EPS {
-                        s.violated.push(k);
-                    }
-                }
-                if s.violated.is_empty() {
-                    break (t >= -1e-9, t);
-                }
-                // Grow the working set monotonically (termination: it can
-                // only grow r_full times) and re-solve.
-                for &k in &s.violated {
-                    s.in_set[k] = true;
-                }
-                s.active.extend(s.violated.iter().copied());
-            };
-
-            Ok(PotentialOutcome {
-                alternative: i,
-                name: names[i].clone(),
-                potentially_optimal: outcome.0,
-                slack: outcome.1,
-            })
-        })
+        .map(|i| inputs.certify_one(i, None, &mut lp, &mut s, ws))
         .collect()
 }
 
@@ -229,6 +361,13 @@ fn solve_range(
 /// breakdown ([`LpError::IterationLimit`]), never on legitimate analysis
 /// outcomes.
 pub fn potentially_optimal_ctx(ctx: &EvalContext) -> Result<Vec<PotentialOutcome>, LpError> {
+    Ok(certify_ctx(ctx)?.into_iter().map(|c| c.outcome).collect())
+}
+
+/// [`potentially_optimal_ctx`] returning the full certificates (optimal
+/// weights + final working set per alternative) that
+/// [`certify_incremental_ctx`] consumes.
+pub fn certify_ctx(ctx: &EvalContext) -> Result<Vec<PotentialCert>, LpError> {
     let polytope = ctx.polytope();
     let names = &ctx.model().alternatives;
     let n = ctx.soa().n_alternatives();
@@ -240,15 +379,17 @@ pub fn potentially_optimal_ctx(ctx: &EvalContext) -> Result<Vec<PotentialOutcome
         // One warm chain over the context's shared workspace — also
         // reused (and warm) across repeated analysis calls.
         let mut ws = ctx.lp_workspace();
-        return solve_range(0..n, polytope, lo_rows, hi_rows, n, names, &mut ws);
+        return certify_range(0..n, polytope, lo_rows, hi_rows, n, names, &mut ws);
     }
 
     // Large models: fan out over scoped workers, one warm chain and one
     // private workspace per worker; fold the pivot counters back into the
-    // context afterwards.
+    // context afterwards. (The per-alternative basis stash stays in each
+    // worker's private workspace and is dropped with it — only inline
+    // passes persist bases into the context.)
     let parts = maut::par::map_ranges(n, 0, PAR_MIN_ALTS, |range| {
         let mut ws = SolverWorkspace::new();
-        let out = solve_range(range, polytope, lo_rows, hi_rows, n, names, &mut ws);
+        let out = certify_range(range, polytope, lo_rows, hi_rows, n, names, &mut ws);
         (out, ws.stats())
     });
     let mut all = Vec::with_capacity(n);
@@ -257,6 +398,63 @@ pub fn potentially_optimal_ctx(ctx: &EvalContext) -> Result<Vec<PotentialOutcome
         all.extend(out?);
     }
     Ok(all)
+}
+
+/// Re-certify potential optimality after band-row edits to the `dirty`
+/// alternatives, reusing `prev` (the last full pass's certificates, in
+/// alternative order) wherever the stored optimum is provably still the
+/// full LP's — see the module docs for the exact keep/re-solve rule.
+/// Verdicts equal a full recompute's; slacks agree to the certification
+/// tolerance. Runs inline on the context's shared workspace so re-solved
+/// alternatives warm-start from their own stashed bases.
+///
+/// # Panics
+///
+/// When `prev` does not cover exactly the context's alternatives.
+pub fn certify_incremental_ctx(
+    ctx: &EvalContext,
+    prev: &[PotentialCert],
+    dirty: &BTreeSet<usize>,
+) -> Result<Vec<PotentialCert>, LpError> {
+    let polytope = ctx.polytope();
+    let names = &ctx.model().alternatives;
+    let n = ctx.soa().n_alternatives();
+    assert_eq!(prev.len(), n, "certificate set does not match the model");
+    let (lo_rows, hi_rows) = ctx.bound_matrices();
+
+    let inputs = CertifyInputs::new(polytope, lo_rows, hi_rows, n, names);
+    let base_r = WORKING_SET.min(n.saturating_sub(1));
+    let mut lp = build_skeleton(polytope, base_r);
+    let mut s = RangeScratch::new(n, polytope.dim());
+    let mut ws = ctx.lp_workspace();
+
+    (0..n)
+        .map(|i| {
+            let cert = &prev[i];
+            let must_resolve = dirty.contains(&i)
+                || cert.weights.is_empty()
+                || cert.working_set.iter().any(|k| dirty.contains(k))
+                || dirty.iter().any(|&d| {
+                    // An edited rival outside the working set: keep the
+                    // certificate only if its new row is still satisfied
+                    // at the stored optimum.
+                    d != i && {
+                        let dot: f64 = hi_rows[i]
+                            .iter()
+                            .zip(&lo_rows[d])
+                            .zip(&cert.weights)
+                            .map(|((&hi, &lo), &wj)| (hi - lo) * wj)
+                            .sum();
+                        dot < cert.outcome.slack - VIOLATION_EPS
+                    }
+                });
+            if must_resolve {
+                inputs.certify_one(i, Some(&cert.working_set), &mut lp, &mut s, &mut ws)
+            } else {
+                Ok(cert.clone())
+            }
+        })
+        .collect()
 }
 
 /// Indices of alternatives that are *not* potentially optimal — the ones
@@ -441,7 +639,7 @@ mod tests {
         assert!(c.lp_stats().solves >= 70, "workers reported their stats");
         let (lo_rows, hi_rows) = c.bound_matrices();
         let mut ws = SolverWorkspace::new();
-        let sequential = solve_range(
+        let sequential = certify_range(
             0..70,
             c.polytope(),
             lo_rows,
@@ -452,8 +650,97 @@ mod tests {
         )
         .unwrap();
         for (a, b) in fanned.iter().zip(&sequential) {
-            assert_eq!(a.potentially_optimal, b.potentially_optimal, "{a:?}");
-            assert!((a.slack - b.slack).abs() < 1e-7);
+            assert_eq!(
+                a.potentially_optimal, b.outcome.potentially_optimal,
+                "{a:?}"
+            );
+            assert!((a.slack - b.outcome.slack).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn certificates_carry_weights_and_working_sets() {
+        let c = EvalContext::new(neon_reuse::paper_model().model).expect("valid");
+        let certs = certify_ctx(&c).unwrap();
+        assert_eq!(certs.len(), 23);
+        for cert in &certs {
+            assert_eq!(cert.weights.len(), c.polytope().dim());
+            assert!(!cert.working_set.is_empty());
+            let unique: BTreeSet<usize> = cert.working_set.iter().copied().collect();
+            assert_eq!(unique.len(), cert.working_set.len(), "no duplicates");
+            assert!(!cert.working_set.contains(&cert.outcome.alternative));
+        }
+        // The per-alternative bases were stashed on the shared workspace.
+        assert!(!c.lp_workspace().basis_cache().is_empty());
+    }
+
+    #[test]
+    fn incremental_recertification_matches_full_pass_after_edits() {
+        let mut c = EvalContext::new(neon_reuse::paper_model().model).expect("valid");
+        let prev = certify_ctx(&c).unwrap();
+
+        // Edit two alternatives' rows (one up, one down).
+        let doc = c.model().find_attribute("doc_quality").expect("exists");
+        c.set_perf(3, doc, Perf::level(3)).expect("valid");
+        c.set_perf(8, doc, Perf::level(0)).expect("valid");
+        let dirty: BTreeSet<usize> = [3, 8].into_iter().collect();
+
+        let incr = certify_incremental_ctx(&c, &prev, &dirty).unwrap();
+        let full = certify_ctx(&EvalContext::new(c.model().clone()).expect("valid")).unwrap();
+        for (a, b) in incr.iter().zip(&full) {
+            assert_eq!(
+                a.outcome.potentially_optimal, b.outcome.potentially_optimal,
+                "{:?} vs {:?}",
+                a.outcome, b.outcome
+            );
+            assert!(
+                (a.outcome.slack - b.outcome.slack).abs() < 1e-7,
+                "{:?} vs {:?}",
+                a.outcome,
+                b.outcome
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_recertification_skips_untouched_alternatives() {
+        let mut c = EvalContext::new(neon_reuse::paper_model().model).expect("valid");
+        let prev = certify_ctx(&c).unwrap();
+        let before = c.lp_stats().solves;
+
+        // A weak alternative's edit should trigger far fewer than 23
+        // re-solves: only itself plus dependents.
+        let doc = c.model().find_attribute("doc_quality").expect("exists");
+        c.set_perf(20, doc, Perf::level(1)).expect("valid");
+        let dirty: BTreeSet<usize> = [20].into_iter().collect();
+        certify_incremental_ctx(&c, &prev, &dirty).unwrap();
+        let resolved = c.lp_stats().solves - before;
+        assert!(
+            (1..23).contains(&resolved),
+            "expected a partial re-solve, got {resolved} LP solves"
+        );
+    }
+
+    #[test]
+    fn recertification_warm_starts_from_the_per_alternative_basis() {
+        // Re-certifying the same alternative repeatedly must warm-start
+        // from its own stashed basis (the incremental what-if pattern).
+        let c = EvalContext::new(neon_reuse::paper_model().model).expect("valid");
+        let prev = certify_ctx(&c).unwrap();
+        let stats_after_full = c.lp_stats();
+        let dirty: BTreeSet<usize> = [5].into_iter().collect();
+        let again = certify_incremental_ctx(&c, &prev, &dirty).unwrap();
+        let stats = c.lp_stats();
+        let new_solves = stats.solves - stats_after_full.solves;
+        let new_warm = stats.warm_solves - stats_after_full.warm_solves;
+        assert!(new_solves >= 1);
+        assert_eq!(
+            new_warm, new_solves,
+            "all re-certification solves should warm-start: {stats:?}"
+        );
+        // And nothing changed, so the verdicts are unchanged too.
+        for (a, b) in again.iter().zip(&prev) {
+            assert_eq!(a.outcome.potentially_optimal, b.outcome.potentially_optimal);
         }
     }
 

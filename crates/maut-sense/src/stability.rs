@@ -102,12 +102,11 @@ fn scores_with_weight(
 
 fn ranking_of(scores: &[f64]) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..scores.len()).collect();
-    idx.sort_by(|&a, &b| {
-        scores[b]
-            .partial_cmp(&scores[a])
-            .expect("finite")
-            .then(a.cmp(&b))
-    });
+    // total_cmp: scores are finite for every valid model, but a NaN that
+    // slips through must not abort the scan — the order stays total and
+    // deterministic (both rankings the criterion compares are produced by
+    // this same function, so any total order is consistent).
+    idx.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
     idx
 }
 

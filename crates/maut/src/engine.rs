@@ -23,6 +23,27 @@
 //! [`crate::evaluate::evaluate_scope`] reference rebuilds everything from
 //! scratch on every call; hold a context anywhere evaluation repeats.
 //!
+//! ## Pair-level dirty tracking for the analyses
+//!
+//! Beyond the per-scope evaluation cache, the context keeps a second,
+//! coarser dirty set for the *pairwise* analyses (dominance intervals,
+//! potential optimality): the set of alternatives whose band rows changed
+//! since the last [`EvalContext::take_analysis_dirty`], plus a flag for
+//! weight-side changes (which invalidate every pair at once, since the
+//! polytope moved). Invariants:
+//!
+//! * every successful [`EvalContext::set_perf`] adds its alternative to
+//!   the set; rejected mutations add nothing;
+//! * every successful [`EvalContext::set_weight`] raises the weight flag
+//!   (and, as before, rebuilds the polytope and invalidates the LP
+//!   workspace's warm bases — including the per-alternative
+//!   [`simplex_lp::BasisCache`], whose stashed bases belonged to the old
+//!   polytope);
+//! * `take_analysis_dirty` drains both atomically, so a consumer that
+//!   updates its cached analysis by exactly the drained delta (the
+//!   `gmaa::AnalysisEngine` incremental discard cycle) stays coherent
+//!   with the context no matter how edits interleave.
+//!
 //! ```
 //! use maut::prelude::*;
 //!
@@ -117,12 +138,24 @@ pub struct EvalContext {
     polytope: WeightPolytope,
     /// Shared LP solver workspace: the potential-optimality loop reuses
     /// its tableau buffers and warm-starts each alternative's LP from the
-    /// previous optimal basis. Behind a mutex because analyses take
+    /// previous optimal basis (and from a per-alternative basis cache on
+    /// re-certification). Behind a mutex because analyses take
     /// `&EvalContext` (and share it across scoped threads); a stale basis
     /// is only ever a performance hint, so no invalidation is needed for
     /// correctness — `set_weight` still clears it since the old optimum
     /// is no longer a useful guess.
     lp_workspace: Mutex<SolverWorkspace>,
+    /// Pair-level invalidation state for the incremental discard cycle:
+    /// alternatives whose band rows changed since the last
+    /// [`EvalContext::take_analysis_dirty`]. Only rows/columns of these
+    /// alternatives in the dominance / intensity matrices — and only
+    /// their (and their dependents') potential-optimality LPs — need
+    /// re-optimizing.
+    analysis_dirty: BTreeSet<usize>,
+    /// Whether the weight side changed since the last take: a new
+    /// polytope invalidates *every* pair, so consumers must fall back to
+    /// a full recompute.
+    weights_dirty: bool,
     stats: EngineStats,
 }
 
@@ -140,7 +173,15 @@ impl Clone for EvalContext {
             subtree_attrs: self.subtree_attrs.clone(),
             eval_cache: self.eval_cache.clone(),
             polytope: self.polytope.clone(),
-            lp_workspace: Mutex::new(self.lp_workspace().clone()),
+            // A fresh workspace, not a copy: the clone's SolveStats must
+            // start at zero (copying would attribute the parent's pivots
+            // to the clone) and the parent's warm bases belong to the
+            // parent's solve history, not the clone's. Warm starting is
+            // only a hint, so the clone merely solves its first chain
+            // cold — results are identical.
+            lp_workspace: Mutex::new(SolverWorkspace::new()),
+            analysis_dirty: self.analysis_dirty.clone(),
+            weights_dirty: self.weights_dirty,
             stats: self.stats,
         }
     }
@@ -189,6 +230,8 @@ impl EvalContext {
             eval_cache: BTreeMap::new(),
             polytope,
             lp_workspace: Mutex::new(SolverWorkspace::new()),
+            analysis_dirty: BTreeSet::new(),
+            weights_dirty: false,
             stats: EngineStats::default(),
         })
     }
@@ -279,6 +322,29 @@ impl EvalContext {
     /// Resolved local weight interval per objective node.
     pub fn local_weights(&self) -> &[Interval] {
         &self.local
+    }
+
+    /// Alternatives whose band rows changed since the last
+    /// [`EvalContext::take_analysis_dirty`] — the pair-level dirty set
+    /// the incremental discard cycle consumes.
+    pub fn analysis_dirty(&self) -> &BTreeSet<usize> {
+        &self.analysis_dirty
+    }
+
+    /// Whether the weight side changed since the last take (incremental
+    /// consumers must fall back to a full recompute when set).
+    pub fn weights_dirty(&self) -> bool {
+        self.weights_dirty
+    }
+
+    /// Drain the pair-level invalidation state: returns the set of
+    /// alternatives with changed band rows and whether the weight side
+    /// changed, resetting both. The caller (typically
+    /// `gmaa::AnalysisEngine`'s incremental cycle) is expected to bring
+    /// its cached analysis up to date with exactly this delta.
+    pub fn take_analysis_dirty(&mut self) -> (BTreeSet<usize>, bool) {
+        let weights = std::mem::take(&mut self.weights_dirty);
+        (std::mem::take(&mut self.analysis_dirty), weights)
     }
 
     /// Attributes in the subtree of `objective` (the subtree index).
@@ -441,6 +507,11 @@ impl EvalContext {
                 dirty.insert(alternative);
             }
         }
+        // Pair-level invalidation for the analyses: every dominance /
+        // intensity pair involving this alternative and its potential-
+        // optimality LP are now stale (the analyses all run at root
+        // scope, which covers every attribute).
+        self.analysis_dirty.insert(alternative);
         Ok(())
     }
 
@@ -475,10 +546,13 @@ impl EvalContext {
         // drop it (a warm attempt against the new bounds would only be a
         // wasted refactorization).
         self.polytope = polytope_of(self.weights());
+        // invalidate() also drops the per-alternative basis cache: every
+        // stashed basis belonged to the old polytope bounds.
         self.lp_workspace
             .get_mut()
             .expect("LP workspace lock poisoned")
             .invalidate();
+        self.weights_dirty = true;
         Ok(())
     }
 }
@@ -713,20 +787,82 @@ mod tests {
     }
 
     #[test]
-    fn lp_workspace_is_shared_and_survives_clone() {
+    fn cloned_context_gets_a_fresh_lp_workspace() {
+        // Regression: a clone must start with zeroed SolveStats and must
+        // not inherit the parent's warm bases — a copied workspace
+        // attributed the parent's pivots to the clone and let the clone
+        // warm-start from solves it never ran.
         use simplex_lp::{LinearProgram, Objective, Relation};
         let ctx = EvalContext::new(model()).unwrap();
         let mut lp = LinearProgram::new(2, Objective::Maximize);
         lp.set_objective(&[1.0, 1.0]);
         lp.add_constraint(&[1.0, 2.0], Relation::Le, 4.0);
         lp.solve_with(&mut ctx.lp_workspace()).unwrap();
+        ctx.lp_workspace().stash_basis(0);
         assert_eq!(ctx.lp_stats().solves, 1);
-        // The clone carries the counters (and its own workspace).
+
         let cloned = ctx.clone();
+        assert_eq!(cloned.lp_stats(), simplex_lp::SolveStats::default());
+        assert!(cloned.lp_workspace().basis_cache().is_empty());
+        // No shared basis either: the clone's first solve runs cold even
+        // though the parent just solved this exact shape.
+        let sol = lp.solve_with(&mut cloned.lp_workspace()).unwrap();
+        assert!(!sol.warm);
         assert_eq!(cloned.lp_stats().solves, 1);
+        // And the workspaces stay independent afterwards.
         lp.solve_with(&mut ctx.lp_workspace()).unwrap();
         assert_eq!(ctx.lp_stats().solves, 2);
         assert_eq!(cloned.lp_stats().solves, 1);
+    }
+
+    #[test]
+    fn set_perf_tracks_the_pair_level_dirty_set() {
+        let mut ctx = EvalContext::new(model()).unwrap();
+        assert!(ctx.analysis_dirty().is_empty());
+        let y = ctx.model().find_attribute("y").unwrap();
+        ctx.set_perf(2, y, Perf::level(2)).unwrap();
+        ctx.set_perf(0, y, Perf::level(0)).unwrap();
+        assert_eq!(
+            ctx.analysis_dirty().iter().copied().collect::<Vec<_>>(),
+            vec![0, 2]
+        );
+        assert!(!ctx.weights_dirty());
+        // A rejected mutation adds nothing.
+        assert!(ctx.set_perf(0, y, Perf::level(9)).is_err());
+        assert_eq!(ctx.analysis_dirty().len(), 2);
+
+        let (dirty, weights) = ctx.take_analysis_dirty();
+        assert_eq!(dirty.len(), 2);
+        assert!(!weights);
+        assert!(ctx.analysis_dirty().is_empty());
+
+        let g = ctx.model().tree.find("g").unwrap();
+        ctx.set_weight(g, Interval::new(0.5, 0.9)).unwrap();
+        assert!(ctx.weights_dirty());
+        let (dirty, weights) = ctx.take_analysis_dirty();
+        assert!(dirty.is_empty());
+        assert!(weights);
+        assert!(!ctx.weights_dirty());
+    }
+
+    #[test]
+    fn set_perf_leaves_unrelated_scope_caches_clean() {
+        // Scope-restricted invalidation: editing an attribute outside a
+        // cached subtree must not dirty that subtree's evaluation — the
+        // next read stays a pure cache hit with zero rows re-scored.
+        let mut ctx = EvalContext::new(model()).unwrap();
+        let g = ctx.model().tree.find("g").unwrap(); // covers x, y only
+        ctx.evaluate_under(g);
+        let z = ctx.model().find_attribute("z").unwrap(); // root-only attr
+        ctx.set_perf(1, z, Perf::value(2.0)).unwrap();
+        let rows_before = ctx.stats().rows_recomputed;
+        let hits_before = ctx.stats().cache_hits;
+        ctx.evaluate_under(g);
+        assert_eq!(ctx.stats().cache_hits, hits_before + 1);
+        assert_eq!(ctx.stats().rows_recomputed, rows_before);
+        // ...and the subtree evaluation still matches a fresh context.
+        let fresh = Arc::new(crate::evaluate::evaluate_scope(&ctx.model().clone(), g));
+        assert_eq!(ctx.evaluate_under(g), fresh);
     }
 
     impl EvalContext {

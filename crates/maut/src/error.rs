@@ -28,6 +28,11 @@ pub enum ModelError {
     },
     /// A utility function does not match its attribute's scale.
     UtilityMismatch { attribute: String, reason: String },
+    /// A numeric model input (continuous-scale bound or utility vertex)
+    /// is NaN or infinite. Caught at construction so the analyses can
+    /// rely on every derived utility being finite — a NaN that slipped
+    /// through would otherwise poison orderings mid-cycle.
+    NonFiniteInput { attribute: String, what: String },
     /// Sibling weight intervals cannot intersect the normalization simplex.
     InfeasibleWeights { objective: String },
     /// An attribute was attached to more than one objective.
@@ -80,6 +85,9 @@ impl fmt::Display for ModelError {
                     f,
                     "utility for '{attribute}' mismatches its scale: {reason}"
                 )
+            }
+            ModelError::NonFiniteInput { attribute, what } => {
+                write!(f, "attribute '{attribute}': non-finite {what}")
             }
             ModelError::InfeasibleWeights { objective } => {
                 write!(f, "weight intervals under '{objective}' cannot sum to 1")

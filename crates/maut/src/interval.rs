@@ -23,6 +23,15 @@ impl Interval {
         (lo.is_finite() && hi.is_finite() && lo <= hi).then_some(Interval { lo, hi })
     }
 
+    /// Test-only escape hatch around the finiteness assert — models what
+    /// the derived `Deserialize` (which writes the private fields
+    /// directly) produces from corrupt data, so validation paths can be
+    /// exercised against non-finite intervals.
+    #[cfg(test)]
+    pub(crate) fn raw_unchecked(lo: f64, hi: f64) -> Interval {
+        Interval { lo, hi }
+    }
+
     /// The degenerate interval `[v, v]`.
     pub fn point(v: f64) -> Interval {
         Interval::new(v, v)

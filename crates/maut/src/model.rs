@@ -234,6 +234,58 @@ impl DecisionModel {
             )));
         }
 
+        // Numeric inputs finite. The public constructors assert this, but
+        // the raw fields are public (and serde-deserializable): a NaN
+        // scale bound or utility vertex that slipped in here would poison
+        // every downstream ordering, so construction is where it is
+        // rejected.
+        for a in &self.attributes {
+            if let Scale::Continuous(c) = &a.scale {
+                if !c.min.is_finite() || !c.max.is_finite() || c.min >= c.max {
+                    return Err(ModelError::NonFiniteInput {
+                        attribute: a.key.clone(),
+                        what: format!("or empty scale range [{}, {}]", c.min, c.max),
+                    });
+                }
+            }
+        }
+        for (a, u) in self.attributes.iter().zip(&self.utilities) {
+            let bands: &[Interval] = match u {
+                UtilityFunction::Discrete(d) => &d.per_level,
+                UtilityFunction::PiecewiseLinear(p) => {
+                    if let Some(x) = p.xs.iter().find(|x| !x.is_finite()) {
+                        return Err(ModelError::NonFiniteInput {
+                            attribute: a.key.clone(),
+                            what: format!("utility vertex x-coordinate {x}"),
+                        });
+                    }
+                    &p.us
+                }
+            };
+            // Interval's constructors assert finiteness, but its derived
+            // Deserialize writes the private fields directly — a NaN band
+            // from serialized data must be caught here.
+            if let Some(b) = bands
+                .iter()
+                .find(|b| !b.lo().is_finite() || !b.hi().is_finite())
+            {
+                return Err(ModelError::NonFiniteInput {
+                    attribute: a.key.clone(),
+                    what: format!("utility band [{}, {}]", b.lo(), b.hi()),
+                });
+            }
+        }
+        for (k, w) in self.local_weights.iter().enumerate() {
+            if let Some(w) = w {
+                if !w.lo().is_finite() || !w.hi().is_finite() {
+                    return Err(ModelError::NonFiniteInput {
+                        attribute: self.tree.get(ObjectiveId::from_index(k)).key.clone(),
+                        what: format!("local weight interval [{}, {}]", w.lo(), w.hi()),
+                    });
+                }
+            }
+        }
+
         // Utilities match scales.
         for (j, (a, u)) in self.attributes.iter().zip(&self.utilities).enumerate() {
             u.check_against(&a.scale)
@@ -334,6 +386,51 @@ mod tests {
         assert!(matches!(
             m.validate(),
             Err(ModelError::UtilityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_non_finite_numeric_inputs() {
+        // The raw fields are public, so NaN can bypass the constructor
+        // asserts; validation is the construction-time backstop.
+        let mut m = tiny_model();
+        let y = m.find_attribute("y").unwrap();
+        if let Scale::Continuous(c) = &mut m.attributes[y.index()].scale {
+            c.max = f64::NAN;
+        }
+        assert!(matches!(
+            m.validate(),
+            Err(ModelError::NonFiniteInput { .. })
+        ));
+
+        let mut m = tiny_model();
+        if let UtilityFunction::PiecewiseLinear(p) = &mut m.utilities[y.index()] {
+            p.xs[1] = f64::INFINITY;
+        }
+        assert!(matches!(
+            m.validate(),
+            Err(ModelError::NonFiniteInput { .. })
+        ));
+
+        // Interval's derived Deserialize writes the private fields
+        // directly, so NaN bands and weight intervals can exist despite
+        // the constructor asserts.
+        let nan_interval = Interval::raw_unchecked(f64::NAN, 1.0);
+        let mut m = tiny_model();
+        let x = m.find_attribute("x").unwrap();
+        if let UtilityFunction::Discrete(d) = &mut m.utilities[x.index()] {
+            d.per_level[0] = nan_interval;
+        }
+        assert!(matches!(
+            m.validate(),
+            Err(ModelError::NonFiniteInput { .. })
+        ));
+
+        let mut m = tiny_model();
+        m.local_weights[1] = Some(nan_interval);
+        assert!(matches!(
+            m.validate(),
+            Err(ModelError::NonFiniteInput { .. })
         ));
     }
 

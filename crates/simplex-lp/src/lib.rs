@@ -89,7 +89,7 @@ pub use error::LpError;
 pub use polytope::{minimize_via_lp, GreedyScratch, WeightPolytope};
 pub use problem::{Bound, Constraint, LinearProgram, Objective, Relation};
 pub use solver::{Solution, Status};
-pub use workspace::{SolveStats, SolverWorkspace};
+pub use workspace::{BasisCache, SolveStats, SolverWorkspace};
 
 /// Numerical tolerance used throughout the solver for feasibility and
 /// optimality tests. Problems in this workspace are small (tens of

@@ -748,6 +748,27 @@ mod tests {
     }
 
     #[test]
+    fn restored_per_key_basis_warm_starts_its_own_member() {
+        // Two same-shape family members solved and stashed under their own
+        // keys; revisiting a member restores *its* basis (not whatever
+        // solved last) and warm-starts with the same optimum as cold.
+        let mut ws = SolverWorkspace::new();
+        let a = max_slack_lp(8, 0.0);
+        let b = max_slack_lp(8, 0.3);
+        a.solve_with(&mut ws).unwrap();
+        ws.stash_basis(0);
+        b.solve_with(&mut ws).unwrap();
+        ws.stash_basis(1);
+
+        assert!(ws.restore_basis(0));
+        let again = a.solve_with(&mut ws).unwrap();
+        assert!(again.warm, "a's own basis should warm-start a");
+        assert_close(again.objective, a.solve().unwrap().objective);
+        // The stash from before is untouched by the intervening solves.
+        assert!(ws.basis_cache().contains(1));
+    }
+
+    #[test]
     fn invalidate_forces_cold_solve() {
         let mut ws = SolverWorkspace::new();
         let lp = max_slack_lp(6, 0.0);

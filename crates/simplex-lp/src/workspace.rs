@@ -10,6 +10,7 @@
 //! warm-start contract.
 
 use crate::tableau::Tableau;
+use std::collections::BTreeMap;
 
 /// How a user variable maps into the non-negative internal space.
 #[derive(Debug, Clone, Copy)]
@@ -75,6 +76,49 @@ impl SolveStats {
     }
 }
 
+/// A persisted pool of warm-start bases keyed by an arbitrary caller id
+/// (the potential-optimality loop keys by alternative index).
+///
+/// The plain chained warm start always restarts from *whatever solved
+/// last*; when a caller revisits the same family member repeatedly — the
+/// incremental what-if loop re-certifies one alternative after every
+/// edit — the best starting point is that member's *own* last optimal
+/// basis. [`SolverWorkspace::stash_basis`] snapshots the active saved
+/// basis under a key and [`SolverWorkspace::restore_basis`] installs it
+/// back as the active warm-start candidate. A restored basis is still
+/// only a hint: shape mismatches, singularity and infeasibility all fall
+/// back to the cold path exactly as for the chained basis, so the cache
+/// can never change results.
+///
+/// Invariants: entries survive [`SolverWorkspace::save_basis`] (only an
+/// explicit stash overwrites a key) and the whole cache is dropped by
+/// [`SolverWorkspace::invalidate`] — after a structural change (a new
+/// weight polytope) every stored basis is a stale guess not worth a
+/// refactorization attempt.
+#[derive(Debug, Clone, Default)]
+pub struct BasisCache {
+    /// Key → (basis column set, standard-form shape it belongs to).
+    entries: BTreeMap<usize, (Vec<usize>, (usize, usize))>,
+}
+
+impl BasisCache {
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    pub fn contains(&self, key: usize) -> bool {
+        self.entries.contains_key(&key)
+    }
+}
+
 /// Reusable buffers + warm-start state for
 /// [`crate::LinearProgram::solve_with`].
 ///
@@ -110,6 +154,8 @@ pub struct SolverWorkspace {
     /// `(rows, structural columns)` shape it belongs to.
     pub(crate) saved_basis: Vec<usize>,
     pub(crate) saved_shape: Option<(usize, usize)>,
+    /// Per-key snapshots of optimal bases (see [`BasisCache`]).
+    basis_cache: BasisCache,
     /// Scratch: rows still basic in an artificial column after phase 1.
     pub(crate) drop_rows: Vec<usize>,
     /// Scratch: rows already claimed during warm-start refactorization.
@@ -142,13 +188,46 @@ impl SolverWorkspace {
         self.stats.merge(other);
     }
 
-    /// Forget the saved basis: the next solve runs cold. Call after a
-    /// structural change that makes the old basis a useless guess (the
-    /// solver would detect and recover anyway — this just skips the
-    /// refactorization attempt).
+    /// Forget the saved basis *and* every stashed per-key basis: the next
+    /// solve runs cold. Call after a structural change that makes the old
+    /// bases useless guesses (the solver would detect and recover anyway —
+    /// this just skips the refactorization attempts).
     pub fn invalidate(&mut self) {
         self.saved_shape = None;
         self.saved_basis.clear();
+        self.basis_cache.clear();
+    }
+
+    /// Snapshot the active saved basis (the last optimal solve's) into the
+    /// per-key cache under `key`, overwriting any previous stash. No-op
+    /// when no basis is saved.
+    pub fn stash_basis(&mut self, key: usize) {
+        if let Some(shape) = self.saved_shape {
+            self.basis_cache
+                .entries
+                .insert(key, (self.saved_basis.clone(), shape));
+        }
+    }
+
+    /// Install the basis stashed under `key` as the active warm-start
+    /// candidate for the next solve. Returns whether an entry existed;
+    /// when it does not, the currently saved basis (the chained one) is
+    /// left in place.
+    pub fn restore_basis(&mut self, key: usize) -> bool {
+        match self.basis_cache.entries.get(&key) {
+            Some((basis, shape)) => {
+                self.saved_basis.clear();
+                self.saved_basis.extend_from_slice(basis);
+                self.saved_shape = Some(*shape);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The per-key warm-basis cache (read-only view).
+    pub fn basis_cache(&self) -> &BasisCache {
+        &self.basis_cache
     }
 
     /// Whether a warm-start basis is available for the given shape.
@@ -215,5 +294,45 @@ mod tests {
         assert!(ws.has_saved(2, 4));
         ws.invalidate();
         assert!(!ws.has_saved(2, 4));
+    }
+
+    #[test]
+    fn stash_and_restore_round_trip_a_basis() {
+        let mut ws = SolverWorkspace::new();
+        ws.saved_basis = vec![3, 1];
+        ws.saved_shape = Some((2, 4));
+        ws.stash_basis(7);
+        assert!(ws.basis_cache().contains(7));
+        assert_eq!(ws.basis_cache().len(), 1);
+
+        // Another solve overwrites the active slot...
+        ws.saved_basis = vec![5, 0];
+        ws.saved_shape = Some((2, 6));
+        // ...but restoring brings back the stashed basis verbatim.
+        assert!(ws.restore_basis(7));
+        assert_eq!(ws.saved_basis, vec![3, 1]);
+        assert!(ws.has_saved(2, 4));
+        // A miss leaves the active slot untouched.
+        assert!(!ws.restore_basis(99));
+        assert_eq!(ws.saved_basis, vec![3, 1]);
+    }
+
+    #[test]
+    fn stash_without_a_saved_basis_is_a_no_op() {
+        let mut ws = SolverWorkspace::new();
+        ws.stash_basis(1);
+        assert!(ws.basis_cache().is_empty());
+    }
+
+    #[test]
+    fn invalidate_drops_the_basis_cache() {
+        let mut ws = SolverWorkspace::new();
+        ws.saved_basis = vec![0];
+        ws.saved_shape = Some((1, 2));
+        ws.stash_basis(0);
+        ws.invalidate();
+        assert!(ws.basis_cache().is_empty());
+        assert!(!ws.restore_basis(0));
+        assert!(!ws.has_saved(1, 2));
     }
 }

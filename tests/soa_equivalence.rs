@@ -16,13 +16,20 @@
 //!   columnar kernels under test);
 //! * the warm-started LP path: `solve_with` over a shared
 //!   `SolverWorkspace` vs a fresh cold `solve` per program, across random
-//!   LP families and the potential-optimality skeleton.
+//!   LP families and the potential-optimality skeleton;
+//! * the incremental what-if loop: random `set_perf` / `set_weight` edit
+//!   sequences against one `AnalysisEngine`, with
+//!   `discard_cycle_incremental` / `analyze_incremental` (pair-level
+//!   interval updates, selective re-certification, per-alternative warm
+//!   bases) compared after every edit against a cold engine's full
+//!   recompute on the mutated model.
 //!
 //! All comparisons hold to `ORDERING_EPS`; in practice the pipelines agree
 //! bit-for-bit because every kernel accumulates in the same index order.
-//! The default suite runs 64 random cases; the `#[ignore]`d suite (run in
-//! CI via `cargo test -- --include-ignored`) covers 256 plus the LP-heavy
-//! potential-optimality sweep and the long warm-start differential.
+//! The default suite runs 64 random cases; the `#[ignore]`d suites (run in
+//! CI via `cargo test -- --include-ignored`) cover 256 plus the LP-heavy
+//! potential-optimality sweep, the long warm-start differential, and the
+//! long edit-sequence histories.
 
 use maut::prelude::*;
 use maut_sense::{dominance, intensity, potential, DominanceOutcome, MonteCarlo, MonteCarloConfig};
@@ -418,6 +425,126 @@ fn check_warm_start_skeleton(seed: u64) -> usize {
         );
     }
     ws.stats().warm_solves
+}
+
+/// One random edit applied to an engine and its description: `set_perf`
+/// with a scale-valid performance most of the time, `set_weight` with a
+/// (possibly infeasible — then skipped) sibling interval occasionally.
+fn apply_random_edit(rng: &mut StdRng, engine: &mut gmaa::AnalysisEngine) {
+    let n_alts = engine.model().num_alternatives();
+    let n_attrs = engine.model().num_attributes();
+    if rng.random_range(0..4) < 3 {
+        let alt = rng.random_range(0..n_alts);
+        let j = rng.random_range(0..n_attrs);
+        let attr = AttributeId::from_index(j);
+        let perf = match &engine.model().attributes[j].scale {
+            Scale::Discrete(s) => Perf::level(rng.random_range(0..s.len())),
+            Scale::Continuous(c) => Perf::value(rng.random_range(c.min..=c.max)),
+        };
+        engine.set_perf(alt, attr, perf).expect("scale-valid edit");
+    } else {
+        let tree = &engine.model().tree;
+        let non_root: Vec<_> = tree
+            .descendants(tree.root())
+            .into_iter()
+            .filter(|&o| o != tree.root())
+            .collect();
+        if non_root.is_empty() {
+            return;
+        }
+        let objective = non_root[rng.random_range(0..non_root.len())];
+        let mid: f64 = rng.random_range(0.1..0.6);
+        let d: f64 = rng.random_range(0.05..0.3);
+        // Infeasible sibling combinations are legitimately rejected and
+        // must leave the engine state (and its caches) untouched.
+        let _ = engine.set_weight(
+            objective,
+            Interval::new(mid - d.min(mid), (mid + d).min(1.0)),
+        );
+    }
+}
+
+/// One edit-sequence differential case: `edits` random `set_perf` /
+/// `set_weight` edits against one engine, asserting after every edit that
+/// the incremental discard cycle (pair-level interval update + selective
+/// LP re-certification + per-alternative warm bases) equals a cold
+/// engine's full recompute on the mutated model — dominance verdicts and
+/// intensity ranking bit-for-bit, potential-optimality verdicts exactly,
+/// slacks to the certification tolerance. Every `check_every` edits (and
+/// once at the end) the full `analyze_incremental()` bundle is compared
+/// against a cold `analyze()` too.
+fn check_edit_sequence_case(seed: u64, edits: usize, check_every: usize) {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xED17);
+    let model = random_model(seed, 14, 8);
+    let mut engine = gmaa::AnalysisEngine::new(model).expect("valid");
+    engine.mc_trials = 60;
+    engine.stability_resolution = 12;
+    // Prime the incremental cache mid-history (not at a clean start) for
+    // odd seeds, so both "cache exists" and "no cache yet" first-calls run.
+    if seed % 2 == 1 {
+        engine.discard_cycle_incremental().expect("solver healthy");
+    }
+
+    for step in 0..edits {
+        apply_random_edit(&mut rng, &mut engine);
+        let incr = engine.discard_cycle_incremental().expect("solver healthy");
+
+        let cold_engine = gmaa::AnalysisEngine::new(engine.model().clone()).expect("valid");
+        let full = cold_engine.discard_cycle().expect("solver healthy");
+        assert_eq!(
+            incr.non_dominated, full.non_dominated,
+            "dominance, seed {seed} step {step}"
+        );
+        assert_eq!(
+            incr.intensity, full.intensity,
+            "intensity ranking, seed {seed} step {step}"
+        );
+        assert_eq!(incr.potential.len(), full.potential.len());
+        for (a, b) in incr.potential.iter().zip(&full.potential) {
+            assert_eq!(
+                a.potentially_optimal, b.potentially_optimal,
+                "potential set, seed {seed} step {step}: {a:?} vs {b:?}"
+            );
+            assert!(
+                (a.slack - b.slack).abs() <= 1e-7,
+                "slack, seed {seed} step {step}: {a:?} vs {b:?}"
+            );
+        }
+
+        if (step + 1) % check_every == 0 || step + 1 == edits {
+            let analysis = engine.analyze_incremental().expect("solver healthy");
+            let mut cold = gmaa::AnalysisEngine::new(engine.model().clone()).expect("valid");
+            cold.mc_trials = engine.mc_trials;
+            cold.stability_resolution = engine.stability_resolution;
+            let reference = cold.analyze().expect("solver healthy");
+            assert_eq!(
+                analysis.evaluation, reference.evaluation,
+                "evaluation, seed {seed} step {step}"
+            );
+            assert_eq!(analysis.non_dominated, reference.non_dominated);
+            assert_eq!(analysis.intensity, reference.intensity);
+            assert_eq!(
+                analysis.monte_carlo.rank_counts(),
+                reference.monte_carlo.rank_counts(),
+                "monte carlo, seed {seed} step {step}"
+            );
+        }
+    }
+}
+
+#[test]
+fn edit_sequence_differential_16_models() {
+    for seed in 0..16 {
+        check_edit_sequence_case(seed, 6, 3);
+    }
+}
+
+#[test]
+#[ignore = "slow edit-sequence differential; CI runs it via --include-ignored"]
+fn edit_sequence_differential_64_models_long_histories() {
+    for seed in 0..64 {
+        check_edit_sequence_case(seed, 14, 7);
+    }
 }
 
 #[test]
