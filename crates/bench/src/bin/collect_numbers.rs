@@ -23,7 +23,12 @@
 //!   edit followed by `discard_cycle_incremental` (touched rows/columns
 //!   re-swept, touched alternatives + dependents re-certified from their
 //!   per-alternative warm bases) against the full blocked cycle, after
-//!   asserting both produce the same verdicts.
+//!   asserting both produce the same verdicts;
+//! * **serving** — the `gmaa-serve` session service under a multi-tenant
+//!   mixed workload (80% `set_perf` + `Analyze`, 20% `MonteCarlo`, bursty
+//!   per-tenant access), 1 shard vs 4 shards at the same per-shard
+//!   session cap, with the incremental-cycle hit rate and
+//!   eviction/rehydration counts.
 //!
 //! Results are printed and written to `BENCH_engine.json` in the current
 //! directory, seeding the repo's performance trajectory.
@@ -131,7 +136,7 @@ fn reference_discard_cycle(ctx: &EvalContext) -> (Vec<usize>, usize, Vec<f64>) {
     (non_dominated, optimal_count, intensities)
 }
 
-fn engine_bench() -> String {
+fn engine_bench(serving: &str) -> String {
     let model = bench::paper();
     let financ = model.find_attribute("financ_cost").expect("exists");
 
@@ -261,7 +266,7 @@ fn engine_bench() -> String {
 
     let stats = ctx.stats();
     format!(
-        "{{\n  \"model\": \"paper 23x14\",\n  \"cold_evaluate_ns\": {cold_eval_ns:.0},\n  \"context_evaluate_ns\": {ctx_eval_ns:.0},\n  \"incremental_set_perf_evaluate_ns\": {incr_eval_ns:.0},\n  \"speedup_context_vs_cold\": {:.2},\n  \"speedup_incremental_vs_cold\": {:.2},\n  \"analyze_full_cycle_ns\": {engine_analyze_ns:.0},\n  \"analysis_cycle\": {{\n    \"reference_per_pair_cold_lp_ns\": {cycle_reference_ns:.0},\n    \"blocked_warm_start_ns\": {cycle_optimized_ns:.0},\n    \"speedup\": {:.2},\n    \"lp_solves\": {},\n    \"lp_warm_started\": {},\n    \"lp_pivots_total\": {},\n    \"pivots_per_cold_lp\": {:.2},\n    \"pivots_per_warm_lp\": {:.2}\n  }},\n  \"incremental_whatif\": {{\n    \"full_discard_cycle_ns\": {cycle_optimized_ns:.0},\n    \"incremental_set_perf_discard_cycle_ns\": {incr_cycle_ns:.0},\n    \"speedup_incremental_vs_full\": {:.2},\n    \"lp_recertified_per_edit\": {recertified_per_edit:.2},\n    \"frontrunner_edit_ns\": {incr_front_ns:.0},\n    \"frontrunner_speedup_vs_full\": {:.2},\n    \"frontrunner_lp_recertified\": {recertified_front:.2}\n  }},\n  \"montecarlo_10k_trials\": {{\n    \"scalar_ns\": {mc_scalar_ns:.0},\n    \"soa_batch_ns\": {mc_soa_ns:.0},\n    \"soa_parallel_ns\": {mc_par_ns:.0},\n    \"speedup_soa_batch_vs_scalar\": {:.2},\n    \"speedup_soa_parallel_vs_scalar\": {:.2}\n  }},\n  \"context_stats\": {{\n    \"cold_evaluations\": {},\n    \"incremental_refreshes\": {},\n    \"cache_hits\": {},\n    \"rows_recomputed\": {}\n  }}\n}}\n",
+        "{{\n  \"model\": \"paper 23x14\",\n  \"cold_evaluate_ns\": {cold_eval_ns:.0},\n  \"context_evaluate_ns\": {ctx_eval_ns:.0},\n  \"incremental_set_perf_evaluate_ns\": {incr_eval_ns:.0},\n  \"speedup_context_vs_cold\": {:.2},\n  \"speedup_incremental_vs_cold\": {:.2},\n  \"analyze_full_cycle_ns\": {engine_analyze_ns:.0},\n  \"analysis_cycle\": {{\n    \"reference_per_pair_cold_lp_ns\": {cycle_reference_ns:.0},\n    \"blocked_warm_start_ns\": {cycle_optimized_ns:.0},\n    \"speedup\": {:.2},\n    \"lp_solves\": {},\n    \"lp_warm_started\": {},\n    \"lp_pivots_total\": {},\n    \"pivots_per_cold_lp\": {:.2},\n    \"pivots_per_warm_lp\": {:.2}\n  }},\n  \"incremental_whatif\": {{\n    \"full_discard_cycle_ns\": {cycle_optimized_ns:.0},\n    \"incremental_set_perf_discard_cycle_ns\": {incr_cycle_ns:.0},\n    \"speedup_incremental_vs_full\": {:.2},\n    \"lp_recertified_per_edit\": {recertified_per_edit:.2},\n    \"frontrunner_edit_ns\": {incr_front_ns:.0},\n    \"frontrunner_speedup_vs_full\": {:.2},\n    \"frontrunner_lp_recertified\": {recertified_front:.2}\n  }},\n  \"montecarlo_10k_trials\": {{\n    \"scalar_ns\": {mc_scalar_ns:.0},\n    \"soa_batch_ns\": {mc_soa_ns:.0},\n    \"soa_parallel_ns\": {mc_par_ns:.0},\n    \"speedup_soa_batch_vs_scalar\": {:.2},\n    \"speedup_soa_parallel_vs_scalar\": {:.2}\n  }},\n  \"context_stats\": {{\n    \"cold_evaluations\": {},\n    \"incremental_refreshes\": {},\n    \"cache_hits\": {},\n    \"rows_recomputed\": {}\n  }},\n{serving}\n}}\n",
         cold_eval_ns / ctx_eval_ns,
         cold_eval_ns / incr_eval_ns,
         cycle_reference_ns / cycle_optimized_ns,
@@ -278,6 +283,124 @@ fn engine_bench() -> String {
         stats.incremental_refreshes,
         stats.cache_hits,
         stats.rows_recomputed,
+    )
+}
+
+/// One serving-workload run: `sessions` tenants (each its own copy of the
+/// 23 × 14 study) over `shards` worker threads with `cap` resident
+/// sessions per shard. Tenants are visited in bursts (5 requests per
+/// visit, like an analyst's interactive spurt), each round's requests
+/// submitted pipelined so several shards stay busy at once. Returns
+/// requests/sec and the final serving counters.
+fn drive_serving(
+    shards: usize,
+    cap: usize,
+    sessions: usize,
+    rounds: usize,
+) -> (f64, gmaa_serve::ServeStats) {
+    use gmaa_serve::{Request, ServeConfig, SessionConfig, SessionManager};
+
+    let model = bench::paper();
+    let doc = model.find_attribute("doc_quality").expect("exists");
+    let manager = SessionManager::new(ServeConfig {
+        shards,
+        max_sessions_per_shard: cap,
+        session: SessionConfig {
+            mc_trials: 300,
+            stability_resolution: 40,
+            ..SessionConfig::default()
+        },
+    });
+    for s in 0..sessions {
+        manager
+            .request(Request::CreateSession {
+                session: format!("tenant-{s}"),
+                model: model.clone(),
+            })
+            .expect("create");
+    }
+
+    // Deterministic op mix (LCG): 4 of 5 burst slots are a what-if edit
+    // followed by the full incremental analysis; the fifth is a 1000-trial
+    // Monte Carlo probe.
+    let mut rng_state = 0x9e37_79b9_u64;
+    let mut lcg = move || {
+        rng_state = rng_state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (rng_state >> 33) as usize
+    };
+    let mut requests = 0u64;
+    let start = Instant::now();
+    for _round in 0..rounds {
+        let mut pending = Vec::new();
+        for s in 0..sessions {
+            let tenant = format!("tenant-{s}");
+            for _slot in 0..5 {
+                let r = lcg();
+                if r % 5 < 4 {
+                    pending.push(manager.submit(Request::SetPerf {
+                        session: tenant.clone(),
+                        alternative: r % 23,
+                        attr: doc,
+                        perf: maut::Perf::level(r % 4),
+                    }));
+                    pending.push(manager.submit(Request::Analyze {
+                        session: tenant.clone(),
+                    }));
+                    requests += 2;
+                } else {
+                    pending.push(manager.submit(Request::MonteCarlo {
+                        session: tenant.clone(),
+                        trials: 1_000,
+                    }));
+                    requests += 1;
+                }
+            }
+        }
+        for p in pending {
+            p.wait().expect("request succeeds");
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    (requests as f64 / elapsed, manager.stats())
+}
+
+/// The `serving` section: same 12-tenant workload and per-shard cap, 1
+/// shard vs 4 shards. With one shard the 12 tenants overflow the
+/// 8-session residency cap, so the LRU churns (each rehydration pays a
+/// serde round trip and a cold first cycle); four shards hold every
+/// tenant resident — and on multi-core hardware additionally process
+/// tenants in parallel (this box is single-core, so the ratio here is
+/// pure residency effect).
+fn serving_bench() -> String {
+    const SESSIONS: usize = 12;
+    const CAP: usize = 8;
+    const ROUNDS: usize = 4;
+    // Warmup pass per configuration (JIT-free, but pages/allocator warm),
+    // then the measured pass on a fresh manager.
+    drive_serving(1, CAP, SESSIONS, 1);
+    let (one_rps, one_stats) = drive_serving(1, CAP, SESSIONS, ROUNDS);
+    drive_serving(4, CAP, SESSIONS, 1);
+    let (four_rps, four_stats) = drive_serving(4, CAP, SESSIONS, ROUNDS);
+
+    let one = one_stats.aggregate();
+    let four = four_stats.aggregate();
+    let hit = |s: &gmaa_serve::ShardStats| s.cycles.hit_rate().unwrap_or(0.0);
+    format!(
+        "  \"serving\": {{\n    \"model\": \"paper 23x14 per tenant\",\n    \"workload\": \"80% set_perf+analyze / 20% monte_carlo(1000), {SESSIONS} tenants, 5-request bursts, {ROUNDS} rounds\",\n    \"per_shard_session_cap\": {CAP},\n    \"one_shard\": {{\n      \"requests_per_sec\": {one_rps:.0},\n      \"incremental_cycles\": {},\n      \"full_cycles\": {},\n      \"incremental_hit_rate\": {:.3},\n      \"evictions\": {},\n      \"rehydrations\": {}\n    }},\n    \"four_shard\": {{\n      \"requests_per_sec\": {four_rps:.0},\n      \"incremental_cycles\": {},\n      \"full_cycles\": {},\n      \"incremental_hit_rate\": {:.3},\n      \"evictions\": {},\n      \"rehydrations\": {}\n    }},\n    \"shard_throughput_ratio\": {:.2},\n    \"lp_warm_share_four_shard\": {:.3}\n  }}",
+        one.cycles.incremental,
+        one.cycles.full,
+        hit(&one),
+        one.evictions,
+        one.rehydrations,
+        four.cycles.incremental,
+        four.cycles.full,
+        hit(&four),
+        four.evictions,
+        four.rehydrations,
+        four_rps / one_rps,
+        four.lp.warm_solves as f64 / four.lp.solves.max(1) as f64,
     )
 }
 
@@ -340,7 +463,8 @@ fn main() {
     println!("non-dominated: {}/23", nd.len());
 
     // engine performance comparison -> BENCH_engine.json
-    let json = engine_bench();
+    let serving = serving_bench();
+    let json = engine_bench(&serving);
     print!("\nengine bench:\n{json}");
     std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
     println!("wrote BENCH_engine.json");

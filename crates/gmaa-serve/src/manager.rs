@@ -1,0 +1,270 @@
+//! The [`SessionManager`]: shard spawning, deterministic routing, and the
+//! synchronous / pipelined client API.
+
+use crate::protocol::{Request, Response, ServeError, SessionConfig};
+use crate::shard::{Command, Shard};
+use crate::stats::{ServeStats, ShardStats};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+
+/// Service-level settings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Worker threads / shards. Each shard exclusively owns the sessions
+    /// that hash to it.
+    pub shards: usize,
+    /// Live sessions a shard keeps resident before hibernating its
+    /// least-recently-used one. Total resident capacity is
+    /// `shards × max_sessions_per_shard`.
+    pub max_sessions_per_shard: usize,
+    /// Settings applied to every created session.
+    pub session: SessionConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            shards: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            max_sessions_per_shard: 64,
+            session: SessionConfig::default(),
+        }
+    }
+}
+
+/// FNV-1a, the stable hash behind shard routing: the same session name
+/// maps to the same shard in every process, on every platform, forever —
+/// a prerequisite for routing decisions that outlive one manager (e.g.
+/// snapshot stores partitioned by shard).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A reply that has been routed but not yet waited on — the pipelining
+/// handle: submit a batch of requests to several shards, then collect.
+#[derive(Debug)]
+pub struct Pending {
+    rx: Receiver<Result<Response, ServeError>>,
+}
+
+impl Pending {
+    /// Block until the owning shard worker replies.
+    pub fn wait(self) -> Result<Response, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::ShardDown))
+    }
+}
+
+/// The multi-tenant session service over [`gmaa::AnalysisEngine`].
+///
+/// `hash(session) → shard` picks one of N worker threads; that worker
+/// exclusively owns every session routed to it (no engine is ever shared
+/// across threads, so there is no locking anywhere in the serving path).
+/// Each shard keeps up to a configured number of sessions resident and
+/// transparently hibernates/rehydrates the rest through serde snapshots.
+///
+/// ```
+/// use gmaa_serve::{Request, Response, ServeConfig, SessionConfig, SessionManager};
+/// use maut::prelude::*;
+///
+/// // A tiny two-attribute model for one tenant.
+/// let mut b = DecisionModelBuilder::new("laptops");
+/// let price = b.continuous_attribute("price", "Price", 500.0, 2000.0, Direction::Decreasing);
+/// let battery = b.discrete_attribute("battery", "Battery", &["poor", "ok", "great"]);
+/// b.attach_attributes_to_root(&[
+///     (price, Interval::new(0.4, 0.6)),
+///     (battery, Interval::new(0.4, 0.6)),
+/// ]);
+/// b.alternative("A", vec![Perf::value(900.0), Perf::level(2)]);
+/// b.alternative("B", vec![Perf::value(1500.0), Perf::level(1)]);
+/// b.alternative("C", vec![Perf::value(1100.0), Perf::Missing]);
+/// let model = b.build().unwrap();
+/// let price = model.find_attribute("price").unwrap();
+///
+/// let manager = SessionManager::new(ServeConfig {
+///     shards: 2,
+///     session: SessionConfig { mc_trials: 200, ..SessionConfig::default() },
+///     ..ServeConfig::default()
+/// });
+/// manager
+///     .request(Request::CreateSession { session: "alice".into(), model })
+///     .unwrap();
+///
+/// // What-if loop: edit one cell, re-run the discard cycle. After the
+/// // first (full) cycle, post-edit cycles are served incrementally.
+/// manager
+///     .request(Request::DiscardCycle { session: "alice".into() })
+///     .unwrap();
+/// manager
+///     .request(Request::SetPerf {
+///         session: "alice".into(),
+///         alternative: 1,
+///         attr: price,
+///         perf: Perf::value(700.0),
+///     })
+///     .unwrap();
+/// match manager.request(Request::DiscardCycle { session: "alice".into() }).unwrap() {
+///     Response::Cycle(cycle) => assert!(!cycle.non_dominated.is_empty()),
+///     other => panic!("expected a cycle, got {other:?}"),
+/// }
+/// let stats = manager.stats();
+/// assert_eq!(stats.aggregate().cycles.incremental, 1);
+/// assert_eq!(stats.incremental_hit_rate(), Some(0.5));
+/// ```
+#[derive(Debug)]
+pub struct SessionManager {
+    senders: Vec<Sender<Command>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl SessionManager {
+    /// Spawn the shard workers. `config.shards == 0` is treated as 1.
+    pub fn new(config: ServeConfig) -> SessionManager {
+        let shards = config.shards.max(1);
+        let mut senders = Vec::with_capacity(shards);
+        let mut workers = Vec::with_capacity(shards);
+        for index in 0..shards {
+            let (tx, rx) = channel();
+            let shard = Shard::new(index, config.max_sessions_per_shard, config.session);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("gmaa-serve-shard-{index}"))
+                    .spawn(move || shard.run(rx))
+                    .expect("spawn shard worker"),
+            );
+            senders.push(tx);
+        }
+        SessionManager { senders, workers }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// The shard that owns `session`: `fnv1a(session) % shards`.
+    /// Deterministic and stable across processes and platforms.
+    pub fn shard_of(&self, session: &str) -> usize {
+        (fnv1a(session.as_bytes()) % self.senders.len() as u64) as usize
+    }
+
+    /// Route `request` to its session's shard without waiting for the
+    /// reply — the building block for pipelined clients that keep many
+    /// shards busy at once. The returned [`Pending`] resolves to the
+    /// shard's reply.
+    pub fn submit(&self, request: Request) -> Pending {
+        let shard = self.shard_of(request.session());
+        let (tx, rx) = channel();
+        if self.senders[shard]
+            .send(Command::Api {
+                request: Box::new(request),
+                reply: tx.clone(),
+            })
+            .is_err()
+        {
+            let _ = tx.send(Err(ServeError::ShardDown));
+        }
+        Pending { rx }
+    }
+
+    /// Route `request` to its session's shard and wait for the reply.
+    pub fn request(&self, request: Request) -> Result<Response, ServeError> {
+        self.submit(request).wait()
+    }
+
+    /// Collect every shard's counters (in shard order) plus the
+    /// aggregation helpers. Each shard reports between requests, so the
+    /// counters are always mutually consistent within a shard.
+    pub fn stats(&self) -> ServeStats {
+        let mut pending = Vec::with_capacity(self.senders.len());
+        for (index, sender) in self.senders.iter().enumerate() {
+            let (tx, rx) = channel();
+            let sent = sender.send(Command::Stats { reply: tx }).is_ok();
+            pending.push((index, sent, rx));
+        }
+        let shards = pending
+            .into_iter()
+            .map(|(index, sent, rx)| {
+                let fallback = ShardStats {
+                    shard: index,
+                    ..ShardStats::default()
+                };
+                if sent {
+                    rx.recv().unwrap_or(fallback)
+                } else {
+                    fallback
+                }
+            })
+            .collect();
+        ServeStats { shards }
+    }
+}
+
+impl Drop for SessionManager {
+    /// Disconnect the channels and join every worker, so no shard thread
+    /// outlives the manager.
+    fn drop(&mut self) {
+        self.senders.clear();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_is_deterministic_and_stable() {
+        let a = SessionManager::new(ServeConfig {
+            shards: 4,
+            ..ServeConfig::default()
+        });
+        let b = SessionManager::new(ServeConfig {
+            shards: 4,
+            ..ServeConfig::default()
+        });
+        for name in ["alice", "bob", "carol", "session-42", ""] {
+            assert_eq!(a.shard_of(name), b.shard_of(name));
+            assert_eq!(a.shard_of(name), (fnv1a(name.as_bytes()) % 4) as usize);
+            assert!(a.shard_of(name) < 4);
+        }
+        // FNV-1a reference vector: fnv1a("a") is the documented constant.
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+    }
+
+    #[test]
+    fn unknown_session_round_trips_an_error() {
+        let m = SessionManager::new(ServeConfig {
+            shards: 2,
+            ..ServeConfig::default()
+        });
+        assert!(matches!(
+            m.request(Request::Analyze {
+                session: "ghost".into()
+            }),
+            Err(ServeError::UnknownSession(_))
+        ));
+        let stats = m.stats();
+        assert_eq!(stats.aggregate().requests.analyze, 1);
+    }
+
+    #[test]
+    fn stats_cover_every_shard_in_order() {
+        let m = SessionManager::new(ServeConfig {
+            shards: 3,
+            ..ServeConfig::default()
+        });
+        let stats = m.stats();
+        assert_eq!(stats.shards.len(), 3);
+        for (i, s) in stats.shards.iter().enumerate() {
+            assert_eq!(s.shard, i);
+        }
+    }
+}

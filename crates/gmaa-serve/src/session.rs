@@ -1,0 +1,106 @@
+//! One tenant's live analysis session: an [`AnalysisEngine`] plus its
+//! settings, with the snapshot/restore path used for LRU hibernation.
+//!
+//! Snapshots go through the engine's *read-only* model accessor
+//! ([`AnalysisEngine::model`]) and the workspace JSON encoding — never
+//! through `Clone`. Cloning the whole context would drag along matrices a
+//! snapshot does not need, and although `EvalContext::clone` hands the
+//! clone a fresh LP workspace (so the PR-4 stats mis-attribution cannot
+//! recur — locked down by `cloned_engine_starts_with_fresh_lp_stats` in
+//! `gmaa`), serializing just the model keeps hibernated sessions as small
+//! as a workspace file.
+
+use crate::protocol::{ServeError, SessionConfig, SessionSnapshot};
+use gmaa::AnalysisEngine;
+use maut::DecisionModel;
+
+/// A live session: the engine that owns all per-tenant analysis state,
+/// the session's settings, and its LRU clock tick.
+#[derive(Debug)]
+pub struct Session {
+    pub(crate) engine: AnalysisEngine,
+    pub(crate) config: SessionConfig,
+    /// Shard-local logical time of the last request that touched this
+    /// session (larger = more recent); the eviction scan takes the
+    /// minimum.
+    pub(crate) last_used: u64,
+}
+
+impl Session {
+    /// Validate `model` and open a session over it.
+    pub(crate) fn new(model: DecisionModel, config: SessionConfig) -> Result<Session, ServeError> {
+        let mut engine = AnalysisEngine::new(model)?;
+        engine.mc_trials = config.mc_trials;
+        engine.mc_seed = config.mc_seed;
+        engine.mc_threads = config.mc_threads;
+        engine.stability_resolution = config.stability_resolution;
+        Ok(Session {
+            engine,
+            config,
+            last_used: 0,
+        })
+    }
+
+    /// Capture the session as a [`SessionSnapshot`]: the mutated model in
+    /// workspace JSON plus the settings. Edits are applied to the model in
+    /// place, so the model alone carries every pending what-if.
+    pub(crate) fn snapshot(&self, session: &str) -> Result<SessionSnapshot, ServeError> {
+        Ok(SessionSnapshot {
+            session: session.to_string(),
+            model_json: gmaa::model_to_json(self.engine.model())?,
+            config: self.config,
+        })
+    }
+
+    /// Rebuild a session from its snapshot. The engine starts with cold
+    /// caches (the first post-rehydration cycle is a full recompute), but
+    /// every analysis result is identical to the never-evicted session's —
+    /// the analyses are deterministic functions of model + seed.
+    pub(crate) fn restore(snapshot: &SessionSnapshot) -> Result<Session, ServeError> {
+        Session::new(
+            gmaa::model_from_json(&snapshot.model_json)?,
+            snapshot.config,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maut::prelude::*;
+
+    fn model() -> DecisionModel {
+        let mut b = DecisionModelBuilder::new("m");
+        let x = b.discrete_attribute("x", "X", &["l", "m", "h"]);
+        let y = b.discrete_attribute("y", "Y", &["l", "m", "h"]);
+        b.attach_attributes_to_root(&[(x, Interval::new(0.4, 0.6)), (y, Interval::new(0.4, 0.6))]);
+        b.alternative("a", vec![Perf::level(2), Perf::level(1)]);
+        b.alternative("b", vec![Perf::level(0), Perf::level(2)]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_edits() {
+        let mut s = Session::new(model(), SessionConfig::default()).unwrap();
+        let x = s.engine.model().find_attribute("x").unwrap();
+        s.engine.set_perf(1, x, Perf::level(2)).unwrap();
+
+        let snap = s.snapshot("t").unwrap();
+        let mut restored = Session::restore(&snap).unwrap();
+        assert_eq!(restored.engine.model(), s.engine.model());
+        assert_eq!(restored.config, s.config);
+        // The rehydrated session evaluates identically.
+        assert_eq!(*restored.engine.evaluate(), *s.engine.evaluate());
+    }
+
+    #[test]
+    fn restore_rejects_corrupt_snapshots() {
+        let s = Session::new(model(), SessionConfig::default()).unwrap();
+        let mut snap = s.snapshot("t").unwrap();
+        snap.model_json = "{ not json".into();
+        assert!(matches!(
+            Session::restore(&snap),
+            Err(ServeError::Snapshot(_))
+        ));
+    }
+}

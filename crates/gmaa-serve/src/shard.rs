@@ -1,0 +1,450 @@
+//! The shard worker: one thread owning a set of sessions.
+//!
+//! All requests for a session arrive on its shard's channel and are
+//! handled strictly in order by the worker thread, so engines are never
+//! shared or locked. The worker keeps live sessions up to a configured
+//! cap; beyond it, the least-recently-used session is hibernated to a
+//! [`SessionSnapshot`] and transparently rehydrated on its next request.
+
+use crate::protocol::{Request, RequestKind, Response, ServeError, SessionConfig, SessionSnapshot};
+use crate::session::Session;
+use crate::stats::{RequestCounts, ShardStats};
+use gmaa::CycleStats;
+use maut_sense::{MonteCarlo, MonteCarloConfig, SolveStats};
+use std::collections::HashMap;
+use std::sync::mpsc::{Receiver, Sender};
+
+/// A message to a shard worker: an API request with its reply channel, or
+/// an out-of-band stats probe.
+pub(crate) enum Command {
+    /// Handle `request` and send the outcome to `reply`. Boxed: a
+    /// `CreateSession` carries a whole model, dwarfing the other
+    /// variants.
+    Api {
+        request: Box<Request>,
+        reply: Sender<Result<Response, ServeError>>,
+    },
+    /// Report the shard's current counters.
+    Stats { reply: Sender<ShardStats> },
+}
+
+/// One shard's state, owned by its worker thread.
+pub(crate) struct Shard {
+    index: usize,
+    /// Live-session cap; reaching it hibernates the LRU session.
+    cap: usize,
+    /// Settings applied to sessions created on this shard.
+    session_config: SessionConfig,
+    live: HashMap<String, Session>,
+    hibernated: HashMap<String, SessionSnapshot>,
+    /// Logical clock for LRU ordering: bumped per request, stamped onto
+    /// the touched session.
+    clock: u64,
+    counts: RequestCounts,
+    sessions_created: u64,
+    evictions: u64,
+    rehydrations: u64,
+    /// Engine counters of evicted/closed sessions, folded in at
+    /// retirement so shard totals survive session churn.
+    retired_cycles: CycleStats,
+    retired_lp: SolveStats,
+}
+
+impl Shard {
+    pub(crate) fn new(index: usize, cap: usize, session_config: SessionConfig) -> Shard {
+        Shard {
+            index,
+            cap: cap.max(1),
+            session_config,
+            live: HashMap::new(),
+            hibernated: HashMap::new(),
+            clock: 0,
+            counts: RequestCounts::default(),
+            sessions_created: 0,
+            evictions: 0,
+            rehydrations: 0,
+            retired_cycles: CycleStats::default(),
+            retired_lp: SolveStats::default(),
+        }
+    }
+
+    /// The worker loop: handle commands until every sender is gone.
+    pub(crate) fn run(mut self, commands: Receiver<Command>) {
+        for command in commands {
+            match command {
+                Command::Api { request, reply } => {
+                    // A client that dropped its pending reply is not an
+                    // error; the work is done either way.
+                    let _ = reply.send(self.handle(*request));
+                }
+                Command::Stats { reply } => {
+                    let _ = reply.send(self.stats());
+                }
+            }
+        }
+    }
+
+    fn count(&mut self, kind: RequestKind) {
+        let slot = match kind {
+            RequestKind::Create => &mut self.counts.create,
+            RequestKind::SetPerf => &mut self.counts.set_perf,
+            RequestKind::SetWeight => &mut self.counts.set_weight,
+            RequestKind::Analyze => &mut self.counts.analyze,
+            RequestKind::DiscardCycle => &mut self.counts.discard_cycle,
+            RequestKind::MonteCarlo => &mut self.counts.monte_carlo,
+            RequestKind::Snapshot => &mut self.counts.snapshot,
+            RequestKind::Close => &mut self.counts.close,
+        };
+        *slot += 1;
+    }
+
+    pub(crate) fn handle(&mut self, request: Request) -> Result<Response, ServeError> {
+        self.count(request.kind());
+        self.clock += 1;
+        match request {
+            Request::CreateSession { session, model } => {
+                if self.live.contains_key(&session) || self.hibernated.contains_key(&session) {
+                    return Err(ServeError::DuplicateSession(session));
+                }
+                let mut s = Session::new(model, self.session_config)?;
+                s.last_used = self.clock;
+                self.make_room();
+                self.live.insert(session, s);
+                self.sessions_created += 1;
+                Ok(Response::Created)
+            }
+            Request::CloseSession { session } => {
+                if let Some(s) = self.live.remove(&session) {
+                    self.retire(&s);
+                    Ok(Response::Closed)
+                } else if self.hibernated.remove(&session).is_some() {
+                    Ok(Response::Closed)
+                } else {
+                    Err(ServeError::UnknownSession(session))
+                }
+            }
+            Request::Snapshot { session } => {
+                // Hibernated sessions answer from their stored snapshot —
+                // no rehydration needed to read state.
+                if let Some(s) = self.live.get_mut(&session) {
+                    s.last_used = self.clock;
+                    let snap = s.snapshot(&session)?;
+                    Ok(Response::Snapshot(Box::new(snap)))
+                } else if let Some(snap) = self.hibernated.get(&session) {
+                    Ok(Response::Snapshot(Box::new(snap.clone())))
+                } else {
+                    Err(ServeError::UnknownSession(session))
+                }
+            }
+            Request::SetPerf {
+                session,
+                alternative,
+                attr,
+                perf,
+            } => {
+                let s = self.touch(&session)?;
+                s.engine.set_perf(alternative, attr, perf)?;
+                Ok(Response::Edited)
+            }
+            Request::SetWeight {
+                session,
+                objective,
+                weight,
+            } => {
+                let s = self.touch(&session)?;
+                s.engine.set_weight(objective, weight)?;
+                Ok(Response::Edited)
+            }
+            Request::Analyze { session } => {
+                let s = self.touch(&session)?;
+                Ok(Response::Analysis(Box::new(
+                    s.engine.analyze_incremental()?,
+                )))
+            }
+            Request::DiscardCycle { session } => {
+                let s = self.touch(&session)?;
+                Ok(Response::Cycle(Box::new(
+                    s.engine.discard_cycle_incremental()?,
+                )))
+            }
+            Request::MonteCarlo { session, trials } => {
+                // Validate before touching the engine: MonteCarlo::new
+                // asserts trials > 0, and a panic here would take down
+                // the whole shard, not just this request.
+                if trials == 0 {
+                    return Err(ServeError::InvalidRequest(
+                        "Monte Carlo needs at least one trial".to_string(),
+                    ));
+                }
+                let s = self.touch(&session)?;
+                let result = MonteCarlo::new(
+                    MonteCarloConfig::ElicitedIntervals,
+                    trials,
+                    s.config.mc_seed,
+                )
+                .with_threads(s.config.mc_threads)
+                .run_ctx(s.engine.context());
+                Ok(Response::MonteCarlo(Box::new(result)))
+            }
+        }
+    }
+
+    /// Fetch a session for use, transparently rehydrating it from its
+    /// snapshot if it was evicted, and stamp its LRU clock.
+    fn touch(&mut self, session: &str) -> Result<&mut Session, ServeError> {
+        if !self.live.contains_key(session) {
+            let snap = self
+                .hibernated
+                .remove(session)
+                .ok_or_else(|| ServeError::UnknownSession(session.to_string()))?;
+            match Session::restore(&snap) {
+                Ok(s) => {
+                    self.make_room();
+                    self.rehydrations += 1;
+                    self.live.insert(session.to_string(), s);
+                }
+                Err(e) => {
+                    // Keep the snapshot: a transient failure must not
+                    // destroy the session.
+                    self.hibernated.insert(session.to_string(), snap);
+                    return Err(e);
+                }
+            }
+        }
+        let s = self.live.get_mut(session).expect("present or rehydrated");
+        s.last_used = self.clock;
+        Ok(s)
+    }
+
+    /// Hibernate LRU sessions until there is room for one more live
+    /// session.
+    fn make_room(&mut self) {
+        while self.live.len() >= self.cap {
+            let Some(victim) = self
+                .live
+                .iter()
+                .min_by_key(|(_, s)| s.last_used)
+                .map(|(name, _)| name.clone())
+            else {
+                return;
+            };
+            let s = self.live.remove(&victim).expect("just found");
+            match s.snapshot(&victim) {
+                Ok(snap) => {
+                    self.retire(&s);
+                    self.hibernated.insert(victim, snap);
+                    self.evictions += 1;
+                }
+                Err(_) => {
+                    // Refusing to evict beats losing the session; stay
+                    // over cap until a snapshot succeeds.
+                    self.live.insert(victim, s);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Fold a departing session's engine counters into the shard totals.
+    fn retire(&mut self, s: &Session) {
+        let cycles = s.engine.cycle_stats();
+        self.retired_cycles.incremental += cycles.incremental;
+        self.retired_cycles.full += cycles.full;
+        self.retired_lp.merge(&s.engine.lp_stats());
+    }
+
+    /// The shard's counters right now: retired accumulations plus the
+    /// live engines' current counters.
+    pub(crate) fn stats(&self) -> ShardStats {
+        let mut cycles = self.retired_cycles;
+        let mut lp = self.retired_lp;
+        for s in self.live.values() {
+            let c = s.engine.cycle_stats();
+            cycles.incremental += c.incremental;
+            cycles.full += c.full;
+            lp.merge(&s.engine.lp_stats());
+        }
+        ShardStats {
+            shard: self.index,
+            live_sessions: self.live.len(),
+            hibernated_sessions: self.hibernated.len(),
+            sessions_created: self.sessions_created,
+            evictions: self.evictions,
+            rehydrations: self.rehydrations,
+            requests: self.counts,
+            cycles,
+            lp,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maut::prelude::*;
+
+    fn model() -> maut::DecisionModel {
+        let mut b = DecisionModelBuilder::new("m");
+        let x = b.discrete_attribute("x", "X", &["l", "m", "h"]);
+        let y = b.discrete_attribute("y", "Y", &["l", "m", "h"]);
+        b.attach_attributes_to_root(&[(x, Interval::new(0.4, 0.6)), (y, Interval::new(0.4, 0.6))]);
+        b.alternative("a", vec![Perf::level(2), Perf::level(1)]);
+        b.alternative("b", vec![Perf::level(0), Perf::level(2)]);
+        b.alternative("c", vec![Perf::level(1), Perf::Missing]);
+        b.build().unwrap()
+    }
+
+    fn create(shard: &mut Shard, name: &str) {
+        let r = shard.handle(Request::CreateSession {
+            session: name.into(),
+            model: model(),
+        });
+        assert!(matches!(r, Ok(Response::Created)));
+    }
+
+    #[test]
+    fn create_analyze_close_lifecycle() {
+        let mut shard = Shard::new(
+            0,
+            4,
+            SessionConfig {
+                mc_trials: 50,
+                stability_resolution: 20,
+                ..SessionConfig::default()
+            },
+        );
+        create(&mut shard, "s");
+        assert!(matches!(
+            shard.handle(Request::CreateSession {
+                session: "s".into(),
+                model: model(),
+            }),
+            Err(ServeError::DuplicateSession(_))
+        ));
+        let r = shard.handle(Request::Analyze {
+            session: "s".into(),
+        });
+        assert!(matches!(r, Ok(Response::Analysis(_))));
+        assert!(matches!(
+            shard.handle(Request::CloseSession {
+                session: "s".into()
+            }),
+            Ok(Response::Closed)
+        ));
+        assert!(matches!(
+            shard.handle(Request::Analyze {
+                session: "s".into()
+            }),
+            Err(ServeError::UnknownSession(_))
+        ));
+        let stats = shard.stats();
+        assert_eq!(stats.requests.create, 2);
+        assert_eq!(stats.requests.analyze, 2);
+        assert_eq!(stats.requests.close, 1);
+        assert_eq!(stats.live_sessions, 0);
+        // The closed session's cycle counters were retired, not lost.
+        assert_eq!(stats.cycles.full, 1);
+    }
+
+    #[test]
+    fn lru_eviction_hibernates_and_rehydrates() {
+        let mut shard = Shard::new(0, 2, SessionConfig::default());
+        create(&mut shard, "a");
+        create(&mut shard, "b");
+        // Touch "a" so "b" is the LRU victim when "c" arrives.
+        let x = model().find_attribute("x").unwrap();
+        shard
+            .handle(Request::SetPerf {
+                session: "a".into(),
+                alternative: 0,
+                attr: x,
+                perf: Perf::level(0),
+            })
+            .unwrap();
+        create(&mut shard, "c");
+        let stats = shard.stats();
+        assert_eq!(stats.live_sessions, 2);
+        assert_eq!(stats.hibernated_sessions, 1);
+        assert_eq!(stats.evictions, 1);
+        // "b" comes back transparently (and "a", the new LRU, hibernates).
+        assert!(matches!(
+            shard.handle(Request::DiscardCycle {
+                session: "b".into()
+            }),
+            Ok(Response::Cycle(_))
+        ));
+        let stats = shard.stats();
+        assert_eq!(stats.rehydrations, 1);
+        assert_eq!(stats.evictions, 2);
+        assert_eq!(stats.live_sessions, 2);
+        assert_eq!(stats.hibernated_sessions, 1);
+    }
+
+    #[test]
+    fn rejected_edits_do_not_corrupt_the_session() {
+        let mut shard = Shard::new(0, 4, SessionConfig::default());
+        create(&mut shard, "s");
+        let x = model().find_attribute("x").unwrap();
+        assert!(matches!(
+            shard.handle(Request::SetPerf {
+                session: "s".into(),
+                alternative: 0,
+                attr: x,
+                perf: Perf::level(9),
+            }),
+            Err(ServeError::Model(_))
+        ));
+        assert!(matches!(
+            shard.handle(Request::DiscardCycle {
+                session: "s".into()
+            }),
+            Ok(Response::Cycle(_))
+        ));
+    }
+
+    #[test]
+    fn zero_trial_monte_carlo_is_rejected_not_fatal() {
+        // Regression: MonteCarlo::new asserts trials > 0; an unvalidated
+        // request would panic the worker and take the whole shard down.
+        let mut shard = Shard::new(0, 4, SessionConfig::default());
+        create(&mut shard, "s");
+        assert!(matches!(
+            shard.handle(Request::MonteCarlo {
+                session: "s".into(),
+                trials: 0,
+            }),
+            Err(ServeError::InvalidRequest(_))
+        ));
+        // The session still serves.
+        assert!(matches!(
+            shard.handle(Request::MonteCarlo {
+                session: "s".into(),
+                trials: 10,
+            }),
+            Ok(Response::MonteCarlo(_))
+        ));
+    }
+
+    #[test]
+    fn snapshot_answers_from_live_and_hibernated_state() {
+        let mut shard = Shard::new(0, 1, SessionConfig::default());
+        create(&mut shard, "a");
+        let live_snap = match shard.handle(Request::Snapshot {
+            session: "a".into(),
+        }) {
+            Ok(Response::Snapshot(s)) => s,
+            other => panic!("expected snapshot, got {other:?}"),
+        };
+        create(&mut shard, "b"); // evicts "a"
+        assert_eq!(shard.stats().hibernated_sessions, 1);
+        let hib_snap = match shard.handle(Request::Snapshot {
+            session: "a".into(),
+        }) {
+            Ok(Response::Snapshot(s)) => s,
+            other => panic!("expected snapshot, got {other:?}"),
+        };
+        assert_eq!(*live_snap, *hib_snap);
+        // Reading a hibernated session's snapshot does not rehydrate it.
+        assert_eq!(shard.stats().rehydrations, 0);
+    }
+}

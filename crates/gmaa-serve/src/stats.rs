@@ -1,0 +1,172 @@
+//! Per-shard and aggregate serving counters.
+//!
+//! Each shard worker owns its counters (no atomics — a shard is one
+//! thread), accumulates retired sessions' engine counters on
+//! eviction/close, and reports a [`ShardStats`] on demand;
+//! [`ServeStats`] glues the shard reports together. Counters for live
+//! sessions are read straight from their engines at report time, so
+//! `aggregate` always reflects the work actually done, never a stale
+//! accumulation.
+
+use gmaa::CycleStats;
+use maut_sense::SolveStats;
+
+/// Requests handled, split by kind. All counts include failed requests
+/// (a rejected edit still cost the shard a round trip).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RequestCounts {
+    /// `CreateSession` requests.
+    pub create: u64,
+    /// `SetPerf` requests.
+    pub set_perf: u64,
+    /// `SetWeight` requests.
+    pub set_weight: u64,
+    /// `Analyze` requests.
+    pub analyze: u64,
+    /// `DiscardCycle` requests.
+    pub discard_cycle: u64,
+    /// `MonteCarlo` requests.
+    pub monte_carlo: u64,
+    /// `Snapshot` requests.
+    pub snapshot: u64,
+    /// `CloseSession` requests.
+    pub close: u64,
+}
+
+impl RequestCounts {
+    /// Requests of every kind.
+    pub fn total(&self) -> u64 {
+        self.create
+            + self.set_perf
+            + self.set_weight
+            + self.analyze
+            + self.discard_cycle
+            + self.monte_carlo
+            + self.snapshot
+            + self.close
+    }
+
+    /// Fold another shard's counts into this one.
+    pub fn merge(&mut self, other: &RequestCounts) {
+        self.create += other.create;
+        self.set_perf += other.set_perf;
+        self.set_weight += other.set_weight;
+        self.analyze += other.analyze;
+        self.discard_cycle += other.discard_cycle;
+        self.monte_carlo += other.monte_carlo;
+        self.snapshot += other.snapshot;
+        self.close += other.close;
+    }
+}
+
+/// One shard's counters at a point in time.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ShardStats {
+    /// The shard's index in the manager.
+    pub shard: usize,
+    /// Sessions currently resident (engine in memory).
+    pub live_sessions: usize,
+    /// Sessions currently hibernated (snapshot only).
+    pub hibernated_sessions: usize,
+    /// Sessions ever created on this shard.
+    pub sessions_created: u64,
+    /// LRU evictions (live session → snapshot).
+    pub evictions: u64,
+    /// Transparent rehydrations (snapshot → live session).
+    pub rehydrations: u64,
+    /// Requests handled, by kind.
+    pub requests: RequestCounts,
+    /// Incremental-vs-full discard-cycle counts across the shard's
+    /// sessions (live engines + retired accumulations).
+    pub cycles: CycleStats,
+    /// LP solver counters across the shard's sessions (warm/cold solves
+    /// and pivots).
+    pub lp: SolveStats,
+}
+
+impl ShardStats {
+    /// Fold another shard's counters into this one (used by
+    /// [`ServeStats::aggregate`]; `shard` keeps the receiver's index).
+    pub fn merge(&mut self, other: &ShardStats) {
+        self.live_sessions += other.live_sessions;
+        self.hibernated_sessions += other.hibernated_sessions;
+        self.sessions_created += other.sessions_created;
+        self.evictions += other.evictions;
+        self.rehydrations += other.rehydrations;
+        self.requests.merge(&other.requests);
+        self.cycles.incremental += other.cycles.incremental;
+        self.cycles.full += other.cycles.full;
+        self.lp.merge(&other.lp);
+    }
+}
+
+/// The manager-level view: one [`ShardStats`] per shard, in shard order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServeStats {
+    /// Per-shard counters, indexed by shard.
+    pub shards: Vec<ShardStats>,
+}
+
+impl ServeStats {
+    /// Sum of every shard's counters (the `shard` field of the result is
+    /// the shard count, purely informational).
+    pub fn aggregate(&self) -> ShardStats {
+        let mut total = ShardStats {
+            shard: self.shards.len(),
+            ..ShardStats::default()
+        };
+        for s in &self.shards {
+            total.merge(s);
+        }
+        total
+    }
+
+    /// Incremental share of all discard cycles served (`None` before any
+    /// cycle ran) — the headline number for the what-if serving path.
+    pub fn incremental_hit_rate(&self) -> Option<f64> {
+        self.aggregate().cycles.hit_rate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_sums_across_shards() {
+        let a = ShardStats {
+            live_sessions: 2,
+            requests: RequestCounts {
+                analyze: 5,
+                ..RequestCounts::default()
+            },
+            cycles: CycleStats {
+                incremental: 4,
+                full: 1,
+            },
+            ..ShardStats::default()
+        };
+        let b = ShardStats {
+            shard: 1,
+            live_sessions: 1,
+            requests: RequestCounts {
+                analyze: 3,
+                set_perf: 7,
+                ..RequestCounts::default()
+            },
+            cycles: CycleStats {
+                incremental: 2,
+                full: 1,
+            },
+            ..ShardStats::default()
+        };
+
+        let stats = ServeStats { shards: vec![a, b] };
+        let total = stats.aggregate();
+        assert_eq!(total.live_sessions, 3);
+        assert_eq!(total.requests.analyze, 8);
+        assert_eq!(total.requests.total(), 15);
+        assert_eq!(total.cycles.incremental, 6);
+        assert_eq!(stats.incremental_hit_rate(), Some(0.75));
+    }
+}

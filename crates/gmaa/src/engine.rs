@@ -35,11 +35,17 @@ use std::sync::Arc;
 /// Bundle of every analysis the paper reports.
 #[derive(Debug)]
 pub struct Analysis {
+    /// Min / average / max utilities and the ranking (Fig 6).
     pub evaluation: Evaluation,
+    /// Weight stability interval per non-root objective (Fig 8).
     pub stability: Vec<StabilityReport>,
+    /// Alternatives no other alternative dominates (Section V).
     pub non_dominated: Vec<usize>,
+    /// Potential-optimality verdict per alternative (Section V).
     pub potential: Vec<PotentialOutcome>,
+    /// The dominance-intensity ranking (ref \[25\]).
     pub intensity: Vec<IntensityRank>,
+    /// Rank statistics across simulated weights (Figs 9–10).
     pub monte_carlo: MonteCarloResult,
 }
 
@@ -101,13 +107,42 @@ struct CycleCache {
     certs: Vec<PotentialCert>,
 }
 
+/// How often the incremental discard cycle actually ran incrementally.
+///
+/// Counted by [`AnalysisEngine::discard_cycle_incremental`] (and therefore
+/// by [`AnalysisEngine::analyze_incremental`], which routes through it):
+/// a call served from the cached cycle — either untouched (no edits since
+/// the last call) or brought up to date by pair-level re-optimization —
+/// counts as `incremental`; a transparent full-recompute fallback (first
+/// call, weight-side edit, or a dirty set covering half the alternatives)
+/// counts as `full`. The serving layer (`gmaa-serve`) surfaces these as
+/// its incremental hit rate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CycleStats {
+    /// Cycles answered from the cached intermediates (pair-level update
+    /// or pure cache hit).
+    pub incremental: u64,
+    /// Cycles that fell back to a full recompute.
+    pub full: u64,
+}
+
+impl CycleStats {
+    /// `incremental / (incremental + full)`, or `None` before any cycle.
+    pub fn hit_rate(&self) -> Option<f64> {
+        let total = self.incremental + self.full;
+        (total > 0).then(|| self.incremental as f64 / total as f64)
+    }
+}
+
 /// The analysis engine: one model, one shared evaluation context, every
 /// paper analysis, plus incremental what-if mutation.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct AnalysisEngine {
     ctx: EvalContext,
     /// Last discard cycle's intermediates for the incremental path.
     cycle_cache: Option<CycleCache>,
+    /// Incremental-vs-full counts for the incremental cycle entry point.
+    cycle_stats: CycleStats,
     /// Trials used by [`AnalysisEngine::analyze`]'s Monte Carlo stage.
     pub mc_trials: usize,
     /// Seed for the Monte Carlo stage.
@@ -119,12 +154,32 @@ pub struct AnalysisEngine {
     pub stability_resolution: usize,
 }
 
+impl Clone for AnalysisEngine {
+    /// The clone keeps the model state and the cycle cache (both are
+    /// analysis state, so the clone's next incremental cycle still
+    /// hits), but starts with zeroed [`CycleStats`] — matching
+    /// `EvalContext::clone`'s fresh LP workspace, so no counter ever
+    /// attributes the parent's work to the clone.
+    fn clone(&self) -> AnalysisEngine {
+        AnalysisEngine {
+            ctx: self.ctx.clone(),
+            cycle_cache: self.cycle_cache.clone(),
+            cycle_stats: CycleStats::default(),
+            mc_trials: self.mc_trials,
+            mc_seed: self.mc_seed,
+            mc_threads: self.mc_threads,
+            stability_resolution: self.stability_resolution,
+        }
+    }
+}
+
 impl AnalysisEngine {
     /// Validate the model and precompute the shared context.
     pub fn new(model: DecisionModel) -> Result<AnalysisEngine, ModelError> {
         Ok(AnalysisEngine {
             ctx: EvalContext::new(model)?,
             cycle_cache: None,
+            cycle_stats: CycleStats::default(),
             mc_trials: 10_000,
             mc_seed: 20120402,
             mc_threads: 0,
@@ -132,8 +187,19 @@ impl AnalysisEngine {
         })
     }
 
+    /// The decision model as currently mutated — `set_perf` / `set_weight`
+    /// edits are applied in place, so this read-only view is also the
+    /// complete snapshot state a serving layer needs to persist or
+    /// rehydrate a session (serialize it; rebuild with
+    /// [`AnalysisEngine::new`]). No context clone is ever required.
     pub fn model(&self) -> &DecisionModel {
         self.ctx.model()
+    }
+
+    /// Incremental-vs-full counts of
+    /// [`AnalysisEngine::discard_cycle_incremental`] — see [`CycleStats`].
+    pub fn cycle_stats(&self) -> CycleStats {
+        self.cycle_stats
     }
 
     /// The shared evaluation context (for analyses not wrapped here).
@@ -299,6 +365,7 @@ impl AnalysisEngine {
         let incremental = !weights_changed && 2 * dirty.len() < n;
         let cache = match self.cycle_cache.take() {
             Some(cache) if incremental => {
+                self.cycle_stats.incremental += 1;
                 if dirty.is_empty() {
                     cache
                 } else {
@@ -312,10 +379,13 @@ impl AnalysisEngine {
                     CycleCache { intervals, certs }
                 }
             }
-            _ => CycleCache {
-                intervals: intensity::dominance_intervals_ctx(&self.ctx),
-                certs: potential::certify_ctx(&self.ctx)?,
-            },
+            _ => {
+                self.cycle_stats.full += 1;
+                CycleCache {
+                    intervals: intensity::dominance_intervals_ctx(&self.ctx),
+                    certs: potential::certify_ctx(&self.ctx)?,
+                }
+            }
         };
         let cycle = Self::derive_cycle(&cache, &self.ctx.model().alternatives);
         self.cycle_cache = Some(cache);
@@ -533,6 +603,65 @@ mod tests {
         assert_eq!(
             incr.monte_carlo.rank_counts(),
             full.monte_carlo.rank_counts()
+        );
+    }
+
+    #[test]
+    fn cycle_stats_track_incremental_vs_full() {
+        let mut e = engine();
+        assert_eq!(e.cycle_stats(), CycleStats::default());
+        // First call: no cache — full.
+        e.discard_cycle_incremental().expect("solver healthy");
+        assert_eq!(e.cycle_stats().full, 1);
+        assert_eq!(e.cycle_stats().incremental, 0);
+        // Pure cache hit and a one-cell edit: both incremental.
+        e.discard_cycle_incremental().expect("solver healthy");
+        let doc = e.model().find_attribute("doc_quality").expect("exists");
+        e.set_perf(3, doc, Perf::level(3)).expect("valid level");
+        e.discard_cycle_incremental().expect("solver healthy");
+        assert_eq!(e.cycle_stats().incremental, 2);
+        // Weight edit: every pair invalidated — full recompute.
+        let u = e.model().tree.find("understandability").expect("exists");
+        e.set_weight(u, Interval::new(0.1, 0.3)).expect("feasible");
+        e.discard_cycle_incremental().expect("solver healthy");
+        assert_eq!(
+            e.cycle_stats(),
+            CycleStats {
+                incremental: 2,
+                full: 2
+            }
+        );
+        assert_eq!(e.cycle_stats().hit_rate(), Some(0.5));
+    }
+
+    #[test]
+    fn cloned_engine_starts_with_fresh_stats() {
+        // The serving layer snapshots sessions through `model()` + serde,
+        // never through `Clone` — but `AnalysisEngine` is `Clone`, so the
+        // PR-4 guarantee must hold at this level too: a clone gets a fresh
+        // LP workspace (zeroed SolveStats, no inherited warm bases) *and*
+        // zeroed CycleStats, not a copy that mis-attributes the parent's
+        // pivots or cycles to an engine that has served nothing.
+        let mut e = engine();
+        e.discard_cycle_incremental().expect("solver healthy");
+        assert!(e.lp_stats().solves > 0);
+        assert_eq!(e.cycle_stats().full, 1);
+        let clone = e.clone();
+        assert_eq!(
+            clone.lp_stats(),
+            maut_sense::simplex_lp::SolveStats::default()
+        );
+        assert_eq!(clone.cycle_stats(), CycleStats::default());
+        // The cycle cache *is* carried over (it is model state, not
+        // accounting), so the clone's next incremental cycle still hits.
+        let mut clone = clone;
+        clone.discard_cycle_incremental().expect("solver healthy");
+        assert_eq!(
+            clone.cycle_stats(),
+            CycleStats {
+                incremental: 1,
+                full: 0
+            }
         );
     }
 

@@ -27,27 +27,38 @@
 //! // The paper's 23-ontology case study, ready to analyze.
 //! let mut engine = AnalysisEngine::new(neon_reuse::paper_model().model).unwrap();
 //! engine.mc_trials = 200; // keep the doctest quick
+//! engine.stability_resolution = 40;
 //!
-//! // Fig 6: evaluate and rank.
-//! let eval = engine.evaluate();
-//! assert_eq!(eval.ranking()[0].name, "Media Ontology");
+//! // Figs 6–10 in one call: evaluation, stability, the Section V discard
+//! // cycle, Monte Carlo. The incremental entry point primes the cycle
+//! // cache (this first call is a full recompute).
+//! let analysis = engine.analyze_incremental().unwrap();
+//! assert_eq!(analysis.evaluation.ranking()[0].name, "Media Ontology");
+//! assert!(analysis.survivors().len() >= 10);
 //!
 //! // Fig 7: re-rank within one objective subtree.
 //! let by_cost = engine.rank_by("reuse_cost").unwrap();
 //! assert_eq!(by_cost.bounds.len(), 23);
 //!
-//! // What-if: fill in a missing cell and re-evaluate incrementally —
-//! // only the touched alternative is re-scored.
+//! // What-if: fill in a missing cell and re-analyze *incrementally* —
+//! // one row is re-scored, the touched dominance pairs re-optimized, the
+//! // touched potential-optimality certificates re-solved from their own
+//! // warm bases; everything else is served from the engine's caches.
 //! let nokia = 17;
 //! let financ = engine.model().find_attribute("financ_cost").unwrap();
 //! engine.set_perf(nokia, financ, Perf::level(2)).unwrap();
-//! let eval2 = engine.evaluate();
-//! assert!(eval2.bounds[nokia].max <= eval.bounds[nokia].max);
+//! let whatif = engine.analyze_incremental().unwrap();
+//! assert!(whatif.evaluation.bounds[nokia].max <= analysis.evaluation.bounds[nokia].max);
+//! assert_eq!(engine.cycle_stats().incremental, 1);
 //! ```
+
+#![warn(missing_docs)]
 
 pub mod engine;
 pub mod report;
 pub mod workspace;
 
-pub use engine::{Analysis, AnalysisEngine, DiscardCycle};
-pub use workspace::{load_model, save_model, Workspace, WorkspaceError};
+pub use engine::{Analysis, AnalysisEngine, CycleStats, DiscardCycle};
+pub use workspace::{
+    load_model, model_from_json, model_to_json, save_model, Workspace, WorkspaceError,
+};

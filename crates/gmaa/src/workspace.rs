@@ -12,7 +12,9 @@ use std::path::{Path, PathBuf};
 /// Errors from workspace operations.
 #[derive(Debug)]
 pub enum WorkspaceError {
+    /// Reading or writing the file failed.
     Io(std::io::Error),
+    /// The JSON could not be produced or parsed.
     Serde(serde_json::Error),
     /// The loaded model failed validation — file corrupt or hand-edited.
     Invalid(maut::ModelError),
@@ -42,19 +44,32 @@ impl From<serde_json::Error> for WorkspaceError {
     }
 }
 
+/// Serialize a model to a pretty JSON string — the canonical snapshot
+/// encoding, shared by the file workspace below and by `gmaa-serve`'s
+/// session hibernation.
+pub fn model_to_json(model: &DecisionModel) -> Result<String, WorkspaceError> {
+    Ok(serde_json::to_string_pretty(model)?)
+}
+
+/// Parse and re-validate a model from its JSON snapshot encoding.
+/// Validation matters: serde writes private fields directly, so a corrupt
+/// or hand-edited snapshot could otherwise smuggle in state the
+/// constructors reject (non-finite bands, infeasible weights).
+pub fn model_from_json(json: &str) -> Result<DecisionModel, WorkspaceError> {
+    let model: DecisionModel = serde_json::from_str(json)?;
+    model.validate().map_err(WorkspaceError::Invalid)?;
+    Ok(model)
+}
+
 /// Serialize a model to pretty JSON at `path`.
 pub fn save_model(model: &DecisionModel, path: &Path) -> Result<(), WorkspaceError> {
-    let json = serde_json::to_string_pretty(model)?;
-    fs::write(path, json)?;
+    fs::write(path, model_to_json(model)?)?;
     Ok(())
 }
 
 /// Load and re-validate a model from `path`.
 pub fn load_model(path: &Path) -> Result<DecisionModel, WorkspaceError> {
-    let json = fs::read_to_string(path)?;
-    let model: DecisionModel = serde_json::from_str(&json)?;
-    model.validate().map_err(WorkspaceError::Invalid)?;
-    Ok(model)
+    model_from_json(&fs::read_to_string(path)?)
 }
 
 /// A directory of named models.
@@ -71,6 +86,7 @@ impl Workspace {
         Ok(Workspace { dir })
     }
 
+    /// The workspace's directory.
     pub fn path(&self) -> &Path {
         &self.dir
     }

@@ -17,7 +17,7 @@
 //!
 //! The inner loop no longer calls the allocating per-pair
 //! `WeightPolytope::minimize`: for each row alternative `i`, blocks of
-//! [`PAIR_BLOCK`] rivals have their adversarial difference vectors
+//! `PAIR_BLOCK` (16) rivals have their adversarial difference vectors
 //! gathered in one pass over the [`BandMatrixSoA`] columns (each
 //! attribute's `lo`/`hi` column is read with unit stride across the
 //! rival block, mirroring the transposed Monte Carlo kernels), and the

@@ -54,7 +54,9 @@ impl DominanceInterval {
 /// Intensity summary of one alternative.
 #[derive(Debug, Clone, PartialEq)]
 pub struct IntensityRank {
+    /// Index into the model's alternative list.
     pub alternative: usize,
+    /// The alternative's name.
     pub name: String,
     /// Σ over rivals of the expected advantage.
     pub intensity: f64,

@@ -29,6 +29,8 @@
 //! unboundedness are legitimate outcomes folded into the verdicts, so the
 //! error arm only fires on solver breakdown (the pivot iteration cap).
 
+#![warn(missing_docs)]
+
 pub mod dominance;
 pub mod intensity;
 pub mod montecarlo;

@@ -72,7 +72,9 @@ pub enum MonteCarloConfig {
 /// Result of a simulation run.
 #[derive(Debug, Clone)]
 pub struct MonteCarloResult {
+    /// Trials simulated.
     pub trials: usize,
+    /// Per-alternative rank statistics, in model order.
     pub stats: Vec<RankStats>,
     accumulator: RankAccumulator,
 }
@@ -166,8 +168,11 @@ impl MonteCarloResult {
 /// ```
 #[derive(Debug, Clone)]
 pub struct MonteCarlo {
+    /// Which weight-generation class to simulate.
     pub config: MonteCarloConfig,
+    /// Number of weight-sampling trials.
     pub trials: usize,
+    /// RNG seed (results are a pure function of config + trials + seed).
     pub seed: u64,
     /// Scoring workers for [`MonteCarlo::run_ctx`]: `0` = one per core,
     /// `1` = single-threaded. Any value yields identical results — weight
@@ -177,6 +182,7 @@ pub struct MonteCarlo {
 }
 
 impl MonteCarlo {
+    /// A single-threaded simulation; panics on zero trials.
     pub fn new(config: MonteCarloConfig, trials: usize, seed: u64) -> MonteCarlo {
         assert!(trials > 0, "need at least one trial");
         MonteCarlo {

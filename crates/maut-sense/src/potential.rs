@@ -99,8 +99,11 @@ const MAX_SEED: usize = 4 * WORKING_SET;
 /// Verdict for one alternative.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PotentialOutcome {
+    /// Index into the model's alternative list.
     pub alternative: usize,
+    /// The alternative's name.
     pub name: String,
+    /// Whether some admissible weight/utility combination makes it best.
     pub potentially_optimal: bool,
     /// The optimal slack `t*`: ≥ 0 iff potentially optimal; more negative
     /// means further from ever being best.
@@ -114,6 +117,7 @@ pub struct PotentialOutcome {
 /// without re-solving (see the module docs).
 #[derive(Debug, Clone, PartialEq)]
 pub struct PotentialCert {
+    /// The verdict this certificate backs.
     pub outcome: PotentialOutcome,
     /// Optimal weight vector `w*` at the certified optimum. Empty only
     /// when the defensive non-optimal branch fired (never for

@@ -26,12 +26,15 @@ pub enum StabilityMode {
 /// Stability interval of one objective.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StabilityReport {
+    /// The objective whose weight was scanned.
     pub objective: ObjectiveId,
+    /// Which stability criterion was applied.
     pub mode: StabilityMode,
     /// Current average normalized weight of the objective.
     pub current: f64,
-    /// `[lo, hi] ⊆ [0, 1]` within which the criterion holds.
+    /// Lower end of the stable range `[lo, hi] ⊆ [0, 1]`.
     pub lo: f64,
+    /// Upper end of the stable range.
     pub hi: f64,
 }
 
@@ -42,6 +45,7 @@ impl StabilityReport {
         self.lo <= tol && self.hi >= 1.0 - tol
     }
 
+    /// `hi − lo`, the stable range's width.
     pub fn width(&self) -> f64 {
         self.hi - self.lo
     }

@@ -44,11 +44,21 @@ pub enum ElicitError {
     /// A priced performance lies outside the attribute scale.
     PerformanceOutOfRange(f64),
     /// Answers violate monotonicity in the stated preference direction.
-    NonMonotone { x_lower: f64, x_higher: f64 },
+    NonMonotone {
+        /// The smaller of the two compared performances.
+        x_lower: f64,
+        /// The larger one, whose utility band came out lower.
+        x_higher: f64,
+    },
     /// A level index outside the discrete scale.
     LevelOutOfRange(usize),
     /// Fewer than the required number of answers.
-    Incomplete { expected: usize, got: usize },
+    Incomplete {
+        /// Answers the method needs.
+        expected: usize,
+        /// Answers actually supplied.
+        got: usize,
+    },
     /// Ratio bounds outside `(0, 1]` or inverted.
     BadRatio(String),
 }
@@ -169,10 +179,12 @@ pub fn discrete_utility_from_answers(
 /// important* sibling, as a ratio interval in `(0, 1]`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RatioAnswer {
+    /// Importance ratio relative to the most important sibling, in `(0, 1]`.
     pub ratio: Interval,
 }
 
 impl RatioAnswer {
+    /// An interval ratio answer; panics on an invalid interval.
     pub fn new(lo: f64, hi: f64) -> RatioAnswer {
         RatioAnswer {
             ratio: Interval::new(lo, hi),

@@ -238,6 +238,8 @@ impl EvalContext {
 
     // ------------------------------------------------------------ accessors
 
+    /// The model as currently mutated (edits are applied in place, so
+    /// this is also the state a snapshot should serialize).
     pub fn model(&self) -> &DecisionModel {
         &self.model
     }
@@ -247,6 +249,7 @@ impl EvalContext {
         self.model
     }
 
+    /// Cache / incremental-work counters.
     pub fn stats(&self) -> EngineStats {
         self.stats
     }

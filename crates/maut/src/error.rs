@@ -1,3 +1,5 @@
+//! Error type shared by model construction, validation and mutation.
+
 use std::fmt;
 
 /// Errors raised while assembling or validating a [`crate::DecisionModel`].
@@ -9,34 +11,60 @@ pub enum ModelError {
     NoAlternatives,
     /// An alternative's performance vector has the wrong arity.
     PerformanceArity {
+        /// Offending alternative's name.
         alternative: String,
+        /// Attribute count of the model.
         expected: usize,
+        /// Length of the supplied performance vector.
         got: usize,
     },
     /// A discrete performance level is outside its scale.
     LevelOutOfRange {
+        /// Offending alternative's name.
         alternative: String,
+        /// Attribute whose scale was violated.
         attribute: String,
+        /// The supplied level index.
         level: usize,
+        /// Number of levels the scale actually has.
         levels: usize,
     },
     /// A continuous performance value falls outside its scale range.
     ValueOutOfRange {
+        /// Offending alternative's name.
         alternative: String,
+        /// Attribute whose scale was violated.
         attribute: String,
+        /// The supplied value.
         value: f64,
     },
     /// A utility function does not match its attribute's scale.
-    UtilityMismatch { attribute: String, reason: String },
+    UtilityMismatch {
+        /// Attribute whose utility function mismatches.
+        attribute: String,
+        /// What exactly mismatches (arity, vertex order, ...).
+        reason: String,
+    },
     /// A numeric model input (continuous-scale bound or utility vertex)
     /// is NaN or infinite. Caught at construction so the analyses can
     /// rely on every derived utility being finite — a NaN that slipped
     /// through would otherwise poison orderings mid-cycle.
-    NonFiniteInput { attribute: String, what: String },
+    NonFiniteInput {
+        /// Attribute carrying the non-finite input.
+        attribute: String,
+        /// Which input it is (scale bound, vertex, band endpoint, ...).
+        what: String,
+    },
     /// Sibling weight intervals cannot intersect the normalization simplex.
-    InfeasibleWeights { objective: String },
+    InfeasibleWeights {
+        /// Parent objective whose children's intervals are infeasible.
+        objective: String,
+    },
     /// An attribute was attached to more than one objective.
-    DuplicateAttachment { attribute: String },
+    DuplicateAttachment {
+        /// The attribute attached twice.
+        attribute: String,
+    },
     /// Identifier not found.
     UnknownId(String),
     /// An engine mutation addressed a nonexistent row/column or an

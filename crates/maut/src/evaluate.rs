@@ -29,12 +29,16 @@ pub const ORDERING_EPS: f64 = 1e-9;
 /// Min / average / max overall utilities of one alternative.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct UtilityBounds {
+    /// Weight-lower-bound × band-lower-bound sum (robustness floor).
     pub min: f64,
+    /// Average-weight × band-midpoint sum — what the ranking sorts by.
     pub avg: f64,
+    /// Weight-upper-bound × band-upper-bound sum (may exceed 1, Fig 6).
     pub max: f64,
 }
 
 impl UtilityBounds {
+    /// Sanity predicate: `min ≤ avg ≤ max` within [`ORDERING_EPS`].
     pub fn is_ordered(&self) -> bool {
         self.min <= self.avg + ORDERING_EPS && self.avg <= self.max + ORDERING_EPS
     }
@@ -51,7 +55,9 @@ impl UtilityBounds {
 pub struct RankedAlternative {
     /// Index into the model's alternative list.
     pub alternative: usize,
+    /// The alternative's name.
     pub name: String,
+    /// Its min / average / max overall utilities.
     pub bounds: UtilityBounds,
     /// 1-based rank by average utility.
     pub rank: usize,
@@ -113,6 +119,7 @@ impl Evaluation {
             .count()
     }
 
+    /// Alternative names, in model order (parallel to `bounds`).
     pub fn names(&self) -> &[String] {
         &self.names
     }

@@ -31,7 +31,9 @@ pub enum Aggregation {
 /// (aligned with the tree's node indexing; `None` = no statement).
 #[derive(Debug, Clone, PartialEq)]
 pub struct MemberWeights {
+    /// The member's name.
     pub name: String,
+    /// Local weight interval per objective node (`None` = no statement).
     pub local: Vec<Option<Interval>>,
 }
 
@@ -56,6 +58,7 @@ impl MemberWeights {
 /// Disagreement report for one objective.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Disagreement {
+    /// Index of the objective node the report describes.
     pub objective_index: usize,
     /// Width of the aggregated interval.
     pub group_width: f64,

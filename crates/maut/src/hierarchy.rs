@@ -10,6 +10,8 @@ use serde::{Deserialize, Serialize};
 pub struct ObjectiveId(pub(crate) usize);
 
 impl ObjectiveId {
+    /// The node's index into the tree's arena (also the index every
+    /// per-node table in the evaluation context uses).
     pub fn index(&self) -> usize {
         self.0
     }
@@ -28,7 +30,9 @@ pub struct Objective {
     pub key: String,
     /// Display name (`"Understandability"`).
     pub name: String,
+    /// Parent node (`None` for the root).
     pub parent: Option<ObjectiveId>,
+    /// Child nodes, in insertion order.
     pub children: Vec<ObjectiveId>,
     /// Attribute bound to this node — present iff this is a lowest-level
     /// objective.
@@ -56,18 +60,22 @@ impl ObjectiveTree {
         }
     }
 
+    /// The overall objective (always node 0).
     pub fn root(&self) -> ObjectiveId {
         ObjectiveId(0)
     }
 
+    /// Number of nodes, root included.
     pub fn len(&self) -> usize {
         self.nodes.len()
     }
 
+    /// Whether the tree has no nodes (never true for a built tree).
     pub fn is_empty(&self) -> bool {
         self.nodes.is_empty()
     }
 
+    /// The node behind a handle.
     pub fn get(&self, id: ObjectiveId) -> &Objective {
         &self.nodes[id.0]
     }

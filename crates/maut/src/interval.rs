@@ -41,10 +41,12 @@ impl Interval {
     /// *missing* performances (paper ref \[18\]).
     pub const UNIT: Interval = Interval { lo: 0.0, hi: 1.0 };
 
+    /// Lower endpoint.
     pub fn lo(&self) -> f64 {
         self.lo
     }
 
+    /// Upper endpoint.
     pub fn hi(&self) -> f64 {
         self.hi
     }
@@ -54,22 +56,27 @@ impl Interval {
         (self.lo + self.hi) / 2.0
     }
 
+    /// `hi − lo`.
     pub fn width(&self) -> f64 {
         self.hi - self.lo
     }
 
+    /// Whether the interval is degenerate (`lo == hi`).
     pub fn is_point(&self) -> bool {
         self.lo == self.hi
     }
 
+    /// Whether `v` lies inside the interval (endpoints included).
     pub fn contains(&self, v: f64) -> bool {
         v >= self.lo && v <= self.hi
     }
 
+    /// Whether `other` lies entirely inside this interval.
     pub fn contains_interval(&self, other: &Interval) -> bool {
         self.lo <= other.lo && other.hi <= self.hi
     }
 
+    /// Whether the two intervals overlap (sharing an endpoint counts).
     pub fn intersects(&self, other: &Interval) -> bool {
         self.lo <= other.hi && other.lo <= self.hi
     }

@@ -65,6 +65,8 @@
 //! assert_eq!(ctx.stats().rows_recomputed, 1);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod builder;
 pub mod elicit;
 pub mod engine;

@@ -15,6 +15,8 @@ use serde::{Deserialize, Serialize};
 pub struct AttributeId(pub(crate) usize);
 
 impl AttributeId {
+    /// The attribute's column index (into `attributes`, `utilities` and
+    /// the performance table).
     pub fn index(&self) -> usize {
         self.0
     }
@@ -34,7 +36,9 @@ impl AttributeId {
 /// [`DecisionModel::validate`] as the invariant check.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DecisionModel {
+    /// Display name of the decision problem.
     pub name: String,
+    /// The objective hierarchy (Fig 1 shape).
     pub tree: ObjectiveTree,
     /// Indexed by [`AttributeId`].
     pub attributes: Vec<Attribute>,
@@ -43,24 +47,31 @@ pub struct DecisionModel {
     /// Local (sibling-relative) weight interval per objective node; `None`
     /// means indifference within the sibling group.
     pub local_weights: Vec<Option<Interval>>,
+    /// Alternative names, in row order.
     pub alternatives: Vec<String>,
+    /// The alternatives × attributes performance matrix.
     pub perf: PerformanceTable,
+    /// How missing performances are valued.
     pub missing_policy: MissingPolicy,
 }
 
 impl DecisionModel {
+    /// Number of attributes (columns).
     pub fn num_attributes(&self) -> usize {
         self.attributes.len()
     }
 
+    /// Number of alternatives (rows).
     pub fn num_alternatives(&self) -> usize {
         self.alternatives.len()
     }
 
+    /// The attribute behind a handle.
     pub fn attribute(&self, id: AttributeId) -> &Attribute {
         &self.attributes[id.0]
     }
 
+    /// The component utility function of an attribute.
     pub fn utility(&self, id: AttributeId) -> &UtilityFunction {
         &self.utilities[id.0]
     }

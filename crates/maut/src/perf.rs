@@ -24,19 +24,23 @@ pub enum Perf {
 }
 
 impl Perf {
+    /// Shorthand for [`Perf::Level`].
     pub fn level(l: usize) -> Perf {
         Perf::Level(l)
     }
 
+    /// Shorthand for [`Perf::Value`].
     pub fn value(v: f64) -> Perf {
         Perf::Value(v)
     }
 
+    /// Shorthand for [`Perf::Range`]; panics on an inverted range.
     pub fn range(lo: f64, hi: f64) -> Perf {
         assert!(lo <= hi, "inverted performance range [{lo}, {hi}]");
         Perf::Range(lo, hi)
     }
 
+    /// Whether this entry is [`Perf::Missing`].
     pub fn is_missing(&self) -> bool {
         matches!(self, Perf::Missing)
     }
@@ -70,6 +74,7 @@ pub struct PerformanceTable {
 }
 
 impl PerformanceTable {
+    /// An empty table with a fixed column count.
     pub fn new(num_attributes: usize) -> PerformanceTable {
         PerformanceTable {
             num_attributes,
@@ -77,10 +82,12 @@ impl PerformanceTable {
         }
     }
 
+    /// Number of columns (attributes).
     pub fn num_attributes(&self) -> usize {
         self.num_attributes
     }
 
+    /// Number of rows (alternatives).
     pub fn num_alternatives(&self) -> usize {
         self.rows.len()
     }
@@ -96,14 +103,19 @@ impl PerformanceTable {
         self.rows.push(row);
     }
 
+    /// One cell.
     pub fn get(&self, alternative: usize, attribute: usize) -> Perf {
         self.rows[alternative][attribute]
     }
 
+    /// Overwrite one cell. No validation happens here — mutate through
+    /// [`crate::engine::EvalContext::set_perf`] (or re-validate) so
+    /// scale violations cannot slip in.
     pub fn set(&mut self, alternative: usize, attribute: usize, p: Perf) {
         self.rows[alternative][attribute] = p;
     }
 
+    /// One alternative's full performance row.
     pub fn row(&self, alternative: usize) -> &[Perf] {
         &self.rows[alternative]
     }

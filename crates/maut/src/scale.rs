@@ -23,10 +23,13 @@ pub enum Direction {
 /// codings where higher codes are better.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DiscreteScale {
+    /// Level names, least preferred first.
     pub levels: Vec<String>,
 }
 
 impl DiscreteScale {
+    /// Build from level names (least preferred first); panics on fewer
+    /// than two levels.
     pub fn new(levels: &[&str]) -> DiscreteScale {
         assert!(
             levels.len() >= 2,
@@ -37,14 +40,17 @@ impl DiscreteScale {
         }
     }
 
+    /// Number of levels.
     pub fn len(&self) -> usize {
         self.levels.len()
     }
 
+    /// Whether the scale has no levels (never true for a built scale).
     pub fn is_empty(&self) -> bool {
         self.levels.is_empty()
     }
 
+    /// Name of a level, if in range.
     pub fn level_name(&self, level: usize) -> Option<&str> {
         self.levels.get(level).map(|s| s.as_str())
     }
@@ -65,12 +71,17 @@ impl DiscreteScale {
 /// A continuous scale over `[min, max]`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ContinuousScale {
+    /// Smallest admissible raw value.
     pub min: f64,
+    /// Largest admissible raw value.
     pub max: f64,
+    /// Which end of the range is preferred.
     pub direction: Direction,
 }
 
 impl ContinuousScale {
+    /// Build a scale over `[min, max]`; panics on an empty or non-finite
+    /// range.
     pub fn new(min: f64, max: f64, direction: Direction) -> ContinuousScale {
         assert!(
             min < max && min.is_finite() && max.is_finite(),
@@ -83,6 +94,7 @@ impl ContinuousScale {
         }
     }
 
+    /// Whether `v` lies inside the range (endpoints included).
     pub fn contains(&self, v: f64) -> bool {
         v >= self.min && v <= self.max
     }
@@ -100,11 +112,14 @@ impl ContinuousScale {
 /// Either kind of scale.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Scale {
+    /// An ordered discrete scale.
     Discrete(DiscreteScale),
+    /// A continuous scale over a range.
     Continuous(ContinuousScale),
 }
 
 impl Scale {
+    /// The discrete scale, if this is one.
     pub fn as_discrete(&self) -> Option<&DiscreteScale> {
         match self {
             Scale::Discrete(d) => Some(d),
@@ -112,6 +127,7 @@ impl Scale {
         }
     }
 
+    /// The continuous scale, if this is one.
     pub fn as_continuous(&self) -> Option<&ContinuousScale> {
         match self {
             Scale::Continuous(c) => Some(c),
@@ -128,10 +144,12 @@ pub struct Attribute {
     pub key: String,
     /// Human-readable name, e.g. `"Financial cost of reuse"`.
     pub name: String,
+    /// What the attribute's raw performances mean.
     pub scale: Scale,
 }
 
 impl Attribute {
+    /// Convenience constructor for a discretely-scaled attribute.
     pub fn discrete(key: impl Into<String>, name: impl Into<String>, levels: &[&str]) -> Attribute {
         Attribute {
             key: key.into(),
@@ -140,6 +158,7 @@ impl Attribute {
         }
     }
 
+    /// Convenience constructor for a continuously-scaled attribute.
     pub fn continuous(
         key: impl Into<String>,
         name: impl Into<String>,

@@ -98,10 +98,12 @@ impl BandMatrixSoA {
         }
     }
 
+    /// Number of alternatives (rows of the logical matrix).
     pub fn n_alternatives(&self) -> usize {
         self.n_alts
     }
 
+    /// Number of attributes (columns of the logical matrix).
     pub fn n_attributes(&self) -> usize {
         self.n_attrs
     }
@@ -127,10 +129,12 @@ impl BandMatrixSoA {
         self.lo[j * self.n_alts + i]
     }
 
+    /// Midpoint of cell `(i, j)` (gather; prefer column sweeps when hot).
     pub fn mid(&self, i: usize, j: usize) -> f64 {
         self.mid[j * self.n_alts + i]
     }
 
+    /// Upper bound of cell `(i, j)` (gather; prefer column sweeps when hot).
     pub fn hi(&self, i: usize, j: usize) -> f64 {
         self.hi[j * self.n_alts + i]
     }

@@ -56,10 +56,12 @@ impl DiscreteUtility {
         }
     }
 
+    /// Number of levels the class covers.
     pub fn num_levels(&self) -> usize {
         self.per_level.len()
     }
 
+    /// The admissible utility band of one level.
     pub fn utility_of(&self, level: usize) -> Interval {
         self.per_level[level]
     }
@@ -77,6 +79,8 @@ pub struct PiecewiseLinearUtility {
 }
 
 impl PiecewiseLinearUtility {
+    /// Build from vertices; panics on arity mismatch, fewer than two
+    /// vertices, or non-increasing x-coordinates.
     pub fn new(xs: Vec<f64>, us: Vec<Interval>) -> PiecewiseLinearUtility {
         assert_eq!(xs.len(), us.len(), "vertex arity mismatch");
         assert!(xs.len() >= 2, "need at least two vertices");
@@ -130,7 +134,9 @@ impl PiecewiseLinearUtility {
 /// A component utility function of either kind.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum UtilityFunction {
+    /// Utility class over a discrete scale (one band per level).
     Discrete(DiscreteUtility),
+    /// Utility class over a continuous scale (banded piecewise-linear).
     PiecewiseLinear(PiecewiseLinearUtility),
 }
 

@@ -23,12 +23,18 @@ use serde::{Deserialize, Serialize};
 /// `(low, avg, upp)` for one attribute — one row of the paper's Fig 5.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct WeightTriple {
+    /// Product of the path's interval lower bounds.
     pub low: f64,
+    /// Product of the path's normalized interval midpoints (sums to 1
+    /// over all attributes).
     pub avg: f64,
+    /// Product of the path's interval upper bounds.
     pub upp: f64,
 }
 
 impl WeightTriple {
+    /// Sanity predicate: `low ≤ avg ≤ upp` (tolerances for roundoff) and
+    /// `low` non-negative.
     pub fn is_consistent(&self) -> bool {
         self.low <= self.avg + 1e-9 && self.avg <= self.upp + 1e-9 && self.low >= -1e-12
     }
@@ -37,15 +43,19 @@ impl WeightTriple {
 /// Flattened attribute-level weights in hierarchy (display) order.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AttributeWeights {
+    /// Attribute ids, in hierarchy (display) order.
     pub attributes: Vec<AttributeId>,
+    /// The `(low, avg, upp)` triple of each attribute (parallel vector).
     pub triples: Vec<WeightTriple>,
 }
 
 impl AttributeWeights {
+    /// Number of attributes.
     pub fn len(&self) -> usize {
         self.attributes.len()
     }
 
+    /// Whether there are no attributes (never true for a valid model).
     pub fn is_empty(&self) -> bool {
         self.attributes.is_empty()
     }
@@ -58,14 +68,17 @@ impl AttributeWeights {
             .map(|i| self.triples[i])
     }
 
+    /// The lower bounds as a flat vector (LP/polytope input order).
     pub fn lows(&self) -> Vec<f64> {
         self.triples.iter().map(|t| t.low).collect()
     }
 
+    /// The normalized averages as a flat vector (scoring weights).
     pub fn avgs(&self) -> Vec<f64> {
         self.triples.iter().map(|t| t.avg).collect()
     }
 
+    /// The upper bounds as a flat vector (LP/polytope input order).
     pub fn upps(&self) -> Vec<f64> {
         self.triples.iter().map(|t| t.upp).collect()
     }

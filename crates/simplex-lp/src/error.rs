@@ -8,12 +8,24 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq)]
 pub enum LpError {
     /// A coefficient row has the wrong number of entries.
-    DimensionMismatch { expected: usize, got: usize },
+    DimensionMismatch {
+        /// The program's variable count.
+        expected: usize,
+        /// Entries actually supplied.
+        got: usize,
+    },
     /// A coefficient, bound or right-hand side is NaN or infinite where a
     /// finite value is required.
     NonFiniteInput(String),
     /// A variable's lower bound exceeds its upper bound.
-    InvalidBound { var: usize, lower: f64, upper: f64 },
+    InvalidBound {
+        /// The offending variable's index.
+        var: usize,
+        /// Its lower bound.
+        lower: f64,
+        /// Its upper bound.
+        upper: f64,
+    },
     /// The pivoting loop exceeded its iteration budget. With Bland's rule
     /// this indicates numerical corruption rather than cycling.
     IterationLimit(usize),

@@ -78,6 +78,8 @@
 //! assert_eq!(ws.stats().solves, 2);
 //! ```
 
+#![warn(missing_docs)]
+
 mod error;
 mod polytope;
 mod problem;

@@ -80,10 +80,12 @@ impl WeightPolytope {
         self.lower.len()
     }
 
+    /// Per-weight lower bounds.
     pub fn lower(&self) -> &[f64] {
         &self.lower
     }
 
+    /// Per-weight upper bounds.
     pub fn upper(&self) -> &[f64] {
         &self.upper
     }

@@ -5,7 +5,9 @@ use crate::workspace::SolverWorkspace;
 /// Optimization direction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Objective {
+    /// Minimize the objective functional.
     Minimize,
+    /// Maximize the objective functional.
     Maximize,
 }
 
@@ -23,8 +25,11 @@ pub enum Relation {
 /// A single linear constraint `coeffs · x REL rhs`.
 #[derive(Debug, Clone)]
 pub struct Constraint {
+    /// Coefficient row `a` (one entry per variable).
     pub coeffs: Vec<f64>,
+    /// The relation between `a·x` and `rhs`.
     pub relation: Relation,
+    /// Right-hand side `b`.
     pub rhs: f64,
 }
 

@@ -41,6 +41,7 @@ pub enum Status {
 /// Result of [`LinearProgram::solve`] / [`LinearProgram::solve_with`].
 #[derive(Debug, Clone)]
 pub struct Solution {
+    /// Optimal / infeasible / unbounded.
     pub status: Status,
     /// Optimal objective value in the user's direction. Meaningless unless
     /// `status == Optimal`.

@@ -90,7 +90,7 @@ impl SolveStats {
 /// back to the cold path exactly as for the chained basis, so the cache
 /// can never change results.
 ///
-/// Invariants: entries survive [`SolverWorkspace::save_basis`] (only an
+/// Invariants: entries survive the internal post-solve basis save (only an
 /// explicit stash overwrites a key) and the whole cache is dropped by
 /// [`SolverWorkspace::invalidate`] — after a structural change (a new
 /// weight polytope) every stored basis is a stale guess not worth a
@@ -102,18 +102,22 @@ pub struct BasisCache {
 }
 
 impl BasisCache {
+    /// Number of stashed bases.
     pub fn len(&self) -> usize {
         self.entries.len()
     }
 
+    /// Whether no basis is stashed.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
 
+    /// Drop every stashed basis.
     pub fn clear(&mut self) {
         self.entries.clear();
     }
 
+    /// Whether a basis is stashed under `key`.
     pub fn contains(&self, key: usize) -> bool {
         self.entries.contains_key(&key)
     }
@@ -168,6 +172,7 @@ pub struct SolverWorkspace {
 }
 
 impl SolverWorkspace {
+    /// A fresh workspace: empty buffers, no saved basis, zeroed counters.
     pub fn new() -> SolverWorkspace {
         SolverWorkspace::default()
     }
