@@ -46,10 +46,10 @@ fn abl12_missing_policy(c: &mut Criterion) {
     group.bench_function("unit_interval", |bch| {
         bch.iter(|| {
             black_box(evaluate_scope(&interval_model, interval_model.tree.root()).ranking())
-        })
+        });
     });
     group.bench_function("worst", |bch| {
-        bch.iter(|| black_box(evaluate_scope(&worst_model, worst_model.tree.root()).ranking()))
+        bch.iter(|| black_box(evaluate_scope(&worst_model, worst_model.tree.root()).ranking()));
     });
     group.finish();
 }
@@ -106,7 +106,7 @@ fn exp15_selection(c: &mut Criterion) {
                 neon_reuse::dataset::TOTAL_CQS,
                 0.70,
             ))
-        })
+        });
     });
 }
 

@@ -19,7 +19,7 @@ fn fig01_hierarchy(c: &mut Criterion) {
         b.iter(|| {
             let data = neon_reuse::paper_model();
             black_box(gmaa::report::hierarchy(&data.model))
-        })
+        });
     });
 }
 
@@ -29,7 +29,7 @@ fn fig02_performances(c: &mut Criterion) {
     assert_eq!(text.lines().count(), 24);
 
     c.bench_function("fig02_performances_render", |b| {
-        b.iter(|| black_box(gmaa::report::consequences(&model)))
+        b.iter(|| black_box(gmaa::report::consequences(&model)));
     });
 }
 
@@ -57,7 +57,7 @@ fn fig03_component_utility(c: &mut Criterion) {
                     .mid();
             }
             black_box(acc)
-        })
+        });
     });
 }
 
@@ -84,7 +84,7 @@ fn fig04_discrete_utility(c: &mut Criterion) {
                     .mid();
             }
             black_box(acc)
-        })
+        });
     });
 }
 
@@ -98,7 +98,7 @@ fn fig05_weights(c: &mut Criterion) {
     assert!((total - 1.0).abs() < 1e-9);
 
     c.bench_function("fig05_weight_flattening", |b| {
-        b.iter(|| black_box(model.attribute_weights()))
+        b.iter(|| black_box(model.attribute_weights()));
     });
 }
 

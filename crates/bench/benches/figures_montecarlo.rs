@@ -27,7 +27,7 @@ fn fig09_montecarlo(c: &mut Criterion) {
         b.iter(|| {
             let mc = MonteCarlo::new(MonteCarloConfig::ElicitedIntervals, 10_000, 1);
             black_box(mc.run_ctx(&ctx))
-        })
+        });
     });
 }
 
@@ -54,7 +54,7 @@ fn fig10_rank_stats(c: &mut Criterion) {
 
     c.bench_function("fig10_rank_statistics", |b| {
         let result = MonteCarlo::new(MonteCarloConfig::ElicitedIntervals, 2_000, 3).run_ctx(&ctx);
-        b.iter(|| black_box(gmaa::report::rank_statistics(&result.stats)))
+        b.iter(|| black_box(gmaa::report::rank_statistics(&result.stats)));
     });
 }
 
@@ -80,7 +80,7 @@ fn exp14_robustness(c: &mut Criterion) {
                 result.always_rank_one(),
                 result.fluctuation_of_top(5),
             ))
-        })
+        });
     });
 }
 
@@ -110,7 +110,7 @@ fn abl13_mc_classes(c: &mut Criterion) {
     ];
     for (label, config) in classes {
         group.bench_with_input(BenchmarkId::from_parameter(label), &config, |b, cfg| {
-            b.iter(|| black_box(MonteCarlo::new(cfg.clone(), 2_000, 17).run_ctx(&ctx)))
+            b.iter(|| black_box(MonteCarlo::new(cfg.clone(), 2_000, 17).run_ctx(&ctx)));
         });
     }
     group.finish();
@@ -128,15 +128,15 @@ fn abl15_mc_soa_pipeline(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("abl15_mc_soa_pipeline");
     group.bench_function("scalar_reference", |b| {
-        b.iter(|| black_box(mc.run_scalar_ctx(&ctx)))
+        b.iter(|| black_box(mc.run_scalar_ctx(&ctx)));
     });
     group.bench_function("soa_batch_1thread", |b| {
         let mc = mc.clone().with_threads(1);
-        b.iter(|| black_box(mc.run_ctx(&ctx)))
+        b.iter(|| black_box(mc.run_ctx(&ctx)));
     });
     group.bench_function("soa_batch_parallel", |b| {
         let mc = mc.clone().with_threads(0);
-        b.iter(|| black_box(mc.run_ctx(&ctx)))
+        b.iter(|| black_box(mc.run_ctx(&ctx)));
     });
     group.finish();
 }
@@ -148,13 +148,13 @@ fn montecarlo_scaling(c: &mut Criterion) {
     for trials in [1_000usize, 5_000, 10_000, 20_000] {
         group.bench_with_input(BenchmarkId::new("scalar_ref", trials), &trials, |b, &t| {
             let mc = MonteCarlo::new(MonteCarloConfig::ElicitedIntervals, t, 23);
-            b.iter(|| black_box(mc.run_scalar_ctx(&ctx)))
+            b.iter(|| black_box(mc.run_scalar_ctx(&ctx)));
         });
         group.bench_with_input(BenchmarkId::new("soa_batch", trials), &trials, |b, &t| {
             // Pin to one worker so this series isolates the layout win;
             // abl15_mc_soa_pipeline covers the parallel variant.
             let mc = MonteCarlo::new(MonteCarloConfig::ElicitedIntervals, t, 23).with_threads(1);
-            b.iter(|| black_box(mc.run_ctx(&ctx)))
+            b.iter(|| black_box(mc.run_ctx(&ctx)));
         });
     }
     group.finish();

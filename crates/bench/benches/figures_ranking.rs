@@ -23,7 +23,7 @@ fn fig06_ranking(c: &mut Criterion) {
         b.iter(|| {
             let e = evaluate_scope(&model, model.tree.root());
             black_box(e.ranking())
-        })
+        });
     });
 }
 
@@ -42,7 +42,7 @@ fn fig07_understandability(c: &mut Criterion) {
         b.iter(|| {
             let e = evaluate_scope(&model, under);
             black_box(e.ranking())
-        })
+        });
     });
 }
 

@@ -44,7 +44,7 @@ fn fig08_stability(c: &mut Criterion) {
                 StabilityMode::BestAlternative,
                 100,
             ))
-        })
+        });
     });
 
     c.bench_function("fig08_stability_all_objectives", |b| {
@@ -54,7 +54,7 @@ fn fig08_stability(c: &mut Criterion) {
                 StabilityMode::BestAlternative,
                 50,
             ))
-        })
+        });
     });
 }
 
@@ -65,7 +65,7 @@ fn exp11_dominance(c: &mut Criterion) {
     assert!(nd.len() >= 10, "non-dominated count {}", nd.len());
 
     c.bench_function("exp11_dominance_matrix_23", |b| {
-        b.iter(|| black_box(maut_sense::dominance_matrix_ctx(&ctx)))
+        b.iter(|| black_box(maut_sense::dominance_matrix_ctx(&ctx)));
     });
 }
 
@@ -83,7 +83,7 @@ fn exp11_potential_optimality(c: &mut Criterion) {
     assert!(discarded.contains(&"Photography Ontology"));
 
     c.bench_function("exp11_potential_optimality_23_lps", |b| {
-        b.iter(|| black_box(maut_sense::potentially_optimal_ctx(&ctx)))
+        b.iter(|| black_box(maut_sense::potentially_optimal_ctx(&ctx)));
     });
 }
 
@@ -92,7 +92,7 @@ fn sensitivity_scaling(c: &mut Criterion) {
     for n_alts in [10usize, 25, 50] {
         let ctx = EvalContext::new(bench::synthetic(n_alts, 10, 7)).expect("valid");
         group.bench_with_input(BenchmarkId::from_parameter(n_alts), &ctx, |b, ctx| {
-            b.iter(|| black_box(maut_sense::potentially_optimal_ctx(ctx)))
+            b.iter(|| black_box(maut_sense::potentially_optimal_ctx(ctx)));
         });
     }
     group.finish();
@@ -101,7 +101,7 @@ fn sensitivity_scaling(c: &mut Criterion) {
     for n_alts in [10usize, 50, 100] {
         let ctx = EvalContext::new(bench::synthetic(n_alts, 10, 7)).expect("valid");
         group.bench_with_input(BenchmarkId::from_parameter(n_alts), &ctx, |b, ctx| {
-            b.iter(|| black_box(maut_sense::non_dominated_ctx(ctx)))
+            b.iter(|| black_box(maut_sense::non_dominated_ctx(ctx)));
         });
     }
     group.finish();

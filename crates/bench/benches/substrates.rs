@@ -26,10 +26,10 @@ fn turtle_roundtrip(c: &mut Criterion) {
         assert_eq!(parse_turtle(&text).expect("valid").len(), graph.len());
 
         group.bench_with_input(BenchmarkId::new("parse", n_classes), &text, |b, t| {
-            b.iter(|| black_box(parse_turtle(t).expect("valid")))
+            b.iter(|| black_box(parse_turtle(t).expect("valid")));
         });
         group.bench_with_input(BenchmarkId::new("write", n_classes), &graph, |b, g| {
-            b.iter(|| black_box(write_turtle(g)))
+            b.iter(|| black_box(write_turtle(g)));
         });
     }
     group.finish();
@@ -60,7 +60,7 @@ fn simplex_lp_solve(c: &mut Criterion) {
     let mut group = c.benchmark_group("simplex_lp");
     for n in [10usize, 25, 50] {
         group.bench_with_input(BenchmarkId::new("max_slack_cold", n), &n, |b, &n| {
-            b.iter(|| black_box(max_slack_lp(n, 0.0).solve().expect("solvable")))
+            b.iter(|| black_box(max_slack_lp(n, 0.0).solve().expect("solvable")));
         });
         // The warm-start family: same skeleton, perturbed rows, one
         // shared workspace — the potential-optimality solve pattern.
@@ -72,7 +72,7 @@ fn simplex_lp_solve(c: &mut Criterion) {
                 step = (step + 1) % 8;
                 let lp = max_slack_lp(n, step as f64 * 0.003);
                 black_box(lp.solve_with(&mut ws).expect("solvable"))
-            })
+            });
         });
     }
     group.finish();
@@ -85,7 +85,7 @@ fn polytope_optimization(c: &mut Criterion) {
     let coeffs: Vec<f64> = (0..14).map(|j| (j as f64 * 0.37).sin()).collect();
 
     c.bench_function("polytope_greedy_minimize_14", |b| {
-        b.iter(|| black_box(polytope.minimize(&coeffs)))
+        b.iter(|| black_box(polytope.minimize(&coeffs)));
     });
 }
 
@@ -114,7 +114,7 @@ fn samplers(c: &mut Criterion) {
         let sampler = SimplexSampler::new(14, scheme);
         group.bench_with_input(BenchmarkId::from_parameter(label), &sampler, |b, s| {
             let mut rng = StdRng::seed_from_u64(9);
-            b.iter(|| black_box(s.sample(&mut rng)))
+            b.iter(|| black_box(s.sample(&mut rng)));
         });
     }
     group.finish();
@@ -138,7 +138,7 @@ fn ontology_assessment(c: &mut Criterion) {
     let assessor = OntologyAssessor::new(questions);
 
     c.bench_function("assess_200_class_ontology", |b| {
-        b.iter(|| black_box(assessor.assess(&ontology, &AssessmentInput::default())))
+        b.iter(|| black_box(assessor.assess(&ontology, &AssessmentInput::default())));
     });
 }
 

@@ -142,6 +142,7 @@ impl WeightPolytope {
         let mut w = self.lower.clone();
         let mut remaining: f64 = 1.0 - w.iter().sum::<f64>();
         let mut order: Vec<usize> = (0..self.dim()).collect();
+        // lint:allow(total-float-ordering) -- frozen PR-2 baseline kept verbatim for benchmark comparability
         order.sort_by(|&a, &b| c[a].partial_cmp(&c[b]).expect("finite coefficients"));
         for &j in &order {
             if remaining <= EPS {

@@ -135,6 +135,7 @@ impl SessionManager {
                 std::thread::Builder::new()
                     .name(format!("gmaa-serve-shard-{index}"))
                     .spawn(move || shard.run(rx))
+                    // lint:allow(no-panic-in-serving) -- startup-time spawn before any tenant traffic; a process that cannot create threads cannot serve at all
                     .expect("spawn shard worker"),
             );
             senders.push(tx);
@@ -160,13 +161,18 @@ impl SessionManager {
     pub fn submit(&self, request: Request) -> Pending {
         let shard = self.shard_of(request.session());
         let (tx, rx) = channel();
-        if self.senders[shard]
-            .send(Command::Api {
-                request: Box::new(request),
-                reply: tx.clone(),
-            })
-            .is_err()
-        {
+        // `shard_of` is always in range, but a typed degradation beats an
+        // indexing panic if that ever stops holding.
+        let sent = match self.senders.get(shard) {
+            Some(sender) => sender
+                .send(Command::Api {
+                    request: Box::new(request),
+                    reply: tx.clone(),
+                })
+                .is_ok(),
+            None => false,
+        };
+        if !sent {
             let _ = tx.send(Err(ServeError::ShardDown));
         }
         Pending { rx }

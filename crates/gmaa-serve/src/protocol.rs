@@ -224,6 +224,11 @@ pub enum ServeError {
     /// The owning shard's worker is gone (the manager was shut down, or
     /// the worker panicked).
     ShardDown,
+    /// A shard-side invariant broke. The request failed but the shard
+    /// keeps serving — this is the typed fallback the serving path uses
+    /// instead of panicking (see `docs/INVARIANTS.md`, rule
+    /// `no-panic-in-serving`).
+    Internal(String),
 }
 
 impl fmt::Display for ServeError {
@@ -236,6 +241,7 @@ impl fmt::Display for ServeError {
             ServeError::Lp(e) => write!(f, "LP solver breakdown: {e}"),
             ServeError::Snapshot(e) => write!(f, "snapshot failed: {e}"),
             ServeError::ShardDown => write!(f, "shard worker is gone"),
+            ServeError::Internal(m) => write!(f, "internal shard invariant broke: {m}"),
         }
     }
 }

@@ -211,9 +211,17 @@ impl Shard {
                 }
             }
         }
-        let s = self.live.get_mut(session).expect("present or rehydrated");
-        s.last_used = self.clock;
-        Ok(s)
+        match self.live.get_mut(session) {
+            Some(s) => {
+                s.last_used = self.clock;
+                Ok(s)
+            }
+            // Unreachable after the insert above; if the invariant ever
+            // breaks, fail this one request instead of killing the shard.
+            None => Err(ServeError::Internal(format!(
+                "session {session:?} vanished between rehydration and touch"
+            ))),
+        }
     }
 
     /// Hibernate LRU sessions until there is room for one more live
@@ -228,7 +236,11 @@ impl Shard {
             else {
                 return;
             };
-            let s = self.live.remove(&victim).expect("just found");
+            // The victim came out of `self.live` one statement ago; if it
+            // is somehow gone, there is nothing to evict.
+            let Some(s) = self.live.remove(&victim) else {
+                return;
+            };
             match s.snapshot(&victim) {
                 Ok(snap) => {
                     self.retire(&s);

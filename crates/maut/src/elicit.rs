@@ -112,7 +112,7 @@ pub fn utility_from_probability_answers(
     pts.retain(|(x, _)| *x != scale.min && *x != scale.max);
     pts.push((scale.min, u_min));
     pts.push((scale.max, u_max));
-    pts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+    pts.sort_by(|a, b| a.0.total_cmp(&b.0));
     pts.dedup_by(|a, b| a.0 == b.0);
 
     // Monotonicity in preference direction: band midpoints must be ordered.

@@ -78,11 +78,20 @@ impl Evaluation {
     /// determinism.
     pub fn ranking(&self) -> Vec<RankedAlternative> {
         let mut idx: Vec<usize> = (0..self.bounds.len()).collect();
+        // NaN averages sink to the bottom of the ranking: a bare
+        // descending `total_cmp` would put +NaN above +inf, so NaN keys
+        // collapse to -inf before comparing.
+        let key = |i: usize| {
+            let avg = self.bounds[i].avg;
+            if avg.is_nan() {
+                f64::NEG_INFINITY
+            } else {
+                avg
+            }
+        };
         idx.sort_by(|&a, &b| {
-            self.bounds[b]
-                .avg
-                .partial_cmp(&self.bounds[a].avg)
-                .expect("finite utilities")
+            key(b)
+                .total_cmp(&key(a))
                 .then_with(|| self.names[a].cmp(&self.names[b]))
         });
         idx.iter()
@@ -201,6 +210,21 @@ mod tests {
         assert_eq!(r[0].rank, 1);
         assert_eq!(r[2].rank, 3);
         assert_eq!(e.best(), 0);
+    }
+
+    #[test]
+    fn nan_average_ranks_last_not_first() {
+        let m = model();
+        let mut e = evaluate_scope(&m, m.tree.root());
+        // Poison the would-be winner; the ranking must sink it to the
+        // bottom (a bare descending total_cmp would crown it) and must
+        // not panic the way the old partial_cmp().expect() did.
+        e.bounds[0].avg = f64::NAN;
+        let r = e.ranking();
+        assert_eq!(r[2].name, "good");
+        assert!(r[2].bounds.avg.is_nan());
+        assert_eq!(r[0].rank, 1);
+        assert_ne!(e.best(), 0);
     }
 
     #[test]

@@ -119,11 +119,16 @@ pub fn aggregate(
             midpoint_spread: spread,
         });
     }
-    report.sort_by(|a, b| {
-        b.midpoint_spread
-            .partial_cmp(&a.midpoint_spread)
-            .expect("finite")
-    });
+    // Descending spread; NaN spreads sink last via the -inf key (a bare
+    // descending total_cmp would rank them first).
+    let key = |d: &Disagreement| {
+        if d.midpoint_spread.is_nan() {
+            f64::NEG_INFINITY
+        } else {
+            d.midpoint_spread
+        }
+    };
+    report.sort_by(|a, b| key(b).total_cmp(&key(a)));
     (group, report)
 }
 
@@ -194,6 +199,18 @@ mod tests {
         // hull of midpoints 0.15 and 0.75
         let g = group[1].expect("stated");
         assert!((g.lo() - 0.15).abs() < 1e-12 && (g.hi() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disagreement_report_sorts_by_descending_spread() {
+        let m = base_model();
+        // dm1 and dm2 disagree more on x (node 1) than on y (node 2).
+        let dm1 = MemberWeights::precise("dm1", &m.tree, &[(1, 0.9), (2, 0.45)]);
+        let dm2 = MemberWeights::precise("dm2", &m.tree, &[(1, 0.1), (2, 0.55)]);
+        let (_, report) = aggregate(&m.tree, &[dm1, dm2], Aggregation::Hull);
+        assert_eq!(report[0].objective_index, 1);
+        assert!((report[0].midpoint_spread - 0.8).abs() < 1e-12);
+        assert!(report[0].midpoint_spread >= report[1].midpoint_spread);
     }
 
     #[test]

@@ -149,9 +149,7 @@ impl WeightPolytope {
     /// buffers — the batch-sweep entry point (bit-identical to
     /// [`WeightPolytope::minimize`], without its allocations).
     pub fn minimize_value(&self, c: &[f64], scratch: &mut GreedyScratch) -> f64 {
-        self.pour(c, scratch, |a, b| {
-            a.partial_cmp(&b).expect("finite coefficients")
-        })
+        self.pour(c, scratch, |a, b| a.total_cmp(&b))
     }
 
     /// Maximum of `c · w` over the polytope, reusing the caller's scratch
@@ -161,9 +159,7 @@ impl WeightPolytope {
         // the coordinates `minimize(-c)` would (negation is exact and
         // ties keep index order), so the value matches -minimize(-c)
         // bit for bit.
-        self.pour(c, scratch, |a, b| {
-            b.partial_cmp(&a).expect("finite coefficients")
-        })
+        self.pour(c, scratch, |a, b| b.total_cmp(&a))
     }
 
     /// Minimize `c · w` over the polytope. Exact greedy continuous-knapsack:
@@ -301,5 +297,31 @@ mod tests {
         let (mx, w) = p.maximize(&c);
         assert!((mx - 0.9).abs() < 1e-9);
         assert!((w[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn total_ordering_keeps_min_max_duality_bit_exact() {
+        // Under total_cmp the maximize == -minimize(-c) identity must
+        // stay bit-exact even through signed-zero ties: negation reverses
+        // the total order exactly (-0.0 < +0.0 flips to +0.0 > -0.0), so
+        // both directions visit the coordinates in the same order.
+        let p = WeightPolytope::new(&[0.1, 0.1, 0.1], &[0.8, 0.8, 0.8]).unwrap();
+        let c = [0.0, -0.0, 0.5];
+        let neg: Vec<f64> = c.iter().map(|x| -x).collect();
+        let mut scratch = GreedyScratch::default();
+        let max = p.maximize_value(&c, &mut scratch);
+        let min = p.minimize_value(&neg, &mut scratch);
+        assert_eq!(max.to_bits(), (-min).to_bits());
+    }
+
+    #[test]
+    fn nan_coefficient_degrades_without_panicking() {
+        // The old partial_cmp().expect("finite coefficients") aborted on
+        // NaN input; total_cmp sorts it deterministically instead and the
+        // NaN simply propagates into the objective value.
+        let p = WeightPolytope::new(&[0.2, 0.2], &[0.8, 0.8]).unwrap();
+        let mut scratch = GreedyScratch::default();
+        let v = p.minimize_value(&[f64::NAN, 1.0], &mut scratch);
+        assert!(v.is_nan());
     }
 }

@@ -27,7 +27,7 @@ impl Boxplot {
     pub fn new(label: impl Into<String>, samples: &[f64]) -> Option<Boxplot> {
         let d = Describe::new(samples)?;
         let mut sorted = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         let q1 = percentile(&sorted, 25.0);
         let q3 = percentile(&sorted, 75.0);
         let iqr = q3 - q1;

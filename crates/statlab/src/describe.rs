@@ -61,7 +61,7 @@ impl Describe {
         }
         let n = samples.len();
         let mut sorted = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
 
         // Welford's online algorithm for numerically stable mean/variance.
         let mut mean = 0.0;

@@ -49,18 +49,26 @@ pub fn rank_vector_with<'s>(
     let order = &mut scratch.order;
     order.clear();
     order.extend(0..n);
-    // Descending by score; NaNs sink to the end deterministically.
-    order.sort_by(|&a, &b| {
-        scores[b]
-            .partial_cmp(&scores[a])
-            .unwrap_or_else(|| a.cmp(&b).reverse())
-    });
+    // Descending by score; NaNs sink to the end deterministically. A bare
+    // descending `total_cmp` would rank +NaN above +inf, so NaN keys
+    // collapse to -inf first; index order breaks remaining ties.
+    let key = |i: usize| {
+        let s = scores[i];
+        if s.is_nan() {
+            f64::NEG_INFINITY
+        } else {
+            s
+        }
+    };
+    order.sort_by(|&a, &b| key(b).total_cmp(&key(a)).then(a.cmp(&b)));
     let ranks = &mut scratch.ranks;
     ranks.clear();
     ranks.resize(n, 0.0);
     let mut i = 0usize;
     while i < n {
-        let mut j = i;
+        // NaN != NaN, so each NaN is its own singleton group (the j = i + 1
+        // start also keeps the loop advancing for them).
+        let mut j = i + 1;
         while j < n && scores[order[j]] == scores[order[i]] {
             j += 1;
         }
@@ -367,6 +375,16 @@ mod tests {
     fn rank_vector_min_ties() {
         let r = rank_vector(&[0.5, 0.5, 0.1], TieBreak::Min);
         assert_eq!(r, vec![1.0, 1.0, 3.0]);
+    }
+
+    #[test]
+    fn rank_vector_sinks_nan_below_every_finite_score() {
+        // NaN keys collapse to -inf before the descending total_cmp, so
+        // a NaN never outranks a real score; the NaN group itself stays
+        // deterministic (index order). The NaN and the real -inf share
+        // the key but not equality, so they rank as distinct singletons.
+        let r = rank_vector(&[f64::NAN, 0.1, f64::NEG_INFINITY, 0.7], TieBreak::Min);
+        assert_eq!(r, vec![3.0, 2.0, 4.0, 1.0]);
     }
 
     #[test]

@@ -121,7 +121,7 @@ impl SimplexSampler {
             WeightScheme::RankOrder { order } => {
                 let mut w = vec![0.0; self.n];
                 uniform_simplex_into(rng, &mut w);
-                w.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+                w.sort_by(|a, b| b.total_cmp(a));
                 for (pos, &attr) in order.iter().enumerate() {
                     out[attr] = w[pos];
                 }
@@ -129,7 +129,7 @@ impl SimplexSampler {
             WeightScheme::PartialRankOrder { groups } => {
                 let mut w = vec![0.0; self.n];
                 uniform_simplex_into(rng, &mut w);
-                w.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+                w.sort_by(|a, b| b.total_cmp(a));
                 // Hand the largest block of weights to the most important
                 // group, shuffling inside each group.
                 let mut next = 0usize;

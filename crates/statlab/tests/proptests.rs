@@ -12,7 +12,7 @@ proptest! {
     #[test]
     fn percentiles_monotone(mut xs in proptest::collection::vec(-1e3f64..1e3, 1..50),
                             q1 in 0.0f64..100.0, q2 in 0.0f64..100.0) {
-        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        xs.sort_by(|a, b| a.total_cmp(b));
         let (lo, hi) = (q1.min(q2), q1.max(q2));
         let p_lo = percentile(&xs, lo);
         let p_hi = percentile(&xs, hi);

@@ -1,0 +1,371 @@
+//! A hand-rolled Rust lexer: a flat token stream with byte spans and
+//! line/column positions, aware of strings, raw strings, byte strings,
+//! char literals, lifetimes and (nested) comments — everything needed to
+//! scan for forbidden constructs without ever mistaking the inside of a
+//! string or comment for code. No parse tree is built; the rule engine
+//! works directly on the token stream plus brace matching.
+
+/// What a token is. The linter only needs coarse classes; all operator
+/// and delimiter characters come through as [`TokenKind::Punct`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `unwrap`, `r#match`, ...).
+    Ident,
+    /// Integer or float literal (including suffixes).
+    Number,
+    /// String-ish literal: `"…"`, `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`.
+    Str,
+    /// Character or byte literal: `'a'`, `b'\n'`.
+    Char,
+    /// Lifetime: `'a` (not followed by a closing quote).
+    Lifetime,
+    /// `// …` line comment (including `///` and `//!` doc comments).
+    LineComment,
+    /// `/* … */` block comment, nesting handled.
+    BlockComment,
+    /// Any other single character (`{`, `.`, `!`, `#`, ...).
+    Punct(char),
+}
+
+/// One lexed token with its position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Coarse class of the token.
+    pub kind: TokenKind,
+    /// Byte offset range into the source.
+    pub start: usize,
+    /// Exclusive end byte offset.
+    pub end: usize,
+    /// 1-based line of the token's first byte.
+    pub line: u32,
+    /// 1-based column (in bytes) of the token's first byte.
+    pub col: u32,
+}
+
+impl Token {
+    /// The token's text within `src`.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+/// Lex `src` into a token stream. Unterminated literals degrade
+/// gracefully (the rest of the file becomes one token) — the linter must
+/// never panic on weird input, it reports on what it can see.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+        tokens: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    tokens: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.bytes.len() {
+            let (line, col, start) = (self.line, self.col, self.pos);
+            let c = self.bytes[self.pos];
+            let kind = match c {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                    continue;
+                }
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'r' if self.raw_string_ahead(1) => self.raw_string(1),
+                b'b' if self.peek(1) == Some(b'"') => self.string_from(1),
+                b'b' if self.peek(1) == Some(b'\'') => self.char_from(1),
+                b'b' if self.peek(1) == Some(b'r') && self.raw_string_ahead(2) => {
+                    self.raw_string(2)
+                }
+                b'"' => self.string_from(0),
+                b'\'' => self.quote(),
+                b'_' | b'a'..=b'z' | b'A'..=b'Z' => self.ident(),
+                b'0'..=b'9' => self.number(),
+                _ => {
+                    // Multi-byte UTF-8 (only legal outside literals in
+                    // identifiers, which ASCII-first code never hits) is
+                    // consumed byte-wise as punctuation; spans stay valid
+                    // because Punct tokens are only ever *compared*, and
+                    // a continuation byte can't equal an ASCII char.
+                    self.bump();
+                    TokenKind::Punct(c as char)
+                }
+            };
+            self.tokens.push(Token {
+                kind,
+                start,
+                end: self.pos,
+                line,
+                col,
+            });
+        }
+        self.tokens
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) {
+        if self.bytes[self.pos] == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            if self.pos < self.bytes.len() {
+                self.bump();
+            }
+        }
+    }
+
+    fn line_comment(&mut self) -> TokenKind {
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+            self.bump();
+        }
+        TokenKind::LineComment
+    }
+
+    fn block_comment(&mut self) -> TokenKind {
+        self.bump_n(2); // consume "/*"
+        let mut depth = 1usize;
+        while self.pos < self.bytes.len() && depth > 0 {
+            if self.bytes[self.pos] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.bump_n(2);
+            } else if self.bytes[self.pos] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.bump_n(2);
+            } else {
+                self.bump();
+            }
+        }
+        TokenKind::BlockComment
+    }
+
+    /// Is a raw string (`r"`, `r#…#"`) starting `ahead` bytes from here?
+    /// Distinguishes `r"…"` from raw identifiers like `r#match`.
+    fn raw_string_ahead(&self, ahead: usize) -> bool {
+        let mut i = ahead;
+        while self.peek(i) == Some(b'#') {
+            i += 1;
+        }
+        self.peek(i) == Some(b'"')
+    }
+
+    fn raw_string(&mut self, prefix: usize) -> TokenKind {
+        self.bump_n(prefix); // "r" or "br"
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        while self.pos < self.bytes.len() {
+            if self.bytes[self.pos] == b'"' {
+                let mut ok = true;
+                for h in 0..hashes {
+                    if self.peek(1 + h) != Some(b'#') {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    self.bump_n(1 + hashes);
+                    return TokenKind::Str;
+                }
+            }
+            self.bump();
+        }
+        TokenKind::Str // unterminated: rest of file
+    }
+
+    fn string_from(&mut self, prefix: usize) -> TokenKind {
+        self.bump_n(prefix + 1); // optional "b", then the opening quote
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => self.bump_n(2),
+                b'"' => {
+                    self.bump();
+                    return TokenKind::Str;
+                }
+                _ => self.bump(),
+            }
+        }
+        TokenKind::Str
+    }
+
+    fn char_from(&mut self, prefix: usize) -> TokenKind {
+        self.bump_n(prefix + 1); // optional "b", then the opening quote
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => self.bump_n(2),
+                b'\'' => {
+                    self.bump();
+                    return TokenKind::Char;
+                }
+                b'\n' => return TokenKind::Char, // malformed; stop at EOL
+                _ => self.bump(),
+            }
+        }
+        TokenKind::Char
+    }
+
+    /// `'` starts either a char literal or a lifetime. Lifetime iff the
+    /// quote is followed by an identifier **not** closed by another quote
+    /// (`'a'` is a char, `'a` is a lifetime, `'\n'` is a char).
+    fn quote(&mut self) -> TokenKind {
+        let mut i = 1usize;
+        if matches!(self.peek(1), Some(b'_' | b'a'..=b'z' | b'A'..=b'Z')) {
+            i += 1;
+            while matches!(
+                self.peek(i),
+                Some(b'_' | b'0'..=b'9' | b'a'..=b'z' | b'A'..=b'Z')
+            ) {
+                i += 1;
+            }
+            if self.peek(i) != Some(b'\'') {
+                self.bump_n(i);
+                return TokenKind::Lifetime;
+            }
+        }
+        self.char_from(0)
+    }
+
+    fn ident(&mut self) -> TokenKind {
+        // Raw identifier prefix: "r#name" lexes as one Ident.
+        if self.bytes[self.pos] == b'r'
+            && self.peek(1) == Some(b'#')
+            && matches!(self.peek(2), Some(b'_' | b'a'..=b'z' | b'A'..=b'Z'))
+        {
+            self.bump_n(2);
+        }
+        while matches!(
+            self.peek(0),
+            Some(b'_' | b'0'..=b'9' | b'a'..=b'z' | b'A'..=b'Z')
+        ) {
+            self.bump();
+        }
+        TokenKind::Ident
+    }
+
+    fn number(&mut self) -> TokenKind {
+        while matches!(
+            self.peek(0),
+            Some(b'0'..=b'9' | b'_' | b'a'..=b'z' | b'A'..=b'Z')
+        ) {
+            // Exponent sign: 1e-9 / 1E+9 continue the literal.
+            if matches!(self.peek(0), Some(b'e' | b'E'))
+                && matches!(self.peek(1), Some(b'+' | b'-'))
+                && matches!(self.peek(2), Some(b'0'..=b'9'))
+            {
+                self.bump_n(2);
+            }
+            self.bump();
+        }
+        // A fractional part: '.' followed by a digit ('..' stays a range).
+        if self.peek(0) == Some(b'.') && matches!(self.peek(1), Some(b'0'..=b'9')) {
+            self.bump();
+            self.number();
+        }
+        TokenKind::Number
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn strings_comments_and_chars_are_opaque() {
+        let src = r#"let s = "a.unwrap()"; // .unwrap() here too
+/* nested /* .expect() */ still comment */ x('x')"#;
+        let toks = kinds(src);
+        assert!(toks
+            .iter()
+            .all(|(k, t)| !(matches!(k, TokenKind::Ident) && t == "unwrap")));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::BlockComment && t.contains("expect")));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Char && t == "'x'"));
+    }
+
+    #[test]
+    fn raw_strings_and_raw_idents() {
+        let src = r##"let r#fn = r#"contains .unwrap() and "quotes""#; b"bytes""##;
+        let toks = kinds(src);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "r#fn"));
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 2);
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "unwrap"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let toks = kinds("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::Lifetime)
+                .count(),
+            3
+        );
+        assert!(!toks.iter().any(|(k, _)| *k == TokenKind::Char));
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_cols() {
+        let src = "a\n  b\n";
+        let toks = lex(src);
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges() {
+        let toks = kinds("for i in 0..10 { x[1.5e-3]; }");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Number && t == "0"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Number && t == "10"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Number && t == "1.5e-3"));
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| matches!(k, TokenKind::Punct('.')))
+                .count(),
+            2
+        );
+    }
+}

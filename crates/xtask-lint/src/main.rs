@@ -1,0 +1,86 @@
+//! CLI for the workspace invariant linter.
+//!
+//! ```text
+//! cargo run -p xtask-lint --              # lint the workspace root
+//! cargo run -p xtask-lint -- --deny-all   # also fail on unused allows (CI)
+//! cargo run -p xtask-lint -- --root DIR   # lint another tree (fixtures)
+//! ```
+//!
+//! Exit code 0 when clean, 1 on violations (or stale allows under
+//! `--deny-all`), 2 on usage / manifest errors.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut deny_all = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny-all" => deny_all = true,
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("error: --root needs a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "xtask-lint: std-only workspace invariant linter\n\
+                     \n\
+                     USAGE: xtask-lint [--root DIR] [--deny-all]\n\
+                     \n\
+                     Lints every .rs file under DIR (default `.`) against\n\
+                     DIR/lint.toml. See docs/INVARIANTS.md for the rules."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let report = match xtask_lint::run(&root) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("xtask-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for v in &report.violations {
+        println!(
+            "{}:{}:{}: [{}] {}",
+            v.file, v.line, v.col, v.rule, v.message
+        );
+        if !v.snippet.is_empty() {
+            println!("    {}", v.snippet);
+        }
+    }
+    let unused = report.unused_allows();
+    for allow in &unused {
+        let kind = if deny_all { "error" } else { "warning" };
+        println!(
+            "{}:{}: [{kind}] unused lint:allow({}) — nothing suppressed; remove it",
+            allow.file, allow.line, allow.rule
+        );
+    }
+
+    println!(
+        "xtask-lint: {} files scanned, {} violation(s), {} suppressed by {} allow marker(s)",
+        report.files_scanned,
+        report.violations.len(),
+        report.suppressed,
+        report.allows.len()
+    );
+    if report.failed(deny_all) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,244 @@
+//! `lint.toml` — the workspace invariant manifest.
+//!
+//! A deliberately tiny TOML subset (the workspace is offline, so no TOML
+//! crate): `[section]` tables, `[[section]]` array-of-tables, and
+//! `key = "string"` / `key = ["array", "of", "strings"]` pairs. Full
+//! format documentation lives in `docs/INVARIANTS.md`.
+//!
+//! ```toml
+//! [no_panic]
+//! paths = ["crates/gmaa-serve/src", "crates/gmaa/src/engine.rs"]
+//!
+//! [[hot]]
+//! file = "crates/simplex-lp/src/tableau.rs"
+//! functions = ["pivot", "leaving"]   # or ["*"] for every function
+//!
+//! [protocol]
+//! requests = "crates/gmaa-serve/src/protocol.rs"
+//! dispatch = "crates/gmaa-serve/src/shard.rs"
+//! counters = "crates/gmaa-serve/src/stats.rs"
+//! ```
+
+use std::fmt;
+
+/// One hot module declaration for rule `no-alloc-in-kernel`.
+#[derive(Debug, Clone, Default)]
+pub struct HotModule {
+    /// Workspace-relative path of the file.
+    pub file: String,
+    /// Function names whose bodies must not allocate; `"*"` covers every
+    /// non-test function in the file.
+    pub functions: Vec<String>,
+}
+
+/// The protocol-exhaustiveness wiring (rule `protocol-exhaustiveness`).
+#[derive(Debug, Clone, Default)]
+pub struct ProtocolConfig {
+    /// File declaring the `Request` and `RequestKind` enums.
+    pub requests: String,
+    /// File whose dispatch must match every `Request` variant and count
+    /// every `RequestKind`.
+    pub dispatch: String,
+    /// File declaring the per-kind counter struct (`RequestCounts`).
+    pub counters: String,
+}
+
+/// Parsed manifest.
+#[derive(Debug, Clone, Default)]
+pub struct Manifest {
+    /// Path prefixes (or exact files) where panicking constructs are
+    /// forbidden outside test code.
+    pub no_panic_paths: Vec<String>,
+    /// Hot-module declarations.
+    pub hot: Vec<HotModule>,
+    /// Protocol wiring; `None` disables the cross-file rule.
+    pub protocol: Option<ProtocolConfig>,
+}
+
+/// A manifest syntax error with its line.
+#[derive(Debug)]
+pub struct ManifestError {
+    /// 1-based line in `lint.toml`.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ManifestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ManifestError {}
+
+fn err(line: usize, message: impl Into<String>) -> ManifestError {
+    ManifestError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Strip a `# comment` that is outside any string literal.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parse `"quoted"` at the start of `s`, returning (value, rest).
+fn parse_string(s: &str, line_no: usize) -> Result<(String, &str), ManifestError> {
+    let s = s.trim_start();
+    let Some(rest) = s.strip_prefix('"') else {
+        return Err(err(line_no, format!("expected a quoted string at `{s}`")));
+    };
+    match rest.find('"') {
+        Some(end) => Ok((rest[..end].to_string(), &rest[end + 1..])),
+        None => Err(err(line_no, "unterminated string")),
+    }
+}
+
+fn parse_value(s: &str, line_no: usize) -> Result<Vec<String>, ManifestError> {
+    let s = s.trim();
+    if let Some(body) = s.strip_prefix('[') {
+        let Some(body) = body.trim_end().strip_suffix(']') else {
+            return Err(err(line_no, "unterminated array (arrays must be one line)"));
+        };
+        let mut out = Vec::new();
+        let mut rest = body.trim();
+        while !rest.is_empty() {
+            let (value, after) = parse_string(rest, line_no)?;
+            out.push(value);
+            rest = after.trim_start().trim_start_matches(',').trim_start();
+        }
+        Ok(out)
+    } else {
+        let (value, after) = parse_string(s, line_no)?;
+        if !after.trim().is_empty() {
+            return Err(err(line_no, format!("trailing input `{}`", after.trim())));
+        }
+        Ok(vec![value])
+    }
+}
+
+/// Parse a manifest from source text.
+pub fn parse(src: &str) -> Result<Manifest, ManifestError> {
+    let mut manifest = Manifest::default();
+    // Which table the current `key = value` lines land in.
+    enum Section {
+        None,
+        NoPanic,
+        Hot,
+        Protocol,
+    }
+    let mut section = Section::None;
+    for (idx, raw) in src.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix("[[").and_then(|l| l.strip_suffix("]]")) {
+            match header.trim() {
+                "hot" => {
+                    manifest.hot.push(HotModule::default());
+                    section = Section::Hot;
+                }
+                other => return Err(err(line_no, format!("unknown table `[[{other}]]`"))),
+            }
+        } else if let Some(header) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            section = match header.trim() {
+                "no_panic" => Section::NoPanic,
+                "protocol" => {
+                    manifest
+                        .protocol
+                        .get_or_insert_with(ProtocolConfig::default);
+                    Section::Protocol
+                }
+                other => return Err(err(line_no, format!("unknown table `[{other}]`"))),
+            };
+        } else if let Some((key, value)) = line.split_once('=') {
+            let key = key.trim();
+            let values = parse_value(value, line_no)?;
+            let first = || values.first().cloned().unwrap_or_default();
+            match (&section, key) {
+                (Section::NoPanic, "paths") => manifest.no_panic_paths = values,
+                (Section::Hot, "file") => match manifest.hot.last_mut() {
+                    Some(hot) => hot.file = first(),
+                    None => return Err(err(line_no, "`file` outside a [[hot]] table")),
+                },
+                (Section::Hot, "functions") => match manifest.hot.last_mut() {
+                    Some(hot) => hot.functions = values,
+                    None => return Err(err(line_no, "`functions` outside a [[hot]] table")),
+                },
+                (Section::Protocol, "requests" | "dispatch" | "counters") => {
+                    // The [protocol] header always inserts the config first.
+                    if let Some(p) = manifest.protocol.as_mut() {
+                        match key {
+                            "requests" => p.requests = first(),
+                            "dispatch" => p.dispatch = first(),
+                            _ => p.counters = first(),
+                        }
+                    }
+                }
+                _ => return Err(err(line_no, format!("unknown key `{key}` here"))),
+            }
+        } else {
+            return Err(err(line_no, format!("unparseable line `{line}`")));
+        }
+    }
+    for hot in &manifest.hot {
+        if hot.file.is_empty() {
+            return Err(err(0, "[[hot]] table without a `file` key"));
+        }
+    }
+    Ok(manifest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_full_shape() {
+        let m = parse(
+            r#"
+# comment
+[no_panic]
+paths = ["a/src", "b/engine.rs"]   # trailing comment
+
+[[hot]]
+file = "kernel.rs"
+functions = ["*"]
+
+[[hot]]
+file = "sweep.rs"
+functions = ["gather", "pour"]
+
+[protocol]
+requests = "protocol.rs"
+dispatch = "shard.rs"
+counters = "stats.rs"
+"#,
+        )
+        .expect("parses");
+        assert_eq!(m.no_panic_paths, ["a/src", "b/engine.rs"]);
+        assert_eq!(m.hot.len(), 2);
+        assert_eq!(m.hot[1].functions, ["gather", "pour"]);
+        let p = m.protocol.expect("protocol present");
+        assert_eq!(p.dispatch, "shard.rs");
+    }
+
+    #[test]
+    fn rejects_unknown_tables_and_hotless_files() {
+        assert!(parse("[mystery]\n").is_err());
+        assert!(parse("[[hot]]\nfunctions = [\"*\"]\n").is_err());
+        assert!(parse("stray line\n").is_err());
+    }
+}

@@ -1,0 +1,1005 @@
+//! The rule engine: file analysis (test regions, function spans, brace
+//! matching, `lint:allow` markers) and the five workspace invariant rules.
+//!
+//! Every rule works on the token stream from [`crate::lexer`] — no parse
+//! tree. Comments and string literals are opaque by construction, so a
+//! `.unwrap()` inside a doc example or an error message never trips a
+//! rule.
+
+use crate::lexer::{lex, Token, TokenKind};
+use crate::manifest::{HotModule, Manifest, ProtocolConfig};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Rule: panicking constructs forbidden on the serving path.
+pub const NO_PANIC: &str = "no-panic-in-serving";
+/// Rule: float orderings must be NaN-total (`total_cmp`).
+pub const TOTAL_FLOAT: &str = "total-float-ordering";
+/// Rule: no allocation inside declared hot kernels.
+pub const NO_ALLOC: &str = "no-alloc-in-kernel";
+/// Rule: a held lock guard's scope may not contain channel traffic.
+pub const LOCK_SCOPE: &str = "lock-scope-discipline";
+/// Rule: every protocol variant is dispatched and counted.
+pub const PROTOCOL: &str = "protocol-exhaustiveness";
+/// Pseudo-rule for malformed or unknown `lint:allow` markers.
+pub const LINT_ALLOW: &str = "lint-allow";
+/// Pseudo-rule for manifest entries that no longer match the code.
+pub const MANIFEST: &str = "manifest";
+
+/// Every suppressible rule id.
+pub const RULE_IDS: &[&str] = &[NO_PANIC, TOTAL_FLOAT, NO_ALLOC, LOCK_SCOPE, PROTOCOL];
+
+/// One reported violation.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Rule id (one of the `pub const`s above).
+    pub rule: &'static str,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human explanation.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+/// A parsed `// lint:allow(<rule>) -- <reason>` marker.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// The rule the marker suppresses.
+    pub rule: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// Line the marker sits on; it suppresses this line and the next.
+    pub line: u32,
+    /// The justification after `--`.
+    pub reason: String,
+    /// How many violations the marker suppressed.
+    pub used: usize,
+}
+
+/// A function's body in code-token positions.
+#[derive(Debug, Clone)]
+struct FnSpan {
+    name: String,
+    /// Code-token position of the `{` opening the body.
+    body_open: usize,
+    /// Code-token position of the matching `}`.
+    body_close: usize,
+}
+
+/// One analyzed source file: token stream plus the derived structure the
+/// rules need.
+pub struct FileAnalysis {
+    /// Workspace-relative path with `/` separators.
+    pub rel_path: String,
+    src: String,
+    tokens: Vec<Token>,
+    /// Indices into `tokens` of non-comment tokens, in order.
+    code: Vec<usize>,
+    /// Per code-token: inside a `#[test]` / `#[cfg(test)]` region?
+    test_mask: Vec<bool>,
+    /// For each code position holding `{`, the position of its `}`.
+    brace_match: BTreeMap<usize, usize>,
+    fns: Vec<FnSpan>,
+    /// `lint:allow` markers, plus malformed-marker violations.
+    pub allows: Vec<Allow>,
+    /// Violations found while parsing markers (missing reason, bad rule).
+    pub marker_violations: Vec<Violation>,
+}
+
+const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
+    "extern", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub",
+    "ref", "return", "static", "struct", "super", "trait", "type", "unsafe", "use", "where",
+    "while", "yield",
+];
+
+impl FileAnalysis {
+    /// Lex and pre-analyze one file.
+    pub fn new(rel_path: String, src: String) -> FileAnalysis {
+        let tokens = lex(&src);
+        let code: Vec<usize> = tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+            .map(|(i, _)| i)
+            .collect();
+        let mut analysis = FileAnalysis {
+            rel_path,
+            src,
+            tokens,
+            code,
+            test_mask: Vec::new(),
+            brace_match: BTreeMap::new(),
+            fns: Vec::new(),
+            allows: Vec::new(),
+            marker_violations: Vec::new(),
+        };
+        analysis.match_braces();
+        analysis.mark_test_regions();
+        analysis.collect_fns();
+        analysis.collect_allows();
+        analysis
+    }
+
+    // ------------------------------------------------------------ accessors
+
+    fn tok(&self, pos: usize) -> Option<&Token> {
+        self.code.get(pos).map(|&i| &self.tokens[i])
+    }
+
+    fn text(&self, pos: usize) -> &str {
+        match self.tok(pos) {
+            Some(t) => t.text(&self.src),
+            None => "",
+        }
+    }
+
+    fn is_punct(&self, pos: usize, c: char) -> bool {
+        matches!(self.tok(pos), Some(t) if t.kind == TokenKind::Punct(c))
+    }
+
+    fn is_ident(&self, pos: usize, name: &str) -> bool {
+        matches!(self.tok(pos), Some(t) if t.kind == TokenKind::Ident && t.text(&self.src) == name)
+    }
+
+    fn ident_at(&self, pos: usize) -> Option<&str> {
+        match self.tok(pos) {
+            Some(t) if t.kind == TokenKind::Ident => Some(t.text(&self.src)),
+            _ => None,
+        }
+    }
+
+    fn in_test(&self, pos: usize) -> bool {
+        self.test_mask.get(pos).copied().unwrap_or(false)
+    }
+
+    /// The trimmed source line containing byte `start`.
+    fn line_snippet(&self, line: u32) -> String {
+        self.src
+            .lines()
+            .nth(line.saturating_sub(1) as usize)
+            .unwrap_or("")
+            .trim()
+            .to_string()
+    }
+
+    fn violation(&self, rule: &'static str, pos: usize, message: String) -> Violation {
+        let (line, col) = match self.tok(pos) {
+            Some(t) => (t.line, t.col),
+            None => (0, 0),
+        };
+        Violation {
+            rule,
+            file: self.rel_path.clone(),
+            line,
+            col,
+            message,
+            snippet: self.line_snippet(line),
+        }
+    }
+
+    // -------------------------------------------------------- pre-analysis
+
+    fn match_braces(&mut self) {
+        let mut stack = Vec::new();
+        for pos in 0..self.code.len() {
+            if self.is_punct(pos, '{') {
+                stack.push(pos);
+            } else if self.is_punct(pos, '}') {
+                if let Some(open) = stack.pop() {
+                    self.brace_match.insert(open, pos);
+                }
+            }
+        }
+    }
+
+    /// Mark every code token covered by an item carrying `#[test]`,
+    /// `#[cfg(test)]` or a sibling test attribute. The region runs from
+    /// the attribute to the end of the item (`;` for brace-less items,
+    /// the matching `}` otherwise).
+    fn mark_test_regions(&mut self) {
+        let n = self.code.len();
+        let mut mask = vec![false; n];
+        let mut pos = 0;
+        while pos < n {
+            if self.is_punct(pos, '#') && self.is_punct(pos + 1, '[') {
+                let (is_test, after_attr) = self.classify_attribute(pos + 1);
+                if is_test {
+                    if let Some(end) = self.item_end(after_attr) {
+                        for m in mask.iter_mut().take(end + 1).skip(pos) {
+                            *m = true;
+                        }
+                        pos = end + 1;
+                        continue;
+                    }
+                }
+                pos = after_attr;
+                continue;
+            }
+            pos += 1;
+        }
+        self.test_mask = mask;
+    }
+
+    /// Given the position of an attribute's `[`, decide whether it gates
+    /// the item to test builds and return the position just past `]`.
+    fn classify_attribute(&self, open: usize) -> (bool, usize) {
+        let mut depth = 0usize;
+        let mut idents: Vec<&str> = Vec::new();
+        let mut pos = open;
+        while pos < self.code.len() {
+            if self.is_punct(pos, '[') {
+                depth += 1;
+            } else if self.is_punct(pos, ']') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if let Some(name) = self.ident_at(pos) {
+                idents.push(name);
+            }
+            pos += 1;
+        }
+        // `#[test]`, `#[cfg(test)]`, `#[cfg(all(test, ...))]` gate the
+        // item; `#[cfg(not(test))]` and `#[cfg_attr(test, ...)]` do not.
+        let is_test = idents.contains(&"test")
+            && !idents.contains(&"not")
+            && idents.first() != Some(&"cfg_attr");
+        (is_test, pos + 1)
+    }
+
+    /// From the first token after an attribute, the position where the
+    /// annotated item ends: its matching `}` (brace-less items end at the
+    /// first top-level `;`). Skips further attributes and tracks paren /
+    /// bracket depth so `fn f(x: [u8; 2])` does not end at the `;` inside.
+    fn item_end(&self, mut pos: usize) -> Option<usize> {
+        let mut paren = 0i32;
+        let mut bracket = 0i32;
+        while pos < self.code.len() {
+            if self.is_punct(pos, '#') && self.is_punct(pos + 1, '[') {
+                let (_, after) = self.classify_attribute(pos + 1);
+                pos = after;
+                continue;
+            }
+            match self.tok(pos)?.kind {
+                TokenKind::Punct('(') => paren += 1,
+                TokenKind::Punct(')') => paren -= 1,
+                TokenKind::Punct('[') => bracket += 1,
+                TokenKind::Punct(']') => bracket -= 1,
+                TokenKind::Punct(';') if paren == 0 && bracket == 0 => return Some(pos),
+                TokenKind::Punct('{') if paren == 0 && bracket == 0 => {
+                    return self.brace_match.get(&pos).copied();
+                }
+                _ => {}
+            }
+            pos += 1;
+        }
+        None
+    }
+
+    fn collect_fns(&mut self) {
+        let mut fns = Vec::new();
+        for pos in 0..self.code.len() {
+            if !self.is_ident(pos, "fn") {
+                continue;
+            }
+            let Some(name) = self.ident_at(pos + 1) else {
+                continue;
+            };
+            let name = name.to_string();
+            // First `{` at zero paren/bracket depth opens the body
+            // (return types and where clauses cannot contain a bare `{`).
+            let mut paren = 0i32;
+            let mut bracket = 0i32;
+            let mut cursor = pos + 2;
+            while cursor < self.code.len() {
+                match self.tok(cursor).map(|t| t.kind) {
+                    Some(TokenKind::Punct('(')) => paren += 1,
+                    Some(TokenKind::Punct(')')) => paren -= 1,
+                    Some(TokenKind::Punct('[')) => bracket += 1,
+                    Some(TokenKind::Punct(']')) => bracket -= 1,
+                    Some(TokenKind::Punct(';')) if paren == 0 && bracket == 0 => break,
+                    Some(TokenKind::Punct('{')) if paren == 0 && bracket == 0 => {
+                        if let Some(&close) = self.brace_match.get(&cursor) {
+                            fns.push(FnSpan {
+                                name,
+                                body_open: cursor,
+                                body_close: close,
+                            });
+                        }
+                        break;
+                    }
+                    _ => {}
+                }
+                cursor += 1;
+            }
+        }
+        self.fns = fns;
+    }
+
+    fn collect_allows(&mut self) {
+        let mut allows = Vec::new();
+        let mut bad = Vec::new();
+        for token in &self.tokens {
+            if !matches!(token.kind, TokenKind::LineComment | TokenKind::BlockComment) {
+                continue;
+            }
+            let text = token.text(&self.src);
+            // Doc comments (`///`, `//!`, `/**`, `/*!`) are documentation,
+            // not suppression sites — a marker only works in plain comments.
+            if ["///", "//!", "/**", "/*!"]
+                .iter()
+                .any(|d| text.starts_with(d))
+            {
+                continue;
+            }
+            let Some(at) = text.find("lint:allow(") else {
+                continue;
+            };
+            let rest = &text[at + "lint:allow(".len()..];
+            let mut report = |message: String| {
+                bad.push(Violation {
+                    rule: LINT_ALLOW,
+                    file: self.rel_path.clone(),
+                    line: token.line,
+                    col: token.col,
+                    message,
+                    snippet: self
+                        .src
+                        .lines()
+                        .nth(token.line.saturating_sub(1) as usize)
+                        .unwrap_or("")
+                        .trim()
+                        .to_string(),
+                });
+            };
+            let Some(close) = rest.find(')') else {
+                report("malformed lint:allow marker: missing `)`".to_string());
+                continue;
+            };
+            let rule = rest[..close].trim().to_string();
+            if !RULE_IDS.contains(&rule.as_str()) {
+                report(format!("lint:allow names unknown rule `{rule}`"));
+                continue;
+            }
+            let reason = match rest[close + 1..].trim_start().strip_prefix("--") {
+                Some(r) if !r.trim().is_empty() => r.trim().to_string(),
+                _ => {
+                    report(format!(
+                        "lint:allow({rule}) has no `-- <reason>`; every exception must be justified"
+                    ));
+                    continue;
+                }
+            };
+            allows.push(Allow {
+                rule,
+                file: self.rel_path.clone(),
+                line: token.line,
+                reason,
+                used: 0,
+            });
+        }
+        self.allows = allows;
+        self.marker_violations = bad;
+    }
+
+    // --------------------------------------------------------------- rules
+
+    /// Rule 1: `unwrap` / `expect` / `panic!` / `unreachable!` / `todo!` /
+    /// `unimplemented!` / `[]`-indexing are forbidden outside test code.
+    pub fn check_no_panic(&self, out: &mut Vec<Violation>) {
+        for pos in 0..self.code.len() {
+            if self.in_test(pos) {
+                continue;
+            }
+            // panic-family macros: ident + `!`.
+            if let Some(name) = self.ident_at(pos) {
+                if matches!(name, "panic" | "unreachable" | "todo" | "unimplemented")
+                    && self.is_punct(pos + 1, '!')
+                {
+                    out.push(self.violation(
+                        NO_PANIC,
+                        pos,
+                        format!("`{name}!` on the serving path aborts the whole shard worker"),
+                    ));
+                    continue;
+                }
+            }
+            // `.unwrap(` / `.expect(` (also the *_err duals).
+            if self.is_punct(pos, '.') {
+                if let Some(name) = self.ident_at(pos + 1) {
+                    if matches!(name, "unwrap" | "expect" | "unwrap_err" | "expect_err")
+                        && (self.is_punct(pos + 2, '(') || self.is_punct(pos + 2, ':'))
+                    {
+                        out.push(self.violation(
+                            NO_PANIC,
+                            pos + 1,
+                            format!(
+                                "`.{name}()` on the serving path; return a typed ServeError instead"
+                            ),
+                        ));
+                        continue;
+                    }
+                }
+            }
+            // `expr[...]` indexing: `[` preceded by an indexable expression
+            // tail (identifier, `)`, `]` or `?`). Types, slice patterns,
+            // attributes and array literals have non-indexable tails.
+            if self.is_punct(pos, '[') && pos > 0 {
+                let indexable = match self.tok(pos - 1).map(|t| t.kind) {
+                    Some(TokenKind::Ident) => {
+                        let prev = self.text(pos - 1);
+                        !KEYWORDS.contains(&prev)
+                    }
+                    Some(TokenKind::Punct(')' | ']' | '?')) => true,
+                    _ => false,
+                };
+                if indexable {
+                    out.push(self.violation(
+                        NO_PANIC,
+                        pos,
+                        "`[]` indexing on the serving path panics when out of bounds; use `.get()`"
+                            .to_string(),
+                    ));
+                }
+            }
+        }
+    }
+
+    /// Rule 2: any `partial_cmp` call — float orderings must go through
+    /// `total_cmp` (or carry a justified allow when provably finite).
+    pub fn check_total_float(&self, out: &mut Vec<Violation>) {
+        for pos in 0..self.code.len() {
+            if self.is_ident(pos, "partial_cmp") && self.is_punct(pos.wrapping_sub(1), '.') {
+                out.push(
+                    self.violation(
+                        TOTAL_FLOAT,
+                        pos,
+                        "raw `partial_cmp` on floats panics or misorders on NaN; use `total_cmp`"
+                            .to_string(),
+                    ),
+                );
+            }
+        }
+    }
+
+    /// Rule 3: no allocation inside functions declared hot by the
+    /// manifest ([`HotModule`]).
+    pub fn check_no_alloc(&self, hot: &HotModule, out: &mut Vec<Violation>) {
+        let all = hot.functions.iter().any(|f| f == "*");
+        let wanted: BTreeSet<&str> = hot.functions.iter().map(String::as_str).collect();
+        let mut seen: BTreeSet<&str> = BTreeSet::new();
+        for f in &self.fns {
+            seen.insert(f.name.as_str());
+            if !(all || wanted.contains(f.name.as_str())) {
+                continue;
+            }
+            for pos in f.body_open + 1..f.body_close {
+                if self.in_test(pos) {
+                    continue;
+                }
+                if let Some(v) = self.alloc_at(pos, &f.name) {
+                    out.push(v);
+                }
+            }
+        }
+        // A declared hot function that no longer exists means the manifest
+        // rotted — that must fail loudly, not silently lint nothing.
+        for f in &hot.functions {
+            if f != "*" && !seen.contains(f.as_str()) {
+                out.push(Violation {
+                    rule: MANIFEST,
+                    file: self.rel_path.clone(),
+                    line: 0,
+                    col: 0,
+                    message: format!(
+                        "lint.toml declares hot function `{f}` but {} does not define it",
+                        self.rel_path
+                    ),
+                    snippet: String::new(),
+                });
+            }
+        }
+    }
+
+    fn alloc_at(&self, pos: usize, fn_name: &str) -> Option<Violation> {
+        // Allocating macros.
+        if let Some(name) = self.ident_at(pos) {
+            if matches!(name, "vec" | "format") && self.is_punct(pos + 1, '!') {
+                return Some(self.violation(
+                    NO_ALLOC,
+                    pos,
+                    format!("`{name}!` allocates inside hot kernel `{fn_name}`"),
+                ));
+            }
+        }
+        // Constructor paths: Vec::new, Box::new, String::with_capacity, ...
+        if let Some(ty) = self.ident_at(pos) {
+            if matches!(
+                ty,
+                "Vec"
+                    | "Box"
+                    | "String"
+                    | "VecDeque"
+                    | "BTreeMap"
+                    | "BTreeSet"
+                    | "HashMap"
+                    | "HashSet"
+            ) && self.is_punct(pos + 1, ':')
+                && self.is_punct(pos + 2, ':')
+            {
+                if let Some(ctor) = self.ident_at(pos + 3) {
+                    if matches!(ctor, "new" | "with_capacity" | "from") {
+                        return Some(self.violation(
+                            NO_ALLOC,
+                            pos,
+                            format!("`{ty}::{ctor}` allocates inside hot kernel `{fn_name}`"),
+                        ));
+                    }
+                }
+            }
+        }
+        // Allocating method calls.
+        if self.is_punct(pos, '.') {
+            if let Some(name) = self.ident_at(pos + 1) {
+                if matches!(
+                    name,
+                    "clone" | "to_vec" | "to_owned" | "to_string" | "collect" | "with_capacity"
+                ) && (self.is_punct(pos + 2, '(') || self.is_punct(pos + 2, ':'))
+                {
+                    return Some(self.violation(
+                        NO_ALLOC,
+                        pos + 1,
+                        format!("`.{name}()` allocates inside hot kernel `{fn_name}`"),
+                    ));
+                }
+            }
+        }
+        None
+    }
+
+    /// Rule 4: within the lexical scope that holds a `.lock()` guard, no
+    /// channel `.send(` / `.recv(` may run — the deadlock shape of the
+    /// shard/manager protocol (a worker blocking on a channel while
+    /// holding a lock another worker needs before it can drain).
+    pub fn check_lock_scope(&self, out: &mut Vec<Violation>) {
+        let mut stack: Vec<usize> = Vec::new();
+        for pos in 0..self.code.len() {
+            if self.is_punct(pos, '{') {
+                stack.push(pos);
+            } else if self.is_punct(pos, '}') {
+                stack.pop();
+            }
+            if self.in_test(pos) {
+                continue;
+            }
+            let is_lock = self.is_punct(pos, '.')
+                && self.is_ident(pos + 1, "lock")
+                && self.is_punct(pos + 2, '(');
+            if !is_lock {
+                continue;
+            }
+            let lock_line = self.tok(pos + 1).map_or(0, |t| t.line);
+            let scope_end = stack
+                .last()
+                .and_then(|open| self.brace_match.get(open))
+                .copied()
+                .unwrap_or(self.code.len());
+            for probe in pos + 3..scope_end {
+                if !self.is_punct(probe, '.') {
+                    continue;
+                }
+                if let Some(name) = self.ident_at(probe + 1) {
+                    if matches!(
+                        name,
+                        "send" | "recv" | "try_send" | "try_recv" | "recv_timeout" | "send_timeout"
+                    ) && self.is_punct(probe + 2, '(')
+                    {
+                        out.push(self.violation(
+                            LOCK_SCOPE,
+                            probe + 1,
+                            format!(
+                                "channel `.{name}()` inside the scope of the `.lock()` taken on \
+                                 line {lock_line}; drop the guard before touching channels"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    // ----------------------------------------------- cross-file extraction
+
+    /// Variant names (with lines) of `enum <name>`, or `None` if the file
+    /// does not declare it.
+    pub fn enum_variants(&self, name: &str) -> Option<Vec<(String, u32)>> {
+        let open = self.find_item_body("enum", name)?;
+        let close = *self.brace_match.get(&open)?;
+        let mut variants = Vec::new();
+        let mut expecting = true; // at `{` or just past a top-level `,`
+        let mut depth = 0i32;
+        let mut pos = open + 1;
+        while pos < close {
+            match self.tok(pos).map(|t| t.kind) {
+                Some(TokenKind::Punct('{' | '(' | '[')) => depth += 1,
+                Some(TokenKind::Punct('}' | ')' | ']')) => depth -= 1,
+                Some(TokenKind::Punct(',')) if depth == 0 => expecting = true,
+                // Skip the variant attribute `#[...]` entirely.
+                Some(TokenKind::Punct('#')) if depth == 0 && self.is_punct(pos + 1, '[') => {
+                    let (_, after) = self.classify_attribute(pos + 1);
+                    pos = after;
+                    continue;
+                }
+                Some(TokenKind::Ident) if depth == 0 && expecting => {
+                    if let Some(t) = self.tok(pos) {
+                        variants.push((t.text(&self.src).to_string(), t.line));
+                    }
+                    expecting = false;
+                }
+                _ => {}
+            }
+            pos += 1;
+        }
+        Some(variants)
+    }
+
+    /// Field names of `struct <name>`, or `None` if not declared here.
+    pub fn struct_fields(&self, name: &str) -> Option<Vec<String>> {
+        let open = self.find_item_body("struct", name)?;
+        let close = *self.brace_match.get(&open)?;
+        let mut fields = Vec::new();
+        let mut depth = 0i32;
+        for pos in open + 1..close {
+            match self.tok(pos).map(|t| t.kind) {
+                Some(TokenKind::Punct('{' | '(' | '[' | '<')) => depth += 1,
+                Some(TokenKind::Punct('}' | ')' | ']' | '>')) => depth -= 1,
+                // A field is `ident :` not preceded by `:` (type paths
+                // like `gmaa::CycleStats` never match: their idents are
+                // inside the type position at depth 0 but follow `:`).
+                Some(TokenKind::Ident)
+                    if depth == 0
+                        && self.is_punct(pos + 1, ':')
+                        && !self.is_punct(pos + 2, ':')
+                        && !self.is_punct(pos.wrapping_sub(1), ':') =>
+                {
+                    fields.push(self.text(pos).to_string());
+                }
+                _ => {}
+            }
+        }
+        Some(fields)
+    }
+
+    /// Position of the `{` opening `kind name { ... }` (`kind` is `enum`
+    /// or `struct`).
+    fn find_item_body(&self, kind: &str, name: &str) -> Option<usize> {
+        for pos in 0..self.code.len() {
+            if self.is_ident(pos, kind) && self.is_ident(pos + 1, name) {
+                for cursor in pos + 2..self.code.len() {
+                    if self.is_punct(cursor, '{') {
+                        return Some(cursor);
+                    }
+                    if self.is_punct(cursor, ';') {
+                        break; // unit struct / declaration without body
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Every qualified reference `A::B` in the file.
+    pub fn qualified_refs(&self) -> BTreeSet<(String, String)> {
+        let mut refs = BTreeSet::new();
+        for pos in 0..self.code.len() {
+            if let (Some(a), true, true, Some(b)) = (
+                self.ident_at(pos),
+                self.is_punct(pos + 1, ':'),
+                self.is_punct(pos + 2, ':'),
+                self.ident_at(pos + 3),
+            ) {
+                refs.insert((a.to_string(), b.to_string()));
+            }
+        }
+        refs
+    }
+}
+
+/// Rule 5: every `Request` variant must be matched in the dispatch file
+/// and every `RequestKind` must be counted there, with the counter struct
+/// carrying one field per kind. Runs over already-analyzed files.
+pub fn check_protocol(
+    config: &ProtocolConfig,
+    files: &BTreeMap<String, FileAnalysis>,
+    out: &mut Vec<Violation>,
+) {
+    fn config_violation(out: &mut Vec<Violation>, file: &str, message: String) {
+        out.push(Violation {
+            rule: PROTOCOL,
+            file: file.to_string(),
+            line: 0,
+            col: 0,
+            message,
+            snippet: String::new(),
+        });
+    }
+    let (Some(requests), Some(dispatch), Some(counters)) = (
+        files.get(&config.requests),
+        files.get(&config.dispatch),
+        files.get(&config.counters),
+    ) else {
+        config_violation(
+            out,
+            &config.requests,
+            "lint.toml [protocol] names a file that was not scanned".to_string(),
+        );
+        return;
+    };
+    let Some(request_variants) = requests.enum_variants("Request") else {
+        config_violation(
+            out,
+            &config.requests,
+            "no `enum Request` found in the protocol file".to_string(),
+        );
+        return;
+    };
+    let Some(kind_variants) = requests.enum_variants("RequestKind") else {
+        config_violation(
+            out,
+            &config.requests,
+            "no `enum RequestKind` found in the protocol file".to_string(),
+        );
+        return;
+    };
+    let refs = dispatch.qualified_refs();
+    for (variant, line) in &request_variants {
+        if !refs.contains(&("Request".to_string(), variant.clone())) {
+            out.push(Violation {
+                rule: PROTOCOL,
+                file: requests.rel_path.clone(),
+                line: *line,
+                col: 1,
+                message: format!(
+                    "Request::{variant} has no match arm in {}",
+                    dispatch.rel_path
+                ),
+                snippet: requests.line_snippet(*line),
+            });
+        }
+    }
+    for (variant, line) in &kind_variants {
+        if !refs.contains(&("RequestKind".to_string(), variant.clone())) {
+            out.push(Violation {
+                rule: PROTOCOL,
+                file: requests.rel_path.clone(),
+                line: *line,
+                col: 1,
+                message: format!(
+                    "RequestKind::{variant} is never counted in {}",
+                    dispatch.rel_path
+                ),
+                snippet: requests.line_snippet(*line),
+            });
+        }
+    }
+    match counters.struct_fields("RequestCounts") {
+        Some(fields) if fields.len() == kind_variants.len() => {}
+        Some(fields) => config_violation(
+            out,
+            &counters.rel_path,
+            format!(
+                "RequestCounts has {} counter fields but RequestKind has {} variants — \
+                 every request kind needs its own counter",
+                fields.len(),
+                kind_variants.len()
+            ),
+        ),
+        None => config_violation(
+            out,
+            &counters.rel_path,
+            "no `struct RequestCounts` found in the counters file".to_string(),
+        ),
+    }
+}
+
+/// Run every per-file rule for one file under one manifest.
+pub fn check_file(analysis: &FileAnalysis, manifest: &Manifest, out: &mut Vec<Violation>) {
+    out.extend(analysis.marker_violations.iter().cloned());
+    if manifest
+        .no_panic_paths
+        .iter()
+        .any(|p| analysis.rel_path == *p || analysis.rel_path.starts_with(&format!("{p}/")))
+    {
+        analysis.check_no_panic(out);
+    }
+    analysis.check_total_float(out);
+    for hot in &manifest.hot {
+        if hot.file == analysis.rel_path {
+            analysis.check_no_alloc(hot, out);
+        }
+    }
+    analysis.check_lock_scope(out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn analyze(src: &str) -> FileAnalysis {
+        FileAnalysis::new("test.rs".to_string(), src.to_string())
+    }
+
+    #[test]
+    fn no_panic_flags_each_construct_once() {
+        let src = r#"
+fn serve(v: &[u8]) {
+    let x = v.first().unwrap();
+    let y = maybe().expect("present");
+    let z = v[0];
+    panic!("boom");
+    unreachable!();
+}
+"#;
+        let a = analyze(src);
+        let mut out = Vec::new();
+        a.check_no_panic(&mut out);
+        assert_eq!(out.len(), 5, "{out:?}");
+        assert!(out.iter().all(|v| v.rule == NO_PANIC));
+        assert_eq!(out[2].line, 5); // v[0]
+    }
+
+    #[test]
+    fn no_panic_skips_tests_comments_strings_and_types() {
+        let src = r#"
+/// Doc: call `.unwrap()` freely here. v[0] too.
+fn serve(buf: &mut [f64; 4], msg: &str) {
+    let _ = (buf, msg, "log: x.unwrap() failed");
+    for _i in [1, 2, 3] { }
+    let _closed: [u8; 2] = [0; 2];
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { helper().unwrap(); x[9]; panic!(); }
+}
+"#;
+        let a = analyze(src);
+        let mut out = Vec::new();
+        a.check_no_panic(&mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn unwrap_or_family_is_fine() {
+        let src = "fn f() { x.unwrap_or(1); x.unwrap_or_else(|| 2); x.unwrap_or_default(); }";
+        let a = analyze(src);
+        let mut out = Vec::new();
+        a.check_no_panic(&mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn total_float_flags_partial_cmp_calls_only() {
+        let src = r#"
+fn order(xs: &mut Vec<f64>) {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    xs.sort_by(|a, b| a.total_cmp(b));
+    // partial_cmp in a comment is fine; "partial_cmp" in a string too.
+    let _ = "partial_cmp";
+}
+"#;
+        let a = analyze(src);
+        let mut out = Vec::new();
+        a.check_total_float(&mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].line, 3);
+    }
+
+    #[test]
+    fn no_alloc_checks_only_declared_functions() {
+        let src = r#"
+fn setup() -> Vec<f64> { Vec::new() }
+fn kernel(out: &mut [f64], src: &[f64]) {
+    let tmp = src.to_vec();
+    let s: Vec<f64> = src.iter().map(|x| x * 2.0).collect();
+    out.copy_from_slice(&tmp);
+    let _ = s;
+}
+"#;
+        let a = analyze(src);
+        let hot = HotModule {
+            file: "test.rs".to_string(),
+            functions: vec!["kernel".to_string()],
+        };
+        let mut out = Vec::new();
+        a.check_no_alloc(&hot, &mut out);
+        let kinds: Vec<&str> = out.iter().map(|v| v.rule).collect();
+        assert_eq!(kinds, [NO_ALLOC, NO_ALLOC], "{out:?}");
+
+        // The wildcard covers setup() too.
+        let hot_all = HotModule {
+            file: "test.rs".to_string(),
+            functions: vec!["*".to_string()],
+        };
+        let mut out = Vec::new();
+        a.check_no_alloc(&hot_all, &mut out);
+        assert_eq!(out.len(), 3, "{out:?}");
+    }
+
+    #[test]
+    fn no_alloc_reports_rotten_manifest_entries() {
+        let a = analyze("fn real() {}");
+        let hot = HotModule {
+            file: "test.rs".to_string(),
+            functions: vec!["renamed_away".to_string()],
+        };
+        let mut out = Vec::new();
+        a.check_no_alloc(&hot, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, MANIFEST);
+    }
+
+    #[test]
+    fn lock_scope_flags_send_under_guard() {
+        let src = r#"
+fn relay(m: &std::sync::Mutex<u32>, tx: &Sender<u32>) {
+    let guard = m.lock().unwrap_or_else(|e| e.into_inner());
+    tx.send(*guard);
+}
+fn fine(m: &std::sync::Mutex<u32>, tx: &Sender<u32>) {
+    let value = { *m.lock().unwrap_or_else(|e| e.into_inner()) };
+    tx.send(value);
+}
+"#;
+        let a = analyze(src);
+        let mut out = Vec::new();
+        a.check_lock_scope(&mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].line, 4);
+    }
+
+    #[test]
+    fn allows_parse_and_demand_reasons() {
+        let src = r#"
+// lint:allow(total-float-ordering) -- operands proven finite above
+// lint:allow(total-float-ordering)
+// lint:allow(made-up-rule) -- whatever
+"#;
+        let a = analyze(src);
+        assert_eq!(a.allows.len(), 1);
+        assert_eq!(a.allows[0].rule, TOTAL_FLOAT);
+        assert_eq!(a.marker_violations.len(), 2);
+    }
+
+    #[test]
+    fn enum_and_struct_extraction() {
+        let src = r#"
+/// Doc.
+pub enum Request {
+    /// Create.
+    Create { session: String, model: Model },
+    #[deprecated]
+    Probe(u32),
+    Close,
+}
+pub struct Counts {
+    pub create: u64,
+    pub close: u64,
+    inner: gmaa::CycleStats,
+}
+"#;
+        let a = analyze(src);
+        let variants = a.enum_variants("Request").expect("enum found");
+        let names: Vec<&str> = variants.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["Create", "Probe", "Close"]);
+        let fields = a.struct_fields("Counts").expect("struct found");
+        assert_eq!(fields, ["create", "close", "inner"]);
+        assert!(a.enum_variants("Missing").is_none());
+    }
+}

@@ -1,0 +1,11 @@
+//! Minimal reproducer: malformed allow markers.
+
+pub fn sort(xs: &mut [f64]) {
+    // lint:allow(total-float-ordering)
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+pub fn other(xs: &mut [f64]) {
+    // lint:allow(no-such-rule) -- reason for a rule that does not exist
+    xs.reverse();
+}

@@ -1,0 +1,14 @@
+//! Minimal reproducer: channel traffic inside a held lock guard's scope.
+
+use std::sync::mpsc::Sender;
+use std::sync::Mutex;
+
+pub fn relay(state: &Mutex<u64>, tx: &Sender<u64>) {
+    let guard = state.lock().unwrap_or_else(|e| e.into_inner());
+    let _ = tx.send(*guard);
+}
+
+pub fn fine(state: &Mutex<u64>, tx: &Sender<u64>) {
+    let value = { *state.lock().unwrap_or_else(|e| e.into_inner()) };
+    let _ = tx.send(value);
+}

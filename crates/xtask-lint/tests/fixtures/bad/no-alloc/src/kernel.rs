@@ -1,0 +1,11 @@
+//! Minimal reproducer: allocation inside a declared hot kernel.
+
+pub fn kernel(out: &mut [f64], src: &[f64]) {
+    let staged = src.to_vec();
+    out.copy_from_slice(&staged);
+}
+
+pub fn setup() -> Vec<f64> {
+    // Not declared hot: allocating here is fine.
+    vec![0.0; 16]
+}

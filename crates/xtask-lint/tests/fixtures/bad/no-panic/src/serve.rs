@@ -1,0 +1,20 @@
+//! Minimal reproducer: each panicking construct on a serving path.
+
+pub fn handle(values: &[f64], lookup: Option<u32>) -> f64 {
+    let first = lookup.unwrap();
+    let _ = first;
+    let direct = values[0];
+    if direct < 0.0 {
+        panic!("negative");
+    }
+    direct
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panics_are_fine_in_tests() {
+        let v = [1.0];
+        assert_eq!(v[0], Some(1.0).unwrap());
+    }
+}

@@ -1,0 +1,11 @@
+//! Minimal reproducer: a protocol variant the dispatcher forgot.
+
+pub enum Request {
+    Ping { session: String },
+    Shutdown,
+}
+
+pub enum RequestKind {
+    Ping,
+    Shutdown,
+}

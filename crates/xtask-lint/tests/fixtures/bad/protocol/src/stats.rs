@@ -1,0 +1,3 @@
+pub struct RequestCounts {
+    pub ping: u64,
+}

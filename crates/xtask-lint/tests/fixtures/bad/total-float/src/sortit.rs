@@ -1,0 +1,5 @@
+//! Minimal reproducer: a raw `partial_cmp` float ordering.
+
+pub fn sort(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}

@@ -1,0 +1,11 @@
+use crate::protocol::{Request, RequestKind};
+
+pub fn handle(req: Request) -> RequestKind {
+    match req {
+        Request::Ping { session } => {
+            drop(session);
+            RequestKind::Ping
+        }
+        Request::Shutdown => RequestKind::Shutdown,
+    }
+}

@@ -1,0 +1,13 @@
+//! Clean hot kernel plus one justified, used allow marker.
+
+pub fn kernel(out: &mut [f64], src: &[f64]) {
+    for (o, s) in out.iter_mut().zip(src) {
+        *o = s * 2.0;
+    }
+}
+
+pub fn ordered(xs: &mut [f64]) -> Option<f64> {
+    // lint:allow(total-float-ordering) -- inputs validated finite by the caller
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    xs.first().copied()
+}

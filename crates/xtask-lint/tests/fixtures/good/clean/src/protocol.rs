@@ -1,0 +1,9 @@
+pub enum Request {
+    Ping { session: String },
+    Shutdown,
+}
+
+pub enum RequestKind {
+    Ping,
+    Shutdown,
+}

@@ -1,0 +1,4 @@
+pub struct RequestCounts {
+    pub ping: u64,
+    pub shutdown: u64,
+}

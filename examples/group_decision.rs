@@ -82,7 +82,7 @@ fn main() {
         println!("\n=== {label} ({trials} trials) ===");
         println!("  candidates that ever rank first: {ever:?}");
         let mut by_mean: Vec<(usize, f64)> = result.mean_ranks().into_iter().enumerate().collect();
-        by_mean.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+        by_mean.sort_by(|a, b| a.1.total_cmp(&b.1));
         print!("  top five by mean rank:");
         for (i, mean) in by_mean.into_iter().take(5) {
             print!(" {} ({mean:.2});", model.alternatives[i]);

@@ -167,7 +167,7 @@ fn section5_monte_carlo_robustness() {
 
     // The five best by mean rank are the paper's five best.
     let mut order: Vec<usize> = (0..23).collect();
-    order.sort_by(|&a, &b| means[a].partial_cmp(&means[b]).expect("finite"));
+    order.sort_by(|&a, &b| means[a].total_cmp(&means[b]));
     let mut top5: Vec<&str> = order
         .iter()
         .take(5)

@@ -5,6 +5,11 @@
 //! statistics, plots, or baselines — enough to run `cargo bench` offline
 //! and compare runs by eye or with the `collect_numbers` tool.
 
+// Printing results to stdout is this crate's purpose; keep it exempt
+// from the workspace's strict print lints (it is compiled as part of
+// the strict `-p bench` clippy invocation).
+#![allow(clippy::print_stdout)]
+
 use std::fmt;
 use std::time::{Duration, Instant};
 
