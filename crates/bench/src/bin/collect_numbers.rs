@@ -28,7 +28,12 @@
 //!   mixed workload (80% `set_perf` + `Analyze`, 20% `MonteCarlo`, bursty
 //!   per-tenant access), 1 shard vs 4 shards at the same per-shard
 //!   session cap, with the incremental-cycle hit rate and
-//!   eviction/rehydration counts.
+//!   eviction/rehydration counts;
+//! * **serving_durable** — the durable session store: per-edit request
+//!   cost without a store vs with the file-backed write-ahead journal
+//!   (fsync on snapshots only, and fsync on every append), and the time
+//!   to recover 12 crashed tenants (store enumeration + per-tenant
+//!   journal-over-snapshot rehydration).
 //!
 //! Results are printed and written to `BENCH_engine.json` in the current
 //! directory, seeding the repo's performance trajectory.
@@ -408,6 +413,127 @@ fn serving_bench() -> String {
     )
 }
 
+/// The `serving_durable` section: what one what-if edit costs once it is
+/// journaled (the write-ahead append rides the synchronous edit request),
+/// and how long a cold process takes to bring 12 crashed tenants back.
+fn serving_durable_bench() -> String {
+    use gmaa_serve::{FileStore, FsyncPolicy, Request, ServeConfig, SessionConfig, SessionManager};
+    use std::sync::Arc;
+
+    let model = bench::paper();
+    let doc = model.find_attribute("doc_quality").expect("exists");
+    let config = ServeConfig {
+        shards: 1,
+        max_sessions_per_shard: 16,
+        session: SessionConfig {
+            mc_trials: 300,
+            stability_resolution: 40,
+            ..SessionConfig::default()
+        },
+    };
+    let dir = std::env::temp_dir().join(format!("gmaa-bench-durable-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Per-edit cost: a synchronous SetPerf round trip (channel + edit +,
+    // when a store is attached, the journal append / fsync).
+    let create = |m: &SessionManager, name: &str| {
+        m.request(Request::CreateSession {
+            session: name.into(),
+            model: model.clone(),
+        })
+        .expect("create");
+    };
+    let edit_ns = |m: &SessionManager, iters: u32| {
+        let mut level = 0usize;
+        time_ns(iters, || {
+            level = (level + 1) % 4;
+            m.request(Request::SetPerf {
+                session: "tenant-0".into(),
+                alternative: 3,
+                attr: doc,
+                perf: Perf::level(level),
+            })
+            .expect("edit");
+        })
+    };
+
+    let plain = SessionManager::new(config);
+    create(&plain, "tenant-0");
+    let plain_ns = edit_ns(&plain, 500);
+    drop(plain);
+
+    let store = Arc::new(
+        FileStore::open(dir.join("on-snapshot"), FsyncPolicy::OnSnapshot).expect("store opens"),
+    );
+    let journaled = SessionManager::with_store(config, store).expect("recovery enumerates");
+    create(&journaled, "tenant-0");
+    let journaled_ns = edit_ns(&journaled, 500);
+    drop(journaled);
+
+    let store =
+        Arc::new(FileStore::open(dir.join("always"), FsyncPolicy::Always).expect("store opens"));
+    let fsync = SessionManager::with_store(config, store).expect("recovery enumerates");
+    create(&fsync, "tenant-0");
+    let fsync_ns = edit_ns(&fsync, 50);
+    drop(fsync);
+
+    // Recovery: 12 tenants with journaled edit tails, killed without a
+    // drain, brought back by a cold manager. Timed: store enumeration +
+    // rehydrating every tenant (snapshot restore + journal replay) via a
+    // first touch.
+    const TENANTS: usize = 12;
+    const EDITS: usize = 5;
+    let recover_config = ServeConfig {
+        shards: 4,
+        max_sessions_per_shard: 8,
+        ..config
+    };
+    let recover_dir = dir.join("recovery");
+    {
+        let store =
+            Arc::new(FileStore::open(&recover_dir, FsyncPolicy::Never).expect("store opens"));
+        let m = SessionManager::with_store(recover_config, store).expect("recovery enumerates");
+        for t in 0..TENANTS {
+            create(&m, &format!("tenant-{t}"));
+            for e in 0..EDITS {
+                m.request(Request::SetPerf {
+                    session: format!("tenant-{t}"),
+                    alternative: (t + e) % 23,
+                    attr: doc,
+                    perf: Perf::level(e % 4),
+                })
+                .expect("edit");
+            }
+        }
+    } // crash: no drain, the journals carry every edit
+
+    let store = Arc::new(FileStore::open(&recover_dir, FsyncPolicy::Never).expect("store opens"));
+    let start = Instant::now();
+    let recovered = SessionManager::with_store(recover_config, store).expect("recovery enumerates");
+    for t in 0..TENANTS {
+        recovered
+            .request(Request::SetPerf {
+                session: format!("tenant-{t}"),
+                alternative: t % 23,
+                attr: doc,
+                perf: Perf::level(t % 4),
+            })
+            .expect("first touch rehydrates");
+    }
+    let recovery_ms = start.elapsed().as_secs_f64() * 1e3;
+    let stats = recovered.stats().aggregate();
+    assert_eq!(stats.store.sessions_recovered, TENANTS as u64);
+    drop(recovered);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    format!(
+        "  \"serving_durable\": {{\n    \"store\": \"file-backed, length-prefixed JSON write-ahead journal\",\n    \"edit_request_ns_no_store\": {plain_ns:.0},\n    \"edit_request_ns_journaled\": {journaled_ns:.0},\n    \"edit_request_ns_fsync_always\": {fsync_ns:.0},\n    \"journal_overhead_ns_per_edit\": {:.0},\n    \"journal_overhead_ratio\": {:.3},\n    \"recovery_tenants\": {TENANTS},\n    \"recovery_journal_records_replayed\": {},\n    \"recovery_ms_12_tenants\": {recovery_ms:.1}\n  }}",
+        journaled_ns - plain_ns,
+        journaled_ns / plain_ns,
+        stats.store.records_replayed,
+    )
+}
+
 fn main() {
     // band-width ablation counts
     for hw in [0.05, 0.15, 0.25, 0.35] {
@@ -467,7 +593,7 @@ fn main() {
     println!("non-dominated: {}/23", nd.len());
 
     // engine performance comparison -> BENCH_engine.json
-    let serving = serving_bench();
+    let serving = format!("{},\n{}", serving_bench(), serving_durable_bench());
     let json = engine_bench(&serving);
     print!("\nengine bench:\n{json}");
     std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");

@@ -30,13 +30,23 @@
 //!   the model in place, so the model alone is the complete pending
 //!   state) and transparently rehydrated on its next request, with
 //!   identical analysis results.
+//! * **Durability.** An optional [`SessionStore`]
+//!   ([`MemoryStore`] / [`FileStore`]) makes sessions survive the
+//!   process: applied edits append to a per-session write-ahead journal,
+//!   eviction writes a compacted snapshot (which then leaves shard
+//!   memory), [`SessionManager::with_store`] re-enumerates the store on
+//!   startup and rehydrates each tenant journal-over-snapshot with
+//!   bit-identical analysis results, and [`SessionManager::drain`]
+//!   flushes everything for a graceful shutdown.
 //! * **Counters.** Per-shard and aggregate [`ServeStats`]: sessions,
 //!   requests by kind, incremental-vs-full cycle counts (the
 //!   [`ServeStats::incremental_hit_rate`] headline), LP warm/cold solve
-//!   and pivot totals, evictions and rehydrations.
+//!   and pivot totals, evictions and rehydrations, store/journal
+//!   activity ([`StoreStats`]).
 //!
 //! See [`SessionManager`] for a runnable quickstart, and
-//! `examples/serving.rs` at the workspace root for a multi-tenant demo.
+//! `examples/serving.rs` / `examples/durable_serving.rs` at the
+//! workspace root for multi-tenant and crash-recovery demos.
 
 #![warn(missing_docs)]
 
@@ -45,7 +55,11 @@ mod protocol;
 mod session;
 mod shard;
 mod stats;
+mod store;
 
 pub use manager::{Pending, ServeConfig, SessionManager};
 pub use protocol::{Request, RequestKind, Response, ServeError, SessionConfig, SessionSnapshot};
-pub use stats::{RequestCounts, ServeStats, ShardStats};
+pub use stats::{RequestCounts, ServeStats, ShardStats, StoreStats};
+pub use store::{
+    FileStore, FsyncPolicy, JournalRecord, MemoryStore, SessionStore, StoreError, StoredSession,
+};

@@ -4,8 +4,14 @@
 use crate::protocol::{Request, Response, ServeError, SessionConfig};
 use crate::shard::{Command, Shard};
 use crate::stats::{ServeStats, ShardStats};
+use crate::store::SessionStore;
 use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
 use std::thread::JoinHandle;
+
+/// A store handle plus the recovered session names, pre-partitioned by
+/// owning shard index (FNV routing), handed to each spawned worker.
+type StoreHandoff = (Arc<dyn SessionStore>, Vec<Vec<String>>);
 
 /// Service-level settings.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -125,12 +131,70 @@ pub struct SessionManager {
 impl SessionManager {
     /// Spawn the shard workers. `config.shards == 0` is treated as 1.
     pub fn new(config: ServeConfig) -> SessionManager {
+        SessionManager::spawn(config, None)
+    }
+
+    /// Spawn the shard workers over a durable [`SessionStore`],
+    /// recovering every session the store holds: the store is enumerated
+    /// once, each session name is routed to its shard by the same stable
+    /// FNV-1a hash used for requests, and the shard rehydrates it
+    /// journal-over-snapshot on its next request — with analysis results
+    /// bit-identical to a process that never crashed. Fails only if the
+    /// recovery enumeration itself fails.
+    ///
+    /// ```
+    /// use gmaa_serve::{MemoryStore, Request, Response, ServeConfig, SessionManager};
+    /// use std::sync::Arc;
+    ///
+    /// # let mut b = maut::prelude::DecisionModelBuilder::new("m");
+    /// # let x = b.discrete_attribute("x", "X", &["l", "h"]);
+    /// # b.attach_attributes_to_root(&[(x, maut::Interval::new(0.9, 1.0))]);
+    /// # b.alternative("a", vec![maut::Perf::level(1)]);
+    /// # let model = b.build().unwrap();
+    /// let store = Arc::new(MemoryStore::new());
+    /// {
+    ///     let m = SessionManager::with_store(ServeConfig::default(), store.clone()).unwrap();
+    ///     m.request(Request::CreateSession { session: "alice".into(), model }).unwrap();
+    ///     // ... edits are journaled as they happen ...
+    /// } // manager dropped: simulate the process going away
+    ///
+    /// // A new manager over the same store finds every tenant again.
+    /// let recovered = SessionManager::with_store(ServeConfig::default(), store).unwrap();
+    /// assert!(matches!(
+    ///     recovered.request(Request::Analyze { session: "alice".into() }),
+    ///     Ok(Response::Analysis(_))
+    /// ));
+    /// ```
+    pub fn with_store(
+        config: ServeConfig,
+        store: Arc<dyn SessionStore>,
+    ) -> Result<SessionManager, ServeError> {
+        let shards = config.shards.max(1);
+        let mut recovered: Vec<Vec<String>> = vec![Vec::new(); shards];
+        for name in store.sessions()? {
+            let shard = (fnv1a(name.as_bytes()) % shards as u64) as usize;
+            if let Some(bucket) = recovered.get_mut(shard) {
+                bucket.push(name);
+            }
+        }
+        Ok(SessionManager::spawn(config, Some((store, recovered))))
+    }
+
+    fn spawn(config: ServeConfig, store: Option<StoreHandoff>) -> SessionManager {
         let shards = config.shards.max(1);
         let mut senders = Vec::with_capacity(shards);
         let mut workers = Vec::with_capacity(shards);
+        let mut store = store;
         for index in 0..shards {
             let (tx, rx) = channel();
-            let shard = Shard::new(index, config.max_sessions_per_shard, config.session);
+            let mut shard = Shard::new(index, config.max_sessions_per_shard, config.session);
+            if let Some((store, recovered)) = &mut store {
+                let names = recovered
+                    .get_mut(index)
+                    .map(std::mem::take)
+                    .unwrap_or_default();
+                shard = shard.with_store(Arc::clone(store), names);
+            }
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("gmaa-serve-shard-{index}"))
@@ -141,6 +205,40 @@ impl SessionManager {
             senders.push(tx);
         }
         SessionManager { senders, workers }
+    }
+
+    /// Flush every live session on every shard to the store (graceful
+    /// shutdown — the durable complement of just dropping the manager).
+    /// Sessions stay live and serving. Returns the total number of
+    /// sessions flushed; every shard is drained even if one fails, and
+    /// the first failure is reported. Without a store this is a no-op
+    /// returning `Ok(0)`.
+    pub fn drain(&self) -> Result<u64, ServeError> {
+        let mut pending = Vec::with_capacity(self.senders.len());
+        for sender in &self.senders {
+            let (tx, rx) = channel();
+            let sent = sender.send(Command::Drain { reply: tx }).is_ok();
+            pending.push((sent, rx));
+        }
+        let mut flushed = 0u64;
+        let mut first_err: Option<ServeError> = None;
+        for (sent, rx) in pending {
+            let outcome = if sent {
+                rx.recv().unwrap_or(Err(ServeError::ShardDown))
+            } else {
+                Err(ServeError::ShardDown)
+            };
+            match outcome {
+                Ok(n) => flushed += n,
+                Err(e) => {
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(flushed),
+        }
     }
 
     /// Number of shards.

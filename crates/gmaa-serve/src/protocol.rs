@@ -219,8 +219,12 @@ pub enum ServeError {
     /// LP solver breakdown inside an analysis — never a legitimate
     /// analysis outcome, see [`maut_sense::potential`].
     Lp(LpError),
-    /// A snapshot could not be encoded or decoded.
+    /// A snapshot could not be encoded or decoded, or a loaded snapshot
+    /// failed its identity check.
     Snapshot(String),
+    /// The durable session store failed (I/O, encoding, or corrupt
+    /// state). The in-memory session, if any, is still intact.
+    Store(crate::store::StoreError),
     /// The owning shard's worker is gone (the manager was shut down, or
     /// the worker panicked).
     ShardDown,
@@ -240,6 +244,7 @@ impl fmt::Display for ServeError {
             ServeError::InvalidRequest(e) => write!(f, "invalid request: {e}"),
             ServeError::Lp(e) => write!(f, "LP solver breakdown: {e}"),
             ServeError::Snapshot(e) => write!(f, "snapshot failed: {e}"),
+            ServeError::Store(e) => write!(f, "session store failed: {e}"),
             ServeError::ShardDown => write!(f, "shard worker is gone"),
             ServeError::Internal(m) => write!(f, "internal shard invariant broke: {m}"),
         }
@@ -257,6 +262,12 @@ impl From<ModelError> for ServeError {
 impl From<LpError> for ServeError {
     fn from(e: LpError) -> ServeError {
         ServeError::Lp(e)
+    }
+}
+
+impl From<crate::store::StoreError> for ServeError {
+    fn from(e: crate::store::StoreError) -> ServeError {
+        ServeError::Store(e)
     }
 }
 

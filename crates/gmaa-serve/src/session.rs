@@ -11,6 +11,7 @@
 //! as a workspace file.
 
 use crate::protocol::{ServeError, SessionConfig, SessionSnapshot};
+use crate::store::JournalRecord;
 use gmaa::AnalysisEngine;
 use maut::DecisionModel;
 
@@ -52,15 +53,44 @@ impl Session {
         })
     }
 
-    /// Rebuild a session from its snapshot. The engine starts with cold
-    /// caches (the first post-rehydration cycle is a full recompute), but
-    /// every analysis result is identical to the never-evicted session's —
-    /// the analyses are deterministic functions of model + seed.
-    pub(crate) fn restore(snapshot: &SessionSnapshot) -> Result<Session, ServeError> {
+    /// Rebuild a session from its snapshot, first checking that the
+    /// snapshot really belongs to `expected` — a misfiled store entry
+    /// must not silently serve one tenant another tenant's model. The
+    /// engine starts with cold caches (the first post-rehydration cycle
+    /// is a full recompute), but every analysis result is identical to
+    /// the never-evicted session's — the analyses are deterministic
+    /// functions of model + seed.
+    pub(crate) fn restore(
+        snapshot: &SessionSnapshot,
+        expected: &str,
+    ) -> Result<Session, ServeError> {
+        if snapshot.session != expected {
+            return Err(ServeError::Snapshot(format!(
+                "snapshot identity mismatch: loaded under {expected:?} but records session {:?}",
+                snapshot.session
+            )));
+        }
         Session::new(
             gmaa::model_from_json(&snapshot.model_json)?,
             snapshot.config,
         )
+    }
+
+    /// Re-apply journaled edits, in order, on top of a restored snapshot.
+    /// Records carry absolute values, so replaying an edit the snapshot
+    /// already absorbed is a no-op.
+    pub(crate) fn replay(&mut self, journal: &[JournalRecord]) -> Result<(), ServeError> {
+        for record in journal {
+            match record {
+                JournalRecord::SetPerf(alternative, attr, perf) => {
+                    self.engine.set_perf(*alternative, *attr, *perf)?;
+                }
+                JournalRecord::SetWeight(objective, weight) => {
+                    self.engine.set_weight(*objective, *weight)?;
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -86,7 +116,7 @@ mod tests {
         s.engine.set_perf(1, x, Perf::level(2)).unwrap();
 
         let snap = s.snapshot("t").unwrap();
-        let mut restored = Session::restore(&snap).unwrap();
+        let mut restored = Session::restore(&snap, "t").unwrap();
         assert_eq!(restored.engine.model(), s.engine.model());
         assert_eq!(restored.config, s.config);
         // The rehydrated session evaluates identically.
@@ -99,8 +129,55 @@ mod tests {
         let mut snap = s.snapshot("t").unwrap();
         snap.model_json = "{ not json".into();
         assert!(matches!(
-            Session::restore(&snap),
+            Session::restore(&snap, "t"),
             Err(ServeError::Snapshot(_))
         ));
+    }
+
+    #[test]
+    fn restore_rejects_identity_mismatch() {
+        // A misfiled store entry (snapshot for tenant A loaded under
+        // tenant B's key) must fail loudly, not serve A's model to B.
+        let s = Session::new(model(), SessionConfig::default()).unwrap();
+        let snap = s.snapshot("tenant-a").unwrap();
+        let err = Session::restore(&snap, "tenant-b").unwrap_err();
+        match err {
+            ServeError::Snapshot(msg) => {
+                assert!(
+                    msg.contains("tenant-a") && msg.contains("tenant-b"),
+                    "{msg}"
+                );
+            }
+            other => panic!("expected Snapshot error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn replay_reproduces_directly_applied_edits() {
+        let mut direct = Session::new(model(), SessionConfig::default()).unwrap();
+        let x = direct.engine.model().find_attribute("x").unwrap();
+        let x_obj = direct.engine.model().tree.find("x").unwrap();
+        direct.engine.set_perf(1, x, Perf::level(2)).unwrap();
+        direct
+            .engine
+            .set_weight(x_obj, Interval::new(0.2, 0.8))
+            .unwrap();
+
+        let mut replayed = Session::new(model(), SessionConfig::default()).unwrap();
+        replayed
+            .replay(&[
+                crate::store::JournalRecord::SetPerf(1, x, Perf::level(2)),
+                crate::store::JournalRecord::SetWeight(x_obj, Interval::new(0.2, 0.8)),
+            ])
+            .unwrap();
+        assert_eq!(replayed.engine.model(), direct.engine.model());
+        assert_eq!(*replayed.engine.evaluate(), *direct.engine.evaluate());
+
+        // A journal that no longer matches the model surfaces the model
+        // error instead of corrupting the session.
+        let mut bad = Session::new(model(), SessionConfig::default()).unwrap();
+        assert!(bad
+            .replay(&[crate::store::JournalRecord::SetPerf(99, x, Perf::level(0))])
+            .is_err());
     }
 }

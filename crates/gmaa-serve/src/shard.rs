@@ -5,17 +5,25 @@
 //! shared or locked. The worker keeps live sessions up to a configured
 //! cap; beyond it, the least-recently-used session is hibernated to a
 //! [`SessionSnapshot`] and transparently rehydrated on its next request.
+//!
+//! With a [`SessionStore`] configured, durability rides the same paths:
+//! every applied edit appends a journal record, eviction writes a
+//! compacted snapshot to the store (and the snapshot leaves shard
+//! memory), and a session recovered from a previous process is
+//! rehydrated journal-over-snapshot on its next request.
 
 use crate::protocol::{Request, RequestKind, Response, ServeError, SessionConfig, SessionSnapshot};
 use crate::session::Session;
-use crate::stats::{RequestCounts, ShardStats};
+use crate::stats::{RequestCounts, ShardStats, StoreStats};
+use crate::store::{JournalRecord, SessionStore, StoredSession};
 use gmaa::CycleStats;
 use maut_sense::{MonteCarlo, MonteCarloConfig, SolveStats};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
 
 /// A message to a shard worker: an API request with its reply channel, or
-/// an out-of-band stats probe.
+/// an out-of-band stats/drain command.
 pub(crate) enum Command {
     /// Handle `request` and send the outcome to `reply`. Boxed: a
     /// `CreateSession` carries a whole model, dwarfing the other
@@ -26,6 +34,11 @@ pub(crate) enum Command {
     },
     /// Report the shard's current counters.
     Stats { reply: Sender<ShardStats> },
+    /// Flush every live session to the store (sessions stay live);
+    /// replies with the number flushed.
+    Drain {
+        reply: Sender<Result<u64, ServeError>>,
+    },
 }
 
 /// One shard's state, owned by its worker thread.
@@ -36,7 +49,16 @@ pub(crate) struct Shard {
     /// Settings applied to sessions created on this shard.
     session_config: SessionConfig,
     live: HashMap<String, Session>,
+    /// Evicted snapshots kept in shard memory — only used when no store
+    /// is configured (with a store they spill to it instead, keeping the
+    /// shard's resident footprint bounded under session churn).
     hibernated: HashMap<String, SessionSnapshot>,
+    /// The durable backend, if any. Shared across shards; the FNV
+    /// routing guarantees no two shards address the same session.
+    store: Option<Arc<dyn SessionStore>>,
+    /// Sessions whose state lives only in the store (evicted there, or
+    /// recovered from a previous process and not yet touched).
+    stored: HashSet<String>,
     /// Logical clock for LRU ordering: bumped per request, stamped onto
     /// the touched session.
     clock: u64,
@@ -48,6 +70,7 @@ pub(crate) struct Shard {
     /// retirement so shard totals survive session churn.
     retired_cycles: CycleStats,
     retired_lp: SolveStats,
+    store_stats: StoreStats,
 }
 
 impl Shard {
@@ -58,6 +81,8 @@ impl Shard {
             session_config,
             live: HashMap::new(),
             hibernated: HashMap::new(),
+            store: None,
+            stored: HashSet::new(),
             clock: 0,
             counts: RequestCounts::default(),
             sessions_created: 0,
@@ -65,7 +90,21 @@ impl Shard {
             rehydrations: 0,
             retired_cycles: CycleStats::default(),
             retired_lp: SolveStats::default(),
+            store_stats: StoreStats::default(),
         }
+    }
+
+    /// Attach a durable store, seeding `recovered` — session names the
+    /// manager's recovery enumeration routed to this shard. They are
+    /// rehydrated lazily, journal-over-snapshot, on their next request.
+    pub(crate) fn with_store(
+        mut self,
+        store: Arc<dyn SessionStore>,
+        recovered: Vec<String>,
+    ) -> Shard {
+        self.store = Some(store);
+        self.stored = recovered.into_iter().collect();
+        self
     }
 
     /// The worker loop: handle commands until every sender is gone.
@@ -79,6 +118,9 @@ impl Shard {
                 }
                 Command::Stats { reply } => {
                     let _ = reply.send(self.stats());
+                }
+                Command::Drain { reply } => {
+                    let _ = reply.send(self.drain());
                 }
             }
         }
@@ -103,35 +145,77 @@ impl Shard {
         self.clock += 1;
         match request {
             Request::CreateSession { session, model } => {
-                if self.live.contains_key(&session) || self.hibernated.contains_key(&session) {
+                if self.live.contains_key(&session)
+                    || self.hibernated.contains_key(&session)
+                    || self.stored.contains(&session)
+                {
                     return Err(ServeError::DuplicateSession(session));
                 }
                 let mut s = Session::new(model, self.session_config)?;
                 s.last_used = self.clock;
+                // With a store, the session is born durable: its initial
+                // snapshot is written before the create is acknowledged,
+                // so journal appends always follow a snapshot.
+                if let Some(store) = self.store.clone() {
+                    let snap = s.snapshot(&session)?;
+                    match store.put_snapshot(&snap) {
+                        Ok(()) => self.store_stats.snapshots_written += 1,
+                        Err(e) => {
+                            self.store_stats.store_errors += 1;
+                            return Err(e.into());
+                        }
+                    }
+                }
                 self.make_room();
                 self.live.insert(session, s);
                 self.sessions_created += 1;
                 Ok(Response::Created)
             }
             Request::CloseSession { session } => {
-                if let Some(s) = self.live.remove(&session) {
+                let found = if let Some(s) = self.live.remove(&session) {
                     self.retire(&s);
-                    Ok(Response::Closed)
-                } else if self.hibernated.remove(&session).is_some() {
-                    Ok(Response::Closed)
+                    true
                 } else {
-                    Err(ServeError::UnknownSession(session))
+                    let hibernated = self.hibernated.remove(&session).is_some();
+                    let stored = self.stored.remove(&session);
+                    hibernated || stored
+                };
+                if !found {
+                    return Err(ServeError::UnknownSession(session));
                 }
+                // Best effort: a failed store delete leaves an orphaned
+                // entry (re-created names will collide at recovery), but
+                // the close itself succeeded.
+                if let Some(store) = self.store.clone() {
+                    if store.remove(&session).is_err() {
+                        self.store_stats.store_errors += 1;
+                    }
+                }
+                Ok(Response::Closed)
             }
             Request::Snapshot { session } => {
-                // Hibernated sessions answer from their stored snapshot —
-                // no rehydration needed to read state.
-                if let Some(s) = self.live.get_mut(&session) {
-                    s.last_used = self.clock;
+                // A read-only probe: answer from whatever tier holds the
+                // session without stamping `last_used` — a periodic
+                // snapshot poller must not pin sessions resident or
+                // reorder LRU eviction.
+                if let Some(s) = self.live.get(&session) {
                     let snap = s.snapshot(&session)?;
                     Ok(Response::Snapshot(Box::new(snap)))
                 } else if let Some(snap) = self.hibernated.get(&session) {
                     Ok(Response::Snapshot(Box::new(snap.clone())))
+                } else if self.stored.contains(&session) {
+                    let stored = self.store_load(&session)?;
+                    let snap = if stored.journal.is_empty() && stored.torn_records == 0 {
+                        stored.snapshot
+                    } else {
+                        // Pending journal records: materialize them into
+                        // an ephemeral engine so the reported snapshot is
+                        // the session's real state. Residency unchanged.
+                        let mut s = Session::restore(&stored.snapshot, &session)?;
+                        s.replay(&stored.journal)?;
+                        s.snapshot(&session)?
+                    };
+                    Ok(Response::Snapshot(Box::new(snap)))
                 } else {
                     Err(ServeError::UnknownSession(session))
                 }
@@ -142,8 +226,10 @@ impl Shard {
                 attr,
                 perf,
             } => {
-                let s = self.touch(&session)?;
-                s.engine.set_perf(alternative, attr, perf)?;
+                self.touch(&session)?
+                    .engine
+                    .set_perf(alternative, attr, perf)?;
+                self.journal(&session, JournalRecord::SetPerf(alternative, attr, perf))?;
                 Ok(Response::Edited)
             }
             Request::SetWeight {
@@ -151,8 +237,8 @@ impl Shard {
                 objective,
                 weight,
             } => {
-                let s = self.touch(&session)?;
-                s.engine.set_weight(objective, weight)?;
+                self.touch(&session)?.engine.set_weight(objective, weight)?;
+                self.journal(&session, JournalRecord::SetWeight(objective, weight))?;
                 Ok(Response::Edited)
             }
             Request::Analyze { session } => {
@@ -189,26 +275,42 @@ impl Shard {
         }
     }
 
-    /// Fetch a session for use, transparently rehydrating it from its
-    /// snapshot if it was evicted, and stamp its LRU clock.
+    /// Fetch a session for use, transparently rehydrating it (from the
+    /// in-memory snapshot or the store) if it was evicted, and stamp its
+    /// LRU clock.
     fn touch(&mut self, session: &str) -> Result<&mut Session, ServeError> {
         if !self.live.contains_key(session) {
-            let snap = self
-                .hibernated
-                .remove(session)
-                .ok_or_else(|| ServeError::UnknownSession(session.to_string()))?;
-            match Session::restore(&snap) {
-                Ok(s) => {
-                    self.make_room();
-                    self.rehydrations += 1;
-                    self.live.insert(session.to_string(), s);
+            if let Some(snap) = self.hibernated.remove(session) {
+                match Session::restore(&snap, session) {
+                    Ok(s) => {
+                        self.make_room();
+                        self.rehydrations += 1;
+                        self.live.insert(session.to_string(), s);
+                    }
+                    Err(e) => {
+                        // Keep the snapshot: a transient failure must not
+                        // destroy the session.
+                        self.hibernated.insert(session.to_string(), snap);
+                        return Err(e);
+                    }
                 }
-                Err(e) => {
-                    // Keep the snapshot: a transient failure must not
-                    // destroy the session.
-                    self.hibernated.insert(session.to_string(), snap);
-                    return Err(e);
-                }
+            } else if self.stored.contains(session) {
+                // Store-backed rehydration: restore the compacted
+                // snapshot, then replay the journaled edits on top. Any
+                // failure leaves the `stored` entry (and the store state)
+                // untouched for a later retry.
+                let stored = self.store_load(session)?;
+                let mut s = Session::restore(&stored.snapshot, session)?;
+                s.replay(&stored.journal)?;
+                self.store_stats.records_replayed += stored.journal.len() as u64;
+                self.store_stats.torn_records_dropped += stored.torn_records;
+                self.store_stats.sessions_recovered += 1;
+                self.make_room();
+                self.rehydrations += 1;
+                self.stored.remove(session);
+                self.live.insert(session.to_string(), s);
+            } else {
+                return Err(ServeError::UnknownSession(session.to_string()));
             }
         }
         match self.live.get_mut(session) {
@@ -225,7 +327,9 @@ impl Shard {
     }
 
     /// Hibernate LRU sessions until there is room for one more live
-    /// session.
+    /// session. With a store, the compacted snapshot spills there and
+    /// leaves shard memory entirely; without one, it parks in
+    /// `hibernated`.
     fn make_room(&mut self) {
         while self.live.len() >= self.cap {
             let Some(victim) = self
@@ -241,19 +345,140 @@ impl Shard {
             let Some(s) = self.live.remove(&victim) else {
                 return;
             };
-            match s.snapshot(&victim) {
-                Ok(snap) => {
-                    self.retire(&s);
-                    self.hibernated.insert(victim, snap);
-                    self.evictions += 1;
-                }
+            let snap = match s.snapshot(&victim) {
+                Ok(snap) => snap,
                 Err(_) => {
                     // Refusing to evict beats losing the session; stay
                     // over cap until a snapshot succeeds.
                     self.live.insert(victim, s);
                     return;
                 }
+            };
+            if let Some(store) = self.store.clone() {
+                match store.put_snapshot(&snap) {
+                    Ok(()) => {
+                        self.store_stats.snapshots_written += 1;
+                        self.retire(&s);
+                        self.stored.insert(victim);
+                        self.evictions += 1;
+                    }
+                    Err(_) => {
+                        self.store_stats.store_errors += 1;
+                        self.live.insert(victim, s);
+                        return;
+                    }
+                }
+            } else {
+                self.retire(&s);
+                self.hibernated.insert(victim, snap);
+                self.evictions += 1;
             }
+        }
+    }
+
+    /// Append one applied edit to the session's write-ahead journal. A
+    /// failed append degrades to writing a full compacted snapshot (the
+    /// in-memory model already carries the edit); only when both paths
+    /// fail does the edit surface a store error — the in-memory session
+    /// still holds the edit either way.
+    fn journal(&mut self, session: &str, record: JournalRecord) -> Result<(), ServeError> {
+        let Some(store) = self.store.clone() else {
+            return Ok(());
+        };
+        match store.append(session, &record) {
+            Ok(()) => {
+                self.store_stats.journal_appends += 1;
+                Ok(())
+            }
+            Err(_) => {
+                self.store_stats.store_errors += 1;
+                let snap = match self.live.get(session) {
+                    Some(s) => s.snapshot(session)?,
+                    None => {
+                        return Err(ServeError::Internal(format!(
+                            "session {session:?} vanished between edit and journal"
+                        )))
+                    }
+                };
+                match store.put_snapshot(&snap) {
+                    Ok(()) => {
+                        self.store_stats.snapshots_written += 1;
+                        Ok(())
+                    }
+                    Err(e) => {
+                        self.store_stats.store_errors += 1;
+                        Err(e.into())
+                    }
+                }
+            }
+        }
+    }
+
+    /// Load a session's stored state, verifying it was filed under the
+    /// right name before anything is served from it.
+    fn store_load(&mut self, session: &str) -> Result<StoredSession, ServeError> {
+        let Some(store) = self.store.clone() else {
+            return Err(ServeError::Internal(format!(
+                "session {session:?} is marked stored but the shard has no store"
+            )));
+        };
+        match store.load(session) {
+            Ok(Some(stored)) => {
+                if stored.snapshot.session == session {
+                    Ok(stored)
+                } else {
+                    Err(ServeError::Snapshot(format!(
+                        "snapshot identity mismatch: loaded under {session:?} but records \
+                         session {:?}",
+                        stored.snapshot.session
+                    )))
+                }
+            }
+            Ok(None) => Err(ServeError::UnknownSession(session.to_string())),
+            Err(e) => {
+                self.store_stats.store_errors += 1;
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Flush every live session's current state to the store as a
+    /// compacted snapshot and sync — graceful shutdown. Sessions stay
+    /// live and serving. Returns the number flushed; all sessions are
+    /// attempted before the first error (if any) is reported.
+    pub(crate) fn drain(&mut self) -> Result<u64, ServeError> {
+        let Some(store) = self.store.clone() else {
+            return Ok(0);
+        };
+        let mut names: Vec<String> = self.live.keys().cloned().collect();
+        names.sort_unstable();
+        let mut flushed = 0u64;
+        let mut first_err: Option<ServeError> = None;
+        for name in names {
+            let Some(s) = self.live.get(&name) else {
+                continue;
+            };
+            let outcome = s
+                .snapshot(&name)
+                .and_then(|snap| store.put_snapshot(&snap).map_err(ServeError::from));
+            match outcome {
+                Ok(()) => {
+                    self.store_stats.snapshots_written += 1;
+                    flushed += 1;
+                }
+                Err(e) => {
+                    self.store_stats.store_errors += 1;
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        if let Err(e) = store.sync() {
+            self.store_stats.store_errors += 1;
+            first_err.get_or_insert(e.into());
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(flushed),
         }
     }
 
@@ -280,12 +505,14 @@ impl Shard {
             shard: self.index,
             live_sessions: self.live.len(),
             hibernated_sessions: self.hibernated.len(),
+            stored_sessions: self.stored.len(),
             sessions_created: self.sessions_created,
             evictions: self.evictions,
             rehydrations: self.rehydrations,
             requests: self.counts,
             cycles,
             lp,
+            store: self.store_stats,
         }
     }
 }
@@ -435,6 +662,139 @@ mod tests {
             }),
             Ok(Response::MonteCarlo(_))
         ));
+    }
+
+    #[test]
+    fn snapshot_probe_is_lru_neutral() {
+        // Regression: Snapshot used to stamp `last_used` on live
+        // sessions, so a periodic snapshot poller would pin the polled
+        // session resident and silently shift eviction onto the wrong
+        // victim. A read-only probe must not change the next victim.
+        let mut shard = Shard::new(0, 2, SessionConfig::default());
+        create(&mut shard, "a");
+        create(&mut shard, "b");
+        // "a" is LRU. Poll it; it must STAY the victim.
+        assert!(matches!(
+            shard.handle(Request::Snapshot {
+                session: "a".into()
+            }),
+            Ok(Response::Snapshot(_))
+        ));
+        create(&mut shard, "c");
+        assert!(
+            shard.hibernated.contains_key("a"),
+            "snapshot probe changed the eviction victim"
+        );
+        assert!(shard.live.contains_key("b") && shard.live.contains_key("c"));
+        // And the probed-then-evicted session still serves.
+        assert!(matches!(
+            shard.handle(Request::Analyze {
+                session: "a".into()
+            }),
+            Ok(Response::Analysis(_))
+        ));
+    }
+
+    #[test]
+    fn store_bounds_resident_snapshots_under_churn() {
+        // Regression: without a store, `hibernated` grows without bound
+        // under create-then-idle churn. With one, evicted snapshots
+        // spill to the store and leave shard memory.
+        let store = std::sync::Arc::new(crate::store::MemoryStore::new());
+        let mut shard =
+            Shard::new(0, 4, SessionConfig::default()).with_store(store.clone(), Vec::new());
+        for i in 0..50 {
+            create(&mut shard, &format!("s{i}"));
+        }
+        let stats = shard.stats();
+        assert_eq!(stats.live_sessions, 4);
+        assert_eq!(
+            stats.hibernated_sessions, 0,
+            "snapshots left in shard memory"
+        );
+        assert_eq!(stats.stored_sessions, 46);
+        assert_eq!(stats.evictions, 46);
+        assert_eq!(store.sessions().unwrap().len(), 50);
+    }
+
+    #[test]
+    fn store_eviction_and_rehydration_round_trip() {
+        let store = std::sync::Arc::new(crate::store::MemoryStore::new());
+        let mut shard = Shard::new(0, 1, SessionConfig::default()).with_store(store, Vec::new());
+        create(&mut shard, "a");
+        let x = model().find_attribute("x").unwrap();
+        shard
+            .handle(Request::SetPerf {
+                session: "a".into(),
+                alternative: 0,
+                attr: x,
+                perf: Perf::level(0),
+            })
+            .unwrap();
+        assert_eq!(shard.stats().store.journal_appends, 1);
+
+        create(&mut shard, "b"); // evicts "a" to the store, compacting
+        let stats = shard.stats();
+        assert_eq!(stats.stored_sessions, 1);
+        assert_eq!(stats.hibernated_sessions, 0);
+
+        // Probing the stored session is possible without rehydration...
+        let probed = match shard.handle(Request::Snapshot {
+            session: "a".into(),
+        }) {
+            Ok(Response::Snapshot(s)) => s,
+            other => panic!("expected snapshot, got {other:?}"),
+        };
+        assert_eq!(shard.stats().rehydrations, 0);
+
+        // ...and touching it rehydrates from the store with the edit.
+        assert!(matches!(
+            shard.handle(Request::Analyze {
+                session: "a".into()
+            }),
+            Ok(Response::Analysis(_))
+        ));
+        let live_snap = match shard.handle(Request::Snapshot {
+            session: "a".into(),
+        }) {
+            Ok(Response::Snapshot(s)) => s,
+            other => panic!("expected snapshot, got {other:?}"),
+        };
+        assert_eq!(*probed, *live_snap);
+        let stats = shard.stats();
+        assert_eq!(stats.rehydrations, 1);
+        assert_eq!(stats.store.sessions_recovered, 1);
+        assert_eq!(stats.store.store_errors, 0);
+    }
+
+    #[test]
+    fn drain_flushes_live_sessions_and_keeps_them_live() {
+        let store = std::sync::Arc::new(crate::store::MemoryStore::new());
+        let mut shard =
+            Shard::new(0, 4, SessionConfig::default()).with_store(store.clone(), Vec::new());
+        create(&mut shard, "a");
+        create(&mut shard, "b");
+        let x = model().find_attribute("x").unwrap();
+        shard
+            .handle(Request::SetPerf {
+                session: "a".into(),
+                alternative: 1,
+                attr: x,
+                perf: Perf::level(2),
+            })
+            .unwrap();
+        assert_eq!(shard.drain().unwrap(), 2);
+        assert_eq!(shard.stats().live_sessions, 2);
+        // The drained snapshot is compacted: the journal is empty and the
+        // stored model carries the edit.
+        let stored = store.load("a").unwrap().unwrap();
+        assert!(stored.journal.is_empty());
+        let direct = shard.live.get("a").unwrap().snapshot("a").unwrap();
+        assert_eq!(stored.snapshot, direct);
+        // Without a store, drain is a no-op.
+        let mut plain = Shard::new(0, 4, SessionConfig::default());
+        create(&mut plain, "x");
+        assert_eq!(plain.drain().unwrap(), 0);
     }
 
     #[test]

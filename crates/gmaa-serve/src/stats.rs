@@ -59,6 +59,41 @@ impl RequestCounts {
     }
 }
 
+/// Durable-store activity of one shard. All zeros when the shard runs
+/// without a [`SessionStore`](crate::SessionStore).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Compacted snapshots written (create, eviction, drain, and journal
+    /// fallback).
+    pub snapshots_written: u64,
+    /// Edit records appended to write-ahead journals.
+    pub journal_appends: u64,
+    /// Journal records replayed during store-backed rehydration.
+    pub records_replayed: u64,
+    /// Torn trailing journal records dropped during recovery (a crash
+    /// mid-append).
+    pub torn_records_dropped: u64,
+    /// Sessions rehydrated from the store (as opposed to from shard
+    /// memory).
+    pub sessions_recovered: u64,
+    /// Store operations that failed; each one also shows up as a
+    /// degraded code path (a failed append falls back to a full
+    /// snapshot, a failed eviction keeps the session live).
+    pub store_errors: u64,
+}
+
+impl StoreStats {
+    /// Fold another shard's store counters into this one.
+    pub fn merge(&mut self, other: &StoreStats) {
+        self.snapshots_written += other.snapshots_written;
+        self.journal_appends += other.journal_appends;
+        self.records_replayed += other.records_replayed;
+        self.torn_records_dropped += other.torn_records_dropped;
+        self.sessions_recovered += other.sessions_recovered;
+        self.store_errors += other.store_errors;
+    }
+}
+
 /// One shard's counters at a point in time.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ShardStats {
@@ -66,8 +101,13 @@ pub struct ShardStats {
     pub shard: usize,
     /// Sessions currently resident (engine in memory).
     pub live_sessions: usize,
-    /// Sessions currently hibernated (snapshot only).
+    /// Sessions currently hibernated in shard memory (snapshot only).
+    /// With a store configured this stays 0 — evicted snapshots spill to
+    /// the store instead.
     pub hibernated_sessions: usize,
+    /// Sessions whose state currently lives in the durable store (not
+    /// resident on the shard).
+    pub stored_sessions: usize,
     /// Sessions ever created on this shard.
     pub sessions_created: u64,
     /// LRU evictions (live session → snapshot).
@@ -82,6 +122,8 @@ pub struct ShardStats {
     /// LP solver counters across the shard's sessions (warm/cold solves
     /// and pivots).
     pub lp: SolveStats,
+    /// Durable-store activity (all zeros without a store).
+    pub store: StoreStats,
 }
 
 impl ShardStats {
@@ -90,6 +132,7 @@ impl ShardStats {
     pub fn merge(&mut self, other: &ShardStats) {
         self.live_sessions += other.live_sessions;
         self.hibernated_sessions += other.hibernated_sessions;
+        self.stored_sessions += other.stored_sessions;
         self.sessions_created += other.sessions_created;
         self.evictions += other.evictions;
         self.rehydrations += other.rehydrations;
@@ -97,6 +140,7 @@ impl ShardStats {
         self.cycles.incremental += other.cycles.incremental;
         self.cycles.full += other.cycles.full;
         self.lp.merge(&other.lp);
+        self.store.merge(&other.store);
     }
 }
 
@@ -136,6 +180,12 @@ mod tests {
     fn aggregate_sums_across_shards() {
         let a = ShardStats {
             live_sessions: 2,
+            stored_sessions: 3,
+            store: StoreStats {
+                journal_appends: 10,
+                snapshots_written: 2,
+                ..StoreStats::default()
+            },
             requests: RequestCounts {
                 analyze: 5,
                 ..RequestCounts::default()
@@ -149,6 +199,12 @@ mod tests {
         let b = ShardStats {
             shard: 1,
             live_sessions: 1,
+            stored_sessions: 1,
+            store: StoreStats {
+                journal_appends: 4,
+                sessions_recovered: 1,
+                ..StoreStats::default()
+            },
             requests: RequestCounts {
                 analyze: 3,
                 set_perf: 7,
@@ -167,6 +223,10 @@ mod tests {
         assert_eq!(total.requests.analyze, 8);
         assert_eq!(total.requests.total(), 15);
         assert_eq!(total.cycles.incremental, 6);
+        assert_eq!(total.stored_sessions, 4);
+        assert_eq!(total.store.journal_appends, 14);
+        assert_eq!(total.store.snapshots_written, 2);
+        assert_eq!(total.store.sessions_recovered, 1);
         assert_eq!(stats.incremental_hit_rate(), Some(0.75));
     }
 }

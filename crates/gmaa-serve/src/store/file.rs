@@ -1,0 +1,367 @@
+//! The on-disk [`SessionStore`] backend: one snapshot file plus one
+//! write-ahead journal file per session.
+//!
+//! Layout under the store directory, with session names percent-encoded
+//! so arbitrary tenant ids map to portable file names:
+//!
+//! ```text
+//! <dir>/<encoded-session>.snap      # compact JSON SessionSnapshot
+//! <dir>/<encoded-session>.journal   # length-prefixed JSON records
+//! ```
+//!
+//! Snapshots are written atomically (temp file + rename), so a crash
+//! mid-snapshot leaves the previous snapshot intact. The journal is
+//! append-only between snapshots; a crash mid-append leaves a torn
+//! trailing record that [`decode_journal`](super::decode_journal) drops
+//! and counts. The write order — snapshot rename first, journal
+//! truncation second — means the worst crash outcome is a journal whose
+//! records the snapshot already absorbed, and replaying an absorbed
+//! absolute-valued edit is a no-op.
+
+use super::{
+    decode_journal, encode_record, FsyncPolicy, JournalRecord, SessionStore, StoreError,
+    StoredSession,
+};
+use crate::protocol::SessionSnapshot;
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{ErrorKind, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, MutexGuard};
+
+/// A [`SessionStore`] persisting sessions to a directory.
+pub struct FileStore {
+    dir: PathBuf,
+    fsync: FsyncPolicy,
+    /// Open append handles for hot journals, so per-edit appends don't
+    /// pay an open/close round trip.
+    journals: Mutex<HashMap<String, File>>,
+}
+
+impl FileStore {
+    /// Open (creating if needed) a store rooted at `dir`.
+    pub fn open(dir: impl Into<PathBuf>, fsync: FsyncPolicy) -> Result<FileStore, StoreError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(FileStore {
+            dir,
+            fsync,
+            journals: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn guard(&self) -> MutexGuard<'_, HashMap<String, File>> {
+        // Poisoning only means a peer thread panicked; the map of cached
+        // handles stays valid (worst case a handle is re-opened).
+        match self.journals.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn snap_path(&self, session: &str) -> PathBuf {
+        self.dir.join(format!("{}.snap", encode_name(session)))
+    }
+
+    fn journal_path(&self, session: &str) -> PathBuf {
+        self.dir.join(format!("{}.journal", encode_name(session)))
+    }
+}
+
+impl SessionStore for FileStore {
+    fn append(&self, session: &str, record: &JournalRecord) -> Result<(), StoreError> {
+        if !self.snap_path(session).exists() {
+            return Err(StoreError::UnknownSession(session.to_string()));
+        }
+        let bytes = encode_record(record)?;
+        let mut journals = self.guard();
+        let file = match journals.get_mut(session) {
+            Some(f) => f,
+            None => {
+                let f = OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(self.journal_path(session))?;
+                journals.entry(session.to_string()).or_insert(f)
+            }
+        };
+        file.write_all(&bytes)?;
+        if self.fsync == FsyncPolicy::Always {
+            file.sync_data()?;
+        }
+        Ok(())
+    }
+
+    fn put_snapshot(&self, snapshot: &SessionSnapshot) -> Result<(), StoreError> {
+        let json = serde_json::to_string(snapshot)?;
+        let path = self.snap_path(&snapshot.session);
+        let tmp = self
+            .dir
+            .join(format!("{}.snap.tmp", encode_name(&snapshot.session)));
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(json.as_bytes())?;
+            if self.fsync != FsyncPolicy::Never {
+                f.sync_all()?;
+            }
+        }
+        std::fs::rename(&tmp, &path)?;
+        // Compaction: the renamed snapshot carries every journaled edit,
+        // so the journal (and its cached handle) can go. Crash before
+        // this remove is safe — the leftover records replay idempotently.
+        self.guard().remove(&snapshot.session);
+        match std::fs::remove_file(self.journal_path(&snapshot.session)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn load(&self, session: &str) -> Result<Option<StoredSession>, StoreError> {
+        let snap_json = match std::fs::read_to_string(self.snap_path(session)) {
+            Ok(s) => s,
+            Err(e) if e.kind() == ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        let snapshot: SessionSnapshot = serde_json::from_str(&snap_json)
+            .map_err(|e| StoreError::Corrupt(format!("snapshot for {session:?}: {e}")))?;
+        let journal_bytes = match std::fs::read(self.journal_path(session)) {
+            Ok(b) => b,
+            Err(e) if e.kind() == ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e.into()),
+        };
+        let (journal, torn_records) = decode_journal(&journal_bytes);
+        Ok(Some(StoredSession {
+            snapshot,
+            journal,
+            torn_records,
+        }))
+    }
+
+    fn remove(&self, session: &str) -> Result<(), StoreError> {
+        self.guard().remove(session);
+        for path in [self.snap_path(session), self.journal_path(session)] {
+            match std::fs::remove_file(path) {
+                Ok(()) => {}
+                Err(e) if e.kind() == ErrorKind::NotFound => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(())
+    }
+
+    fn sessions(&self) -> Result<Vec<String>, StoreError> {
+        let mut names = Vec::new();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let file_name = entry.file_name();
+            let Some(name) = file_name.to_str() else {
+                continue;
+            };
+            // Only completed snapshots count; `.snap.tmp` leftovers from
+            // a crash mid-write and stray files are skipped.
+            let Some(encoded) = name.strip_suffix(".snap") else {
+                continue;
+            };
+            if let Some(decoded) = decode_name(encoded) {
+                names.push(decoded);
+            }
+        }
+        names.sort_unstable();
+        Ok(names)
+    }
+
+    fn sync(&self) -> Result<(), StoreError> {
+        if self.fsync == FsyncPolicy::Never {
+            return Ok(());
+        }
+        for file in self.guard().values() {
+            file.sync_data()?;
+        }
+        Ok(())
+    }
+}
+
+// --------------------------------------------------------- name encoding
+//
+// Session names are arbitrary UTF-8; file names are not. Alphanumerics,
+// `_` and `-` pass through, every other byte becomes `%XX` — including
+// `.`, so an encoded name can never collide with the `.snap`/`.journal`/
+// `.tmp` suffixes or smuggle a path separator.
+
+fn encode_name(session: &str) -> String {
+    let mut out = String::with_capacity(session.len());
+    for b in session.bytes() {
+        if b.is_ascii_alphanumeric() || b == b'_' || b == b'-' {
+            out.push(b as char);
+        } else {
+            out.push('%');
+            out.push(hex_digit(b >> 4));
+            out.push(hex_digit(b & 0xf));
+        }
+    }
+    out
+}
+
+fn decode_name(encoded: &str) -> Option<String> {
+    let bytes = encoded.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0usize;
+    while let Some(&b) = bytes.get(i) {
+        if b == b'%' {
+            let hi = hex_value(*bytes.get(i + 1)?)?;
+            let lo = hex_value(*bytes.get(i + 2)?)?;
+            out.push((hi << 4) | lo);
+            i += 3;
+        } else {
+            out.push(b);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+fn hex_digit(v: u8) -> char {
+    match v {
+        0..=9 => (b'0' + v) as char,
+        _ => (b'a' + (v - 10)) as char,
+    }
+}
+
+fn hex_value(b: u8) -> Option<u8> {
+    match b {
+        b'0'..=b'9' => Some(b - b'0'),
+        b'a'..=b'f' => Some(b - b'a' + 10),
+        b'A'..=b'F' => Some(b - b'A' + 10),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tests::model;
+    use super::*;
+    use crate::protocol::SessionConfig;
+    use maut::{Interval, Perf};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("gmaa-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn snap(name: &str) -> SessionSnapshot {
+        SessionSnapshot {
+            session: name.to_string(),
+            model_json: gmaa::model_to_json(&model()).unwrap(),
+            config: SessionConfig::default(),
+        }
+    }
+
+    #[test]
+    fn name_encoding_roundtrips_and_is_filename_safe() {
+        for name in [
+            "tenant-0",
+            "a.b/c\\d",
+            "über tenant",
+            "..",
+            "%41",
+            "snap.tmp",
+            "",
+        ] {
+            let enc = encode_name(name);
+            assert!(
+                enc.bytes()
+                    .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-' || b == b'%'),
+                "{enc:?} leaks unsafe bytes"
+            );
+            assert_eq!(decode_name(&enc).as_deref(), Some(name));
+        }
+        // Undecodable directory entries are rejected, not mangled.
+        assert_eq!(decode_name("%zz"), None);
+        assert_eq!(decode_name("%4"), None);
+    }
+
+    #[test]
+    fn full_lifecycle_on_disk() {
+        let dir = temp_dir("lifecycle");
+        let store = FileStore::open(&dir, FsyncPolicy::Never).unwrap();
+        store.put_snapshot(&snap("t.0")).unwrap();
+        let m = model();
+        let x = m.find_attribute("x").unwrap();
+        let r1 = JournalRecord::SetPerf(0, x, Perf::level(0));
+        let r2 = JournalRecord::SetWeight(m.tree.find("x").unwrap(), Interval::new(0.1, 0.9));
+        store.append("t.0", &r1).unwrap();
+        store.append("t.0", &r2).unwrap();
+        store.sync().unwrap();
+
+        // A second handle over the same directory sees everything — this
+        // is the crash/recovery path.
+        let recovered = FileStore::open(&dir, FsyncPolicy::Never).unwrap();
+        assert_eq!(recovered.sessions().unwrap(), ["t.0"]);
+        let loaded = recovered.load("t.0").unwrap().unwrap();
+        assert_eq!(loaded.snapshot, snap("t.0"));
+        assert_eq!(loaded.journal, vec![r1.clone(), r2]);
+        assert_eq!(loaded.torn_records, 0);
+
+        // Compaction truncates the journal file.
+        store.put_snapshot(&snap("t.0")).unwrap();
+        assert!(recovered.load("t.0").unwrap().unwrap().journal.is_empty());
+        assert!(!store.journal_path("t.0").exists());
+
+        // Appends to a never-snapshotted session are rejected.
+        assert!(matches!(
+            store.append("ghost", &r1),
+            Err(StoreError::UnknownSession(_))
+        ));
+
+        store.remove("t.0").unwrap();
+        store.remove("t.0").unwrap(); // idempotent
+        assert!(store.sessions().unwrap().is_empty());
+        assert!(store.load("t.0").unwrap().is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_journal_tail_is_tolerated_on_load() {
+        let dir = temp_dir("torn");
+        let store = FileStore::open(&dir, FsyncPolicy::Never).unwrap();
+        store.put_snapshot(&snap("t")).unwrap();
+        let m = model();
+        let x = m.find_attribute("x").unwrap();
+        let r1 = JournalRecord::SetPerf(0, x, Perf::level(1));
+        let r2 = JournalRecord::SetPerf(1, x, Perf::level(2));
+        store.append("t", &r1).unwrap();
+        store.append("t", &r2).unwrap();
+
+        // Simulate a crash mid-append: chop bytes off the journal tail.
+        let path = store.journal_path("t");
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+
+        let loaded = store.load("t").unwrap().unwrap();
+        assert_eq!(loaded.journal, vec![r1]);
+        assert_eq!(loaded.torn_records, 1);
+
+        // A corrupt snapshot, by contrast, is fatal for that session.
+        std::fs::write(store.snap_path("t"), b"{ nope").unwrap();
+        assert!(matches!(store.load("t"), Err(StoreError::Corrupt(_))));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tmp_leftovers_are_not_enumerated() {
+        let dir = temp_dir("tmp-leftover");
+        let store = FileStore::open(&dir, FsyncPolicy::Never).unwrap();
+        store.put_snapshot(&snap("real")).unwrap();
+        std::fs::write(dir.join("half-written.snap.tmp"), b"{").unwrap();
+        std::fs::write(dir.join("README"), b"not a session").unwrap();
+        assert_eq!(store.sessions().unwrap(), ["real"]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

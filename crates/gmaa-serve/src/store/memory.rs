@@ -1,0 +1,145 @@
+//! The in-process [`SessionStore`] backend: a mutex-guarded map.
+//!
+//! Durability matches the storeless shard — everything dies with the
+//! process — but evicted snapshots spill *out of shard memory* into one
+//! shared map, and the recovery/drain protocol can be exercised without
+//! touching a filesystem (hand the same `Arc<MemoryStore>` to a second
+//! manager). Records are kept decoded; only tests that need the wire
+//! format go through [`FileStore`](super::FileStore).
+
+use super::{JournalRecord, SessionStore, StoreError, StoredSession};
+use crate::protocol::SessionSnapshot;
+use std::collections::HashMap;
+use std::sync::{Mutex, MutexGuard};
+
+struct Slot {
+    snapshot: SessionSnapshot,
+    journal: Vec<JournalRecord>,
+}
+
+/// A [`SessionStore`] holding all state in process memory.
+#[derive(Default)]
+pub struct MemoryStore {
+    inner: Mutex<HashMap<String, Slot>>,
+}
+
+impl MemoryStore {
+    /// An empty store.
+    pub fn new() -> MemoryStore {
+        MemoryStore::default()
+    }
+
+    fn guard(&self) -> MutexGuard<'_, HashMap<String, Slot>> {
+        // A poisoned store mutex means another shard thread panicked
+        // mid-operation; the map itself is always in a consistent state
+        // (every mutation is a single insert/remove/push), so serving
+        // degraded beats refusing every tenant.
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+impl SessionStore for MemoryStore {
+    fn append(&self, session: &str, record: &JournalRecord) -> Result<(), StoreError> {
+        match self.guard().get_mut(session) {
+            Some(slot) => {
+                slot.journal.push(record.clone());
+                Ok(())
+            }
+            None => Err(StoreError::UnknownSession(session.to_string())),
+        }
+    }
+
+    fn put_snapshot(&self, snapshot: &SessionSnapshot) -> Result<(), StoreError> {
+        self.guard().insert(
+            snapshot.session.clone(),
+            Slot {
+                snapshot: snapshot.clone(),
+                journal: Vec::new(),
+            },
+        );
+        Ok(())
+    }
+
+    fn load(&self, session: &str) -> Result<Option<StoredSession>, StoreError> {
+        Ok(self.guard().get(session).map(|slot| StoredSession {
+            snapshot: slot.snapshot.clone(),
+            journal: slot.journal.clone(),
+            torn_records: 0,
+        }))
+    }
+
+    fn remove(&self, session: &str) -> Result<(), StoreError> {
+        self.guard().remove(session);
+        Ok(())
+    }
+
+    fn sessions(&self) -> Result<Vec<String>, StoreError> {
+        let mut names: Vec<String> = self.guard().keys().cloned().collect();
+        names.sort_unstable();
+        Ok(names)
+    }
+
+    fn sync(&self) -> Result<(), StoreError> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tests::model;
+    use super::*;
+    use crate::protocol::SessionConfig;
+    use maut::{Interval, Perf};
+
+    fn snap(name: &str) -> SessionSnapshot {
+        SessionSnapshot {
+            session: name.to_string(),
+            model_json: gmaa::model_to_json(&model()).unwrap(),
+            config: SessionConfig::default(),
+        }
+    }
+
+    #[test]
+    fn snapshot_then_journal_then_load() {
+        let store = MemoryStore::new();
+        store.put_snapshot(&snap("t")).unwrap();
+        let m = model();
+        let x = m.find_attribute("x").unwrap();
+        let r1 = JournalRecord::SetPerf(0, x, Perf::level(1));
+        let r2 = JournalRecord::SetWeight(m.tree.find("y").unwrap(), Interval::new(0.3, 0.5));
+        store.append("t", &r1).unwrap();
+        store.append("t", &r2).unwrap();
+
+        let loaded = store.load("t").unwrap().unwrap();
+        assert_eq!(loaded.snapshot, snap("t"));
+        assert_eq!(loaded.journal, vec![r1.clone(), r2]);
+        assert_eq!(loaded.torn_records, 0);
+
+        // Compaction truncates the journal.
+        store.put_snapshot(&snap("t")).unwrap();
+        assert!(store.load("t").unwrap().unwrap().journal.is_empty());
+
+        // Appends to unknown sessions are rejected, not silently dropped.
+        assert!(matches!(
+            store.append("ghost", &r1),
+            Err(StoreError::UnknownSession(_))
+        ));
+    }
+
+    #[test]
+    fn sessions_enumerates_sorted_and_remove_forgets() {
+        let store = MemoryStore::new();
+        for name in ["c", "a", "b"] {
+            store.put_snapshot(&snap(name)).unwrap();
+        }
+        assert_eq!(store.sessions().unwrap(), ["a", "b", "c"]);
+        store.remove("b").unwrap();
+        store.remove("b").unwrap(); // idempotent
+        assert_eq!(store.sessions().unwrap(), ["a", "c"]);
+        assert!(store.load("b").unwrap().is_none());
+        store.sync().unwrap();
+    }
+}
