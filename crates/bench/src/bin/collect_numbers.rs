@@ -33,7 +33,12 @@
 //!   cost without a store vs with the file-backed write-ahead journal
 //!   (fsync on snapshots only, and fsync on every append), and the time
 //!   to recover 12 crashed tenants (store enumeration + per-tenant
-//!   journal-over-snapshot rehydration).
+//!   journal-over-snapshot rehydration);
+//! * **serving_tcp** — the TCP front end under a closed-loop loopback
+//!   load generator: a connection sweep to the saturation throughput
+//!   with p50/p99 request latency at each point, and an overload burst
+//!   at 2× the admission queue capacity showing the typed `Overloaded`
+//!   shedding with the queue bounded at its cap.
 //!
 //! Results are printed and written to `BENCH_engine.json` in the current
 //! directory, seeding the repo's performance trajectory.
@@ -319,6 +324,7 @@ fn drive_serving(
             stability_resolution: 40,
             ..SessionConfig::default()
         },
+        ..ServeConfig::default()
     });
     for s in 0..sessions {
         manager
@@ -430,6 +436,7 @@ fn serving_durable_bench() -> String {
             stability_resolution: 40,
             ..SessionConfig::default()
         },
+        ..ServeConfig::default()
     };
     let dir = std::env::temp_dir().join(format!("gmaa-bench-durable-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
@@ -534,6 +541,185 @@ fn serving_durable_bench() -> String {
     )
 }
 
+/// Sorted-slice percentile (nearest-rank on the closed index range).
+fn percentile_us(sorted_ns: &[f64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted_ns.len() - 1) as f64).round() as usize;
+    sorted_ns[idx.min(sorted_ns.len() - 1)] / 1e3
+}
+
+/// One closed-loop point: `conns` connections, each a thread with its own
+/// tenant issuing synchronous what-if rounds (SetPerf, then the
+/// incremental Analyze) over loopback TCP. Returns requests/sec and the
+/// sorted per-request latencies in nanoseconds.
+fn drive_tcp(addr: std::net::SocketAddr, conns: usize, rounds: usize) -> (f64, Vec<f64>) {
+    use gmaa_serve::net::Client;
+    use gmaa_serve::Request;
+
+    let start = Instant::now();
+    let handles: Vec<_> = (0..conns)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let model = bench::paper();
+                let doc = model.find_attribute("doc_quality").expect("exists");
+                let mut client = Client::connect(addr).expect("connect");
+                let mut latencies = Vec::with_capacity(rounds * 2);
+                for round in 0..rounds {
+                    for request in [
+                        Request::SetPerf {
+                            session: format!("tenant-{c}"),
+                            alternative: (c + round) % 23,
+                            attr: doc,
+                            perf: Perf::level(round % 4),
+                        },
+                        Request::Analyze {
+                            session: format!("tenant-{c}"),
+                        },
+                    ] {
+                        let sent = Instant::now();
+                        client.request(request).expect("request succeeds");
+                        latencies.push(sent.elapsed().as_nanos() as f64);
+                    }
+                }
+                latencies
+            })
+        })
+        .collect();
+    let mut latencies: Vec<f64> = handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("load thread"))
+        .collect();
+    let elapsed = start.elapsed().as_secs_f64();
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    (latencies.len() as f64 / elapsed, latencies)
+}
+
+/// The `serving_tcp` section: a closed-loop connection sweep against the
+/// loopback TCP server (saturation throughput, p50/p99 latency), then an
+/// overload burst — one pipelined connection firing 2× the admission
+/// queue capacity at a busy shard — counting the typed `Overloaded`
+/// rejections and showing the queue never grew past its cap.
+fn serving_tcp_bench() -> String {
+    use gmaa_serve::net::{Client, NetConfig, Server};
+    use gmaa_serve::{Request, Response, ServeConfig, ServeError, SessionConfig, SessionManager};
+    use std::sync::Arc;
+
+    let model = bench::paper();
+    let session = SessionConfig {
+        mc_trials: 300,
+        stability_resolution: 40,
+        ..SessionConfig::default()
+    };
+
+    // Closed-loop sweep: every connection is its own tenant, so the
+    // shards spread the work and each added connection adds offered load
+    // until the workers saturate.
+    const SWEEP: [usize; 4] = [1, 2, 4, 8];
+    const ROUNDS: usize = 25;
+    let manager = Arc::new(SessionManager::new(ServeConfig {
+        shards: 4,
+        max_sessions_per_shard: 8,
+        session,
+        ..ServeConfig::default()
+    }));
+    let server =
+        Server::bind("127.0.0.1:0", Arc::clone(&manager), NetConfig::default()).expect("bind");
+    let addr = server.local_addr();
+    {
+        let mut setup = Client::connect(addr).expect("connect");
+        for c in 0..SWEEP[SWEEP.len() - 1] {
+            setup
+                .request(Request::CreateSession {
+                    session: format!("tenant-{c}"),
+                    model: model.clone(),
+                })
+                .expect("create");
+        }
+    }
+    drive_tcp(addr, 2, 5); // warmup
+    let mut sweep_rows = Vec::new();
+    let mut saturation_rps = 0.0f64;
+    for conns in SWEEP {
+        let (rps, latencies) = drive_tcp(addr, conns, ROUNDS);
+        saturation_rps = saturation_rps.max(rps);
+        sweep_rows.push(format!(
+            "      {{ \"connections\": {conns}, \"requests_per_sec\": {rps:.0}, \"p50_us\": {:.0}, \"p99_us\": {:.0} }}",
+            percentile_us(&latencies, 50.0),
+            percentile_us(&latencies, 99.0),
+        ));
+    }
+    drop(server);
+    drop(manager);
+
+    // Overload burst: one shard, a small admission queue, a long Monte
+    // Carlo parking the worker, then 2× the queue capacity of pipelined
+    // analyzes. The queue admits exactly its capacity; the rest shed
+    // with the typed Overloaded error at admission time.
+    const CAP: usize = 8;
+    let manager = Arc::new(SessionManager::new(ServeConfig {
+        shards: 1,
+        queue_capacity: CAP,
+        session,
+        ..ServeConfig::default()
+    }));
+    let server =
+        Server::bind("127.0.0.1:0", Arc::clone(&manager), NetConfig::default()).expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    client
+        .request(Request::CreateSession {
+            session: "hot".into(),
+            model: model.clone(),
+        })
+        .expect("create");
+    client
+        .send(
+            Request::MonteCarlo {
+                session: "hot".into(),
+                trials: 2_000_000,
+            },
+            None,
+        )
+        .expect("send");
+    let burst = 2 * CAP;
+    for _ in 0..burst {
+        client
+            .send(
+                Request::Analyze {
+                    session: "hot".into(),
+                },
+                None,
+            )
+            .expect("send");
+    }
+    let mut served = 0usize;
+    let mut shed = 0usize;
+    for _ in 0..burst + 1 {
+        match client.recv() {
+            Ok(Response::MonteCarlo(_)) => {}
+            Ok(Response::Analysis(_)) => served += 1,
+            Err(ServeError::Overloaded { .. }) => shed += 1,
+            other => panic!("unexpected overload-burst outcome: {other:?}"),
+        }
+    }
+    let stats = manager.stats().aggregate();
+    assert!(
+        stats.queue_high_water <= CAP,
+        "queue grew past its cap: {} > {CAP}",
+        stats.queue_high_water
+    );
+    assert_eq!(shed as u64, stats.rejected_overload);
+    assert_eq!(served + shed, burst);
+
+    format!(
+        "  \"serving_tcp\": {{\n    \"protocol\": \"length-prefixed JSON over loopback TCP, closed loop\",\n    \"workload\": \"set_perf + incremental analyze per round, 1 tenant per connection, {ROUNDS} rounds\",\n    \"sweep\": [\n{}\n    ],\n    \"saturation_requests_per_sec\": {saturation_rps:.0},\n    \"overload\": {{\n      \"queue_capacity\": {CAP},\n      \"burst_requests\": {burst},\n      \"served\": {served},\n      \"shed_overloaded\": {shed},\n      \"queue_high_water\": {},\n      \"rejected_overload_counter\": {}\n    }}\n  }}",
+        sweep_rows.join(",\n"),
+        stats.queue_high_water,
+        stats.rejected_overload,
+    )
+}
+
 fn main() {
     // band-width ablation counts
     for hw in [0.05, 0.15, 0.25, 0.35] {
@@ -593,7 +779,12 @@ fn main() {
     println!("non-dominated: {}/23", nd.len());
 
     // engine performance comparison -> BENCH_engine.json
-    let serving = format!("{},\n{}", serving_bench(), serving_durable_bench());
+    let serving = format!(
+        "{},\n{},\n{}",
+        serving_bench(),
+        serving_durable_bench(),
+        serving_tcp_bench()
+    );
     let json = engine_bench(&serving);
     print!("\nengine bench:\n{json}");
     std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");

@@ -1,0 +1,251 @@
+//! Admission control: everything that can say *no* before a request
+//! reaches a shard worker.
+//!
+//! Three gates run in order at [`SessionManager::submit`](crate::SessionManager::submit)
+//! time, all on the caller's thread, none touching an engine:
+//!
+//! 1. **Shutdown** — a draining/dropping manager admits nothing
+//!    ([`ServeError::Shutdown`](crate::ServeError::Shutdown)).
+//! 2. **Tenant quota** — a token bucket per session name
+//!    ([`TenantQuota`]); an empty bucket rejects with
+//!    [`ServeError::QuotaExceeded`](crate::ServeError::QuotaExceeded).
+//! 3. **Queue capacity** — each shard's [`ShardGate`] counts admitted
+//!    requests still in its channel; at capacity the request is shed
+//!    with [`ServeError::Overloaded`](crate::ServeError::Overloaded)
+//!    instead of growing the queue.
+//!
+//! Admitted requests carry their admission instant; the worker checks
+//! the request's deadline at *dequeue* and answers
+//! [`ServeError::DeadlineExceeded`](crate::ServeError::DeadlineExceeded)
+//! for requests that queued too long, without touching the engine.
+//!
+//! The gate is all atomics (no locks on the submit path except the
+//! token-bucket map, which no worker ever takes), so admission never
+//! blocks behind a busy shard.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use std::time::Instant;
+
+/// A per-tenant token-bucket request quota, keyed by session name (one
+/// session = one tenant workload). Checked at admission, before the
+/// queue-capacity gate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantQuota {
+    /// Sustained request rate: tokens refilled per second.
+    pub rate_per_sec: f64,
+    /// Bucket capacity: the largest burst admitted from a full bucket.
+    pub burst: f64,
+}
+
+impl TenantQuota {
+    /// A quota that admits `rate_per_sec` sustained with a burst of the
+    /// same size (clamped to at least one token so a fresh tenant can
+    /// always send one request).
+    pub fn per_second(rate_per_sec: f64) -> TenantQuota {
+        TenantQuota {
+            rate_per_sec,
+            burst: rate_per_sec.max(1.0),
+        }
+    }
+}
+
+/// One shard's admission gate: queue-depth accounting plus the
+/// rejection counters, shared (via `Arc`) between the manager's submit
+/// path and the shard worker.
+///
+/// The manager increments `depth` on admission; the worker decrements
+/// it when it dequeues the command — so `depth` is exactly the number
+/// of admitted-but-not-yet-dequeued requests, and the channel behind it
+/// is effectively bounded even though `mpsc::channel` itself is not.
+#[derive(Debug)]
+pub(crate) struct ShardGate {
+    capacity: usize,
+    depth: AtomicUsize,
+    high_water: AtomicUsize,
+    rejected_overload: AtomicU64,
+    rejected_quota: AtomicU64,
+    rejected_deadline: AtomicU64,
+}
+
+impl ShardGate {
+    pub(crate) fn new(capacity: usize) -> ShardGate {
+        ShardGate {
+            capacity: capacity.max(1),
+            depth: AtomicUsize::new(0),
+            high_water: AtomicUsize::new(0),
+            rejected_overload: AtomicU64::new(0),
+            rejected_quota: AtomicU64::new(0),
+            rejected_deadline: AtomicU64::new(0),
+        }
+    }
+
+    /// Reserve one queue slot. `Err(depth)` means the queue is at
+    /// capacity and the request must be shed (the overload counter is
+    /// already bumped).
+    pub(crate) fn try_admit(&self) -> Result<(), usize> {
+        let mut depth = self.depth.load(Ordering::Relaxed);
+        loop {
+            if depth >= self.capacity {
+                self.rejected_overload.fetch_add(1, Ordering::Relaxed);
+                return Err(depth);
+            }
+            match self.depth.compare_exchange_weak(
+                depth,
+                depth + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.high_water.fetch_max(depth + 1, Ordering::AcqRel);
+                    return Ok(());
+                }
+                Err(actual) => depth = actual,
+            }
+        }
+    }
+
+    /// Release a reserved slot (worker side, at dequeue — or manager
+    /// side if the send itself failed after admission).
+    pub(crate) fn release(&self) {
+        // Saturating: a release without a matching admit would wrap the
+        // counter and jam the gate open or shut forever.
+        let mut depth = self.depth.load(Ordering::Relaxed);
+        while depth > 0 {
+            match self.depth.compare_exchange_weak(
+                depth,
+                depth - 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => depth = actual,
+            }
+        }
+    }
+
+    pub(crate) fn count_quota_rejection(&self) {
+        self.rejected_quota.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_deadline_rejection(&self) {
+        self.rejected_deadline.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn queued_now(&self) -> usize {
+        self.depth.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn queue_high_water(&self) -> usize {
+        self.high_water.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn rejected_overload(&self) -> u64 {
+        self.rejected_overload.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn rejected_quota(&self) -> u64 {
+        self.rejected_quota.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn rejected_deadline(&self) -> u64 {
+        self.rejected_deadline.load(Ordering::Relaxed)
+    }
+}
+
+/// One tenant's bucket: current tokens plus the last refill instant.
+#[derive(Debug, Clone, Copy)]
+struct Bucket {
+    tokens: f64,
+    refilled: Instant,
+}
+
+/// The manager's token-bucket table, keyed by session name. Taken only
+/// on the submit path (never by a worker), and never held across a
+/// channel operation.
+#[derive(Debug, Default)]
+pub(crate) struct TokenBuckets {
+    buckets: Mutex<HashMap<String, Bucket>>,
+}
+
+impl TokenBuckets {
+    fn locked(&self) -> MutexGuard<'_, HashMap<String, Bucket>> {
+        // A panic while holding this lock cannot corrupt the map (the
+        // only writes are complete f64/Instant stores), so poisoning is
+        // recoverable by construction.
+        match self.buckets.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Take one token from `tenant`'s bucket (refilling it first),
+    /// creating a full bucket on first sight. `false` means the bucket
+    /// is empty and the request must be rejected.
+    pub(crate) fn take(&self, tenant: &str, quota: TenantQuota, now: Instant) -> bool {
+        let burst = quota.burst.max(1.0);
+        let mut buckets = self.locked();
+        let bucket = buckets.entry(tenant.to_string()).or_insert_with(|| Bucket {
+            tokens: burst,
+            refilled: now,
+        });
+        let elapsed = now.saturating_duration_since(bucket.refilled).as_secs_f64();
+        bucket.tokens = (bucket.tokens + elapsed * quota.rate_per_sec).min(burst);
+        bucket.refilled = now;
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn gate_admits_to_capacity_then_sheds() {
+        let gate = ShardGate::new(2);
+        assert!(gate.try_admit().is_ok());
+        assert!(gate.try_admit().is_ok());
+        assert_eq!(gate.try_admit(), Err(2));
+        assert_eq!(gate.queued_now(), 2);
+        assert_eq!(gate.queue_high_water(), 2);
+        assert_eq!(gate.rejected_overload(), 1);
+        gate.release();
+        assert!(gate.try_admit().is_ok());
+        // High water never exceeds capacity.
+        assert_eq!(gate.queue_high_water(), 2);
+    }
+
+    #[test]
+    fn gate_release_saturates_at_zero() {
+        let gate = ShardGate::new(1);
+        gate.release();
+        assert_eq!(gate.queued_now(), 0);
+        assert!(gate.try_admit().is_ok());
+    }
+
+    #[test]
+    fn bucket_enforces_burst_then_refills() {
+        let buckets = TokenBuckets::default();
+        let quota = TenantQuota {
+            rate_per_sec: 10.0,
+            burst: 2.0,
+        };
+        let t0 = Instant::now();
+        assert!(buckets.take("a", quota, t0));
+        assert!(buckets.take("a", quota, t0));
+        assert!(!buckets.take("a", quota, t0), "burst of 2 admitted a 3rd");
+        // Another tenant has its own bucket.
+        assert!(buckets.take("b", quota, t0));
+        // 100ms at 10/s refills one token.
+        let t1 = t0 + Duration::from_millis(100);
+        assert!(buckets.take("a", quota, t1));
+        assert!(!buckets.take("a", quota, t1));
+    }
+}

@@ -1,0 +1,147 @@
+//! `gmaa-serve` — the TCP session server.
+//!
+//! ```text
+//! gmaa-serve [--addr HOST:PORT] [--shards N] [--store DIR]
+//!            [--queue-capacity N] [--quota-rps F] [--deadline-ms N]
+//! ```
+//!
+//! Serves the length-prefixed JSON protocol (see `gmaa_serve::net`)
+//! until a client sends a `Drain` control frame, then flushes every
+//! session to the store (if one is configured) and exits. Without
+//! `--store`, sessions live only as long as the process.
+
+// A CLI's stdout/stderr are its user interface; the print bans guard
+// the serving library, not this binary.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
+use gmaa_serve::net::{NetConfig, Server};
+use gmaa_serve::{FileStore, FsyncPolicy, ServeConfig, SessionManager, TenantQuota};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Args {
+    addr: String,
+    shards: Option<usize>,
+    store: Option<PathBuf>,
+    queue_capacity: Option<usize>,
+    quota_rps: Option<f64>,
+    deadline_ms: Option<u64>,
+}
+
+fn usage() -> &'static str {
+    "usage: gmaa-serve [--addr HOST:PORT] [--shards N] [--store DIR]\n       \
+     [--queue-capacity N] [--quota-rps F] [--deadline-ms N]"
+}
+
+fn parse_args(mut argv: std::env::Args) -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7411".to_string(),
+        shards: None,
+        store: None,
+        queue_capacity: None,
+        quota_rps: None,
+        deadline_ms: None,
+    };
+    argv.next(); // program name
+    while let Some(flag) = argv.next() {
+        let mut value = |flag: &str| {
+            argv.next()
+                .ok_or_else(|| format!("{flag} needs a value\n{}", usage()))
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--shards" => {
+                args.shards = Some(
+                    value("--shards")?
+                        .parse()
+                        .map_err(|e| format!("--shards: {e}"))?,
+                );
+            }
+            "--store" => args.store = Some(PathBuf::from(value("--store")?)),
+            "--queue-capacity" => {
+                args.queue_capacity = Some(
+                    value("--queue-capacity")?
+                        .parse()
+                        .map_err(|e| format!("--queue-capacity: {e}"))?,
+                );
+            }
+            "--quota-rps" => {
+                args.quota_rps = Some(
+                    value("--quota-rps")?
+                        .parse()
+                        .map_err(|e| format!("--quota-rps: {e}"))?,
+                );
+            }
+            "--deadline-ms" => {
+                args.deadline_ms = Some(
+                    value("--deadline-ms")?
+                        .parse()
+                        .map_err(|e| format!("--deadline-ms: {e}"))?,
+                );
+            }
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unknown flag {other:?}\n{}", usage())),
+        }
+    }
+    Ok(args)
+}
+
+fn run(args: Args) -> Result<(), String> {
+    let mut config = ServeConfig::default();
+    if let Some(shards) = args.shards {
+        config.shards = shards;
+    }
+    if let Some(cap) = args.queue_capacity {
+        config.queue_capacity = cap;
+    }
+    if let Some(rps) = args.quota_rps {
+        config.quota = Some(TenantQuota::per_second(rps));
+    }
+    config.default_deadline_ms = args.deadline_ms;
+
+    let manager = match &args.store {
+        Some(dir) => {
+            let store = FileStore::open(dir, FsyncPolicy::Always)
+                .map_err(|e| format!("open store {}: {e}", dir.display()))?;
+            SessionManager::with_store(config, Arc::new(store))
+                .map_err(|e| format!("recover sessions: {e}"))?
+        }
+        None => SessionManager::new(config),
+    };
+    let manager = Arc::new(manager);
+
+    let server = Server::bind(&args.addr, Arc::clone(&manager), NetConfig::default())
+        .map_err(|e| format!("bind {}: {e}", args.addr))?;
+    println!(
+        "gmaa-serve listening on {} ({} shards, queue capacity {}, store: {})",
+        server.local_addr(),
+        manager.shards(),
+        config.queue_capacity,
+        args.store
+            .as_deref()
+            .map(|p| p.display().to_string())
+            .unwrap_or_else(|| "none".to_string()),
+    );
+
+    // Serve until a Drain control frame closes admission, then exit;
+    // in-flight requests got their replies before shutdown() returned
+    // the drain ack.
+    while !manager.is_shutting_down() {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    println!("gmaa-serve drained; exiting");
+    drop(server);
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match parse_args(std::env::args()).and_then(run) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::from(2)
+        }
+    }
+}

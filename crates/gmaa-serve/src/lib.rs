@@ -50,16 +50,20 @@
 
 #![warn(missing_docs)]
 
+mod admission;
 mod manager;
+pub mod net;
 mod protocol;
 mod session;
 mod shard;
 mod stats;
 mod store;
 
+pub use admission::TenantQuota;
 pub use manager::{Pending, ServeConfig, SessionManager};
 pub use protocol::{Request, RequestKind, Response, ServeError, SessionConfig, SessionSnapshot};
 pub use stats::{RequestCounts, ServeStats, ShardStats, StoreStats};
 pub use store::{
-    FileStore, FsyncPolicy, JournalRecord, MemoryStore, SessionStore, StoreError, StoredSession,
+    FaultInjectingStore, FileStore, FsyncPolicy, JournalRecord, MemoryStore, SessionStore,
+    StoreError, StoreOp, StoredSession,
 };

@@ -1,20 +1,23 @@
 //! The [`SessionManager`]: shard spawning, deterministic routing, and the
 //! synchronous / pipelined client API.
 
+use crate::admission::{ShardGate, TenantQuota, TokenBuckets};
 use crate::protocol::{Request, Response, ServeError, SessionConfig};
 use crate::shard::{Command, Shard};
 use crate::stats::{ServeStats, ShardStats};
 use crate::store::SessionStore;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// A store handle plus the recovered session names, pre-partitioned by
 /// owning shard index (FNV routing), handed to each spawned worker.
 type StoreHandoff = (Arc<dyn SessionStore>, Vec<Vec<String>>);
 
 /// Service-level settings.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServeConfig {
     /// Worker threads / shards. Each shard exclusively owns the sessions
     /// that hash to it.
@@ -23,6 +26,21 @@ pub struct ServeConfig {
     /// least-recently-used one. Total resident capacity is
     /// `shards × max_sessions_per_shard`.
     pub max_sessions_per_shard: usize,
+    /// Admission cap per shard: at most this many admitted requests may
+    /// sit in a shard's queue at once; past it, `submit` sheds the
+    /// request with [`ServeError::Overloaded`] instead of queueing
+    /// (zero is treated as 1 — a zero-capacity service could never
+    /// admit anything).
+    pub queue_capacity: usize,
+    /// Per-tenant token-bucket quota, keyed by session name. `None`
+    /// (the default) disables quota checks.
+    pub quota: Option<TenantQuota>,
+    /// Deadline applied to every `submit`/`request` in milliseconds,
+    /// measured from admission: a request still queued past it is
+    /// answered [`ServeError::DeadlineExceeded`] without touching the
+    /// engine. `None` (the default) disables deadlines;
+    /// [`SessionManager::submit_with_deadline`] overrides per request.
+    pub default_deadline_ms: Option<u64>,
     /// Settings applied to every created session.
     pub session: SessionConfig,
 }
@@ -34,6 +52,9 @@ impl Default for ServeConfig {
                 .map(|n| n.get())
                 .unwrap_or(1),
             max_sessions_per_shard: 64,
+            queue_capacity: 1024,
+            quota: None,
+            default_deadline_ms: None,
             session: SessionConfig::default(),
         }
     }
@@ -61,6 +82,11 @@ pub struct Pending {
 
 impl Pending {
     /// Block until the owning shard worker replies.
+    ///
+    /// A request still queued when the manager shuts down resolves to
+    /// [`ServeError::Shutdown`] (the worker answers it on the way out);
+    /// [`ServeError::ShardDown`] is reserved for a worker that actually
+    /// died with the reply unsent (a panic mid-request).
     pub fn wait(self) -> Result<Response, ServeError> {
         self.rx.recv().unwrap_or(Err(ServeError::ShardDown))
     }
@@ -126,6 +152,17 @@ impl Pending {
 pub struct SessionManager {
     senders: Vec<Sender<Command>>,
     workers: Vec<JoinHandle<()>>,
+    /// One admission gate per shard, shared with that shard's worker
+    /// (manager admits, worker releases at dequeue).
+    gates: Vec<Arc<ShardGate>>,
+    /// Per-tenant token buckets ([`ServeConfig::quota`]).
+    buckets: TokenBuckets,
+    quota: Option<TenantQuota>,
+    default_deadline: Option<Duration>,
+    /// Set on shutdown/drop *before* workers stop: the submit path
+    /// checks it first, and workers answer still-queued requests with
+    /// [`ServeError::Shutdown`] once it is up.
+    stopping: Arc<AtomicBool>,
 }
 
 impl SessionManager {
@@ -182,12 +219,16 @@ impl SessionManager {
 
     fn spawn(config: ServeConfig, store: Option<StoreHandoff>) -> SessionManager {
         let shards = config.shards.max(1);
+        let stopping = Arc::new(AtomicBool::new(false));
         let mut senders = Vec::with_capacity(shards);
         let mut workers = Vec::with_capacity(shards);
+        let mut gates = Vec::with_capacity(shards);
         let mut store = store;
         for index in 0..shards {
             let (tx, rx) = channel();
-            let mut shard = Shard::new(index, config.max_sessions_per_shard, config.session);
+            let gate = Arc::new(ShardGate::new(config.queue_capacity));
+            let mut shard = Shard::new(index, config.max_sessions_per_shard, config.session)
+                .with_admission(Arc::clone(&gate), Arc::clone(&stopping));
             if let Some((store, recovered)) = &mut store {
                 let names = recovered
                     .get_mut(index)
@@ -203,8 +244,17 @@ impl SessionManager {
                     .expect("spawn shard worker"),
             );
             senders.push(tx);
+            gates.push(gate);
         }
-        SessionManager { senders, workers }
+        SessionManager {
+            senders,
+            workers,
+            gates,
+            buckets: TokenBuckets::default(),
+            quota: config.quota,
+            default_deadline: config.default_deadline_ms.map(Duration::from_millis),
+            stopping,
+        }
     }
 
     /// Flush every live session on every shard to the store (graceful
@@ -256,29 +306,99 @@ impl SessionManager {
     /// reply — the building block for pipelined clients that keep many
     /// shards busy at once. The returned [`Pending`] resolves to the
     /// shard's reply.
+    ///
+    /// Admission control runs here, on the caller's thread: a shutting-
+    /// down manager, an empty tenant token bucket, or a full shard queue
+    /// resolve the `Pending` immediately with [`ServeError::Shutdown`],
+    /// [`ServeError::QuotaExceeded`], or [`ServeError::Overloaded`] —
+    /// nothing is ever queued past [`ServeConfig::queue_capacity`].
     pub fn submit(&self, request: Request) -> Pending {
-        let shard = self.shard_of(request.session());
+        self.submit_with_deadline(request, self.default_deadline)
+    }
+
+    /// [`submit`](SessionManager::submit) with an explicit per-request
+    /// deadline (overriding [`ServeConfig::default_deadline_ms`];
+    /// `None` disables it). The deadline is measured from admission: if
+    /// the request is still waiting in its shard's queue when it
+    /// expires, the worker answers [`ServeError::DeadlineExceeded`] at
+    /// dequeue without touching the engine. A request already being
+    /// executed is never aborted.
+    pub fn submit_with_deadline(&self, request: Request, deadline: Option<Duration>) -> Pending {
         let (tx, rx) = channel();
-        // `shard_of` is always in range, but a typed degradation beats an
-        // indexing panic if that ever stops holding.
-        let sent = match self.senders.get(shard) {
-            Some(sender) => sender
-                .send(Command::Api {
-                    request: Box::new(request),
-                    reply: tx.clone(),
-                })
-                .is_ok(),
-            None => false,
-        };
-        if !sent {
-            let _ = tx.send(Err(ServeError::ShardDown));
+        if let Err(e) = self.admit(request, deadline, &tx) {
+            // The rejection resolves the Pending; sending to our own
+            // receiver cannot fail.
+            let _ = tx.send(Err(e));
         }
         Pending { rx }
+    }
+
+    /// The admission pipeline: shutdown check → tenant quota → queue
+    /// capacity → enqueue. Any `Err` means the request was rejected
+    /// without being queued.
+    fn admit(
+        &self,
+        request: Request,
+        deadline: Option<Duration>,
+        reply: &Sender<Result<Response, ServeError>>,
+    ) -> Result<(), ServeError> {
+        if self.stopping.load(Ordering::Acquire) {
+            return Err(ServeError::Shutdown);
+        }
+        let shard = self.shard_of(request.session());
+        // `shard_of` is always in range, but a typed degradation beats an
+        // indexing panic if that ever stops holding.
+        let (Some(sender), Some(gate)) = (self.senders.get(shard), self.gates.get(shard)) else {
+            return Err(ServeError::ShardDown);
+        };
+        if let Some(quota) = self.quota {
+            if !self.buckets.take(request.session(), quota, Instant::now()) {
+                gate.count_quota_rejection();
+                return Err(ServeError::QuotaExceeded {
+                    session: request.session().to_string(),
+                });
+            }
+        }
+        if let Err(depth) = gate.try_admit() {
+            return Err(ServeError::Overloaded { shard, depth });
+        }
+        let command = Command::Api {
+            request: Box::new(request),
+            reply: reply.clone(),
+            admitted: Instant::now(),
+            deadline,
+        };
+        if sender.send(command).is_err() {
+            // The worker is gone; give the reserved slot back.
+            gate.release();
+            return Err(ServeError::ShardDown);
+        }
+        Ok(())
     }
 
     /// Route `request` to its session's shard and wait for the reply.
     pub fn request(&self, request: Request) -> Result<Response, ServeError> {
         self.submit(request).wait()
+    }
+
+    /// Graceful shutdown: close admission, then [`drain`](SessionManager::drain).
+    ///
+    /// After this returns, every later `submit` resolves to
+    /// [`ServeError::Shutdown`], requests that were still queued are
+    /// answered the same way by their workers, and every session that
+    /// was live has been flushed to the store (journal compacted into a
+    /// snapshot, store synced). Returns the number of sessions flushed.
+    /// The workers stay up to answer in-flight replies until the
+    /// manager is dropped.
+    pub fn shutdown(&self) -> Result<u64, ServeError> {
+        self.stopping.store(true, Ordering::Release);
+        self.drain()
+    }
+
+    /// Whether [`shutdown`](SessionManager::shutdown) has been called
+    /// (admission permanently closed).
+    pub fn is_shutting_down(&self) -> bool {
+        self.stopping.load(Ordering::Acquire)
     }
 
     /// Collect every shard's counters (in shard order) plus the
@@ -294,10 +414,19 @@ impl SessionManager {
         let shards = pending
             .into_iter()
             .map(|(index, sent, rx)| {
-                let fallback = ShardStats {
+                // A dead worker still has observable admission history:
+                // fall back to the manager's copy of its gate counters.
+                let mut fallback = ShardStats {
                     shard: index,
                     ..ShardStats::default()
                 };
+                if let Some(gate) = self.gates.get(index) {
+                    fallback.queued_now = gate.queued_now();
+                    fallback.queue_high_water = gate.queue_high_water();
+                    fallback.rejected_overload = gate.rejected_overload();
+                    fallback.rejected_quota = gate.rejected_quota();
+                    fallback.rejected_deadline = gate.rejected_deadline();
+                }
                 if sent {
                     rx.recv().unwrap_or(fallback)
                 } else {
@@ -311,8 +440,13 @@ impl SessionManager {
 
 impl Drop for SessionManager {
     /// Disconnect the channels and join every worker, so no shard thread
-    /// outlives the manager.
+    /// outlives the manager. The stopping flag goes up *first*, so any
+    /// request still queued when the channels close is answered
+    /// [`ServeError::Shutdown`] by its worker on the way out — an
+    /// outstanding [`Pending`] resolves to that typed error, never to a
+    /// bare recv failure.
     fn drop(&mut self) {
+        self.stopping.store(true, Ordering::Release);
         self.senders.clear();
         for worker in self.workers.drain(..) {
             let _ = worker.join();

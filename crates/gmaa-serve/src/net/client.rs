@@ -1,0 +1,130 @@
+//! A small blocking client for the length-prefixed JSON protocol, used
+//! by tests, the server's own smoke checks, and the closed-loop bench.
+
+use super::codec::{read_frame, write_frame, FrameError};
+use super::{WireRequest, WireResponse, DEFAULT_MAX_FRAME_BYTES};
+use crate::protocol::{Request, Response, ServeError};
+use std::io::BufReader;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A blocking connection to a [`Server`](super::Server).
+///
+/// [`Client::request`] is the synchronous call;
+/// [`Client::send`]/[`Client::recv`] split it for pipelining (responses
+/// arrive in send order). Transport failures surface as
+/// [`ServeError::Protocol`] — on a failed connection the client should
+/// be dropped and reconnected.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    max_frame_bytes: usize,
+    /// Requests sent but not yet `recv`ed (pipelining depth).
+    in_flight: usize,
+}
+
+fn transport(e: impl std::fmt::Display) -> ServeError {
+    ServeError::Protocol(format!("transport: {e}"))
+}
+
+impl Client {
+    /// Connect to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let writer = TcpStream::connect(addr)?;
+        writer.set_nodelay(true)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client {
+            reader,
+            writer,
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            in_flight: 0,
+        })
+    }
+
+    /// Requests sent but not yet received.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// Send one request without waiting for its reply (pipelining).
+    /// Replies arrive in send order via [`Client::recv`].
+    pub fn send(&mut self, request: Request, deadline_ms: Option<u64>) -> Result<(), ServeError> {
+        let wire = WireRequest::Api {
+            request: Box::new(request),
+            deadline_ms,
+        };
+        let json = serde_json::to_string(&wire).map_err(transport)?;
+        write_frame(&mut self.writer, json.as_bytes()).map_err(transport)?;
+        self.in_flight += 1;
+        Ok(())
+    }
+
+    /// Receive the oldest in-flight request's reply.
+    pub fn recv(&mut self) -> Result<Response, ServeError> {
+        self.in_flight = self.in_flight.saturating_sub(1);
+        match self.read_response()? {
+            WireResponse::Ok(response) => Ok(response),
+            WireResponse::Err(e) => Err(e),
+            WireResponse::Drained { .. } => Err(ServeError::Protocol(
+                "unexpected Drained reply to an API request".to_string(),
+            )),
+        }
+    }
+
+    /// Send one request and wait for its reply.
+    pub fn request(&mut self, request: Request) -> Result<Response, ServeError> {
+        self.request_with_deadline(request, None)
+    }
+
+    /// [`Client::request`] with a queue deadline in milliseconds.
+    pub fn request_with_deadline(
+        &mut self,
+        request: Request,
+        deadline_ms: Option<u64>,
+    ) -> Result<Response, ServeError> {
+        self.send(request, deadline_ms)?;
+        self.recv()
+    }
+
+    /// Ask the server to drain: close admission and flush every live
+    /// session to the durable store. Returns the flushed-session count.
+    /// All pipelined requests must have been `recv`ed first (replies
+    /// are in order, so an outstanding one would be misread as the
+    /// drain ack).
+    pub fn drain(&mut self) -> Result<u64, ServeError> {
+        if self.in_flight > 0 {
+            return Err(ServeError::Protocol(format!(
+                "drain with {} replies outstanding",
+                self.in_flight
+            )));
+        }
+        let json = serde_json::to_string(&WireRequest::Drain).map_err(transport)?;
+        write_frame(&mut self.writer, json.as_bytes()).map_err(transport)?;
+        match self.read_response()? {
+            WireResponse::Drained { sessions } => Ok(sessions),
+            WireResponse::Err(e) => Err(e),
+            WireResponse::Ok(_) => Err(ServeError::Protocol(
+                "unexpected API reply to a Drain request".to_string(),
+            )),
+        }
+    }
+
+    fn read_response(&mut self) -> Result<WireResponse, ServeError> {
+        let payload = match read_frame(&mut self.reader, self.max_frame_bytes) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => {
+                return Err(ServeError::Protocol(
+                    "server closed the connection".to_string(),
+                ))
+            }
+            Err(FrameError::Io(e)) => return Err(transport(e)),
+            Err(FrameError::Oversized { len, max }) => {
+                return Err(ServeError::Protocol(format!(
+                    "response frame of {len} bytes exceeds the {max}-byte cap"
+                )))
+            }
+        };
+        let text = std::str::from_utf8(&payload).map_err(transport)?;
+        serde_json::from_str::<WireResponse>(text).map_err(transport)
+    }
+}

@@ -1,0 +1,100 @@
+//! Frame codec: 4-byte big-endian length prefix + payload bytes.
+//!
+//! Serving-path code: no panics, no `[]` indexing — fixed-size reads
+//! land in arrays that are destructured, never indexed.
+
+use std::io::{self, Read, Write};
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub(crate) enum FrameError {
+    /// The transport failed (includes a peer that vanished mid-frame).
+    Io(io::Error),
+    /// The length prefix exceeds the configured cap. The payload was
+    /// not consumed, so the stream is no longer aligned — the caller
+    /// must close the connection after reporting the error.
+    Oversized {
+        /// The length the prefix announced.
+        len: usize,
+        /// The configured cap it broke.
+        max: usize,
+    },
+}
+
+/// Write one frame: length prefix, payload, flush.
+pub(crate) fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::other("frame payload exceeds the u32 length prefix"))?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one frame's payload. `Ok(None)` is a clean close: the peer shut
+/// the stream *between* frames. EOF mid-frame is an I/O error.
+pub(crate) fn read_frame(r: &mut impl Read, max: usize) -> Result<Option<Vec<u8>>, FrameError> {
+    // First prefix byte by hand so a clean close is distinguishable
+    // from a torn one.
+    let mut first = [0u8; 1];
+    loop {
+        match r.read(&mut first) {
+            Ok(0) => return Ok(None),
+            Ok(_) => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let mut rest = [0u8; 3];
+    r.read_exact(&mut rest).map_err(FrameError::Io)?;
+    let [b0] = first;
+    let [b1, b2, b3] = rest;
+    let len = u32::from_be_bytes([b0, b1, b2, b3]) as usize;
+    if len > max {
+        return Err(FrameError::Oversized { len, max });
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload).map_err(FrameError::Io)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut r, 64).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r, 64).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut r, 64).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn oversized_prefix_is_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_be_bytes());
+        let mut r = io::Cursor::new(buf);
+        match read_frame(&mut r, 1024) {
+            Err(FrameError::Oversized { len, max }) => {
+                assert_eq!(len, u32::MAX as usize);
+                assert_eq!(max, 1024);
+            }
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn torn_frame_is_an_io_error_not_a_clean_close() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        buf.truncate(buf.len() - 2);
+        let mut r = io::Cursor::new(buf);
+        assert!(matches!(read_frame(&mut r, 64), Err(FrameError::Io(_))));
+        // Torn inside the prefix itself, too.
+        let mut r = io::Cursor::new(vec![0u8, 0]);
+        assert!(matches!(read_frame(&mut r, 64), Err(FrameError::Io(_))));
+    }
+}

@@ -1,0 +1,94 @@
+//! The TCP front end: a length-prefixed JSON wire protocol over the
+//! in-process [`SessionManager`](crate::SessionManager) API.
+//!
+//! # Frame format
+//!
+//! Every message (both directions) is one *frame*: a 4-byte big-endian
+//! payload length followed by that many bytes of UTF-8 JSON. Requests
+//! decode to [`WireRequest`], responses encode from [`WireResponse`] —
+//! externally-tagged enums wrapping the existing typed protocol
+//! ([`Request`] / [`Response`] /
+//! [`ServeError`]), so the wire carries exactly the
+//! in-process protocol plus a transport envelope.
+//!
+//! # Pipelining
+//!
+//! A connection may send frames back-to-back without waiting: the
+//! server's per-connection reader thread feeds each request straight
+//! into the manager's pipelined
+//! [`submit_with_deadline`](crate::SessionManager::submit_with_deadline)
+//! path (admission control included — a shed request resolves its reply
+//! immediately), and a per-connection writer thread sends responses
+//! back **in request order**.
+//!
+//! # Degradation
+//!
+//! Malformed JSON gets a typed
+//! [`ServeError::Protocol`] response and
+//! the connection keeps serving (framing is still aligned). An
+//! oversized length prefix also gets the typed response, but then the
+//! connection closes: the payload was never read, so the stream cannot
+//! be re-synchronized. Neither ever panics a thread — the
+//! `no-panic-in-serving` lint covers this module and the server binary.
+//!
+//! # Shutdown
+//!
+//! A [`WireRequest::Drain`] control frame (or dropping the
+//! [`Server`]) triggers [`SessionManager::shutdown`](crate::SessionManager::shutdown):
+//! admission closes, live sessions flush to the durable store, and the
+//! reply reports how many sessions were drained. In-flight requests
+//! still get their replies; later ones get
+//! [`ServeError::Shutdown`].
+
+mod client;
+mod codec;
+mod server;
+
+pub use client::Client;
+pub use server::{NetConfig, Server};
+
+use crate::protocol::{Request, Response, ServeError};
+use serde::{Deserialize, Serialize};
+
+/// Default cap on a single frame's payload (4 MiB) — comfortably above
+/// any real model JSON, far below anything that could exhaust memory.
+pub const DEFAULT_MAX_FRAME_BYTES: usize = 4 * 1024 * 1024;
+
+/// One client→server frame.
+#[derive(Debug, Serialize, Deserialize)]
+pub enum WireRequest {
+    /// An API request, answered by exactly one [`WireResponse::Ok`] /
+    /// [`WireResponse::Err`] frame (in request order).
+    Api {
+        /// The typed request, routed through admission control to its
+        /// session's shard. Boxed: `CreateSession` carries a whole
+        /// model, dwarfing every other variant.
+        request: Box<Request>,
+        /// Optional queue deadline in milliseconds (see
+        /// [`SessionManager::submit_with_deadline`](crate::SessionManager::submit_with_deadline)).
+        deadline_ms: Option<u64>,
+    },
+    /// Graceful shutdown: close admission, flush every live session to
+    /// the durable store, and answer [`WireResponse::Drained`] with the
+    /// flushed-session count.
+    Drain,
+}
+
+/// One server→client frame.
+#[derive(Debug, Serialize, Deserialize)]
+pub enum WireResponse {
+    /// The request succeeded.
+    Ok(Response),
+    /// The request failed — including admission rejections
+    /// ([`ServeError::Overloaded`],
+    /// [`ServeError::QuotaExceeded`],
+    /// [`ServeError::DeadlineExceeded`])
+    /// and transport problems
+    /// ([`ServeError::Protocol`]).
+    Err(ServeError),
+    /// Reply to [`WireRequest::Drain`].
+    Drained {
+        /// Sessions flushed to the store by the drain.
+        sessions: u64,
+    },
+}

@@ -63,7 +63,10 @@ pub struct SessionSnapshot {
 }
 
 /// A request addressed to one session.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Serializable: the TCP front end ([`crate::net`]) ships requests as
+/// length-prefixed JSON frames with exactly this shape.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Request {
     /// Open a session owning a validated copy of `model`. Fails with
     /// [`ServeError::DuplicateSession`] if the name is taken (live or
@@ -185,7 +188,7 @@ impl Request {
 }
 
 /// A successful reply (the [`Request`] variant determines which arm).
-#[derive(Debug)]
+#[derive(Debug, Serialize, Deserialize)]
 pub enum Response {
     /// The session was created.
     Created,
@@ -204,7 +207,7 @@ pub enum Response {
 }
 
 /// Errors a request can fail with.
-#[derive(Debug)]
+#[derive(Debug, Serialize, Deserialize)]
 pub enum ServeError {
     /// No live or hibernated session of that name on its shard.
     UnknownSession(String),
@@ -228,6 +231,32 @@ pub enum ServeError {
     /// The owning shard's worker is gone (the manager was shut down, or
     /// the worker panicked).
     ShardDown,
+    /// The shard's admission queue is full. The request was shed at
+    /// submission time without queueing; retry after backing off.
+    Overloaded {
+        /// Index of the shard whose queue is full.
+        shard: usize,
+        /// Queue depth observed at rejection (equals the configured
+        /// capacity).
+        depth: usize,
+    },
+    /// The tenant's token bucket is empty — the session has exceeded its
+    /// sustained request rate (see [`TenantQuota`](crate::TenantQuota)).
+    QuotaExceeded {
+        /// The session (tenant key) whose quota ran out.
+        session: String,
+    },
+    /// The request waited in its shard's queue past its deadline and was
+    /// answered without touching the engine.
+    DeadlineExceeded,
+    /// The manager is shutting down (dropped or drained): admission is
+    /// closed, and requests still queued at shutdown are answered with
+    /// this instead of being silently dropped.
+    Shutdown,
+    /// The transport-level request could not be understood: malformed
+    /// frame, oversized payload, or invalid JSON. Connection-local — the
+    /// server keeps serving.
+    Protocol(String),
     /// A shard-side invariant broke. The request failed but the shard
     /// keeps serving — this is the typed fallback the serving path uses
     /// instead of panicking (see `docs/INVARIANTS.md`, rule
@@ -246,6 +275,15 @@ impl fmt::Display for ServeError {
             ServeError::Snapshot(e) => write!(f, "snapshot failed: {e}"),
             ServeError::Store(e) => write!(f, "session store failed: {e}"),
             ServeError::ShardDown => write!(f, "shard worker is gone"),
+            ServeError::Overloaded { shard, depth } => {
+                write!(f, "shard {shard} overloaded (queue depth {depth})")
+            }
+            ServeError::QuotaExceeded { session } => {
+                write!(f, "session {session:?} exceeded its request quota")
+            }
+            ServeError::DeadlineExceeded => write!(f, "request deadline exceeded while queued"),
+            ServeError::Shutdown => write!(f, "manager is shutting down; admission closed"),
+            ServeError::Protocol(m) => write!(f, "protocol error: {m}"),
             ServeError::Internal(m) => write!(f, "internal shard invariant broke: {m}"),
         }
     }

@@ -12,6 +12,7 @@
 //! memory), and a session recovered from a previous process is
 //! rehydrated journal-over-snapshot on its next request.
 
+use crate::admission::ShardGate;
 use crate::protocol::{Request, RequestKind, Response, ServeError, SessionConfig, SessionSnapshot};
 use crate::session::Session;
 use crate::stats::{RequestCounts, ShardStats, StoreStats};
@@ -19,8 +20,10 @@ use crate::store::{JournalRecord, SessionStore, StoredSession};
 use gmaa::CycleStats;
 use maut_sense::{MonteCarlo, MonteCarloConfig, SolveStats};
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// A message to a shard worker: an API request with its reply channel, or
 /// an out-of-band stats/drain command.
@@ -31,6 +34,11 @@ pub(crate) enum Command {
     Api {
         request: Box<Request>,
         reply: Sender<Result<Response, ServeError>>,
+        /// When admission reserved the queue slot — the deadline epoch.
+        admitted: Instant,
+        /// How long past `admitted` the request may wait in the queue
+        /// before it is answered `DeadlineExceeded` instead of executed.
+        deadline: Option<Duration>,
     },
     /// Report the shard's current counters.
     Stats { reply: Sender<ShardStats> },
@@ -71,6 +79,13 @@ pub(crate) struct Shard {
     retired_cycles: CycleStats,
     retired_lp: SolveStats,
     store_stats: StoreStats,
+    /// The admission gate shared with the manager's submit path: the
+    /// manager increments its depth on admission, this worker releases
+    /// at dequeue. `None` for bare shards driven directly in tests.
+    gate: Option<Arc<ShardGate>>,
+    /// The manager's shutdown flag: once up, queued API requests are
+    /// answered `ServeError::Shutdown` instead of executed.
+    stopping: Option<Arc<AtomicBool>>,
 }
 
 impl Shard {
@@ -91,7 +106,21 @@ impl Shard {
             retired_cycles: CycleStats::default(),
             retired_lp: SolveStats::default(),
             store_stats: StoreStats::default(),
+            gate: None,
+            stopping: None,
         }
+    }
+
+    /// Attach the manager's admission gate and shutdown flag (see the
+    /// field docs). Bare shards in unit tests skip this.
+    pub(crate) fn with_admission(
+        mut self,
+        gate: Arc<ShardGate>,
+        stopping: Arc<AtomicBool>,
+    ) -> Shard {
+        self.gate = Some(gate);
+        self.stopping = Some(stopping);
+        self
     }
 
     /// Attach a durable store, seeding `recovered` — session names the
@@ -111,10 +140,37 @@ impl Shard {
     pub(crate) fn run(mut self, commands: Receiver<Command>) {
         for command in commands {
             match command {
-                Command::Api { request, reply } => {
+                Command::Api {
+                    request,
+                    reply,
+                    admitted,
+                    deadline,
+                } => {
+                    // The request left the queue: release its admission
+                    // slot *before* the (possibly long) engine work, so
+                    // queue depth measures waiting requests only.
+                    if let Some(gate) = &self.gate {
+                        gate.release();
+                    }
+                    let outcome = if self.is_stopping() {
+                        // Shutdown beat this queued request: answer it
+                        // with the typed error instead of executing (or
+                        // silently dropping) it.
+                        Err(ServeError::Shutdown)
+                    } else if deadline.is_some_and(|d| admitted.elapsed() > d) {
+                        // Queued past its deadline: the client has given
+                        // up; don't burn engine time on it.
+                        if let Some(gate) = &self.gate {
+                            gate.count_deadline_rejection();
+                        }
+                        self.count(request.kind());
+                        Err(ServeError::DeadlineExceeded)
+                    } else {
+                        self.handle(*request)
+                    };
                     // A client that dropped its pending reply is not an
                     // error; the work is done either way.
-                    let _ = reply.send(self.handle(*request));
+                    let _ = reply.send(outcome);
                 }
                 Command::Stats { reply } => {
                     let _ = reply.send(self.stats());
@@ -124,6 +180,12 @@ impl Shard {
                 }
             }
         }
+    }
+
+    fn is_stopping(&self) -> bool {
+        self.stopping
+            .as_ref()
+            .is_some_and(|s| s.load(Ordering::Acquire))
     }
 
     fn count(&mut self, kind: RequestKind) {
@@ -501,6 +563,17 @@ impl Shard {
             cycles.full += c.full;
             lp.merge(&s.engine.lp_stats());
         }
+        let (queued_now, queue_high_water, rejected_overload, rejected_quota, rejected_deadline) =
+            match &self.gate {
+                Some(g) => (
+                    g.queued_now(),
+                    g.queue_high_water(),
+                    g.rejected_overload(),
+                    g.rejected_quota(),
+                    g.rejected_deadline(),
+                ),
+                None => (0, 0, 0, 0, 0),
+            };
         ShardStats {
             shard: self.index,
             live_sessions: self.live.len(),
@@ -509,6 +582,11 @@ impl Shard {
             sessions_created: self.sessions_created,
             evictions: self.evictions,
             rehydrations: self.rehydrations,
+            queued_now,
+            queue_high_water,
+            rejected_overload,
+            rejected_quota,
+            rejected_deadline,
             requests: self.counts,
             cycles,
             lp,

@@ -114,7 +114,27 @@ pub struct ShardStats {
     pub evictions: u64,
     /// Transparent rehydrations (snapshot → live session).
     pub rehydrations: u64,
-    /// Requests handled, by kind.
+    /// Requests admitted but not yet picked up by the worker — the
+    /// shard's queue depth at report time. Always ≤ the configured
+    /// queue capacity.
+    pub queued_now: usize,
+    /// The deepest the shard's queue has ever been. Bounded by the
+    /// configured capacity: if this equals the capacity, the shard has
+    /// shed load at least once.
+    pub queue_high_water: usize,
+    /// Requests rejected at admission because the queue was full
+    /// ([`ServeError::Overloaded`](crate::ServeError::Overloaded)).
+    pub rejected_overload: u64,
+    /// Requests rejected at admission because the tenant's token bucket
+    /// was empty ([`ServeError::QuotaExceeded`](crate::ServeError::QuotaExceeded)).
+    pub rejected_quota: u64,
+    /// Admitted requests answered `DeadlineExceeded` at dequeue because
+    /// they waited in the queue past their deadline (the engine was
+    /// never touched).
+    pub rejected_deadline: u64,
+    /// Requests handled, by kind. Rejections at admission (overload,
+    /// quota) never reach the worker and are *not* counted here;
+    /// deadline expiries are (they cost a queue slot and a dequeue).
     pub requests: RequestCounts,
     /// Incremental-vs-full discard-cycle counts across the shard's
     /// sessions (live engines + retired accumulations).
@@ -129,6 +149,9 @@ pub struct ShardStats {
 impl ShardStats {
     /// Fold another shard's counters into this one (used by
     /// [`ServeStats::aggregate`]; `shard` keeps the receiver's index).
+    /// Counters sum, except `queue_high_water`, which takes the max —
+    /// "deepest queue anywhere" is the number to compare against the
+    /// per-shard capacity.
     pub fn merge(&mut self, other: &ShardStats) {
         self.live_sessions += other.live_sessions;
         self.hibernated_sessions += other.hibernated_sessions;
@@ -136,6 +159,11 @@ impl ShardStats {
         self.sessions_created += other.sessions_created;
         self.evictions += other.evictions;
         self.rehydrations += other.rehydrations;
+        self.queued_now += other.queued_now;
+        self.queue_high_water = self.queue_high_water.max(other.queue_high_water);
+        self.rejected_overload += other.rejected_overload;
+        self.rejected_quota += other.rejected_quota;
+        self.rejected_deadline += other.rejected_deadline;
         self.requests.merge(&other.requests);
         self.cycles.incremental += other.cycles.incremental;
         self.cycles.full += other.cycles.full;
@@ -181,6 +209,11 @@ mod tests {
         let a = ShardStats {
             live_sessions: 2,
             stored_sessions: 3,
+            queued_now: 1,
+            queue_high_water: 7,
+            rejected_overload: 4,
+            rejected_quota: 2,
+            rejected_deadline: 1,
             store: StoreStats {
                 journal_appends: 10,
                 snapshots_written: 2,
@@ -200,6 +233,11 @@ mod tests {
             shard: 1,
             live_sessions: 1,
             stored_sessions: 1,
+            queued_now: 2,
+            queue_high_water: 5,
+            rejected_overload: 1,
+            rejected_quota: 0,
+            rejected_deadline: 3,
             store: StoreStats {
                 journal_appends: 4,
                 sessions_recovered: 1,
@@ -227,6 +265,13 @@ mod tests {
         assert_eq!(total.store.journal_appends, 14);
         assert_eq!(total.store.snapshots_written, 2);
         assert_eq!(total.store.sessions_recovered, 1);
+        // Rejection counters sum; queue depth sums; high water is the
+        // per-shard max (the number to compare against the capacity).
+        assert_eq!(total.queued_now, 3);
+        assert_eq!(total.queue_high_water, 7);
+        assert_eq!(total.rejected_overload, 5);
+        assert_eq!(total.rejected_quota, 2);
+        assert_eq!(total.rejected_deadline, 4);
         assert_eq!(stats.incremental_hit_rate(), Some(0.75));
     }
 }

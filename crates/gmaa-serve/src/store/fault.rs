@@ -1,0 +1,260 @@
+//! [`FaultInjectingStore`]: deterministic storage-failure schedules over
+//! any [`SessionStore`], for proving that every `StoreError` degradation
+//! path keeps the shard serving.
+//!
+//! Two schedules compose, checked in order on every store call:
+//!
+//! 1. **Scripted** — [`FaultInjectingStore::fail_next`] queues the next
+//!    N calls of one operation to fail (exact-targeting for tests).
+//! 2. **Seeded random** — [`FaultInjectingStore::with_fail_rate`] makes
+//!    every call fail with probability `rate`, driven by a splitmix64
+//!    stream off the seed: the same seed and call sequence produce the
+//!    same failures on every run, so a "flaky disk" soak test is
+//!    perfectly reproducible.
+//!
+//! Injected failures surface as `StoreError::Io` with a message naming
+//! the operation and call number, so a test failure log reads like a
+//! fault schedule.
+
+use super::{JournalRecord, SessionStore, StoreError, StoredSession};
+use crate::protocol::SessionSnapshot;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// The injectable operations of a [`SessionStore`], in trait order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreOp {
+    /// [`SessionStore::append`]
+    Append,
+    /// [`SessionStore::put_snapshot`]
+    PutSnapshot,
+    /// [`SessionStore::load`]
+    Load,
+    /// [`SessionStore::remove`]
+    Remove,
+    /// [`SessionStore::sessions`]
+    Sessions,
+    /// [`SessionStore::sync`]
+    Sync,
+}
+
+const OPS: usize = 6;
+
+impl StoreOp {
+    fn index(self) -> usize {
+        match self {
+            StoreOp::Append => 0,
+            StoreOp::PutSnapshot => 1,
+            StoreOp::Load => 2,
+            StoreOp::Remove => 3,
+            StoreOp::Sessions => 4,
+            StoreOp::Sync => 5,
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            StoreOp::Append => "append",
+            StoreOp::PutSnapshot => "put_snapshot",
+            StoreOp::Load => "load",
+            StoreOp::Remove => "remove",
+            StoreOp::Sessions => "sessions",
+            StoreOp::Sync => "sync",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct FaultState {
+    /// splitmix64 state for the random schedule.
+    rng: u64,
+    /// Calls seen per operation (failed or not).
+    calls: [u64; OPS],
+    /// Scripted failures still pending per operation.
+    scripted: [u64; OPS],
+    /// Failures injected so far (both schedules).
+    injected: u64,
+}
+
+/// A [`SessionStore`] wrapper that injects failures on a deterministic
+/// schedule. See the module docs; construction is builder-style:
+///
+/// ```
+/// use gmaa_serve::{FaultInjectingStore, MemoryStore, SessionStore, StoreOp};
+/// use std::sync::Arc;
+///
+/// let store = FaultInjectingStore::new(Arc::new(MemoryStore::new()), 42);
+/// store.fail_next(StoreOp::Sync, 1);
+/// assert!(store.sync().is_err());
+/// assert!(store.sync().is_ok());
+/// assert_eq!(store.injected(), 1);
+/// ```
+pub struct FaultInjectingStore {
+    inner: Arc<dyn SessionStore>,
+    fail_rate: f64,
+    state: Mutex<FaultState>,
+}
+
+/// splitmix64: passes BigCrush, two lines long, and — unlike anything
+/// involving thread IDs or time — exactly reproducible.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl FaultInjectingStore {
+    /// Wrap `inner` with no failures scheduled yet; `seed` drives the
+    /// random schedule if [`with_fail_rate`](Self::with_fail_rate)
+    /// enables one.
+    pub fn new(inner: Arc<dyn SessionStore>, seed: u64) -> FaultInjectingStore {
+        FaultInjectingStore {
+            inner,
+            fail_rate: 0.0,
+            state: Mutex::new(FaultState {
+                rng: seed,
+                calls: [0; OPS],
+                scripted: [0; OPS],
+                injected: 0,
+            }),
+        }
+    }
+
+    /// Fail every store call independently with probability `rate`
+    /// (clamped to `[0, 1]`), deterministically off the seed.
+    pub fn with_fail_rate(mut self, rate: f64) -> FaultInjectingStore {
+        self.fail_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Queue the next `n` calls of `op` to fail (on top of whatever the
+    /// random schedule would do).
+    pub fn fail_next(&self, op: StoreOp, n: u64) {
+        if let Some(slot) = self.locked().scripted.get_mut(op.index()) {
+            *slot += n;
+        }
+    }
+
+    /// Failures injected so far.
+    pub fn injected(&self) -> u64 {
+        self.locked().injected
+    }
+
+    /// Calls of `op` seen so far (failed or not).
+    pub fn calls(&self, op: StoreOp) -> u64 {
+        self.locked()
+            .calls
+            .get(op.index())
+            .copied()
+            .unwrap_or_default()
+    }
+
+    fn locked(&self) -> MutexGuard<'_, FaultState> {
+        // All writes under this lock are complete scalar stores, so a
+        // poisoned lock holds consistent state.
+        match self.state.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// The schedule: count the call, then decide whether it fails.
+    fn gate(&self, op: StoreOp) -> Result<(), StoreError> {
+        let mut state = self.locked();
+        let call = match state.calls.get_mut(op.index()) {
+            Some(slot) => {
+                *slot += 1;
+                *slot
+            }
+            None => 0,
+        };
+        let scripted = match state.scripted.get_mut(op.index()) {
+            Some(pending) if *pending > 0 => {
+                *pending -= 1;
+                true
+            }
+            _ => false,
+        };
+        let random = self.fail_rate > 0.0 && {
+            // Uniform in [0, 1) from the top 53 bits.
+            let roll = (splitmix64(&mut state.rng) >> 11) as f64 / (1u64 << 53) as f64;
+            roll < self.fail_rate
+        };
+        if scripted || random {
+            state.injected += 1;
+            return Err(StoreError::Io(std::io::Error::other(format!(
+                "injected fault: {} call #{call}",
+                op.name()
+            ))));
+        }
+        Ok(())
+    }
+}
+
+impl SessionStore for FaultInjectingStore {
+    fn append(&self, session: &str, record: &JournalRecord) -> Result<(), StoreError> {
+        self.gate(StoreOp::Append)?;
+        self.inner.append(session, record)
+    }
+
+    fn put_snapshot(&self, snapshot: &SessionSnapshot) -> Result<(), StoreError> {
+        self.gate(StoreOp::PutSnapshot)?;
+        self.inner.put_snapshot(snapshot)
+    }
+
+    fn load(&self, session: &str) -> Result<Option<StoredSession>, StoreError> {
+        self.gate(StoreOp::Load)?;
+        self.inner.load(session)
+    }
+
+    fn remove(&self, session: &str) -> Result<(), StoreError> {
+        self.gate(StoreOp::Remove)?;
+        self.inner.remove(session)
+    }
+
+    fn sessions(&self) -> Result<Vec<String>, StoreError> {
+        self.gate(StoreOp::Sessions)?;
+        self.inner.sessions()
+    }
+
+    fn sync(&self) -> Result<(), StoreError> {
+        self.gate(StoreOp::Sync)?;
+        self.inner.sync()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemoryStore;
+
+    #[test]
+    fn scripted_schedule_targets_one_operation() {
+        let store = FaultInjectingStore::new(Arc::new(MemoryStore::new()), 1);
+        store.fail_next(StoreOp::Sync, 2);
+        assert!(store.sync().is_err());
+        assert!(store.sessions().is_ok(), "other ops unaffected");
+        assert!(store.sync().is_err());
+        assert!(store.sync().is_ok());
+        assert_eq!(store.injected(), 2);
+        assert_eq!(store.calls(StoreOp::Sync), 3);
+    }
+
+    #[test]
+    fn random_schedule_is_seed_deterministic() {
+        let run = |seed: u64| {
+            let store =
+                FaultInjectingStore::new(Arc::new(MemoryStore::new()), seed).with_fail_rate(0.3);
+            (0..200).map(|_| store.sync().is_err()).collect::<Vec<_>>()
+        };
+        let a = run(7);
+        assert_eq!(a, run(7), "same seed, same schedule");
+        assert_ne!(a, run(8), "different seed, different schedule");
+        let failures = a.iter().filter(|f| **f).count();
+        assert!(
+            (30..90).contains(&failures),
+            "0.3 rate gave {failures}/200 failures"
+        );
+    }
+}

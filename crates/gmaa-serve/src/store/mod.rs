@@ -27,9 +27,11 @@
 //! [`drain`]: crate::SessionManager::drain
 //! [`SessionManager::with_store`]: crate::SessionManager::with_store
 
+mod fault;
 mod file;
 mod memory;
 
+pub use fault::{FaultInjectingStore, StoreOp};
 pub use file::FileStore;
 pub use memory::MemoryStore;
 
@@ -108,6 +110,44 @@ impl fmt::Display for StoreError {
 }
 
 impl std::error::Error for StoreError {}
+
+// Hand-written wire encoding: `std::io::Error` cannot derive, so the `Io`
+// variant round-trips through its message (the remote side gets an
+// `io::Error` of kind `Other` carrying the original text).
+impl serde::Serialize for StoreError {
+    fn to_value(&self) -> serde::Value {
+        let (tag, msg) = match self {
+            StoreError::Io(e) => ("Io", e.to_string()),
+            StoreError::Encode(e) => ("Encode", e.clone()),
+            StoreError::Corrupt(e) => ("Corrupt", e.clone()),
+            StoreError::UnknownSession(s) => ("UnknownSession", s.clone()),
+        };
+        serde::Value::Map(vec![(tag.to_string(), serde::Value::Str(msg))])
+    }
+}
+
+impl serde::Deserialize for StoreError {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let entry = v.as_map().and_then(|m| m.first());
+        let (tag, msg) = match entry {
+            Some((tag, serde::Value::Str(msg))) => (tag.as_str(), msg.clone()),
+            _ => {
+                return Err(serde::Error::custom(format!(
+                    "expected single-entry StoreError map, got {v:?}"
+                )))
+            }
+        };
+        match tag {
+            "Io" => Ok(StoreError::Io(std::io::Error::other(msg))),
+            "Encode" => Ok(StoreError::Encode(msg)),
+            "Corrupt" => Ok(StoreError::Corrupt(msg)),
+            "UnknownSession" => Ok(StoreError::UnknownSession(msg)),
+            other => Err(serde::Error::custom(format!(
+                "unknown StoreError variant {other:?}"
+            ))),
+        }
+    }
+}
 
 impl From<std::io::Error> for StoreError {
     fn from(e: std::io::Error) -> StoreError {

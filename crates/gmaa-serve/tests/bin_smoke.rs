@@ -1,0 +1,81 @@
+//! End-to-end smoke test of the `gmaa-serve` binary: spawn the compiled
+//! server on an ephemeral loopback port with a durable store, drive
+//! create → edit → analyze → drain over the wire, and require a clean
+//! exit with the session flushed to disk.
+
+mod common;
+
+use common::model;
+use gmaa_serve::net::Client;
+use gmaa_serve::{Request, Response};
+use std::io::{BufRead, BufReader};
+use std::process::{Command, Stdio};
+
+#[test]
+fn binary_serves_over_tcp_and_exits_on_drain() {
+    let dir = std::env::temp_dir().join(format!("gmaa-bin-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_gmaa-serve"))
+        .args(["--addr", "127.0.0.1:0", "--shards", "2"])
+        .arg("--store")
+        .arg(&dir)
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("binary spawns");
+
+    // The banner names the bound (ephemeral) address:
+    // "gmaa-serve listening on 127.0.0.1:PORT (...)".
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut lines = BufReader::new(stdout).lines();
+    let banner = lines.next().expect("banner line").expect("banner reads");
+    let addr = banner
+        .split_whitespace()
+        .nth(3)
+        .unwrap_or_else(|| panic!("unexpected banner: {banner}"))
+        .to_string();
+
+    let mut client = Client::connect(addr.as_str()).expect("connect to binary");
+    assert!(matches!(
+        client
+            .request(Request::CreateSession {
+                session: "smoke".into(),
+                model: model(),
+            })
+            .expect("create over the wire"),
+        Response::Created
+    ));
+    let x = model().find_attribute("x").expect("attr exists");
+    assert!(matches!(
+        client
+            .request(Request::SetPerf {
+                session: "smoke".into(),
+                alternative: 0,
+                attr: x,
+                perf: maut::Perf::level(0),
+            })
+            .expect("edit over the wire"),
+        Response::Edited
+    ));
+    assert!(matches!(
+        client
+            .request(Request::Analyze {
+                session: "smoke".into(),
+            })
+            .expect("analyze over the wire"),
+        Response::Analysis(_)
+    ));
+
+    // Drain: the session flushes to the store and the process exits 0.
+    assert_eq!(client.drain().expect("drain ack"), 1);
+    let status = child.wait().expect("binary exits");
+    assert!(status.success(), "binary exited with {status}");
+    assert!(
+        std::fs::read_dir(&dir)
+            .expect("store dir exists")
+            .next()
+            .is_some(),
+        "drain left the store empty"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -139,6 +139,7 @@ fn crash_recovery_replays_random_edit_histories_bit_exactly() {
             shards: 2,
             max_sessions_per_shard: 2,
             session: quick(),
+            ..ServeConfig::default()
         };
         let reference = SessionManager::new(ServeConfig {
             max_sessions_per_shard: 16,
@@ -190,6 +191,7 @@ fn kill_mid_journal_drops_only_the_torn_edit() {
                 shards: 1,
                 max_sessions_per_shard: 8,
                 session: quick(),
+                ..ServeConfig::default()
             },
             store,
         )
@@ -211,6 +213,7 @@ fn kill_mid_journal_drops_only_the_torn_edit() {
         shards: 1,
         max_sessions_per_shard: 8,
         session: quick(),
+        ..ServeConfig::default()
     });
     create(&reference, "analyst");
     for edit in &edits[..edits.len() - 1] {
@@ -223,6 +226,7 @@ fn kill_mid_journal_drops_only_the_torn_edit() {
             shards: 1,
             max_sessions_per_shard: 8,
             session: quick(),
+            ..ServeConfig::default()
         },
         store,
     )
@@ -252,6 +256,7 @@ fn garbage_journal_tail_is_dropped_like_a_torn_record() {
                 shards: 1,
                 max_sessions_per_shard: 8,
                 session: quick(),
+                ..ServeConfig::default()
             },
             store,
         )
@@ -274,6 +279,7 @@ fn garbage_journal_tail_is_dropped_like_a_torn_record() {
         shards: 1,
         max_sessions_per_shard: 8,
         session: quick(),
+        ..ServeConfig::default()
     });
     create(&reference, "analyst");
     for edit in &edits {
@@ -286,6 +292,7 @@ fn garbage_journal_tail_is_dropped_like_a_torn_record() {
             shards: 1,
             max_sessions_per_shard: 8,
             session: quick(),
+            ..ServeConfig::default()
         },
         store,
     )
@@ -311,6 +318,7 @@ fn drain_then_recover_replays_nothing_and_loses_nothing() {
         shards: 2,
         max_sessions_per_shard: 8,
         session: quick(),
+        ..ServeConfig::default()
     };
     let reference = SessionManager::new(config);
 
@@ -354,6 +362,7 @@ fn recovered_names_are_reserved_until_closed() {
                 shards: 1,
                 max_sessions_per_shard: 8,
                 session: quick(),
+                ..ServeConfig::default()
             },
             store,
         )
@@ -366,6 +375,7 @@ fn recovered_names_are_reserved_until_closed() {
             shards: 1,
             max_sessions_per_shard: 8,
             session: quick(),
+            ..ServeConfig::default()
         },
         store.clone(),
     )

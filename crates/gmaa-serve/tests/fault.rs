@@ -1,0 +1,258 @@
+//! Fault-injection tests: every `StoreError` injection point (append,
+//! put_snapshot, load, sync) leaves the shard serving, shows up in
+//! `StoreStats::store_errors`, and recovery from the surviving store
+//! replays to bit-identical analysis results.
+
+mod common;
+
+use common::{model, quick};
+use gmaa_serve::{
+    FaultInjectingStore, MemoryStore, Request, Response, ServeConfig, ServeError, SessionManager,
+    SessionStore, StoreOp,
+};
+use std::sync::Arc;
+
+fn faulted_manager(
+    config: ServeConfig,
+) -> (SessionManager, Arc<FaultInjectingStore>, Arc<MemoryStore>) {
+    let inner = Arc::new(MemoryStore::new());
+    let faults = Arc::new(FaultInjectingStore::new(
+        inner.clone() as Arc<dyn SessionStore>,
+        42,
+    ));
+    let m = SessionManager::with_store(config, faults.clone()).unwrap();
+    (m, faults, inner)
+}
+
+fn one_shard() -> ServeConfig {
+    ServeConfig {
+        shards: 1,
+        session: quick(),
+        ..ServeConfig::default()
+    }
+}
+
+fn analysis_json(m: &SessionManager, session: &str) -> String {
+    match m
+        .request(Request::Analyze {
+            session: session.into(),
+        })
+        .unwrap()
+    {
+        Response::Analysis(a) => serde_json::to_string(&*a).unwrap(),
+        other => panic!("expected analysis, got {other:?}"),
+    }
+}
+
+/// Recover a fresh manager from the inner (fault-free) store and return
+/// the session's analysis JSON.
+fn recovered_analysis_json(inner: &Arc<MemoryStore>, session: &str) -> String {
+    let m = SessionManager::with_store(one_shard(), inner.clone()).unwrap();
+    analysis_json(&m, session)
+}
+
+#[test]
+fn append_failure_falls_back_to_snapshot() {
+    let (m, faults, inner) = faulted_manager(one_shard());
+    m.request(Request::CreateSession {
+        session: "s".into(),
+        model: model(),
+    })
+    .unwrap();
+    let x = model().find_attribute("x").unwrap();
+
+    // The journal write fails; the shard degrades to a full snapshot and
+    // the edit still succeeds.
+    faults.fail_next(StoreOp::Append, 1);
+    assert!(matches!(
+        m.request(Request::SetPerf {
+            session: "s".into(),
+            alternative: 0,
+            attr: x,
+            perf: maut::Perf::level(0),
+        })
+        .unwrap(),
+        Response::Edited
+    ));
+    let stats = m.stats().aggregate();
+    assert_eq!(stats.store.store_errors, 1);
+    assert_eq!(stats.store.journal_appends, 0, "append never landed");
+    assert!(stats.store.snapshots_written >= 2, "create + fallback");
+
+    // The fallback snapshot captured the edit: recovery replays to the
+    // exact same analysis bytes.
+    let reference = analysis_json(&m, "s");
+    drop(m);
+    assert_eq!(recovered_analysis_json(&inner, "s"), reference);
+}
+
+#[test]
+fn append_and_snapshot_both_failing_surfaces_error_but_keeps_serving() {
+    let (m, faults, _inner) = faulted_manager(one_shard());
+    m.request(Request::CreateSession {
+        session: "s".into(),
+        model: model(),
+    })
+    .unwrap();
+    let x = model().find_attribute("x").unwrap();
+
+    // Journal AND fallback snapshot fail: the edit reports a typed store
+    // error...
+    faults.fail_next(StoreOp::Append, 1);
+    faults.fail_next(StoreOp::PutSnapshot, 1);
+    assert!(matches!(
+        m.request(Request::SetPerf {
+            session: "s".into(),
+            alternative: 0,
+            attr: x,
+            perf: maut::Perf::level(0),
+        }),
+        Err(ServeError::Store(_))
+    ));
+    assert_eq!(m.stats().aggregate().store.store_errors, 2);
+
+    // ...and the shard keeps serving the session afterwards.
+    assert!(matches!(
+        m.request(Request::Analyze {
+            session: "s".into()
+        }),
+        Ok(Response::Analysis(_))
+    ));
+}
+
+#[test]
+fn create_snapshot_failure_is_retryable() {
+    let (m, faults, _inner) = faulted_manager(one_shard());
+    faults.fail_next(StoreOp::PutSnapshot, 1);
+    assert!(matches!(
+        m.request(Request::CreateSession {
+            session: "s".into(),
+            model: model(),
+        }),
+        Err(ServeError::Store(_))
+    ));
+    assert_eq!(m.stats().aggregate().store.store_errors, 1);
+    // The failed create left no half-session behind: the retry succeeds
+    // (no DuplicateSession) and the session serves.
+    assert!(matches!(
+        m.request(Request::CreateSession {
+            session: "s".into(),
+            model: model(),
+        })
+        .unwrap(),
+        Response::Created
+    ));
+    assert!(matches!(
+        m.request(Request::Analyze {
+            session: "s".into()
+        }),
+        Ok(Response::Analysis(_))
+    ));
+}
+
+#[test]
+fn load_failure_is_retryable_and_rehydrates_bit_identical() {
+    let (m, faults, _inner) = faulted_manager(ServeConfig {
+        max_sessions_per_shard: 1,
+        ..one_shard()
+    });
+    m.request(Request::CreateSession {
+        session: "a".into(),
+        model: model(),
+    })
+    .unwrap();
+    let reference = analysis_json(&m, "a");
+    // A second tenant evicts "a" (capacity 1) to the store.
+    m.request(Request::CreateSession {
+        session: "b".into(),
+        model: model(),
+    })
+    .unwrap();
+
+    // Rehydrating "a" hits a load failure: typed error, session entry
+    // intact in the store.
+    faults.fail_next(StoreOp::Load, 1);
+    assert!(matches!(
+        m.request(Request::Analyze {
+            session: "a".into()
+        }),
+        Err(ServeError::Store(_))
+    ));
+    let stats = m.stats().aggregate();
+    assert_eq!(stats.store.store_errors, 1);
+
+    // The retry rehydrates to bit-identical analysis results.
+    assert_eq!(analysis_json(&m, "a"), reference);
+    assert!(m.stats().aggregate().rehydrations >= 1);
+}
+
+#[test]
+fn sync_failure_during_drain_reports_but_flushes_and_keeps_serving() {
+    let (m, faults, inner) = faulted_manager(one_shard());
+    for name in ["a", "b"] {
+        m.request(Request::CreateSession {
+            session: name.into(),
+            model: model(),
+        })
+        .unwrap();
+    }
+    faults.fail_next(StoreOp::Sync, 1);
+    assert!(matches!(m.drain(), Err(ServeError::Store(_))));
+    assert_eq!(m.stats().aggregate().store.store_errors, 1);
+    // The snapshots landed before the failed sync, and the shard still
+    // serves: drain is a flush, not a shutdown.
+    let mut names = inner.sessions().unwrap();
+    names.sort();
+    assert_eq!(names, vec!["a", "b"]);
+    assert!(matches!(
+        m.request(Request::Analyze {
+            session: "a".into()
+        }),
+        Ok(Response::Analysis(_))
+    ));
+    // A clean retry succeeds.
+    assert!(m.drain().is_ok());
+}
+
+#[test]
+fn seeded_fault_storm_never_hangs_and_survivors_recover() {
+    // A flaky-disk soak: every store call fails with probability 0.25 on
+    // a fixed seed. Every request must resolve to Ok or a typed error —
+    // no panic, no hang — and whatever the inner store holds afterwards
+    // must recover cleanly.
+    let inner = Arc::new(MemoryStore::new());
+    let faults = Arc::new(
+        FaultInjectingStore::new(inner.clone() as Arc<dyn SessionStore>, 42).with_fail_rate(0.25),
+    );
+    let m = SessionManager::with_store(one_shard(), faults.clone()).unwrap();
+    let x = model().find_attribute("x").unwrap();
+    for round in 0..20 {
+        let session = format!("t{}", round % 4);
+        let _ = m.request(Request::CreateSession {
+            session: session.clone(),
+            model: model(),
+        });
+        let _ = m.request(Request::SetPerf {
+            session: session.clone(),
+            alternative: 0,
+            attr: x,
+            perf: maut::Perf::level(round % 3),
+        });
+        let _ = m.request(Request::Analyze { session });
+    }
+    assert!(faults.injected() > 0, "the storm never struck");
+    assert!(m.stats().aggregate().store.store_errors > 0);
+    drop(m);
+
+    // Recovery from the surviving store: every stored session replays
+    // and analyzes.
+    let recovered = SessionManager::with_store(one_shard(), inner.clone()).unwrap();
+    let stored = inner.sessions().unwrap();
+    assert!(!stored.is_empty(), "no session ever survived a write");
+    for session in stored {
+        assert!(matches!(
+            recovered.request(Request::Analyze { session }),
+            Ok(Response::Analysis(_))
+        ));
+    }
+}

@@ -1,0 +1,312 @@
+//! Loopback TCP tests: protocol round trips, pipelining, malformed and
+//! oversized frames, overload shedding through the wire, and drain.
+
+mod common;
+
+use common::{model, quick, GateStore};
+use gmaa_serve::net::{Client, NetConfig, Server, WireRequest, WireResponse};
+use gmaa_serve::{
+    MemoryStore, Request, Response, ServeConfig, ServeError, SessionManager, SessionStore,
+};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+fn serve(
+    config: ServeConfig,
+    store: Option<Arc<dyn SessionStore>>,
+) -> (Server, Arc<SessionManager>) {
+    let manager = Arc::new(match store {
+        Some(store) => SessionManager::with_store(config, store).unwrap(),
+        None => SessionManager::new(config),
+    });
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&manager), NetConfig::default()).unwrap();
+    (server, manager)
+}
+
+fn quick_config() -> ServeConfig {
+    ServeConfig {
+        shards: 2,
+        session: quick(),
+        ..ServeConfig::default()
+    }
+}
+
+/// Raw frame I/O for the tests that deliberately speak bad protocol.
+fn write_raw_frame(stream: &mut TcpStream, payload: &[u8]) {
+    stream
+        .write_all(&(payload.len() as u32).to_be_bytes())
+        .unwrap();
+    stream.write_all(payload).unwrap();
+    stream.flush().unwrap();
+}
+
+fn read_raw_frame(stream: &mut TcpStream) -> Option<Vec<u8>> {
+    let mut prefix = [0u8; 4];
+    if stream.read_exact(&mut prefix).is_err() {
+        return None;
+    }
+    let mut payload = vec![0u8; u32::from_be_bytes(prefix) as usize];
+    stream.read_exact(&mut payload).unwrap();
+    Some(payload)
+}
+
+#[test]
+fn tcp_round_trip_matches_in_process_results() {
+    let (server, _manager) = serve(quick_config(), None);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    assert!(matches!(
+        client
+            .request(Request::CreateSession {
+                session: "alice".into(),
+                model: model(),
+            })
+            .unwrap(),
+        Response::Created
+    ));
+    let x = model().find_attribute("x").unwrap();
+    assert!(matches!(
+        client
+            .request(Request::SetPerf {
+                session: "alice".into(),
+                alternative: 0,
+                attr: x,
+                perf: maut::Perf::level(0),
+            })
+            .unwrap(),
+        Response::Edited
+    ));
+    let over_tcp = match client
+        .request(Request::Analyze {
+            session: "alice".into(),
+        })
+        .unwrap()
+    {
+        Response::Analysis(a) => a,
+        other => panic!("expected analysis, got {other:?}"),
+    };
+
+    // The same session driven in-process produces byte-identical JSON:
+    // the wire round trip lost nothing.
+    let reference = SessionManager::new(quick_config());
+    reference
+        .request(Request::CreateSession {
+            session: "alice".into(),
+            model: model(),
+        })
+        .unwrap();
+    reference
+        .request(Request::SetPerf {
+            session: "alice".into(),
+            alternative: 0,
+            attr: x,
+            perf: maut::Perf::level(0),
+        })
+        .unwrap();
+    let in_process = match reference
+        .request(Request::Analyze {
+            session: "alice".into(),
+        })
+        .unwrap()
+    {
+        Response::Analysis(a) => a,
+        other => panic!("expected analysis, got {other:?}"),
+    };
+    assert_eq!(
+        serde_json::to_string(&*over_tcp).unwrap(),
+        serde_json::to_string(&*in_process).unwrap()
+    );
+
+    // An error round-trips as a typed error, not a dropped connection.
+    assert!(matches!(
+        client.request(Request::Analyze {
+            session: "ghost".into()
+        }),
+        Err(ServeError::UnknownSession(name)) if name == "ghost"
+    ));
+}
+
+#[test]
+fn pipelined_requests_answer_in_order() {
+    let (server, _manager) = serve(quick_config(), None);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    for tenant in ["a", "b", "c"] {
+        client
+            .request(Request::CreateSession {
+                session: tenant.into(),
+                model: model(),
+            })
+            .unwrap();
+    }
+    // Interleave kinds across tenants (and shards) without waiting.
+    for tenant in ["a", "b", "c"] {
+        client
+            .send(
+                Request::Analyze {
+                    session: tenant.into(),
+                },
+                None,
+            )
+            .unwrap();
+        client
+            .send(
+                Request::MonteCarlo {
+                    session: tenant.into(),
+                    trials: 25,
+                },
+                None,
+            )
+            .unwrap();
+    }
+    assert_eq!(client.in_flight(), 6);
+    // Replies come back in send order: analysis, monte carlo, ×3.
+    for _ in 0..3 {
+        assert!(matches!(client.recv().unwrap(), Response::Analysis(_)));
+        assert!(matches!(client.recv().unwrap(), Response::MonteCarlo(_)));
+    }
+    assert_eq!(client.in_flight(), 0);
+}
+
+#[test]
+fn malformed_frame_gets_typed_error_and_connection_survives() {
+    let (server, _manager) = serve(quick_config(), None);
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+
+    // Well-framed garbage: typed Protocol error, stream stays aligned.
+    write_raw_frame(&mut stream, b"this is not json");
+    let reply = read_raw_frame(&mut stream).expect("typed reply, not a hangup");
+    let response: WireResponse =
+        serde_json::from_str(std::str::from_utf8(&reply).unwrap()).unwrap();
+    assert!(matches!(
+        response,
+        WireResponse::Err(ServeError::Protocol(_))
+    ));
+
+    // Valid JSON of the wrong shape: same degradation.
+    write_raw_frame(&mut stream, b"{\"NoSuchVariant\":1}");
+    let reply = read_raw_frame(&mut stream).unwrap();
+    let response: WireResponse =
+        serde_json::from_str(std::str::from_utf8(&reply).unwrap()).unwrap();
+    assert!(matches!(
+        response,
+        WireResponse::Err(ServeError::Protocol(_))
+    ));
+
+    // The same connection still serves real requests.
+    let request = serde_json::to_string(&WireRequest::Api {
+        request: Box::new(Request::CreateSession {
+            session: "s".into(),
+            model: model(),
+        }),
+        deadline_ms: None,
+    })
+    .unwrap();
+    write_raw_frame(&mut stream, request.as_bytes());
+    let reply = read_raw_frame(&mut stream).unwrap();
+    let response: WireResponse =
+        serde_json::from_str(std::str::from_utf8(&reply).unwrap()).unwrap();
+    assert!(matches!(response, WireResponse::Ok(Response::Created)));
+}
+
+#[test]
+fn oversized_frame_gets_typed_error_then_close() {
+    let (server, _manager) = serve(quick_config(), None);
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    // A length prefix way past the cap, no payload behind it.
+    stream.write_all(&u32::MAX.to_be_bytes()).unwrap();
+    stream.flush().unwrap();
+    let reply = read_raw_frame(&mut stream).expect("typed reply before close");
+    let response: WireResponse =
+        serde_json::from_str(std::str::from_utf8(&reply).unwrap()).unwrap();
+    match response {
+        WireResponse::Err(ServeError::Protocol(msg)) => {
+            assert!(msg.contains("exceeds"), "unhelpful message: {msg}");
+        }
+        other => panic!("expected Protocol error, got {other:?}"),
+    }
+    // The stream cannot be re-aligned, so the server hangs up.
+    assert!(
+        read_raw_frame(&mut stream).is_none(),
+        "connection not closed"
+    );
+}
+
+#[test]
+fn overload_sheds_through_the_wire() {
+    let store = Arc::new(GateStore::new());
+    let (server, manager) = serve(
+        ServeConfig {
+            shards: 1,
+            queue_capacity: 2,
+            session: quick(),
+            ..ServeConfig::default()
+        },
+        Some(store.clone() as Arc<dyn SessionStore>),
+    );
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    // The create parks the single worker inside the store write...
+    client
+        .send(
+            Request::CreateSession {
+                session: "s".into(),
+                model: model(),
+            },
+            None,
+        )
+        .unwrap();
+    store.wait_parked();
+    // ...then three pipelined analyzes hit a capacity-2 queue: the
+    // server's reader admits two and sheds the third immediately.
+    for _ in 0..3 {
+        client
+            .send(
+                Request::Analyze {
+                    session: "s".into(),
+                },
+                None,
+            )
+            .unwrap();
+    }
+    store.open();
+    assert!(matches!(client.recv().unwrap(), Response::Created));
+    assert!(matches!(client.recv().unwrap(), Response::Analysis(_)));
+    assert!(matches!(client.recv().unwrap(), Response::Analysis(_)));
+    match client.recv() {
+        Err(ServeError::Overloaded { shard, depth }) => {
+            assert_eq!(shard, 0);
+            assert_eq!(depth, 2);
+        }
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+    let total = manager.stats().aggregate();
+    assert_eq!(total.rejected_overload, 1);
+    assert_eq!(total.queue_high_water, 2);
+}
+
+#[test]
+fn drain_flushes_sessions_and_closes_admission() {
+    let store = Arc::new(MemoryStore::new());
+    let (server, manager) = serve(quick_config(), Some(store.clone() as Arc<dyn SessionStore>));
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    for tenant in ["a", "b"] {
+        client
+            .request(Request::CreateSession {
+                session: tenant.into(),
+                model: model(),
+            })
+            .unwrap();
+    }
+    assert_eq!(client.drain().unwrap(), 2);
+    assert!(manager.is_shutting_down());
+    // The store holds both sessions; admission is closed for everyone,
+    // including a fresh connection.
+    assert_eq!(store.sessions().unwrap().len(), 2);
+    let mut late = Client::connect(server.local_addr()).unwrap();
+    assert!(matches!(
+        late.request(Request::Analyze {
+            session: "a".into()
+        }),
+        Err(ServeError::Shutdown)
+    ));
+}

@@ -1,0 +1,240 @@
+//! Admission-control integration tests: queue capacity, tenant quotas,
+//! deadlines, and shutdown semantics, with exact-accounting assertions
+//! on the rejection counters.
+
+mod common;
+
+use common::{model, quick, GateStore};
+use gmaa_serve::{
+    MemoryStore, Request, Response, ServeConfig, ServeError, SessionManager, SessionStore,
+    TenantQuota,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn gated_manager(queue_capacity: usize) -> (SessionManager, Arc<GateStore>) {
+    let store = Arc::new(GateStore::new());
+    let m = SessionManager::with_store(
+        ServeConfig {
+            shards: 1,
+            queue_capacity,
+            session: quick(),
+            ..ServeConfig::default()
+        },
+        store.clone(),
+    )
+    .unwrap();
+    (m, store)
+}
+
+#[test]
+fn full_queue_sheds_with_typed_overload() {
+    let (m, store) = gated_manager(2);
+    // The create is dequeued (freeing its queue slot) and then parks the
+    // worker inside the store write; the queue behind it is now ours.
+    let create = m.submit(Request::CreateSession {
+        session: "s".into(),
+        model: model(),
+    });
+    store.wait_parked();
+
+    let q1 = m.submit(Request::Analyze {
+        session: "s".into(),
+    });
+    let q2 = m.submit(Request::Analyze {
+        session: "s".into(),
+    });
+    // Queue depth is now exactly the capacity: the next submit must shed,
+    // resolving immediately (the worker is still parked).
+    let shed = m.submit(Request::Analyze {
+        session: "s".into(),
+    });
+    match shed.wait() {
+        Err(ServeError::Overloaded { shard, depth }) => {
+            assert_eq!(shard, 0);
+            assert_eq!(depth, 2);
+        }
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+
+    store.open();
+    assert!(matches!(create.wait(), Ok(Response::Created)));
+    assert!(matches!(q1.wait(), Ok(Response::Analysis(_))));
+    assert!(matches!(q2.wait(), Ok(Response::Analysis(_))));
+
+    // Exact accounting: one shed, high water at (never past) capacity,
+    // nothing queued any more, and the shed request never reached the
+    // worker's per-kind counters.
+    let stats = m.stats();
+    let total = stats.aggregate();
+    assert_eq!(total.rejected_overload, 1);
+    assert_eq!(total.queue_high_water, 2);
+    assert_eq!(total.queued_now, 0);
+    assert_eq!(total.rejected_quota, 0);
+    assert_eq!(total.rejected_deadline, 0);
+    assert_eq!(total.requests.create, 1);
+    assert_eq!(total.requests.analyze, 2);
+    assert_eq!(total.requests.total(), 3);
+}
+
+#[test]
+fn tenant_quota_rejects_at_admission() {
+    let m = SessionManager::new(ServeConfig {
+        shards: 1,
+        quota: Some(TenantQuota {
+            rate_per_sec: 0.001, // effectively no refill within the test
+            burst: 2.0,
+        }),
+        session: quick(),
+        ..ServeConfig::default()
+    });
+    // Tokens 1 and 2 for tenant "s".
+    m.request(Request::CreateSession {
+        session: "s".into(),
+        model: model(),
+    })
+    .unwrap();
+    assert!(matches!(
+        m.request(Request::Analyze {
+            session: "s".into()
+        }),
+        Ok(Response::Analysis(_))
+    ));
+    // Token 3 does not exist.
+    match m.request(Request::Analyze {
+        session: "s".into(),
+    }) {
+        Err(ServeError::QuotaExceeded { session }) => assert_eq!(session, "s"),
+        other => panic!("expected QuotaExceeded, got {other:?}"),
+    }
+    // Another tenant has its own bucket and is unaffected.
+    m.request(Request::CreateSession {
+        session: "t".into(),
+        model: model(),
+    })
+    .unwrap();
+
+    // Exact accounting: the rejected request consumed no queue slot and
+    // no per-kind counter; the three admitted ones did.
+    let total = m.stats().aggregate();
+    assert_eq!(total.rejected_quota, 1);
+    assert_eq!(total.rejected_overload, 0);
+    assert_eq!(total.requests.create, 2);
+    assert_eq!(total.requests.analyze, 1);
+    assert_eq!(total.requests.total(), 3);
+}
+
+#[test]
+fn queued_past_deadline_is_rejected_without_engine_work() {
+    let (m, store) = gated_manager(8);
+    let create = m.submit(Request::CreateSession {
+        session: "s".into(),
+        model: model(),
+    });
+    store.wait_parked();
+
+    // Queued behind the parked worker with an already-hopeless deadline.
+    let doomed = m.submit_with_deadline(
+        Request::Analyze {
+            session: "s".into(),
+        },
+        Some(Duration::ZERO),
+    );
+    // And one with no deadline, which must still be served.
+    let fine = m.submit_with_deadline(
+        Request::Analyze {
+            session: "s".into(),
+        },
+        None,
+    );
+    store.open();
+    assert!(matches!(create.wait(), Ok(Response::Created)));
+    assert!(matches!(doomed.wait(), Err(ServeError::DeadlineExceeded)));
+    assert!(matches!(fine.wait(), Ok(Response::Analysis(_))));
+
+    let total = m.stats().aggregate();
+    assert_eq!(total.rejected_deadline, 1);
+    // The expiry cost a dequeue, so it *is* counted by kind — but only
+    // one analysis actually ran.
+    assert_eq!(total.requests.analyze, 2);
+    assert_eq!(total.cycles.full, 1);
+}
+
+#[test]
+fn dropped_manager_resolves_outstanding_pending_with_shutdown() {
+    // Regression: a worker that exits while pipelined requests are still
+    // queued must answer them with the typed Shutdown error, not leave
+    // Pending::wait to report a bare recv failure as ShardDown.
+    let m = SessionManager::new(ServeConfig {
+        shards: 1,
+        session: quick(),
+        ..ServeConfig::default()
+    });
+    m.request(Request::CreateSession {
+        session: "s".into(),
+        model: model(),
+    })
+    .unwrap();
+    // A long request to occupy the worker, then a pipeline behind it.
+    let pendings: Vec<_> = (0..4)
+        .map(|_| {
+            m.submit(Request::MonteCarlo {
+                session: "s".into(),
+                trials: 500_000,
+            })
+        })
+        .collect();
+    drop(m);
+    let outcomes: Vec<_> = pendings.into_iter().map(|p| p.wait()).collect();
+    // Every pending resolves — to a result or to the typed shutdown
+    // error, never to ShardDown.
+    for o in &outcomes {
+        assert!(
+            matches!(o, Ok(Response::MonteCarlo(_)) | Err(ServeError::Shutdown)),
+            "unexpected outcome {o:?}"
+        );
+    }
+    // The drop happened microseconds into the first (hundred-ms-scale)
+    // simulation, so the tail of the pipeline was still queued and must
+    // have been answered with Shutdown.
+    assert!(
+        matches!(outcomes.last(), Some(Err(ServeError::Shutdown))),
+        "expected the last queued request to observe Shutdown, got {:?}",
+        outcomes.last()
+    );
+}
+
+#[test]
+fn shutdown_closes_admission_and_drains_sessions() {
+    let store = Arc::new(MemoryStore::new());
+    let m = SessionManager::with_store(
+        ServeConfig {
+            shards: 2,
+            session: quick(),
+            ..ServeConfig::default()
+        },
+        store.clone(),
+    )
+    .unwrap();
+    for name in ["a", "b", "c"] {
+        m.request(Request::CreateSession {
+            session: name.into(),
+            model: model(),
+        })
+        .unwrap();
+    }
+    assert!(!m.is_shutting_down());
+    assert_eq!(m.shutdown().unwrap(), 3);
+    assert!(m.is_shutting_down());
+    // Admission is closed: every later submit resolves to Shutdown.
+    assert!(matches!(
+        m.request(Request::Analyze {
+            session: "a".into()
+        }),
+        Err(ServeError::Shutdown)
+    ));
+    // The drain flushed every session durably.
+    let mut names = store.sessions().unwrap();
+    names.sort();
+    assert_eq!(names, vec!["a", "b", "c"]);
+}

@@ -74,11 +74,13 @@ fn rehydrated_session_analyzes_identically_to_never_evicted() {
         shards: 1,
         max_sessions_per_shard: 1,
         session: quick(),
+        ..ServeConfig::default()
     });
     let roomy = SessionManager::new(ServeConfig {
         shards: 1,
         max_sessions_per_shard: 16,
         session: quick(),
+        ..ServeConfig::default()
     });
 
     for m in [&evicting, &roomy] {
@@ -127,11 +129,13 @@ fn shard_routing_is_deterministic() {
         shards: 4,
         max_sessions_per_shard: 8,
         session: quick(),
+        ..ServeConfig::default()
     });
     let b = SessionManager::new(ServeConfig {
         shards: 4,
         max_sessions_per_shard: 8,
         session: quick(),
+        ..ServeConfig::default()
     });
     let names: Vec<String> = (0..16).map(|i| format!("tenant-{i}")).collect();
     for name in &names {
@@ -175,6 +179,7 @@ fn multi_shard_stats_add_up() {
         shards,
         max_sessions_per_shard: 8,
         session: quick(),
+        ..ServeConfig::default()
     });
     let tenants: Vec<String> = (0..6).map(|i| format!("tenant-{i}")).collect();
     for t in &tenants {
@@ -270,6 +275,7 @@ fn weight_edits_force_full_cycles() {
         shards: 1,
         max_sessions_per_shard: 4,
         session: quick(),
+        ..ServeConfig::default()
     });
     create(&m, "s");
     let cycle = |m: &SessionManager| {
@@ -302,6 +308,7 @@ fn errors_are_session_local() {
         shards: 2,
         max_sessions_per_shard: 4,
         session: quick(),
+        ..ServeConfig::default()
     });
     create(&m, "a");
     create(&m, "b");

@@ -30,10 +30,14 @@ use maut_sense::{
     DominanceOutcome, IntensityRank, LpError, MonteCarloConfig, MonteCarloResult, PotentialCert,
     PotentialOutcome, StabilityMode, StabilityReport,
 };
+use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// Bundle of every analysis the paper reports.
-#[derive(Debug)]
+///
+/// Serializable: the serving layer's TCP front end ships whole analyses
+/// to remote clients through the workspace JSON encoding.
+#[derive(Debug, Serialize, Deserialize)]
 pub struct Analysis {
     /// Min / average / max utilities and the ranking (Fig 6).
     pub evaluation: Evaluation,
@@ -52,7 +56,7 @@ pub struct Analysis {
 /// Result of the Section V discard pipeline
 /// ([`AnalysisEngine::discard_cycle`]): dominance → potential optimality
 /// → dominance-intensity, all from one pass over the shared context.
-#[derive(Debug)]
+#[derive(Debug, Serialize, Deserialize)]
 pub struct DiscardCycle {
     /// Alternatives no other alternative dominates.
     pub non_dominated: Vec<usize>,

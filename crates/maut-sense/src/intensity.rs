@@ -27,6 +27,7 @@
 
 use crate::dominance::{gather_diff_block, PAIR_BLOCK};
 use maut::{BandMatrixSoA, EvalContext};
+use serde::{Deserialize, Serialize};
 use simplex_lp::{GreedyScratch, WeightPolytope};
 use std::collections::BTreeSet;
 
@@ -52,7 +53,7 @@ impl DominanceInterval {
 }
 
 /// Intensity summary of one alternative.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct IntensityRank {
     /// Index into the model's alternative list.
     pub alternative: usize,

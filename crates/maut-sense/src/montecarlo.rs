@@ -29,6 +29,7 @@ use maut::weights::AttributeWeights;
 use maut::{par, EvalContext};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
 use statlab::{
     Boxplot, MultipleBoxplot, RankAccumulator, RankScratch, RankStats, SimplexSampler, WeightScheme,
 };
@@ -70,7 +71,7 @@ pub enum MonteCarloConfig {
 }
 
 /// Result of a simulation run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MonteCarloResult {
     /// Trials simulated.
     pub trials: usize,

@@ -62,6 +62,7 @@
 //! [`LpError`] instead of aborting the analysis cycle.
 
 use maut::EvalContext;
+use serde::{Deserialize, Serialize};
 use simplex_lp::{
     Bound, LinearProgram, LpError, Objective, Relation, SolverWorkspace, Status, WeightPolytope,
 };
@@ -97,7 +98,7 @@ const VIOLATION_EPS: f64 = 1e-10;
 const MAX_SEED: usize = 4 * WORKING_SET;
 
 /// Verdict for one alternative.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PotentialOutcome {
     /// Index into the model's alternative list.
     pub alternative: usize,

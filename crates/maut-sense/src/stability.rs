@@ -13,9 +13,10 @@
 //! enough in practice that this is robust at the default resolution.
 
 use maut::{DecisionModel, EvalContext, ObjectiveId, ORDERING_EPS};
+use serde::{Deserialize, Serialize};
 
 /// What must stay unchanged inside the stability interval.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum StabilityMode {
     /// Only the best-ranked alternative must not change.
     BestAlternative,
@@ -24,7 +25,7 @@ pub enum StabilityMode {
 }
 
 /// Stability interval of one objective.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StabilityReport {
     /// The objective whose weight was scanned.
     pub objective: ObjectiveId,

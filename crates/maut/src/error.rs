@@ -1,9 +1,10 @@
 //! Error type shared by model construction, validation and mutation.
 
+use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Errors raised while assembling or validating a [`crate::DecisionModel`].
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum ModelError {
     /// The hierarchy has no attributes attached anywhere.
     NoAttributes,

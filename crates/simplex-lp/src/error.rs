@@ -1,3 +1,4 @@
+use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Errors raised while *building* or *solving* a linear program.
@@ -5,7 +6,7 @@ use std::fmt;
 /// Infeasibility and unboundedness are not errors — they are legitimate
 /// outcomes reported through [`crate::Status`]. `LpError` covers malformed
 /// inputs and solver-internal failures only.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum LpError {
     /// A coefficient row has the wrong number of entries.
     DimensionMismatch {

@@ -4,6 +4,7 @@
 //! to validate the reconstructed dataset against the published ranking.
 
 use crate::describe::describe_counts;
+use serde::{Deserialize, Serialize};
 
 /// Trial count of the register-blocked transposed rank kernel (see
 /// [`RankAccumulator::record_scores_transposed`]); batch drivers slice
@@ -152,7 +153,7 @@ fn pearson(x: &[f64], y: &[f64]) -> Option<f64> {
 
 /// Summary of one alternative's rank distribution (the row format of the
 /// paper's Fig 10).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RankStats {
     pub label: String,
     pub mode: u32,
@@ -182,6 +183,42 @@ pub struct RankAccumulator {
     /// compares (small integer counts are exact in f64). Re-sized by every
     /// user — lengths vary between calls.
     better: Vec<f64>,
+}
+
+// Wire encoding for the serving layer: the accumulator is the full
+// fidelity rank distribution (`counts[alt][rank-1]`), so a Monte Carlo
+// result shipped across a connection can answer `acceptability` queries
+// exactly like the in-process original. The `better` scratch buffer is
+// transient per-call state and deliberately stays out of the encoding;
+// deserialization rebuilds it empty-sized to the alternative count.
+impl serde::Serialize for RankAccumulator {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("labels".to_string(), self.labels.to_value()),
+            ("counts".to_string(), self.counts.to_value()),
+            ("trials".to_string(), self.trials.to_value()),
+        ])
+    }
+}
+
+impl serde::Deserialize for RankAccumulator {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let labels: Vec<String> = serde::Deserialize::from_value(serde::field(v, "labels"))?;
+        let counts: Vec<Vec<usize>> = serde::Deserialize::from_value(serde::field(v, "counts"))?;
+        let trials: usize = serde::Deserialize::from_value(serde::field(v, "trials"))?;
+        if counts.len() != labels.len() || counts.iter().any(|row| row.len() != labels.len()) {
+            return Err(serde::Error::custom(
+                "rank accumulator counts must be square in the label count",
+            ));
+        }
+        let n = labels.len();
+        Ok(RankAccumulator {
+            labels,
+            counts,
+            trials,
+            better: vec![0.0; n],
+        })
+    }
 }
 
 impl RankAccumulator {

@@ -21,6 +21,7 @@ fn config() -> ServeConfig {
             stability_resolution: 60,
             ..SessionConfig::default()
         },
+        ..ServeConfig::default()
     }
 }
 

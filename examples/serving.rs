@@ -49,6 +49,7 @@ fn main() {
             stability_resolution: 60,
             ..SessionConfig::default()
         },
+        ..ServeConfig::default()
     });
 
     // Tenant 1: the paper's ontology-selection study.

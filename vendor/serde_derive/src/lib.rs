@@ -4,18 +4,27 @@
 //!
 //! * structs with named fields,
 //! * tuple structs (newtype and wider),
-//! * enums with unit and tuple variants.
+//! * enums with unit, tuple, and struct (named-field) variants.
 //!
 //! Representation mirrors serde's externally-tagged JSON defaults:
 //! `Unit` → `"Unit"`, `Newtype(x)` → `{"Newtype": x}`,
-//! `Tuple(a, b)` → `{"Tuple": [a, b]}`, newtype structs are transparent.
+//! `Tuple(a, b)` → `{"Tuple": [a, b]}`,
+//! `Struct { a, b }` → `{"Struct": {"a": ..., "b": ...}}`,
+//! newtype structs are transparent.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Payload shape of one enum variant.
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
 
 enum Shape {
     Named(Vec<String>),
     Tuple(usize),
-    Enum(Vec<(String, usize)>),
+    Enum(Vec<(String, VariantShape)>),
 }
 
 struct Item {
@@ -117,7 +126,7 @@ fn parse_named_fields(group: &proc_macro::Group) -> Vec<String> {
     fields
 }
 
-fn parse_variants(group: &proc_macro::Group) -> Vec<(String, usize)> {
+fn parse_variants(group: &proc_macro::Group) -> Vec<(String, VariantShape)> {
     let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
     let mut variants = Vec::new();
     let mut i = 0;
@@ -131,23 +140,24 @@ fn parse_variants(group: &proc_macro::Group) -> Vec<(String, usize)> {
         };
         let vname = name.to_string();
         i += 1;
-        let mut arity = 0;
+        let mut shape = VariantShape::Unit;
         if i < tokens.len() {
             if let TokenTree::Group(g) = &tokens[i] {
                 match g.delimiter() {
                     Delimiter::Parenthesis => {
                         let inner: Vec<TokenTree> = g.stream().into_iter().collect();
-                        arity = count_top_level_items(&inner);
+                        shape = VariantShape::Tuple(count_top_level_items(&inner));
                         i += 1;
                     }
                     Delimiter::Brace => {
-                        panic!("serde_derive: struct variants are not supported ({vname})")
+                        shape = VariantShape::Struct(parse_named_fields(g));
+                        i += 1;
                     }
                     _ => {}
                 }
             }
         }
-        variants.push((vname, arity));
+        variants.push((vname, shape));
         // Skip an optional discriminant and the separating comma.
         while i < tokens.len() && !is_punct(&tokens[i], ',') {
             i += 1;
@@ -212,14 +222,14 @@ fn serialize_impl(item: &Item) -> String {
         Shape::Enum(variants) => {
             let arms: Vec<String> = variants
                 .iter()
-                .map(|(v, arity)| match arity {
-                    0 => format!(
+                .map(|(v, shape)| match shape {
+                    VariantShape::Unit => format!(
                         "{name}::{v} => ::serde::Value::Str(\"{v}\".to_string())"
                     ),
-                    1 => format!(
+                    VariantShape::Tuple(1) => format!(
                         "{name}::{v}(a0) => ::serde::Value::Map(vec![(\"{v}\".to_string(), ::serde::Serialize::to_value(a0))])"
                     ),
-                    n => {
+                    VariantShape::Tuple(n) => {
                         let binds: Vec<String> = (0..*n).map(|k| format!("a{k}")).collect();
                         let vals: Vec<String> = (0..*n)
                             .map(|k| format!("::serde::Serialize::to_value(a{k})"))
@@ -228,6 +238,21 @@ fn serialize_impl(item: &Item) -> String {
                             "{name}::{v}({}) => ::serde::Value::Map(vec![(\"{v}\".to_string(), ::serde::Value::Seq(vec![{}]))])",
                             binds.join(", "),
                             vals.join(", ")
+                        )
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binds = fields.join(", ");
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::Value::Map(vec![(\"{v}\".to_string(), ::serde::Value::Map(vec![{}]))])",
+                            entries.join(", ")
                         )
                     }
                 })
@@ -269,16 +294,18 @@ fn deserialize_impl(item: &Item) -> String {
         Shape::Enum(variants) => {
             let unit_arms: Vec<String> = variants
                 .iter()
-                .filter(|(_, a)| *a == 0)
+                .filter(|(_, s)| matches!(s, VariantShape::Unit))
                 .map(|(v, _)| format!("\"{v}\" => Ok({name}::{v})"))
                 .collect();
             let tagged_arms: Vec<String> = variants
                 .iter()
-                .filter(|(_, a)| *a > 0)
-                .map(|(v, arity)| {
-                    if *arity == 1 {
+                .filter(|(_, s)| !matches!(s, VariantShape::Unit))
+                .map(|(v, shape)| match shape {
+                    VariantShape::Unit => unreachable!("filtered out"),
+                    VariantShape::Tuple(1) => {
                         format!("\"{v}\" => Ok({name}::{v}(::serde::Deserialize::from_value(inner)?))")
-                    } else {
+                    }
+                    VariantShape::Tuple(arity) => {
                         let gets: Vec<String> = (0..*arity)
                             .map(|k| format!("::serde::Deserialize::from_value(&s[{k}])?"))
                             .collect();
@@ -289,6 +316,20 @@ fn deserialize_impl(item: &Item) -> String {
                              Ok({name}::{v}({}))\n\
                              }}",
                             gets.join(", ")
+                        )
+                    }
+                    VariantShape::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(::serde::field(inner, \"{f}\"))?"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "\"{v}\" => Ok({name}::{v} {{ {} }})",
+                            inits.join(", ")
                         )
                     }
                 })
