@@ -91,14 +91,18 @@ impl ShardGate {
                 self.rejected_overload.fetch_add(1, Ordering::Relaxed);
                 return Err(depth);
             }
+            // `depth < capacity` here, so the increment cannot actually
+            // wrap; saturating arithmetic keeps the wire-safety bar
+            // without a panic branch on the admission fast path.
             match self.depth.compare_exchange_weak(
                 depth,
-                depth + 1,
+                depth.saturating_add(1),
                 Ordering::AcqRel,
                 Ordering::Relaxed,
             ) {
                 Ok(_) => {
-                    self.high_water.fetch_max(depth + 1, Ordering::AcqRel);
+                    self.high_water
+                        .fetch_max(depth.saturating_add(1), Ordering::AcqRel);
                     return Ok(());
                 }
                 Err(actual) => depth = actual,

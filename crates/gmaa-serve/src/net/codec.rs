@@ -10,12 +10,15 @@ use std::io::{self, Read, Write};
 pub(crate) enum FrameError {
     /// The transport failed (includes a peer that vanished mid-frame).
     Io(io::Error),
-    /// The length prefix exceeds the configured cap. The payload was
-    /// not consumed, so the stream is no longer aligned — the caller
-    /// must close the connection after reporting the error.
+    /// The length prefix exceeds the configured cap (or this target's
+    /// address space). The payload was not consumed, so the stream is no
+    /// longer aligned — the caller must close the connection after
+    /// reporting the error.
     Oversized {
-        /// The length the prefix announced.
-        len: usize,
+        /// The length the prefix announced. Held as `u64` so the exact
+        /// attacker-supplied value survives even where it does not fit
+        /// in `usize`.
+        len: u64,
         /// The configured cap it broke.
         max: usize,
     },
@@ -48,10 +51,20 @@ pub(crate) fn read_frame(r: &mut impl Read, max: usize) -> Result<Option<Vec<u8>
     r.read_exact(&mut rest).map_err(FrameError::Io)?;
     let [b0] = first;
     let [b1, b2, b3] = rest;
-    let len = u32::from_be_bytes([b0, b1, b2, b3]) as usize;
-    if len > max {
-        return Err(FrameError::Oversized { len, max });
-    }
+    // The prefix is attacker-controlled: widen it losslessly, then prove
+    // it fits both the cap and this target's usize before allocating.
+    // No bare `as` — a narrowing cast here silently truncates a >4 GiB
+    // announcement into a small allocation on 32-bit targets.
+    let announced = u64::from(u32::from_be_bytes([b0, b1, b2, b3]));
+    let len = match usize::try_from(announced) {
+        Ok(len) if len <= max => len,
+        _ => {
+            return Err(FrameError::Oversized {
+                len: announced,
+                max,
+            })
+        }
+    };
     let mut payload = vec![0u8; len];
     r.read_exact(&mut payload).map_err(FrameError::Io)?;
     Ok(Some(payload))
@@ -79,8 +92,45 @@ mod tests {
         let mut r = io::Cursor::new(buf);
         match read_frame(&mut r, 1024) {
             Err(FrameError::Oversized { len, max }) => {
-                assert_eq!(len, u32::MAX as usize);
+                assert_eq!(len, u64::from(u32::MAX));
                 assert_eq!(max, 1024);
+            }
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+    }
+
+    /// The 4 GiB boundary: the largest possible announcement must be
+    /// reported exactly (no truncation through a narrowing cast), and
+    /// the cap must cut precisely between `max` and `max + 1`.
+    #[test]
+    fn four_gib_boundary_is_exact() {
+        // 4 GiB - 1, the maximum encodable prefix, survives verbatim.
+        let mut r = io::Cursor::new(u32::MAX.to_be_bytes().to_vec());
+        match read_frame(&mut r, usize::MAX) {
+            // Caps at or above 4 GiB only exist on 64-bit targets; there
+            // the frame passes the cap and dies on the missing payload.
+            Err(FrameError::Io(_)) if usize::try_from(u64::from(u32::MAX)).is_ok() => {}
+            Err(FrameError::Oversized { len, .. }) => assert_eq!(len, (1u64 << 32) - 1),
+            other => panic!("unexpected result {other:?}"),
+        }
+
+        // Exactly at the cap: accepted (fails later on the torn payload,
+        // which proves the allocation path was taken, not the cap).
+        let cap = 4096usize;
+        let mut at = Vec::new();
+        at.extend_from_slice(&u32::try_from(cap).unwrap().to_be_bytes());
+        at.extend_from_slice(&vec![7u8; cap]);
+        let mut r = io::Cursor::new(at);
+        assert_eq!(read_frame(&mut r, cap).unwrap().unwrap().len(), cap);
+
+        // One past the cap: rejected with the exact announced length.
+        let mut over = Vec::new();
+        over.extend_from_slice(&u32::try_from(cap + 1).unwrap().to_be_bytes());
+        let mut r = io::Cursor::new(over);
+        match read_frame(&mut r, cap) {
+            Err(FrameError::Oversized { len, max }) => {
+                assert_eq!(len, u64::try_from(cap).unwrap() + 1);
+                assert_eq!(max, cap);
             }
             other => panic!("expected Oversized, got {other:?}"),
         }

@@ -642,6 +642,15 @@ mod tests {
             session: "s".into(),
         });
         assert!(matches!(r, Ok(Response::Analysis(_))));
+        let objective = model().tree.find("x").unwrap();
+        assert!(matches!(
+            shard.handle(Request::SetWeight {
+                session: "s".into(),
+                objective,
+                weight: Interval::new(0.3, 0.7),
+            }),
+            Ok(Response::Edited)
+        ));
         assert!(matches!(
             shard.handle(Request::CloseSession {
                 session: "s".into()
@@ -657,6 +666,7 @@ mod tests {
         let stats = shard.stats();
         assert_eq!(stats.requests.create, 2);
         assert_eq!(stats.requests.analyze, 2);
+        assert_eq!(stats.requests.set_weight, 1);
         assert_eq!(stats.requests.close, 1);
         assert_eq!(stats.live_sessions, 0);
         // The closed session's cycle counters were retired, not lost.

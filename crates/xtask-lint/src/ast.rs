@@ -1,0 +1,2682 @@
+//! A lightweight recursive-descent parser over the token stream of
+//! [`crate::rules::FileAnalysis`], producing the syntax tree the
+//! flow-aware passes walk.
+//!
+//! The tree is deliberately partial: it models exactly what the rules
+//! need — items with names and spans, function signatures with
+//! parameter/return *type text*, block and expression structure deep
+//! enough for call / method / field / cast / path extraction, and
+//! patterns deep enough to tell a bound variant field from an ignored
+//! one. Anything it cannot parse degrades to [`Expr::Unknown`] /
+//! [`Pat::Unknown`] and the cursor keeps advancing, so a novel
+//! construct can never panic the linter or stall the parse.
+//!
+//! Every node carries a `pos`: the index of its first (or most
+//! characteristic) token in the file's *code-token* stream, the same
+//! position space `FileAnalysis` uses for line/column lookup, test-region
+//! masks and allow markers — so AST-driven rules report violations
+//! through the same machinery as the token-driven ones.
+//!
+//! Types are captured as *text* (tokens joined with single spaces), not
+//! parsed: the passes only ever ask "is this `u64`?" or "does this
+//! mention `Sender`?", and text answers both without a type grammar.
+
+use crate::rules::FileAnalysis;
+
+/// A parsed source file: its top-level items, in source order.
+#[derive(Debug)]
+pub struct File {
+    /// Top-level items (functions, structs, enums, impls, modules, ...).
+    pub items: Vec<Item>,
+}
+
+/// One item. Items the passes never inspect parse as [`Item::Other`].
+#[derive(Debug)]
+pub enum Item {
+    /// A `fn` with its signature and (for non-trait-decl fns) body.
+    Fn(FnItem),
+    /// A `struct` with named-field declarations.
+    Struct(StructItem),
+    /// An `enum` with its variants.
+    Enum(EnumItem),
+    /// An `impl` block; `type_name` is the self type's main identifier.
+    Impl(ImplItem),
+    /// An inline `mod name { ... }`.
+    Mod(ModItem),
+    /// Anything else (`use`, `const`, `type`, out-of-line `mod`, ...).
+    Other,
+}
+
+/// A function item.
+#[derive(Debug)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// Code-token position of the name.
+    pub pos: usize,
+    /// Parameters, in order (receivers like `&mut self` included).
+    pub params: Vec<Param>,
+    /// Return type text (empty for `()`-returning functions).
+    pub ret: String,
+    /// The body, when present (`None` for trait method declarations).
+    pub body: Option<Block>,
+}
+
+/// One function parameter.
+#[derive(Debug)]
+pub struct Param {
+    /// The parameter pattern (usually a plain binding).
+    pub pat: Pat,
+    /// The declared type, as text (empty for `self` receivers).
+    pub ty: String,
+}
+
+/// A struct item with its field declarations.
+#[derive(Debug)]
+pub struct StructItem {
+    /// The struct's name.
+    pub name: String,
+    /// Code-token position of the name.
+    pub pos: usize,
+    /// Field declarations, in order (tuple fields are named "0", "1", ...).
+    pub fields: Vec<FieldDef>,
+}
+
+/// One struct or enum-variant field declaration.
+#[derive(Debug)]
+pub struct FieldDef {
+    /// The field's name.
+    pub name: String,
+    /// The field's type, as text.
+    pub ty: String,
+    /// Code-token position of the name (or the type, for tuple fields).
+    pub pos: usize,
+}
+
+/// An enum item with its variants.
+#[derive(Debug)]
+pub struct EnumItem {
+    /// The enum's name.
+    pub name: String,
+    /// Code-token position of the name.
+    pub pos: usize,
+    /// The variants, in order.
+    pub variants: Vec<Variant>,
+}
+
+/// One enum variant.
+#[derive(Debug)]
+pub struct Variant {
+    /// The variant's name.
+    pub name: String,
+    /// Code-token position of the name.
+    pub pos: usize,
+    /// The variant's fields (empty for unit variants; tuple fields are
+    /// named "0", "1", ...).
+    pub fields: Vec<FieldDef>,
+}
+
+/// An impl block.
+#[derive(Debug)]
+pub struct ImplItem {
+    /// The self type's main identifier (`StoreError` for
+    /// `impl fmt::Display for StoreError`, `Shard` for `impl Shard`).
+    pub type_name: String,
+    /// The items inside the block (methods, assoc consts, ...).
+    pub items: Vec<Item>,
+}
+
+/// An inline module.
+#[derive(Debug)]
+pub struct ModItem {
+    /// The module's name.
+    pub name: String,
+    /// The items inside the module.
+    pub items: Vec<Item>,
+}
+
+/// A `{ ... }` block with its statements.
+#[derive(Debug)]
+pub struct Block {
+    /// Code-token position of the opening `{`.
+    pub open: usize,
+    /// Code-token position of the matching `}`.
+    pub close: usize,
+    /// The statements, in order (the tail expression is a statement
+    /// with `semi: false`).
+    pub stmts: Vec<Stmt>,
+}
+
+/// One statement.
+#[derive(Debug)]
+pub enum Stmt {
+    /// `let PAT[: TY] [= INIT] [else BLOCK];`
+    Let {
+        /// Code-token position of the `let`.
+        pos: usize,
+        /// The bound pattern.
+        pat: Pat,
+        /// The declared type text, if annotated.
+        ty: Option<String>,
+        /// The initializer, if present.
+        init: Option<Expr>,
+        /// The `else` diverging block of a let-else, if present.
+        else_block: Option<Block>,
+    },
+    /// An expression statement; `semi` is false for the tail expression.
+    Expr {
+        /// The expression.
+        expr: Expr,
+        /// Whether the statement ended with `;`.
+        semi: bool,
+    },
+    /// A nested item (fn, struct, use, ... inside a block).
+    Item(Box<Item>),
+}
+
+/// A binary operator (only the ones the passes distinguish).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `<<` / `>>`
+    Shift,
+    /// `&` / `|` / `^`
+    Bit,
+    /// `==` `!=` `<` `>` `<=` `>=`
+    Cmp,
+    /// `&&` / `||`
+    Logic,
+}
+
+/// A prefix unary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// `&` / `&&` (shared borrow)
+    Ref,
+    /// `&mut`
+    RefMut,
+    /// `*` (deref), `-` (neg), `!` (not)
+    Other,
+}
+
+/// One expression. Unparseable constructs become [`Expr::Unknown`].
+#[derive(Debug)]
+pub enum Expr {
+    /// A (possibly qualified) path: `x`, `Vec::new`, `Self::Io`.
+    Path {
+        /// Code-token position of the first segment.
+        pos: usize,
+        /// The `::`-separated segments.
+        segments: Vec<String>,
+    },
+    /// A literal (number, string, char, bool-by-path parses as Path).
+    Lit {
+        /// Code-token position of the literal.
+        pos: usize,
+    },
+    /// A call: `callee(args)`.
+    Call {
+        /// Code-token position of the opening `(`.
+        pos: usize,
+        /// The callee expression.
+        callee: Box<Expr>,
+        /// The arguments.
+        args: Vec<Expr>,
+    },
+    /// A method call: `receiver.name(args)`.
+    MethodCall {
+        /// Code-token position of the method name.
+        pos: usize,
+        /// The receiver expression.
+        receiver: Box<Expr>,
+        /// The method name.
+        name: String,
+        /// The arguments.
+        args: Vec<Expr>,
+    },
+    /// A field access: `base.name`.
+    Field {
+        /// Code-token position of the field name.
+        pos: usize,
+        /// The base expression.
+        base: Box<Expr>,
+        /// The field name (tuple fields: "0", "1", ...).
+        name: String,
+    },
+    /// An index expression: `base[index]`.
+    Index {
+        /// Code-token position of the opening `[`.
+        pos: usize,
+        /// The indexed expression.
+        base: Box<Expr>,
+        /// The index expression.
+        index: Box<Expr>,
+    },
+    /// An `as` cast.
+    Cast {
+        /// Code-token position of the `as`.
+        pos: usize,
+        /// The cast operand.
+        expr: Box<Expr>,
+        /// The target type, as text.
+        ty: String,
+    },
+    /// A prefix unary expression.
+    Unary {
+        /// Code-token position of the operator.
+        pos: usize,
+        /// The operator.
+        op: UnOp,
+        /// The operand.
+        expr: Box<Expr>,
+    },
+    /// A binary expression.
+    Binary {
+        /// Code-token position of the operator.
+        pos: usize,
+        /// The operator class.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// An assignment `lhs = rhs` or compound assignment `lhs op= rhs`.
+    Assign {
+        /// Code-token position of the `=`/operator.
+        pos: usize,
+        /// The compound operator (`None` for plain `=`).
+        op: Option<BinOp>,
+        /// The assignment target.
+        lhs: Box<Expr>,
+        /// The assigned value.
+        rhs: Box<Expr>,
+    },
+    /// A macro invocation `path!(...)`; args are parsed best-effort as
+    /// a comma-separated expression list, and the raw code-token range
+    /// of the delimited arguments is retained for token-level scans.
+    Macro {
+        /// Code-token position of the macro name's last segment.
+        pos: usize,
+        /// The macro path segments.
+        segments: Vec<String>,
+        /// Best-effort parsed arguments.
+        args: Vec<Expr>,
+        /// First code-token position inside the delimiters.
+        args_start: usize,
+        /// One past the last code-token position inside the delimiters.
+        args_end: usize,
+    },
+    /// A struct literal `Path { field: expr, .. }`.
+    StructLit {
+        /// Code-token position of the path's first segment.
+        pos: usize,
+        /// The struct path segments.
+        segments: Vec<String>,
+        /// The field initializers (shorthand fields have `None`).
+        fields: Vec<(String, Option<Expr>)>,
+        /// The `..base` functional-update expression, if present.
+        rest: Option<Box<Expr>>,
+    },
+    /// A block expression.
+    Block(Block),
+    /// An `if` (or `if let`) expression.
+    If {
+        /// Code-token position of the `if`.
+        pos: usize,
+        /// The condition (a [`Expr::LetCond`] for `if let`).
+        cond: Box<Expr>,
+        /// The then-block.
+        then: Block,
+        /// The else branch (`Block` or nested `If`), if present.
+        else_: Option<Box<Expr>>,
+    },
+    /// A `let PAT = expr` condition inside `if`/`while`.
+    LetCond {
+        /// Code-token position of the `let`.
+        pos: usize,
+        /// The matched pattern.
+        pat: Pat,
+        /// The scrutinee.
+        expr: Box<Expr>,
+    },
+    /// A `match` expression.
+    Match {
+        /// Code-token position of the `match`.
+        pos: usize,
+        /// The scrutinee.
+        scrutinee: Box<Expr>,
+        /// The arms, in order.
+        arms: Vec<Arm>,
+    },
+    /// A `while` / `while let` loop.
+    While {
+        /// Code-token position of the `while`.
+        pos: usize,
+        /// The condition.
+        cond: Box<Expr>,
+        /// The body.
+        body: Block,
+    },
+    /// A bare `loop`.
+    Loop {
+        /// Code-token position of the `loop`.
+        pos: usize,
+        /// The body.
+        body: Block,
+    },
+    /// A `for PAT in ITER { .. }` loop.
+    For {
+        /// Code-token position of the `for`.
+        pos: usize,
+        /// The loop pattern.
+        pat: Pat,
+        /// The iterated expression.
+        iter: Box<Expr>,
+        /// The body.
+        body: Block,
+    },
+    /// A closure.
+    Closure {
+        /// Code-token position of the opening `|`.
+        pos: usize,
+        /// The parameter patterns.
+        params: Vec<Pat>,
+        /// The body expression.
+        body: Box<Expr>,
+    },
+    /// `return` / `break` / `continue`, with an optional value.
+    Jump {
+        /// Code-token position of the keyword.
+        pos: usize,
+        /// The carried value, if any.
+        value: Option<Box<Expr>>,
+    },
+    /// A range `lo..hi` / `lo..=hi` (either side optional).
+    Range {
+        /// Code-token position of the `..`.
+        pos: usize,
+        /// The lower bound, if present.
+        lo: Option<Box<Expr>>,
+        /// The upper bound, if present.
+        hi: Option<Box<Expr>>,
+    },
+    /// A tuple `(a, b)` / unit `()`.
+    Tuple {
+        /// Code-token position of the opening `(`.
+        pos: usize,
+        /// The elements.
+        elems: Vec<Expr>,
+    },
+    /// An array `[a, b]` or repeat `[x; n]`.
+    Array {
+        /// Code-token position of the opening `[`.
+        pos: usize,
+        /// The elements (for `[x; n]`: the element then the length).
+        elems: Vec<Expr>,
+    },
+    /// Anything the parser could not model; one token wide.
+    Unknown {
+        /// Code-token position of the unparsed token.
+        pos: usize,
+    },
+}
+
+/// One match arm.
+#[derive(Debug)]
+pub struct Arm {
+    /// Code-token position of the pattern's first token.
+    pub pos: usize,
+    /// The arm pattern (or-patterns become [`Pat::Or`]).
+    pub pat: Pat,
+    /// The `if` guard, if present.
+    pub guard: Option<Expr>,
+    /// The arm body.
+    pub body: Expr,
+}
+
+/// One pattern. Unparseable constructs become [`Pat::Unknown`].
+#[derive(Debug)]
+pub enum Pat {
+    /// A path pattern: a unit variant or const (`Command::Stop`).
+    Path {
+        /// Code-token position of the first segment.
+        pos: usize,
+        /// The `::`-separated segments.
+        segments: Vec<String>,
+    },
+    /// A struct pattern `Path { field: pat, field2, .. }`.
+    Struct {
+        /// Code-token position of the path's first segment.
+        pos: usize,
+        /// The struct/variant path segments.
+        segments: Vec<String>,
+        /// Fields: `(name, sub-pattern)`; shorthand bindings have `None`.
+        fields: Vec<(String, Option<Pat>)>,
+        /// Whether the pattern ends with `..`.
+        rest: bool,
+    },
+    /// A tuple-struct pattern `Path(a, b)`.
+    TupleStruct {
+        /// Code-token position of the path's first segment.
+        pos: usize,
+        /// The variant path segments.
+        segments: Vec<String>,
+        /// The element patterns.
+        elems: Vec<Pat>,
+    },
+    /// A tuple pattern `(a, b)`.
+    Tuple {
+        /// Code-token position of the opening `(`.
+        pos: usize,
+        /// The element patterns.
+        elems: Vec<Pat>,
+    },
+    /// A slice pattern `[a, b, ..]`.
+    Slice {
+        /// Code-token position of the opening `[`.
+        pos: usize,
+        /// The element patterns.
+        elems: Vec<Pat>,
+    },
+    /// A binding, optionally with an `@` sub-pattern.
+    Binding {
+        /// Code-token position of the name.
+        pos: usize,
+        /// The bound name.
+        name: String,
+        /// The `@` sub-pattern, if present.
+        sub: Option<Box<Pat>>,
+    },
+    /// `_`
+    Wild {
+        /// Code-token position of the `_`.
+        pos: usize,
+    },
+    /// `..`
+    Rest {
+        /// Code-token position of the `..`.
+        pos: usize,
+    },
+    /// A literal pattern (including literal ranges).
+    Lit {
+        /// Code-token position of the literal.
+        pos: usize,
+    },
+    /// An or-pattern `A | B`.
+    Or {
+        /// Code-token position of the first alternative.
+        pos: usize,
+        /// The alternatives.
+        alts: Vec<Pat>,
+    },
+    /// Anything the parser could not model; one token wide.
+    Unknown {
+        /// Code-token position of the unparsed token.
+        pos: usize,
+    },
+}
+
+impl Expr {
+    /// The expression's anchor position in the code-token stream.
+    pub fn pos(&self) -> usize {
+        match self {
+            Expr::Path { pos, .. }
+            | Expr::Lit { pos }
+            | Expr::Call { pos, .. }
+            | Expr::MethodCall { pos, .. }
+            | Expr::Field { pos, .. }
+            | Expr::Index { pos, .. }
+            | Expr::Cast { pos, .. }
+            | Expr::Unary { pos, .. }
+            | Expr::Binary { pos, .. }
+            | Expr::Assign { pos, .. }
+            | Expr::Macro { pos, .. }
+            | Expr::StructLit { pos, .. }
+            | Expr::If { pos, .. }
+            | Expr::LetCond { pos, .. }
+            | Expr::Match { pos, .. }
+            | Expr::While { pos, .. }
+            | Expr::Loop { pos, .. }
+            | Expr::For { pos, .. }
+            | Expr::Closure { pos, .. }
+            | Expr::Jump { pos, .. }
+            | Expr::Range { pos, .. }
+            | Expr::Tuple { pos, .. }
+            | Expr::Array { pos, .. }
+            | Expr::Unknown { pos } => *pos,
+            Expr::Block(b) => b.open,
+        }
+    }
+
+    /// The expression's direct child expressions, in source order.
+    pub fn children(&self) -> Vec<&Expr> {
+        let mut out = Vec::new();
+        match self {
+            Expr::Path { .. } | Expr::Lit { .. } | Expr::Unknown { .. } => {}
+            Expr::Call { callee, args, .. } => {
+                out.push(callee.as_ref());
+                out.extend(args.iter());
+            }
+            Expr::MethodCall { receiver, args, .. } => {
+                out.push(receiver.as_ref());
+                out.extend(args.iter());
+            }
+            Expr::Field { base, .. } => out.push(base.as_ref()),
+            Expr::Index { base, index, .. } => {
+                out.push(base.as_ref());
+                out.push(index.as_ref());
+            }
+            Expr::Cast { expr, .. } | Expr::Unary { expr, .. } => out.push(expr.as_ref()),
+            Expr::Binary { lhs, rhs, .. } | Expr::Assign { lhs, rhs, .. } => {
+                out.push(lhs.as_ref());
+                out.push(rhs.as_ref());
+            }
+            Expr::Macro { args, .. } => out.extend(args.iter()),
+            Expr::StructLit { fields, rest, .. } => {
+                out.extend(fields.iter().filter_map(|(_, e)| e.as_ref()));
+                if let Some(rest) = rest {
+                    out.push(rest.as_ref());
+                }
+            }
+            Expr::Block(_) => {}
+            Expr::If { cond, else_, .. } => {
+                out.push(cond.as_ref());
+                if let Some(e) = else_ {
+                    out.push(e.as_ref());
+                }
+            }
+            Expr::LetCond { expr, .. } => out.push(expr.as_ref()),
+            Expr::Match {
+                scrutinee, arms, ..
+            } => {
+                out.push(scrutinee.as_ref());
+                for arm in arms {
+                    if let Some(g) = &arm.guard {
+                        out.push(g);
+                    }
+                    out.push(&arm.body);
+                }
+            }
+            Expr::While { cond, .. } => out.push(cond.as_ref()),
+            Expr::Loop { .. } => {}
+            Expr::For { iter, .. } => out.push(iter.as_ref()),
+            Expr::Closure { body, .. } => out.push(body.as_ref()),
+            Expr::Jump { value, .. } => {
+                if let Some(v) = value {
+                    out.push(v.as_ref());
+                }
+            }
+            Expr::Range { lo, hi, .. } => {
+                if let Some(lo) = lo {
+                    out.push(lo.as_ref());
+                }
+                if let Some(hi) = hi {
+                    out.push(hi.as_ref());
+                }
+            }
+            Expr::Tuple { elems, .. } | Expr::Array { elems, .. } => out.extend(elems.iter()),
+        }
+        out
+    }
+
+    /// The expression's direct child blocks, in source order.
+    pub fn child_blocks(&self) -> Vec<&Block> {
+        match self {
+            Expr::Block(b) => vec![b],
+            Expr::If { then, .. } => vec![then],
+            Expr::While { body, .. } | Expr::Loop { body, .. } | Expr::For { body, .. } => {
+                vec![body]
+            }
+            _ => Vec::new(),
+        }
+    }
+}
+
+impl Pat {
+    /// The pattern's anchor position in the code-token stream.
+    pub fn pos(&self) -> usize {
+        match self {
+            Pat::Path { pos, .. }
+            | Pat::Struct { pos, .. }
+            | Pat::TupleStruct { pos, .. }
+            | Pat::Tuple { pos, .. }
+            | Pat::Slice { pos, .. }
+            | Pat::Binding { pos, .. }
+            | Pat::Wild { pos }
+            | Pat::Rest { pos }
+            | Pat::Lit { pos }
+            | Pat::Or { pos, .. }
+            | Pat::Unknown { pos } => *pos,
+        }
+    }
+
+    /// Every name this pattern binds, in source order.
+    pub fn bindings(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_bindings(&mut out);
+        out
+    }
+
+    fn collect_bindings<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Pat::Binding { name, sub, .. } => {
+                out.push(name.as_str());
+                if let Some(sub) = sub {
+                    sub.collect_bindings(out);
+                }
+            }
+            Pat::Struct { fields, .. } => {
+                for (name, sub) in fields {
+                    match sub {
+                        Some(p) => p.collect_bindings(out),
+                        None => out.push(name.as_str()),
+                    }
+                }
+            }
+            Pat::TupleStruct { elems, .. }
+            | Pat::Tuple { elems, .. }
+            | Pat::Slice { elems, .. } => {
+                for p in elems {
+                    p.collect_bindings(out);
+                }
+            }
+            Pat::Or { alts, .. } => {
+                for p in alts {
+                    p.collect_bindings(out);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Parse a file's code-token stream into a [`File`].
+pub fn parse(fa: &FileAnalysis) -> File {
+    let mut parser = Parser {
+        fa,
+        pos: 0,
+        no_struct: false,
+    };
+    let end = fa.code_len();
+    File {
+        items: parser.parse_items(end),
+    }
+}
+
+/// Keywords that can never be an expression-leading path segment.
+const EXPR_STOP_KEYWORDS: &[&str] = &[
+    "as", "else", "in", "where", "pub", "fn", "struct", "enum", "impl", "trait", "mod", "use",
+    "const", "static", "type", "let",
+];
+
+struct Parser<'a> {
+    fa: &'a FileAnalysis,
+    pos: usize,
+    /// Struct literals are forbidden in this position (condition /
+    /// scrutinee / for-iterator).
+    no_struct: bool,
+}
+
+impl<'a> Parser<'a> {
+    // ---------------------------------------------------------- utilities
+
+    fn at(&self, c: char) -> bool {
+        self.fa.is_punct(self.pos, c)
+    }
+
+    fn at_n(&self, offset: usize, c: char) -> bool {
+        self.fa.is_punct(self.pos + offset, c)
+    }
+
+    fn kw(&self, name: &str) -> bool {
+        self.fa.is_ident(self.pos, name)
+    }
+
+    fn ident(&self) -> Option<&'a str> {
+        self.fa.ident_at(self.pos)
+    }
+
+    fn bump(&mut self) {
+        self.pos += 1;
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.at(c) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, name: &str) -> bool {
+        if self.kw(name) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// `::` at the cursor?
+    fn at_coloncolon(&self) -> bool {
+        self.at(':') && self.at_n(1, ':')
+    }
+
+    /// Skip any `#[...]` / `#![...]` attributes at the cursor.
+    fn skip_attrs(&mut self) {
+        while self.at('#') {
+            let mut probe = self.pos + 1;
+            if self.fa.is_punct(probe, '!') {
+                probe += 1;
+            }
+            if !self.fa.is_punct(probe, '[') {
+                return;
+            }
+            let mut depth = 0usize;
+            self.pos = probe;
+            while self.pos < self.fa.code_len() {
+                if self.at('[') {
+                    depth += 1;
+                } else if self.at(']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        self.bump();
+                        break;
+                    }
+                }
+                self.bump();
+            }
+        }
+    }
+
+    /// Skip a balanced `<...>` generics group starting at `<`.
+    fn skip_angles(&mut self) {
+        if !self.at('<') {
+            return;
+        }
+        let mut depth = 0i32;
+        while self.pos < self.fa.code_len() {
+            if self.at('<') {
+                depth += 1;
+            } else if self.at('>') {
+                depth -= 1;
+                if depth == 0 {
+                    self.bump();
+                    return;
+                }
+            } else if self.at('(') || self.at('{') {
+                // A parenthesis inside generics means we mis-identified
+                // a comparison; bail without consuming further.
+                return;
+            }
+            self.bump();
+        }
+    }
+
+    /// Skip to the token after the `)`/`]`/`}` matching the opener at
+    /// the cursor.
+    fn skip_balanced(&mut self) {
+        let mut paren = 0i32;
+        let mut bracket = 0i32;
+        let mut brace = 0i32;
+        let start = self.pos;
+        while self.pos < self.fa.code_len() {
+            if self.at('(') {
+                paren += 1;
+            } else if self.at(')') {
+                paren -= 1;
+            } else if self.at('[') {
+                bracket += 1;
+            } else if self.at(']') {
+                bracket -= 1;
+            } else if self.at('{') {
+                brace += 1;
+            } else if self.at('}') {
+                brace -= 1;
+            }
+            self.bump();
+            if paren <= 0 && bracket <= 0 && brace <= 0 && self.pos > start {
+                return;
+            }
+        }
+    }
+
+    /// Collect type text from the cursor up to a depth-0 terminator
+    /// (`,` `)` `;` `{` `}` `=` `]` or a depth-0 `>`), consuming it.
+    /// `->` and `=>`-free; `->` inside fn-pointer types is kept.
+    fn type_text(&mut self) -> String {
+        let mut parts: Vec<String> = Vec::new();
+        let mut angle = 0i32;
+        let mut paren = 0i32;
+        let mut bracket = 0i32;
+        while self.pos < self.fa.code_len() {
+            if self.at('<') {
+                angle += 1;
+            } else if self.at('>') {
+                if angle == 0 {
+                    break;
+                }
+                angle -= 1;
+            } else if self.at('(') {
+                paren += 1;
+            } else if self.at(')') {
+                if paren == 0 {
+                    break;
+                }
+                paren -= 1;
+            } else if self.at('[') {
+                bracket += 1;
+            } else if self.at(']') {
+                if bracket == 0 {
+                    break;
+                }
+                bracket -= 1;
+            } else if angle == 0 && paren == 0 && bracket == 0 {
+                if self.at(',') || self.at(';') || self.at('{') || self.at('}') {
+                    break;
+                }
+                if self.at('-') && self.at_n(1, '>') {
+                    // fn-pointer return arrow: keep it and continue.
+                    parts.push("->".to_string());
+                    self.bump();
+                    self.bump();
+                    continue;
+                }
+                if self.at('=') {
+                    break;
+                }
+                if self.kw("where") || self.kw("else") {
+                    break;
+                }
+            }
+            parts.push(self.fa.text(self.pos).to_string());
+            self.bump();
+        }
+        parts.join(" ")
+    }
+
+    // -------------------------------------------------------------- items
+
+    fn parse_items(&mut self, end: usize) -> Vec<Item> {
+        let mut items = Vec::new();
+        while self.pos < end {
+            if self.at('}') {
+                break;
+            }
+            let before = self.pos;
+            if let Some(item) = self.parse_item(end) {
+                items.push(item);
+            }
+            if self.pos == before {
+                self.bump(); // guarantee progress on unknown constructs
+            }
+        }
+        items
+    }
+
+    /// Parse one item at the cursor, if one starts here.
+    fn parse_item(&mut self, end: usize) -> Option<Item> {
+        self.skip_attrs();
+        if self.pos >= end {
+            return None;
+        }
+        // Visibility and fn qualifiers.
+        if self.kw("pub") {
+            self.bump();
+            if self.at('(') {
+                self.skip_balanced();
+            }
+        }
+        while self.kw("async") || self.kw("unsafe") || self.kw("default") {
+            self.bump();
+        }
+        if self.kw("extern") {
+            self.bump();
+            // `extern "C" fn` / `extern crate x;` / `extern "C" { ... }`
+            if matches!(self.ident(), Some("crate")) {
+                self.skip_to_semi();
+                return Some(Item::Other);
+            }
+            self.bump(); // the ABI string
+            if self.at('{') {
+                self.skip_balanced();
+                return Some(Item::Other);
+            }
+        }
+        if self.kw("const") && self.fa.is_ident(self.pos + 1, "fn") {
+            self.bump();
+        }
+        if self.kw("fn") {
+            return Some(Item::Fn(self.parse_fn()));
+        }
+        if self.kw("struct") {
+            return Some(self.parse_struct());
+        }
+        if self.kw("enum") {
+            return Some(self.parse_enum());
+        }
+        if self.kw("impl") {
+            return Some(self.parse_impl());
+        }
+        if self.kw("trait") {
+            return Some(self.parse_trait());
+        }
+        if self.kw("mod") {
+            return Some(self.parse_mod());
+        }
+        if self.kw("use") || self.kw("type") || self.kw("static") || self.kw("const") {
+            self.skip_to_semi();
+            return Some(Item::Other);
+        }
+        if self.kw("union") {
+            // Treat like an opaque item: skip to its body and over it.
+            while self.pos < self.fa.code_len() && !self.at('{') && !self.at(';') {
+                self.bump();
+            }
+            if self.at('{') {
+                self.skip_balanced();
+            } else {
+                self.eat(';');
+            }
+            return Some(Item::Other);
+        }
+        if matches!(self.ident(), Some("macro_rules")) {
+            self.bump();
+            self.eat('!');
+            self.bump(); // name
+            if self.at('{') || self.at('(') || self.at('[') {
+                self.skip_balanced();
+            }
+            return Some(Item::Other);
+        }
+        None
+    }
+
+    /// Skip to just past the next `;` at paren/bracket/brace depth 0.
+    fn skip_to_semi(&mut self) {
+        let mut paren = 0i32;
+        let mut bracket = 0i32;
+        let mut brace = 0i32;
+        while self.pos < self.fa.code_len() {
+            if self.at('(') {
+                paren += 1;
+            } else if self.at(')') {
+                paren -= 1;
+            } else if self.at('[') {
+                bracket += 1;
+            } else if self.at('{') {
+                brace += 1;
+            } else if self.at('}') {
+                if brace == 0 {
+                    return; // ran off the enclosing block: stop before it
+                }
+                brace -= 1;
+            } else if self.at(']') {
+                bracket -= 1;
+            } else if self.at(';') && paren == 0 && bracket == 0 && brace == 0 {
+                self.bump();
+                return;
+            }
+            self.bump();
+        }
+    }
+
+    fn parse_fn(&mut self) -> FnItem {
+        self.bump(); // `fn`
+        let pos = self.pos;
+        let name = self.ident().unwrap_or("").to_string();
+        self.bump();
+        if self.at('<') {
+            self.skip_angles();
+        }
+        let mut params = Vec::new();
+        if self.eat('(') {
+            loop {
+                self.skip_attrs();
+                if self.at(')') || self.pos >= self.fa.code_len() {
+                    self.eat(')');
+                    break;
+                }
+                let pat = self.parse_pat();
+                let ty = if self.at(':') && !self.at_n(1, ':') {
+                    self.bump();
+                    self.type_text()
+                } else {
+                    String::new()
+                };
+                params.push(Param { pat, ty });
+                if !self.eat(',') {
+                    self.eat(')');
+                    break;
+                }
+            }
+        }
+        let ret = if self.at('-') && self.at_n(1, '>') {
+            self.bump();
+            self.bump();
+            self.type_text()
+        } else {
+            String::new()
+        };
+        if self.kw("where") {
+            // Skip the where clause: everything until the body `{` or a
+            // declaration-terminating `;` at bracket depth 0.
+            let mut angle = 0i32;
+            while self.pos < self.fa.code_len() {
+                if self.at('<') {
+                    angle += 1;
+                } else if self.at('>') {
+                    angle -= 1;
+                } else if angle <= 0 && (self.at('{') || self.at(';')) {
+                    break;
+                }
+                self.bump();
+            }
+        }
+        let body = if self.at('{') {
+            Some(self.parse_block())
+        } else {
+            self.eat(';');
+            None
+        };
+        FnItem {
+            name,
+            pos,
+            params,
+            ret,
+            body,
+        }
+    }
+
+    fn parse_struct(&mut self) -> Item {
+        self.bump(); // `struct`
+        let pos = self.pos;
+        let name = self.ident().unwrap_or("").to_string();
+        self.bump();
+        if self.at('<') {
+            self.skip_angles();
+        }
+        let mut fields = Vec::new();
+        if self.at('(') {
+            // Tuple struct: fields named "0", "1", ...
+            self.bump();
+            let mut index = 0usize;
+            while self.pos < self.fa.code_len() && !self.at(')') {
+                self.skip_attrs();
+                if self.kw("pub") {
+                    self.bump();
+                    if self.at('(') {
+                        self.skip_balanced();
+                    }
+                }
+                let fpos = self.pos;
+                let ty = self.type_text();
+                if !ty.is_empty() {
+                    fields.push(FieldDef {
+                        name: index.to_string(),
+                        ty,
+                        pos: fpos,
+                    });
+                    index += 1;
+                }
+                if !self.eat(',') {
+                    break;
+                }
+            }
+            self.eat(')');
+            self.skip_to_semi();
+        } else if self.kw("where") {
+            while self.pos < self.fa.code_len() && !self.at('{') && !self.at(';') {
+                self.bump();
+            }
+        }
+        if self.at('{') {
+            self.bump();
+            while self.pos < self.fa.code_len() && !self.at('}') {
+                self.skip_attrs();
+                if self.kw("pub") {
+                    self.bump();
+                    if self.at('(') {
+                        self.skip_balanced();
+                    }
+                }
+                let fpos = self.pos;
+                let Some(fname) = self.ident() else {
+                    self.bump();
+                    continue;
+                };
+                let fname = fname.to_string();
+                self.bump();
+                if !self.eat(':') {
+                    continue;
+                }
+                let ty = self.type_text();
+                fields.push(FieldDef {
+                    name: fname,
+                    ty,
+                    pos: fpos,
+                });
+                self.eat(',');
+            }
+            self.eat('}');
+        } else {
+            self.eat(';');
+        }
+        Item::Struct(StructItem { name, pos, fields })
+    }
+
+    fn parse_enum(&mut self) -> Item {
+        self.bump(); // `enum`
+        let pos = self.pos;
+        let name = self.ident().unwrap_or("").to_string();
+        self.bump();
+        if self.at('<') {
+            self.skip_angles();
+        }
+        while self.pos < self.fa.code_len() && !self.at('{') && !self.at(';') {
+            self.bump(); // where clauses
+        }
+        let mut variants = Vec::new();
+        if self.eat('{') {
+            while self.pos < self.fa.code_len() && !self.at('}') {
+                self.skip_attrs();
+                let vpos = self.pos;
+                let Some(vname) = self.ident() else {
+                    self.bump();
+                    continue;
+                };
+                let vname = vname.to_string();
+                self.bump();
+                let mut fields = Vec::new();
+                if self.at('(') {
+                    self.bump();
+                    let mut index = 0usize;
+                    while self.pos < self.fa.code_len() && !self.at(')') {
+                        self.skip_attrs();
+                        let fpos = self.pos;
+                        let ty = self.type_text();
+                        if !ty.is_empty() {
+                            fields.push(FieldDef {
+                                name: index.to_string(),
+                                ty,
+                                pos: fpos,
+                            });
+                            index += 1;
+                        }
+                        if !self.eat(',') {
+                            break;
+                        }
+                    }
+                    self.eat(')');
+                } else if self.at('{') {
+                    self.bump();
+                    while self.pos < self.fa.code_len() && !self.at('}') {
+                        self.skip_attrs();
+                        let fpos = self.pos;
+                        let Some(fname) = self.ident() else {
+                            self.bump();
+                            continue;
+                        };
+                        let fname = fname.to_string();
+                        self.bump();
+                        if !self.eat(':') {
+                            continue;
+                        }
+                        let ty = self.type_text();
+                        fields.push(FieldDef {
+                            name: fname,
+                            ty,
+                            pos: fpos,
+                        });
+                        self.eat(',');
+                    }
+                    self.eat('}');
+                }
+                if self.at('=') && !self.at_n(1, '=') {
+                    // Explicit discriminant: skip its expression.
+                    self.bump();
+                    let _ = self.parse_expr();
+                }
+                variants.push(Variant {
+                    name: vname,
+                    pos: vpos,
+                    fields,
+                });
+                self.eat(',');
+            }
+            self.eat('}');
+        }
+        Item::Enum(EnumItem {
+            name,
+            pos,
+            variants,
+        })
+    }
+
+    fn parse_impl(&mut self) -> Item {
+        self.bump(); // `impl`
+        if self.at('<') {
+            self.skip_angles();
+        }
+        // Collect the self-type name: the last depth-0 non-keyword ident
+        // before the body, restarting after `for` (`impl Trait for Type`).
+        let mut type_name = String::new();
+        let mut angle = 0i32;
+        while self.pos < self.fa.code_len() && !self.at('{') && !self.at(';') {
+            if self.at('<') {
+                angle += 1;
+            } else if self.at('>') {
+                angle -= 1;
+            } else if angle <= 0 {
+                if self.kw("for") {
+                    type_name.clear();
+                } else if self.kw("where") {
+                    // Bounds often repeat type params; stop collecting.
+                    while self.pos < self.fa.code_len() && !self.at('{') && !self.at(';') {
+                        self.bump();
+                    }
+                    break;
+                } else if let Some(name) = self.ident() {
+                    if !crate::rules::is_keyword(name) {
+                        type_name = name.to_string();
+                    }
+                }
+            }
+            self.bump();
+        }
+        let mut items = Vec::new();
+        if self.eat('{') {
+            items = self.parse_items(self.fa.code_len());
+            self.eat('}');
+        } else {
+            self.eat(';');
+        }
+        Item::Impl(ImplItem { type_name, items })
+    }
+
+    fn parse_trait(&mut self) -> Item {
+        self.bump(); // `trait`
+        let name = self.ident().unwrap_or("").to_string();
+        self.bump();
+        while self.pos < self.fa.code_len() && !self.at('{') && !self.at(';') {
+            self.bump();
+        }
+        let mut items = Vec::new();
+        if self.eat('{') {
+            items = self.parse_items(self.fa.code_len());
+            self.eat('}');
+        } else {
+            self.eat(';');
+        }
+        // A trait is close enough to a mod for the passes' purposes: a
+        // named container of fn items (default method bodies).
+        Item::Mod(ModItem { name, items })
+    }
+
+    fn parse_mod(&mut self) -> Item {
+        self.bump(); // `mod`
+        let name = self.ident().unwrap_or("").to_string();
+        self.bump();
+        if self.eat(';') {
+            return Item::Other;
+        }
+        let mut items = Vec::new();
+        if self.eat('{') {
+            items = self.parse_items(self.fa.code_len());
+            self.eat('}');
+        }
+        Item::Mod(ModItem { name, items })
+    }
+
+    // ------------------------------------------------------------- blocks
+
+    fn parse_block(&mut self) -> Block {
+        let open = self.pos;
+        let close = self.fa.brace_close(open).unwrap_or(self.fa.code_len());
+        self.bump(); // `{`
+        let mut stmts = Vec::new();
+        while self.pos < close {
+            self.skip_attrs();
+            if self.pos >= close {
+                break;
+            }
+            if self.eat(';') {
+                continue;
+            }
+            // Loop labels: `'outer: loop { ... }`.
+            if self.fa.is_lifetime(self.pos) && self.at_n(1, ':') {
+                self.bump();
+                self.bump();
+                continue;
+            }
+            let before = self.pos;
+            if self.kw("let") {
+                stmts.push(self.parse_let());
+            } else if self.starts_item() {
+                match self.parse_item(close) {
+                    Some(item) => stmts.push(Stmt::Item(Box::new(item))),
+                    None => self.bump(),
+                }
+            } else {
+                let expr = self.parse_expr();
+                let semi = self.eat(';');
+                stmts.push(Stmt::Expr { expr, semi });
+            }
+            if self.pos == before {
+                self.bump();
+            }
+        }
+        self.pos = close;
+        self.eat('}');
+        Block { open, close, stmts }
+    }
+
+    /// Does an item start at the cursor (inside a block)?
+    fn starts_item(&self) -> bool {
+        let Some(name) = self.ident() else {
+            return false;
+        };
+        match name {
+            "fn" | "struct" | "enum" | "impl" | "trait" | "use" | "type" | "static"
+            | "macro_rules" | "pub" => true,
+            // `mod` / `const` / `extern` start items; `unsafe` usually
+            // starts a block expression, `async` usually a block/closure.
+            "mod" | "extern" => true,
+            "const" => {
+                // `const { .. }` blocks are expressions; `const X:` items.
+                !self.fa.is_punct(self.pos + 1, '{')
+            }
+            _ => false,
+        }
+    }
+
+    fn parse_let(&mut self) -> Stmt {
+        let pos = self.pos;
+        self.bump(); // `let`
+        let pat = self.parse_pat();
+        let ty = if self.at(':') && !self.at_n(1, ':') {
+            self.bump();
+            Some(self.type_text())
+        } else {
+            None
+        };
+        let init = if self.at('=') && !self.at_n(1, '=') {
+            self.bump();
+            Some(self.parse_expr())
+        } else {
+            None
+        };
+        let else_block = if self.kw("else") {
+            self.bump();
+            if self.at('{') {
+                Some(self.parse_block())
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        self.eat(';');
+        Stmt::Let {
+            pos,
+            pat,
+            ty,
+            init,
+            else_block,
+        }
+    }
+
+    // -------------------------------------------------------- expressions
+
+    /// Full expression, including assignment.
+    fn parse_expr(&mut self) -> Expr {
+        // Closures and jumps sit below assignment.
+        if self.kw("move") || self.at('|') || (self.at('|') && self.at_n(1, '|')) {
+            if let Some(c) = self.try_parse_closure() {
+                return c;
+            }
+        }
+        if self.kw("return") || self.kw("break") || self.kw("continue") {
+            let pos = self.pos;
+            self.bump();
+            if self.fa.is_lifetime(self.pos) {
+                self.bump(); // `break 'label`
+            }
+            let value = if self.expr_can_start() {
+                Some(Box::new(self.parse_expr()))
+            } else {
+                None
+            };
+            return Expr::Jump { pos, value };
+        }
+        let lhs = self.parse_range_expr();
+        // Assignment / compound assignment.
+        if self.at('=') && !self.at_n(1, '=') && !self.at_n(1, '>') {
+            let pos = self.pos;
+            self.bump();
+            let rhs = self.parse_expr();
+            return Expr::Assign {
+                pos,
+                op: None,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        for (c, op, width) in [
+            ('+', BinOp::Add, 1),
+            ('-', BinOp::Sub, 1),
+            ('*', BinOp::Mul, 1),
+            ('/', BinOp::Div, 1),
+            ('%', BinOp::Rem, 1),
+            ('^', BinOp::Bit, 1),
+        ] {
+            if self.at(c) && self.at_n(width, '=') && !self.at_n(width + 1, '=') {
+                let pos = self.pos;
+                self.pos += width + 1;
+                let rhs = self.parse_expr();
+                return Expr::Assign {
+                    pos,
+                    op: Some(op),
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                };
+            }
+        }
+        // `&=`, `|=`, `<<=`, `>>=` — rarer; handle the two-char shifts.
+        if (self.at('&') || self.at('|')) && self.at_n(1, '=') && !self.at_n(2, '=') {
+            let pos = self.pos;
+            self.pos += 2;
+            let rhs = self.parse_expr();
+            return Expr::Assign {
+                pos,
+                op: Some(BinOp::Bit),
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        if (self.at('<') && self.at_n(1, '<') || self.at('>') && self.at_n(1, '>'))
+            && self.at_n(2, '=')
+        {
+            let pos = self.pos;
+            self.pos += 3;
+            let rhs = self.parse_expr();
+            return Expr::Assign {
+                pos,
+                op: Some(BinOp::Shift),
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        lhs
+    }
+
+    /// Can a new expression start at the cursor? (Used after `return`.)
+    fn expr_can_start(&self) -> bool {
+        if self.pos >= self.fa.code_len() {
+            return false;
+        }
+        if let Some(name) = self.ident() {
+            return !EXPR_STOP_KEYWORDS.contains(&name);
+        }
+        if self.fa.is_literal(self.pos) {
+            return true;
+        }
+        self.at('(')
+            || self.at('[')
+            || self.at('{') && !self.no_struct
+            || self.at('&')
+            || self.at('*')
+            || self.at('!')
+            || self.at('-')
+            || self.at('|')
+            || self.at('_')
+    }
+
+    fn parse_range_expr(&mut self) -> Expr {
+        if self.at('.') && self.at_n(1, '.') {
+            let pos = self.pos;
+            self.pos += 2;
+            self.eat('='); // `..=`
+            let hi = if self.expr_can_start() {
+                Some(Box::new(self.parse_binary(0)))
+            } else {
+                None
+            };
+            return Expr::Range { pos, lo: None, hi };
+        }
+        let lo = self.parse_binary(0);
+        if self.at('.') && self.at_n(1, '.') && !self.at_n(2, '.') {
+            let pos = self.pos;
+            self.pos += 2;
+            self.eat('=');
+            let hi = if self.expr_can_start() {
+                Some(Box::new(self.parse_binary(0)))
+            } else {
+                None
+            };
+            return Expr::Range {
+                pos,
+                lo: Some(Box::new(lo)),
+                hi,
+            };
+        }
+        lo
+    }
+
+    /// Binary operator at the cursor: `(op, token width, precedence)`.
+    /// Returns `None` when the cursor is not at a binary operator (or it
+    /// is part of `=>`, `->`, `..`, an assignment, or a closing angle).
+    fn binary_op(&self) -> Option<(BinOp, usize, u8)> {
+        let c0 = self.punct_at(0)?;
+        let c1 = self.punct_at(1);
+        match c0 {
+            '&' if c1 == Some('&') => Some((BinOp::Logic, 2, 1)),
+            '|' if c1 == Some('|') => Some((BinOp::Logic, 2, 0)),
+            '=' if c1 == Some('=') => Some((BinOp::Cmp, 2, 2)),
+            '!' if c1 == Some('=') => Some((BinOp::Cmp, 2, 2)),
+            '<' if c1 == Some('=') => Some((BinOp::Cmp, 2, 2)),
+            '>' if c1 == Some('=') => Some((BinOp::Cmp, 2, 2)),
+            '<' if c1 == Some('<') => Some((BinOp::Shift, 2, 5)),
+            '>' if c1 == Some('>') => Some((BinOp::Shift, 2, 5)),
+            '<' => Some((BinOp::Cmp, 1, 2)),
+            '>' => Some((BinOp::Cmp, 1, 2)),
+            '|' => Some((BinOp::Bit, 1, 3)),
+            '^' => Some((BinOp::Bit, 1, 3)),
+            '&' => Some((BinOp::Bit, 1, 4)),
+            '+' => Some((BinOp::Add, 1, 6)),
+            '-' if c1 != Some('>') => Some((BinOp::Sub, 1, 6)),
+            '*' => Some((BinOp::Mul, 1, 7)),
+            '/' => Some((BinOp::Div, 1, 7)),
+            '%' => Some((BinOp::Rem, 1, 7)),
+            _ => None,
+        }
+    }
+
+    fn punct_at(&self, offset: usize) -> Option<char> {
+        self.fa.punct_char(self.pos + offset)
+    }
+
+    fn parse_binary(&mut self, min_prec: u8) -> Expr {
+        let mut lhs = self.parse_unary();
+        loop {
+            // `as` casts bind tighter than any binary operator here.
+            while self.kw("as") {
+                let pos = self.pos;
+                self.bump();
+                let ty = self.cast_type_text();
+                lhs = Expr::Cast {
+                    pos,
+                    expr: Box::new(lhs),
+                    ty,
+                };
+            }
+            let Some((op, width, prec)) = self.binary_op() else {
+                break;
+            };
+            if prec < min_prec {
+                break;
+            }
+            // Reject assignment lookalikes: `x += 1` is handled above.
+            if width == 1
+                && self.at_n(1, '=')
+                && matches!(
+                    op,
+                    BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Rem | BinOp::Bit
+                )
+            {
+                break;
+            }
+            let pos = self.pos;
+            self.pos += width;
+            let rhs = self.parse_binary(prec + 1);
+            lhs = Expr::Binary {
+                pos,
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        lhs
+    }
+
+    /// The target type of an `as` cast: a path-shaped type (with
+    /// optional `&`/`*const`/`*mut` prefixes and balanced generics).
+    fn cast_type_text(&mut self) -> String {
+        let mut parts = Vec::new();
+        while self.at('&') || self.at('*') {
+            parts.push(self.fa.text(self.pos).to_string());
+            self.bump();
+            if self.kw("const") || self.kw("mut") {
+                parts.push(self.fa.text(self.pos).to_string());
+                self.bump();
+            }
+        }
+        if self.kw("dyn") {
+            parts.push("dyn".to_string());
+            self.bump();
+        }
+        loop {
+            match self.ident() {
+                Some(name) if !crate::rules::is_keyword(name) => {
+                    parts.push(name.to_string());
+                    self.bump();
+                }
+                _ => break,
+            }
+            if self.at('<') {
+                let start = self.pos;
+                self.skip_angles();
+                if self.pos > start {
+                    parts.push("<>".to_string());
+                }
+            }
+            if self.at_coloncolon() {
+                parts.push("::".to_string());
+                self.bump();
+                self.bump();
+                continue;
+            }
+            break;
+        }
+        parts.join(" ")
+    }
+
+    fn parse_unary(&mut self) -> Expr {
+        if self.at('&') {
+            let pos = self.pos;
+            // `&&x` is two nested borrows.
+            let double = self.at_n(1, '&');
+            self.bump();
+            if double {
+                // Leave the second `&` for the recursive call.
+            }
+            let mutable = self.eat_kw("mut");
+            let expr = self.parse_unary();
+            return Expr::Unary {
+                pos,
+                op: if mutable { UnOp::RefMut } else { UnOp::Ref },
+                expr: Box::new(expr),
+            };
+        }
+        if self.at('*') || self.at('!') || self.at('-') {
+            let pos = self.pos;
+            self.bump();
+            let expr = self.parse_unary();
+            return Expr::Unary {
+                pos,
+                op: UnOp::Other,
+                expr: Box::new(expr),
+            };
+        }
+        let primary = self.parse_primary();
+        self.parse_postfix(primary)
+    }
+
+    fn parse_postfix(&mut self, mut expr: Expr) -> Expr {
+        loop {
+            if self.at('?') {
+                self.bump(); // `?` is transparent to the passes
+                continue;
+            }
+            if self.at('.') && !self.at_n(1, '.') {
+                // Method call / field access / await / tuple index.
+                if let Some(name) = self.fa.ident_at(self.pos + 1) {
+                    let name_pos = self.pos + 1;
+                    if name == "await" {
+                        self.pos += 2;
+                        continue;
+                    }
+                    let name = name.to_string();
+                    self.pos += 2;
+                    // Turbofish between name and `(`.
+                    if self.at_coloncolon() && self.fa.is_punct(self.pos + 2, '<') {
+                        self.pos += 2;
+                        self.skip_angles();
+                    }
+                    if self.at('(') {
+                        self.bump();
+                        let args = self.parse_comma_exprs(')');
+                        self.eat(')');
+                        expr = Expr::MethodCall {
+                            pos: name_pos,
+                            receiver: Box::new(expr),
+                            name,
+                            args,
+                        };
+                    } else {
+                        expr = Expr::Field {
+                            pos: name_pos,
+                            base: Box::new(expr),
+                            name,
+                        };
+                    }
+                    continue;
+                }
+                if self.fa.is_number(self.pos + 1) {
+                    // Tuple index `x.0` (the lexer may fuse `0.1`).
+                    let name_pos = self.pos + 1;
+                    let text = self.fa.text(name_pos).to_string();
+                    self.pos += 2;
+                    for part in text.split('.') {
+                        expr = Expr::Field {
+                            pos: name_pos,
+                            base: Box::new(expr),
+                            name: part.to_string(),
+                        };
+                    }
+                    continue;
+                }
+                break;
+            }
+            if self.at('(') {
+                let pos = self.pos;
+                self.bump();
+                let args = self.parse_comma_exprs(')');
+                self.eat(')');
+                expr = Expr::Call {
+                    pos,
+                    callee: Box::new(expr),
+                    args,
+                };
+                continue;
+            }
+            if self.at('[') {
+                let pos = self.pos;
+                self.bump();
+                let saved = self.no_struct;
+                self.no_struct = false;
+                let index = self.parse_expr();
+                self.no_struct = saved;
+                self.eat(']');
+                expr = Expr::Index {
+                    pos,
+                    base: Box::new(expr),
+                    index: Box::new(index),
+                };
+                continue;
+            }
+            break;
+        }
+        expr
+    }
+
+    /// Parse a comma-separated expression list up to (not consuming)
+    /// `close`.
+    fn parse_comma_exprs(&mut self, close: char) -> Vec<Expr> {
+        let saved = self.no_struct;
+        self.no_struct = false;
+        let mut out = Vec::new();
+        while self.pos < self.fa.code_len() && !self.at(close) {
+            self.skip_attrs();
+            if self.at(close) {
+                break;
+            }
+            let before = self.pos;
+            out.push(self.parse_expr());
+            if self.pos == before {
+                self.bump();
+            }
+            if !self.eat(',') {
+                break;
+            }
+        }
+        self.no_struct = saved;
+        out
+    }
+
+    fn try_parse_closure(&mut self) -> Option<Expr> {
+        let start = self.pos;
+        self.eat_kw("move");
+        if !self.at('|') {
+            self.pos = start;
+            return None;
+        }
+        let pos = self.pos;
+        let mut params = Vec::new();
+        if self.at('|') && self.at_n(1, '|') {
+            self.pos += 2; // `||`: no parameters
+        } else {
+            self.bump(); // opening `|`
+            while self.pos < self.fa.code_len() && !self.at('|') {
+                params.push(self.parse_pat());
+                if self.at(':') && !self.at_n(1, ':') {
+                    self.bump();
+                    let _ = self.type_text();
+                }
+                if !self.eat(',') {
+                    break;
+                }
+            }
+            self.eat('|');
+        }
+        if self.at('-') && self.at_n(1, '>') {
+            self.pos += 2;
+            let _ = self.type_text();
+        }
+        let body = if self.at('{') {
+            Expr::Block(self.parse_block())
+        } else {
+            let saved = self.no_struct;
+            self.no_struct = false;
+            let e = self.parse_expr();
+            self.no_struct = saved;
+            e
+        };
+        Some(Expr::Closure {
+            pos,
+            params,
+            body: Box::new(body),
+        })
+    }
+
+    fn parse_primary(&mut self) -> Expr {
+        let pos = self.pos;
+        if pos >= self.fa.code_len() {
+            return Expr::Unknown { pos };
+        }
+        if self.fa.is_literal(pos) {
+            self.bump();
+            return Expr::Lit { pos };
+        }
+        if self.at('(') {
+            self.bump();
+            let elems = self.parse_comma_exprs(')');
+            // Remember whether a trailing comma made this a 1-tuple; a
+            // plain parenthesized expression stays transparent.
+            let was_tuple =
+                elems.len() != 1 || self.fa.punct_char(self.pos.wrapping_sub(1)) == Some(',');
+            self.eat(')');
+            let mut elems = elems;
+            return if !was_tuple && elems.len() == 1 {
+                self.parse_postfix_after_group(elems.pop().unwrap_or(Expr::Unknown { pos }))
+            } else {
+                self.parse_postfix_after_group(Expr::Tuple { pos, elems })
+            };
+        }
+        if self.at('[') {
+            self.bump();
+            let saved = self.no_struct;
+            self.no_struct = false;
+            let mut elems = Vec::new();
+            if !self.at(']') {
+                let first = self.parse_expr();
+                if self.eat(';') {
+                    let len = self.parse_expr();
+                    elems.push(first);
+                    elems.push(len);
+                } else {
+                    elems.push(first);
+                    while self.eat(',') {
+                        if self.at(']') {
+                            break;
+                        }
+                        elems.push(self.parse_expr());
+                    }
+                }
+            }
+            self.no_struct = saved;
+            self.eat(']');
+            return Expr::Array { pos, elems };
+        }
+        if self.at('{') {
+            return Expr::Block(self.parse_block());
+        }
+        if self.kw("if") {
+            return self.parse_if();
+        }
+        if self.kw("match") {
+            return self.parse_match();
+        }
+        if self.kw("while") {
+            self.bump();
+            let cond = self.parse_cond();
+            let body = self.braced_body();
+            return Expr::While {
+                pos,
+                cond: Box::new(cond),
+                body,
+            };
+        }
+        if self.kw("loop") {
+            self.bump();
+            let body = self.braced_body();
+            return Expr::Loop { pos, body };
+        }
+        if self.kw("for") {
+            self.bump();
+            let pat = self.parse_pat();
+            self.eat_kw("in");
+            let saved = self.no_struct;
+            self.no_struct = true;
+            let iter = self.parse_range_expr();
+            self.no_struct = saved;
+            let body = self.braced_body();
+            return Expr::For {
+                pos,
+                pat,
+                iter: Box::new(iter),
+                body,
+            };
+        }
+        if self.kw("unsafe") || self.kw("async") || self.kw("const") {
+            self.bump();
+            self.eat_kw("move");
+            if self.at('{') {
+                return Expr::Block(self.parse_block());
+            }
+            return Expr::Unknown { pos };
+        }
+        if self.at('_') || self.kw("_") {
+            self.bump();
+            return Expr::Path {
+                pos,
+                segments: vec!["_".to_string()],
+            };
+        }
+        if self.ident().is_some() {
+            return self.parse_path_expr();
+        }
+        // Unknown token: consume it so the caller always advances.
+        self.bump();
+        Expr::Unknown { pos }
+    }
+
+    /// Postfix chains continue after a parenthesized group:
+    /// `(x as u64).to_string()`.
+    fn parse_postfix_after_group(&mut self, expr: Expr) -> Expr {
+        self.parse_postfix(expr)
+    }
+
+    fn braced_body(&mut self) -> Block {
+        if self.at('{') {
+            self.parse_block()
+        } else {
+            // Graceful degradation: synthesize an empty block here.
+            Block {
+                open: self.pos,
+                close: self.pos,
+                stmts: Vec::new(),
+            }
+        }
+    }
+
+    /// An `if`/`while` condition, with struct literals forbidden and
+    /// `let`-conditions recognized.
+    fn parse_cond(&mut self) -> Expr {
+        let saved = self.no_struct;
+        self.no_struct = true;
+        let cond = if self.kw("let") {
+            let pos = self.pos;
+            self.bump();
+            let pat = self.parse_pat();
+            let expr = if self.at('=') && !self.at_n(1, '=') {
+                self.bump();
+                self.parse_binary(0)
+            } else {
+                Expr::Unknown { pos: self.pos }
+            };
+            Expr::LetCond {
+                pos,
+                pat,
+                expr: Box::new(expr),
+            }
+        } else {
+            self.parse_binary(0)
+        };
+        self.no_struct = saved;
+        cond
+    }
+
+    fn parse_if(&mut self) -> Expr {
+        let pos = self.pos;
+        self.bump(); // `if`
+        let cond = self.parse_cond();
+        let then = self.braced_body();
+        let else_ = if self.kw("else") {
+            self.bump();
+            if self.kw("if") {
+                Some(Box::new(self.parse_if()))
+            } else if self.at('{') {
+                Some(Box::new(Expr::Block(self.parse_block())))
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        Expr::If {
+            pos,
+            cond: Box::new(cond),
+            then,
+            else_,
+        }
+    }
+
+    fn parse_match(&mut self) -> Expr {
+        let pos = self.pos;
+        self.bump(); // `match`
+        let saved = self.no_struct;
+        self.no_struct = true;
+        let scrutinee = self.parse_binary(0);
+        self.no_struct = saved;
+        let mut arms = Vec::new();
+        if self.at('{') {
+            let close = self.fa.brace_close(self.pos).unwrap_or(self.fa.code_len());
+            self.bump();
+            while self.pos < close {
+                self.skip_attrs();
+                if self.pos >= close {
+                    break;
+                }
+                let arm_pos = self.pos;
+                let pat = self.parse_pat_or();
+                let guard = if self.eat_kw("if") {
+                    let saved = self.no_struct;
+                    self.no_struct = true;
+                    let g = self.parse_binary(0);
+                    self.no_struct = saved;
+                    Some(g)
+                } else {
+                    None
+                };
+                if self.at('=') && self.at_n(1, '>') {
+                    self.pos += 2;
+                } else {
+                    // Mis-parse: resynchronize at the next arm.
+                    self.skip_to_arm_end(close);
+                    continue;
+                }
+                let body = self.parse_expr();
+                arms.push(Arm {
+                    pos: arm_pos,
+                    pat,
+                    guard,
+                    body,
+                });
+                self.eat(',');
+            }
+            self.pos = close;
+            self.eat('}');
+        }
+        Expr::Match {
+            pos,
+            scrutinee: Box::new(scrutinee),
+            arms,
+        }
+    }
+
+    /// Resynchronize to just past the current arm: the next depth-0 `,`
+    /// or the match's closing brace.
+    fn skip_to_arm_end(&mut self, close: usize) {
+        let mut depth = 0i32;
+        while self.pos < close {
+            if self.at('(') || self.at('[') || self.at('{') {
+                depth += 1;
+            } else if self.at(')') || self.at(']') || self.at('}') {
+                depth -= 1;
+            } else if self.at(',') && depth == 0 {
+                self.bump();
+                return;
+            }
+            self.bump();
+        }
+    }
+
+    /// A path expression (or macro / struct literal starting with one).
+    fn parse_path_expr(&mut self) -> Expr {
+        let pos = self.pos;
+        let mut segments = Vec::new();
+        while let Some(name) = self.ident() {
+            segments.push(name.to_string());
+            self.bump();
+            if !self.at_coloncolon() {
+                break;
+            }
+            if self.fa.is_punct(self.pos + 2, '<') {
+                // Turbofish: `path::<T>`; generics are type noise.
+                self.pos += 2;
+                self.skip_angles();
+                if self.at_coloncolon() {
+                    self.pos += 2;
+                    continue;
+                }
+                break;
+            }
+            self.pos += 2;
+        }
+        if self.at('!') && !self.at_n(1, '=') {
+            // Macro invocation.
+            let name_pos = pos + (segments.len().saturating_sub(1)) * 2;
+            self.bump(); // `!`
+            let (args, args_start, args_end) = self.parse_macro_args();
+            return Expr::Macro {
+                pos: name_pos.min(self.fa.code_len()),
+                segments,
+                args,
+                args_start,
+                args_end,
+            };
+        }
+        if self.at('{') && !self.no_struct && self.looks_like_struct_lit() {
+            return self.parse_struct_lit(pos, segments);
+        }
+        Expr::Path { pos, segments }
+    }
+
+    /// Heuristic: does the `{` at the cursor open a struct literal?
+    /// (Checked only where struct literals are legal.) `Path {}` or
+    /// `Path { ident: / ident, / ident } / ..` qualifies.
+    fn looks_like_struct_lit(&self) -> bool {
+        let p = self.pos;
+        if self.fa.is_punct(p + 1, '}') {
+            return true;
+        }
+        if self.fa.is_punct(p + 1, '.') && self.fa.is_punct(p + 2, '.') {
+            return true;
+        }
+        if self.fa.ident_at(p + 1).is_some() {
+            return (self.fa.is_punct(p + 2, ':') && !self.fa.is_punct(p + 3, ':'))
+                || self.fa.is_punct(p + 2, ',')
+                || self.fa.is_punct(p + 2, '}');
+        }
+        false
+    }
+
+    fn parse_struct_lit(&mut self, pos: usize, segments: Vec<String>) -> Expr {
+        let close = self.fa.brace_close(self.pos).unwrap_or(self.fa.code_len());
+        self.bump(); // `{`
+        let mut fields = Vec::new();
+        let mut rest = None;
+        let saved = self.no_struct;
+        self.no_struct = false;
+        while self.pos < close {
+            self.skip_attrs();
+            if self.pos >= close {
+                break;
+            }
+            if self.at('.') && self.at_n(1, '.') {
+                self.pos += 2;
+                rest = Some(Box::new(self.parse_expr()));
+                break;
+            }
+            let Some(fname) = self.ident() else {
+                self.bump();
+                continue;
+            };
+            let fname = fname.to_string();
+            self.bump();
+            if self.at(':') && !self.at_n(1, ':') {
+                self.bump();
+                let value = self.parse_expr();
+                fields.push((fname, Some(value)));
+            } else {
+                fields.push((fname, None));
+            }
+            if !self.eat(',') {
+                break;
+            }
+        }
+        self.no_struct = saved;
+        self.pos = close;
+        self.eat('}');
+        Expr::StructLit {
+            pos,
+            segments,
+            fields,
+            rest,
+        }
+    }
+
+    /// Macro arguments: record the delimited token range and parse a
+    /// best-effort comma-separated expression list from it.
+    fn parse_macro_args(&mut self) -> (Vec<Expr>, usize, usize) {
+        let (open, close_c) = if self.at('(') {
+            ('(', ')')
+        } else if self.at('[') {
+            ('[', ']')
+        } else if self.at('{') {
+            ('{', '}')
+        } else {
+            return (Vec::new(), self.pos, self.pos);
+        };
+        // Find the matching closer.
+        let start = self.pos + 1;
+        let mut depth = 0i32;
+        let mut end = self.pos;
+        let mut probe = self.pos;
+        while probe < self.fa.code_len() {
+            if let Some(c) = self.fa.punct_char(probe) {
+                if c == open {
+                    depth += 1;
+                } else if c == close_c {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = probe;
+                        break;
+                    }
+                }
+            }
+            probe += 1;
+        }
+        if end == self.pos {
+            // Unbalanced; consume the opener only.
+            self.bump();
+            return (Vec::new(), start, start);
+        }
+        self.bump(); // opener
+        let mut args = Vec::new();
+        let saved = self.no_struct;
+        self.no_struct = false;
+        while self.pos < end {
+            let before = self.pos;
+            args.push(self.parse_expr());
+            if self.pos == before {
+                self.bump();
+            }
+            if !self.eat(',') && self.pos < end {
+                // Not a comma-separated expr list (e.g. macro_rules
+                // matter); fall back to the raw range.
+                break;
+            }
+        }
+        self.no_struct = saved;
+        self.pos = end;
+        self.bump(); // closer
+        (args, start, end)
+    }
+
+    // ----------------------------------------------------------- patterns
+
+    /// An or-pattern: `A | B | C` (used for match arms).
+    fn parse_pat_or(&mut self) -> Pat {
+        self.eat('|'); // optional leading `|`
+        let pos = self.pos;
+        let first = self.parse_pat();
+        if !self.at('|') || self.at_n(1, '|') {
+            return first;
+        }
+        let mut alts = vec![first];
+        while self.at('|') && !self.at_n(1, '|') {
+            self.bump();
+            alts.push(self.parse_pat());
+        }
+        Pat::Or { pos, alts }
+    }
+
+    fn parse_pat(&mut self) -> Pat {
+        let pos = self.pos;
+        if pos >= self.fa.code_len() {
+            return Pat::Unknown { pos };
+        }
+        if self.at('&') {
+            self.bump();
+            self.eat('&');
+            self.eat_kw("mut");
+            return self.parse_pat();
+        }
+        // `ref` / `ref mut` / `mut` binding modes are all transparent.
+        self.eat_kw("ref");
+        self.eat_kw("mut");
+        if self.at('_') || self.kw("_") {
+            self.bump();
+            return Pat::Wild { pos };
+        }
+        if self.at('.') && self.at_n(1, '.') {
+            self.pos += 2;
+            self.eat('=');
+            if self.fa.is_literal(self.pos) {
+                self.bump();
+                return Pat::Lit { pos };
+            }
+            return Pat::Rest { pos };
+        }
+        if self.at('-') {
+            self.bump(); // negative literal pattern
+            if self.fa.is_literal(self.pos) {
+                self.bump();
+            }
+            return Pat::Lit { pos };
+        }
+        if self.fa.is_literal(pos) {
+            self.bump();
+            // Literal range patterns: `1..=9`.
+            if self.at('.') && self.at_n(1, '.') {
+                self.pos += 2;
+                self.eat('=');
+                if self.fa.is_literal(self.pos) {
+                    self.bump();
+                }
+            }
+            return Pat::Lit { pos };
+        }
+        if self.at('(') {
+            self.bump();
+            let elems = self.parse_comma_pats(')');
+            self.eat(')');
+            return Pat::Tuple { pos, elems };
+        }
+        if self.at('[') {
+            self.bump();
+            let elems = self.parse_comma_pats(']');
+            self.eat(']');
+            return Pat::Slice { pos, elems };
+        }
+        if self.kw("box") {
+            self.bump();
+            return self.parse_pat();
+        }
+        if self.ident().is_some() {
+            let mut segments = Vec::new();
+            while let Some(name) = self.ident() {
+                segments.push(name.to_string());
+                self.bump();
+                if !self.at_coloncolon() {
+                    break;
+                }
+                if self.fa.is_punct(self.pos + 2, '<') {
+                    self.pos += 2;
+                    self.skip_angles();
+                    if self.at_coloncolon() {
+                        self.pos += 2;
+                        continue;
+                    }
+                    break;
+                }
+                self.pos += 2;
+            }
+            if self.at('(') {
+                self.bump();
+                let elems = self.parse_comma_pats(')');
+                self.eat(')');
+                return Pat::TupleStruct {
+                    pos,
+                    segments,
+                    elems,
+                };
+            }
+            if self.at('{') {
+                return self.parse_struct_pat(pos, segments);
+            }
+            if self.at('@') {
+                self.bump();
+                let sub = self.parse_pat();
+                let name = segments.pop().unwrap_or_default();
+                return Pat::Binding {
+                    pos,
+                    name,
+                    sub: Some(Box::new(sub)),
+                };
+            }
+            // A single lowercase-ish segment is a binding; anything
+            // qualified or capitalized is a path (unit variant / const).
+            if segments.len() == 1 {
+                let name = &segments[0];
+                let first = name.chars().next().unwrap_or('a');
+                if !first.is_uppercase() {
+                    let name = segments.pop().unwrap_or_default();
+                    return Pat::Binding {
+                        pos,
+                        name,
+                        sub: None,
+                    };
+                }
+            }
+            return Pat::Path { pos, segments };
+        }
+        // Unknown token: consume it so the caller always advances.
+        self.bump();
+        Pat::Unknown { pos }
+    }
+
+    fn parse_comma_pats(&mut self, close: char) -> Vec<Pat> {
+        let mut out = Vec::new();
+        while self.pos < self.fa.code_len() && !self.at(close) {
+            self.skip_attrs();
+            if self.at(close) {
+                break;
+            }
+            let before = self.pos;
+            out.push(self.parse_pat_or());
+            if self.pos == before {
+                self.bump();
+            }
+            if !self.eat(',') {
+                break;
+            }
+        }
+        out
+    }
+
+    fn parse_struct_pat(&mut self, pos: usize, segments: Vec<String>) -> Pat {
+        let close = self.fa.brace_close(self.pos).unwrap_or(self.fa.code_len());
+        self.bump(); // `{`
+        let mut fields = Vec::new();
+        let mut rest = false;
+        while self.pos < close {
+            self.skip_attrs();
+            if self.pos >= close {
+                break;
+            }
+            if self.at('.') && self.at_n(1, '.') {
+                rest = true;
+                self.pos += 2;
+                continue;
+            }
+            self.eat_kw("ref");
+            self.eat_kw("mut");
+            let Some(fname) = self.ident() else {
+                self.bump();
+                continue;
+            };
+            let fname = fname.to_string();
+            self.bump();
+            if self.at(':') && !self.at_n(1, ':') {
+                self.bump();
+                let sub = self.parse_pat_or();
+                fields.push((fname, Some(sub)));
+            } else {
+                fields.push((fname, None));
+            }
+            if !self.eat(',') {
+                break;
+            }
+        }
+        self.pos = close;
+        self.eat('}');
+        Pat::Struct {
+            pos,
+            segments,
+            fields,
+            rest,
+        }
+    }
+}
+
+// --------------------------------------------------------------- walking
+
+/// Call `f` on every expression in the file, pre-order (statement order
+/// within blocks, outermost expression first within a statement).
+pub fn visit_exprs<'a>(file: &'a File, f: &mut impl FnMut(&'a Expr)) {
+    for item in &file.items {
+        visit_item_exprs(item, f);
+    }
+}
+
+fn visit_item_exprs<'a>(item: &'a Item, f: &mut impl FnMut(&'a Expr)) {
+    match item {
+        Item::Fn(func) => {
+            if let Some(body) = &func.body {
+                visit_block_exprs(body, f);
+            }
+        }
+        Item::Impl(imp) => {
+            for item in &imp.items {
+                visit_item_exprs(item, f);
+            }
+        }
+        Item::Mod(m) => {
+            for item in &m.items {
+                visit_item_exprs(item, f);
+            }
+        }
+        Item::Struct(_) | Item::Enum(_) | Item::Other => {}
+    }
+}
+
+/// Call `f` on every expression in a block, pre-order.
+pub fn visit_block_exprs<'a>(block: &'a Block, f: &mut impl FnMut(&'a Expr)) {
+    for stmt in &block.stmts {
+        match stmt {
+            Stmt::Let {
+                init, else_block, ..
+            } => {
+                if let Some(init) = init {
+                    visit_expr(init, f);
+                }
+                if let Some(b) = else_block {
+                    visit_block_exprs(b, f);
+                }
+            }
+            Stmt::Expr { expr, .. } => visit_expr(expr, f),
+            Stmt::Item(item) => visit_item_exprs(item, f),
+        }
+    }
+}
+
+/// Call `f` on `expr` and every expression nested inside it, pre-order.
+pub fn visit_expr<'a>(expr: &'a Expr, f: &mut impl FnMut(&'a Expr)) {
+    f(expr);
+    for child in expr.children() {
+        visit_expr(child, f);
+    }
+    for block in expr.child_blocks() {
+        visit_block_exprs(block, f);
+    }
+    if let Expr::If { then, .. } = expr {
+        // `then` handled via child_blocks; nothing extra.
+        let _ = then;
+    }
+}
+
+/// Call `f` on every function item in the file (including methods in
+/// impls, default trait methods and fns in inline modules).
+pub fn visit_fns<'a>(file: &'a File, f: &mut impl FnMut(&'a FnItem)) {
+    fn walk<'a>(items: &'a [Item], f: &mut impl FnMut(&'a FnItem)) {
+        for item in items {
+            match item {
+                Item::Fn(func) => f(func),
+                Item::Impl(imp) => walk(&imp.items, f),
+                Item::Mod(m) => walk(&m.items, f),
+                _ => {}
+            }
+        }
+    }
+    walk(&file.items, f);
+}
+
+/// Call `f` on every pattern in the file (fn params, lets, match arms,
+/// closures, for-loops), pre-order.
+pub fn visit_pats<'a>(file: &'a File, f: &mut impl FnMut(&'a Pat)) {
+    visit_fns(file, &mut |func| {
+        for p in &func.params {
+            visit_pat(&p.pat, f);
+        }
+    });
+    visit_exprs(file, &mut |expr| match expr {
+        Expr::Match { arms, .. } => {
+            for arm in arms {
+                visit_pat(&arm.pat, f);
+            }
+        }
+        Expr::LetCond { pat, .. } | Expr::For { pat, .. } => visit_pat(pat, f),
+        Expr::Closure { params, .. } => {
+            for p in params {
+                visit_pat(p, f);
+            }
+        }
+        _ => {}
+    });
+    // `let` statements.
+    fn walk_items<'a>(items: &'a [Item], f: &mut impl FnMut(&'a Pat)) {
+        for item in items {
+            match item {
+                Item::Fn(func) => {
+                    if let Some(body) = &func.body {
+                        walk_block(body, f);
+                    }
+                }
+                Item::Impl(imp) => walk_items(&imp.items, f),
+                Item::Mod(m) => walk_items(&m.items, f),
+                _ => {}
+            }
+        }
+    }
+    fn walk_block<'a>(block: &'a Block, f: &mut impl FnMut(&'a Pat)) {
+        for stmt in &block.stmts {
+            match stmt {
+                Stmt::Let {
+                    pat,
+                    init,
+                    else_block,
+                    ..
+                } => {
+                    visit_pat(pat, f);
+                    if let Some(init) = init {
+                        walk_expr_blocks(init, f);
+                    }
+                    if let Some(b) = else_block {
+                        walk_block(b, f);
+                    }
+                }
+                Stmt::Expr { expr, .. } => walk_expr_blocks(expr, f),
+                Stmt::Item(item) => walk_items(std::slice::from_ref(item), f),
+            }
+        }
+    }
+    fn walk_expr_blocks<'a>(expr: &'a Expr, f: &mut impl FnMut(&'a Pat)) {
+        for child in expr.children() {
+            walk_expr_blocks(child, f);
+        }
+        for block in expr.child_blocks() {
+            walk_block(block, f);
+        }
+    }
+    walk_items(&file.items, f);
+}
+
+/// Call `f` on `pat` and every pattern nested inside it, pre-order.
+pub fn visit_pat<'a>(pat: &'a Pat, f: &mut impl FnMut(&'a Pat)) {
+    f(pat);
+    match pat {
+        Pat::Struct { fields, .. } => {
+            for (_, sub) in fields {
+                if let Some(sub) = sub {
+                    visit_pat(sub, f);
+                }
+            }
+        }
+        Pat::TupleStruct { elems, .. } | Pat::Tuple { elems, .. } | Pat::Slice { elems, .. } => {
+            for p in elems {
+                visit_pat(p, f);
+            }
+        }
+        Pat::Binding { sub: Some(sub), .. } => visit_pat(sub, f),
+        Pat::Or { alts, .. } => {
+            for p in alts {
+                visit_pat(p, f);
+            }
+        }
+        _ => {}
+    }
+}

@@ -1,0 +1,926 @@
+//! The flow-aware passes: rules that need the syntax tree from
+//! [`crate::ast`] rather than a token scan.
+//!
+//! Four passes run here, each wired from its own `lint.toml` section:
+//!
+//! * **channel-topology** (`[channel]`) — reply `Sender`s threaded
+//!   through enum variants must be sent on (or forwarded), never
+//!   silently dropped; and no call to a channel-touching function may
+//!   run inside a held lock's lexical scope (the interprocedural
+//!   generalization of `lock-scope-discipline`).
+//! * **counter-accounting** (`[counters]`) — every integer field of the
+//!   declared counter structs needs ≥1 non-test increment site outside
+//!   its declaration file and ≥1 test assertion, cross-file.
+//! * **wire-safety** (`[wire]`) — bare `as` casts to integer types and
+//!   unchecked `+`/`*` on declared length/byte quantities are banned in
+//!   the framing files.
+//! * **error-liveness** (`[[error_enum]]`) — every variant of an audited
+//!   error enum is constructed somewhere outside tests and has a
+//!   mapping arm (pattern) in its wire codec file.
+//!
+//! All reporting goes through the same positions, test masks and allow
+//! markers as the token rules, so `lint:allow` works unchanged.
+
+use crate::ast::{self, Block, EnumItem, Expr, Item, Pat, Stmt};
+use crate::manifest::Manifest;
+use crate::rules::{FileAnalysis, Violation, CHANNEL, COUNTERS, ERROR_LIVE, WIRE};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Channel primitives whose *direct* use under a lock is already covered
+/// by `lock-scope-discipline`; here they seed the interprocedural set.
+const SEND_RECV: &[&str] = &[
+    "send",
+    "recv",
+    "try_send",
+    "try_recv",
+    "recv_timeout",
+    "send_timeout",
+];
+
+use crate::rules::path_under as under;
+
+/// Integration-test files (`crates/*/tests/...`) are test code even
+/// though they carry no `#[cfg(test)]`.
+fn is_test_file(rel: &str) -> bool {
+    rel.contains("/tests/")
+}
+
+fn int_primitive(ty: &str) -> bool {
+    matches!(
+        ty.trim(),
+        "u8" | "u16"
+            | "u32"
+            | "u64"
+            | "u128"
+            | "usize"
+            | "i8"
+            | "i16"
+            | "i32"
+            | "i64"
+            | "i128"
+            | "isize"
+    )
+}
+
+/// The identifier a value expression "is about", for quantity matching:
+/// the last path segment, field name or method name at the leaf.
+fn leaf_name(expr: &Expr) -> Option<&str> {
+    match expr {
+        Expr::Path { segments, .. } => segments.last().map(String::as_str),
+        Expr::Field { name, .. } | Expr::MethodCall { name, .. } => Some(name.as_str()),
+        Expr::Unary { expr, .. } | Expr::Cast { expr, .. } => leaf_name(expr),
+        Expr::Call { callee, .. } => leaf_name(callee),
+        _ => None,
+    }
+}
+
+/// Does the raw code-token range `[start, end)` contain ident `name`?
+fn range_has_ident(fa: &FileAnalysis, start: usize, end: usize, name: &str) -> bool {
+    (start..end).any(|pos| fa.is_ident(pos, name))
+}
+
+/// Run every configured flow pass over the analyzed workspace.
+pub fn check_flow(
+    manifest: &Manifest,
+    files: &BTreeMap<String, FileAnalysis>,
+    out: &mut Vec<Violation>,
+) {
+    if let Some(channel) = &manifest.channel {
+        check_channel(&channel.paths, files, out);
+    }
+    if let Some(counters) = &manifest.counters {
+        check_counters(&counters.file, &counters.structs, files, out);
+    }
+    if let Some(wire) = &manifest.wire {
+        check_wire(&wire.paths, &wire.quantities, files, out);
+    }
+    for cfg in &manifest.error_enums {
+        check_error_liveness(&cfg.name, &cfg.decl, &cfg.codec, files, out);
+    }
+}
+
+// ==================================================== channel-topology
+
+/// Scan state for one sender name inside one region (fn body or arm).
+struct SenderScan<'a> {
+    fa: &'a FileAnalysis,
+    name: &'a str,
+    /// Uses that are not explicit drops (sends, forwards, clones...).
+    uses: usize,
+    /// Positions of `drop(name)` calls and `let _ = name;` statements.
+    drops: Vec<usize>,
+}
+
+impl SenderScan<'_> {
+    fn expr(&mut self, expr: &Expr) {
+        match expr {
+            Expr::Call { callee, args, .. } => {
+                let is_drop = matches!(
+                    callee.as_ref(),
+                    Expr::Path { segments, .. } if segments.last().map(String::as_str) == Some("drop")
+                );
+                if is_drop && args.len() == 1 {
+                    if let Expr::Path { pos, segments } = &args[0] {
+                        if segments.len() == 1 && segments[0] == self.name {
+                            self.drops.push(*pos);
+                            return;
+                        }
+                    }
+                }
+                self.expr(callee);
+                for a in args {
+                    self.expr(a);
+                }
+                for b in expr.child_blocks() {
+                    self.block(b);
+                }
+            }
+            Expr::Path { segments, .. } => {
+                if segments.first().map(String::as_str) == Some(self.name) {
+                    self.uses += 1;
+                }
+            }
+            Expr::Macro {
+                args_start,
+                args_end,
+                ..
+            } => {
+                // Macro bodies are scanned as raw tokens: a mention in
+                // any macro argument counts as a use.
+                if range_has_ident(self.fa, *args_start, *args_end, self.name) {
+                    self.uses += 1;
+                }
+            }
+            _ => {
+                for child in expr.children() {
+                    self.expr(child);
+                }
+                for b in expr.child_blocks() {
+                    self.block(b);
+                }
+            }
+        }
+    }
+
+    fn block(&mut self, block: &Block) {
+        for stmt in &block.stmts {
+            match stmt {
+                Stmt::Let {
+                    pat,
+                    init,
+                    else_block,
+                    ..
+                } => {
+                    let wild_drop = matches!(pat, Pat::Wild { .. })
+                        && matches!(
+                            init,
+                            Some(Expr::Path { segments, .. })
+                                if segments.len() == 1 && segments[0] == self.name
+                        );
+                    if wild_drop {
+                        if let Some(init) = init {
+                            self.drops.push(init.pos());
+                        }
+                        continue;
+                    }
+                    if let Some(init) = init {
+                        self.expr(init);
+                    }
+                    if let Some(b) = else_block {
+                        self.block(b);
+                    }
+                }
+                Stmt::Expr { expr, .. } => self.expr(expr),
+                Stmt::Item(_) => {}
+            }
+        }
+    }
+}
+
+/// Map from enum-variant name to `(enum name, reply-sender field names)`,
+/// built from every scanned file so cross-file matches resolve.
+fn sender_variants(
+    files: &BTreeMap<String, FileAnalysis>,
+) -> BTreeMap<String, (String, Vec<String>)> {
+    let mut map = BTreeMap::new();
+    fn walk(items: &[Item], map: &mut BTreeMap<String, (String, Vec<String>)>) {
+        for item in items {
+            match item {
+                Item::Enum(EnumItem { name, variants, .. }) => {
+                    for v in variants {
+                        let senders: Vec<String> = v
+                            .fields
+                            .iter()
+                            .filter(|f| f.ty.contains("Sender"))
+                            .map(|f| f.name.clone())
+                            .collect();
+                        if !senders.is_empty() {
+                            map.insert(v.name.clone(), (name.clone(), senders));
+                        }
+                    }
+                }
+                Item::Mod(m) => walk(&m.items, map),
+                Item::Impl(i) => walk(&i.items, map),
+                _ => {}
+            }
+        }
+    }
+    for fa in files.values() {
+        walk(&fa.ast().items, &mut map);
+    }
+    map
+}
+
+fn check_channel(
+    paths: &[String],
+    files: &BTreeMap<String, FileAnalysis>,
+    out: &mut Vec<Violation>,
+) {
+    let variants = sender_variants(files);
+    let scoped: Vec<&FileAnalysis> = files
+        .iter()
+        .filter(|(rel, _)| under(paths, rel) && !is_test_file(rel))
+        .map(|(_, fa)| fa)
+        .collect();
+
+    // (a) + (b) on match arms: every sender field of a matched variant
+    // must be bound and used; `..`/`_` discards and explicit drops are
+    // the drain-race bug class.
+    for fa in &scoped {
+        ast::visit_exprs(fa.ast(), &mut |expr| {
+            let Expr::Match { arms, .. } = expr else {
+                return;
+            };
+            for arm in arms {
+                if fa.in_test(arm.pos) {
+                    continue;
+                }
+                let mut pats: Vec<&Pat> = Vec::new();
+                flatten_or(&arm.pat, &mut pats);
+                for pat in pats {
+                    let Pat::Struct {
+                        segments,
+                        fields,
+                        rest,
+                        ..
+                    } = pat
+                    else {
+                        continue;
+                    };
+                    let Some(last) = segments.last() else {
+                        continue;
+                    };
+                    let Some((enum_name, senders)) = variants.get(last) else {
+                        continue;
+                    };
+                    for sender in senders {
+                        let bound = fields.iter().find(|(fname, _)| fname == sender);
+                        let binding = match bound {
+                            None => {
+                                if *rest {
+                                    out.push(fa.violation(
+                                        CHANNEL,
+                                        arm.pos,
+                                        format!(
+                                            "arm matches `{enum_name}::{last}` but discards reply \
+                                             sender `{sender}` via `..` — the peer waiting on it \
+                                             hangs; bind it and send"
+                                        ),
+                                    ));
+                                }
+                                continue;
+                            }
+                            Some((fname, None)) => fname.clone(),
+                            Some((_, Some(Pat::Wild { .. }))) => {
+                                out.push(fa.violation(
+                                    CHANNEL,
+                                    arm.pos,
+                                    format!(
+                                        "arm matches `{enum_name}::{last}` but ignores reply \
+                                         sender `{sender}` with `_` — the peer waiting on it \
+                                         hangs; bind it and send"
+                                    ),
+                                ));
+                                continue;
+                            }
+                            Some((fname, Some(sub))) => match sub.bindings().first() {
+                                Some(name) => (*name).to_string(),
+                                None => fname.clone(),
+                            },
+                        };
+                        let mut scan = SenderScan {
+                            fa,
+                            name: &binding,
+                            uses: 0,
+                            drops: Vec::new(),
+                        };
+                        if let Some(guard) = &arm.guard {
+                            scan.expr(guard);
+                        }
+                        scan.expr(&arm.body);
+                        if scan.uses == 0 {
+                            match scan.drops.first() {
+                                Some(&pos) => out.push(fa.violation(
+                                    CHANNEL,
+                                    pos,
+                                    format!(
+                                        "reply sender `{binding}` (from `{enum_name}::{last}`) is \
+                                         explicitly dropped without sending; answer the peer first"
+                                    ),
+                                )),
+                                None => out.push(fa.violation(
+                                    CHANNEL,
+                                    arm.pos,
+                                    format!(
+                                        "reply sender `{binding}` (from `{enum_name}::{last}`) is \
+                                         bound but never sent on or forwarded in this arm"
+                                    ),
+                                )),
+                            }
+                        }
+                    }
+                }
+            }
+        });
+    }
+
+    // (b) on fn parameters: a `Sender`-typed parameter whose only use is
+    // an explicit drop silently hangs the peer.
+    for fa in &scoped {
+        ast::visit_fns(fa.ast(), &mut |func| {
+            let Some(body) = &func.body else { return };
+            if fa.in_test(func.pos) {
+                return;
+            }
+            for param in &func.params {
+                if !param.ty.contains("Sender") {
+                    continue;
+                }
+                for name in param.pat.bindings() {
+                    let mut scan = SenderScan {
+                        fa,
+                        name,
+                        uses: 0,
+                        drops: Vec::new(),
+                    };
+                    scan.block(body);
+                    if scan.uses == 0 {
+                        if let Some(&pos) = scan.drops.first() {
+                            out.push(fa.violation(
+                                CHANNEL,
+                                pos,
+                                format!(
+                                    "`Sender` parameter `{name}` of `{}` is dropped without ever \
+                                     sending; the peer waiting on it hangs",
+                                    func.name
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+        });
+    }
+
+    // (c) interprocedural lock discipline: compute which named functions
+    // (transitively) touch channels, then ban calls to them inside a
+    // held lock's lexical scope — the same shape `lock-scope-discipline`
+    // catches for direct `.send()`/`.recv()`.
+    let mut touchers: BTreeSet<String> = BTreeSet::new();
+    let mut calls: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for fa in &scoped {
+        ast::visit_fns(fa.ast(), &mut |func| {
+            let Some(body) = &func.body else { return };
+            let mut direct = false;
+            let mut targets = BTreeSet::new();
+            ast::visit_block_exprs(body, &mut |expr| match expr {
+                Expr::MethodCall { name, .. } => {
+                    if SEND_RECV.contains(&name.as_str()) {
+                        direct = true;
+                    } else {
+                        targets.insert(name.clone());
+                    }
+                }
+                Expr::Call { callee, .. } => {
+                    if let Expr::Path { segments, .. } = callee.as_ref() {
+                        if let Some(last) = segments.last() {
+                            targets.insert(last.clone());
+                        }
+                    }
+                }
+                _ => {}
+            });
+            if direct {
+                touchers.insert(func.name.clone());
+            }
+            calls.entry(func.name.clone()).or_default().extend(targets);
+        });
+    }
+    loop {
+        let before = touchers.len();
+        for (name, targets) in &calls {
+            if !touchers.contains(name) && targets.iter().any(|t| touchers.contains(t)) {
+                touchers.insert(name.clone());
+            }
+        }
+        if touchers.len() == before {
+            break;
+        }
+    }
+    for t in SEND_RECV {
+        touchers.remove(*t); // direct primitives are lock-scope-discipline's job
+    }
+    for fa in &scoped {
+        let mut stack: Vec<usize> = Vec::new();
+        for pos in 0..fa.code_len() {
+            if fa.is_punct(pos, '{') {
+                stack.push(pos);
+            } else if fa.is_punct(pos, '}') {
+                stack.pop();
+            }
+            if fa.in_test(pos) {
+                continue;
+            }
+            let is_lock =
+                fa.is_punct(pos, '.') && fa.is_ident(pos + 1, "lock") && fa.is_punct(pos + 2, '(');
+            if !is_lock {
+                continue;
+            }
+            let lock_line = fa.line_of(pos + 1);
+            let scope_end = stack
+                .last()
+                .and_then(|&open| fa.brace_close(open))
+                .unwrap_or(fa.code_len());
+            for probe in pos + 3..scope_end {
+                let Some(name) = fa.ident_at(probe) else {
+                    continue;
+                };
+                if !touchers.contains(name) || !fa.is_punct(probe + 1, '(') {
+                    continue;
+                }
+                if fa.is_ident(probe.wrapping_sub(1), "fn") {
+                    continue; // a definition, not a call
+                }
+                out.push(fa.violation(
+                    CHANNEL,
+                    probe,
+                    format!(
+                        "call to channel-touching `{name}()` inside the scope of the `.lock()` \
+                         taken on line {lock_line}; drop the guard before touching channels"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+fn flatten_or<'a>(pat: &'a Pat, out: &mut Vec<&'a Pat>) {
+    match pat {
+        Pat::Or { alts, .. } => {
+            for p in alts {
+                flatten_or(p, out);
+            }
+        }
+        other => out.push(other),
+    }
+}
+
+// ================================================== counter-accounting
+
+fn check_counters(
+    decl_file: &str,
+    structs: &[String],
+    files: &BTreeMap<String, FileAnalysis>,
+    out: &mut Vec<Violation>,
+) {
+    let Some(decl_fa) = files.get(decl_file) else {
+        out.push(Violation {
+            rule: COUNTERS,
+            file: decl_file.to_string(),
+            line: 0,
+            col: 0,
+            message: "lint.toml [counters] names a file that was not scanned".to_string(),
+            snippet: String::new(),
+        });
+        return;
+    };
+    // The audited fields: integer-typed fields of the declared structs.
+    struct Counter {
+        strukt: String,
+        field: String,
+        pos: usize,
+    }
+    let mut counters: Vec<Counter> = Vec::new();
+    for name in structs {
+        let Some(item) = decl_fa.find_struct(name) else {
+            out.push(Violation {
+                rule: COUNTERS,
+                file: decl_file.to_string(),
+                line: 0,
+                col: 0,
+                message: format!("lint.toml [counters] declares struct `{name}` but {decl_file} does not define it"),
+                snippet: String::new(),
+            });
+            continue;
+        };
+        for f in &item.fields {
+            if int_primitive(&f.ty) {
+                counters.push(Counter {
+                    strukt: name.clone(),
+                    field: f.name.clone(),
+                    pos: f.pos,
+                });
+            }
+        }
+    }
+    if counters.is_empty() {
+        return;
+    }
+
+    let mut incremented: BTreeSet<&str> = BTreeSet::new();
+    let mut asserted: BTreeSet<&str> = BTreeSet::new();
+    let field_names: BTreeSet<&str> = counters.iter().map(|c| c.field.as_str()).collect();
+
+    // Accounting is matched by field *name*, so confine the search to
+    // the crate that owns the declaration file: a same-named method in
+    // another crate's tests must not satisfy a serve counter.
+    let crate_prefix = decl_file
+        .split_once("/src/")
+        .map(|(root, _)| format!("{root}/"))
+        .unwrap_or_default();
+
+    for (rel, fa) in files {
+        if !rel.starts_with(&crate_prefix) {
+            continue;
+        }
+        let test_file = is_test_file(rel);
+        ast::visit_exprs(fa.ast(), &mut |expr| {
+            match expr {
+                // Increment sites: `x.field += n`, `&mut x.field` (slot
+                // increments), `x.field.fetch_add(..)`. Must be real
+                // serving code outside the declaration file.
+                Expr::Assign {
+                    op: Some(ast::BinOp::Add),
+                    lhs,
+                    ..
+                } => {
+                    if let Expr::Field { name, pos, .. } = lhs.as_ref() {
+                        if field_names.contains(name.as_str())
+                            && rel != decl_file
+                            && !test_file
+                            && !fa.in_test(*pos)
+                        {
+                            if let Some(n) = field_names.get(name.as_str()) {
+                                incremented.insert(n);
+                            }
+                        }
+                    }
+                }
+                Expr::Unary {
+                    op: ast::UnOp::RefMut,
+                    expr: inner,
+                    ..
+                } => {
+                    if let Expr::Field { name, pos, .. } = inner.as_ref() {
+                        if field_names.contains(name.as_str())
+                            && rel != decl_file
+                            && !test_file
+                            && !fa.in_test(*pos)
+                        {
+                            if let Some(n) = field_names.get(name.as_str()) {
+                                incremented.insert(n);
+                            }
+                        }
+                    }
+                }
+                Expr::MethodCall {
+                    name,
+                    receiver,
+                    pos,
+                    ..
+                } if name == "fetch_add" => {
+                    if let Some(leaf) = leaf_name(receiver) {
+                        if field_names.contains(leaf)
+                            && rel != decl_file
+                            && !test_file
+                            && !fa.in_test(*pos)
+                        {
+                            if let Some(n) = field_names.get(leaf) {
+                                incremented.insert(n);
+                            }
+                        }
+                    }
+                }
+                // Assertion sites: any `assert*!` macro in test code
+                // that mentions the field name.
+                Expr::Macro {
+                    segments,
+                    pos,
+                    args_start,
+                    args_end,
+                    ..
+                } => {
+                    let is_assert = segments.last().is_some_and(|s| s.starts_with("assert"));
+                    if is_assert && (test_file || fa.in_test(*pos)) {
+                        for name in &field_names {
+                            if range_has_ident(fa, *args_start, *args_end, name) {
+                                asserted.insert(name);
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        });
+    }
+
+    for c in &counters {
+        if !incremented.contains(c.field.as_str()) {
+            out.push(decl_fa.violation(
+                COUNTERS,
+                c.pos,
+                format!(
+                    "counter `{}::{}` has no non-test increment site outside {decl_file} — it \
+                     can only ever read zero",
+                    c.strukt, c.field
+                ),
+            ));
+        }
+        if !asserted.contains(c.field.as_str()) {
+            out.push(decl_fa.violation(
+                COUNTERS,
+                c.pos,
+                format!(
+                    "counter `{}::{}` is never asserted in any test — a miscounted field would \
+                     go unnoticed",
+                    c.strukt, c.field
+                ),
+            ));
+        }
+    }
+}
+
+// ======================================================== wire-safety
+
+fn check_wire(
+    paths: &[String],
+    quantities: &[String],
+    files: &BTreeMap<String, FileAnalysis>,
+    out: &mut Vec<Violation>,
+) {
+    for (rel, fa) in files {
+        if !under(paths, rel) || is_test_file(rel) {
+            continue;
+        }
+        ast::visit_exprs(fa.ast(), &mut |expr| match expr {
+            Expr::Cast { pos, ty, .. } if int_primitive(ty) && !fa.in_test(*pos) => {
+                out.push(fa.violation(
+                    WIRE,
+                    *pos,
+                    format!(
+                        "bare `as {}` cast in wire-handling code silently truncates; use \
+                         `try_from`/`try_into` (or a widening `::from`) and handle overflow",
+                        ty.trim()
+                    ),
+                ));
+            }
+            Expr::Binary { pos, op, lhs, rhs } => {
+                let sym = match op {
+                    ast::BinOp::Add => "+",
+                    ast::BinOp::Mul => "*",
+                    _ => return,
+                };
+                if fa.in_test(*pos) {
+                    return;
+                }
+                for side in [lhs.as_ref(), rhs.as_ref()] {
+                    if let Some(leaf) = leaf_name(side) {
+                        if quantities.iter().any(|q| q == leaf) {
+                            out.push(fa.violation(
+                                WIRE,
+                                *pos,
+                                format!(
+                                    "unchecked `{sym}` on wire quantity `{leaf}` can overflow; \
+                                     use checked/saturating arithmetic"
+                                ),
+                            ));
+                            break;
+                        }
+                    }
+                }
+            }
+            _ => {}
+        });
+    }
+}
+
+// ===================================================== error-liveness
+
+/// Walk every expression and pattern with the enclosing `impl` type name
+/// (for `Self::Variant` resolution).
+fn walk_with_impl<'a>(
+    items: &'a [Item],
+    impl_ty: &'a str,
+    on_expr: &mut impl FnMut(&'a Expr, &'a str),
+    on_pat: &mut impl FnMut(&'a Pat, &'a str),
+) {
+    fn expr<'a>(
+        e: &'a Expr,
+        ty: &'a str,
+        on_expr: &mut impl FnMut(&'a Expr, &'a str),
+        on_pat: &mut impl FnMut(&'a Pat, &'a str),
+    ) {
+        on_expr(e, ty);
+        match e {
+            Expr::Match { arms, .. } => {
+                for arm in arms {
+                    on_pat(&arm.pat, ty);
+                }
+            }
+            Expr::LetCond { pat, .. } | Expr::For { pat, .. } => on_pat(pat, ty),
+            Expr::Closure { params, .. } => {
+                for p in params {
+                    on_pat(p, ty);
+                }
+            }
+            _ => {}
+        }
+        for child in e.children() {
+            expr(child, ty, on_expr, on_pat);
+        }
+        for b in e.child_blocks() {
+            block(b, ty, on_expr, on_pat);
+        }
+    }
+    fn block<'a>(
+        b: &'a Block,
+        ty: &'a str,
+        on_expr: &mut impl FnMut(&'a Expr, &'a str),
+        on_pat: &mut impl FnMut(&'a Pat, &'a str),
+    ) {
+        for stmt in &b.stmts {
+            match stmt {
+                Stmt::Let {
+                    pat,
+                    init,
+                    else_block,
+                    ..
+                } => {
+                    on_pat(pat, ty);
+                    if let Some(init) = init {
+                        expr(init, ty, on_expr, on_pat);
+                    }
+                    if let Some(eb) = else_block {
+                        block(eb, ty, on_expr, on_pat);
+                    }
+                }
+                Stmt::Expr { expr: e, .. } => expr(e, ty, on_expr, on_pat),
+                Stmt::Item(item) => {
+                    walk_with_impl(std::slice::from_ref(item.as_ref()), ty, on_expr, on_pat);
+                }
+            }
+        }
+    }
+    for item in items {
+        match item {
+            Item::Fn(func) => {
+                for p in &func.params {
+                    on_pat(&p.pat, impl_ty);
+                }
+                if let Some(body) = &func.body {
+                    block(body, impl_ty, on_expr, on_pat);
+                }
+            }
+            Item::Impl(imp) => walk_with_impl(&imp.items, &imp.type_name, on_expr, on_pat),
+            Item::Mod(m) => walk_with_impl(&m.items, impl_ty, on_expr, on_pat),
+            _ => {}
+        }
+    }
+}
+
+/// Record `variant` for every adjacent `Enum::Variant` (or resolved
+/// `Self::Variant`) pair in `segments`.
+fn record_variant_refs(
+    segments: &[String],
+    enum_name: &str,
+    impl_ty: &str,
+    into: &mut BTreeSet<String>,
+) {
+    for window in segments.windows(2) {
+        let head = if window[0] == "Self" {
+            impl_ty
+        } else {
+            window[0].as_str()
+        };
+        if head == enum_name {
+            into.insert(window[1].clone());
+        }
+    }
+}
+
+fn check_error_liveness(
+    enum_name: &str,
+    decl_file: &str,
+    codec_file: &str,
+    files: &BTreeMap<String, FileAnalysis>,
+    out: &mut Vec<Violation>,
+) {
+    let config_violation = |file: &str, message: String, out: &mut Vec<Violation>| {
+        out.push(Violation {
+            rule: ERROR_LIVE,
+            file: file.to_string(),
+            line: 0,
+            col: 0,
+            message,
+            snippet: String::new(),
+        });
+    };
+    let (Some(decl_fa), Some(codec_fa)) = (files.get(decl_file), files.get(codec_file)) else {
+        config_violation(
+            decl_file,
+            format!("lint.toml [[error_enum]] `{enum_name}` names a file that was not scanned"),
+            out,
+        );
+        return;
+    };
+    let Some(decl) = decl_fa.find_enum(enum_name) else {
+        config_violation(
+            decl_file,
+            format!("no `enum {enum_name}` found in {decl_file}"),
+            out,
+        );
+        return;
+    };
+
+    // Constructions: expression-position `Enum::Variant` anywhere outside
+    // tests (paths, struct literals, call callees — all reach here as
+    // `Expr::Path` / `Expr::StructLit`).
+    let mut constructed: BTreeSet<String> = BTreeSet::new();
+    for (rel, fa) in files {
+        if is_test_file(rel) {
+            continue;
+        }
+        walk_with_impl(
+            &fa.ast().items,
+            "",
+            &mut |expr, impl_ty| {
+                let segments = match expr {
+                    Expr::Path { segments, .. } | Expr::StructLit { segments, .. } => segments,
+                    _ => return,
+                };
+                if fa.in_test(expr.pos()) {
+                    return;
+                }
+                record_variant_refs(segments, enum_name, impl_ty, &mut constructed);
+            },
+            &mut |_, _| {},
+        );
+    }
+
+    // Mapping arms: pattern-position `Enum::Variant` in the codec file.
+    let mut mapped: BTreeSet<String> = BTreeSet::new();
+    walk_with_impl(
+        &codec_fa.ast().items,
+        "",
+        &mut |_, _| {},
+        &mut |pat, impl_ty| {
+            ast::visit_pat(pat, &mut |p| {
+                let segments = match p {
+                    Pat::Path { segments, .. }
+                    | Pat::Struct { segments, .. }
+                    | Pat::TupleStruct { segments, .. } => segments,
+                    _ => return,
+                };
+                if codec_fa.in_test(p.pos()) {
+                    return;
+                }
+                record_variant_refs(segments, enum_name, impl_ty, &mut mapped);
+            });
+        },
+    );
+
+    for v in &decl.variants {
+        if !constructed.contains(&v.name) {
+            out.push(decl_fa.violation(
+                ERROR_LIVE,
+                v.pos,
+                format!(
+                    "`{enum_name}::{}` is never constructed outside tests — a dead error variant \
+                     hides the failure it was meant to report",
+                    v.name
+                ),
+            ));
+        }
+        if !mapped.contains(&v.name) {
+            out.push(decl_fa.violation(
+                ERROR_LIVE,
+                v.pos,
+                format!(
+                    "`{enum_name}::{}` has no mapping arm in {codec_file} — it would be silently \
+                     swallowed at the wire boundary",
+                    v.name
+                ),
+            ));
+        }
+    }
+}

@@ -16,8 +16,12 @@
 //! Exceptions need an inline `// lint:allow(<rule>) -- <reason>` marker,
 //! which suppresses the rule on its own line and the next; markers are
 //! counted, reasonless or unknown markers are violations, unused markers
-//! are warnings (errors under deny-all).
+//! are warnings (errors under deny-all when their rule is enabled for
+//! the file).
+#![warn(missing_docs)]
 
+pub mod ast;
+pub mod flow;
 pub mod lexer;
 pub mod manifest;
 pub mod rules;
@@ -46,9 +50,91 @@ impl Report {
     }
 
     /// Does the run fail? Violations always fail; under `deny_all`,
-    /// stale allow markers fail too.
+    /// stale allow markers for rules that are actually enabled on their
+    /// path fail too. A stale allow for a rule the manifest never runs
+    /// on that file only ever warns — erroring on it would force edits
+    /// to files the configured rules cannot even see.
     pub fn failed(&self, deny_all: bool) -> bool {
-        !self.violations.is_empty() || (deny_all && !self.unused_allows().is_empty())
+        !self.violations.is_empty() || (deny_all && self.unused_allows().iter().any(|a| a.enforced))
+    }
+
+    /// Render the machine-readable report: a stable-ordered JSON object
+    /// (violations sorted by file/line/col/rule, allows by
+    /// file/line/rule) so CI diffs and re-runs are byte-identical. The
+    /// schema is documented in `docs/ARCHITECTURE.md`.
+    pub fn to_json(&self, deny_all: bool) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => {
+                        out.push_str(&format!("\\u{:04x}", c as u32));
+                    }
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        let mut allows: Vec<&Allow> = self.allows.iter().collect();
+        allows.sort_by(|a, b| {
+            (a.file.as_str(), a.line, a.rule.as_str()).cmp(&(
+                b.file.as_str(),
+                b.line,
+                b.rule.as_str(),
+            ))
+        });
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!("  \"suppressed\": {},\n", self.suppressed));
+        out.push_str(&format!("  \"deny_all\": {deny_all},\n"));
+        out.push_str(&format!("  \"failed\": {},\n", self.failed(deny_all)));
+        out.push_str("  \"violations\": [");
+        for (i, v) in self.violations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"col\": {}, \
+                 \"message\": \"{}\", \"snippet\": \"{}\"}}",
+                esc(v.rule),
+                esc(&v.file),
+                v.line,
+                v.col,
+                esc(&v.message),
+                esc(&v.snippet)
+            ));
+        }
+        if !self.violations.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n");
+        out.push_str("  \"allows\": [");
+        for (i, a) in allows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"reason\": \"{}\", \
+                 \"used\": {}, \"enforced\": {}}}",
+                esc(&a.rule),
+                esc(&a.file),
+                a.line,
+                esc(&a.reason),
+                a.used,
+                a.enforced
+            ));
+        }
+        if !allows.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
     }
 }
 
@@ -135,6 +221,7 @@ pub fn run(root: &Path) -> Result<Report, RunError> {
     if let Some(protocol) = &manifest.protocol {
         rules::check_protocol(protocol, &analyses, &mut violations);
     }
+    flow::check_flow(&manifest, &analyses, &mut violations);
 
     // Apply allow markers: a marker suppresses violations of its rule on
     // its own line and the line below, in its own file.
@@ -142,6 +229,9 @@ pub fn run(root: &Path) -> Result<Report, RunError> {
         .values()
         .flat_map(|a| a.allows.iter().cloned())
         .collect();
+    for allow in &mut allows {
+        allow.enforced = rules::rule_enabled(&allow.rule, &allow.file, &manifest);
+    }
     let mut kept = Vec::new();
     let mut suppressed = 0usize;
     for violation in violations {

@@ -1,21 +1,39 @@
 //! CLI for the workspace invariant linter.
 //!
 //! ```text
-//! cargo run -p xtask-lint --              # lint the workspace root
-//! cargo run -p xtask-lint -- --deny-all   # also fail on unused allows (CI)
-//! cargo run -p xtask-lint -- --root DIR   # lint another tree (fixtures)
+//! cargo run -p xtask-lint --                    # lint the workspace root
+//! cargo run -p xtask-lint -- --deny-all         # also fail on stale allows (CI)
+//! cargo run -p xtask-lint -- --root DIR         # lint another tree (fixtures)
+//! cargo run -p xtask-lint -- --format=json      # machine-readable report
 //! ```
 //!
-//! Exit code 0 when clean, 1 on violations (or stale allows under
-//! `--deny-all`), 2 on usage / manifest errors.
+//! Exit code 0 when clean, 1 on violations (or stale *enforced* allows
+//! under `--deny-all`), 2 on usage / manifest errors. In JSON mode the
+//! report object is the only stdout output; the schema is documented in
+//! `docs/ARCHITECTURE.md`.
 #![allow(clippy::print_stdout, clippy::print_stderr)]
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+#[derive(PartialEq)]
+enum Format {
+    Text,
+    Json,
+}
+
+fn parse_format(value: &str) -> Option<Format> {
+    match value {
+        "text" => Some(Format::Text),
+        "json" => Some(Format::Json),
+        _ => None,
+    }
+}
+
 fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut deny_all = false;
+    let mut format = Format::Text;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -27,21 +45,31 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--format" => match args.next().as_deref().and_then(parse_format) {
+                Some(f) => format = f,
+                None => {
+                    eprintln!("error: --format needs `text` or `json`");
+                    return ExitCode::from(2);
+                }
+            },
             "--help" | "-h" => {
                 println!(
                     "xtask-lint: std-only workspace invariant linter\n\
                      \n\
-                     USAGE: xtask-lint [--root DIR] [--deny-all]\n\
+                     USAGE: xtask-lint [--root DIR] [--deny-all] [--format text|json]\n\
                      \n\
                      Lints every .rs file under DIR (default `.`) against\n\
                      DIR/lint.toml. See docs/INVARIANTS.md for the rules."
                 );
                 return ExitCode::SUCCESS;
             }
-            other => {
-                eprintln!("error: unknown argument `{other}` (try --help)");
-                return ExitCode::from(2);
-            }
+            other => match other.strip_prefix("--format=").and_then(parse_format) {
+                Some(f) => format = f,
+                None => {
+                    eprintln!("error: unknown argument `{other}` (try --help)");
+                    return ExitCode::from(2);
+                }
+            },
         }
     }
 
@@ -53,6 +81,15 @@ fn main() -> ExitCode {
         }
     };
 
+    if format == Format::Json {
+        print!("{}", report.to_json(deny_all));
+        return if report.failed(deny_all) {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+
     for v in &report.violations {
         println!(
             "{}:{}:{}: [{}] {}",
@@ -62,13 +99,20 @@ fn main() -> ExitCode {
             println!("    {}", v.snippet);
         }
     }
-    let unused = report.unused_allows();
-    for allow in &unused {
-        let kind = if deny_all { "error" } else { "warning" };
-        println!(
-            "{}:{}: [{kind}] unused lint:allow({}) — nothing suppressed; remove it",
-            allow.file, allow.line, allow.rule
-        );
+    for allow in &report.unused_allows() {
+        if allow.enforced {
+            let kind = if deny_all { "error" } else { "warning" };
+            println!(
+                "{}:{}: [{kind}] unused lint:allow({}) — nothing suppressed; remove it",
+                allow.file, allow.line, allow.rule
+            );
+        } else {
+            println!(
+                "{}:{}: [warning] unused lint:allow({}) — rule not enabled for this path; \
+                 remove the stale marker",
+                allow.file, allow.line, allow.rule
+            );
+        }
     }
 
     println!(

@@ -43,6 +43,44 @@ pub struct ProtocolConfig {
     pub counters: String,
 }
 
+/// The channel-topology pass configuration (rule `channel-topology`).
+#[derive(Debug, Clone, Default)]
+pub struct ChannelConfig {
+    /// Path prefixes (or exact files) whose channel graph is analyzed.
+    pub paths: Vec<String>,
+}
+
+/// The counter-accounting pass configuration (rule `counter-accounting`).
+#[derive(Debug, Clone, Default)]
+pub struct CountersConfig {
+    /// File declaring the counter structs.
+    pub file: String,
+    /// Struct names whose integer fields are audited.
+    pub structs: Vec<String>,
+}
+
+/// The wire-safety pass configuration (rule `wire-safety`).
+#[derive(Debug, Clone, Default)]
+pub struct WireConfig {
+    /// Path prefixes (or exact files) where bare casts and unchecked
+    /// arithmetic on quantities are banned.
+    pub paths: Vec<String>,
+    /// Identifier fragments that mark a value as a length/byte quantity
+    /// (`len`, `bytes`, ...).
+    pub quantities: Vec<String>,
+}
+
+/// One audited error enum (rule `error-liveness`).
+#[derive(Debug, Clone, Default)]
+pub struct ErrorEnumConfig {
+    /// The enum's name.
+    pub name: String,
+    /// File declaring the enum.
+    pub decl: String,
+    /// File whose wire codec must map every variant.
+    pub codec: String,
+}
+
 /// Parsed manifest.
 #[derive(Debug, Clone, Default)]
 pub struct Manifest {
@@ -53,6 +91,14 @@ pub struct Manifest {
     pub hot: Vec<HotModule>,
     /// Protocol wiring; `None` disables the cross-file rule.
     pub protocol: Option<ProtocolConfig>,
+    /// Channel-topology wiring; `None` disables the pass.
+    pub channel: Option<ChannelConfig>,
+    /// Counter-accounting wiring; `None` disables the pass.
+    pub counters: Option<CountersConfig>,
+    /// Wire-safety wiring; `None` disables the pass.
+    pub wire: Option<WireConfig>,
+    /// Audited error enums; empty disables the pass.
+    pub error_enums: Vec<ErrorEnumConfig>,
 }
 
 /// A manifest syntax error with its line.
@@ -136,6 +182,10 @@ pub fn parse(src: &str) -> Result<Manifest, ManifestError> {
         NoPanic,
         Hot,
         Protocol,
+        Channel,
+        Counters,
+        Wire,
+        ErrorEnum,
     }
     let mut section = Section::None;
     for (idx, raw) in src.lines().enumerate() {
@@ -150,6 +200,10 @@ pub fn parse(src: &str) -> Result<Manifest, ManifestError> {
                     manifest.hot.push(HotModule::default());
                     section = Section::Hot;
                 }
+                "error_enum" => {
+                    manifest.error_enums.push(ErrorEnumConfig::default());
+                    section = Section::ErrorEnum;
+                }
                 other => return Err(err(line_no, format!("unknown table `[[{other}]]`"))),
             }
         } else if let Some(header) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
@@ -160,6 +214,20 @@ pub fn parse(src: &str) -> Result<Manifest, ManifestError> {
                         .protocol
                         .get_or_insert_with(ProtocolConfig::default);
                     Section::Protocol
+                }
+                "channel" => {
+                    manifest.channel.get_or_insert_with(ChannelConfig::default);
+                    Section::Channel
+                }
+                "counters" => {
+                    manifest
+                        .counters
+                        .get_or_insert_with(CountersConfig::default);
+                    Section::Counters
+                }
+                "wire" => {
+                    manifest.wire.get_or_insert_with(WireConfig::default);
+                    Section::Wire
                 }
                 other => return Err(err(line_no, format!("unknown table `[{other}]`"))),
             };
@@ -187,6 +255,43 @@ pub fn parse(src: &str) -> Result<Manifest, ManifestError> {
                         }
                     }
                 }
+                (Section::Channel, "paths") => {
+                    if let Some(c) = manifest.channel.as_mut() {
+                        c.paths = values;
+                    }
+                }
+                (Section::Counters, "file") => {
+                    if let Some(c) = manifest.counters.as_mut() {
+                        c.file = first();
+                    }
+                }
+                (Section::Counters, "structs") => {
+                    if let Some(c) = manifest.counters.as_mut() {
+                        c.structs = values;
+                    }
+                }
+                (Section::Wire, "paths") => {
+                    if let Some(w) = manifest.wire.as_mut() {
+                        w.paths = values;
+                    }
+                }
+                (Section::Wire, "quantities") => {
+                    if let Some(w) = manifest.wire.as_mut() {
+                        w.quantities = values;
+                    }
+                }
+                (Section::ErrorEnum, "name" | "decl" | "codec") => {
+                    match manifest.error_enums.last_mut() {
+                        Some(e) => match key {
+                            "name" => e.name = first(),
+                            "decl" => e.decl = first(),
+                            _ => e.codec = first(),
+                        },
+                        None => {
+                            return Err(err(line_no, "key outside an [[error_enum]] table"));
+                        }
+                    }
+                }
                 _ => return Err(err(line_no, format!("unknown key `{key}` here"))),
             }
         } else {
@@ -196,6 +301,14 @@ pub fn parse(src: &str) -> Result<Manifest, ManifestError> {
     for hot in &manifest.hot {
         if hot.file.is_empty() {
             return Err(err(0, "[[hot]] table without a `file` key"));
+        }
+    }
+    for e in &manifest.error_enums {
+        if e.name.is_empty() || e.decl.is_empty() || e.codec.is_empty() {
+            return Err(err(
+                0,
+                "[[error_enum]] tables need `name`, `decl` and `codec` keys",
+            ));
         }
     }
     Ok(manifest)

@@ -20,13 +20,69 @@ pub const NO_ALLOC: &str = "no-alloc-in-kernel";
 pub const LOCK_SCOPE: &str = "lock-scope-discipline";
 /// Rule: every protocol variant is dispatched and counted.
 pub const PROTOCOL: &str = "protocol-exhaustiveness";
+/// Rule: a reply `Sender` may never be dropped without sending, and no
+/// channel-touching call may run under a held lock.
+pub const CHANNEL: &str = "channel-topology";
+/// Rule: every counter field has a non-test increment site and a test
+/// assertion, cross-file.
+pub const COUNTERS: &str = "counter-accounting";
+/// Rule: no bare narrowing `as` casts or unchecked `+`/`*` on wire
+/// length/byte quantities in the framing layer.
+pub const WIRE: &str = "wire-safety";
+/// Rule: every error variant is constructed somewhere and has a mapping
+/// arm in the wire codec.
+pub const ERROR_LIVE: &str = "error-liveness";
 /// Pseudo-rule for malformed or unknown `lint:allow` markers.
 pub const LINT_ALLOW: &str = "lint-allow";
 /// Pseudo-rule for manifest entries that no longer match the code.
 pub const MANIFEST: &str = "manifest";
 
 /// Every suppressible rule id.
-pub const RULE_IDS: &[&str] = &[NO_PANIC, TOTAL_FLOAT, NO_ALLOC, LOCK_SCOPE, PROTOCOL];
+pub const RULE_IDS: &[&str] = &[
+    NO_PANIC,
+    TOTAL_FLOAT,
+    NO_ALLOC,
+    LOCK_SCOPE,
+    PROTOCOL,
+    CHANNEL,
+    COUNTERS,
+    WIRE,
+    ERROR_LIVE,
+];
+
+/// Is `rel` equal to, or under, one of the configured path prefixes?
+pub(crate) fn path_under(paths: &[String], rel: &str) -> bool {
+    paths
+        .iter()
+        .any(|p| rel == *p || rel.starts_with(&format!("{p}/")))
+}
+
+/// Is `rule` actually enabled for `file` under `manifest`? Drives the
+/// allow-marker escalation policy: only a stale allow for an *enabled*
+/// rule errors under `--deny-all`.
+pub fn rule_enabled(rule: &str, file: &str, manifest: &Manifest) -> bool {
+    match rule {
+        // These two run on every scanned file unconditionally.
+        r if r == TOTAL_FLOAT || r == LOCK_SCOPE => true,
+        r if r == NO_PANIC => path_under(&manifest.no_panic_paths, file),
+        r if r == NO_ALLOC => manifest.hot.iter().any(|h| h.file == file),
+        r if r == PROTOCOL => manifest
+            .protocol
+            .as_ref()
+            .is_some_and(|p| p.requests == file || p.dispatch == file || p.counters == file),
+        r if r == CHANNEL => manifest
+            .channel
+            .as_ref()
+            .is_some_and(|c| path_under(&c.paths, file)),
+        r if r == COUNTERS => manifest.counters.as_ref().is_some_and(|c| c.file == file),
+        r if r == WIRE => manifest
+            .wire
+            .as_ref()
+            .is_some_and(|w| path_under(&w.paths, file)),
+        r if r == ERROR_LIVE => manifest.error_enums.iter().any(|e| e.decl == file),
+        _ => false,
+    }
+}
 
 /// One reported violation.
 #[derive(Debug, Clone)]
@@ -58,6 +114,9 @@ pub struct Allow {
     pub reason: String,
     /// How many violations the marker suppressed.
     pub used: usize,
+    /// Whether the marker's rule is actually enabled for this file; a
+    /// stale allow for a rule that never runs here only ever warns.
+    pub enforced: bool,
 }
 
 /// A function's body in code-token positions.
@@ -84,6 +143,9 @@ pub struct FileAnalysis {
     /// For each code position holding `{`, the position of its `}`.
     brace_match: BTreeMap<usize, usize>,
     fns: Vec<FnSpan>,
+    /// The parsed syntax tree (see [`crate::ast`]); built last, over the
+    /// same code-token positions the accessors use.
+    ast: Option<crate::ast::File>,
     /// `lint:allow` markers, plus malformed-marker violations.
     pub allows: Vec<Allow>,
     /// Violations found while parsing markers (missing reason, bad rule).
@@ -96,6 +158,11 @@ const KEYWORDS: &[&str] = &[
     "ref", "return", "static", "struct", "super", "trait", "type", "unsafe", "use", "where",
     "while", "yield",
 ];
+
+/// Is `name` a Rust keyword? (Shared with the parser in [`crate::ast`].)
+pub(crate) fn is_keyword(name: &str) -> bool {
+    KEYWORDS.contains(&name)
+}
 
 impl FileAnalysis {
     /// Lex and pre-analyze one file.
@@ -115,6 +182,7 @@ impl FileAnalysis {
             test_mask: Vec::new(),
             brace_match: BTreeMap::new(),
             fns: Vec::new(),
+            ast: None,
             allows: Vec::new(),
             marker_violations: Vec::new(),
         };
@@ -122,43 +190,96 @@ impl FileAnalysis {
         analysis.mark_test_regions();
         analysis.collect_fns();
         analysis.collect_allows();
+        let ast = crate::ast::parse(&analysis);
+        analysis.ast = Some(ast);
         analysis
+    }
+
+    /// The parsed syntax tree (always present after construction).
+    pub fn ast(&self) -> &crate::ast::File {
+        self.ast
+            .as_ref()
+            .expect("AST is built in FileAnalysis::new")
     }
 
     // ------------------------------------------------------------ accessors
 
-    fn tok(&self, pos: usize) -> Option<&Token> {
+    pub(crate) fn tok(&self, pos: usize) -> Option<&Token> {
         self.code.get(pos).map(|&i| &self.tokens[i])
     }
 
-    fn text(&self, pos: usize) -> &str {
+    /// Number of code (non-comment) tokens in the file.
+    pub(crate) fn code_len(&self) -> usize {
+        self.code.len()
+    }
+
+    pub(crate) fn text(&self, pos: usize) -> &str {
         match self.tok(pos) {
             Some(t) => t.text(&self.src),
             None => "",
         }
     }
 
-    fn is_punct(&self, pos: usize, c: char) -> bool {
+    pub(crate) fn is_punct(&self, pos: usize, c: char) -> bool {
         matches!(self.tok(pos), Some(t) if t.kind == TokenKind::Punct(c))
     }
 
-    fn is_ident(&self, pos: usize, name: &str) -> bool {
+    /// The punctuation character at `pos`, if the token is punctuation.
+    pub(crate) fn punct_char(&self, pos: usize) -> Option<char> {
+        match self.tok(pos) {
+            Some(t) => match t.kind {
+                TokenKind::Punct(c) => Some(c),
+                _ => None,
+            },
+            None => None,
+        }
+    }
+
+    pub(crate) fn is_ident(&self, pos: usize, name: &str) -> bool {
         matches!(self.tok(pos), Some(t) if t.kind == TokenKind::Ident && t.text(&self.src) == name)
     }
 
-    fn ident_at(&self, pos: usize) -> Option<&str> {
+    pub(crate) fn ident_at(&self, pos: usize) -> Option<&str> {
         match self.tok(pos) {
             Some(t) if t.kind == TokenKind::Ident => Some(t.text(&self.src)),
             _ => None,
         }
     }
 
-    fn in_test(&self, pos: usize) -> bool {
+    /// Is the token at `pos` a literal (number, string or char)?
+    pub(crate) fn is_literal(&self, pos: usize) -> bool {
+        matches!(
+            self.tok(pos),
+            Some(t) if matches!(t.kind, TokenKind::Number | TokenKind::Str | TokenKind::Char)
+        )
+    }
+
+    /// Is the token at `pos` a number literal?
+    pub(crate) fn is_number(&self, pos: usize) -> bool {
+        matches!(self.tok(pos), Some(t) if t.kind == TokenKind::Number)
+    }
+
+    /// Is the token at `pos` a lifetime (`'a`)?
+    pub(crate) fn is_lifetime(&self, pos: usize) -> bool {
+        matches!(self.tok(pos), Some(t) if t.kind == TokenKind::Lifetime)
+    }
+
+    /// The `}` matching the `{` at code position `open`.
+    pub(crate) fn brace_close(&self, open: usize) -> Option<usize> {
+        self.brace_match.get(&open).copied()
+    }
+
+    /// 1-based source line of the token at `pos` (0 when out of range).
+    pub(crate) fn line_of(&self, pos: usize) -> u32 {
+        self.tok(pos).map_or(0, |t| t.line)
+    }
+
+    pub(crate) fn in_test(&self, pos: usize) -> bool {
         self.test_mask.get(pos).copied().unwrap_or(false)
     }
 
     /// The trimmed source line containing byte `start`.
-    fn line_snippet(&self, line: u32) -> String {
+    pub(crate) fn line_snippet(&self, line: u32) -> String {
         self.src
             .lines()
             .nth(line.saturating_sub(1) as usize)
@@ -167,7 +288,7 @@ impl FileAnalysis {
             .to_string()
     }
 
-    fn violation(&self, rule: &'static str, pos: usize, message: String) -> Violation {
+    pub(crate) fn violation(&self, rule: &'static str, pos: usize, message: String) -> Violation {
         let (line, col) = match self.tok(pos) {
             Some(t) => (t.line, t.col),
             None => (0, 0),
@@ -381,6 +502,8 @@ impl FileAnalysis {
                 line: token.line,
                 reason,
                 used: 0,
+                // The runner downgrades this once it knows the manifest.
+                enforced: true,
             });
         }
         self.allows = allows;
@@ -616,81 +739,65 @@ impl FileAnalysis {
     // ----------------------------------------------- cross-file extraction
 
     /// Variant names (with lines) of `enum <name>`, or `None` if the file
-    /// does not declare it.
+    /// does not declare it. Backed by the parse tree ([`Self::ast`]).
     pub fn enum_variants(&self, name: &str) -> Option<Vec<(String, u32)>> {
-        let open = self.find_item_body("enum", name)?;
-        let close = *self.brace_match.get(&open)?;
-        let mut variants = Vec::new();
-        let mut expecting = true; // at `{` or just past a top-level `,`
-        let mut depth = 0i32;
-        let mut pos = open + 1;
-        while pos < close {
-            match self.tok(pos).map(|t| t.kind) {
-                Some(TokenKind::Punct('{' | '(' | '[')) => depth += 1,
-                Some(TokenKind::Punct('}' | ')' | ']')) => depth -= 1,
-                Some(TokenKind::Punct(',')) if depth == 0 => expecting = true,
-                // Skip the variant attribute `#[...]` entirely.
-                Some(TokenKind::Punct('#')) if depth == 0 && self.is_punct(pos + 1, '[') => {
-                    let (_, after) = self.classify_attribute(pos + 1);
-                    pos = after;
-                    continue;
-                }
-                Some(TokenKind::Ident) if depth == 0 && expecting => {
-                    if let Some(t) = self.tok(pos) {
-                        variants.push((t.text(&self.src).to_string(), t.line));
+        let item = self.find_enum(name)?;
+        Some(
+            item.variants
+                .iter()
+                .map(|v| (v.name.clone(), self.line_of(v.pos)))
+                .collect(),
+        )
+    }
+
+    /// The declaration of `enum <name>` in this file, if any (searching
+    /// inline modules too).
+    pub(crate) fn find_enum(&self, name: &str) -> Option<&crate::ast::EnumItem> {
+        fn walk<'a>(items: &'a [crate::ast::Item], name: &str) -> Option<&'a crate::ast::EnumItem> {
+            for item in items {
+                match item {
+                    crate::ast::Item::Enum(e) if e.name == name => return Some(e),
+                    crate::ast::Item::Mod(m) => {
+                        if let Some(found) = walk(&m.items, name) {
+                            return Some(found);
+                        }
                     }
-                    expecting = false;
+                    _ => {}
                 }
-                _ => {}
             }
-            pos += 1;
+            None
         }
-        Some(variants)
+        walk(&self.ast().items, name)
+    }
+
+    /// The declaration of `struct <name>` in this file, if any (searching
+    /// inline modules too).
+    pub(crate) fn find_struct(&self, name: &str) -> Option<&crate::ast::StructItem> {
+        fn walk<'a>(
+            items: &'a [crate::ast::Item],
+            name: &str,
+        ) -> Option<&'a crate::ast::StructItem> {
+            for item in items {
+                match item {
+                    crate::ast::Item::Struct(s) if s.name == name => return Some(s),
+                    crate::ast::Item::Mod(m) => {
+                        if let Some(found) = walk(&m.items, name) {
+                            return Some(found);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            None
+        }
+        walk(&self.ast().items, name)
     }
 
     /// Field names of `struct <name>`, or `None` if not declared here.
+    /// Backed by the parse tree ([`Self::ast`]).
     pub fn struct_fields(&self, name: &str) -> Option<Vec<String>> {
-        let open = self.find_item_body("struct", name)?;
-        let close = *self.brace_match.get(&open)?;
-        let mut fields = Vec::new();
-        let mut depth = 0i32;
-        for pos in open + 1..close {
-            match self.tok(pos).map(|t| t.kind) {
-                Some(TokenKind::Punct('{' | '(' | '[' | '<')) => depth += 1,
-                Some(TokenKind::Punct('}' | ')' | ']' | '>')) => depth -= 1,
-                // A field is `ident :` not preceded by `:` (type paths
-                // like `gmaa::CycleStats` never match: their idents are
-                // inside the type position at depth 0 but follow `:`).
-                Some(TokenKind::Ident)
-                    if depth == 0
-                        && self.is_punct(pos + 1, ':')
-                        && !self.is_punct(pos + 2, ':')
-                        && !self.is_punct(pos.wrapping_sub(1), ':') =>
-                {
-                    fields.push(self.text(pos).to_string());
-                }
-                _ => {}
-            }
-        }
-        Some(fields)
-    }
-
-    /// Position of the `{` opening `kind name { ... }` (`kind` is `enum`
-    /// or `struct`).
-    fn find_item_body(&self, kind: &str, name: &str) -> Option<usize> {
-        for pos in 0..self.code.len() {
-            if self.is_ident(pos, kind) && self.is_ident(pos + 1, name) {
-                for cursor in pos + 2..self.code.len() {
-                    if self.is_punct(cursor, '{') {
-                        return Some(cursor);
-                    }
-                    if self.is_punct(cursor, ';') {
-                        break; // unit struct / declaration without body
-                    }
-                }
-            }
-        }
-        None
+        let item = self.find_struct(name)?;
+        Some(item.fields.iter().map(|f| f.name.clone()).collect())
     }
 
     /// Every qualified reference `A::B` in the file.

@@ -128,6 +128,153 @@ fn good_clean_passes_and_counts_the_used_allow() {
 }
 
 #[test]
+fn bad_channel_flags_discard_unused_bind_drop_and_locked_call() {
+    let report = run("bad/channel");
+    assert_eq!(
+        triples(&report),
+        [
+            // `Job::Stop { .. }` discards the reply sender.
+            ("channel-topology".into(), "src/relay.rs".into(), 14),
+            // `reply` bound but never sent on or forwarded.
+            ("channel-topology".into(), "src/relay.rs".into(), 20),
+            // A `Sender` parameter whose only use is `drop()`.
+            ("channel-topology".into(), "src/relay.rs".into(), 28),
+            // Call to the channel-touching `notify()` under a held lock.
+            ("channel-topology".into(), "src/relay.rs".into(), 37),
+        ],
+        "{:#?}",
+        report.violations
+    );
+}
+
+#[test]
+fn bad_counters_flags_missing_increment_and_missing_assert() {
+    let report = run("bad/counters");
+    assert_eq!(
+        triples(&report),
+        [
+            // `misses` is asserted but never incremented.
+            ("counter-accounting".into(), "src/stats.rs".into(), 3),
+            // `skipped` is incremented but never asserted.
+            ("counter-accounting".into(), "src/stats.rs".into(), 4),
+        ],
+        "{:#?}",
+        report.violations
+    );
+}
+
+#[test]
+fn bad_wire_flags_cast_and_add_with_counted_allow() {
+    let report = run("bad/wire");
+    assert_eq!(
+        triples(&report),
+        [
+            ("wire-safety".into(), "src/codec.rs".into(), 2),
+            ("wire-safety".into(), "src/codec.rs".into(), 3),
+        ],
+        "{:#?}",
+        report.violations
+    );
+    // The `len + 4` under the counted allow marker is suppressed, not
+    // reported — and the marker shows as used.
+    assert_eq!(report.suppressed, 1);
+    assert_eq!(report.allows.len(), 1);
+    assert_eq!(report.allows[0].used, 1);
+}
+
+#[test]
+fn bad_error_live_flags_dead_and_unmapped_variants() {
+    let report = run("bad/error-live");
+    assert_eq!(
+        triples(&report),
+        [
+            // `Gone` is never constructed outside tests.
+            ("error-liveness".into(), "src/err.rs".into(), 3),
+            // `Teapot` has no mapping arm in the codec (swallowed by `_`).
+            ("error-liveness".into(), "src/err.rs".into(), 4),
+        ],
+        "{:#?}",
+        report.violations
+    );
+}
+
+#[test]
+fn good_flow_clean_passes_all_four_passes() {
+    let report = run("good/flow-clean");
+    assert!(report.violations.is_empty(), "{:#?}", report.violations);
+    assert!(report.allows.is_empty());
+    assert!(!report.failed(true));
+}
+
+/// Self-lint: the workspace itself must be clean under deny-all, and two
+/// runs must produce byte-identical JSON — CI depends on both.
+#[test]
+fn self_lint_is_clean_and_json_is_deterministic() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let first = xtask_lint::run(&root).expect("self lint");
+    let second = xtask_lint::run(&root).expect("self lint again");
+    assert!(
+        !first.failed(true),
+        "workspace must self-lint clean: {:#?}",
+        first.violations
+    );
+    assert_eq!(
+        first.to_json(true),
+        second.to_json(true),
+        "JSON report must be byte-identical across runs"
+    );
+}
+
+/// A stale allow for a rule that is *not* enabled on its file only ever
+/// warns, even under deny-all; a stale allow for an enabled rule errors.
+#[test]
+fn stale_allow_for_disabled_rule_only_warns_under_deny_all() {
+    let dir = std::env::temp_dir().join("xtask-lint-disabled-rule-allow");
+    let src_dir = dir.join("src");
+    std::fs::create_dir_all(&src_dir).expect("mkdir fixture");
+    // no-panic is enabled on src/serve.rs only.
+    std::fs::write(
+        dir.join("lint.toml"),
+        "[no_panic]\npaths = [\"src/serve.rs\"]\n",
+    )
+    .expect("write manifest");
+    std::fs::write(
+        src_dir.join("other.rs"),
+        "// lint:allow(no-panic-in-serving) -- stale marker off the serving path\npub fn id(x: u32) -> u32 { x }\n",
+    )
+    .expect("write source");
+    std::fs::write(src_dir.join("serve.rs"), "pub fn ok() {}\n").expect("write source");
+    let report = xtask_lint::run(&dir).expect("lint run");
+    assert!(report.violations.is_empty(), "{:#?}", report.violations);
+    assert_eq!(report.unused_allows().len(), 1);
+    assert!(!report.unused_allows()[0].enforced);
+    assert!(
+        !report.failed(true),
+        "stale allow for a disabled rule must not fail deny-all"
+    );
+
+    // Move the same stale marker onto the serving path: now it errors.
+    std::fs::write(
+        src_dir.join("serve.rs"),
+        "// lint:allow(no-panic-in-serving) -- stale marker on the serving path\npub fn ok() {}\n",
+    )
+    .expect("write source");
+    std::fs::write(src_dir.join("other.rs"), "pub fn id(x: u32) -> u32 { x }\n")
+        .expect("write source");
+    let report = xtask_lint::run(&dir).expect("lint run");
+    assert_eq!(report.unused_allows().len(), 1);
+    assert!(report.unused_allows()[0].enforced);
+    assert!(
+        !report.failed(false),
+        "still only a warning without deny-all"
+    );
+    assert!(
+        report.failed(true),
+        "deny-all escalates the enforced stale allow"
+    );
+}
+
+#[test]
 fn unused_allows_fail_only_under_deny_all() {
     // The clean tree with the allow's target fixed would leave the marker
     // stale; simulate by checking failed() semantics directly on a report

@@ -1,0 +1,39 @@
+use std::sync::mpsc::Sender;
+use std::sync::Mutex;
+
+pub enum Job {
+    Ping { reply: Sender<u32>, tag: u32 },
+    Stop { reply: Sender<u32> },
+}
+
+pub fn run(job: Job) {
+    match job {
+        Job::Ping { reply, tag } => {
+            let _ = reply.send(tag);
+        }
+        Job::Stop { .. } => {}
+    }
+}
+
+pub fn audit(job: Job) {
+    match job {
+        Job::Ping { reply, tag } => println!("tag {tag}"),
+        Job::Stop { reply } => {
+            let _ = reply.send(0);
+        }
+    }
+}
+
+pub fn hang_up(reply: Sender<u32>) {
+    drop(reply);
+}
+
+pub fn notify(reply: &Sender<u32>) {
+    let _ = reply.send(1);
+}
+
+pub fn locked_notify(gauge: &Mutex<u32>, reply: &Sender<u32>) {
+    let guard = gauge.lock();
+    notify(reply);
+    drop(guard);
+}

@@ -1,0 +1,5 @@
+pub struct Counts {
+    pub hits: u64,
+    pub misses: u64,
+    pub skipped: u64,
+}

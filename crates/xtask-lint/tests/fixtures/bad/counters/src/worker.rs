@@ -1,0 +1,14 @@
+pub fn bump(c: &mut crate::stats::Counts) {
+    c.hits += 1;
+    c.skipped += 1;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn hits_counted() {
+        let c = crate::stats::Counts { hits: 1, misses: 0, skipped: 0 };
+        assert_eq!(c.hits, 1);
+        assert_eq!(c.misses, 0);
+    }
+}

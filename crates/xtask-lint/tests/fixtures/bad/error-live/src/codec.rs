@@ -1,0 +1,15 @@
+pub fn encode(e: &crate::AppError) -> u8 {
+    match e {
+        crate::AppError::Io => 1,
+        crate::AppError::Gone => 2,
+        _ => 0,
+    }
+}
+
+pub fn open() -> crate::AppError {
+    crate::AppError::Io
+}
+
+pub fn brew() -> crate::AppError {
+    crate::AppError::Teapot
+}

@@ -1,0 +1,5 @@
+pub enum AppError {
+    Io,
+    Gone,
+    Teapot,
+}

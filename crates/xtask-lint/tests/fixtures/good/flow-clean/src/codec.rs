@@ -1,0 +1,3 @@
+pub fn frame(len: usize) -> Result<usize, ()> {
+    len.checked_add(4).ok_or(())
+}

@@ -1,0 +1,13 @@
+pub enum AppError {
+    Io,
+}
+
+pub fn encode(e: &AppError) -> u8 {
+    match e {
+        AppError::Io => 1,
+    }
+}
+
+pub fn fail() -> AppError {
+    AppError::Io
+}

@@ -1,0 +1,3 @@
+pub struct Counts {
+    pub hits: u64,
+}

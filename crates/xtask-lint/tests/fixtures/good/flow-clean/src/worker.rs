@@ -1,0 +1,26 @@
+use std::sync::mpsc::Sender;
+
+pub enum Job {
+    Ping { reply: Sender<u32> },
+}
+
+pub fn run(job: Job, c: &mut crate::stats::Counts) {
+    match job {
+        Job::Ping { reply } => {
+            c.hits += 1;
+            let _ = reply.send(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn hits_counted() {
+        let mut c = crate::stats::Counts { hits: 0 };
+        let (tx, rx) = std::sync::mpsc::channel();
+        super::run(super::Job::Ping { reply: tx }, &mut c);
+        assert_eq!(c.hits, 1);
+        assert_eq!(rx.recv().unwrap(), 1);
+    }
+}
