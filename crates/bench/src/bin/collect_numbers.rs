@@ -38,7 +38,17 @@
 //!   load generator: a connection sweep to the saturation throughput
 //!   with p50/p99 request latency at each point, and an overload burst
 //!   at 2× the admission queue capacity showing the typed `Overloaded`
-//!   shedding with the queue bounded at its cap.
+//!   shedding with the queue bounded at its cap;
+//! * **serving_hetero** — three tenant scenario types (a generator-built
+//!   whale plus minnows, the paper's neon-reuse study, and the synthetic
+//!   ontolib assessment corpus) through one manager under a skewed mix,
+//!   with exact per-kind accounting asserted and per-shard busy-time /
+//!   mean-service-time reported;
+//! * **scaling** — the seeded `gmaa-gen` n × m sweep (Mixed family up to
+//!   750 alternatives plus the adversarial presets): cold vs warm vs
+//!   incremental discard-cycle times, LP warm rates and pivots per solve,
+//!   and the `maut::par` batch fan-out ratio per grid point. Pass
+//!   `--scaling-smoke` to swap in the small fixed-seed CI grid.
 //!
 //! Results are printed and written to `BENCH_engine.json` in the current
 //! directory, seeding the repo's performance trajectory.
@@ -720,6 +730,339 @@ fn serving_tcp_bench() -> String {
     )
 }
 
+/// One `(family, n, m)` point of the scaling sweep: cold / warm /
+/// incremental discard-cycle timings, the LP warm-start and pivot
+/// counters behind the warm numbers, and the `maut::par` batch fan-out
+/// ratio — all from the point's fixed generator seed.
+fn scaling_point(cfg: &gmaa_gen::GenConfig, samples: usize) -> String {
+    use gmaa::AnalysisEngine;
+
+    let model = gmaa_gen::generate(cfg);
+    let n = cfg.alternatives;
+
+    // Cold: a fresh engine per sample, so every band matrix is re-derived
+    // and every LP runs the full two-phase method. Construction itself is
+    // excluded from the timed region.
+    let mut cold = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let engine = AnalysisEngine::new(model.clone()).expect("generated model is valid");
+        let start = Instant::now();
+        let cycle = engine.discard_cycle().expect("solver healthy");
+        cold.push(start.elapsed().as_nanos() as f64);
+        assert!(
+            !cycle.non_dominated.is_empty(),
+            "empty frontier at {}",
+            cfg.label()
+        );
+    }
+    cold.sort_by(|a, b| a.total_cmp(b));
+    let cold_ns = cold[cold.len() / 2];
+
+    // Warm: repeated full cycles on one primed engine — the context's
+    // caches are hot and the LP chain reuses bases, so this is the
+    // steady-state cost of re-running the Section V pipeline.
+    let mut engine = AnalysisEngine::new(model.clone()).expect("generated model is valid");
+    engine.discard_cycle().expect("solver healthy");
+    let primed = engine.lp_stats();
+    let mut warm = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        engine.discard_cycle().expect("solver healthy");
+        warm.push(start.elapsed().as_nanos() as f64);
+    }
+    warm.sort_by(|a, b| a.total_cmp(b));
+    let warm_ns = warm[warm.len() / 2];
+    let lp = engine.lp_stats();
+    let warm_solves = lp.solves - primed.solves;
+    let warm_warm = lp.warm_solves - primed.warm_solves;
+    let warm_pivots = lp.pivots - primed.pivots;
+
+    // Incremental: one `set_perf` edit per cycle (attribute 0 is discrete
+    // in every family; Mixed only makes every third attribute continuous),
+    // so each cycle re-certifies a single dirty alternative.
+    let mut inc_engine = AnalysisEngine::new(model.clone()).expect("generated model is valid");
+    inc_engine
+        .discard_cycle_incremental()
+        .expect("solver healthy");
+    let attr = maut::AttributeId::from_index(0);
+    let mut inc = Vec::with_capacity(samples);
+    for i in 0..samples {
+        inc_engine
+            .set_perf((i * 7) % n, attr, Perf::level(i % 2))
+            .expect("edit applies");
+        let start = Instant::now();
+        inc_engine
+            .discard_cycle_incremental()
+            .expect("solver healthy");
+        inc.push(start.elapsed().as_nanos() as f64);
+    }
+    inc.sort_by(|a, b| a.total_cmp(b));
+    let inc_ns = inc[inc.len() / 2];
+    let cycles = inc_engine.cycle_stats();
+    assert_eq!(cycles.full, 1, "only the priming cycle may run full");
+    // Guard the sweep itself: the incremental path on the edited model
+    // must agree with a cold full cycle on the same state.
+    let last = inc_engine
+        .discard_cycle_incremental()
+        .expect("solver healthy");
+    let fresh = AnalysisEngine::new(inc_engine.model().clone()).expect("model still valid");
+    let full = fresh.discard_cycle().expect("solver healthy");
+    assert_eq!(
+        last.non_dominated,
+        full.non_dominated,
+        "incremental/full verdict drift at {}",
+        cfg.label()
+    );
+
+    // `maut::par` fan-out: the whole-batch bounds sweep pinned to one
+    // thread vs one worker per core (identical results by construction).
+    let alts: Vec<usize> = (0..n).collect();
+    let one_ns = time_ns(1, || {
+        engine.batch_evaluate_with(&alts, 1);
+    });
+    let auto_ns = time_ns(1, || {
+        engine.batch_evaluate_with(&alts, 0);
+    });
+
+    println!(
+        "scaling {}: cold {:.2}ms warm {:.2}ms incr {:.3}ms warm-rate {:.3}",
+        cfg.label(),
+        cold_ns / 1e6,
+        warm_ns / 1e6,
+        inc_ns / 1e6,
+        warm_warm as f64 / warm_solves.max(1) as f64,
+    );
+    format!(
+        "      {{\n        \"family\": \"{}\",\n        \"alternatives\": {},\n        \"attributes\": {},\n        \"seed\": {},\n        \"cold_cycle_us\": {:.1},\n        \"warm_cycle_us\": {:.1},\n        \"incremental_cycle_us\": {:.1},\n        \"speedup_warm_vs_cold\": {:.2},\n        \"speedup_incremental_vs_cold\": {:.2},\n        \"lp_solves_per_warm_cycle\": {:.1},\n        \"lp_warm_rate\": {:.3},\n        \"lp_pivots_per_solve\": {:.2},\n        \"par_batch_speedup\": {:.2}\n      }}",
+        cfg.family.key(),
+        n,
+        cfg.attributes,
+        cfg.seed,
+        cold_ns / 1e3,
+        warm_ns / 1e3,
+        inc_ns / 1e3,
+        cold_ns / warm_ns,
+        cold_ns / inc_ns,
+        warm_solves as f64 / samples as f64,
+        warm_warm as f64 / warm_solves.max(1) as f64,
+        warm_pivots as f64 / warm_solves.max(1) as f64,
+        one_ns / auto_ns,
+    )
+}
+
+/// The `scaling` section: the seeded generator's n × m sweep over
+/// cold / warm / incremental discard cycles. The full grid runs the
+/// Mixed family up to 750 alternatives plus the two adversarial presets
+/// at mid scale; `--scaling-smoke` swaps in a 3-point fixed-seed grid
+/// small enough for every CI push.
+fn scaling_bench(smoke: bool) -> String {
+    use gmaa_gen::{Family, GenConfig};
+
+    let full_grid: &[(Family, usize, usize, u64)] = &[
+        (Family::Mixed, 100, 8, 101),
+        (Family::Mixed, 200, 12, 102),
+        (Family::Mixed, 350, 10, 103),
+        (Family::Mixed, 500, 8, 104),
+        (Family::Mixed, 500, 14, 105),
+        (Family::Mixed, 750, 10, 106),
+        (Family::NearDegenerate, 300, 10, 107),
+        (Family::FrontrunnerHeavy, 300, 10, 108),
+    ];
+    let smoke_grid: &[(Family, usize, usize, u64)] = &[
+        (Family::Mixed, 100, 8, 101),
+        (Family::Mixed, 200, 12, 102),
+        (Family::NearDegenerate, 120, 8, 109),
+    ];
+    let (grid, samples) = if smoke {
+        (smoke_grid, 3)
+    } else {
+        (full_grid, 5)
+    };
+
+    let points: Vec<String> = grid
+        .iter()
+        .map(|&(family, n, m, seed)| scaling_point(&GenConfig::preset(family, n, m, seed), samples))
+        .collect();
+    format!(
+        "  \"scaling\": {{\n    \"grid\": \"{}\",\n    \"samples_per_point\": {},\n    \"points\": [\n{}\n    ]\n  }}",
+        if smoke { "smoke" } else { "full" },
+        samples,
+        points.join(",\n")
+    )
+}
+
+/// The `serving_hetero` section: three tenant scenario types — a
+/// generator-built whale and two minnows, the paper's 23 × 14 neon-reuse
+/// study, and the synthetic ontolib assessment corpus — through one
+/// manager under a skewed mix. Exact stats accounting is asserted before
+/// any number is reported, so the section doubles as an end-to-end check.
+fn serving_hetero_bench() -> String {
+    use gmaa_gen::{Family, GenConfig};
+    use gmaa_serve::{Request, ServeConfig, SessionConfig, SessionManager};
+
+    let tenants: Vec<(&str, maut::DecisionModel)> = vec![
+        (
+            "whale",
+            gmaa_gen::generate(&GenConfig::preset(Family::Mixed, 300, 12, 41)),
+        ),
+        (
+            "minnow-flat",
+            gmaa_gen::generate(&GenConfig::preset(Family::Flat, 24, 8, 42)),
+        ),
+        (
+            "minnow-degenerate",
+            gmaa_gen::generate(&GenConfig::preset(Family::NearDegenerate, 20, 8, 43)),
+        ),
+        ("neon-reuse", neon_reuse::paper_model().model),
+        (
+            "ontolib-assess",
+            neon_reuse::corpus::assessment_model(10, 44),
+        ),
+    ];
+    let whale_alternatives = tenants[0].1.num_alternatives();
+
+    let manager = SessionManager::new(ServeConfig {
+        shards: 4,
+        session: SessionConfig {
+            mc_trials: 300,
+            stability_resolution: 40,
+            ..SessionConfig::default()
+        },
+        ..ServeConfig::default()
+    });
+    let mut issued_create = 0u64;
+    let mut issued_set_perf = 0u64;
+    let mut issued_analyze = 0u64;
+    let mut issued_cycle = 0u64;
+    let mut issued_mc = 0u64;
+    let mut issued_snapshot = 0u64;
+    for (name, model) in &tenants {
+        manager
+            .request(Request::CreateSession {
+                session: (*name).into(),
+                model: model.clone(),
+            })
+            .expect("create");
+        issued_create += 1;
+    }
+
+    const ROUNDS: usize = 3;
+    let start = Instant::now();
+    for round in 0..ROUNDS {
+        let mut pending = Vec::new();
+        // The whale: heavy edit→cycle churn plus one Monte Carlo probe
+        // per round (attributes 0 and 1 are discrete in the Mixed family).
+        for i in 0..6 {
+            pending.push(manager.submit(Request::SetPerf {
+                session: "whale".into(),
+                alternative: (round * 13 + i * 7) % whale_alternatives,
+                attr: maut::AttributeId::from_index(i % 2),
+                perf: Perf::level(i % 3),
+            }));
+            issued_set_perf += 1;
+            pending.push(manager.submit(Request::DiscardCycle {
+                session: "whale".into(),
+            }));
+            issued_cycle += 1;
+        }
+        pending.push(manager.submit(Request::MonteCarlo {
+            session: "whale".into(),
+            trials: 500,
+        }));
+        issued_mc += 1;
+        // The reuse tenants: one light edit→cycle round plus a ranking.
+        for tenant in ["neon-reuse", "ontolib-assess"] {
+            pending.push(manager.submit(Request::SetPerf {
+                session: tenant.into(),
+                alternative: round,
+                attr: maut::AttributeId::from_index(0),
+                perf: Perf::level(round % 4),
+            }));
+            issued_set_perf += 1;
+            pending.push(manager.submit(Request::DiscardCycle {
+                session: tenant.into(),
+            }));
+            issued_cycle += 1;
+            pending.push(manager.submit(Request::Analyze {
+                session: tenant.into(),
+            }));
+            issued_analyze += 1;
+        }
+        // The minnows: read-mostly.
+        for tenant in ["minnow-flat", "minnow-degenerate"] {
+            pending.push(manager.submit(Request::Analyze {
+                session: tenant.into(),
+            }));
+            issued_analyze += 1;
+            pending.push(manager.submit(Request::Snapshot {
+                session: tenant.into(),
+            }));
+            issued_snapshot += 1;
+        }
+        for p in pending {
+            p.wait().expect("request succeeds");
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+
+    // Exact accounting: every issued request — and nothing else — must
+    // show up in the aggregate, by kind, before we trust the numbers.
+    let stats = manager.stats();
+    let total = stats.aggregate();
+    assert_eq!(total.requests.create, issued_create);
+    assert_eq!(total.requests.set_perf, issued_set_perf);
+    assert_eq!(total.requests.analyze, issued_analyze);
+    assert_eq!(total.requests.discard_cycle, issued_cycle);
+    assert_eq!(total.requests.monte_carlo, issued_mc);
+    assert_eq!(total.requests.snapshot, issued_snapshot);
+    let issued = issued_create
+        + issued_set_perf
+        + issued_analyze
+        + issued_cycle
+        + issued_mc
+        + issued_snapshot;
+    assert_eq!(total.requests.total(), issued);
+    assert_eq!(total.rejected_overload, 0);
+    assert_eq!(total.rejected_deadline, 0);
+    assert_eq!(total.load.served_requests, total.requests.total());
+
+    let whale_shard = manager.shard_of("whale");
+    let whale_busy = stats.shards[whale_shard].load.busy_ns;
+    let busiest = stats
+        .shards
+        .iter()
+        .max_by_key(|s| s.load.busy_ns)
+        .expect("shards exist");
+    assert_eq!(
+        busiest.shard, whale_shard,
+        "whale shard should dominate busy time"
+    );
+    let per_shard: Vec<String> = stats
+        .shards
+        .iter()
+        .map(|s| {
+            format!(
+                "      {{ \"shard\": {}, \"served_requests\": {}, \"busy_ms\": {:.2}, \"mean_service_us\": {:.1} }}",
+                s.shard,
+                s.load.served_requests,
+                s.load.busy_ns as f64 / 1e6,
+                s.load.mean_service_ns().unwrap_or(0.0) / 1e3,
+            )
+        })
+        .collect();
+    manager.shutdown().expect("clean drain");
+
+    format!(
+        "  \"serving_hetero\": {{\n    \"tenants\": \"generated mixed-300x12 whale + flat-24x8 and near-degenerate-20x8 minnows + neon-reuse 23x14 + ontolib-assess 10 candidates\",\n    \"shards\": 4,\n    \"rounds\": {ROUNDS},\n    \"requests_total\": {},\n    \"requests_per_sec\": {:.0},\n    \"incremental_hit_rate\": {:.3},\n    \"lp_warm_share\": {:.3},\n    \"whale_shard\": {whale_shard},\n    \"whale_busy_share\": {:.3},\n    \"per_shard\": [\n{}\n    ]\n  }}",
+        issued,
+        issued as f64 / elapsed,
+        stats.incremental_hit_rate().unwrap_or(0.0),
+        total.lp.warm_solves as f64 / total.lp.solves.max(1) as f64,
+        whale_busy as f64 / total.load.busy_ns.max(1) as f64,
+        per_shard.join(",\n")
+    )
+}
+
 fn main() {
     // band-width ablation counts
     for hw in [0.05, 0.15, 0.25, 0.35] {
@@ -779,11 +1122,16 @@ fn main() {
     println!("non-dominated: {}/23", nd.len());
 
     // engine performance comparison -> BENCH_engine.json
+    // `--scaling-smoke` swaps the full n x m scaling grid for the small
+    // fixed-seed CI grid; every other section is unaffected.
+    let smoke = std::env::args().any(|a| a == "--scaling-smoke");
     let serving = format!(
-        "{},\n{},\n{}",
+        "{},\n{},\n{},\n{},\n{}",
         serving_bench(),
         serving_durable_bench(),
-        serving_tcp_bench()
+        serving_tcp_bench(),
+        serving_hetero_bench(),
+        scaling_bench(smoke)
     );
     let json = engine_bench(&serving);
     print!("\nengine bench:\n{json}");

@@ -1,0 +1,49 @@
+//! CLI front end: print one generated model as JSON on stdout.
+//!
+//! Usage: `gmaa-gen <family> <alternatives> <attributes> <seed>`
+//!
+//! The output is the serialized `DecisionModel`, byte-identical for equal
+//! arguments in any process — the cross-process determinism test spawns
+//! this binary twice and compares raw stdout.
+
+use gmaa_gen::{generate, Family, GenConfig};
+use std::io::Write;
+use std::process::ExitCode;
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [family, alternatives, attributes, seed] = args.as_slice() else {
+        return Err(format!(
+            "usage: gmaa-gen <family> <alternatives> <attributes> <seed>\n  families: {}",
+            Family::ALL.map(Family::key).join(", ")
+        ));
+    };
+    let family = Family::from_key(family).ok_or_else(|| format!("unknown family `{family}`"))?;
+    let parse = |what: &str, s: &String| {
+        s.parse::<u64>()
+            .map_err(|e| format!("bad {what} `{s}`: {e}"))
+    };
+    let cfg = GenConfig::preset(
+        family,
+        parse("alternative count", alternatives)? as usize,
+        parse("attribute count", attributes)? as usize,
+        parse("seed", seed)?,
+    );
+    let model = generate(&cfg);
+    let json = serde_json::to_string(&model).map_err(|e| format!("serialize: {e}"))?;
+    std::io::stdout()
+        .write_all(json.as_bytes())
+        .and_then(|()| std::io::stdout().write_all(b"\n"))
+        .map_err(|e| format!("stdout: {e}"))
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            let _ = std::io::stderr().write_all(msg.as_bytes());
+            let _ = std::io::stderr().write_all(b"\n");
+            ExitCode::FAILURE
+        }
+    }
+}

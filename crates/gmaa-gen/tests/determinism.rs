@@ -1,0 +1,56 @@
+//! Cross-process determinism: the generator's contract is that a
+//! `(family, seed)` pair pins the model bit-for-bit *across process
+//! boundaries* — no HashMap iteration order, ASLR-dependent hashing, or
+//! time-seeded state may leak into the output. The in-process unit tests
+//! cannot see that class of bug, so this suite spawns the `gmaa-gen`
+//! binary twice per config and compares raw stdout bytes.
+
+use std::process::{Command, Output};
+
+fn run_bin(family: &str, n: &str, m: &str, seed: &str) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_gmaa-gen"))
+        .args([family, n, m, seed])
+        .output()
+        .expect("spawn gmaa-gen")
+}
+
+#[test]
+fn same_family_and_seed_is_byte_identical_across_processes() {
+    for family in gmaa_gen::Family::ALL {
+        let a = run_bin(family.key(), "24", "8", "42");
+        let b = run_bin(family.key(), "24", "8", "42");
+        assert!(a.status.success(), "{}: {:?}", family.key(), a);
+        assert!(b.status.success(), "{}: {:?}", family.key(), b);
+        assert!(!a.stdout.is_empty());
+        assert_eq!(
+            a.stdout,
+            b.stdout,
+            "family {} not deterministic across processes",
+            family.key()
+        );
+    }
+}
+
+#[test]
+fn different_seeds_produce_distinct_models() {
+    let a = run_bin("mixed", "24", "8", "1");
+    let b = run_bin("mixed", "24", "8", "2");
+    assert!(a.status.success() && b.status.success());
+    assert_ne!(a.stdout, b.stdout, "seed is ignored");
+}
+
+#[test]
+fn binary_output_matches_library_output() {
+    let out = run_bin("near-degenerate", "12", "6", "7");
+    assert!(out.status.success());
+    let cfg = gmaa_gen::GenConfig::preset(gmaa_gen::Family::NearDegenerate, 12, 6, 7);
+    let expected = serde_json::to_string(&gmaa_gen::generate(&cfg)).unwrap();
+    assert_eq!(String::from_utf8(out.stdout).unwrap().trim_end(), expected);
+}
+
+#[test]
+fn bad_arguments_fail_without_output() {
+    let out = run_bin("no-such-family", "10", "5", "1");
+    assert!(!out.status.success());
+    assert!(out.stdout.is_empty());
+}

@@ -62,7 +62,7 @@ mod store;
 pub use admission::TenantQuota;
 pub use manager::{Pending, ServeConfig, SessionManager};
 pub use protocol::{Request, RequestKind, Response, ServeError, SessionConfig, SessionSnapshot};
-pub use stats::{RequestCounts, ServeStats, ShardStats, StoreStats};
+pub use stats::{LoadStats, RequestCounts, ServeStats, ShardStats, StoreStats};
 pub use store::{
     FaultInjectingStore, FileStore, FsyncPolicy, JournalRecord, MemoryStore, SessionStore,
     StoreError, StoreOp, StoredSession,

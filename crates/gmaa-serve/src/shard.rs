@@ -15,7 +15,7 @@
 use crate::admission::ShardGate;
 use crate::protocol::{Request, RequestKind, Response, ServeError, SessionConfig, SessionSnapshot};
 use crate::session::Session;
-use crate::stats::{RequestCounts, ShardStats, StoreStats};
+use crate::stats::{LoadStats, RequestCounts, ShardStats, StoreStats};
 use crate::store::{JournalRecord, SessionStore, StoredSession};
 use gmaa::CycleStats;
 use maut_sense::{MonteCarlo, MonteCarloConfig, SolveStats};
@@ -79,6 +79,9 @@ pub(crate) struct Shard {
     retired_cycles: CycleStats,
     retired_lp: SolveStats,
     store_stats: StoreStats,
+    /// Worker service-time accounting: time spent inside `handle` and
+    /// the number of requests that reached it.
+    load: LoadStats,
     /// The admission gate shared with the manager's submit path: the
     /// manager increments its depth on admission, this worker releases
     /// at dequeue. `None` for bare shards driven directly in tests.
@@ -106,6 +109,7 @@ impl Shard {
             retired_cycles: CycleStats::default(),
             retired_lp: SolveStats::default(),
             store_stats: StoreStats::default(),
+            load: LoadStats::default(),
             gate: None,
             stopping: None,
         }
@@ -202,7 +206,21 @@ impl Shard {
         *slot += 1;
     }
 
+    /// Handle one request, accounting its wall-clock service time into
+    /// [`LoadStats`] — the busy-time signal that distinguishes a whale
+    /// tenant's shard from a minnow's at equal request counts.
     pub(crate) fn handle(&mut self, request: Request) -> Result<Response, ServeError> {
+        let started = Instant::now();
+        let outcome = self.dispatch(request);
+        // A u64 of nanoseconds holds ~584 years of busy time; the
+        // conversion saturates rather than truncates on the (absurd)
+        // single-request overflow.
+        self.load.busy_ns += u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.load.served_requests += 1;
+        outcome
+    }
+
+    fn dispatch(&mut self, request: Request) -> Result<Response, ServeError> {
         self.count(request.kind());
         self.clock += 1;
         match request {
@@ -591,6 +609,7 @@ impl Shard {
             cycles,
             lp,
             store: self.store_stats,
+            load: self.load,
         }
     }
 }
@@ -617,6 +636,28 @@ mod tests {
             model: model(),
         });
         assert!(matches!(r, Ok(Response::Created)));
+    }
+
+    #[test]
+    fn load_accounting_tracks_handled_requests() {
+        let mut shard = Shard::new(0, 4, SessionConfig::default());
+        create(&mut shard, "s");
+        let r = shard.handle(Request::Analyze {
+            session: "s".into(),
+        });
+        assert!(r.is_ok());
+        // Failed requests consume engine time too and must be counted.
+        let r = shard.handle(Request::Analyze {
+            session: "missing".into(),
+        });
+        assert!(r.is_err());
+        let stats = shard.stats();
+        assert_eq!(stats.load.served_requests, 3);
+        assert!(stats.load.busy_ns > 0, "handling took measurable time");
+        assert!(stats.load.mean_service_ns().is_some());
+        // Served requests never exceed the per-kind counts: admission
+        // rejections and queue-level deadline expiries bypass `handle`.
+        assert!(stats.load.served_requests <= stats.requests.total());
     }
 
     #[test]

@@ -94,6 +94,37 @@ impl StoreStats {
     }
 }
 
+/// Wall-clock service-time accounting for one shard's worker thread —
+/// the signal the queue-depth counters cannot give: a whale tenant's
+/// shard shows the same `queued_now` as a minnow's while burning orders
+/// of magnitude more engine time. This is the measurement groundwork for
+/// load-aware routing (see ROADMAP): `busy_ns / served_requests` is the
+/// shard's mean service time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoadStats {
+    /// Nanoseconds the worker spent inside request handling (engine
+    /// work, store I/O, snapshot encoding) — queue wait time excluded.
+    pub busy_ns: u64,
+    /// Requests that reached the handler. Unlike
+    /// [`ShardStats::requests`], admission rejections *and* queue-level
+    /// deadline expiries are excluded: this denominator only counts
+    /// requests that consumed engine time.
+    pub served_requests: u64,
+}
+
+impl LoadStats {
+    /// Fold another shard's load counters into this one.
+    pub fn merge(&mut self, other: &LoadStats) {
+        self.busy_ns += other.busy_ns;
+        self.served_requests += other.served_requests;
+    }
+
+    /// Mean nanoseconds per served request (`None` before any request).
+    pub fn mean_service_ns(&self) -> Option<f64> {
+        (self.served_requests > 0).then(|| self.busy_ns as f64 / self.served_requests as f64)
+    }
+}
+
 /// One shard's counters at a point in time.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ShardStats {
@@ -144,6 +175,8 @@ pub struct ShardStats {
     pub lp: SolveStats,
     /// Durable-store activity (all zeros without a store).
     pub store: StoreStats,
+    /// Worker service-time accounting (busy time and served requests).
+    pub load: LoadStats,
 }
 
 impl ShardStats {
@@ -169,6 +202,7 @@ impl ShardStats {
         self.cycles.full += other.cycles.full;
         self.lp.merge(&other.lp);
         self.store.merge(&other.store);
+        self.load.merge(&other.load);
     }
 }
 

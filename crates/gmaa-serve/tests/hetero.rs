@@ -1,0 +1,207 @@
+//! Heterogeneous multi-tenant serving: three distinct tenant scenario
+//! types — generator-built whales and minnows (`gmaa-gen`), the paper's
+//! `neon-reuse` ontology-reuse pipeline, and an `ontolib`-driven
+//! ontology-assessment workload — through one `SessionManager`, with
+//! exact stats accounting across the skewed request mix.
+//!
+//! This is the test-sized twin of the `serving_hetero` benchmark section
+//! (`crates/bench/src/bin/collect_numbers.rs`); the workload shapes
+//! match, only the model sizes and round counts are shrunk.
+
+mod common;
+
+use common::quick;
+use gmaa_gen::{generate, Family, GenConfig};
+use gmaa_serve::{Request, Response, ServeConfig, SessionManager};
+use maut::{AttributeId, Perf};
+
+/// The five tenants: one generated whale, two generated minnows, the
+/// paper's 23×14 reuse study, and a synthetic ontology-assessment corpus.
+fn tenants() -> Vec<(&'static str, maut::DecisionModel)> {
+    vec![
+        (
+            "whale",
+            generate(&GenConfig::preset(Family::Mixed, 120, 12, 31)),
+        ),
+        (
+            "minnow-flat",
+            generate(&GenConfig::preset(Family::Flat, 12, 6, 32)),
+        ),
+        (
+            "minnow-degenerate",
+            generate(&GenConfig::preset(Family::NearDegenerate, 10, 6, 33)),
+        ),
+        ("neon-reuse", neon_reuse::paper_model().model),
+        (
+            "ontolib-assess",
+            neon_reuse::corpus::assessment_model(8, 34),
+        ),
+    ]
+}
+
+#[test]
+fn heterogeneous_tenants_share_one_manager_with_exact_accounting() {
+    let manager = SessionManager::new(ServeConfig {
+        shards: 4,
+        session: quick(),
+        ..ServeConfig::default()
+    });
+
+    let tenants = tenants();
+    let mut issued_create = 0u64;
+    let mut issued_set_perf = 0u64;
+    let mut issued_analyze = 0u64;
+    let mut issued_cycle = 0u64;
+    let mut issued_mc = 0u64;
+    let mut issued_snapshot = 0u64;
+
+    for (name, model) in &tenants {
+        assert!(matches!(
+            manager.request(Request::CreateSession {
+                session: (*name).into(),
+                model: model.clone(),
+            }),
+            Ok(Response::Created)
+        ));
+        issued_create += 1;
+    }
+
+    // Skewed mix: the whale takes edit→cycle rounds plus a Monte Carlo
+    // run; the reuse tenants take lighter edit→cycle rounds; the minnows
+    // only analyze and snapshot.
+    for round in 0..4 {
+        manager
+            .request(Request::SetPerf {
+                session: "whale".into(),
+                alternative: round * 7 % 120,
+                // Attributes 0 and 1 are discrete in the Mixed family
+                // (every third attribute is continuous).
+                attr: AttributeId::from_index(round % 2),
+                perf: Perf::level(round % 3),
+            })
+            .unwrap();
+        issued_set_perf += 1;
+        assert!(matches!(
+            manager.request(Request::DiscardCycle {
+                session: "whale".into(),
+            }),
+            Ok(Response::Cycle(_))
+        ));
+        issued_cycle += 1;
+    }
+    assert!(matches!(
+        manager.request(Request::MonteCarlo {
+            session: "whale".into(),
+            trials: 200,
+        }),
+        Ok(Response::MonteCarlo(_))
+    ));
+    issued_mc += 1;
+
+    for tenant in ["neon-reuse", "ontolib-assess"] {
+        for round in 0..2 {
+            manager
+                .request(Request::SetPerf {
+                    session: tenant.into(),
+                    alternative: round,
+                    attr: AttributeId::from_index(0),
+                    perf: Perf::level(round % 4),
+                })
+                .unwrap();
+            issued_set_perf += 1;
+            assert!(matches!(
+                manager.request(Request::DiscardCycle {
+                    session: tenant.into(),
+                }),
+                Ok(Response::Cycle(_))
+            ));
+            issued_cycle += 1;
+        }
+        assert!(matches!(
+            manager.request(Request::Analyze {
+                session: tenant.into(),
+            }),
+            Ok(Response::Analysis(_))
+        ));
+        issued_analyze += 1;
+    }
+
+    for tenant in ["minnow-flat", "minnow-degenerate"] {
+        for _ in 0..3 {
+            assert!(matches!(
+                manager.request(Request::Analyze {
+                    session: tenant.into(),
+                }),
+                Ok(Response::Analysis(_))
+            ));
+            issued_analyze += 1;
+        }
+        assert!(matches!(
+            manager.request(Request::Snapshot {
+                session: tenant.into(),
+            }),
+            Ok(Response::Snapshot(_))
+        ));
+        issued_snapshot += 1;
+    }
+
+    // Exact accounting: every issued request — and nothing else — shows
+    // up in the aggregate, by kind.
+    let stats = manager.stats();
+    let total = stats.aggregate();
+    assert_eq!(total.requests.create, issued_create);
+    assert_eq!(total.requests.set_perf, issued_set_perf);
+    assert_eq!(total.requests.analyze, issued_analyze);
+    assert_eq!(total.requests.discard_cycle, issued_cycle);
+    assert_eq!(total.requests.monte_carlo, issued_mc);
+    assert_eq!(total.requests.snapshot, issued_snapshot);
+    assert_eq!(total.requests.close, 0);
+    assert_eq!(
+        total.requests.total(),
+        issued_create
+            + issued_set_perf
+            + issued_analyze
+            + issued_cycle
+            + issued_mc
+            + issued_snapshot
+    );
+    // No rejections in this closed-loop run, so every request reached
+    // the handler and is accounted in the load denominator.
+    assert_eq!(total.rejected_overload, 0);
+    assert_eq!(total.rejected_deadline, 0);
+    assert_eq!(total.load.served_requests, total.requests.total());
+    assert!(total.load.busy_ns > 0);
+
+    // Edit→cycle rounds after the first ran incrementally.
+    assert!(total.cycles.incremental > 0);
+    assert!(stats.incremental_hit_rate().unwrap() > 0.0);
+
+    // The whale dominates service time: its shard's busy_ns is the
+    // maximum even though the request mix is spread across all shards.
+    let whale_shard = manager.shard_of("whale");
+    let busiest = stats
+        .shards
+        .iter()
+        .max_by_key(|s| s.load.busy_ns)
+        .expect("at least one shard");
+    assert_eq!(
+        busiest.shard,
+        whale_shard,
+        "whale shard {} should dominate busy_ns, got shard {} (per-shard: {:?})",
+        whale_shard,
+        busiest.shard,
+        stats
+            .shards
+            .iter()
+            .map(|s| (s.shard, s.load.busy_ns))
+            .collect::<Vec<_>>()
+    );
+    // Per-shard mean service time is defined wherever work ran.
+    for shard in &stats.shards {
+        if shard.load.served_requests > 0 {
+            assert!(shard.load.mean_service_ns().is_some());
+        }
+    }
+
+    manager.shutdown().expect("clean drain");
+}

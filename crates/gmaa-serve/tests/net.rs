@@ -310,3 +310,125 @@ fn drain_flushes_sessions_and_closes_admission() {
         Err(ServeError::Shutdown)
     ));
 }
+
+#[test]
+fn request_with_deadline_expiry_surfaces_through_the_wire() {
+    // One shard whose worker parks inside the create's snapshot write,
+    // so a request queued behind it with a hopeless deadline expires at
+    // dequeue and the typed error travels back over the wire.
+    let store = Arc::new(GateStore::new());
+    let config = ServeConfig {
+        shards: 1,
+        session: quick(),
+        ..ServeConfig::default()
+    };
+    let (server, manager) = serve(config, Some(store.clone() as Arc<dyn SessionStore>));
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    client
+        .send(
+            Request::CreateSession {
+                session: "s".into(),
+                model: model(),
+            },
+            None,
+        )
+        .unwrap();
+    store.wait_parked();
+    // Queued behind the parked worker; already past its 0 ms deadline.
+    client
+        .send(
+            Request::Analyze {
+                session: "s".into(),
+            },
+            Some(0),
+        )
+        .unwrap();
+    store.open();
+
+    assert!(matches!(client.recv().unwrap(), Response::Created));
+    assert!(matches!(client.recv(), Err(ServeError::DeadlineExceeded)));
+    // A generous deadline on an idle shard sails through the same path.
+    assert!(matches!(
+        client.request_with_deadline(
+            Request::Analyze {
+                session: "s".into()
+            },
+            Some(60_000),
+        ),
+        Ok(Response::Analysis(_))
+    ));
+
+    // Exact accounting: the expiry cost a dequeue (counted by kind) but
+    // never touched the engine — only one analysis cycle ran.
+    let total = manager.stats().aggregate();
+    assert_eq!(total.rejected_deadline, 1);
+    assert_eq!(total.requests.analyze, 2);
+    assert_eq!(total.cycles.full, 1);
+    // Load accounting matches: create + one served analysis reached the
+    // handler; the expired request consumed no busy_ns denominator slot.
+    assert_eq!(total.load.served_requests, 2);
+    assert!(total.load.busy_ns > 0);
+}
+
+#[test]
+fn slow_reading_client_gets_every_reply_in_order() {
+    // Pins the current writer-channel contract ahead of the backpressure
+    // stretch (see ROADMAP): a client that pipelines deeply without
+    // reading its socket queues replies in the per-connection writer
+    // channel (unbounded today). The server's reader and shard workers
+    // must not stall, no reply may be dropped or reordered, and the
+    // connection must stay usable afterwards.
+    let (server, manager) = serve(quick_config(), None);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client
+        .request(Request::CreateSession {
+            session: "s".into(),
+            model: model(),
+        })
+        .unwrap();
+
+    const BURST: usize = 256;
+    for _ in 0..BURST {
+        client
+            .send(
+                Request::Snapshot {
+                    session: "s".into(),
+                },
+                None,
+            )
+            .unwrap();
+    }
+    assert_eq!(client.in_flight(), BURST);
+    // Give the workers time to finish while this client reads nothing:
+    // replies pile up in the socket buffer and then the writer channel.
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    // The server must still answer other clients while the slow reader's
+    // backlog sits in its writer channel.
+    let mut other = Client::connect(server.local_addr()).unwrap();
+    assert!(matches!(
+        other.request(Request::Analyze {
+            session: "s".into()
+        }),
+        Ok(Response::Analysis(_))
+    ));
+
+    // Now drain the backlog: every reply arrives, in send order.
+    for i in 0..BURST {
+        match client.recv() {
+            Ok(Response::Snapshot(_)) => {}
+            other => panic!("reply {i}: expected Snapshot, got {other:?}"),
+        }
+    }
+    assert_eq!(client.in_flight(), 0);
+    // The connection survives the burst.
+    assert!(matches!(
+        client.request(Request::Analyze {
+            session: "s".into()
+        }),
+        Ok(Response::Analysis(_))
+    ));
+    let total = manager.stats().aggregate();
+    assert_eq!(total.requests.snapshot, BURST as u64);
+    assert_eq!(total.rejected_overload, 0);
+}

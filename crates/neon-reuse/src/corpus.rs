@@ -1,0 +1,258 @@
+//! Synthetic assessment corpora: seeded candidate-ontology registries
+//! with controlled quality profiles, plus the selection model built from
+//! their automated assessments.
+//!
+//! This is the shared machinery behind `examples/ontology_assessment.rs`
+//! and the ontology-assessment serving tenant in the heterogeneous
+//! `gmaa-serve` benchmarks: generate `n` candidates (cycling four quality
+//! archetypes), serialize/parse them as Turtle the way a crawler would,
+//! assess them against the target competency questions, and assemble the
+//! paper's Fig 1 hierarchy + Fig 5 weights around the resulting
+//! performance vectors. Everything is deterministic in `(candidates,
+//! seed)`.
+
+use crate::activities::{OntologyRegistry, RegistryEntry};
+use crate::assess::{AssessmentInput, OntologyAssessor};
+use crate::criteria::{criteria, CriterionScale};
+use crate::{ObjectiveGroup, MNVLT};
+use maut::prelude::*;
+use ontolib::naming::NamingStyle;
+use ontolib::{parse_turtle, write_turtle, CompetencyQuestion, GeneratorConfig, OntologyGenerator};
+use std::collections::BTreeMap;
+
+/// The four quality archetypes candidates cycle through. Mirrors the
+/// spread of the paper's surveyed ontologies: well-documented, barely
+/// annotated, opaquely named, standards-based.
+const ARCHETYPES: [&str; 4] = [
+    "WellDocumented",
+    "BarelyAnnotated",
+    "OpaqueCodes",
+    "StandardsBased",
+];
+
+/// Generator + metadata profile for candidate `index` under `seed`.
+fn profile(index: usize, seed: u64) -> (String, GeneratorConfig, AssessmentInput) {
+    let archetype = ARCHETYPES[index % ARCHETYPES.len()];
+    let name = format!("{archetype}-{index:02}");
+    let candidate_seed = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(index as u64);
+    let (cfg, meta) = match archetype {
+        "WellDocumented" => (
+            GeneratorConfig {
+                namespace: format!("http://example.org/welldoc{index}#"),
+                num_classes: 60,
+                label_prob: 0.95,
+                comment_prob: 0.9,
+                standard_share: 0.4,
+                seed: candidate_seed,
+                ..GeneratorConfig::default()
+            },
+            AssessmentInput {
+                financial_cost: Some(3),
+                required_time: Some(3),
+                external_knowledge: Some(3),
+                implementation_language: Some(3),
+                tests_available: Some(2),
+                former_evaluation: Some(2),
+                team_reputation: Some(3),
+                purpose_reliability: Some(3),
+                practical_support: Some(2),
+            },
+        ),
+        "BarelyAnnotated" => (
+            GeneratorConfig {
+                namespace: format!("http://example.org/bare{index}#"),
+                num_classes: 45,
+                label_prob: 0.2,
+                comment_prob: 0.05,
+                seed: candidate_seed,
+                ..GeneratorConfig::default()
+            },
+            AssessmentInput {
+                financial_cost: Some(3),
+                required_time: Some(2),
+                implementation_language: Some(2),
+                team_reputation: Some(1),
+                purpose_reliability: Some(1),
+                ..AssessmentInput::default()
+            },
+        ),
+        "OpaqueCodes" => (
+            GeneratorConfig {
+                namespace: format!("http://example.org/codes{index}#"),
+                num_classes: 50,
+                opaque_prob: 0.85,
+                label_prob: 0.4,
+                comment_prob: 0.2,
+                style: NamingStyle::Snake,
+                seed: candidate_seed,
+                ..GeneratorConfig::default()
+            },
+            AssessmentInput {
+                financial_cost: Some(2),
+                required_time: Some(2),
+                implementation_language: Some(3),
+                purpose_reliability: Some(2),
+                ..AssessmentInput::default()
+            },
+        ),
+        _ => (
+            GeneratorConfig {
+                namespace: format!("http://example.org/std{index}#"),
+                num_classes: 70,
+                label_prob: 0.85,
+                comment_prob: 0.6,
+                standard_share: 0.7,
+                seed: candidate_seed,
+                ..GeneratorConfig::default()
+            },
+            AssessmentInput {
+                financial_cost: Some(3),
+                required_time: Some(2),
+                external_knowledge: Some(2),
+                implementation_language: Some(3),
+                tests_available: Some(1),
+                team_reputation: Some(2),
+                purpose_reliability: Some(2),
+                practical_support: Some(3),
+                ..AssessmentInput::default()
+            },
+        ),
+    };
+    (name, cfg, meta)
+}
+
+/// A registry of `candidates` synthetic ontologies with varied quality
+/// profiles, deterministic in `(candidates, seed)`. Each candidate is
+/// serialized to Turtle and parsed back — the registry stores what a
+/// crawler would have fetched off the web, so the parser sits on the
+/// assessment path exactly as in the full pipeline.
+pub fn synthetic_registry(candidates: usize, seed: u64) -> OntologyRegistry {
+    let mut registry = OntologyRegistry::new();
+    for index in 0..candidates {
+        let (name, cfg, meta) = profile(index, seed);
+        let graph = OntologyGenerator::new(cfg).generate_graph();
+        let turtle = write_turtle(&graph);
+        let reparsed = parse_turtle(&turtle).expect("generator output is valid Turtle");
+        registry.add(RegistryEntry {
+            name,
+            ontology: ontolib::Ontology::from_graph(reparsed),
+            metadata: meta,
+            tags: vec!["multimedia".into()],
+        });
+    }
+    registry
+}
+
+/// The target ontology's competency questions used across the examples
+/// and the serving tenants (multimedia domain, matching the generators'
+/// theme vocabulary).
+pub fn default_questions() -> Vec<CompetencyQuestion> {
+    [
+        "What is the duration of a video segment?",
+        "Which audio track belongs to which media stream?",
+        "What codec and container format does a recording use?",
+        "Who is the creator of a media collection?",
+        "What genre and rating does a broadcast have?",
+        "Which still image regions depict an agent?",
+        "What is the sample rate of an audio channel?",
+        "Which annotations describe a visual descriptor?",
+    ]
+    .iter()
+    .map(|q| CompetencyQuestion::new(*q))
+    .collect()
+}
+
+/// Build the paper's selection model (Fig 1 hierarchy, Fig 5 weight
+/// intervals, Figs 3/4 utilities via the criteria scales) around an
+/// arbitrary set of assessed rows `(name, perfs)` in criteria display
+/// order. The group weights are the per-group mass of the Fig 5 leaf
+/// midpoints, normalized; leaf weights are rescaled into their group.
+pub fn selection_model(name: &str, rows: Vec<(String, Vec<Perf>)>) -> DecisionModel {
+    let cs = criteria();
+    let weights = crate::dataset::paper_weight_intervals();
+    let mut b = DecisionModelBuilder::new(name);
+    let mut group_ids = BTreeMap::new();
+    let mut mass = BTreeMap::new();
+    for (c, (lo, up)) in cs.iter().zip(&weights) {
+        *mass.entry(c.group.key()).or_insert(0.0) += (lo + up) / 2.0;
+    }
+    let total: f64 = mass.values().sum();
+    for g in ObjectiveGroup::ALL {
+        let id = b.objective_under_root(g.key(), g.name(), Interval::point(mass[g.key()] / total));
+        group_ids.insert(g.key(), id);
+    }
+    for (c, (lo, up)) in cs.iter().zip(&weights) {
+        let attr = match &c.scale {
+            CriterionScale::FourLevel(levels) => b.discrete_attribute(c.key, c.name, levels),
+            CriterionScale::ValueT => {
+                b.continuous_attribute(c.key, c.name, 0.0, MNVLT, Direction::Increasing)
+            }
+        };
+        let scale = mass[c.group.key()] / total;
+        b.attach_attribute(
+            group_ids[c.group.key()],
+            attr,
+            Interval::new(lo / scale, up / scale),
+        );
+    }
+    for (alt, perfs) in rows {
+        b.alternative(alt, perfs);
+    }
+    b.build().expect("assessment model is consistent")
+}
+
+/// End-to-end shorthand: synthesize a corpus, assess every candidate
+/// against [`default_questions`], and return the ready-to-serve selection
+/// model. Deterministic in `(candidates, seed)`.
+pub fn assessment_model(candidates: usize, seed: u64) -> DecisionModel {
+    let registry = synthetic_registry(candidates, seed);
+    let assessor = OntologyAssessor::new(default_questions());
+    let rows = registry.assess_all(&assessor);
+    selection_model(
+        &format!("Ontology assessment ({candidates} candidates, seed {seed})"),
+        rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_cycles_archetypes_deterministically() {
+        let a = synthetic_registry(6, 7);
+        let b = synthetic_registry(6, 7);
+        assert_eq!(a.len(), 6);
+        let names: Vec<&str> = a.entries().iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names[0], "WellDocumented-00");
+        assert_eq!(names[4], "WellDocumented-04");
+        for (x, y) in a.entries().iter().zip(b.entries()) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(
+                x.ontology.num_entities(),
+                y.ontology.num_entities(),
+                "candidate {} not deterministic",
+                x.name
+            );
+        }
+    }
+
+    #[test]
+    fn assessment_model_is_valid_and_rankable() {
+        let model = assessment_model(8, 3);
+        assert_eq!(model.num_alternatives(), 8);
+        assert_eq!(model.num_attributes(), crate::CRITERIA_COUNT);
+        assert!(model.validate().is_ok());
+        let mut ctx = maut::EvalContext::new(model).expect("valid model");
+        assert_eq!(ctx.evaluate().ranking().len(), 8);
+    }
+
+    #[test]
+    fn assessment_model_is_deterministic() {
+        let a = format!("{:?}", assessment_model(5, 11).perf);
+        let b = format!("{:?}", assessment_model(5, 11).perf);
+        assert_eq!(a, b);
+    }
+}

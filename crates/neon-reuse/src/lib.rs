@@ -17,10 +17,14 @@
 //!   performance vector on the 14 criteria;
 //! * [`activities`] — the reuse activities: registry search, assessment,
 //!   ranked selection under the ≥ 70 % competency-question coverage rule,
-//!   and mechanical integration (graph merge).
+//!   and mechanical integration (graph merge);
+//! * [`corpus`] — seeded synthetic candidate corpora and the selection
+//!   model built from their automated assessments, shared by the examples
+//!   and the heterogeneous serving benchmarks.
 
 pub mod activities;
 pub mod assess;
+pub mod corpus;
 pub mod criteria;
 pub mod dataset;
 pub mod nor;

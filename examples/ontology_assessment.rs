@@ -5,123 +5,21 @@
 //! integrate the winners into one ontology network.
 //!
 //! This is the reproduction's stand-in for the paper's survey of 40 → 23
-//! real multimedia ontologies, which cannot be redistributed.
+//! real multimedia ontologies, which cannot be redistributed. The corpus
+//! machinery (archetype profiles, assessment, selection-model assembly)
+//! lives in `neon_reuse::corpus`, where the heterogeneous serving
+//! benchmarks reuse it as a real tenant workload.
 //!
 //! Run with: `cargo run --example ontology_assessment`
 
-use maut::prelude::*;
-use neon_reuse::{
-    activities::{self, OntologyRegistry, RegistryEntry},
-    criteria, AssessmentInput, OntologyAssessor,
-};
-use ontolib::naming::NamingStyle;
-use ontolib::{parse_turtle, write_turtle, CompetencyQuestion, GeneratorConfig, OntologyGenerator};
+use maut::Perf;
+use neon_reuse::{activities, corpus, criteria, OntologyAssessor};
 
 fn main() {
-    // --- 1. Search: a registry of synthetic candidates with very different
-    //        quality profiles. ---
-    let profiles: Vec<(&str, GeneratorConfig, AssessmentInput)> = vec![
-        (
-            "WellDocumented",
-            GeneratorConfig {
-                namespace: "http://example.org/welldoc#".into(),
-                num_classes: 60,
-                label_prob: 0.95,
-                comment_prob: 0.9,
-                standard_share: 0.4,
-                seed: 1,
-                ..GeneratorConfig::default()
-            },
-            AssessmentInput {
-                financial_cost: Some(3),
-                required_time: Some(3),
-                external_knowledge: Some(3),
-                implementation_language: Some(3),
-                tests_available: Some(2),
-                former_evaluation: Some(2),
-                team_reputation: Some(3),
-                purpose_reliability: Some(3),
-                practical_support: Some(2),
-            },
-        ),
-        (
-            "BarelyAnnotated",
-            GeneratorConfig {
-                namespace: "http://example.org/bare#".into(),
-                num_classes: 45,
-                label_prob: 0.2,
-                comment_prob: 0.05,
-                seed: 2,
-                ..GeneratorConfig::default()
-            },
-            AssessmentInput {
-                financial_cost: Some(3),
-                required_time: Some(2),
-                implementation_language: Some(2),
-                team_reputation: Some(1),
-                purpose_reliability: Some(1),
-                ..AssessmentInput::default()
-            },
-        ),
-        (
-            "OpaqueCodes",
-            GeneratorConfig {
-                namespace: "http://example.org/codes#".into(),
-                num_classes: 50,
-                opaque_prob: 0.85,
-                label_prob: 0.4,
-                comment_prob: 0.2,
-                style: NamingStyle::Snake,
-                seed: 3,
-                ..GeneratorConfig::default()
-            },
-            AssessmentInput {
-                financial_cost: Some(2),
-                required_time: Some(2),
-                implementation_language: Some(3),
-                purpose_reliability: Some(2),
-                ..AssessmentInput::default()
-            },
-        ),
-        (
-            "StandardsBased",
-            GeneratorConfig {
-                namespace: "http://example.org/std#".into(),
-                num_classes: 70,
-                label_prob: 0.85,
-                comment_prob: 0.6,
-                standard_share: 0.7,
-                seed: 4,
-                ..GeneratorConfig::default()
-            },
-            AssessmentInput {
-                financial_cost: Some(3),
-                required_time: Some(2),
-                external_knowledge: Some(2),
-                implementation_language: Some(3),
-                tests_available: Some(1),
-                team_reputation: Some(2),
-                purpose_reliability: Some(2),
-                practical_support: Some(3),
-                ..AssessmentInput::default()
-            },
-        ),
-    ];
-
-    let mut registry = OntologyRegistry::new();
-    for (name, cfg, meta) in profiles {
-        // Serialize to Turtle and parse back — the registry stores what a
-        // crawler would have fetched from the web.
-        let graph = OntologyGenerator::new(cfg).generate_graph();
-        let turtle = write_turtle(&graph);
-        let reparsed = parse_turtle(&turtle).expect("generator output is valid Turtle");
-        registry.add(RegistryEntry {
-            name: name.to_string(),
-            ontology: ontolib::Ontology::from_graph(reparsed),
-            metadata: meta,
-            tags: vec!["multimedia".into()],
-        });
-    }
+    // --- 1. Search: a registry of synthetic candidates cycling four
+    //        quality archetypes (well-documented, barely annotated,
+    //        opaquely coded, standards-based). ---
+    let registry = corpus::synthetic_registry(8, 1);
     println!("Registry holds {} candidates", registry.len());
     println!(
         "Search 'multimedia': {} hits",
@@ -129,20 +27,7 @@ fn main() {
     );
 
     // --- 2. Assess against the target ontology's competency questions. ---
-    let questions: Vec<CompetencyQuestion> = [
-        "What is the duration of a video segment?",
-        "Which audio track belongs to which media stream?",
-        "What codec and container format does a recording use?",
-        "Who is the creator of a media collection?",
-        "What genre and rating does a broadcast have?",
-        "Which still image regions depict an agent?",
-        "What is the sample rate of an audio channel?",
-        "Which annotations describe a visual descriptor?",
-    ]
-    .iter()
-    .map(|q| CompetencyQuestion::new(*q))
-    .collect();
-    let assessor = OntologyAssessor::new(questions);
+    let assessor = OntologyAssessor::new(corpus::default_questions());
     let rows = registry.assess_all(&assessor);
 
     println!("\nAssessed performance vectors (14 criteria):");
@@ -157,53 +42,22 @@ fn main() {
                 Perf::Missing => "?".to_string(),
             })
             .collect();
-        println!("  {name:<16} {rendered:?}");
+        println!("  {name:<18} {rendered:?}");
     }
     println!(
         "  (criteria order: {:?})",
         cs.iter().map(|c| c.short).collect::<Vec<_>>()
     );
 
-    // --- 3. Select with the paper's hierarchy and weights. ---
-    // Reuse the Fig 1 hierarchy + Fig 5 weights but swap in our candidates.
-    let weights = neon_reuse::dataset::paper_weight_intervals();
-    let mut b = DecisionModelBuilder::new("Select synthetic MM ontologies");
-    let mut group_ids = std::collections::BTreeMap::new();
-    let mut mass = std::collections::BTreeMap::new();
-    for (c, (lo, up)) in cs.iter().zip(&weights) {
-        *mass.entry(c.group.key()).or_insert(0.0) += (lo + up) / 2.0;
-    }
-    let total: f64 = mass.values().sum();
-    for g in neon_reuse::ObjectiveGroup::ALL {
-        let id = b.objective_under_root(g.key(), g.name(), Interval::point(mass[g.key()] / total));
-        group_ids.insert(g.key(), id);
-    }
-    for (c, (lo, up)) in cs.iter().zip(&weights) {
-        let attr = match &c.scale {
-            neon_reuse::criteria::CriterionScale::FourLevel(levels) => {
-                b.discrete_attribute(c.key, c.name, levels)
-            }
-            neon_reuse::criteria::CriterionScale::ValueT => {
-                b.continuous_attribute(c.key, c.name, 0.0, neon_reuse::MNVLT, Direction::Increasing)
-            }
-        };
-        let scale = mass[c.group.key()] / total;
-        b.attach_attribute(
-            group_ids[c.group.key()],
-            attr,
-            Interval::new(lo / scale, up / scale),
-        );
-    }
-    for (name, perfs) in rows {
-        b.alternative(name, perfs);
-    }
-    let model = b.build().expect("assessment model is consistent");
+    // --- 3. Select with the paper's hierarchy and weights (Fig 1 tree,
+    //        Fig 5 weight intervals) wrapped around our candidates. ---
+    let model = corpus::selection_model("Select synthetic MM ontologies", rows);
 
     println!("\nRanking of synthetic candidates:");
-    let mut ctx = maut::EvalContext::new(model.clone()).expect("valid model");
+    let mut ctx = maut::EvalContext::new(model).expect("valid model");
     for r in ctx.evaluate().ranking() {
         println!(
-            "  {}. {:<16} min {:.3}  avg {:.3}  max {:.3}",
+            "  {}. {:<18} min {:.3}  avg {:.3}  max {:.3}",
             r.rank, r.name, r.bounds.min, r.bounds.avg, r.bounds.max
         );
     }

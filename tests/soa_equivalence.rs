@@ -474,8 +474,13 @@ fn apply_random_edit(rng: &mut StdRng, engine: &mut gmaa::AnalysisEngine) {
 /// once at the end) the full `analyze_incremental()` bundle is compared
 /// against a cold `analyze()` too.
 fn check_edit_sequence_case(seed: u64, edits: usize, check_every: usize) {
+    check_edit_sequence_on(random_model(seed, 14, 8), seed, edits, check_every);
+}
+
+/// The edit-sequence differential against an arbitrary starting model
+/// (hand-rolled random or generator family).
+fn check_edit_sequence_on(model: DecisionModel, seed: u64, edits: usize, check_every: usize) {
     let mut rng = StdRng::seed_from_u64(seed ^ 0xED17);
-    let model = random_model(seed, 14, 8);
     let mut engine = gmaa::AnalysisEngine::new(model).expect("valid");
     engine.mc_trials = 60;
     engine.stability_resolution = 12;
@@ -528,6 +533,94 @@ fn check_edit_sequence_case(seed: u64, edits: usize, check_every: usize) {
                 reference.monte_carlo.rank_counts(),
                 "monte carlo, seed {seed} step {step}"
             );
+        }
+    }
+}
+
+/// Warm ≡ cold differential on one generator family member: the
+/// blocked-sweep dominance matrix and the warm-started potential
+/// optimality chain against the row-major / cold-LP references, plus
+/// batch evaluation vs the scalar path. The generator families sweep the
+/// difficulty surface (size, depth, band width, weight tightness) that
+/// `random_model` only samples accidentally, including the adversarial
+/// presets.
+fn check_generated_family_case(cfg: &gmaa_gen::GenConfig, with_lp: bool) {
+    let label = cfg.label();
+    let model = gmaa_gen::generate(cfg);
+    let mut ctx = EvalContext::new(model.clone()).expect("valid");
+    let n = model.num_alternatives();
+
+    let full = ctx.evaluate();
+    let order: Vec<usize> = (0..n).rev().collect();
+    for threads in [1usize, 3] {
+        let root = model.tree.root();
+        let batch = ctx.batch_evaluate_with(root, &order, threads);
+        for (pos, &alt) in order.iter().enumerate() {
+            assert_bounds_close(&batch[pos], &full.bounds[alt], &format!("batch, {label}"));
+        }
+    }
+
+    let reference = reference_dominance(&ctx);
+    assert_eq!(
+        dominance::dominance_matrix_ctx(&ctx),
+        reference,
+        "dominance matrix, {label}"
+    );
+
+    if with_lp {
+        // Warm ≡ cold: the warm-started in-place-row LP chain vs fresh
+        // cold LPs per alternative.
+        let warm_out = potential::potentially_optimal_ctx(&ctx).expect("solver healthy");
+        let reference = reference_potential(&ctx);
+        for (a, &(optimal, slack)) in warm_out.iter().zip(&reference) {
+            assert_eq!(a.potentially_optimal, optimal, "potential set, {label}");
+            assert!(
+                (a.slack - slack).abs() <= 1e-7,
+                "slack, {label}: {} vs {slack}",
+                a.slack
+            );
+        }
+    }
+}
+
+/// Incremental ≡ full over a generator family member: random edit
+/// sequence with per-edit comparison against a cold full recompute.
+fn check_generated_family_edits(cfg: &gmaa_gen::GenConfig, edits: usize, check_every: usize) {
+    check_edit_sequence_on(
+        gmaa_gen::generate(cfg),
+        cfg.seed ^ 0x6E9,
+        edits,
+        check_every,
+    );
+}
+
+#[test]
+fn generated_families_warm_cold_and_incremental_fast() {
+    for family in gmaa_gen::Family::ALL {
+        for seed in 1..=2 {
+            let cfg = gmaa_gen::GenConfig::preset(family, 18, 7, seed);
+            check_generated_family_case(&cfg, true);
+            check_generated_family_edits(&cfg, 4, 2);
+        }
+    }
+}
+
+#[test]
+#[ignore = "slow generator-family differential; CI runs it via --include-ignored"]
+fn generated_families_warm_cold_large_sweep() {
+    for family in gmaa_gen::Family::ALL {
+        for seed in 0..4 {
+            check_generated_family_case(&gmaa_gen::GenConfig::preset(family, 80, 10, seed), true);
+        }
+    }
+}
+
+#[test]
+#[ignore = "slow generator-family edit histories; CI runs it via --include-ignored"]
+fn generated_families_incremental_long_histories() {
+    for family in gmaa_gen::Family::ALL {
+        for seed in 0..2 {
+            check_generated_family_edits(&gmaa_gen::GenConfig::preset(family, 40, 9, seed), 10, 5);
         }
     }
 }
